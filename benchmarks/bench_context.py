@@ -1,0 +1,43 @@
+"""Extension bench: the long-context cost curve.
+
+Sweeps the context length from 2k to 64k at a fixed 4M-token batch on
+256 A100s (Megatron-7.5B architecture) and reports per-token cost and
+the share of FLOPs in the quadratic attention terms.  Asserts the
+closed-form crossover (``s = 6h``) and the superlinear per-token cost
+growth that makes long-context training expensive.
+"""
+
+from conftest import print_block
+
+from repro.experiments.context_study import (
+    quadratic_crossover_length,
+    run_context_study,
+)
+from repro.reporting.tables import render_table
+from repro.transformer.zoo import MEGATRON_7_5B
+
+
+def test_context(benchmark):
+    points = benchmark.pedantic(run_context_study, rounds=1,
+                                iterations=1)
+
+    rows = [(p.sequence_length, p.global_batch,
+             f"{p.batch_time_s:.1f}",
+             f"{p.time_per_token_s * 1e6:.2f}",
+             f"{p.attention_flop_share:.1%}")
+            for p in points]
+    crossover = quadratic_crossover_length(MEGATRON_7_5B)
+    print_block(
+        f"Long-context cost (7.5B arch, 4M tokens/batch, 256 A100s; "
+        f"quadratic crossover at s = 6h = {crossover:.0f})",
+        render_table(["context", "batch", "s/batch", "us/token",
+                      "attention share"], rows))
+
+    costs = [p.time_per_token_s for p in points]
+    shares = [p.attention_flop_share for p in points]
+    assert costs == sorted(costs)
+    assert shares == sorted(shares)
+    # by 64k the quadratic terms dominate the paper-era 2k regime
+    assert shares[-1] > 5 * shares[0]
+    # the longest context costs several times more per token
+    assert costs[-1] / costs[0] > 2.0

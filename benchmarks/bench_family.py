@@ -1,0 +1,34 @@
+"""Extension bench: achieved efficiency across the Megatron family.
+
+Places every Megatron family member (1.7B - 145B) on 512 A100s with its
+best explored (memory-feasible) mapping and reports achieved
+TFLOP/s/GPU and MFU.  Asserts the combined-parallelism headline: best
+mapping utilization stays within 2x across two decades of model size,
+and the large members require model parallelism to fit at all.
+"""
+
+from conftest import print_block
+
+from repro.experiments.family_study import run_family_study
+from repro.reporting.tables import render_table
+
+
+def test_family(benchmark):
+    points = benchmark.pedantic(run_family_study, rounds=1,
+                                iterations=1)
+
+    rows = [(p.model_key, f"{p.n_parameters / 1e9:.1f}B", p.mapping,
+             f"{p.tflops_per_gpu:.1f}", f"{p.mfu:.0%}",
+             f"{p.batch_time_s:.1f}")
+            for p in points]
+    print_block(
+        "Megatron family on 512 A100s (best memory-feasible mapping, "
+        "batch 2048)",
+        render_table(["model", "params", "best mapping",
+                      "TFLOP/s/GPU", "MFU", "s/batch"], rows))
+
+    tflops = [p.tflops_per_gpu for p in points]
+    assert max(tflops) / min(tflops) < 2.0
+    assert "PP" in points[-1].mapping  # 145B needs a pipeline
+    sizes = [p.n_parameters for p in points]
+    assert sizes == sorted(sizes)

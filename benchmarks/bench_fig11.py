@@ -1,0 +1,43 @@
+"""Fig. 11 bench: Case Study III — optical communication substrates.
+
+Regenerates the seven-bar optimization ladder (reference -> Opt. 1
+fibers -> Opt. 2 bigger substrate nodes -> Opt. 3 more off-chip
+bandwidth) for GLaM-1.2T on 3072 H100-class accelerators at 8-bit
+precision, and asserts the paper's claims: a monotone ladder, MoE
+communication slashed ~6x by Opt. 1, unchanged peak compute, and a
+multi-x end-to-end speedup with compute dominating at the end.
+"""
+
+from conftest import print_block
+
+from repro.experiments.casestudy3 import reproduce_fig11
+from repro.reporting.ascii_plot import bar_chart
+from repro.reporting.tables import render_table
+
+
+def test_fig11(benchmark):
+    bars = benchmark(reproduce_fig11)
+    reference = bars[0]
+
+    rows = [(bar.label, round(bar.training_days_per_epoch, 2),
+             f"x{bar.speedup_over(reference):.2f}",
+             round(bar.breakdown.compute_time, 2),
+             round(bar.breakdown.comm_time, 3))
+            for bar in bars]
+    table = render_table(
+        ["configuration", "days/100B tokens", "speedup",
+         "compute s/batch", "comm s/batch"],
+        rows, title="Fig. 11 (GLaM 1.2T, 3072 accelerators, 8-bit)")
+    chart = bar_chart([bar.label for bar in bars],
+                      [bar.speedup_over(reference) for bar in bars],
+                      title="speedup over reference", unit="x")
+    print_block("Fig. 11: optical communication substrates",
+                table + "\n\n" + chart)
+
+    ladder = [bar.speedup_over(reference) for bar in bars]
+    assert all(b >= a * 0.999 for a, b in zip(ladder, ladder[1:]))
+    assert ladder[-1] > 2.0  # paper: up to ~3.9x
+    moe_cut = reference.breakdown.comm_moe / bars[1].breakdown.comm_moe
+    assert 3.0 < moe_cut < 12.0  # paper: "reduced by a factor ~6"
+    final = bars[-1].breakdown
+    assert final.compute_time > 0.75 * final.total

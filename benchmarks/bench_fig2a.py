@@ -1,0 +1,31 @@
+"""Fig. 2a bench: minGPT data-parallel scaling on the HGX-2 platform.
+
+Regenerates the normalized-training-time curve (predicted vs the
+simulated measurement substitute) for 1/2/4/8/16 GPUs and asserts the
+paper's claims: matching trends within the 12% validation budget.
+"""
+
+from conftest import print_block
+
+from repro.experiments.fig2_validation import data_parallel_scaling
+from repro.reporting.tables import render_table
+from repro.validation.published import MAX_PAPER_ERROR_PERCENT
+
+
+def test_fig2a(benchmark):
+    result = benchmark(data_parallel_scaling)
+
+    rows = [(point.n_gpus, predicted, measured)
+            for point, predicted, measured in zip(
+                result.points, result.predicted_normalized,
+                result.measured_normalized)]
+    print_block(
+        "Fig. 2a: minGPT DP scaling (normalized training time)",
+        render_table(["GPUs", "AMPeD (predicted)",
+                      "simulated (measured)"], rows)
+        + "\n\n" + result.report().format_table())
+
+    curve = result.predicted_normalized
+    assert curve[0] == 1.0
+    assert all(a > b for a, b in zip(curve, curve[1:]))
+    assert result.report().max_error_percent <= MAX_PAPER_ERROR_PERCENT

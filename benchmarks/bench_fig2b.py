@@ -1,0 +1,33 @@
+"""Fig. 2b bench: minGPT pipeline-parallel scaling on HGX-2.
+
+Regenerates the normalized-training-time curve for 2/4/8/16 pipeline
+stages (N_ub = N_PP, as in the paper) against the discrete-event
+pipeline simulator, and asserts the trend match plus the paper's
+diminishing-returns saturation.
+"""
+
+from conftest import print_block
+
+from repro.experiments.fig2_validation import pipeline_parallel_scaling
+from repro.reporting.tables import render_table
+from repro.validation.published import MAX_PAPER_ERROR_PERCENT
+
+
+def test_fig2b(benchmark):
+    result = benchmark(pipeline_parallel_scaling)
+
+    rows = [(point.n_gpus, predicted, measured)
+            for point, predicted, measured in zip(
+                result.points, result.predicted_normalized,
+                result.measured_normalized)]
+    print_block(
+        "Fig. 2b: minGPT PP scaling (normalized training time)",
+        render_table(["GPUs", "AMPeD (predicted)",
+                      "simulated (measured)"], rows)
+        + "\n\n" + result.report().format_table())
+
+    curve = result.predicted_normalized
+    assert all(a > b for a, b in zip(curve, curve[1:]))
+    assert result.report().max_error_percent <= MAX_PAPER_ERROR_PERCENT
+    # saturation: the last doubling gains less than the first
+    assert curve[2] / curve[3] < curve[0] / curve[1]

@@ -1,0 +1,34 @@
+"""Fig. 2c bench: GPT-3 175B TFLOP/s/GPU vs microbatch size.
+
+Regenerates the batch-size saturation study (96 GPUs, pipeline
+parallelism only) and asserts the saturating shape the paper validates
+against Narayanan et al. (~11% error at microbatch 12 shrinking to ~2%
+at 60 in the paper's comparison).
+"""
+
+from conftest import print_block
+
+from repro.experiments.fig2_validation import batch_size_saturation
+from repro.reporting.ascii_plot import line_chart
+from repro.reporting.tables import render_table
+
+
+def test_fig2c(benchmark):
+    points = benchmark(batch_size_saturation)
+
+    rows = [(p.microbatch_size, p.global_batch,
+             round(p.tflops_per_gpu, 1), round(p.efficiency, 3))
+            for p in points]
+    chart = line_chart(
+        [p.microbatch_size for p in points],
+        {"TFLOP/s/GPU": [p.tflops_per_gpu for p in points]},
+        title="Fig. 2c: performance saturation with microbatch size")
+    print_block(
+        "Fig. 2c: GPT-3 175B on 96 GPUs (PP only)",
+        render_table(["microbatch", "global batch", "TFLOP/s/GPU",
+                      "eff"], rows) + "\n\n" + chart)
+
+    tflops = [p.tflops_per_gpu for p in points]
+    assert tflops == sorted(tflops)                      # monotone
+    assert tflops[-1] / tflops[-2] < tflops[1] / tflops[0]  # concave
+    assert 120 <= tflops[-1] <= 170  # saturates near published ~150

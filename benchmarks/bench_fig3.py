@@ -1,0 +1,27 @@
+"""Fig. 3 bench: training-time breakdown for two 1024-GPU mappings.
+
+Regenerates the two example configurations (DP 8x64 with PP x2 vs
+TP x2 across nodes) and asserts the paper's observation that the
+pipeline bubble of the first is negligible next to the TP-inter
+communication of the second.
+"""
+
+from conftest import print_block
+
+from repro.experiments.fig3_breakdown import reproduce_fig3
+from repro.reporting.ascii_plot import bar_chart
+
+
+def test_fig3(benchmark):
+    pp_case, tp_case = benchmark(reproduce_fig3)
+
+    charts = []
+    for case in (pp_case, tp_case):
+        summary = case.breakdown.summary_dict()
+        charts.append(bar_chart(list(summary), list(summary.values()),
+                                title=case.label, unit="s/batch"))
+    print_block("Fig. 3: training time breakdown", "\n\n".join(charts))
+
+    assert pp_case.breakdown.bubble < 0.2 * tp_case.breakdown.comm_tp
+    assert tp_case.breakdown.comm_tp > 0
+    assert pp_case.breakdown.comm_tp == 0

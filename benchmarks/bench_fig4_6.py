@@ -1,0 +1,55 @@
+"""Figs. 4-6 bench: Case Study I with tensor parallelism inside nodes.
+
+Regenerates the three inter-node sweeps (TPxPP, TPxDP, PPxDP across
+128 nodes; batch sizes 4096/8192/16384) and asserts the paper's
+conclusions for the TP-intra half of the design space: growing
+inter-node TP is punishing, and the best mappings land at the ~2-4-week
+scale the paper reports.
+"""
+
+from conftest import print_block
+
+from repro.experiments.casestudy1 import figure4, figure5, figure6
+from repro.reporting.tables import render_table
+
+
+def render_sweep(series) -> str:
+    batches = sorted(series.points[0].days)
+    rows = [[p.label] + [("n/a" if p.days[b] is None
+                          else round(p.days[b], 1)) for b in batches]
+            for p in series.points]
+    return render_table(["inter split"]
+                        + [f"batch {b} (days)" for b in batches],
+                        rows, title=series.figure)
+
+
+def run_all():
+    return figure4(), figure5(), figure6()
+
+
+def test_fig4_6(benchmark):
+    fig4, fig5, fig6 = benchmark.pedantic(run_all, rounds=1,
+                                          iterations=1)
+
+    print_block("Case Study I: TP intra-node (Figs. 4-6)",
+                "\n\n".join(render_sweep(s) for s in (fig4, fig5, fig6)))
+
+    # Fig. 4: scaling up inter-node TP monotonically hurts.
+    curve = [p.days[16384] for p in fig4.points
+             if p.days[16384] is not None and p.second_degree <= 80]
+    assert all(a <= b * 1.001 for a, b in zip(curve, curve[1:]))
+
+    # Pure-TP-inter endpoints are far worse than PP/DP-inter mappings
+    # (the paper's ~57 vs ~18-21 days).
+    __, best6 = fig6.best(16384)
+    tp_heavy = [p.days[16384] for p in fig5.points
+                if p.first_degree >= 16 and p.days[16384] is not None]
+    assert min(tp_heavy) > 2.0 * best6
+
+    # Best TP-intra mappings land in the paper's ballpark (~18-21 days;
+    # shape tolerance 2x).
+    assert 9 < best6 < 42
+
+    # conclusion 1: larger batches train the same tokens faster
+    __, days_small = fig6.best(4096)
+    assert days_small > best6

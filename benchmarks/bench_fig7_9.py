@@ -1,0 +1,50 @@
+"""Figs. 7-9 bench: Case Study I with data parallelism inside nodes.
+
+Regenerates the DP-intra half of the design space and asserts the
+paper's §VI-D findings: DP-intra mappings are roughly 2x slower than
+their TP-intra counterparts (microbatch efficiency collapses under the
+deep DP split), and the TP-heavy curves converge once communication
+dominates.
+"""
+
+from conftest import print_block
+
+from repro.experiments.casestudy1 import figure6, figure7, figure8, figure9
+from repro.reporting.tables import render_table
+
+
+def render_sweep(series) -> str:
+    batches = sorted(series.points[0].days)
+    rows = [[p.label] + [("n/a" if p.days[b] is None
+                          else round(p.days[b], 1)) for b in batches]
+            for p in series.points]
+    return render_table(["inter split"]
+                        + [f"batch {b} (days)" for b in batches],
+                        rows, title=series.figure)
+
+
+def run_all():
+    return figure7(), figure8(), figure9()
+
+
+def test_fig7_9(benchmark):
+    fig7, fig8, fig9 = benchmark.pedantic(run_all, rounds=1,
+                                          iterations=1)
+
+    print_block("Case Study I: DP intra-node (Figs. 7-9)",
+                "\n\n".join(render_sweep(s) for s in (fig7, fig8, fig9)))
+
+    # §VI-D: DP-intra is markedly slower than TP-intra at batch 16384
+    # (the paper reports 36-38 vs 18-21 days).
+    __, dp_best = fig9.best(16384)
+    __, tp_best = figure6(batches=(16384,)).best(16384)
+    assert 1.5 < dp_best / tp_best < 4.0
+
+    # Fig. 7: curves merge for TP > PP — the largest-TP points of the
+    # three batch curves approach each other as comm dominates.
+    heavy = [p for p in fig7.points
+             if p.first_degree >= 32 and
+             all(v is not None for v in p.days.values())]
+    for point in heavy:
+        values = list(point.days.values())
+        assert max(values) / min(values) < 1.6

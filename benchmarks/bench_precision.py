@@ -1,0 +1,67 @@
+"""Extension bench: what numeric precision buys, per Eq. 2's ceiling.
+
+Evaluates GPT-3 175B on an H100 cluster under FP32, FP16 and FP8
+policies.  Eq. 2's ``ceil(operand_bits / FU_bits)`` makes the outcome
+non-obvious: FP32 on 16-bit units costs two passes (2x compute), while
+FP8 on the same units still costs one pass — so dropping from FP16 to
+FP8 buys *no compute time* in this model (the H100's FP8-double-rate
+tensor cores would need a narrower ``mac_fu_bits`` entry), but halves
+every communication volume.  The bench prints and asserts exactly that
+decomposition.
+"""
+
+from conftest import print_block
+
+from repro.core.model import AMPeD
+from repro.hardware.catalog import glam_h100_reference
+from repro.hardware.precision import (
+    FP8_TRAINING,
+    FULL_FP32,
+    MIXED_FP16,
+)
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import spec_from_totals
+from repro.reporting.tables import render_table
+from repro.transformer.zoo import GPT3_175B
+
+BATCH = 4096
+
+POLICIES = (("FP32", FULL_FP32), ("FP16", MIXED_FP16),
+            ("FP8", FP8_TRAINING))
+
+
+def run_policies():
+    system = glam_h100_reference(n_nodes=64)  # 512 H100s
+    spec = spec_from_totals(system, tp=8, dp=64)
+    results = {}
+    for label, precision in POLICIES:
+        amped = AMPeD(model=GPT3_175B, system=system, parallelism=spec,
+                      precision=precision,
+                      efficiency=CASE_STUDY_EFFICIENCY)
+        results[label] = amped.estimate_batch(BATCH)
+    return results
+
+
+def test_precision(benchmark):
+    results = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+
+    rows = [(label, f"{b.compute_time:.2f}", f"{b.comm_time:.3f}",
+             f"{b.total:.2f}")
+            for label, b in results.items()]
+    print_block(
+        "GPT-3 175B on 512 H100s: precision policy vs batch time",
+        render_table(["policy", "compute s", "comm s", "total s"],
+                     rows))
+
+    fp32, fp16, fp8 = (results["FP32"], results["FP16"],
+                       results["FP8"])
+    # FP32 on 16-bit units: two passes on both pipelines -> 2x compute
+    assert fp32.compute_time / fp16.compute_time == 2.0
+    # FP8 on 16-bit units: still one pass -> no compute gain ...
+    assert fp8.compute_time == fp16.compute_time
+    # ... but half the communicated bits (latency terms are
+    # precision-independent, hence the small tolerance)
+    assert abs(fp8.comm_time / fp16.comm_time - 0.5) < 0.02
+    assert abs(fp32.comm_time / fp16.comm_time - 2.0) < 0.04
+    # total ordering follows
+    assert fp8.total < fp16.total < fp32.total

@@ -1,0 +1,99 @@
+"""Extension bench: the activation-recomputation trade-off.
+
+The published Table II runs trained with full activation recomputation
+(memory for compute).  This bench quantifies both sides for GPT-3 175B
+on a TP=8/PP=8 mapping: stored activations collapse to the per-layer
+checkpoints, the maximum feasible microbatch grows accordingly, and the
+batch time pays the extra forward pass (compute x4/3).  Asserts the
+defining shape and the net effect: on memory-constrained
+configurations, recomputation *enables* microbatches that more than pay
+for its compute cost.
+"""
+
+import dataclasses
+
+from conftest import print_block
+
+from repro.core.model import AMPeD
+from repro.hardware.catalog import A100, megatron_a100_cluster
+from repro.hardware.precision import MIXED_FP16
+from repro.memory.constraints import max_feasible_microbatch
+from repro.memory.footprint import estimate_footprint
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import spec_from_totals
+from repro.reporting.tables import render_table
+from repro.transformer.zoo import GPT3_175B
+
+BATCH = 2048
+
+
+def run_comparison():
+    system = megatron_a100_cluster(n_nodes=16)
+    spec = spec_from_totals(system, tp=8, pp=8, dp=2,
+                            n_microbatches=128)
+    base = AMPeD(model=GPT3_175B, system=system, parallelism=spec,
+                 efficiency=CASE_STUDY_EFFICIENCY)
+    results = {}
+    for label, recompute in (("stored", False), ("recompute", True)):
+        amped = dataclasses.replace(
+            base,
+            backward_compute_multiplier=3.0 if recompute else 2.0)
+        microbatch = amped.microbatch(BATCH)
+        footprint = estimate_footprint(
+            GPT3_175B, spec, microbatch, MIXED_FP16,
+            recompute_activations=recompute)
+        max_ub = max_feasible_microbatch(
+            GPT3_175B, spec, MIXED_FP16, A100) if not recompute else \
+            _max_ub_recompute(spec)
+        results[label] = (amped.estimate_batch(BATCH), footprint,
+                          max_ub)
+    return results
+
+
+def _max_ub_recompute(spec):
+    """Binary search counterpart with recomputation on."""
+    from repro.memory.constraints import DEFAULT_USABLE_FRACTION
+
+    def fits(ub):
+        footprint = estimate_footprint(
+            GPT3_175B, spec, ub, MIXED_FP16,
+            recompute_activations=True)
+        return footprint.total \
+            <= A100.memory_bytes * DEFAULT_USABLE_FRACTION
+
+    if not fits(1):
+        return None
+    ub = 1
+    while fits(ub * 2) and ub < 1 << 15:
+        ub *= 2
+    return ub
+
+
+def test_recompute(benchmark):
+    results = benchmark.pedantic(run_comparison, rounds=1,
+                                 iterations=1)
+
+    rows = [(label,
+             f"{footprint.activations / 2**30:.2f} GiB",
+             "none" if max_ub is None else str(max_ub),
+             f"{breakdown.compute_time:.1f}",
+             f"{breakdown.total:.1f}")
+            for label, (breakdown, footprint, max_ub)
+            in results.items()]
+    print_block(
+        "Activation recomputation: GPT-3 175B, TP8/PP8/DP2 on "
+        "128 A100s",
+        render_table(["mode", "stored activations", "max feasible ub",
+                      "compute s", "total s"], rows))
+
+    stored_bd, stored_fp, stored_ub = results["stored"]
+    rec_bd, rec_fp, rec_ub = results["recompute"]
+    # recomputation collapses stored activations by >10x
+    assert rec_fp.activations < stored_fp.activations / 10
+    # and unlocks much larger microbatches
+    assert (stored_ub or 0) < rec_ub
+    # at the cost of exactly one extra forward pass of compute
+    assert rec_bd.compute_forward == stored_bd.compute_forward
+    assert abs(rec_bd.compute_backward
+               - 1.5 * stored_bd.compute_backward) \
+        < 1e-9 * rec_bd.compute_backward

@@ -1,0 +1,36 @@
+"""Extension bench: strong-scaling study with per-size optimal mappings.
+
+For each cluster size (8..128 nodes of 8 A100s), runs the full
+design-space exploration and reports the best mapping, training days,
+and parallel efficiency — the workflow the paper's introduction
+motivates, end to end.
+"""
+
+from conftest import print_block
+
+from repro.experiments.scaling_study import run_scaling_study
+from repro.reporting.tables import render_table
+
+
+def test_scaling_study(benchmark):
+    points = benchmark.pedantic(run_scaling_study, rounds=1,
+                                iterations=1)
+    base = points[0]
+
+    rows = [(p.n_accelerators, p.mapping, f"{p.batch_time_s:.1f}",
+             f"{p.training_days:.1f}",
+             f"x{p.speedup_over(base):.2f}",
+             f"{p.efficiency_over(base):.0%}")
+            for p in points]
+    print_block(
+        "Strong scaling of Megatron 145B (best mapping per size, "
+        "batch 4096, 300B tokens)",
+        render_table(["GPUs", "best mapping", "s/batch", "days",
+                      "speedup", "efficiency"], rows))
+
+    times = [p.batch_time_s for p in points]
+    assert all(a > b for a, b in zip(times, times[1:]))
+    final = points[-1]
+    assert final.efficiency_over(base) < 1.0
+    assert final.speedup_over(base) > 2.0
+    assert all(not p.uses_inter_tp for p in points)

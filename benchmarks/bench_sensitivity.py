@@ -1,0 +1,61 @@
+"""Extension bench: sensitivity profile of the Case Study I optimum.
+
+Computes the elasticity of batch time with respect to every hardware
+knob for two mappings — the compute-bound optimum (TP intra, DP inter)
+and a communication-bound anti-pattern (TP across nodes) — and asserts
+that the leverage moves from the compute clock to the inter-node
+network, which is the quantitative form of the paper's co-design
+narrative.
+"""
+
+from conftest import print_block
+
+from repro.core.model import AMPeD
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import spec_from_totals
+from repro.reporting.tables import render_table
+from repro.sensitivity.elasticity import sensitivity_profile
+from repro.transformer.zoo import MEGATRON_145B
+
+BATCH = 8192
+
+
+def run_profiles():
+    system = megatron_a100_cluster()
+    good = AMPeD(model=MEGATRON_145B, system=system,
+                 parallelism=spec_from_totals(system, tp=8, dp=128),
+                 efficiency=CASE_STUDY_EFFICIENCY)
+    bad = AMPeD(model=MEGATRON_145B, system=system,
+                parallelism=spec_from_totals(system, tp=64, dp=16),
+                efficiency=CASE_STUDY_EFFICIENCY, validate=False)
+    return (sensitivity_profile(good, BATCH),
+            sensitivity_profile(bad, BATCH))
+
+
+def test_sensitivity(benchmark):
+    good_profile, bad_profile = benchmark.pedantic(run_profiles,
+                                                   rounds=1,
+                                                   iterations=1)
+
+    good = {e.knob: e.elasticity for e in good_profile}
+    bad = {e.knob: e.elasticity for e in bad_profile}
+    table = render_table(
+        ["knob", "TP-intra/DP-inter (good)", "TP-inter (bad)"],
+        [(knob, f"{good[knob]:+.4f}", f"{bad[knob]:+.4f}")
+         for knob in sorted(good, key=lambda k: abs(good[k]),
+                            reverse=True)],
+        title="elasticity of batch time (negative = knob helps)")
+    print_block("Sensitivity profiles", table)
+
+    # good mapping: compute clock is the lever
+    assert good_profile[0].knob == "compute_frequency"
+    # bad mapping: the inter-node network gains leverage
+    assert abs(bad["inter_bandwidth"]) > abs(good["inter_bandwidth"])
+    # throughput elasticities stay near the homogeneity bound of -1
+    for profile in (good, bad):
+        total = sum(profile[k] for k in ("compute_frequency",
+                                         "nonlinear_throughput",
+                                         "intra_bandwidth",
+                                         "inter_bandwidth"))
+        assert -1.1 < total < -0.9

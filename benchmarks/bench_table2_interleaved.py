@@ -1,0 +1,34 @@
+"""Extension bench: Table II with a modeled interleaved overlap ratio.
+
+The paper attributes its deep-PP error to R = 1; here R is *measured*
+from the discrete-event simulator for Megatron's two-chunk interleaved
+schedule and Table II is re-evaluated.  Asserts the paper's diagnosis:
+the deep-PP rows move toward the published numbers.
+"""
+
+from conftest import print_block
+
+from repro.experiments.table2_interleaved import reproduce_table2_interleaved
+from repro.reporting.tables import render_table
+
+
+def test_table2_interleaved(benchmark):
+    rows, report = benchmark(reproduce_table2_interleaved)
+
+    table = render_table(
+        ["Model", "PP", "published", "R=1 pred (err)",
+         f"R={rows[0].overlap_ratio:.2f} pred (err)"],
+        [(f"{row.point.n_parameters_b:g}B", row.point.pp,
+          row.point.published_tflops,
+          f"{row.naive.predicted_tflops:.1f} "
+          f"({row.naive.error_percent:.1f}%)",
+          f"{row.interleaved.predicted_tflops:.1f} "
+          f"({row.interleaved.error_percent:.1f}%)")
+         for row in rows],
+        title="Table II, naive vs simulator-derived overlap")
+    print_block("Table II with interleaved overlap modeling", table)
+
+    assert report.max_error_percent < 9.0
+    deep_improvements = [row.improvement_percent for row in rows
+                         if row.point.pp >= 32]
+    assert all(improvement > 0 for improvement in deep_improvements)

@@ -1,0 +1,32 @@
+"""Table III bench: GPipe normalized throughput on P100/PCIe, M = 32.
+
+Regenerates the 2/4/8-GPU speedups (published: 1 / 1.8 / 3.3; the
+paper predicts 1 / 1.84 / 3.19) and cross-checks the closed form
+against the discrete-event pipeline simulator.
+"""
+
+from conftest import print_block
+
+from repro.core.metrics import speedups
+from repro.experiments.table3 import reproduce_table3
+from repro.reporting.tables import render_table
+from repro.validation.published import GPIPE_TABLE3
+
+
+def test_table3(benchmark):
+    rows, report = benchmark(reproduce_table3)
+
+    predicted = speedups([row.batch_time_s for row in rows])
+    simulated = speedups([row.simulated_time_s for row in rows])
+    table = render_table(
+        ["GPUs", "published", "AMPeD (ours)", "event-sim (ours)",
+         "paper's prediction"],
+        [(point.n_gpus, point.published_speedup, round(p, 2),
+          round(s, 2), point.paper_prediction_speedup)
+         for point, p, s in zip(GPIPE_TABLE3, predicted, simulated)],
+        title="Table III (normalized training throughput, M=32)")
+    print_block("Table III: GPipe on P100", table)
+
+    assert report.max_error_percent <= 12.0
+    assert predicted == sorted(predicted)
+    assert predicted[-1] < 4.0  # sub-linear: bubbles

@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures: the
+``benchmark`` fixture times the evaluation, and the test body prints the
+reproduced rows/series (run with ``-s`` to see them inline) and asserts
+the qualitative shape the paper reports.
+"""
+
+from __future__ import annotations
+
+
+def print_block(title: str, body: str) -> None:
+    """Print a reproduction artifact with a visible banner."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

@@ -1,0 +1,78 @@
+"""Calibration workflow: from measured points to trusted predictions.
+
+Mirrors the paper's method statement — "AMPeD can use empirically
+derived efficiency factors to accurately predict the training time" —
+end to end:
+
+1. fit the efficiency curve ``eff(ub) = a*ub/(b+ub)`` from measured
+   (microbatch, efficiency) points (the paper's declared future work);
+2. anchor the fitted model on one measured throughput with one-knob
+   calibration;
+3. use the calibrated model to answer a question the measurements never
+   covered: where is the leverage (sensitivity profile), and which
+   mapping should we run?
+
+Run:  python examples/calibrate_and_sweep.py
+"""
+
+from repro import AMPeD
+from repro.fitting import (
+    calibrate_efficiency_to_tflops,
+    fit_efficiency,
+    interleaving_overlap_model,
+    measure_overlap_ratio,
+)
+from repro.hardware import megatron_a100_cluster
+from repro.parallelism import spec_from_totals
+from repro.reporting import render_table
+from repro.search import best_mapping
+from repro.sensitivity import sensitivity_profile
+from repro.transformer import MEGATRON_145B
+
+#: Pretend-measured efficiency points (microbatch, efficiency), the
+#: kind a profiling run of the target kernel produces.
+MEASURED_POINTS = [(2, 0.11), (8, 0.30), (32, 0.55), (128, 0.74)]
+
+#: Pretend-measured anchor throughput at the reference mapping.
+MEASURED_TFLOPS = 135.0
+
+
+def main() -> None:
+    print("step 1: fit eff(ub) from measurements")
+    fit = fit_efficiency(MEASURED_POINTS, floor=0.05)
+    print(f"  eff(ub) = {fit.a:.3f} * ub / ({fit.b:.1f} + ub), "
+          f"R^2 = {fit.r_squared:.4f}, RMSE = {fit.rmse:.4f}\n")
+
+    system = megatron_a100_cluster(n_nodes=32)
+    template = AMPeD(
+        model=MEGATRON_145B, system=system,
+        parallelism=spec_from_totals(system, tp=8, dp=32),
+        efficiency=fit.efficiency)
+
+    print("step 2: calibrate on one measured throughput")
+    calibrated = calibrate_efficiency_to_tflops(template, 4096,
+                                                MEASURED_TFLOPS)
+    print(f"  anchor {MEASURED_TFLOPS} TFLOP/s/GPU -> "
+          f"a = {calibrated.efficiency.a:.3f} "
+          f"(residual {calibrated.anchor_error:.2e})\n")
+
+    print("step 3a: overlap ratio for interleaved pipelining")
+    simulated = measure_overlap_ratio(8, 32, n_chunks=2)
+    print(f"  simulator: R = {simulated:.2f}; closed form 1/v = "
+          f"{interleaving_overlap_model(2):.2f}\n")
+
+    print("step 3b: sensitivity of the calibrated configuration")
+    profile = sensitivity_profile(calibrated.amped, 4096)
+    print(render_table(
+        ["knob", "elasticity"],
+        [(e.knob, f"{e.elasticity:+.4f}") for e in profile]))
+
+    print("\nstep 3c: best mapping under the calibrated model")
+    best = best_mapping(calibrated.amped, 4096)
+    print(f"  {best.label}: {best.batch_time_s:.1f} s/batch "
+          f"(ub {best.microbatch_size:g}, "
+          f"eff {best.microbatch_efficiency:.0%})")
+
+
+if __name__ == "__main__":
+    main()

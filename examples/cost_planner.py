@@ -1,0 +1,76 @@
+"""Cost, energy and carbon planning for a training campaign.
+
+The paper's introduction motivates performance prediction with budget
+and sustainability arguments ("billed per hour", "$4.6 million",
+"equivalent CO2 emissions").  This example closes that loop: for the
+Case Study I platform it compares the best and a mediocre parallelism
+mapping not in days but in dollars and tonnes of CO2, and shows how an
+oversubscribed (cheaper) network fabric shifts the trade-off.
+
+Run:  python examples/cost_planner.py
+"""
+
+from repro import AMPeD
+from repro.cost import (
+    EU_AVERAGE_GRID,
+    ON_DEMAND_A100,
+    estimate_carbon,
+    estimate_cost,
+)
+from repro.energy import PowerModel, estimate_energy
+from repro.hardware import megatron_a100_cluster
+from repro.network import apply_fabric, two_level_fat_tree
+from repro.parallelism import CASE_STUDY_EFFICIENCY, spec_from_totals
+from repro.reporting import render_table
+from repro.transformer import MEGATRON_145B
+
+BATCH = 8192
+TOKENS = 300e9
+
+
+def evaluate(label, system, spec):
+    amped = AMPeD(model=MEGATRON_145B, system=system, parallelism=spec,
+                  efficiency=CASE_STUDY_EFFICIENCY, validate=False)
+    estimate = amped.estimate(BATCH, total_tokens=TOKENS)
+    power = PowerModel.for_accelerator(system.accelerator)
+    energy = estimate_energy(estimate.breakdown, power,
+                             system.n_accelerators)
+    cost = estimate_cost(estimate, system.n_accelerators,
+                         ON_DEMAND_A100)
+    carbon = estimate_carbon(energy, EU_AVERAGE_GRID)
+    return (label, f"{estimate.total_time_days:.1f}",
+            f"{cost.gpu_hours / 1e6:.2f}M", f"${cost.usd / 1e6:.2f}M",
+            f"{energy.total_kwh / 1e6:.2f} GWh",
+            f"{carbon.tonnes_co2:,.0f} t")
+
+
+def main() -> None:
+    system = megatron_a100_cluster()
+    good = spec_from_totals(system, tp=8, dp=128)
+    bad = spec_from_totals(system, tp=64, dp=16)
+
+    fabric = two_level_fat_tree(
+        port_bandwidth_bits_per_s=2e11, nodes_per_leaf=16, n_leaves=8,
+        oversubscription=8.0)
+    cheap_network = apply_fabric(system, fabric)
+
+    rows = [
+        evaluate("TP=8 intra, DP=128 inter (best)", system, good),
+        evaluate("TP=64 across nodes (anti-pattern)", system, bad),
+        evaluate("best mapping, 8:1 oversubscribed fabric",
+                 cheap_network, good),
+    ]
+    print(f"{MEGATRON_145B.name}, batch {BATCH}, {TOKENS:.0e} tokens, "
+          f"1024 A100s @ ${ON_DEMAND_A100.effective_rate:.2f}/GPU-h, "
+          f"{EU_AVERAGE_GRID.name} grid\n")
+    print(render_table(
+        ["scenario", "days", "GPU-hours", "cost", "energy", "CO2"],
+        rows))
+    print("\nThe anti-pattern mapping costs millions more for the same "
+          "model — the paper's case for predicting before launching. "
+          "The cheap fabric trades a modest slowdown for lower capex; "
+          "AMPeD quantifies whether the opex increase eats the saving.")
+
+
+if __name__ == "__main__":
+    main()

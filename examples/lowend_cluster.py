@@ -1,0 +1,58 @@
+"""Case Study II walkthrough: choosing DP vs PP on low-end clusters.
+
+Cloud providers usually rent small nodes (1-4 accelerators, one NIC
+each) rather than 8-GPU NVLink monsters.  This example sweeps the node
+shape while holding the accelerator pool at 1024 A100s, compares
+inter-node data parallelism against pipeline parallelism for each
+shape, and runs the energy break-even analysis the paper sketches:
+a slightly-slower PP run can still win on energy because accelerators
+idle (at reduced power) inside pipeline bubbles.
+
+Run:  python examples/lowend_cluster.py
+"""
+
+from repro.experiments.casestudy2 import (
+    FIG10_GLOBAL_BATCH,
+    energy_comparison,
+    reproduce_fig10,
+)
+from repro.reporting import render_table
+
+
+def main() -> None:
+    print(f"Megatron 145B, batch {FIG10_GLOBAL_BATCH}, 1024 A100s "
+          f"regrouped into low-end nodes (EDR NIC per accelerator)\n")
+
+    results = reproduce_fig10()
+    rows = []
+    for node_size, point in sorted(results.items()):
+        breakeven = point.energy_breakeven_idle_fraction
+        rows.append((
+            node_size,
+            f"{point.dp_days:.1f}",
+            f"{point.pp_days:.1f}",
+            point.winner,
+            f"x{point.advantage:.2f}",
+            f"{point.pp_bubble_share:.1%}",
+            "-" if breakeven is None else f"{breakeven:.2f}",
+        ))
+    print(render_table(
+        ["accel+NICs/node", "DP days", "PP days", "winner", "margin",
+         "PP bubble", "break-even idle fraction"],
+        rows, title="Fig. 10: inter-node DP vs PP by node shape"))
+
+    print("\nenergy at the crossover (4 accelerators/node, idle power "
+          "30% of TDP):")
+    energy = energy_comparison(node_size=4, idle_fraction=0.3)
+    print(f"  DP: {energy['dp_days']:.1f} days, "
+          f"{energy['dp_kwh']:,.0f} kWh")
+    print(f"  PP: {energy['pp_days']:.1f} days, "
+          f"{energy['pp_kwh']:,.0f} kWh")
+    print("\nTakeaway: with a single NIC per node, PP's point-to-point "
+          "traffic beats DP's all-reduce; once NICs multiply, DP wins "
+          "on time — but PP's idle bubbles can still make it the "
+          "cheaper run in energy when idle power is low.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Case Study III walkthrough: future optical communication substrates.
+
+Walks the paper's ladder of substrate optimizations for training the
+GLaM 1.2T Mixture-of-Experts model on 3072 H100-class accelerators at
+8-bit precision:
+
+- Opt. 1: dedicated per-accelerator optical fibers replace NICs;
+- Opt. 2: bigger substrates pack 16/32/48 accelerators per node,
+  converting data parallelism into tensor parallelism (larger
+  per-replica batches, better utilization);
+- Opt. 3: future accelerators double/quadruple their off-chip
+  bandwidth into the substrate.
+
+Run:  python examples/optical_substrate.py
+"""
+
+from repro.experiments.casestudy3 import reproduce_fig11
+from repro.reporting import bar_chart, render_table
+
+
+def main() -> None:
+    bars = reproduce_fig11()
+    reference = bars[0]
+
+    rows = []
+    for bar in bars:
+        breakdown = bar.breakdown
+        rows.append((
+            bar.label,
+            bar.accelerators_per_node,
+            f"{bar.training_days_per_epoch:.2f}",
+            f"x{bar.speedup_over(reference):.2f}",
+            f"{breakdown.compute_time:.2f}",
+            f"{breakdown.comm_moe:.3f}",
+            f"{breakdown.comm_gradient:.3f}",
+        ))
+    print(render_table(
+        ["configuration", "accel/node", "days per 100B tokens",
+         "speedup", "compute s", "MoE comm s", "DP comm s"],
+        rows, title="Fig. 11: GLaM 1.2T on 3072 accelerators (8-bit)"))
+    print()
+    print(bar_chart(
+        [bar.label for bar in bars],
+        [bar.speedup_over(reference) for bar in bars],
+        title="cumulative speedup over the reference system",
+        unit="x"))
+    print()
+    moe_cut = (reference.breakdown.comm_moe
+               / bars[1].breakdown.comm_moe)
+    print(f"Opt. 1 cuts MoE all-to-all time by {moe_cut:.1f}x "
+          f"(the paper reports ~6x) without touching peak compute; "
+          f"by the last bar, computation dominates the batch time — "
+          f"exactly the regime the paper predicts for "
+          f"high-bandwidth systems.")
+
+
+if __name__ == "__main__":
+    main()

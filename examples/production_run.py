@@ -1,0 +1,86 @@
+"""From model estimate to campaign plan: ramps, checkpoints, failures.
+
+AMPeD predicts the *clean* training time; a real 1024-GPU campaign also
+pays for the batch-size warm-up ramp, periodic checkpoints, and
+failure/restart cycles (a thousand-GPU cluster is interrupted every
+couple of days).  This example stacks all three on the Case Study I
+scenario and reports the realistic wall-clock a capacity planner should
+actually book.
+
+Run:  python examples/production_run.py
+"""
+
+from repro import AMPeD
+from repro.hardware import MIXED_FP16, megatron_a100_cluster
+from repro.parallelism import CASE_STUDY_EFFICIENCY, spec_from_totals
+from repro.runtime import (
+    BatchSizeRamp,
+    CheckpointSpec,
+    FailureModel,
+    campaign_estimate,
+    checkpoint_bytes,
+    checkpoint_write_seconds,
+    ramp_overhead,
+    ramped_training_time,
+)
+from repro.transformer import MEGATRON_145B
+from repro.units import format_bytes, format_duration, seconds_to_days
+
+FULL_BATCH = 8192
+TOKENS = 300e9
+
+#: Aggregate parallel-filesystem write bandwidth (bits/s).
+STORAGE_BW = 4e12
+
+#: Per-device MTBF (hours) — a mid-range operator number.
+DEVICE_MTBF_HOURS = 50_000
+
+
+def main() -> None:
+    system = megatron_a100_cluster()
+    amped = AMPeD(
+        model=MEGATRON_145B,
+        system=system,
+        parallelism=spec_from_totals(system, tp=8, dp=128),
+        efficiency=CASE_STUDY_EFFICIENCY,
+    )
+
+    clean = amped.estimate(FULL_BATCH, total_tokens=TOKENS)
+    print(f"clean AMPeD estimate: {clean.total_time_days:.1f} days\n")
+
+    ramp = BatchSizeRamp(initial_batch=512, full_batch=FULL_BATCH,
+                         ramp_tokens=12e9)
+    ramped_seconds = ramped_training_time(amped, ramp, TOKENS)
+    overhead = ramp_overhead(amped, ramp, TOKENS)
+    print(f"1. batch ramp (512 -> {FULL_BATCH} over 12B tokens): "
+          f"{seconds_to_days(ramped_seconds):.1f} days "
+          f"(+{overhead:.1%})")
+
+    size = checkpoint_bytes(MEGATRON_145B, MIXED_FP16)
+    write = checkpoint_write_seconds(MEGATRON_145B, MIXED_FP16,
+                                     STORAGE_BW)
+    print(f"2. checkpoints: {format_bytes(size)} each, "
+          f"{format_duration(write)} per write at "
+          f"{STORAGE_BW / 8e9:.0f} GB/s aggregate")
+
+    checkpoint = CheckpointSpec(write_seconds=write,
+                                restart_seconds=900.0)
+    failures = FailureModel(device_mtbf_hours=DEVICE_MTBF_HOURS,
+                            n_devices=system.n_accelerators)
+    campaign = campaign_estimate(ramped_seconds, checkpoint, failures)
+    print(f"3. failures: system MTBF "
+          f"{failures.system_mtbf_seconds / 86400:.1f} days -> "
+          f"~{campaign.expected_failures:.0f} interruptions; "
+          f"Young/Daly interval "
+          f"{format_duration(campaign.checkpoint_interval_s)}")
+
+    print(f"\ncampaign plan: {campaign.expected_days:.1f} days "
+          f"(checkpoints +{campaign.checkpoint_overhead:.1%}, "
+          f"failures +{campaign.failure_overhead:.1%}, "
+          f"ramp +{overhead:.1%} — "
+          f"{campaign.expected_days - clean.total_time_days:.1f} days "
+          f"over the clean estimate)")
+
+
+if __name__ == "__main__":
+    main()

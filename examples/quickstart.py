@@ -1,0 +1,56 @@
+"""Quickstart: estimate the training time of one configuration.
+
+Builds the paper's Case Study I scenario — Megatron 145B on 1024 A100s
+(128 nodes x 8, NVLink + HDR InfiniBand) — maps TP=8 inside each node
+and DP=128 across nodes, and prints the per-batch breakdown plus the
+projected wall-clock for a 300B-token run.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AMPeD
+from repro.hardware import megatron_a100_cluster
+from repro.parallelism import CASE_STUDY_EFFICIENCY, spec_from_totals
+from repro.transformer import MEGATRON_145B
+
+GLOBAL_BATCH = 8192
+CORPUS_TOKENS = 300e9
+
+
+def main() -> None:
+    system = megatron_a100_cluster()
+    print(f"system:  {system.describe()}")
+    print(f"model:   {MEGATRON_145B.name} "
+          f"({MEGATRON_145B.n_layers} layers, "
+          f"hidden {MEGATRON_145B.hidden_size})")
+
+    mapping = spec_from_totals(system, tp=8, dp=128)
+    print(f"mapping: {mapping.describe()}")
+
+    amped = AMPeD(
+        model=MEGATRON_145B,
+        system=system,
+        parallelism=mapping,
+        efficiency=CASE_STUDY_EFFICIENCY,
+    )
+
+    microbatch = amped.microbatch(GLOBAL_BATCH)
+    print(f"microbatch: {microbatch:g} sequences "
+          f"(efficiency {amped.microbatch_efficiency(GLOBAL_BATCH):.0%})")
+    print()
+
+    breakdown = amped.estimate_batch(GLOBAL_BATCH)
+    print(breakdown.format_table(
+        title=f"one batch of {GLOBAL_BATCH} sequences"))
+    print()
+
+    estimate = amped.estimate(GLOBAL_BATCH, total_tokens=CORPUS_TOKENS)
+    print(f"training {CORPUS_TOKENS:.0e} tokens: "
+          f"{estimate.total_time_days:.1f} days "
+          f"({estimate.n_batches} batches, "
+          f"{amped.achieved_tflops_per_gpu(GLOBAL_BATCH):.0f} "
+          f"TFLOP/s/GPU achieved)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Reproduce the paper's entire validation section (§V) in one run.
+
+Prints the four validation artifacts with their error reports:
+
+- Fig. 2a: minGPT data-parallel scaling (vs a step-level collective
+  simulation standing in for the paper's HGX-2 runs);
+- Fig. 2b: minGPT pipeline-parallel scaling (vs the discrete-event
+  pipeline simulator standing in for the torchgpipe runs);
+- Table II: achieved TFLOP/s/GPU vs the published Megatron numbers;
+- Table III: GPipe speedups vs the published P100 numbers;
+
+and closes with the headline check: every error within the paper's
+12% budget.
+
+Run:  python examples/validate_against_published.py
+"""
+
+from repro.experiments.fig2_validation import (
+    data_parallel_scaling,
+    pipeline_parallel_scaling,
+)
+from repro.experiments.table2 import reproduce_table2
+from repro.experiments.table3 import reproduce_table3
+from repro.validation import MAX_PAPER_ERROR_PERCENT
+
+
+def main() -> None:
+    reports = []
+
+    result = data_parallel_scaling()
+    reports.append(result.report())
+    print(result.report().format_table())
+    print()
+
+    result = pipeline_parallel_scaling()
+    reports.append(result.report())
+    print(result.report().format_table())
+    print()
+
+    __, report = reproduce_table2()
+    reports.append(report)
+    print(report.format_table())
+    print()
+
+    __, report = reproduce_table3()
+    reports.append(report)
+    print(report.format_table())
+    print()
+
+    worst = max(report.max_error_percent for report in reports)
+    verdict = "PASS" if worst <= MAX_PAPER_ERROR_PERCENT else "FAIL"
+    print(f"[{verdict}] worst error across all validations: "
+          f"{worst:.2f}% (paper's claim: <= "
+          f"{MAX_PAPER_ERROR_PERCENT:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

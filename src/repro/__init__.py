@@ -1,0 +1,56 @@
+"""AMPeD — An Analytical Model for Performance in Distributed Training of
+Transformers (ISPASS 2023) — full reproduction.
+
+The top-level namespace re-exports the handful of names a typical study
+needs; the subpackages hold the rest:
+
+- :mod:`repro.core` — the analytical model (Eqs. 1-12).
+- :mod:`repro.transformer` — model descriptions and operation counts.
+- :mod:`repro.hardware` — accelerators, links, nodes, systems.
+- :mod:`repro.parallelism` — mappings, topology factors, efficiency.
+- :mod:`repro.collectives` — step-level collective simulator.
+- :mod:`repro.pipeline` — discrete-event pipeline-schedule simulator.
+- :mod:`repro.memory` / :mod:`repro.energy` — footprint and energy models.
+- :mod:`repro.search` — design-space exploration.
+- :mod:`repro.baselines` — roofline and ideal-scaling baselines.
+- :mod:`repro.validation` — published data and error reporting.
+- :mod:`repro.experiments` — every table and figure of the paper.
+- :mod:`repro.fitting` — efficiency-curve fitting and calibration.
+- :mod:`repro.hetero` — heterogeneous-accelerator pipelines.
+- :mod:`repro.sensitivity` — per-knob elasticity analysis.
+- :mod:`repro.cost` — dollars and CO2 for training runs.
+- :mod:`repro.network` — fat-tree fabrics behind the inter-node link.
+- :mod:`repro.runtime` — ramps, checkpointing, failure inflation.
+"""
+
+from repro.core.breakdown import TrainingEstimate, TrainingTimeBreakdown
+from repro.core.model import AMPeD
+from repro.core.zero import ZeroConfig
+from repro.hardware.accelerator import AcceleratorSpec
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.precision import PrecisionPolicy
+from repro.hardware.system import SystemSpec
+from repro.parallelism.microbatch import MicrobatchEfficiency
+from repro.parallelism.spec import ParallelismSpec, spec_from_totals
+from repro.transformer.config import MoEConfig, TransformerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMPeD",
+    "TrainingTimeBreakdown",
+    "TrainingEstimate",
+    "ZeroConfig",
+    "TransformerConfig",
+    "MoEConfig",
+    "AcceleratorSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "SystemSpec",
+    "PrecisionPolicy",
+    "ParallelismSpec",
+    "spec_from_totals",
+    "MicrobatchEfficiency",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Baseline performance models AMPeD is compared against."""
+
+from repro.baselines.amdahl import (
+    amdahl_scaling,
+    fitted_serial_fraction,
+    ideal_scaling,
+)
+from repro.baselines.roofline import (
+    RooflinePoint,
+    arithmetic_intensity,
+    roofline_batch_time,
+)
+
+__all__ = [
+    "RooflinePoint",
+    "roofline_batch_time",
+    "arithmetic_intensity",
+    "ideal_scaling",
+    "amdahl_scaling",
+    "fitted_serial_fraction",
+]

@@ -1,0 +1,67 @@
+"""Ideal and Amdahl scaling baselines.
+
+The validation figures (2a, 2b) plot normalized training time against
+worker count; the natural baselines are perfect ``1/N`` scaling and
+Amdahl's law with a serial fraction.  These give the reader (and the
+tests) reference curves to position AMPeD's predictions against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def ideal_scaling(workers: Sequence[int]) -> List[float]:
+    """Perfectly parallel normalized times: ``workers[0] / n``."""
+    _check_workers(workers)
+    base = workers[0]
+    return [base / n for n in workers]
+
+
+def amdahl_scaling(workers: Sequence[int],
+                   serial_fraction: float) -> List[float]:
+    """Amdahl normalized times with a fixed serial fraction ``f``:
+
+    ``t(n) = f + (1 - f) * base / n``, normalized so ``t(base) == 1``.
+    """
+    _check_workers(workers)
+    if not 0 <= serial_fraction < 1:
+        raise ConfigurationError(
+            f"serial_fraction must be in [0, 1), got {serial_fraction}")
+    base = workers[0]
+    return [serial_fraction + (1 - serial_fraction) * base / n
+            for n in workers]
+
+
+def fitted_serial_fraction(workers: Sequence[int],
+                           normalized_times: Sequence[float]) -> float:
+    """Least-squares Amdahl serial fraction through a measured curve.
+
+    For each point ``t(n) = f + (1 - f) x`` with ``x = base/n``; solving
+    the normal equation for ``f`` over all points gives the fit.  Useful
+    for summarizing how far a predicted curve is from ideal.
+    """
+    _check_workers(workers)
+    if len(workers) != len(normalized_times):
+        raise ConfigurationError(
+            f"lengths differ: {len(workers)} workers vs "
+            f"{len(normalized_times)} times")
+    base = workers[0]
+    num, den = 0.0, 0.0
+    for n, t in zip(workers, normalized_times):
+        x = base / n
+        num += (t - x) * (1 - x)
+        den += (1 - x) ** 2
+    if den == 0:
+        return 0.0
+    return min(max(num / den, 0.0), 1.0)
+
+
+def _check_workers(workers: Sequence[int]) -> None:
+    if not workers:
+        raise ConfigurationError("worker list must be non-empty")
+    if any(n < 1 for n in workers):
+        raise ConfigurationError(
+            f"worker counts must be >= 1, got {list(workers)}")

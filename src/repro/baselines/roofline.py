@@ -1,0 +1,87 @@
+"""Roofline baseline: the simplest credible time model.
+
+The roofline charges one batch ``max(flops / peak_compute,
+bytes / memory_bandwidth)`` per accelerator and ignores communication,
+parallelism interaction, bubbles and efficiency.  AMPeD's value over
+this baseline is precisely the gap the case studies explore; the
+benchmark harness reports both so the comparison is explicit (the role
+the related-work section assigns to simple predictors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import AcceleratorSpec
+from repro.hardware.precision import PrecisionPolicy
+from repro.transformer.config import TransformerConfig
+from repro.transformer.params import model_flops_per_batch, total_parameters
+from repro.units import BITS_PER_BYTE
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One roofline evaluation."""
+
+    compute_time_s: float
+    memory_time_s: float
+
+    @property
+    def time_s(self) -> float:
+        """The roofline bound: the larger of the two ceilings."""
+        return max(self.compute_time_s, self.memory_time_s)
+
+    @property
+    def compute_bound(self) -> bool:
+        """Whether the compute ceiling binds."""
+        return self.compute_time_s >= self.memory_time_s
+
+
+def roofline_batch_time(model: TransformerConfig,
+                        accelerator: AcceleratorSpec,
+                        precision: PrecisionPolicy,
+                        global_batch: int,
+                        n_accelerators: int,
+                        weight_reuse: float = None) -> RooflinePoint:
+    """Roofline time of one batch spread over ``n_accelerators``.
+
+    Memory traffic is approximated as one read of all weights plus one
+    write/read of activations per layer, amortized by ``weight_reuse``
+    (how many times a fetched weight is used — defaults to the batch's
+    token count, the ideal for large batches).
+    """
+    if n_accelerators < 1:
+        raise ConfigurationError(
+            f"n_accelerators must be >= 1, got {n_accelerators}")
+    if accelerator.memory_bandwidth_bits_per_s <= 0:
+        raise ConfigurationError(
+            f"{accelerator.name} has no memory bandwidth configured")
+    flops = model_flops_per_batch(model, global_batch)
+    compute_time = flops / (accelerator.peak_mac_flops_per_s
+                            * n_accelerators)
+
+    tokens = global_batch * model.sequence_length
+    if weight_reuse is None:
+        weight_reuse = float(tokens)
+    if weight_reuse < 1:
+        raise ConfigurationError(
+            f"weight_reuse must be >= 1, got {weight_reuse}")
+    weight_bits = total_parameters(model) * precision.parameter_bits
+    act_bits = (3.0 * tokens * model.hidden_size * model.n_layers
+                * precision.activation_bits)
+    traffic_bits = weight_bits * tokens / weight_reuse + act_bits
+    memory_time = traffic_bits / (
+        accelerator.memory_bandwidth_bits_per_s * n_accelerators)
+    return RooflinePoint(compute_time_s=compute_time,
+                         memory_time_s=memory_time)
+
+
+def arithmetic_intensity(model: TransformerConfig,
+                         global_batch: int,
+                         precision: PrecisionPolicy) -> float:
+    """FLOPs per byte of weight traffic — the roofline's x-axis."""
+    flops = model_flops_per_batch(model, global_batch)
+    weight_bytes = (total_parameters(model)
+                    * precision.parameter_bits / BITS_PER_BYTE)
+    return flops / weight_bytes

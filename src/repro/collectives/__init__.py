@@ -1,0 +1,43 @@
+"""Step-level collective-communication simulators.
+
+These simulators execute collectives round by round rather than through
+closed forms.  They serve two purposes in this reproduction:
+
+1. *verification* — property tests assert that the simulated volume
+   multipliers equal the topology factors of
+   :mod:`repro.parallelism.topology` for every rank count;
+2. *measurement substitute* — the Fig. 2a validation re-creates the
+   paper's in-house DP experiment by timing simulated gradient
+   all-reduces instead of real NCCL runs (see DESIGN.md,
+   "Substitutions").
+"""
+
+from repro.collectives.alltoall import simulate_pairwise_alltoall
+from repro.collectives.hierarchical import (
+    HierarchicalResult,
+    simulate_hierarchical_allreduce,
+)
+from repro.collectives.primitives import (
+    CollectiveResult,
+    Round,
+    even_shards,
+)
+from repro.collectives.ring import (
+    simulate_ring_allgather,
+    simulate_ring_allreduce,
+    simulate_ring_reduce_scatter,
+)
+from repro.collectives.tree import simulate_tree_allreduce
+
+__all__ = [
+    "Round",
+    "CollectiveResult",
+    "HierarchicalResult",
+    "even_shards",
+    "simulate_ring_allreduce",
+    "simulate_ring_reduce_scatter",
+    "simulate_ring_allgather",
+    "simulate_tree_allreduce",
+    "simulate_pairwise_alltoall",
+    "simulate_hierarchical_allreduce",
+]

@@ -1,0 +1,40 @@
+"""Step-level simulation of the pairwise-exchange all-to-all.
+
+Each of the ``N`` ranks holds ``N`` shards (one destined for every
+rank, itself included).  Pairwise exchange runs ``N - 1`` rounds; in
+round ``k`` rank ``i`` exchanges one shard with rank ``i XOR-shift k``
+(any fixed-point-free pairing works for cost purposes).  Per rank the
+collective moves ``(N - 1)/N`` of its payload — Eq. 9's ``T_MoE``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.collectives.primitives import (
+    CollectiveResult,
+    Round,
+    check_payload,
+    check_ranks,
+)
+from repro.hardware.interconnect import LinkSpec
+
+
+def simulate_pairwise_alltoall(payload_bits: float, n_ranks: int,
+                               link: LinkSpec) -> CollectiveResult:
+    """Simulate an all-to-all where each rank holds ``payload_bits``
+    destined for the group (``payload_bits / N`` per destination)."""
+    check_ranks(n_ranks)
+    check_payload(payload_bits)
+    rounds: List[Round] = []
+    if n_ranks > 1:
+        shard = payload_bits / n_ranks
+        rounds = [Round(shard, f"pairwise exchange {step + 1}")
+                  for step in range(n_ranks - 1)]
+    return CollectiveResult(
+        name="pairwise-alltoall",
+        n_ranks=n_ranks,
+        payload_bits=payload_bits,
+        rounds=tuple(rounds),
+        link=link,
+    )

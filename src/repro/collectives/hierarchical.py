@@ -1,0 +1,95 @@
+"""Step-level simulation of the hierarchical (two-level) all-reduce.
+
+§IV-B1 and §IV-F assume collectives are *hierarchical*: values are
+first reduced inside each node over the fast intra-node fabric, then
+across nodes over the NICs, then redistributed inside the node.  The
+standard construction:
+
+1. intra-node ring reduce-scatter — each of the ``n_intra`` node-local
+   ranks ends up owning a fully-node-reduced ``1/n_intra`` shard;
+2. inter-node ring all-reduce of each shard among the rank's peers in
+   the other nodes (``n_inter`` participants; all node-local shards
+   proceed concurrently over their own NICs);
+3. intra-node ring all-gather to rebuild the full payload everywhere.
+
+The inter-node phase therefore carries only ``payload / n_intra`` per
+NIC — the sharding assumption baked into Eq. 6/11's inter terms
+(see DESIGN.md, "hierarchical all-reduce sharding"), which this
+simulator verifies constructively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collectives.primitives import check_payload, check_ranks
+from repro.collectives.ring import (
+    simulate_ring_allgather,
+    simulate_ring_allreduce,
+    simulate_ring_reduce_scatter,
+)
+from repro.hardware.interconnect import LinkSpec
+
+
+@dataclass(frozen=True)
+class HierarchicalResult:
+    """Outcome of a two-level all-reduce simulation."""
+
+    intra_reduce_scatter_s: float
+    inter_allreduce_s: float
+    intra_allgather_s: float
+    n_intra: int
+    n_inter: int
+    payload_bits: float
+
+    @property
+    def time_s(self) -> float:
+        """Total wall-clock time: the three phases are sequential."""
+        return (self.intra_reduce_scatter_s + self.inter_allreduce_s
+                + self.intra_allgather_s)
+
+    @property
+    def inter_bits_per_nic(self) -> float:
+        """Payload the inter phase pushed through one NIC — the sharded
+        volume Eq. 6/11's inter terms assume."""
+        if self.n_inter <= 1:
+            return 0.0
+        factor = 2.0 * (self.n_inter - 1) / self.n_inter
+        return self.payload_bits / self.n_intra * factor
+
+
+def simulate_hierarchical_allreduce(payload_bits: float, n_intra: int,
+                                    n_inter: int, intra_link: LinkSpec,
+                                    inter_link: LinkSpec
+                                    ) -> HierarchicalResult:
+    """Simulate the two-level all-reduce described above.
+
+    ``n_intra`` ranks per node, ``n_inter`` nodes; degenerate levels
+    (degree 1) cost nothing, so the function also covers flat intra-only
+    or inter-only groups.
+    """
+    check_ranks(n_intra)
+    check_ranks(n_inter)
+    check_payload(payload_bits)
+
+    intra_rs = 0.0
+    intra_ag = 0.0
+    if n_intra > 1:
+        intra_rs = simulate_ring_reduce_scatter(
+            payload_bits, n_intra, intra_link).time_s
+        intra_ag = simulate_ring_allgather(
+            payload_bits, n_intra, intra_link).time_s
+
+    inter = 0.0
+    if n_inter > 1:
+        shard = payload_bits / n_intra
+        inter = simulate_ring_allreduce(shard, n_inter, inter_link).time_s
+
+    return HierarchicalResult(
+        intra_reduce_scatter_s=intra_rs,
+        inter_allreduce_s=inter,
+        intra_allgather_s=intra_ag,
+        n_intra=n_intra,
+        n_inter=n_inter,
+        payload_bits=payload_bits,
+    )

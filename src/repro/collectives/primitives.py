@@ -1,0 +1,103 @@
+"""Primitives shared by the step-level collective simulators.
+
+The simulators model a collective as a sequence of *rounds*.  In each
+round every participating rank sends and receives at most one message
+over its link; the round costs ``latency + bits / bandwidth`` for the
+largest message moved.  Summing rounds gives the collective's wall-clock
+time — the quantity the closed-form topology factors of
+:mod:`repro.parallelism.topology` approximate.
+
+Simulating at this granularity is deliberate: it is fine enough to
+verify the ``2(N-1)/N``-style factors including their latency terms, and
+coarse enough to run thousands of configurations in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import SimulationError
+from repro.hardware.interconnect import LinkSpec
+
+
+@dataclass(frozen=True)
+class Round:
+    """One communication round of a collective.
+
+    Attributes
+    ----------
+    bits_per_rank:
+        Payload each participating rank moves this round.
+    description:
+        What the round does ("reduce-scatter step 3", ...).
+    """
+
+    bits_per_rank: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bits_per_rank < 0:
+            raise SimulationError(
+                f"round payload must be non-negative, got "
+                f"{self.bits_per_rank}")
+
+    def duration(self, link: LinkSpec) -> float:
+        """Wall-clock time of this round over ``link``."""
+        return link.transfer_time(self.bits_per_rank)
+
+
+@dataclass(frozen=True)
+class CollectiveResult:
+    """Outcome of simulating one collective operation."""
+
+    name: str
+    n_ranks: int
+    payload_bits: float
+    rounds: Sequence[Round]
+    link: LinkSpec
+
+    @property
+    def n_rounds(self) -> int:
+        """Sequential communication steps executed."""
+        return len(self.rounds)
+
+    @property
+    def time_s(self) -> float:
+        """Total wall-clock time: the sum of round durations."""
+        return sum(r.duration(self.link) for r in self.rounds)
+
+    @property
+    def bits_moved_per_rank(self) -> float:
+        """Total payload a single rank pushed through its link."""
+        return sum(r.bits_per_rank for r in self.rounds)
+
+    @property
+    def effective_topology_factor(self) -> float:
+        """The simulated volume multiplier: bits moved per rank divided
+        by the payload — directly comparable to
+        :meth:`repro.parallelism.topology.CollectiveTopology.factor`."""
+        if self.payload_bits == 0:
+            return 0.0
+        return self.bits_moved_per_rank / self.payload_bits
+
+
+def check_ranks(n_ranks: int) -> None:
+    """Validate a rank count for the simulators."""
+    if not isinstance(n_ranks, int) or n_ranks < 1:
+        raise SimulationError(
+            f"rank count must be a positive integer, got {n_ranks!r}")
+
+
+def check_payload(payload_bits: float) -> None:
+    """Validate a payload size for the simulators."""
+    if payload_bits < 0:
+        raise SimulationError(
+            f"payload must be non-negative, got {payload_bits}")
+
+
+def even_shards(payload_bits: float, n_ranks: int) -> List[float]:
+    """Split a payload into ``n_ranks`` equal shards (floats, exact)."""
+    check_ranks(n_ranks)
+    check_payload(payload_bits)
+    return [payload_bits / n_ranks] * n_ranks

@@ -1,0 +1,44 @@
+"""Step-level simulation of the binary-tree all-reduce.
+
+``ceil(log2 N)`` reduce rounds up the tree followed by ``ceil(log2 N)``
+broadcast rounds down it.  Every round moves the *full* payload over the
+busiest link, which is why the tree is latency-optimal but
+bandwidth-suboptimal — exactly the trade-off
+:class:`repro.parallelism.topology.TreeAllReduce` encodes in closed
+form.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.collectives.primitives import (
+    CollectiveResult,
+    Round,
+    check_payload,
+    check_ranks,
+)
+from repro.hardware.interconnect import LinkSpec
+
+
+def simulate_tree_allreduce(payload_bits: float, n_ranks: int,
+                            link: LinkSpec) -> CollectiveResult:
+    """Simulate a binary-tree all-reduce (reduce + broadcast)."""
+    check_ranks(n_ranks)
+    check_payload(payload_bits)
+    rounds: List[Round] = []
+    if n_ranks > 1:
+        depth = math.ceil(math.log2(n_ranks))
+        for step in range(depth):
+            rounds.append(Round(payload_bits, f"reduce level {step + 1}"))
+        for step in range(depth):
+            rounds.append(Round(payload_bits,
+                                f"broadcast level {step + 1}"))
+    return CollectiveResult(
+        name="tree-allreduce",
+        n_ranks=n_ranks,
+        payload_bits=payload_bits,
+        rounds=tuple(rounds),
+        link=link,
+    )

@@ -1,0 +1,79 @@
+"""AMPeD's core: the analytical training-time model (Eqs. 1-12).
+
+The package-level import surface is the :class:`AMPeD` model plus the
+breakdown containers and the individual equation implementations for
+callers that want to compose them differently.
+"""
+
+from repro.core.breakdown import TrainingEstimate, TrainingTimeBreakdown
+from repro.core.bubbles import bubble_fraction, bubble_time
+from repro.core.communication import (
+    CommEnvironment,
+    backward_comm_time,
+    forward_comm_components,
+    forward_comm_time,
+    gradient_comm_components,
+    gradient_comm_time,
+    moe_comm_time,
+    pp_activation_count,
+    pp_comm_time,
+    tp_activation_count,
+    tp_comm_time,
+    zero_gather_components,
+    zero_gather_time,
+)
+from repro.core.compute import (
+    backward_compute_time,
+    forward_compute_time,
+    mac_time_per_op,
+    nonlinear_time_per_op,
+    weight_update_time,
+)
+from repro.core.metrics import (
+    best_configuration,
+    efficiency_of_scaling,
+    normalize_to_first,
+    speedups,
+)
+from repro.core.model import AMPeD
+from repro.core.operations import (
+    LayerOperations,
+    ModelOperations,
+    build_operations,
+)
+from repro.core.zero import NO_ZERO, ZeroConfig
+
+__all__ = [
+    "AMPeD",
+    "TrainingTimeBreakdown",
+    "TrainingEstimate",
+    "CommEnvironment",
+    "LayerOperations",
+    "ModelOperations",
+    "build_operations",
+    "mac_time_per_op",
+    "nonlinear_time_per_op",
+    "forward_compute_time",
+    "backward_compute_time",
+    "weight_update_time",
+    "tp_comm_time",
+    "pp_comm_time",
+    "moe_comm_time",
+    "forward_comm_time",
+    "forward_comm_components",
+    "backward_comm_time",
+    "gradient_comm_time",
+    "gradient_comm_components",
+    "zero_gather_time",
+    "zero_gather_components",
+    "tp_activation_count",
+    "pp_activation_count",
+    "bubble_time",
+    "bubble_fraction",
+    "ZeroConfig",
+    "NO_ZERO",
+    "normalize_to_first",
+    "speedups",
+    "efficiency_of_scaling",
+    "best_configuration",
+]

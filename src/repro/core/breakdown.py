@@ -1,0 +1,159 @@
+"""Training-time breakdown containers.
+
+Fig. 3 of the paper shows "a detailed breakdown of the time spent in
+computation and communication due to TP, PP, and DP individually" — this
+module is that capability.  A :class:`TrainingTimeBreakdown` holds the
+per-batch contribution of every Eq. 1 term; scaling by the batch count
+gives the run-level breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigurationError
+from repro.units import format_duration, seconds_to_days
+
+
+@dataclass(frozen=True)
+class TrainingTimeBreakdown:
+    """Per-batch training time split into Eq. 1's components (seconds).
+
+    Compute fields are *after* division by ``N_TP N_DP N_PP`` (i.e. the
+    wall-clock share of one worker); communication and bubble fields are
+    wall-clock collective/idle times, exactly as Eq. 1 adds them.
+    """
+
+    compute_forward: float = 0.0
+    compute_backward: float = 0.0
+    compute_weight_update: float = 0.0
+    comm_tp_intra: float = 0.0
+    comm_tp_inter: float = 0.0
+    comm_pp: float = 0.0
+    comm_moe: float = 0.0
+    comm_gradient_intra: float = 0.0
+    comm_gradient_inter: float = 0.0
+    comm_zero: float = 0.0
+    bubble: float = 0.0
+
+    def __post_init__(self) -> None:
+        for item in fields(self):
+            value = getattr(self, item.name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"{item.name} must be non-negative, got {value}")
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def compute_time(self) -> float:
+        """All computation: forward + backward + weight update."""
+        return (self.compute_forward + self.compute_backward
+                + self.compute_weight_update)
+
+    @property
+    def comm_tp(self) -> float:
+        """Tensor-parallel communication (both levels, fwd+bwd)."""
+        return self.comm_tp_intra + self.comm_tp_inter
+
+    @property
+    def comm_gradient(self) -> float:
+        """Data-parallel gradient all-reduce (both levels)."""
+        return self.comm_gradient_intra + self.comm_gradient_inter
+
+    @property
+    def comm_time(self) -> float:
+        """All communication terms of Eq. 1 (plus the explicit ZeRO-3
+        parameter gathers when that modeling is enabled)."""
+        return (self.comm_tp + self.comm_pp + self.comm_moe
+                + self.comm_gradient + self.comm_zero)
+
+    @property
+    def total(self) -> float:
+        """The full Eq. 1 bracket: compute + communication + bubbles."""
+        return self.compute_time + self.comm_time + self.bubble
+
+    # -- algebra --------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "TrainingTimeBreakdown":
+        """Every component multiplied by ``factor`` (e.g. ``N_batch``)."""
+        if factor < 0:
+            raise ConfigurationError(
+                f"scale factor must be non-negative, got {factor}")
+        return TrainingTimeBreakdown(**{
+            item.name: getattr(self, item.name) * factor
+            for item in fields(self)})
+
+    def __add__(self, other: "TrainingTimeBreakdown") -> "TrainingTimeBreakdown":
+        if not isinstance(other, TrainingTimeBreakdown):
+            return NotImplemented
+        return TrainingTimeBreakdown(**{
+            item.name: getattr(self, item.name) + getattr(other, item.name)
+            for item in fields(self)})
+
+    # -- presentation ----------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Raw component values, keyed by field name."""
+        return {item.name: getattr(self, item.name)
+                for item in fields(self)}
+
+    def summary_dict(self) -> dict:
+        """Fig. 3's categories: computation, TP/PP/MoE/DP communication,
+        bubble."""
+        return {
+            "compute": self.compute_time,
+            "tp_comm": self.comm_tp,
+            "pp_comm": self.comm_pp,
+            "moe_comm": self.comm_moe,
+            "dp_comm": self.comm_gradient,
+            "zero_comm": self.comm_zero,
+            "bubble": self.bubble,
+        }
+
+    def format_table(self, title: str = "training time breakdown") -> str:
+        """A small aligned text table of the Fig. 3 categories."""
+        rows = self.summary_dict()
+        total = self.total
+        width = max(len(k) for k in rows)
+        lines = [title, "-" * len(title)]
+        for key, value in rows.items():
+            share = 0.0 if total == 0 else 100.0 * value / total
+            lines.append(f"{key.ljust(width)}  {format_duration(value):>12}"
+                         f"  {share:6.2f}%")
+        lines.append(f"{'total'.ljust(width)}  "
+                     f"{format_duration(total):>12}  100.00%")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TrainingEstimate:
+    """A full-run estimate: per-batch breakdown times the batch count."""
+
+    per_batch: TrainingTimeBreakdown
+    n_batches: int
+
+    def __post_init__(self) -> None:
+        if self.n_batches < 1:
+            raise ConfigurationError(
+                f"n_batches must be >= 1, got {self.n_batches}")
+
+    @property
+    def batch_time_s(self) -> float:
+        """Seconds per training batch."""
+        return self.per_batch.total
+
+    @property
+    def total_time_s(self) -> float:
+        """Seconds for the whole run (Eq. 1's ``N_batch`` scaling)."""
+        return self.per_batch.total * self.n_batches
+
+    @property
+    def total_time_days(self) -> float:
+        """Run length in days — the case studies' reporting unit."""
+        return seconds_to_days(self.total_time_s)
+
+    @property
+    def breakdown(self) -> TrainingTimeBreakdown:
+        """Run-level breakdown (per-batch components times N_batch)."""
+        return self.per_batch.scaled(self.n_batches)

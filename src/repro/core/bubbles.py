@@ -1,0 +1,102 @@
+"""Pipeline-bubble waiting time: Eq. 8.
+
+A pipeline of ``N_PP`` stages fed ``N_ub`` microbatches idles for
+``N_PP - 1`` step times while filling and draining.  Eq. 8 expresses the
+per-layer waiting time as
+
+    W(l) = R * (N_PP - 1) / N_ub
+         * [ (U_f(l) + U_b(l)) / (L * N_TP * N_DP * N_PP)
+             + M_b(l) + M_f(l) ]
+
+``R`` is the overlap ratio: 1 for naive/GPipe schedules, below 1 for
+interleaved schedules that hide part of the bubble (the paper sets R = 1
+for its Table II estimates and attributes the growing error at deep PP
+to exactly this).  Weight updates and the gradient all-reduce happen
+outside the pipeline and do not appear here.
+
+Two interpretations of the compute term are provided:
+
+- ``"physical"`` (default): drop Eq. 8's ``1/L`` on the compute term, so
+  the layer sum of ``W(l)`` equals the classic bubble bound — idle
+  fraction ``(N_PP - 1) / N_ub`` times the per-worker batch compute
+  time.  This is what the discrete-event pipeline simulator measures and
+  what the GPipe speedups of Table III require.
+- ``"eq8"``: the equation exactly as printed, whose ``1/L`` makes
+  bubbles nearly negligible for deep models (consistent with the
+  paper's Fig. 3 narrative of "negligible" bubbles).
+
+The communication term is common to both modes: summed over layers it
+charges ``(N_PP - 1)`` per-microbatch communication steps, which is the
+physically correct fill/drain cost (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.parallelism.spec import ParallelismSpec
+
+#: Recognized bubble-model interpretations.
+BUBBLE_MODELS = ("physical", "eq8")
+
+
+def bubble_time(forward_compute: float, backward_compute: float,
+                forward_comm: float, backward_comm: float,
+                n_layers: int, parallelism: ParallelismSpec,
+                model: str = "physical") -> float:
+    """``W(l)`` (Eq. 8) for one layer.
+
+    Parameters
+    ----------
+    forward_compute, backward_compute:
+        ``U_f(l)`` and ``U_b(l)`` — global-batch compute times of the
+        layer (Eq. 8 scales them down by the worker count).
+    forward_comm, backward_comm:
+        ``M_f(l)`` and ``M_b(l)`` — per-layer communication as it enters
+        Eq. 1 (pipeline-stage concurrency already applied by the caller).
+    n_layers:
+        ``L``, total transformer layers.
+    parallelism:
+        Supplies ``N_PP``, ``N_ub``, worker counts and the overlap
+        ratio ``R``.
+    model:
+        ``"physical"`` or ``"eq8"`` (see module docstring).
+    """
+    if n_layers < 1:
+        raise ConfigurationError(
+            f"n_layers must be >= 1, got {n_layers}")
+    if model not in BUBBLE_MODELS:
+        raise ConfigurationError(
+            f"bubble model must be one of {BUBBLE_MODELS}, got {model!r}")
+    for name, value in (("forward_compute", forward_compute),
+                        ("backward_compute", backward_compute),
+                        ("forward_comm", forward_comm),
+                        ("backward_comm", backward_comm)):
+        if value < 0:
+            raise ConfigurationError(
+                f"{name} must be non-negative, got {value}")
+
+    n_pp = parallelism.pp
+    if n_pp <= 1:
+        return 0.0
+    n_ub = parallelism.microbatches
+    compute_divisor = parallelism.tp * parallelism.dp * n_pp
+    if model == "eq8":
+        compute_divisor *= n_layers
+    step_time = ((forward_compute + backward_compute) / compute_divisor
+                 + backward_comm + forward_comm)
+    return (parallelism.bubble_overlap_ratio
+            * (n_pp - 1) / n_ub * step_time)
+
+
+def bubble_fraction(parallelism: ParallelismSpec) -> float:
+    """The classic bubble-fraction bound ``R (N_PP - 1) / N_ub`` — the
+    share of pipeline time spent idle when step durations are uniform.
+
+    Case Study II quotes this directly ("pipeline bubbles (~11% in this
+    case)"); it is also what the discrete-event pipeline simulator
+    measures empirically.
+    """
+    if parallelism.pp <= 1:
+        return 0.0
+    return (parallelism.bubble_overlap_ratio
+            * (parallelism.pp - 1) / parallelism.microbatches)

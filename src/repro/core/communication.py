@@ -1,0 +1,369 @@
+"""Communication-time estimators: Eqs. 5, 6, 7, 9, 10 and 11.
+
+The estimators share a :class:`CommEnvironment` bundling the system, the
+parallelism mapping, the precision policy and the collective topologies.
+All per-layer results are for one *global batch* traversal of that layer,
+mirroring Eq. 1's accounting (communication terms are not divided by the
+worker count — they describe wall-clock collectives).
+
+Volume conventions (§IV-B):
+
+- TP all-reduces move ``N_act,TP = 2 b s h`` activations per layer
+  (two all-reduce steps — attention and MLP — of ``b s h`` each), where
+  ``b`` is the per-DP-replica batch.
+- PP moves ``N_act,PP = b s h`` activations per stage boundary; the
+  ``1/L`` prefactor of Eq. 7 spreads the (layer-count-independent)
+  pipeline communication over the per-layer sum of Eq. 1.
+- MoE dispatch/combine moves ``2 N_act,MoE = 2 b s h`` activations per
+  expert layer, split between intra- and inter-node destinations by the
+  uniform-routing probabilities of Eq. 9.
+- The DP gradient all-reduce moves each layer's gradients, hierarchically
+  (intra-node then inter-node, Eq. 10); with tensor parallelism each TP
+  rank only reduces its own ``1/N_TP`` weight shard, so the volume is
+  ``N_g(l) = parameters(l) / N_TP``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.precision import PrecisionPolicy
+from repro.hardware.system import SystemSpec
+from repro.parallelism.spec import ParallelismSpec
+from repro.parallelism.topology import (
+    PAIRWISE_ALLTOALL,
+    RING,
+    CollectiveTopology,
+)
+from repro.transformer.config import TransformerConfig
+
+
+@dataclass(frozen=True)
+class CommEnvironment:
+    """Everything the communication equations need besides the layer.
+
+    Parameters
+    ----------
+    system, parallelism, precision:
+        The hardware, the mapping, and the operand widths.
+    intra_topology, inter_topology:
+        Collective topology for intra-node and inter-node all-reduces
+        (ring by default, the paper's worked example).
+    moe_topology:
+        All-to-all topology for expert dispatch (pairwise exchange by
+        default, ``T_MoE = (N_nodes - 1) / N_nodes``).
+    zero_forward_overhead:
+        ``M_f_DP`` — Eq. 5's ZeRO overhead factor (0 for plain DP).
+    moe_volume_multiplier:
+        Scales the MoE all-to-all volume; 1.0 follows the paper
+        (``N_act,MoE = N_act,PP``), while ``top_k * capacity_factor``
+        models GShard-style over-dispatch.
+    moe_tp_sharding:
+        When tensor parallelism is active, each TP rank dispatches only
+        its ``1/N_TP`` hidden-dimension shard of every routed token, so
+        the per-accelerator all-to-all volume divides by ``N_TP``
+        (default).  Disable for a literal reading of Eq. 9, whose
+        volume is independent of the TP degree.
+    """
+
+    system: SystemSpec
+    parallelism: ParallelismSpec
+    precision: PrecisionPolicy
+    intra_topology: CollectiveTopology = RING
+    inter_topology: CollectiveTopology = RING
+    moe_topology: CollectiveTopology = PAIRWISE_ALLTOALL
+    zero_forward_overhead: float = 0.0
+    moe_volume_multiplier: float = 1.0
+    moe_tp_sharding: bool = True
+
+    def __post_init__(self) -> None:
+        if self.zero_forward_overhead < 0:
+            raise ConfigurationError(
+                f"zero_forward_overhead must be non-negative, got "
+                f"{self.zero_forward_overhead}")
+        if self.moe_volume_multiplier <= 0:
+            raise ConfigurationError(
+                f"moe_volume_multiplier must be positive, got "
+                f"{self.moe_volume_multiplier}")
+
+    @property
+    def intra_link(self) -> LinkSpec:
+        """The intra-node fabric link."""
+        return self.system.node.intra_link
+
+    @property
+    def inter_link(self) -> LinkSpec:
+        """The inter-node link as seen by one accelerator (its share of
+        the node's aggregate NIC bandwidth)."""
+        return self.system.node.effective_inter_link
+
+
+# ---------------------------------------------------------------------------
+# Activation volumes (§IV-B1, §IV-B2, §IV-D)
+# ---------------------------------------------------------------------------
+
+
+def tp_activation_count(model: TransformerConfig,
+                        replica_batch: float) -> float:
+    """``N_act,TP(l) = 2 b s h`` activations all-reduced per layer."""
+    return 2.0 * replica_batch * model.sequence_length * model.hidden_size
+
+
+def pp_activation_count(model: TransformerConfig,
+                        replica_batch: float) -> float:
+    """``N_act,PP(l) = b s h`` activations crossing a stage boundary."""
+    return replica_batch * model.sequence_length * model.hidden_size
+
+
+# ---------------------------------------------------------------------------
+# Eq. 6 — tensor-parallel all-reduce
+# ---------------------------------------------------------------------------
+
+
+def tp_comm_time(env: CommEnvironment, model: TransformerConfig,
+                 replica_batch: float, level: str) -> float:
+    """Eq. 6: TP all-reduce time per layer at ``level``.
+
+    ``M_f,TP = C * T * N_TP + N_act,TP * S_act / BW * T``
+
+    ``level`` is ``"intra"`` or ``"inter"``; a degree of 1 at that level
+    costs nothing (the topology factor vanishes).
+
+    For the inter-node phase of a *hierarchical* all-reduce (§IV-B1:
+    "activations are first reduced within the node and then across
+    nodes"), the intra phase leaves each of the ``tp_intra`` node-local
+    ranks holding a ``1/tp_intra`` shard, so each rank's NIC carries
+    only its shard across nodes — the inter volume is divided by
+    ``tp_intra``.  With ``tp_intra == 1`` no sharding is possible and
+    the full payload crosses the rank's NIC.
+    """
+    if level == "intra":
+        participants = env.parallelism.tp_intra
+        link, topology = env.intra_link, env.intra_topology
+        shard = 1
+    elif level == "inter":
+        participants = env.parallelism.tp_inter
+        link, topology = env.inter_link, env.inter_topology
+        shard = env.parallelism.tp_intra
+    else:
+        raise ConfigurationError(
+            f"level must be 'intra' or 'inter', got {level!r}")
+    if participants <= 1:
+        return 0.0
+    n_act = tp_activation_count(model, replica_batch) / shard
+    latency = topology.latency_term(link.latency_s, participants)
+    volume = topology.volume_term(n_act, env.precision.activation_bits,
+                                  link.bandwidth_bits_per_s, participants)
+    return latency + volume
+
+
+# ---------------------------------------------------------------------------
+# Eq. 7 — pipeline-parallel point-to-point
+# ---------------------------------------------------------------------------
+
+
+def pp_comm_time(env: CommEnvironment, model: TransformerConfig,
+                 replica_batch: float, level: str) -> float:
+    """Eq. 7: PP stage-boundary communication, expressed per layer.
+
+    ``M_f,PP = (1/L) [C + N_act,PP * S_act / BW]``
+
+    Pipeline links are one-to-one, so no topology factor applies, and
+    the ``1/L`` spreads the layer-count-independent cost over Eq. 1's
+    per-layer sum.  A degree of 1 at the level costs nothing.
+    """
+    if level == "intra":
+        degree, link = env.parallelism.pp_intra, env.intra_link
+    elif level == "inter":
+        degree, link = env.parallelism.pp_inter, env.inter_link
+    else:
+        raise ConfigurationError(
+            f"level must be 'intra' or 'inter', got {level!r}")
+    if degree <= 1:
+        return 0.0
+    n_act = pp_activation_count(model, replica_batch)
+    n_bits = n_act * env.precision.activation_bits
+    return (link.latency_s + n_bits / link.bandwidth_bits_per_s) \
+        / model.n_layers
+
+
+# ---------------------------------------------------------------------------
+# Eq. 9 — Mixture-of-Experts all-to-all
+# ---------------------------------------------------------------------------
+
+
+def moe_comm_time(env: CommEnvironment, model: TransformerConfig,
+                  replica_batch: float) -> float:
+    """Eq. 9: the two all-to-alls (dispatch + combine) of an expert layer.
+
+    ``M_f,MoE = 2 C_inter T_MoE N_nodes
+      + 2 N_act,MoE S_act T_MoE [1/(N_nodes BW_intra)
+                                 + (N_nodes - 1)/(N_nodes BW_inter)]``
+
+    With uniform routing and perfect load balance a token lands in the
+    sender's own node with probability ``1/N_nodes`` (intra-node hop) and
+    elsewhere with probability ``(N_nodes - 1)/N_nodes`` (inter-node hop).
+    """
+    n_nodes = env.system.n_nodes
+    if n_nodes <= 1:
+        return 0.0
+    factor = env.moe_topology.factor(n_nodes)
+    n_act = (pp_activation_count(model, replica_batch)
+             * env.moe_volume_multiplier)
+    if env.moe_tp_sharding:
+        n_act /= env.parallelism.tp
+    s_act = env.precision.activation_bits
+    latency = 2.0 * env.inter_link.latency_s * factor * n_nodes
+    volume = 2.0 * n_act * s_act * factor * (
+        1.0 / (n_nodes * env.intra_link.bandwidth_bits_per_s)
+        + (n_nodes - 1.0)
+        / (n_nodes * env.inter_link.bandwidth_bits_per_s))
+    return latency + volume
+
+
+# ---------------------------------------------------------------------------
+# Eq. 5 — forward-pass communication per layer
+# ---------------------------------------------------------------------------
+
+
+def forward_comm_components(env: CommEnvironment, model: TransformerConfig,
+                            replica_batch: float,
+                            layer_is_moe: bool) -> dict:
+    """The individual terms of Eq. 5 for one layer, ZeRO factor applied.
+
+    Returns a dict with keys ``tp_intra``, ``tp_inter``, ``pp``, ``moe``
+    whose values sum to ``M_f(l)``.
+    """
+    scale = 1.0 + env.zero_forward_overhead
+    tp_intra = tp_comm_time(env, model, replica_batch, "intra")
+    tp_inter = tp_comm_time(env, model, replica_batch, "inter")
+    pp = max(pp_comm_time(env, model, replica_batch, "intra"),
+             pp_comm_time(env, model, replica_batch, "inter"))
+    moe = 0.0
+    if layer_is_moe and env.parallelism.expert_parallel:
+        moe = moe_comm_time(env, model, replica_batch)
+    return {
+        "tp_intra": scale * tp_intra,
+        "tp_inter": scale * tp_inter,
+        "pp": scale * pp,
+        "moe": scale * moe,
+    }
+
+
+def forward_comm_time(env: CommEnvironment, model: TransformerConfig,
+                      replica_batch: float, layer_is_moe: bool) -> float:
+    """``M_f(l)`` (Eq. 5): total forward communication of one layer."""
+    return sum(forward_comm_components(
+        env, model, replica_batch, layer_is_moe).values())
+
+
+def backward_comm_time(env: CommEnvironment, model: TransformerConfig,
+                       replica_batch: float, layer_is_moe: bool,
+                       volume_ratio: float = 1.0) -> float:
+    """``M_b(l)`` (§IV-E): backward communication mirrors the forward
+    pass with activations replaced by errors of the same shape; the
+    optional ``volume_ratio`` scales it for asymmetric schemes."""
+    if volume_ratio < 0:
+        raise ConfigurationError(
+            f"volume_ratio must be non-negative, got {volume_ratio}")
+    return volume_ratio * forward_comm_time(env, model, replica_batch,
+                                            layer_is_moe)
+
+
+# ---------------------------------------------------------------------------
+# Eqs. 10-11 — gradient all-reduce
+# ---------------------------------------------------------------------------
+
+
+def gradient_comm_components(env: CommEnvironment,
+                             layer_parameters: float) -> dict:
+    """Eq. 10's two terms for one layer: hierarchical all-reduce of the
+    layer's gradients, first among intra-node DP ranks, then across
+    nodes.
+
+    Each TP rank reduces only its own weight shard, so the per-rank
+    gradient count is ``N_g(l) = parameters(l) / N_TP``; the inter-node
+    phase of the hierarchical reduction additionally carries only a
+    ``1/dp_intra`` shard per NIC (the intra phase reduce-scatters the
+    payload across the node's DP ranks).
+    """
+    if layer_parameters < 0:
+        raise ConfigurationError(
+            f"layer_parameters must be non-negative, got "
+            f"{layer_parameters}")
+    n_g = layer_parameters / env.parallelism.tp
+    s_g = env.precision.gradient_bits
+    components = {"intra": 0.0, "inter": 0.0}
+    if env.parallelism.dp_intra > 1:
+        components["intra"] = (
+            env.intra_topology.latency_term(env.intra_link.latency_s,
+                                            env.parallelism.dp_intra)
+            + env.intra_topology.volume_term(
+                n_g, s_g, env.intra_link.bandwidth_bits_per_s,
+                env.parallelism.dp_intra))
+    if env.parallelism.dp_inter > 1:
+        components["inter"] = (
+            env.inter_topology.latency_term(env.inter_link.latency_s,
+                                            env.parallelism.dp_inter)
+            + env.inter_topology.volume_term(
+                n_g / env.parallelism.dp_intra, s_g,
+                env.inter_link.bandwidth_bits_per_s,
+                env.parallelism.dp_inter))
+    return components
+
+
+def gradient_comm_time(env: CommEnvironment,
+                       layer_parameters: float) -> float:
+    """``M_g(l)`` (Eq. 10): hierarchical gradient all-reduce time."""
+    return sum(gradient_comm_components(env, layer_parameters).values())
+
+
+# ---------------------------------------------------------------------------
+# ZeRO-3 explicit parameter gathering (extension beyond Eq. 5's factor)
+# ---------------------------------------------------------------------------
+
+
+def zero_gather_components(env: CommEnvironment,
+                           layer_parameters: float) -> dict:
+    """Per-layer ZeRO-3 parameter all-gather time (one gather; the
+    caller charges it once for the forward and once for the backward
+    pass).
+
+    The paper folds ZeRO into Eq. 5's ``(1 + M_f_DP)`` factor; this
+    models it explicitly instead: a hierarchical all-gather of the
+    layer's TP-sharded parameters across the DP dimension, using the
+    same ring topology and sharding conventions as the gradient
+    all-reduce of Eqs. 10-11 but **half** the ring volume (all-gather
+    is one phase where all-reduce is two).
+    """
+    if layer_parameters < 0:
+        raise ConfigurationError(
+            f"layer_parameters must be non-negative, got "
+            f"{layer_parameters}")
+    n_values = layer_parameters / env.parallelism.tp
+    bits = env.precision.parameter_bits
+    components = {"intra": 0.0, "inter": 0.0}
+    if env.parallelism.dp_intra > 1:
+        components["intra"] = 0.5 * (
+            env.intra_topology.latency_term(env.intra_link.latency_s,
+                                            env.parallelism.dp_intra)
+            + env.intra_topology.volume_term(
+                n_values, bits, env.intra_link.bandwidth_bits_per_s,
+                env.parallelism.dp_intra))
+    if env.parallelism.dp_inter > 1:
+        components["inter"] = 0.5 * (
+            env.inter_topology.latency_term(env.inter_link.latency_s,
+                                            env.parallelism.dp_inter)
+            + env.inter_topology.volume_term(
+                n_values / env.parallelism.dp_intra, bits,
+                env.inter_link.bandwidth_bits_per_s,
+                env.parallelism.dp_inter))
+    return components
+
+
+def zero_gather_time(env: CommEnvironment,
+                     layer_parameters: float) -> float:
+    """Total per-layer ZeRO-3 parameter-gather time (one gather)."""
+    return sum(zero_gather_components(env, layer_parameters).values())

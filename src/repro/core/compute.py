@@ -1,0 +1,107 @@
+"""Computation-time estimators: Eqs. 2, 3, 4 and 12.
+
+All functions return the time for the *global-batch* operation counts of
+one layer on *one* accelerator running at the given microbatch
+efficiency; Eq. 1 divides the result by ``N_TP * N_DP * N_PP`` to account
+for the work actually landing on each worker.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import AcceleratorSpec
+from repro.hardware.precision import PrecisionPolicy, precision_passes
+from repro.core.operations import LayerOperations
+from repro.units import FLOPS_PER_MAC
+
+
+def mac_time_per_op(accelerator: AcceleratorSpec,
+                    efficiency: float) -> float:
+    """``C_MAC`` (Eq. 3): seconds per MAC-pipeline FLOP at ``efficiency``.
+
+    ``C_MAC = (f * N_cores * N_FU * W_FU * eff(ub))^-1``
+    """
+    if not 0 < efficiency <= 1:
+        raise ConfigurationError(
+            f"efficiency must be in (0, 1], got {efficiency}")
+    return 1.0 / (accelerator.peak_mac_flops_per_s * efficiency)
+
+
+def nonlinear_time_per_op(accelerator: AcceleratorSpec) -> float:
+    """``C_nonlin`` (Eq. 4): seconds per non-linear operation.
+
+    ``C_nonlin = (f * N_FU_nonlin * W_FU_nonlin)^-1``; no efficiency
+    derating — the paper applies ``eff(ub)`` to the MAC pipeline only.
+    """
+    return 1.0 / accelerator.peak_nonlinear_ops_per_s
+
+
+def forward_compute_time(layer: LayerOperations,
+                         accelerator: AcceleratorSpec,
+                         precision: PrecisionPolicy,
+                         efficiency: float) -> float:
+    """``U_f(l)`` (Eq. 2): forward compute time of layer ``l``.
+
+    Sums over the layer's sublayers ``i``:
+
+    ``N_MAC(l,i) * C_MAC * ceil(max(S_p, S_act) / S_FU_MAC)
+      + N_nonlin(l,i) * C_nonlin * ceil(S_nonlin / S_FU_nonlin)``
+
+    The precision ceilings model a functional unit making multiple passes
+    over operands wider than its native width.
+    """
+    c_mac = mac_time_per_op(accelerator, efficiency)
+    c_nonlin = nonlinear_time_per_op(accelerator)
+    mac_passes = precision_passes(precision.mac_operand_bits,
+                                  accelerator.mac_fu_bits)
+    nonlin_passes = precision_passes(precision.nonlinear_bits,
+                                     accelerator.nonlinear_fu_bits)
+    total = 0.0
+    for sublayer in layer.sublayers:
+        total += sublayer.mac_flops * c_mac * mac_passes
+        total += sublayer.nonlinear_ops * c_nonlin * nonlin_passes
+    return total
+
+
+def backward_compute_time(layer: LayerOperations,
+                          accelerator: AcceleratorSpec,
+                          precision: PrecisionPolicy,
+                          efficiency: float,
+                          backward_multiplier: float = 2.0) -> float:
+    """``U_b(l)`` (§IV-E): backward compute as a multiple of forward.
+
+    The backward pass computes gradients with respect to both inputs and
+    weights, costing ~2x the forward matmuls; the multiplier is exposed
+    for studies (e.g. activation recomputation adds another forward,
+    making it 3.0).
+    """
+    if backward_multiplier < 0:
+        raise ConfigurationError(
+            f"backward_multiplier must be non-negative, got "
+            f"{backward_multiplier}")
+    forward = forward_compute_time(layer, accelerator, precision,
+                                   efficiency)
+    return forward * backward_multiplier
+
+
+def weight_update_time(layer: LayerOperations,
+                       accelerator: AcceleratorSpec,
+                       precision: PrecisionPolicy,
+                       efficiency: float,
+                       optimizer_macs_per_parameter: float = 1.0) -> float:
+    """``U_w(l)`` (Eq. 12): time to apply the optimizer step to layer ``l``.
+
+    The paper multiplies the layer's weight count by the MAC reciprocal
+    (one MAC per weight — plain SGD).  ``optimizer_macs_per_parameter``
+    scales that for richer optimizers (Adam performs a handful of
+    elementwise operations per weight).
+    """
+    if optimizer_macs_per_parameter < 0:
+        raise ConfigurationError(
+            f"optimizer_macs_per_parameter must be non-negative, got "
+            f"{optimizer_macs_per_parameter}")
+    c_mac = mac_time_per_op(accelerator, efficiency)
+    mac_passes = precision_passes(precision.parameter_bits,
+                                  accelerator.mac_fu_bits)
+    flops = layer.parameters * optimizer_macs_per_parameter * FLOPS_PER_MAC
+    return flops * c_mac * mac_passes

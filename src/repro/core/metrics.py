@@ -1,0 +1,58 @@
+"""Derived metrics and series helpers.
+
+The paper reports results in three currencies: absolute training time
+(days, case studies), normalized training time / speedup (validation
+figures, Table III), and achieved TFLOP/s per GPU (Table II, Fig. 2c).
+This module holds the small amount of arithmetic shared by all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def normalize_to_first(values: Sequence[float]) -> List[float]:
+    """Each value divided by the first — 'normalized training time with
+    respect to the time on the smallest configuration' (Fig. 2a/2b)."""
+    if not values:
+        raise ConfigurationError("cannot normalize an empty series")
+    first = values[0]
+    if first == 0:
+        raise ConfigurationError("first value is zero; cannot normalize")
+    return [value / first for value in values]
+
+
+def speedups(times: Sequence[float]) -> List[float]:
+    """Throughput speedup of each entry relative to the first
+    (Table III's convention: time(first) / time(entry))."""
+    if not times:
+        raise ConfigurationError("cannot compute speedups of an empty series")
+    first = times[0]
+    if any(t <= 0 for t in times):
+        raise ConfigurationError(f"times must be positive, got {list(times)}")
+    return [first / t for t in times]
+
+
+def efficiency_of_scaling(times: Sequence[float],
+                          workers: Sequence[int]) -> List[float]:
+    """Parallel efficiency: achieved speedup over ideal speedup."""
+    if len(times) != len(workers):
+        raise ConfigurationError(
+            f"times ({len(times)}) and workers ({len(workers)}) must have "
+            f"equal length")
+    gains = speedups(times)
+    base = workers[0]
+    if base <= 0:
+        raise ConfigurationError(f"worker counts must be positive: {workers}")
+    return [gain / (count / base) for gain, count in zip(gains, workers)]
+
+
+def best_configuration(results: Dict) -> tuple:
+    """The (key, value) pair with the smallest value — used by sweeps to
+    pick the fastest mapping."""
+    if not results:
+        raise ConfigurationError("cannot pick the best of an empty sweep")
+    key = min(results, key=results.get)
+    return key, results[key]

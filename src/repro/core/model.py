@@ -1,0 +1,322 @@
+"""The AMPeD model: Eq. 1 assembled from its parts.
+
+:class:`AMPeD` binds a transformer, a system, a parallelism mapping, a
+precision policy and an efficiency fit, and evaluates
+
+    Time = N_batch * sum_l [ (U_f(l) + U_b(l) + U_w(l)) / (N_TP N_DP N_PP)
+                             + M_f(l) + M_b(l) + M_g(l) + W(l) ]
+
+returning the result as a :class:`TrainingTimeBreakdown` so every term
+stays inspectable (the paper's Fig. 3 capability).
+
+Typical use::
+
+    from repro import AMPeD
+    from repro.hardware import megatron_a100_cluster
+    from repro.transformer import MEGATRON_145B
+    from repro.parallelism import spec_from_totals, CASE_STUDY_EFFICIENCY
+
+    system = megatron_a100_cluster()
+    amped = AMPeD(
+        model=MEGATRON_145B,
+        system=system,
+        parallelism=spec_from_totals(system, tp=8, pp=8, dp=16),
+        efficiency=CASE_STUDY_EFFICIENCY,
+    )
+    estimate = amped.estimate(global_batch=2048, n_batches=10_000)
+    print(estimate.total_time_days)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.breakdown import TrainingEstimate, TrainingTimeBreakdown
+from repro.core.bubbles import bubble_time
+from repro.core.communication import (
+    CommEnvironment,
+    forward_comm_components,
+    gradient_comm_components,
+    zero_gather_time,
+)
+from repro.core.compute import (
+    backward_compute_time,
+    forward_compute_time,
+    weight_update_time,
+)
+from repro.core.operations import build_operations
+from repro.core.zero import NO_ZERO, ZeroConfig
+from repro.errors import ConfigurationError
+from repro.hardware.precision import MIXED_FP16, PrecisionPolicy
+from repro.hardware.system import SystemSpec
+from repro.parallelism.microbatch import (
+    MicrobatchEfficiency,
+    microbatch_size,
+    replica_batch_size,
+)
+from repro.parallelism.spec import ParallelismSpec, spec_from_totals
+from repro.parallelism.topology import (
+    PAIRWISE_ALLTOALL,
+    RING,
+    CollectiveTopology,
+)
+from repro.transformer.config import TransformerConfig
+from repro.transformer.params import model_flops_per_batch
+from repro.units import to_teraflops
+
+
+@dataclass(frozen=True)
+class AMPeD:
+    """The analytical model, fully configured for one scenario.
+
+    Parameters beyond the obvious:
+
+    backward_compute_multiplier:
+        ``U_b / U_f`` (2.0 standard; 3.0 models activation
+        recomputation).
+    backward_comm_ratio:
+        ``M_b / M_f`` (1.0: errors mirror activations).
+    optimizer_macs_per_parameter:
+        MACs per weight in Eq. 12 (1.0 = the paper's plain update).
+    include_embeddings:
+        Fold embedding + vocabulary-projection compute (and their
+        gradient all-reduce) into the estimate as a pseudo-layer.
+    concurrent_stage_comm:
+        With pipeline parallelism each layer lives on exactly one stage,
+        and different stages execute their TP/MoE all-reduces and DP
+        gradient reductions concurrently, so Eq. 1's per-layer sum of
+        those terms is divided by ``N_PP`` (wall-clock = one stage's
+        share).  Disable for a literal reading of Eq. 1.  Eq. 7's PP
+        term carries its own ``1/L`` concurrency accounting and is
+        never rescaled.
+    bubble_model:
+        ``"physical"`` (classic bubble bound; default) or ``"eq8"``
+        (the printed equation, whose extra ``1/L`` makes bubbles nearly
+        negligible for deep models) — see :mod:`repro.core.bubbles`.
+    comm_overlap_fraction:
+        Fraction of communication time hidden behind computation
+        (0 = AMPeD's fully-exposed default; modern frameworks overlap
+        the DP gradient all-reduce and parts of the TP traffic with
+        compute, approaching ~0.5-0.8).  Applied uniformly to every
+        communication component; bubbles are computed from the exposed
+        share.
+    zero:
+        ZeRO stage; contributes Eq. 5's ``(1 + M_f_DP)`` factor.
+    zero_explicit_comm:
+        When the ZeRO stage shards parameters (stage 3), model the
+        forward/backward parameter all-gathers explicitly (hierarchical
+        all-gather per layer, reported as the ``comm_zero`` breakdown
+        component) instead of Eq. 5's flat ``(1 + M_f_DP)`` factor.
+    validate:
+        Check the mapping against the system and model on construction
+        (disable only for deliberately hypothetical shapes).
+    """
+
+    model: TransformerConfig
+    system: SystemSpec
+    parallelism: ParallelismSpec
+    precision: PrecisionPolicy = MIXED_FP16
+    efficiency: MicrobatchEfficiency = field(
+        default_factory=MicrobatchEfficiency)
+    intra_topology: CollectiveTopology = RING
+    inter_topology: CollectiveTopology = RING
+    moe_topology: CollectiveTopology = PAIRWISE_ALLTOALL
+    zero: ZeroConfig = NO_ZERO
+    backward_compute_multiplier: float = 2.0
+    backward_comm_ratio: float = 1.0
+    optimizer_macs_per_parameter: float = 1.0
+    moe_volume_multiplier: float = 1.0
+    moe_tp_sharding: bool = True
+    include_embeddings: bool = True
+    concurrent_stage_comm: bool = True
+    bubble_model: str = "physical"
+    comm_overlap_fraction: float = 0.0
+    zero_explicit_comm: bool = False
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backward_compute_multiplier < 0:
+            raise ConfigurationError(
+                f"backward_compute_multiplier must be non-negative, got "
+                f"{self.backward_compute_multiplier}")
+        if self.backward_comm_ratio < 0:
+            raise ConfigurationError(
+                f"backward_comm_ratio must be non-negative, got "
+                f"{self.backward_comm_ratio}")
+        if not 0 <= self.comm_overlap_fraction < 1:
+            raise ConfigurationError(
+                f"comm_overlap_fraction must be in [0, 1), got "
+                f"{self.comm_overlap_fraction}")
+        if self.validate:
+            self.parallelism.validate_against(self.system)
+            self.parallelism.validate_against_model(
+                self.model.n_layers, self.model.n_heads)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def for_mapping(cls, model: TransformerConfig, system: SystemSpec,
+                    tp: int = 1, pp: int = 1, dp: int = 1,
+                    **kwargs) -> "AMPeD":
+        """Build with total degrees placed TP-innermost (Megatron style)."""
+        spec_kwargs = {}
+        for key in ("n_microbatches", "expert_parallel",
+                    "bubble_overlap_ratio"):
+            if key in kwargs:
+                spec_kwargs[key] = kwargs.pop(key)
+        spec = spec_from_totals(system, tp=tp, pp=pp, dp=dp, **spec_kwargs)
+        return cls(model=model, system=system, parallelism=spec, **kwargs)
+
+    def with_parallelism(self, parallelism: ParallelismSpec) -> "AMPeD":
+        """The same scenario under a different mapping (sweep helper)."""
+        return replace(self, parallelism=parallelism)
+
+    def with_system(self, system: SystemSpec) -> "AMPeD":
+        """The same scenario on different hardware (sweep helper)."""
+        return replace(self, system=system)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def microbatch(self, global_batch: int) -> float:
+        """The microbatch size this mapping yields at ``global_batch``."""
+        return microbatch_size(global_batch, self.parallelism)
+
+    def microbatch_efficiency(self, global_batch: int) -> float:
+        """``eff(ub)`` at this mapping's microbatch size."""
+        return self.efficiency(self.microbatch(global_batch))
+
+    def estimate_batch(self, global_batch: int) -> TrainingTimeBreakdown:
+        """Evaluate Eq. 1's bracket for one batch, per component."""
+        spec = self.parallelism
+        eff = self.microbatch_efficiency(global_batch)
+        replica_batch = replica_batch_size(global_batch, spec)
+        accelerator = self.system.accelerator
+        operations = build_operations(self.model, global_batch,
+                                      self.include_embeddings)
+        explicit_zero = (self.zero_explicit_comm
+                         and self.zero.shards_parameters)
+        env = CommEnvironment(
+            system=self.system,
+            parallelism=spec,
+            precision=self.precision,
+            intra_topology=self.intra_topology,
+            inter_topology=self.inter_topology,
+            moe_topology=self.moe_topology,
+            zero_forward_overhead=(
+                0.0 if explicit_zero
+                else self.zero.communication_overhead),
+            moe_volume_multiplier=self.moe_volume_multiplier,
+            moe_tp_sharding=self.moe_tp_sharding,
+        )
+        workers = spec.world_size
+        stage_share = spec.pp if self.concurrent_stage_comm else 1
+        exposed = 1.0 - self.comm_overlap_fraction
+
+        totals = dict.fromkeys((
+            "compute_forward", "compute_backward", "compute_weight_update",
+            "comm_tp_intra", "comm_tp_inter", "comm_pp", "comm_moe",
+            "comm_gradient_intra", "comm_gradient_inter", "comm_zero",
+            "bubble"), 0.0)
+
+        for layer in operations.layers:
+            u_f = forward_compute_time(layer, accelerator, self.precision,
+                                       eff)
+            u_b = backward_compute_time(
+                layer, accelerator, self.precision, eff,
+                self.backward_compute_multiplier)
+            u_w = weight_update_time(
+                layer, accelerator, self.precision, eff,
+                self.optimizer_macs_per_parameter)
+            totals["compute_forward"] += u_f / workers
+            totals["compute_backward"] += u_b / workers
+            totals["compute_weight_update"] += u_w / workers
+
+            gradient = gradient_comm_components(
+                env, layer.gradient_parameters(spec.expert_parallel))
+            totals["comm_gradient_intra"] += \
+                gradient["intra"] / stage_share * exposed
+            totals["comm_gradient_inter"] += \
+                gradient["inter"] / stage_share * exposed
+
+            if explicit_zero:
+                # one parameter all-gather before the forward pass and
+                # one before the backward pass (re-gather after free)
+                gather = zero_gather_time(
+                    env, layer.gradient_parameters(spec.expert_parallel))
+                totals["comm_zero"] += \
+                    2.0 * gather / stage_share * exposed
+
+            if layer.index < 0:
+                continue  # embedding pseudo-layer: no TP/PP/MoE traffic
+
+            forward = forward_comm_components(env, self.model,
+                                              replica_batch, layer.is_moe)
+            # TP and MoE collectives of different pipeline stages overlap
+            # in wall-clock time; the PP term (Eq. 7) already accounts
+            # for its own overlap through the 1/L prefactor.  The
+            # compute-overlap knob then hides a further fraction of
+            # every component.
+            forward["tp_intra"] *= exposed / stage_share
+            forward["tp_inter"] *= exposed / stage_share
+            forward["moe"] *= exposed / stage_share
+            forward["pp"] *= exposed
+            m_f = sum(forward.values())
+            m_b = m_f * self.backward_comm_ratio
+            scale = 1.0 + self.backward_comm_ratio
+            totals["comm_tp_intra"] += forward["tp_intra"] * scale
+            totals["comm_tp_inter"] += forward["tp_inter"] * scale
+            totals["comm_pp"] += forward["pp"] * scale
+            totals["comm_moe"] += forward["moe"] * scale
+            totals["bubble"] += bubble_time(
+                u_f, u_b, m_f, m_b, self.model.n_layers, spec,
+                model=self.bubble_model)
+
+        return TrainingTimeBreakdown(**totals)
+
+    def estimate(self, global_batch: int,
+                 n_batches: Optional[int] = None,
+                 total_tokens: Optional[float] = None) -> TrainingEstimate:
+        """Full-run estimate: Eq. 1 with its ``N_batch`` prefactor.
+
+        Give either ``n_batches`` directly or ``total_tokens`` (the
+        corpus size), from which ``N_batch = ceil(tokens / (batch * s))``.
+        """
+        if (n_batches is None) == (total_tokens is None):
+            raise ConfigurationError(
+                "provide exactly one of n_batches or total_tokens")
+        if total_tokens is not None:
+            n_batches = self.n_batches_for_tokens(global_batch, total_tokens)
+        return TrainingEstimate(per_batch=self.estimate_batch(global_batch),
+                                n_batches=n_batches)
+
+    def n_batches_for_tokens(self, global_batch: int,
+                             total_tokens: float) -> int:
+        """``N_batch`` to push ``total_tokens`` through training."""
+        if total_tokens <= 0:
+            raise ConfigurationError(
+                f"total_tokens must be positive, got {total_tokens}")
+        tokens_per_batch = global_batch * self.model.sequence_length
+        return max(1, math.ceil(total_tokens / tokens_per_batch))
+
+    # -- derived metrics ---------------------------------------------------------
+
+    def achieved_tflops_per_gpu(self, global_batch: int) -> float:
+        """The Table II metric: model TFLOPs per second per accelerator.
+
+        ``model_flops(batch) / (batch_time * N_accelerators)`` — model
+        FLOPs, not hardware FLOPs, so recomputation or multi-pass
+        precision raise the time without raising the numerator.
+        """
+        flops = model_flops_per_batch(
+            self.model, global_batch,
+            backward_multiplier=self.backward_compute_multiplier,
+            include_logits=self.include_embeddings)
+        batch_time = self.estimate_batch(global_batch).total
+        return to_teraflops(flops / (batch_time * self.system.n_accelerators))
+
+    def tokens_per_second(self, global_batch: int) -> float:
+        """Training throughput in tokens/second."""
+        batch_time = self.estimate_batch(global_batch).total
+        return global_batch * self.model.sequence_length / batch_time

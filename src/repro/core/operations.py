@@ -1,0 +1,136 @@
+"""Per-layer operation profiles consumed by the AMPeD equations.
+
+Eq. 1 sums per-layer quantities over all layers ``l``; this module
+assembles, for a (model, global batch) pair, the per-layer bundles the
+compute and communication estimators need: sublayer MAC/non-linear counts
+for the *global* batch (the division by ``N_TP N_DP N_PP`` happens in
+Eq. 1), the layer's parameter count (weight update, gradient volume), and
+whether the layer carries MoE experts.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.transformer.config import TransformerConfig
+from repro.transformer.layers import (
+    SublayerOps,
+    embedding_sublayer,
+    layer_sublayers,
+    logits_sublayer,
+)
+
+
+@dataclass(frozen=True)
+class LayerOperations:
+    """Everything Eqs. 2-12 need to know about one layer.
+
+    Attributes
+    ----------
+    index:
+        Layer position (0-based); -1 for the embedding/logits pseudo-layer.
+    sublayers:
+        Forward-pass operation counts per sublayer, for the global batch.
+    parameters:
+        ``N_MAC(l)`` of Eq. 12 and ``N_g(l)`` of Eq. 11 — trainable
+        weights in the layer.
+    is_moe:
+        Whether Eq. 9's all-to-all applies to this layer.
+    """
+
+    index: int
+    sublayers: Tuple[SublayerOps, ...]
+    parameters: float
+    is_moe: bool
+
+    @property
+    def mac_flops(self) -> float:
+        """Total forward MAC FLOPs of the layer (global batch)."""
+        return sum(sub.mac_flops for sub in self.sublayers)
+
+    @property
+    def expert_parameters(self) -> float:
+        """Parameters belonging to MoE experts (zero for dense layers);
+        excluded from the DP gradient all-reduce under expert
+        parallelism because experts are not replicated across ranks."""
+        return sum(sub.expert_parameters for sub in self.sublayers)
+
+    def gradient_parameters(self, expert_parallel: bool) -> float:
+        """``N_g(l)``'s basis: the parameters whose gradients the DP
+        all-reduce must move."""
+        if expert_parallel:
+            return self.parameters - self.expert_parameters
+        return self.parameters
+
+    @property
+    def nonlinear_ops(self) -> float:
+        """Total forward non-linear operations of the layer."""
+        return sum(sub.nonlinear_ops for sub in self.sublayers)
+
+
+@dataclass(frozen=True)
+class ModelOperations:
+    """Operation profiles of every layer for one global batch size."""
+
+    model: TransformerConfig
+    global_batch: int
+    layers: Tuple[LayerOperations, ...]
+
+    @property
+    def n_layers(self) -> int:
+        """Transformer layer count ``L`` (embedding pseudo-layer excluded)."""
+        return sum(1 for layer in self.layers if layer.index >= 0)
+
+    @property
+    def total_parameters(self) -> float:
+        """Sum of per-layer parameters (including the embedding
+        pseudo-layer when present)."""
+        return sum(layer.parameters for layer in self.layers)
+
+    @property
+    def total_forward_mac_flops(self) -> float:
+        """Forward MAC FLOPs of the whole model for the global batch."""
+        return sum(layer.mac_flops for layer in self.layers)
+
+
+@functools.lru_cache(maxsize=512)
+def build_operations(model: TransformerConfig, global_batch: int,
+                     include_embeddings: bool = True) -> ModelOperations:
+    """Assemble :class:`ModelOperations` for ``model`` at ``global_batch``.
+
+    When ``include_embeddings`` is set (the default), the input embedding
+    and vocabulary projection are folded into one extra pseudo-layer with
+    ``index == -1``; it contributes compute and weight-update/gradient
+    volume but never TP/PP/MoE communication (the paper's equations only
+    attach communication to transformer layers).
+
+    Results are memoized (configs are frozen dataclasses, so the cache
+    key is sound); design-space sweeps re-evaluate the same (model,
+    batch) pair for every mapping, and the counts never change.
+    """
+    if global_batch < 1:
+        raise ConfigurationError(
+            f"global_batch must be >= 1, got {global_batch}")
+    layers: List[LayerOperations] = []
+    if include_embeddings:
+        embedding = embedding_sublayer(model, global_batch)
+        logits = logits_sublayer(model, global_batch)
+        layers.append(LayerOperations(
+            index=-1,
+            sublayers=(embedding, logits),
+            parameters=embedding.parameters + logits.parameters,
+            is_moe=False,
+        ))
+    for index in range(model.n_layers):
+        sublayers = tuple(layer_sublayers(model, global_batch, index))
+        layers.append(LayerOperations(
+            index=index,
+            sublayers=sublayers,
+            parameters=sum(sub.parameters for sub in sublayers),
+            is_moe=model.is_moe_layer(index),
+        ))
+    return ModelOperations(model=model, global_batch=global_batch,
+                           layers=tuple(layers))

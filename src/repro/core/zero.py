@@ -1,0 +1,103 @@
+"""ZeRO-powered data parallelism (§II-B1, Eq. 5's ``M_f_DP`` factor).
+
+Plain DP replicates parameters, gradients and optimizer states on every
+worker and only communicates the gradient all-reduce.  ZeRO shards those
+states across DP ranks and communicates them on demand, which the paper
+models as a single multiplicative overhead factor ``(1 + M_f_DP)`` on the
+forward/backward communication time.
+
+The memory-side benefit of each stage lives in
+:mod:`repro.memory.footprint`; this module only owns the communication
+overhead and the stage bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Default forward/backward communication overhead per ZeRO stage.
+#:
+#: Stages 1 (optimizer states) and 2 (+gradients) keep DP's communication
+#: volume; stage 3 (+parameters) adds a parameter all-gather in the
+#: forward and backward pass — a 50% volume increase over baseline DP in
+#: the ZeRO paper's accounting.
+DEFAULT_STAGE_OVERHEAD = {0: 0.0, 1: 0.0, 2: 0.0, 3: 0.5}
+
+
+@dataclass(frozen=True)
+class ZeroConfig:
+    """ZeRO stage selection plus an optional overhead override.
+
+    Parameters
+    ----------
+    stage:
+        0 (plain DP) through 3 (parameters + gradients + optimizer
+        states sharded).
+    forward_overhead:
+        Explicit ``M_f_DP``; when ``None`` the stage default applies.
+    """
+
+    stage: int = 0
+    forward_overhead: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.stage not in DEFAULT_STAGE_OVERHEAD:
+            raise ConfigurationError(
+                f"ZeRO stage must be one of "
+                f"{sorted(DEFAULT_STAGE_OVERHEAD)}, got {self.stage}")
+        if self.forward_overhead is not None and self.forward_overhead < 0:
+            raise ConfigurationError(
+                f"forward_overhead must be non-negative, got "
+                f"{self.forward_overhead}")
+
+    @property
+    def communication_overhead(self) -> float:
+        """``M_f_DP`` — the additive overhead inside Eq. 5's
+        ``(1 + M_f_DP)`` factor."""
+        if self.forward_overhead is not None:
+            return self.forward_overhead
+        return DEFAULT_STAGE_OVERHEAD[self.stage]
+
+    @property
+    def shards_optimizer_states(self) -> bool:
+        """Stage >= 1: optimizer states divided across DP ranks."""
+        return self.stage >= 1
+
+    @property
+    def shards_gradients(self) -> bool:
+        """Stage >= 2: gradients divided across DP ranks."""
+        return self.stage >= 2
+
+    @property
+    def shards_parameters(self) -> bool:
+        """Stage 3: parameters divided across DP ranks."""
+        return self.stage >= 3
+
+
+#: Plain data parallelism — the library default.
+NO_ZERO = ZeroConfig(stage=0)
+
+
+def parameter_gather_bits(layer_parameters: float,
+                          parameter_bits: int,
+                          tp_degree: int = 1) -> float:
+    """Bits each ZeRO-3 rank must *receive* to materialize one layer.
+
+    Under ZeRO-3 every DP rank stores only a ``1/N_DP`` parameter
+    shard; before computing a layer it all-gathers the layer's full
+    (TP-sharded) parameters.  An all-gather over ``N`` ranks delivers
+    ``(N-1)/N`` of the result to each rank — approximated as the full
+    payload here and exactly handled by the ring topology factor in
+    :func:`repro.core.communication.zero_gather_components`.
+    """
+    if layer_parameters < 0:
+        raise ConfigurationError(
+            f"layer_parameters must be non-negative, got "
+            f"{layer_parameters}")
+    if tp_degree < 1:
+        raise ConfigurationError(
+            f"tp_degree must be >= 1, got {tp_degree}")
+    return layer_parameters / tp_degree * parameter_bits

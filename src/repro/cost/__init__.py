@@ -1,0 +1,37 @@
+"""Training cost in dollars and CO2 (the paper's §I motivation)."""
+
+from repro.cost.carbon import (
+    COAL_HEAVY_GRID,
+    EU_AVERAGE_GRID,
+    HYDRO_GRID,
+    WORLD_AVERAGE_GRID,
+    CarbonFootprint,
+    GridCarbonIntensity,
+    estimate_carbon,
+)
+from repro.cost.pricing import (
+    ON_DEMAND_A100,
+    ON_DEMAND_H100,
+    ON_DEMAND_V100,
+    SPOT_A100,
+    CloudPricing,
+    TrainingCost,
+    estimate_cost,
+)
+
+__all__ = [
+    "CloudPricing",
+    "TrainingCost",
+    "estimate_cost",
+    "ON_DEMAND_A100",
+    "ON_DEMAND_H100",
+    "ON_DEMAND_V100",
+    "SPOT_A100",
+    "GridCarbonIntensity",
+    "CarbonFootprint",
+    "estimate_carbon",
+    "WORLD_AVERAGE_GRID",
+    "EU_AVERAGE_GRID",
+    "HYDRO_GRID",
+    "COAL_HEAVY_GRID",
+]

@@ -1,0 +1,71 @@
+"""Carbon-footprint estimation for training runs.
+
+The paper's introduction flags that "the resulting energy usage and
+equivalent CO2 emissions are not in line with the goals of sustainable
+computing".  This module closes the loop from the energy model: grid
+carbon intensity times consumed energy, with a datacenter PUE factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.energy import EnergyEstimate
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class GridCarbonIntensity:
+    """Carbon intensity of the electricity powering the cluster.
+
+    Parameters
+    ----------
+    name:
+        Grid label ("EU average", "hydro-dominated", ...).
+    grams_co2_per_kwh:
+        Operational emissions factor.
+    pue:
+        Datacenter power-usage effectiveness (total facility power over
+        IT power); multiplies the accelerators' energy.
+    """
+
+    name: str
+    grams_co2_per_kwh: float
+    pue: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.grams_co2_per_kwh < 0:
+            raise ConfigurationError(
+                f"grams_co2_per_kwh must be non-negative, got "
+                f"{self.grams_co2_per_kwh}")
+        if self.pue < 1.0:
+            raise ConfigurationError(
+                f"pue must be >= 1, got {self.pue}")
+
+
+@dataclass(frozen=True)
+class CarbonFootprint:
+    """Emissions of one training run."""
+
+    facility_kwh: float
+    kg_co2: float
+
+    @property
+    def tonnes_co2(self) -> float:
+        """Emissions in metric tonnes."""
+        return self.kg_co2 / 1000.0
+
+
+def estimate_carbon(energy: EnergyEstimate,
+                    grid: GridCarbonIntensity) -> CarbonFootprint:
+    """Emissions of a run whose accelerator energy is ``energy``."""
+    facility_kwh = energy.total_kwh * grid.pue
+    kg = facility_kwh * grid.grams_co2_per_kwh / 1000.0
+    return CarbonFootprint(facility_kwh=facility_kwh, kg_co2=kg)
+
+
+#: Representative grid intensities (operational gCO2/kWh).
+WORLD_AVERAGE_GRID = GridCarbonIntensity("world average", 475.0)
+EU_AVERAGE_GRID = GridCarbonIntensity("EU average", 275.0)
+HYDRO_GRID = GridCarbonIntensity("hydro-dominated", 30.0)
+COAL_HEAVY_GRID = GridCarbonIntensity("coal-heavy", 820.0)

@@ -1,0 +1,112 @@
+"""Cloud pricing and training-cost estimation.
+
+The paper's introduction motivates AMPeD with exactly this arithmetic:
+"executing these long-running experiments on cloud-hosted systems is
+also costly because users are billed per hour" and "training [GPT-3]
+required 3.1 million GPU hours and would cost about $4.6 million".
+This module turns an AMPeD estimate into dollars: GPU-hours times an
+hourly rate, with optional interconnect premium and minimum-billing
+granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.breakdown import TrainingEstimate
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class CloudPricing:
+    """Hourly pricing of one accelerator instance-share.
+
+    Parameters
+    ----------
+    name:
+        Label ("on-demand A100", "spot H100", ...).
+    usd_per_accelerator_hour:
+        Billed rate per accelerator per hour.
+    interconnect_premium:
+        Multiplier for premium-fabric instances (e.g. HDR-connected
+        clusters over plain Ethernet ones).
+    minimum_billing_s:
+        Billing granularity; runs are rounded up to a multiple.
+    """
+
+    name: str
+    usd_per_accelerator_hour: float
+    interconnect_premium: float = 1.0
+    minimum_billing_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.usd_per_accelerator_hour <= 0:
+            raise ConfigurationError(
+                f"usd_per_accelerator_hour must be positive, got "
+                f"{self.usd_per_accelerator_hour}")
+        if self.interconnect_premium < 1.0:
+            raise ConfigurationError(
+                f"interconnect_premium must be >= 1, got "
+                f"{self.interconnect_premium}")
+        if self.minimum_billing_s <= 0:
+            raise ConfigurationError(
+                f"minimum_billing_s must be positive, got "
+                f"{self.minimum_billing_s}")
+
+    @property
+    def effective_rate(self) -> float:
+        """USD per accelerator-hour after the fabric premium."""
+        return self.usd_per_accelerator_hour * self.interconnect_premium
+
+
+@dataclass(frozen=True)
+class TrainingCost:
+    """Money and resource usage of one training run."""
+
+    gpu_hours: float
+    billed_gpu_hours: float
+    usd: float
+    n_accelerators: int
+
+    @property
+    def usd_per_gpu_hour(self) -> float:
+        """Effective blended rate (diagnostic)."""
+        if self.billed_gpu_hours == 0:
+            return 0.0
+        return self.usd / self.billed_gpu_hours
+
+
+def estimate_cost(estimate: TrainingEstimate, n_accelerators: int,
+                  pricing: CloudPricing) -> TrainingCost:
+    """Cost of a run: accelerators x billed wall-clock x rate."""
+    if n_accelerators < 1:
+        raise ConfigurationError(
+            f"n_accelerators must be >= 1, got {n_accelerators}")
+    wall_clock = estimate.total_time_s
+    billed_wall_clock = _round_up(wall_clock, pricing.minimum_billing_s)
+    gpu_hours = wall_clock * n_accelerators / SECONDS_PER_HOUR
+    billed_hours = billed_wall_clock * n_accelerators / SECONDS_PER_HOUR
+    return TrainingCost(
+        gpu_hours=gpu_hours,
+        billed_gpu_hours=billed_hours,
+        usd=billed_hours * pricing.effective_rate,
+        n_accelerators=n_accelerators,
+    )
+
+
+def _round_up(value: float, granularity: float) -> float:
+    steps, remainder = divmod(value, granularity)
+    if remainder > 0:
+        steps += 1
+    return steps * granularity
+
+
+#: Representative public on-demand rates (USD per GPU-hour, 2023-era
+#: list prices; knobs, not gospel).
+ON_DEMAND_A100 = CloudPricing("on-demand A100", 4.1,
+                              interconnect_premium=1.1)
+ON_DEMAND_H100 = CloudPricing("on-demand H100", 8.0,
+                              interconnect_premium=1.1)
+ON_DEMAND_V100 = CloudPricing("on-demand V100", 2.5)
+SPOT_A100 = CloudPricing("spot A100", 1.6, interconnect_premium=1.1)

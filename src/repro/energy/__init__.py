@@ -1,0 +1,17 @@
+"""Energy modeling for Case Study II's DP-vs-PP trade-off."""
+
+from repro.energy.energy import (
+    JOULES_PER_KWH,
+    EnergyEstimate,
+    breakeven_idle_fraction,
+    estimate_energy,
+)
+from repro.energy.power import PowerModel
+
+__all__ = [
+    "PowerModel",
+    "EnergyEstimate",
+    "estimate_energy",
+    "breakeven_idle_fraction",
+    "JOULES_PER_KWH",
+]

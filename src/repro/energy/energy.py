@@ -1,0 +1,87 @@
+"""Training-run energy estimates and the DP-vs-PP break-even analysis.
+
+Builds directly on AMPeD's breakdown: the bubble component is idle time
+(reduced power), everything else is active time.  Reproduces Case Study
+II's energy argument quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.breakdown import TrainingTimeBreakdown
+from repro.energy.power import PowerModel
+from repro.errors import ConfigurationError
+
+#: Joules per kWh, for reporting.
+JOULES_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy of one training run across all accelerators."""
+
+    active_joules: float
+    idle_joules: float
+    n_accelerators: int
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy of the run."""
+        return self.active_joules + self.idle_joules
+
+    @property
+    def total_kwh(self) -> float:
+        """Total energy in kilowatt-hours."""
+        return self.total_joules / JOULES_PER_KWH
+
+
+def estimate_energy(breakdown: TrainingTimeBreakdown,
+                    power: PowerModel,
+                    n_accelerators: int) -> EnergyEstimate:
+    """Energy of a run whose per-run breakdown is ``breakdown``.
+
+    Bubble time draws idle power; compute and communication draw active
+    power.  All accelerators are assumed to share the same duty cycle
+    (homogeneous mapping), so system energy is per-accelerator energy
+    times the accelerator count.
+    """
+    if n_accelerators < 1:
+        raise ConfigurationError(
+            f"n_accelerators must be >= 1, got {n_accelerators}")
+    active_time = breakdown.compute_time + breakdown.comm_time
+    idle_time = breakdown.bubble
+    return EnergyEstimate(
+        active_joules=active_time * power.active_watts * n_accelerators,
+        idle_joules=idle_time * power.idle_watts * n_accelerators,
+        n_accelerators=n_accelerators,
+    )
+
+
+def breakeven_idle_fraction(time_fast_s: float, time_slow_s: float,
+                            bubble_share_slow: float) -> float:
+    """Idle-power fraction below which the slower, bubblier run wins on
+    energy (Case Study II's "~30%" figure).
+
+    The faster run spends ``time_fast`` fully active; the slower run
+    spends ``time_slow`` of which ``bubble_share_slow`` idles at
+    fraction ``x`` of active power.  Energy parity:
+
+        time_fast = time_slow * (1 - share) + time_slow * share * x
+
+    solved for ``x``.  The slower run wins on energy whenever its idle
+    fraction is *below* the returned value: a result <= 0 means it never
+    wins (its active time alone exceeds the fast run), >= 1 means it
+    always wins (it is not actually slower in active time).
+    """
+    if time_fast_s <= 0 or time_slow_s <= 0:
+        raise ConfigurationError(
+            f"run times must be positive, got {time_fast_s}, "
+            f"{time_slow_s}")
+    if not 0 < bubble_share_slow < 1:
+        raise ConfigurationError(
+            f"bubble_share_slow must be in (0, 1), got "
+            f"{bubble_share_slow}")
+    active = time_slow_s * (1 - bubble_share_slow)
+    idle = time_slow_s * bubble_share_slow
+    return (time_fast_s - active) / idle

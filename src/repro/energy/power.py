@@ -1,0 +1,67 @@
+"""Accelerator power model.
+
+Case Study II observes that pipeline bubbles idle the accelerators, and
+that if idle power drops below ~30% of active power, the PP
+configuration — though ~4% slower — consumes *less energy* than DP.
+This module makes that argument quantitative: a two-state power model
+(active / idle) driven by the AMPeD breakdown's bubble share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import AcceleratorSpec
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Two-state accelerator power model.
+
+    Parameters
+    ----------
+    active_watts:
+        Draw while computing or communicating (defaults to the
+        accelerator's TDP when built via :meth:`for_accelerator`).
+    idle_fraction:
+        Idle draw as a fraction of active draw.  The paper's break-even
+        analysis revolves around this knob ("the lower power state
+        should use less than ~30% of the power of the system during
+        full execution").
+    """
+
+    active_watts: float
+    idle_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.active_watts <= 0:
+            raise ConfigurationError(
+                f"active_watts must be positive, got {self.active_watts}")
+        if not 0 <= self.idle_fraction <= 1:
+            raise ConfigurationError(
+                f"idle_fraction must be in [0, 1], got "
+                f"{self.idle_fraction}")
+
+    @classmethod
+    def for_accelerator(cls, accelerator: AcceleratorSpec,
+                        idle_fraction: float = 0.3) -> "PowerModel":
+        """Build from an accelerator's TDP."""
+        if accelerator.tdp_watts <= 0:
+            raise ConfigurationError(
+                f"{accelerator.name} has no TDP configured")
+        return cls(active_watts=accelerator.tdp_watts,
+                   idle_fraction=idle_fraction)
+
+    @property
+    def idle_watts(self) -> float:
+        """Draw while idling in a pipeline bubble."""
+        return self.active_watts * self.idle_fraction
+
+    def average_watts(self, busy_share: float) -> float:
+        """Mean draw when ``busy_share`` of time is active work."""
+        if not 0 <= busy_share <= 1:
+            raise ConfigurationError(
+                f"busy_share must be in [0, 1], got {busy_share}")
+        return (busy_share * self.active_watts
+                + (1 - busy_share) * self.idle_watts)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the AMPeD reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers that drive large design-space sweeps can catch a single type and
+skip infeasible configurations without masking genuine programming errors
+(``TypeError``, ``AttributeError`` and friends still propagate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, hardware or parallelism description is internally invalid.
+
+    Raised when a single object fails its own validation, e.g. a
+    transformer with zero layers or a link with negative bandwidth.
+    """
+
+
+class MappingError(ReproError):
+    """A parallelism mapping does not fit the target system.
+
+    Raised when intra-node degrees do not multiply to the number of
+    accelerators per node, inter-node degrees do not multiply to the node
+    count, or a degree does not divide the quantity it partitions.
+    """
+
+
+class MemoryCapacityError(ReproError):
+    """A configuration does not fit in accelerator memory.
+
+    Carries the computed footprint and the capacity so sweep drivers can
+    report *how far* over budget a configuration is.
+    """
+
+    def __init__(self, message: str, required_bytes: float = 0.0,
+                 available_bytes: float = 0.0) -> None:
+        super().__init__(message)
+        self.required_bytes = required_bytes
+        self.available_bytes = available_bytes
+
+
+class ValidationDataError(ReproError):
+    """A published reference dataset is missing or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event or step simulation reached an invalid state."""

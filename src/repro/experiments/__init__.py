@@ -1,0 +1,53 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+==========  ==========================================  =======================
+Exp. id     What it shows                               Entry point
+==========  ==========================================  =======================
+Fig. 2a     DP validation, minGPT on HGX-2              fig2_validation.data_parallel_scaling
+Fig. 2b     PP validation, minGPT-PP on HGX-2           fig2_validation.pipeline_parallel_scaling
+Fig. 2c     TFLOP/s/GPU vs microbatch, GPT-3 175B       fig2_validation.batch_size_saturation
+Table II    AMPeD vs published Megatron TFLOP/s/GPU     table2.reproduce_table2
+Table III   GPipe speedups on P100/PCIe                 table3.reproduce_table3
+Fig. 3      training-time breakdown, two mappings       fig3_breakdown.reproduce_fig3
+Figs. 4-9   Case Study I parallelism sweeps             casestudy1.figure4 .. figure9
+Fig. 10     Case Study II low-end DP vs PP              casestudy2.reproduce_fig10
+Fig. 11     Case Study III optical substrates           casestudy3.reproduce_fig11
+==========  ==========================================  =======================
+
+Extension studies beyond the paper:
+
+==================  ========================================================
+Table II + overlap  table2_interleaved.reproduce_table2_interleaved
+strong scaling      scaling_study.run_scaling_study
+model family        family_study.run_family_study
+long context        context_study.run_context_study
+==================  ========================================================
+"""
+
+from repro.experiments import (
+    casestudy1,
+    casestudy2,
+    casestudy3,
+    context_study,
+    family_study,
+    fig2_validation,
+    fig3_breakdown,
+    scaling_study,
+    table2,
+    table2_interleaved,
+    table3,
+)
+
+__all__ = [
+    "fig2_validation",
+    "table2",
+    "table2_interleaved",
+    "table3",
+    "fig3_breakdown",
+    "casestudy1",
+    "casestudy2",
+    "casestudy3",
+    "scaling_study",
+    "family_study",
+    "context_study",
+]

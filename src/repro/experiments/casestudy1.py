@@ -1,0 +1,238 @@
+"""Case Study I: optimizing the parallelism configuration (Figs. 4-9).
+
+The platform: 1024 A100s as 128 nodes x 8, NVLink inside the node, HDR
+InfiniBand across nodes.  The workload: Megatron 145B, batch sizes 4096
+/ 8192 / 16384, assuming a 300B-token corpus for absolute training-day
+numbers (DESIGN.md).
+
+Figures 4-6 fix tensor parallelism inside the node and sweep how the
+128 inter-node ways are split between two parallelism types; figures
+7-9 repeat the sweep with data parallelism inside the node:
+
+=========  ============  =======================
+figure     intra-node    inter-node split
+=========  ============  =======================
+Fig. 4     TP x 8        TP x PP
+Fig. 5     TP x 8        TP x DP
+Fig. 6     TP x 8        PP x DP
+Fig. 7     DP x 8        TP x PP
+Fig. 8     DP x 8        TP x DP
+Fig. 9     DP x 8        PP x DP
+=========  ============  =======================
+
+Microbatch counts are tuned per configuration (the efficiency/bubble
+trade-off the paper resolves through its empirical efficiency fit).
+:func:`conclusions` re-derives §VI-E's findings ❶-❺ numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import AMPeD
+from repro.errors import MappingError
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.mapping import mapping_for
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.search.tuning import optimize_microbatches
+from repro.transformer.zoo import MEGATRON_145B
+from repro.units import seconds_to_days
+
+#: The paper's batch-size sweep.
+CASE_STUDY_BATCHES = (4096, 8192, 16384)
+
+#: Assumed training-corpus size (tokens) for absolute day counts.
+CASE_STUDY_TOKENS = 300e9
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis position of a Case Study I figure."""
+
+    first_degree: int
+    second_degree: int
+    label: str
+    #: batch size -> training days (None when the mapping is infeasible,
+    #: e.g. the microbatch would drop below one sequence).
+    days: Dict[int, Optional[float]]
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One full figure: a labelled series of sweep points."""
+
+    figure: str
+    intra: str
+    inter_pair: Tuple[str, str]
+    points: Tuple[SweepPoint, ...]
+
+    def curve(self, global_batch: int) -> List[Optional[float]]:
+        """Training-day values of one batch-size curve."""
+        return [point.days.get(global_batch) for point in self.points]
+
+    def best(self, global_batch: int) -> Tuple[str, float]:
+        """(label, days) of the fastest feasible point of a curve."""
+        feasible = [(p.label, p.days[global_batch]) for p in self.points
+                    if p.days.get(global_batch) is not None]
+        if not feasible:
+            raise MappingError(
+                f"{self.figure}: no feasible point at batch "
+                f"{global_batch}")
+        return min(feasible, key=lambda item: item[1])
+
+
+def _inter_splits(n_nodes: int) -> List[Tuple[int, int]]:
+    """Power-of-two splits (d1, d2) with d1 * d2 == n_nodes."""
+    splits = []
+    d1 = 1
+    while d1 <= n_nodes:
+        if n_nodes % d1 == 0:
+            splits.append((d1, n_nodes // d1))
+        d1 *= 2
+    return splits
+
+
+def _evaluate(amped_template: AMPeD, spec, global_batch: int,
+              total_tokens: float, tune: bool) -> Optional[float]:
+    """Training days for one (mapping, batch) point, or None."""
+    candidate = replace(amped_template, parallelism=spec)
+    try:
+        if tune:
+            candidate, _ = optimize_microbatches(candidate, global_batch)
+        estimate = candidate.estimate(global_batch,
+                                      total_tokens=total_tokens)
+    except MappingError:
+        return None
+    return estimate.total_time_days
+
+
+def sweep(figure: str, intra: str, inter_pair: Tuple[str, str],
+          batches: Sequence[int] = CASE_STUDY_BATCHES,
+          total_tokens: float = CASE_STUDY_TOKENS,
+          tune_microbatches: bool = True) -> SweepSeries:
+    """Run one Case Study I figure.
+
+    Degenerate splits that reduce to pure parallelism of the *other*
+    type are kept — they provide the curve's endpoints.  Mappings the
+    model cannot run (TP wider than attention heads, PP deeper than
+    layers, sub-sequence microbatches) yield ``None`` entries.
+    """
+    system = megatron_a100_cluster()
+    template = AMPeD(
+        model=MEGATRON_145B,
+        system=system,
+        parallelism=mapping_for(system, intra=intra, inter="dp"),
+        efficiency=CASE_STUDY_EFFICIENCY,
+        validate=False,
+    )
+    first, second = inter_pair
+    points = []
+    for d1, d2 in _inter_splits(system.n_nodes):
+        spec = mapping_for(system, intra=intra, inter=f"{first}+{second}",
+                           inter_split=(d1, d2))
+        if spec.pp > MEGATRON_145B.n_layers:
+            days = {batch: None for batch in batches}
+        else:
+            days = {batch: _evaluate(template, spec, batch, total_tokens,
+                                     tune_microbatches)
+                    for batch in batches}
+        points.append(SweepPoint(
+            first_degree=d1,
+            second_degree=d2,
+            label=f"{first.upper()}x{d1}/{second.upper()}x{d2}",
+            days=days,
+        ))
+    return SweepSeries(figure=figure, intra=intra, inter_pair=inter_pair,
+                       points=tuple(points))
+
+
+def figure4(**kwargs) -> SweepSeries:
+    """Fig. 4: TP intra-node; inter-node TP x PP."""
+    return sweep("Fig. 4", "tp", ("tp", "pp"), **kwargs)
+
+
+def figure5(**kwargs) -> SweepSeries:
+    """Fig. 5: TP intra-node; inter-node TP x DP."""
+    return sweep("Fig. 5", "tp", ("tp", "dp"), **kwargs)
+
+
+def figure6(**kwargs) -> SweepSeries:
+    """Fig. 6: TP intra-node; inter-node PP x DP."""
+    return sweep("Fig. 6", "tp", ("pp", "dp"), **kwargs)
+
+
+def figure7(**kwargs) -> SweepSeries:
+    """Fig. 7: DP intra-node; inter-node TP x PP."""
+    return sweep("Fig. 7", "dp", ("tp", "pp"), **kwargs)
+
+
+def figure8(**kwargs) -> SweepSeries:
+    """Fig. 8: DP intra-node; inter-node TP x DP."""
+    return sweep("Fig. 8", "dp", ("tp", "dp"), **kwargs)
+
+
+def figure9(**kwargs) -> SweepSeries:
+    """Fig. 9: DP intra-node; inter-node PP x DP."""
+    return sweep("Fig. 9", "dp", ("pp", "dp"), **kwargs)
+
+
+ALL_FIGURES = {
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+}
+
+
+def conclusions(global_batch: int = 16384,
+                total_tokens: float = CASE_STUDY_TOKENS) -> Dict[str, float]:
+    """Re-derive §VI-E's conclusions as ratios.
+
+    Returns a dict of named ratios, each phrased so that the paper's
+    claim corresponds to the value being > 1 (see the bench output for
+    interpretation):
+
+    - ``tp_inter_penalty`` — pure TP across nodes vs pure DP across
+      nodes, TP inside (❷/❸: the paper reports ~3x).
+    - ``pp_vs_dp_inter`` — pure PP across nodes vs pure DP across nodes,
+      TP inside (❹: PP slightly worse, ~21 vs ~18 days).
+    - ``tp_intra_advantage`` — best DP-intra mapping vs best TP-intra
+      mapping at the same batch (❺: ~2x).
+    - ``batch_size_gain`` — smallest-batch vs largest-batch training
+      time for the DP-intra mapping (❶: large batches keep efficiency
+      up; note training *days* compare at equal token counts).
+    """
+    system = megatron_a100_cluster()
+
+    def run(intra: str, inter: str, batch: int,
+            inter_split=None) -> float:
+        spec = mapping_for(system, intra=intra, inter=inter,
+                           inter_split=inter_split)
+        template = AMPeD(model=MEGATRON_145B, system=system,
+                         parallelism=spec,
+                         efficiency=CASE_STUDY_EFFICIENCY, validate=False)
+        days = _evaluate(template, spec, batch, total_tokens, True)
+        if days is None:
+            raise MappingError(f"{intra}/{inter} infeasible at {batch}")
+        return days
+
+    tp_dp = run("tp", "dp", global_batch)
+    tp_pp = run("tp", "pp+dp", global_batch, inter_split=(64, 2))
+    tp_tp = run("tp", "tp+dp", global_batch, inter_split=(16, 8))
+    dp_dp = run("dp", "dp", global_batch)
+    dp_small = run("dp", "dp", min(CASE_STUDY_BATCHES))
+
+    return {
+        "tp_inter_penalty": tp_tp / tp_dp,
+        "pp_vs_dp_inter": tp_pp / tp_dp,
+        "tp_intra_advantage": dp_dp / tp_dp,
+        "batch_size_gain": dp_small / dp_dp,
+    }
+
+
+def to_days(seconds: float) -> float:
+    """Re-export for bench scripts."""
+    return seconds_to_days(seconds)

@@ -1,0 +1,155 @@
+"""Case Study II: DP vs PP across nodes on low-end systems (Fig. 10).
+
+The same 1024-A100 pool as Case Study I, regrouped into nodes of
+1/2/4/8 accelerators with one EDR (100 Gb/s) NIC per accelerator —
+the node shapes cloud providers actually rent.  TP fills whatever node
+exists; the comparison is DP versus PP for the inter-node dimension,
+training Megatron 145B at batch 8192.
+
+The paper's finding, reproduced here: with one accelerator + NIC per
+node the DP all-reduce is starved and PP's point-to-point traffic wins
+by a wide margin (80% in the paper); as NICs multiply, DP overtakes PP
+(crossover between 2 and 4 accelerators/node), and at the crossover
+the PP configuration can still win on *energy* because accelerators
+idle (at reduced power) inside its bubbles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.model import AMPeD
+from repro.energy.energy import breakeven_idle_fraction, estimate_energy
+from repro.energy.power import PowerModel
+from repro.hardware.catalog import lowend_a100_cluster
+from repro.parallelism.mapping import mapping_for
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.search.tuning import optimize_microbatches
+from repro.transformer.zoo import MEGATRON_145B
+from repro.units import divisors
+
+#: Fig. 10's workload.
+FIG10_GLOBAL_BATCH = 8192
+FIG10_TOKENS = 300e9
+
+#: The node shapes swept by Fig. 10.
+FIG10_NODE_SIZES = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    """One node-shape column of Fig. 10."""
+
+    accelerators_per_node: int
+    dp_days: float
+    pp_days: float
+    pp_bubble_share: float
+    energy_breakeven_idle_fraction: Optional[float]
+
+    @property
+    def winner(self) -> str:
+        """Which inter-node strategy trains faster."""
+        return "PP" if self.pp_days < self.dp_days else "DP"
+
+    @property
+    def advantage(self) -> float:
+        """Speed advantage of the winner (>= 1)."""
+        slow, fast = max(self.dp_days, self.pp_days), \
+            min(self.dp_days, self.pp_days)
+        return slow / fast
+
+
+def _pp_split(n_nodes: int, n_layers: int) -> Tuple[int, int]:
+    """The PP-heavy inter split: the deepest pipeline the model allows
+    (a divisor of the node count), data parallelism absorbing the rest."""
+    pp = max(d for d in divisors(n_nodes) if d <= n_layers)
+    return pp, n_nodes // pp
+
+
+def _evaluate(system, spec, global_batch: int, total_tokens: float):
+    template = AMPeD(
+        model=MEGATRON_145B,
+        system=system,
+        parallelism=spec,
+        efficiency=CASE_STUDY_EFFICIENCY,
+        validate=False,
+    )
+    tuned, _ = optimize_microbatches(template, global_batch)
+    return tuned, tuned.estimate(global_batch, total_tokens=total_tokens)
+
+
+def reproduce_fig10(node_sizes: Sequence[int] = FIG10_NODE_SIZES,
+                    global_batch: int = FIG10_GLOBAL_BATCH,
+                    total_tokens: float = FIG10_TOKENS,
+                    idle_fraction: float = 0.3) -> Dict[int, Fig10Point]:
+    """Evaluate DP-inter vs PP-inter for every node shape."""
+    results = {}
+    for node_size in node_sizes:
+        system = lowend_a100_cluster(node_size)
+        n_nodes = system.n_nodes
+
+        dp_spec = mapping_for(system, intra="tp", inter="dp")
+        __, dp_estimate = _evaluate(system, dp_spec, global_batch,
+                                    total_tokens)
+
+        pp_degree, dp_rest = _pp_split(n_nodes, MEGATRON_145B.n_layers)
+        if dp_rest > 1:
+            pp_spec = mapping_for(system, intra="tp", inter="pp+dp",
+                                  inter_split=(pp_degree, dp_rest))
+        else:
+            pp_spec = mapping_for(system, intra="tp", inter="pp")
+        pp_model, pp_estimate = _evaluate(system, pp_spec, global_batch,
+                                          total_tokens)
+
+        pp_breakdown = pp_estimate.per_batch
+        bubble_share = (pp_breakdown.bubble / pp_breakdown.total
+                        if pp_breakdown.total else 0.0)
+        breakeven = None
+        if (pp_estimate.total_time_s > dp_estimate.total_time_s
+                and 0 < bubble_share < 1):
+            breakeven = breakeven_idle_fraction(
+                dp_estimate.total_time_s, pp_estimate.total_time_s,
+                bubble_share)
+
+        results[node_size] = Fig10Point(
+            accelerators_per_node=node_size,
+            dp_days=dp_estimate.total_time_days,
+            pp_days=pp_estimate.total_time_days,
+            pp_bubble_share=bubble_share,
+            energy_breakeven_idle_fraction=breakeven,
+        )
+    return results
+
+
+def energy_comparison(node_size: int = 4,
+                      global_batch: int = FIG10_GLOBAL_BATCH,
+                      total_tokens: float = FIG10_TOKENS,
+                      idle_fraction: float = 0.3) -> Dict[str, float]:
+    """The paper's energy argument at one node shape: total kWh of the
+    DP and PP configurations under a two-state power model."""
+    system = lowend_a100_cluster(node_size)
+    power = PowerModel.for_accelerator(system.accelerator,
+                                       idle_fraction=idle_fraction)
+
+    dp_spec = mapping_for(system, intra="tp", inter="dp")
+    __, dp_estimate = _evaluate(system, dp_spec, global_batch,
+                                total_tokens)
+    pp_degree, dp_rest = _pp_split(system.n_nodes,
+                                   MEGATRON_145B.n_layers)
+    pp_spec = mapping_for(system, intra="tp", inter="pp+dp",
+                          inter_split=(pp_degree, dp_rest)) \
+        if dp_rest > 1 else mapping_for(system, intra="tp", inter="pp")
+    __, pp_estimate = _evaluate(system, pp_spec, global_batch,
+                                total_tokens)
+
+    n = system.n_accelerators
+    dp_energy = estimate_energy(dp_estimate.breakdown, power, n)
+    pp_energy = estimate_energy(pp_estimate.breakdown, power, n)
+    return {
+        "dp_days": dp_estimate.total_time_days,
+        "pp_days": pp_estimate.total_time_days,
+        "dp_kwh": dp_energy.total_kwh,
+        "pp_kwh": pp_energy.total_kwh,
+        "idle_fraction": idle_fraction,
+    }

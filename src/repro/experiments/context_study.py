@@ -1,0 +1,103 @@
+"""Long-context study: where the attention s² term takes over.
+
+Most of AMPeD's cost terms are linear in the sequence length ``s``
+(MLP FLOPs, TP/PP activation volumes all carry ``b·s·h``), but the
+attention score/value matmuls carry ``4·b·s²·h`` and the softmax
+``3·b·a·s²``.  At the 2k contexts of the paper's workloads those terms
+are noise; at 32k-128k they dominate.  This study sweeps the context
+length at a *fixed token budget per batch* (so total linear-term work
+is constant) and reports how compute inflates and where the attention
+share crosses half of all FLOPs.
+
+The crossover has a closed form the tests pin: attention-quadratic
+FLOPs equal the rest at ``s = 6h`` for the standard ``f = 4h``
+transformer (24bsh² linear vs 4bs²h quadratic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.model import AMPeD
+from repro.core.operations import build_operations
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.microbatch import PERFECT_EFFICIENCY
+from repro.parallelism.spec import spec_from_totals
+from repro.transformer.config import TransformerConfig
+from repro.transformer.zoo import MEGATRON_7_5B
+
+#: Context lengths of the sweep.
+CONTEXT_LENGTHS = (2048, 4096, 8192, 16384, 32768, 65536)
+
+#: Tokens per global batch, held constant across the sweep.
+TOKENS_PER_BATCH = 2 ** 22  # 4M tokens
+
+
+@dataclass(frozen=True)
+class ContextPoint:
+    """One context length of the sweep."""
+
+    sequence_length: int
+    global_batch: int
+    batch_time_s: float
+    attention_flop_share: float
+    time_per_token_s: float
+
+
+def attention_quadratic_share(model: TransformerConfig,
+                              batch: int = 1) -> float:
+    """Fraction of forward MAC FLOPs in the s²-scaling attention terms
+    (scores + attention-over-values: ``4·b·s²·h`` per layer)."""
+    operations = build_operations(model, batch,
+                                  include_embeddings=False)
+    total = operations.total_forward_mac_flops
+    quadratic = (4.0 * batch * model.sequence_length ** 2
+                 * model.hidden_size * model.n_layers)
+    return quadratic / total
+
+
+def quadratic_crossover_length(model: TransformerConfig) -> float:
+    """The ``s`` at which the quadratic attention FLOPs equal all other
+    per-layer FLOPs: ``24·b·s·h² = 4·b·s²·h  =>  s = 6h`` (for the
+    standard ``f = 4h`` feed-forward)."""
+    return 6.0 * model.hidden_size
+
+
+def run_context_study(context_lengths: Sequence[int] = CONTEXT_LENGTHS,
+                      tokens_per_batch: int = TOKENS_PER_BATCH
+                      ) -> List[ContextPoint]:
+    """Sweep context length at fixed tokens per batch on 256 A100s."""
+    system = megatron_a100_cluster(n_nodes=32)
+    points = []
+    for sequence_length in context_lengths:
+        if tokens_per_batch % sequence_length != 0:
+            raise ConfigurationError(
+                f"tokens_per_batch ({tokens_per_batch}) must be a "
+                f"multiple of the context length ({sequence_length})")
+        model = dataclasses.replace(
+            MEGATRON_7_5B,
+            name=f"{MEGATRON_7_5B.name}-s{sequence_length}",
+            sequence_length=sequence_length)
+        global_batch = tokens_per_batch // sequence_length
+        # Perfect efficiency isolates the FLOP/communication scaling:
+        # the saturating eff(ub) fit counts *sequences* per microbatch,
+        # which is the wrong utilization proxy when each sequence's
+        # token count varies by 32x across the sweep.
+        amped = AMPeD(
+            model=model,
+            system=system,
+            parallelism=spec_from_totals(system, tp=8, dp=32),
+            efficiency=PERFECT_EFFICIENCY,
+        )
+        batch_time = amped.estimate_batch(global_batch).total
+        points.append(ContextPoint(
+            sequence_length=sequence_length,
+            global_batch=global_batch,
+            batch_time_s=batch_time,
+            attention_flop_share=attention_quadratic_share(model),
+            time_per_token_s=batch_time / tokens_per_batch,
+        ))
+    return points

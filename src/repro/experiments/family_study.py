@@ -1,0 +1,78 @@
+"""Model-family study: achieved efficiency across Megatron sizes.
+
+The published Megatron scaling study reports achieved TFLOP/s/GPU
+staying roughly flat (within ~20%) from 1.7B to 1T parameters — the
+point of combining the three parallelism types.  This study reproduces
+that flatness with AMPeD: every family member is placed on a 512-GPU
+slice of the Case Study I platform with its best explored mapping, and
+the achieved TFLOP/s/GPU and model-FLOP utilization (MFU) are recorded.
+
+The tests assert the headline: best-mapping utilization varies by less
+than 2x across three decades of model size, with the small models
+limited by per-GPU work and the large ones by pipeline bubbles and
+communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.model import AMPeD
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import spec_from_totals
+from repro.search.dse import best_mapping
+from repro.transformer.params import total_parameters
+from repro.transformer.zoo import get_model
+
+#: The family, smallest to largest.
+FAMILY_KEYS = ("megatron-1.7b", "megatron-3.6b", "megatron-7.5b",
+               "megatron-18b", "megatron-39b", "megatron-76b",
+               "megatron-145b")
+
+FAMILY_BATCH = 2048
+FAMILY_NODES = 64  # 512 A100s
+
+
+@dataclass(frozen=True)
+class FamilyPoint:
+    """One model of the family under its best mapping."""
+
+    model_key: str
+    n_parameters: float
+    mapping: str
+    tflops_per_gpu: float
+    mfu: float
+    batch_time_s: float
+
+
+def run_family_study(model_keys: Sequence[str] = FAMILY_KEYS,
+                     global_batch: int = FAMILY_BATCH,
+                     n_nodes: int = FAMILY_NODES
+                     ) -> List[FamilyPoint]:
+    """Best-mapping achieved throughput for every family member."""
+    system = megatron_a100_cluster(n_nodes=n_nodes)
+    peak_tflops = system.accelerator.peak_mac_flops_per_s / 1e12
+    points = []
+    for key in model_keys:
+        model = get_model(key)
+        template = AMPeD(
+            model=model,
+            system=system,
+            parallelism=spec_from_totals(system, tp=8, dp=n_nodes),
+            efficiency=CASE_STUDY_EFFICIENCY,
+        )
+        best = best_mapping(template, global_batch,
+                            enforce_memory=True)
+        winner = template.with_parallelism(best.parallelism)
+        tflops = winner.achieved_tflops_per_gpu(global_batch)
+        points.append(FamilyPoint(
+            model_key=key,
+            n_parameters=total_parameters(model),
+            mapping=best.label,
+            tflops_per_gpu=tflops,
+            mfu=tflops / peak_tflops,
+            batch_time_s=best.batch_time_s,
+        ))
+    return points

@@ -1,0 +1,258 @@
+"""Figure 2 validation experiments.
+
+Three sub-experiments, mirroring §V-A/B and the Fig. 2c study:
+
+- :func:`data_parallel_scaling` (Fig. 2a) — minGPT (85M) trained with DP
+  on 1..16 V100s of one HGX-2 node.  The paper's in-house GPU runs are
+  replaced by a *mechanistically independent* measurement substitute:
+  per-GPU compute from raw operation counts plus a step-level simulated
+  hierarchical ring all-reduce of the gradients (no AMPeD equations
+  involved).  AMPeD's closed-form prediction is compared against it.
+- :func:`pipeline_parallel_scaling` (Fig. 2b) — the 16-layer minGPT
+  variant trained with PP on 2..16 GPUs, ``N_ub = N_PP`` as in the
+  paper.  Measurement substitute: the discrete-event pipeline simulator
+  executing the GPipe schedule on per-stage task times derived from raw
+  operation counts.
+- :func:`batch_size_saturation` (Fig. 2c) — GPT-3 175B on 96 GPUs with
+  pipeline parallelism only; achieved TFLOP/s/GPU as a function of the
+  microbatch size, reproducing the saturating shape (the paper quotes
+  ~11% error at microbatch 12 shrinking to ~2% at 60 against Narayanan
+  et al.'s measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.collectives.hierarchical import simulate_hierarchical_allreduce
+from repro.core.metrics import normalize_to_first
+from repro.core.model import AMPeD
+from repro.core.operations import build_operations
+from repro.hardware.catalog import hgx2_node
+from repro.hardware.precision import MIXED_FP16
+from repro.parallelism.microbatch import MicrobatchEfficiency
+from repro.parallelism.spec import ParallelismSpec
+from repro.pipeline.simulator import PipelineWorkload, simulate_pipeline
+from repro.transformer.params import total_parameters
+from repro.transformer.zoo import GPT3_175B, MINGPT_85M, MINGPT_PP
+from repro.validation.compare import ValidationReport, compare_series
+
+#: Efficiency fit for the minGPT validation runs — saturates quickly, as
+#: small models do on V100s; both the measurement substitute and the
+#: prediction use it (the paper likewise feeds AMPeD "the average
+#: microbatch efficiency as obtained during the runtime of the
+#: experiment").
+MINGPT_EFFICIENCY = MicrobatchEfficiency(a=0.6, b=64.0, floor=0.05)
+
+#: Fixed global batch of the validation runs (sequences).
+MINGPT_GLOBAL_BATCH = 512
+
+#: Efficiency fit for the GPT-3/96-GPU study of Fig. 2c, calibrated so
+#: the saturated end approaches the ~150 TFLOP/s/GPU that Narayanan et
+#: al. report (see EXPERIMENTS.md).
+FIG2C_EFFICIENCY = MicrobatchEfficiency(a=0.72, b=10.0, floor=0.05)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (GPU count, predicted, measured) triple of Fig. 2a/2b."""
+
+    n_gpus: int
+    predicted_s: float
+    measured_s: float
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """A full scaling series plus its normalized forms."""
+
+    name: str
+    points: Tuple[ScalingPoint, ...]
+
+    @property
+    def gpu_counts(self) -> List[int]:
+        """GPU counts of the sweep."""
+        return [p.n_gpus for p in self.points]
+
+    @property
+    def predicted_normalized(self) -> List[float]:
+        """Predicted training times normalized to the first point."""
+        return normalize_to_first([p.predicted_s for p in self.points])
+
+    @property
+    def measured_normalized(self) -> List[float]:
+        """Measured (simulated) times normalized to the first point."""
+        return normalize_to_first([p.measured_s for p in self.points])
+
+    def report(self) -> ValidationReport:
+        """Predicted-vs-measured comparison of the normalized curves."""
+        return compare_series(
+            self.name,
+            [f"{p.n_gpus} GPUs" for p in self.points],
+            self.predicted_normalized,
+            self.measured_normalized,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2a — data parallelism
+# ---------------------------------------------------------------------------
+
+
+def _mingpt_compute_time(model, global_batch: int, n_gpus: int,
+                         efficiency: MicrobatchEfficiency,
+                         accelerator) -> float:
+    """Measurement substitute's compute path: raw FLOPs (forward +
+    2x backward + weight update) over derated MAC peak, plus the
+    non-linear operations over the special-function-unit peak, per GPU."""
+    operations = build_operations(model, global_batch)
+    flops = operations.total_forward_mac_flops * 3.0
+    flops += 2.0 * operations.total_parameters  # SGD update MACs->FLOPs
+    nonlinear = sum(layer.nonlinear_ops
+                    for layer in operations.layers) * 3.0
+    microbatch = global_batch / n_gpus
+    mac_time = flops / (accelerator.peak_mac_flops_per_s
+                        * efficiency(microbatch) * n_gpus)
+    nonlinear_time = nonlinear / (accelerator.peak_nonlinear_ops_per_s
+                                  * n_gpus)
+    return mac_time + nonlinear_time
+
+
+def data_parallel_scaling(gpu_counts: Sequence[int] = (1, 2, 4, 8, 16),
+                          global_batch: int = MINGPT_GLOBAL_BATCH
+                          ) -> ScalingResult:
+    """Fig. 2a: normalized DP training time of minGPT on one HGX-2."""
+    points = []
+    for n_gpus in gpu_counts:
+        system = hgx2_node(max(n_gpus, 1))
+        node = system.node
+        accelerator = node.accelerator
+
+        # Measurement substitute: compute + simulated gradient all-reduce.
+        compute = _mingpt_compute_time(MINGPT_85M, global_batch, n_gpus,
+                                       MINGPT_EFFICIENCY, accelerator)
+        measured = compute
+        if n_gpus > 1:
+            gradient_bits = (total_parameters(MINGPT_85M)
+                             * MIXED_FP16.gradient_bits)
+            allreduce = simulate_hierarchical_allreduce(
+                gradient_bits, n_intra=n_gpus, n_inter=1,
+                intra_link=node.intra_link, inter_link=node.inter_link)
+            measured += allreduce.time_s
+
+        # AMPeD prediction.
+        amped = AMPeD(
+            model=MINGPT_85M,
+            system=system,
+            parallelism=ParallelismSpec(dp_intra=n_gpus),
+            efficiency=MINGPT_EFFICIENCY,
+        )
+        predicted = amped.estimate_batch(global_batch).total
+        points.append(ScalingPoint(n_gpus, predicted, measured))
+    return ScalingResult("Fig. 2a: minGPT data-parallel scaling",
+                         tuple(points))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2b — pipeline parallelism
+# ---------------------------------------------------------------------------
+
+
+def pipeline_parallel_scaling(gpu_counts: Sequence[int] = (2, 4, 8, 16),
+                              global_batch: int = MINGPT_GLOBAL_BATCH
+                              ) -> ScalingResult:
+    """Fig. 2b: normalized PP training time of the 16-layer minGPT.
+
+    ``N_ub = N_PP`` per the paper ("we set the number of microbatches to
+    be equal to the pipeline degree").
+    """
+    points = []
+    for n_gpus in gpu_counts:
+        system = hgx2_node(max(n_gpus, 2))
+        node = system.node
+        accelerator = node.accelerator
+        n_ub = n_gpus
+        microbatch = global_batch / n_ub
+        eff = MINGPT_EFFICIENCY(microbatch)
+
+        # Measurement substitute: discrete-event GPipe simulation over
+        # per-stage task times from raw operation counts.
+        operations = build_operations(MINGPT_PP, global_batch)
+        forward_total = (operations.total_forward_mac_flops
+                         / (accelerator.peak_mac_flops_per_s * eff))
+        fwd_task = forward_total / (n_gpus * n_ub)
+        activation_bits = ((global_batch / n_ub)
+                           * MINGPT_PP.sequence_length
+                           * MINGPT_PP.hidden_size
+                           * MIXED_FP16.activation_bits)
+        comm_task = node.intra_link.transfer_time(activation_bits)
+        sim = simulate_pipeline(
+            PipelineWorkload(forward_time=fwd_task,
+                             backward_time=2.0 * fwd_task,
+                             comm_time=comm_task),
+            n_stages=n_gpus, n_microbatches=n_ub, schedule="gpipe")
+        measured = sim.makespan_s
+
+        # AMPeD prediction.
+        amped = AMPeD(
+            model=MINGPT_PP,
+            system=system,
+            parallelism=ParallelismSpec(pp_intra=n_gpus,
+                                        n_microbatches=n_ub),
+            efficiency=MINGPT_EFFICIENCY,
+        )
+        predicted = amped.estimate_batch(global_batch).total
+        points.append(ScalingPoint(n_gpus, predicted, measured))
+    return ScalingResult("Fig. 2b: minGPT pipeline-parallel scaling",
+                         tuple(points))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2c — batch-size saturation of GPT-3 175B
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SaturationPoint:
+    """One microbatch size of the Fig. 2c sweep."""
+
+    microbatch_size: int
+    global_batch: int
+    tflops_per_gpu: float
+    efficiency: float
+
+
+def batch_size_saturation(microbatch_sizes: Sequence[int] =
+                          (1, 2, 4, 6, 8, 12, 16, 24, 32, 48, 60),
+                          n_gpus: int = 96,
+                          n_microbatches: int = 512
+                          ) -> List[SaturationPoint]:
+    """Fig. 2c: TFLOP/s/GPU vs microbatch size, GPT-3 175B, PP only.
+
+    96 GPUs arranged as 12 HGX-style nodes of 8, pipeline degree 96
+    (one stage per layer group); the global batch is
+    ``microbatch * N_ub`` so the sweep moves only the microbatch size.
+    """
+    from repro.hardware.catalog import megatron_a100_cluster
+
+    system = megatron_a100_cluster(n_nodes=n_gpus // 8,
+                                   accelerators_per_node=8)
+    spec = ParallelismSpec(pp_intra=8, pp_inter=n_gpus // 8,
+                           n_microbatches=n_microbatches)
+    points = []
+    for microbatch in microbatch_sizes:
+        global_batch = microbatch * n_microbatches
+        amped = AMPeD(
+            model=GPT3_175B,
+            system=system,
+            parallelism=spec,
+            efficiency=FIG2C_EFFICIENCY,
+        )
+        points.append(SaturationPoint(
+            microbatch_size=microbatch,
+            global_batch=global_batch,
+            tflops_per_gpu=amped.achieved_tflops_per_gpu(global_batch),
+            efficiency=amped.microbatch_efficiency(global_batch),
+        ))
+    return points

@@ -1,0 +1,90 @@
+"""Strong-scaling study: what AMPeD is *for*.
+
+Not a figure from the paper, but the question its introduction poses —
+"identifying the right type and degree of parallelism ... can help in
+improving the training throughput considerably" — turned into a study:
+for each cluster size from 8 to 128 nodes, run the full design-space
+explorer (mapping enumeration, per-mapping microbatch tuning, memory
+feasibility) and record the best achievable training time, the mapping
+that achieves it, and the parallel efficiency against the smallest
+cluster.
+
+The tests and bench assert the textbook shape: time falls monotonically
+with accelerators, the efficiency decays below 1, and the best mapping
+keeps TP inside the node at every size (conclusion ❺ holds across
+scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.model import AMPeD
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import spec_from_totals
+from repro.search.dse import best_mapping
+from repro.transformer.config import TransformerConfig
+from repro.transformer.zoo import MEGATRON_145B
+
+#: Cluster sizes of the sweep (nodes of 8 A100s each).
+SCALING_NODE_COUNTS = (8, 16, 32, 64, 128)
+
+SCALING_BATCH = 4096
+SCALING_TOKENS = 300e9
+
+
+@dataclass(frozen=True)
+class ScalingStudyPoint:
+    """Best achievable configuration at one cluster size."""
+
+    n_nodes: int
+    n_accelerators: int
+    mapping: str
+    tp_intra: int
+    uses_inter_tp: bool
+    batch_time_s: float
+    training_days: float
+
+    def speedup_over(self, base: "ScalingStudyPoint") -> float:
+        """Throughput gain over the smallest cluster."""
+        return base.batch_time_s / self.batch_time_s
+
+    def efficiency_over(self, base: "ScalingStudyPoint") -> float:
+        """Parallel efficiency vs the smallest cluster."""
+        ideal = self.n_accelerators / base.n_accelerators
+        return self.speedup_over(base) / ideal
+
+
+def run_scaling_study(node_counts: Sequence[int] = SCALING_NODE_COUNTS,
+                      model: TransformerConfig = MEGATRON_145B,
+                      global_batch: int = SCALING_BATCH,
+                      total_tokens: float = SCALING_TOKENS,
+                      enforce_memory: bool = True
+                      ) -> List[ScalingStudyPoint]:
+    """Best-mapping training time at every cluster size."""
+    points = []
+    for n_nodes in node_counts:
+        system = megatron_a100_cluster(n_nodes=n_nodes)
+        template = AMPeD(
+            model=model,
+            system=system,
+            parallelism=spec_from_totals(system, tp=8, dp=n_nodes),
+            efficiency=CASE_STUDY_EFFICIENCY,
+        )
+        best = best_mapping(template, global_batch,
+                            enforce_memory=enforce_memory)
+        winner = template.with_parallelism(best.parallelism)
+        estimate = winner.estimate(global_batch,
+                                   total_tokens=total_tokens)
+        points.append(ScalingStudyPoint(
+            n_nodes=n_nodes,
+            n_accelerators=system.n_accelerators,
+            mapping=best.label,
+            tp_intra=best.parallelism.tp_intra,
+            uses_inter_tp=best.parallelism.uses_inter_tp,
+            batch_time_s=best.batch_time_s,
+            training_days=estimate.total_time_days,
+        ))
+    return points

@@ -1,0 +1,88 @@
+"""Table II: AMPeD vs published Megatron TFLOP/s/GPU.
+
+The published runs (Narayanan et al., SC'21) trained GPT models of
+145B-1T parameters on DGX-A100 clusters with the (TP, PP, DP) mappings
+in the table and a per-GPU microbatch of one sequence.  We rebuild each
+system (``n_gpus / 8`` nodes of 8 A100s over HDR InfiniBand), place the
+published mapping TP-innermost, set ``N_ub`` from the microbatch-of-one
+convention, and compare predicted achieved TFLOP/s/GPU against the
+published numbers.
+
+Efficiency calibration: like the paper ("AMPeD can use empirically
+derived efficiency factors"), the fit below is calibrated on the
+*first* row (145B) and then applied unchanged to the other three, so
+rows 2-4 are genuine predictions.  The paper's own error pattern —
+growing under-prediction at deep PP because R = 1 ignores interleaved
+bubble overlap — reappears here for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.model import AMPeD
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.microbatch import MicrobatchEfficiency
+from repro.parallelism.spec import spec_from_totals
+from repro.transformer.zoo import get_model
+from repro.validation.compare import ValidationReport, compare_series
+from repro.validation.published import MEGATRON_TABLE2, MegatronPoint
+
+#: Microbatch sequences per GPU in the published runs.
+MICROBATCH_PER_GPU = 1
+
+#: Efficiency at microbatch 1, calibrated on the 145B row (the fit is
+#: flat in ``ub`` because the published runs pin the microbatch to one).
+TABLE2_EFFICIENCY = MicrobatchEfficiency(a=0.66, b=0.12, floor=0.05)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One reproduced row of Table II."""
+
+    point: MegatronPoint
+    predicted_tflops: float
+
+    @property
+    def error_percent(self) -> float:
+        """Error of our prediction against the published value."""
+        return 100.0 * abs(self.predicted_tflops
+                           - self.point.published_tflops) \
+            / self.point.published_tflops
+
+
+def build_row(point: MegatronPoint,
+              efficiency: MicrobatchEfficiency = TABLE2_EFFICIENCY
+              ) -> Table2Row:
+    """Evaluate AMPeD for one published configuration."""
+    model = get_model(point.model_key)
+    system = megatron_a100_cluster(n_nodes=point.n_gpus // 8)
+    n_ub = point.global_batch // (point.dp * MICROBATCH_PER_GPU)
+    spec = spec_from_totals(system, tp=point.tp, pp=point.pp, dp=point.dp,
+                            n_microbatches=n_ub)
+    amped = AMPeD(
+        model=model,
+        system=system,
+        parallelism=spec,
+        efficiency=efficiency,
+    )
+    return Table2Row(
+        point=point,
+        predicted_tflops=amped.achieved_tflops_per_gpu(point.global_batch),
+    )
+
+
+def reproduce_table2(efficiency: MicrobatchEfficiency = TABLE2_EFFICIENCY
+                     ) -> Tuple[List[Table2Row], ValidationReport]:
+    """All four rows plus the error report against the published column."""
+    rows = [build_row(point, efficiency) for point in MEGATRON_TABLE2]
+    report = compare_series(
+        "Table II: AMPeD vs published TFLOP/s/GPU",
+        [f"{row.point.n_parameters_b:g}B "
+         f"(TP{row.point.tp}/PP{row.point.pp}/DP{row.point.dp})"
+         for row in rows],
+        [row.predicted_tflops for row in rows],
+        [row.point.published_tflops for row in rows],
+    )
+    return rows, report

@@ -1,0 +1,110 @@
+"""Table II revisited with a modeled overlap ratio (the paper's own fix).
+
+The paper attributes its growing deep-PP error to setting R = 1 while
+the published runs used *interleaved* pipelining: "R can be tuned to
+fit the data or can be modeled in more detail as a function of pipeline
+stages and interleaving".  This experiment does the modeling: it
+measures R for the interleaved schedule with the discrete-event
+simulator (Megatron's default is two model chunks per stage) and
+re-evaluates every Table II row with that ratio.
+
+Expected outcome — and what the tests assert: the deep-PP rows
+(530B at PP=35, 1T at PP=64) move toward the published numbers, while
+the shallow rows barely move (their bubbles were small to begin with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.table2 import (
+    TABLE2_EFFICIENCY,
+    Table2Row,
+    build_row,
+)
+from repro.fitting.overlap_fit import measure_overlap_ratio
+from repro.validation.compare import ValidationReport, compare_series
+from repro.validation.published import MEGATRON_TABLE2, MegatronPoint
+
+#: Model chunks per stage in Megatron's interleaved schedule.
+MEGATRON_CHUNKS = 2
+
+#: Simulator problem size used to estimate R (stage/microbatch counts
+#: beyond this change R only marginally; the simulator cost grows
+#: quadratically).
+_R_ESTIMATE_STAGES = 8
+_R_ESTIMATE_MICROBATCHES = 32
+
+
+@dataclass(frozen=True)
+class InterleavedRow:
+    """One Table II row under both overlap assumptions."""
+
+    naive: Table2Row
+    interleaved: Table2Row
+    overlap_ratio: float
+
+    @property
+    def point(self) -> MegatronPoint:
+        """The published reference row."""
+        return self.naive.point
+
+    @property
+    def improvement_percent(self) -> float:
+        """Error reduction from modeling the overlap (positive =
+        interleaved modeling is closer to the published value)."""
+        return self.naive.error_percent - self.interleaved.error_percent
+
+
+def estimated_overlap_ratio(n_chunks: int = MEGATRON_CHUNKS) -> float:
+    """R for the interleaved schedule, measured by simulation."""
+    return measure_overlap_ratio(
+        n_stages=_R_ESTIMATE_STAGES,
+        n_microbatches=_R_ESTIMATE_MICROBATCHES,
+        n_chunks=n_chunks)
+
+
+def reproduce_table2_interleaved(
+        n_chunks: int = MEGATRON_CHUNKS
+) -> Tuple[List[InterleavedRow], ValidationReport]:
+    """Every Table II row with simulator-derived interleaved overlap."""
+    ratio = estimated_overlap_ratio(n_chunks)
+    rows = []
+    for point in MEGATRON_TABLE2:
+        rows.append(InterleavedRow(
+            naive=build_row(point),
+            interleaved=build_overlapped_row(point, ratio),
+            overlap_ratio=ratio))
+    report = compare_series(
+        f"Table II with interleaved overlap (R = {ratio:.2f}, "
+        f"{n_chunks} chunks)",
+        [f"{row.point.n_parameters_b:g}B (PP{row.point.pp})"
+         for row in rows],
+        [row.interleaved.predicted_tflops for row in rows],
+        [row.point.published_tflops for row in rows],
+    )
+    return rows, report
+
+
+def build_overlapped_row(point: MegatronPoint,
+                         ratio: float) -> Table2Row:
+    """One Table II row evaluated at overlap ``ratio``."""
+    from repro.core.model import AMPeD
+    from repro.experiments.table2 import MICROBATCH_PER_GPU
+    from repro.hardware.catalog import megatron_a100_cluster
+    from repro.parallelism.spec import spec_from_totals
+    from repro.transformer.zoo import get_model
+
+    model = get_model(point.model_key)
+    system = megatron_a100_cluster(n_nodes=point.n_gpus // 8)
+    n_ub = point.global_batch // (point.dp * MICROBATCH_PER_GPU)
+    spec = spec_from_totals(system, tp=point.tp, pp=point.pp,
+                            dp=point.dp, n_microbatches=n_ub,
+                            bubble_overlap_ratio=ratio)
+    amped = AMPeD(model=model, system=system, parallelism=spec,
+                  efficiency=TABLE2_EFFICIENCY)
+    return Table2Row(
+        point=point,
+        predicted_tflops=amped.achieved_tflops_per_gpu(
+            point.global_batch))

@@ -1,0 +1,102 @@
+"""Table III: GPipe normalized training throughput on P100 GPUs.
+
+Huang et al. trained a 24-layer transformer with GPipe on 2/4/8 P100s
+behind PCIe 3.0 using M = 32 microbatches and reported throughput
+normalized to the 2-GPU run: 1 / 1.8 / 3.3.  The paper predicts
+1 / 1.84 / 3.19.
+
+We rebuild the platform from the catalog, run AMPeD with pure pipeline
+parallelism and 32 microbatches at a fixed per-GPU memory budget
+("we tune the microbatch size according to the available memory of
+P100" — the global batch stays constant across GPU counts, which is
+what makes the speedup sub-linear: the fill/drain bubble share
+``(K-1)/M`` grows with K), and additionally cross-check with the
+discrete-event pipeline simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.metrics import speedups
+from repro.core.model import AMPeD
+from repro.core.operations import build_operations
+from repro.hardware.catalog import gpipe_p100_node
+from repro.hardware.precision import FULL_FP32
+from repro.parallelism.microbatch import MicrobatchEfficiency
+from repro.parallelism.spec import ParallelismSpec
+from repro.pipeline.simulator import PipelineWorkload, simulate_pipeline
+from repro.transformer.zoo import GPIPE_T24
+from repro.validation.compare import ValidationReport, compare_series
+from repro.validation.published import GPIPE_N_MICROBATCHES, GPIPE_TABLE3
+
+#: Sequences per microbatch (P100's 16 GB bounds the microbatch; one
+#: sequence per microbatch matches GPipe's re-materialization setup).
+MICROBATCH_SIZE = 1
+
+#: Efficiency fit for the P100 runs; constant across GPU counts because
+#: the microbatch is pinned, so it cancels in the normalization.
+GPIPE_EFFICIENCY = MicrobatchEfficiency(a=0.5, b=0.5, floor=0.05)
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One GPU-count column of Table III."""
+
+    n_gpus: int
+    batch_time_s: float
+    simulated_time_s: float
+
+
+def build_rows(gpu_counts: Sequence[int] = (2, 4, 8)
+               ) -> List[Table3Row]:
+    """Evaluate AMPeD and the pipeline simulator for each GPU count."""
+    global_batch = MICROBATCH_SIZE * GPIPE_N_MICROBATCHES
+    rows = []
+    for n_gpus in gpu_counts:
+        system = gpipe_p100_node(n_gpus)
+        spec = ParallelismSpec(pp_intra=n_gpus,
+                               n_microbatches=GPIPE_N_MICROBATCHES)
+        amped = AMPeD(
+            model=GPIPE_T24,
+            system=system,
+            parallelism=spec,
+            precision=FULL_FP32,
+            efficiency=GPIPE_EFFICIENCY,
+        )
+        batch_time = amped.estimate_batch(global_batch).total
+
+        # Cross-check: discrete-event GPipe schedule.
+        operations = build_operations(GPIPE_T24, global_batch)
+        eff = GPIPE_EFFICIENCY(MICROBATCH_SIZE)
+        peak = system.accelerator.peak_mac_flops_per_s * eff / 2.0
+        # FP32 on FP16-native units: two passes, hence /2 on throughput.
+        forward_total = operations.total_forward_mac_flops / peak
+        fwd_task = forward_total / (n_gpus * GPIPE_N_MICROBATCHES)
+        activation_bits = (MICROBATCH_SIZE * GPIPE_T24.sequence_length
+                           * GPIPE_T24.hidden_size
+                           * FULL_FP32.activation_bits)
+        comm_task = system.node.intra_link.transfer_time(activation_bits)
+        sim = simulate_pipeline(
+            PipelineWorkload(forward_time=fwd_task,
+                             backward_time=2.0 * fwd_task,
+                             comm_time=comm_task),
+            n_stages=n_gpus, n_microbatches=GPIPE_N_MICROBATCHES,
+            schedule="gpipe")
+        rows.append(Table3Row(n_gpus=n_gpus, batch_time_s=batch_time,
+                              simulated_time_s=sim.makespan_s))
+    return rows
+
+
+def reproduce_table3() -> Tuple[List[Table3Row], ValidationReport]:
+    """Speedups vs the published Table III numbers."""
+    rows = build_rows([point.n_gpus for point in GPIPE_TABLE3])
+    predicted = speedups([row.batch_time_s for row in rows])
+    report = compare_series(
+        "Table III: GPipe normalized throughput (M=32)",
+        [f"{point.n_gpus} GPUs" for point in GPIPE_TABLE3],
+        predicted,
+        [point.published_speedup for point in GPIPE_TABLE3],
+    )
+    return rows, report

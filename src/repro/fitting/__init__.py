@@ -1,0 +1,37 @@
+"""Fitting and calibration: the paper's empirical knobs, made rigorous.
+
+- efficiency-curve fitting (``eff(ub) = a*ub/(b+ub)``) from measured
+  points — the paper's declared future work;
+- bubble-overlap ratio ``R`` estimation, both a priori (from the
+  discrete-event simulator) and a posteriori (fit to a measured
+  throughput);
+- one-anchor calibration workflows.
+"""
+
+from repro.fitting.calibration import (
+    CalibrationResult,
+    calibrate_efficiency_to_batch_time,
+    calibrate_efficiency_to_tflops,
+)
+from repro.fitting.efficiency_fit import (
+    EfficiencyFitResult,
+    fit_efficiency,
+)
+from repro.fitting.overlap_fit import (
+    bisect_scalar,
+    fit_overlap_to_target,
+    interleaving_overlap_model,
+    measure_overlap_ratio,
+)
+
+__all__ = [
+    "fit_efficiency",
+    "EfficiencyFitResult",
+    "measure_overlap_ratio",
+    "interleaving_overlap_model",
+    "fit_overlap_to_target",
+    "bisect_scalar",
+    "calibrate_efficiency_to_tflops",
+    "calibrate_efficiency_to_batch_time",
+    "CalibrationResult",
+]

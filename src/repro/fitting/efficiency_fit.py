@@ -1,0 +1,135 @@
+"""Fitting the microbatch-efficiency curve from measurements.
+
+The paper derives ``eff(ub) = a*ub/(b+ub)`` "by fitting the experimental
+data" and leaves "a predictive model for eff(ub) ... for future work".
+This module implements the fitting half rigorously:
+
+- :func:`fit_efficiency` — least-squares fit of (a, b) through any
+  number of measured ``(ub, eff)`` points.  The model linearizes
+  exactly: ``1/eff = 1/a + (b/a) * (1/ub)``, so ordinary least squares
+  on reciprocals recovers the parameters without iteration.
+- :class:`EfficiencyFitResult` — the fitted curve plus goodness-of-fit
+  diagnostics (RMSE, coefficient of determination).
+
+The reciprocal linearization weights small-``ub`` points more heavily
+(their reciprocals are larger); that is usually desirable here because
+the small-microbatch regime is where the fit drives mapping decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.parallelism.microbatch import MicrobatchEfficiency
+
+
+@dataclass(frozen=True)
+class EfficiencyFitResult:
+    """A fitted efficiency curve with diagnostics."""
+
+    efficiency: MicrobatchEfficiency
+    points: Tuple[Tuple[float, float], ...]
+    rmse: float
+    r_squared: float
+
+    @property
+    def a(self) -> float:
+        """Fitted asymptote parameter."""
+        return self.efficiency.a
+
+    @property
+    def b(self) -> float:
+        """Fitted half-saturation microbatch size."""
+        return self.efficiency.b
+
+    def residuals(self) -> List[float]:
+        """Measured minus fitted efficiency, per point."""
+        return [eff - self.efficiency(ub) for ub, eff in self.points]
+
+
+def fit_efficiency(points: Sequence[Tuple[float, float]],
+                   floor: float = 0.0,
+                   ceiling: float = 1.0) -> EfficiencyFitResult:
+    """Least-squares fit of ``eff(ub) = a*ub/(b+ub)`` through points.
+
+    Parameters
+    ----------
+    points:
+        Measured ``(microbatch_size, efficiency)`` pairs; at least two
+        distinct microbatch sizes, efficiencies in (0, 1].
+    floor, ceiling:
+        Clamps applied to the resulting
+        :class:`~repro.parallelism.microbatch.MicrobatchEfficiency`.
+
+    Raises
+    ------
+    ConfigurationError
+        On degenerate inputs or when the points imply a non-saturating
+        curve (negative fitted ``b``).
+    """
+    cleaned = [(float(ub), float(eff)) for ub, eff in points]
+    if len(cleaned) < 2:
+        raise ConfigurationError(
+            f"need at least two points to fit, got {len(cleaned)}")
+    for ub, eff in cleaned:
+        if ub <= 0:
+            raise ConfigurationError(
+                f"microbatch sizes must be positive, got {ub}")
+        if not 0 < eff <= 1:
+            raise ConfigurationError(
+                f"efficiencies must be in (0, 1], got {eff}")
+    if len({ub for ub, _ in cleaned}) < 2:
+        raise ConfigurationError(
+            "need at least two distinct microbatch sizes")
+
+    # Exact linearization: y = 1/eff, x = 1/ub, y = c0 + c1 * x with
+    # c0 = 1/a, c1 = b/a.
+    xs = [1.0 / ub for ub, _ in cleaned]
+    ys = [1.0 / eff for _, eff in cleaned]
+    c0, c1 = _linear_least_squares(xs, ys)
+    if c0 <= 0:
+        raise ConfigurationError(
+            f"points imply a non-physical asymptote (1/a = {c0:.3g}); "
+            f"check the measurements")
+    a = 1.0 / c0
+    b = c1 * a
+    if b < 0:
+        raise ConfigurationError(
+            f"points imply a non-saturating curve (b = {b:.3g}); "
+            f"efficiency should increase with microbatch size")
+
+    efficiency = MicrobatchEfficiency(a=a, b=b, floor=floor,
+                                      ceiling=ceiling)
+    fitted = [efficiency(ub) for ub, _ in cleaned]
+    measured = [eff for _, eff in cleaned]
+    rmse = (sum((f - m) ** 2 for f, m in zip(fitted, measured))
+            / len(cleaned)) ** 0.5
+    mean = sum(measured) / len(measured)
+    total_ss = sum((m - mean) ** 2 for m in measured)
+    residual_ss = sum((f - m) ** 2 for f, m in zip(fitted, measured))
+    r_squared = 1.0 if total_ss == 0 else 1.0 - residual_ss / total_ss
+    return EfficiencyFitResult(
+        efficiency=efficiency,
+        points=tuple(cleaned),
+        rmse=rmse,
+        r_squared=r_squared,
+    )
+
+
+def _linear_least_squares(xs: Sequence[float],
+                          ys: Sequence[float]) -> Tuple[float, float]:
+    """Ordinary least squares for ``y = c0 + c1 x`` (closed form)."""
+    n = len(xs)
+    sum_x = sum(xs)
+    sum_y = sum(ys)
+    sum_xx = sum(x * x for x in xs)
+    sum_xy = sum(x * y for x, y in zip(xs, ys))
+    denominator = n * sum_xx - sum_x * sum_x
+    if denominator == 0:
+        raise ConfigurationError(
+            "degenerate regression: all microbatch sizes equal")
+    c1 = (n * sum_xy - sum_x * sum_y) / denominator
+    c0 = (sum_y - c1 * sum_x) / n
+    return c0, c1

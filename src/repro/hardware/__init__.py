@@ -1,0 +1,78 @@
+"""Hardware descriptions: accelerators, links, nodes and systems.
+
+The public surface mirrors the knobs of the paper's Tables I and IV: an
+:class:`AcceleratorSpec` (clock, core count, functional units and widths),
+:class:`LinkSpec` (latency + bandwidth), and their composition into
+:class:`NodeSpec` and :class:`SystemSpec`.  :mod:`repro.hardware.catalog`
+provides the concrete parts used by the paper's experiments.
+"""
+
+from repro.hardware.accelerator import AcceleratorSpec
+from repro.hardware.catalog import (
+    A100,
+    ACCELERATORS,
+    H100,
+    P100,
+    V100_SXM3,
+    glam_h100_reference,
+    gpipe_p100_node,
+    hgx2_node,
+    lowend_a100_cluster,
+    megatron_a100_cluster,
+)
+from repro.hardware.interconnect import (
+    IB_EDR,
+    IB_HDR,
+    IB_NDR,
+    NVLINK2,
+    NVLINK3,
+    NVLINK4,
+    PCIE3_X16,
+    LinkSpec,
+    optical_fiber_link,
+)
+from repro.hardware.node import NodeSpec
+from repro.hardware.precision import (
+    FP8,
+    FP8_TRAINING,
+    FP16,
+    FP32,
+    FULL_FP32,
+    MIXED_FP16,
+    PrecisionPolicy,
+    precision_passes,
+)
+from repro.hardware.system import SystemSpec
+
+__all__ = [
+    "AcceleratorSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "SystemSpec",
+    "PrecisionPolicy",
+    "precision_passes",
+    "FP8",
+    "FP16",
+    "FP32",
+    "MIXED_FP16",
+    "FULL_FP32",
+    "FP8_TRAINING",
+    "A100",
+    "H100",
+    "V100_SXM3",
+    "P100",
+    "ACCELERATORS",
+    "NVLINK2",
+    "NVLINK3",
+    "NVLINK4",
+    "PCIE3_X16",
+    "IB_EDR",
+    "IB_HDR",
+    "IB_NDR",
+    "optical_fiber_link",
+    "hgx2_node",
+    "megatron_a100_cluster",
+    "lowend_a100_cluster",
+    "glam_h100_reference",
+    "gpipe_p100_node",
+]

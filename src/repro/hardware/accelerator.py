@@ -1,0 +1,134 @@
+"""Accelerator micro-architecture description.
+
+The paper parameterizes an accelerator exactly as its Table IV does: a
+clock frequency ``f``, a number of cores ``N_cores`` (streaming
+multiprocessors on NVIDIA parts), ``N_FU`` matrix functional units per
+core each ``W_FU`` lanes wide, and a separate pool of non-linear
+functional units (``N_FU_nonlin`` of width ``W_FU_nonlin``).
+
+The product ``f · N_cores · N_FU · W_FU`` reproduces the vendor FP16
+tensor peak in FLOP/s for the A100 (312 TFLOP/s) and H100 (973 TFLOP/s)
+rows of Table IV, so throughout this library operation counts are FLOPs
+(1 MAC = 2 FLOPs) and "MAC throughput" means FLOP throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.hardware.precision import FP16
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One homogeneous accelerator (GPU or otherwise).
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier ("Nvidia A100").
+    frequency_hz:
+        Core clock ``f`` in cycles/second.
+    n_cores:
+        ``N_cores``, number of compute cores (SMs).
+    n_fu:
+        ``N_FU``, matrix (MAC) functional units per core.
+    fu_width:
+        ``W_FU``, lanes per matrix unit, expressed in FLOPs per cycle per
+        unit at the native precision ``mac_fu_bits``.
+    n_fu_nonlinear:
+        ``N_FU_nonlin``, special-function units for softmax/GeLU/etc.
+        (chip-wide count, matching Table IV's usage in Eq. 4 where no
+        ``N_cores`` factor appears).
+    fu_nonlinear_width:
+        ``W_FU_nonlin``, lanes per non-linear unit.
+    mac_fu_bits:
+        ``S_FU_MAC``, native operand width of the MAC pipeline, bits.
+    nonlinear_fu_bits:
+        ``S_FU_nonlin``, native operand width of the non-linear pipeline.
+    memory_bytes:
+        HBM capacity available to one accelerator, in bytes.
+    memory_bandwidth_bits_per_s:
+        HBM bandwidth, bits/second (used by the roofline baseline).
+    offchip_bandwidth_bits_per_s:
+        Off-chip I/O bandwidth of the accelerator, bits/second.  For
+        NVLink-connected GPUs this is the NVLink bandwidth; Case Study III
+        scales it for future optically-connected designs.
+    tdp_watts:
+        Thermal design power, used by the energy model.
+    """
+
+    name: str
+    frequency_hz: float
+    n_cores: int
+    n_fu: int
+    fu_width: int
+    n_fu_nonlinear: int
+    fu_nonlinear_width: int
+    mac_fu_bits: int = FP16
+    nonlinear_fu_bits: int = FP16
+    memory_bytes: float = 0.0
+    memory_bandwidth_bits_per_s: float = 0.0
+    offchip_bandwidth_bits_per_s: float = 0.0
+    tdp_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("accelerator name must be non-empty")
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"frequency_hz must be positive, got {self.frequency_hz}")
+        for name in ("n_cores", "n_fu", "fu_width",
+                     "n_fu_nonlinear", "fu_nonlinear_width"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be a positive integer, got {value!r}")
+        for name in ("mac_fu_bits", "nonlinear_fu_bits"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be a positive integer number of bits, "
+                    f"got {value!r}")
+        for name in ("memory_bytes", "memory_bandwidth_bits_per_s",
+                     "offchip_bandwidth_bits_per_s", "tdp_watts"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} must be non-negative, got {getattr(self, name)}")
+
+    # -- throughputs --------------------------------------------------------
+
+    @property
+    def peak_mac_flops_per_s(self) -> float:
+        """Peak MAC-pipeline throughput ``f·N_cores·N_FU·W_FU`` (FLOP/s).
+
+        This is the 100%-efficiency throughput; Eq. 3 derates it by the
+        microbatch efficiency ``eff(ub)``.
+        """
+        return (self.frequency_hz * self.n_cores
+                * self.n_fu * self.fu_width)
+
+    @property
+    def peak_nonlinear_ops_per_s(self) -> float:
+        """Peak non-linear throughput ``f·N_FU_nonlin·W_FU_nonlin`` (op/s),
+        the reciprocal of Eq. 4."""
+        return (self.frequency_hz * self.n_fu_nonlinear
+                * self.fu_nonlinear_width)
+
+    def with_offchip_bandwidth_scaled(self, factor: float) -> "AcceleratorSpec":
+        """A copy with off-chip bandwidth multiplied by ``factor``.
+
+        Case Study III's *Opt. 3* models future accelerator designs whose
+        electrical-to-optical conversion sits next to the die, allowing 2x
+        and 4x off-chip bandwidth without touching compute throughput.
+        """
+        if factor <= 0:
+            raise ConfigurationError(
+                f"bandwidth scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            name=f"{self.name} (x{factor:g} off-chip BW)",
+            offchip_bandwidth_bits_per_s=(
+                self.offchip_bandwidth_bits_per_s * factor),
+        )

@@ -1,0 +1,178 @@
+"""Catalog of accelerators and reference systems used by the paper.
+
+Accelerator rows reproduce Table IV (A100, H100) exactly and encode the
+validation platforms of Table I (V100 / HGX-2) and Table III (P100 /
+PCIe).  The ``f * N_cores * N_FU * W_FU`` products land on the vendor
+FP16 peaks:
+
+===========  ==========================  ==================
+Accelerator  f*N_cores*N_FU*W_FU         vendor FP16 peak
+===========  ==========================  ==================
+A100         312 TFLOP/s                 312 TFLOP/s
+H100         973 TFLOP/s                 ~990 TFLOP/s
+V100 SXM3    125 TFLOP/s                 125 TFLOP/s
+P100         21.2 TFLOP/s                21.2 TFLOP/s (FP16)
+===========  ==========================  ==================
+
+Non-linear functional-unit counts for V100/P100 are not in the paper; we
+use the special-function-unit counts of the respective architectures.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.accelerator import AcceleratorSpec
+from repro.hardware.interconnect import (
+    IB_EDR,
+    IB_HDR,
+    IB_NDR,
+    NVLINK2,
+    NVLINK3,
+    NVLINK4,
+    PCIE3_X16,
+    LinkSpec,
+)
+from repro.hardware.node import NodeSpec
+from repro.hardware.system import SystemSpec
+from repro.units import GIB, gbytes_per_second_to_bits_per_second
+
+# ---------------------------------------------------------------------------
+# Accelerators
+# ---------------------------------------------------------------------------
+
+#: Nvidia A100 (Table IV row 1).
+A100 = AcceleratorSpec(
+    name="Nvidia A100",
+    frequency_hz=1.41e9,
+    n_cores=108,
+    n_fu=4,
+    fu_width=512,
+    n_fu_nonlinear=192,
+    fu_nonlinear_width=4,
+    memory_bytes=80 * GIB,
+    memory_bandwidth_bits_per_s=gbytes_per_second_to_bits_per_second(1935),
+    offchip_bandwidth_bits_per_s=NVLINK3.bandwidth_bits_per_s,
+    tdp_watts=400.0,
+)
+
+#: Nvidia H100 (Table IV row 2).
+H100 = AcceleratorSpec(
+    name="Nvidia H100",
+    frequency_hz=1.8e9,
+    n_cores=132,
+    n_fu=4,
+    fu_width=1024,
+    n_fu_nonlinear=320,
+    fu_nonlinear_width=4,
+    memory_bytes=80 * GIB,
+    memory_bandwidth_bits_per_s=gbytes_per_second_to_bits_per_second(3350),
+    offchip_bandwidth_bits_per_s=NVLINK4.bandwidth_bits_per_s,
+    tdp_watts=700.0,
+)
+
+#: Nvidia V100 SXM3 as in the HGX-2 validation node (Table I).
+V100_SXM3 = AcceleratorSpec(
+    name="Nvidia V100 SXM3",
+    frequency_hz=1.53e9,
+    n_cores=80,
+    n_fu=8,
+    fu_width=128,
+    n_fu_nonlinear=80,
+    fu_nonlinear_width=8,
+    memory_bytes=32 * GIB,
+    memory_bandwidth_bits_per_s=gbytes_per_second_to_bits_per_second(897),
+    offchip_bandwidth_bits_per_s=NVLINK2.bandwidth_bits_per_s,
+    tdp_watts=250.0,
+)
+
+#: Nvidia P100 as in the GPipe validation (Table III).
+P100 = AcceleratorSpec(
+    name="Nvidia P100",
+    frequency_hz=1.48e9,
+    n_cores=56,
+    n_fu=64,
+    fu_width=4,
+    n_fu_nonlinear=56,
+    fu_nonlinear_width=8,
+    memory_bytes=16 * GIB,
+    memory_bandwidth_bits_per_s=gbytes_per_second_to_bits_per_second(732),
+    offchip_bandwidth_bits_per_s=PCIE3_X16.bandwidth_bits_per_s,
+    tdp_watts=300.0,
+)
+
+ACCELERATORS = {
+    "a100": A100,
+    "h100": H100,
+    "v100": V100_SXM3,
+    "p100": P100,
+}
+
+# ---------------------------------------------------------------------------
+# Reference systems
+# ---------------------------------------------------------------------------
+
+
+def hgx2_node(n_accelerators: int = 16) -> SystemSpec:
+    """The HGX-2 validation platform of Table I: one node, up to 16 V100s
+    behind NVLink + NVSwitch.  Used for the Fig. 2a/2b experiments."""
+    node = NodeSpec(
+        accelerator=V100_SXM3,
+        n_accelerators=n_accelerators,
+        intra_link=NVLINK2,
+        inter_link=IB_EDR,
+        n_nics=8,
+    )
+    return SystemSpec(node=node, n_nodes=1)
+
+
+def megatron_a100_cluster(n_nodes: int = 128,
+                          accelerators_per_node: int = 8,
+                          inter_link: LinkSpec = IB_HDR,
+                          n_nics: int = 8) -> SystemSpec:
+    """Case Study I's platform: 128 nodes x 8 A100 over NVLink, nodes
+    connected by an HDR InfiniBand fabric (one NIC per accelerator)."""
+    node = NodeSpec(
+        accelerator=A100,
+        n_accelerators=accelerators_per_node,
+        intra_link=NVLINK3,
+        inter_link=inter_link,
+        n_nics=n_nics,
+    )
+    return SystemSpec(node=node, n_nodes=n_nodes)
+
+
+def lowend_a100_cluster(accelerators_per_node: int,
+                        total_accelerators: int = 1024) -> SystemSpec:
+    """Case Study II's platform family: the same 1024 A100 pool grouped
+    into nodes of 1/2/4/8 accelerators with one EDR NIC each."""
+    base = megatron_a100_cluster(
+        n_nodes=total_accelerators // 8, accelerators_per_node=8,
+        inter_link=IB_EDR, n_nics=8)
+    return base.repartitioned(accelerators_per_node,
+                              n_nics=accelerators_per_node)
+
+
+def glam_h100_reference(n_nodes: int = 384,
+                        accelerators_per_node: int = 8) -> SystemSpec:
+    """Case Study III's reference: 3072 H100s in 8-GPU NVLink nodes with
+    8 NDR InfiniBand cards per node."""
+    node = NodeSpec(
+        accelerator=H100,
+        n_accelerators=accelerators_per_node,
+        intra_link=NVLINK4,
+        inter_link=IB_NDR,
+        n_nics=8,
+    )
+    return SystemSpec(node=node, n_nodes=n_nodes)
+
+
+def gpipe_p100_node(n_accelerators: int) -> SystemSpec:
+    """The GPipe validation platform of Table III: P100 GPUs sharing a
+    PCIe 3.0 fabric inside one host."""
+    node = NodeSpec(
+        accelerator=P100,
+        n_accelerators=n_accelerators,
+        intra_link=PCIE3_X16,
+        inter_link=IB_EDR,
+        n_nics=1,
+    )
+    return SystemSpec(node=node, n_nodes=1)

@@ -1,0 +1,129 @@
+"""Communication link descriptions.
+
+AMPeD models every communication cost as ``latency + volume / bandwidth``
+scaled by a topology factor, so a link is fully described by its latency
+``C`` (seconds per message) and bandwidth ``BW`` (bits/second).  Intra-node
+links (NVLink, PCIe, optical substrate) and inter-node links (InfiniBand
+NICs, substrate-attached fibers) use the same type.
+
+Node-level inter-node bandwidth is the per-NIC bandwidth multiplied by the
+NIC count; :class:`~repro.hardware.node.NodeSpec` performs that
+aggregation and exposes the per-accelerator share used by the equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import gbps_to_bits_per_second
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point communication link.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier ("NVLink 3", "HDR InfiniBand").
+    latency_s:
+        ``C`` in Eqs. 6, 7, 9, 11 — the fixed per-message startup cost.
+    bandwidth_bits_per_s:
+        ``BW`` — sustained unidirectional bandwidth of one link.
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bits_per_s: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("link name must be non-empty")
+        if self.latency_s < 0:
+            raise ConfigurationError(
+                f"latency_s must be non-negative, got {self.latency_s}")
+        if self.bandwidth_bits_per_s <= 0:
+            raise ConfigurationError(
+                f"bandwidth_bits_per_s must be positive, got "
+                f"{self.bandwidth_bits_per_s}")
+
+    def transfer_time(self, n_bits: float) -> float:
+        """Time to move ``n_bits`` over this link, latency included."""
+        if n_bits < 0:
+            raise ConfigurationError(
+                f"transfer size must be non-negative, got {n_bits}")
+        return self.latency_s + n_bits / self.bandwidth_bits_per_s
+
+    def scaled(self, bandwidth_factor: float,
+               name: str = "") -> "LinkSpec":
+        """A copy with bandwidth multiplied by ``bandwidth_factor``."""
+        if bandwidth_factor <= 0:
+            raise ConfigurationError(
+                f"bandwidth factor must be positive, got {bandwidth_factor}")
+        return replace(
+            self,
+            name=name or f"{self.name} (x{bandwidth_factor:g})",
+            bandwidth_bits_per_s=(
+                self.bandwidth_bits_per_s * bandwidth_factor),
+        )
+
+    def with_bandwidth(self, bandwidth_bits_per_s: float,
+                       name: str = "") -> "LinkSpec":
+        """A copy with an absolute replacement bandwidth."""
+        return replace(self, name=name or self.name,
+                       bandwidth_bits_per_s=bandwidth_bits_per_s)
+
+
+# ---------------------------------------------------------------------------
+# Catalog of common links.
+#
+# Latencies are not given in the paper; the defaults below are typical
+# measured one-way latencies (NVLink ~ couple of microseconds end to end
+# through NVSwitch, InfiniBand a few microseconds NIC-to-NIC) and are
+# deliberately exposed as plain constructor arguments so studies can
+# override them.
+# ---------------------------------------------------------------------------
+
+#: NVLink 2 as in the HGX-2 / V100 validation platform (~150 GB/s usable).
+NVLINK2 = LinkSpec("NVLink 2 (V100)", latency_s=2e-6,
+                   bandwidth_bits_per_s=1.2e12)
+
+#: NVLink 3 on A100, Table IV: 2.4e12 bits/s.
+NVLINK3 = LinkSpec("NVLink 3 (A100)", latency_s=2e-6,
+                   bandwidth_bits_per_s=2.4e12)
+
+#: NVLink 4 on H100, Table IV: 3.6e12 bits/s.
+NVLINK4 = LinkSpec("NVLink 4 (H100)", latency_s=2e-6,
+                   bandwidth_bits_per_s=3.6e12)
+
+#: PCIe 3.0 x16, used by the GPipe P100 validation (Table III).
+PCIE3_X16 = LinkSpec("PCIe 3.0 x16", latency_s=5e-6,
+                     bandwidth_bits_per_s=gbps_to_bits_per_second(128.0))
+
+#: InfiniBand NICs (per-card unidirectional bandwidth).
+IB_EDR = LinkSpec("EDR InfiniBand", latency_s=5e-6,
+                  bandwidth_bits_per_s=gbps_to_bits_per_second(100.0))
+IB_HDR = LinkSpec("HDR InfiniBand", latency_s=5e-6,
+                  bandwidth_bits_per_s=gbps_to_bits_per_second(200.0))
+IB_NDR = LinkSpec("NDR InfiniBand", latency_s=5e-6,
+                  bandwidth_bits_per_s=gbps_to_bits_per_second(400.0))
+
+
+def optical_fiber_link(per_fiber_bandwidth_bits_per_s: float,
+                       n_fibers: int,
+                       latency_s: float = 1e-6) -> LinkSpec:
+    """An optical-substrate inter-node attachment (Case Study III).
+
+    The substrate attaches ``n_fibers`` dedicated fibers on its edge, each
+    carrying the full accelerator off-chip bandwidth, bypassing NICs.
+    Optical links also shave latency relative to electrical NIC paths.
+    """
+    if n_fibers < 1:
+        raise ConfigurationError(
+            f"n_fibers must be >= 1, got {n_fibers}")
+    return LinkSpec(
+        name=f"optical substrate ({n_fibers} fibers)",
+        latency_s=latency_s,
+        bandwidth_bits_per_s=per_fiber_bandwidth_bits_per_s * n_fibers,
+    )

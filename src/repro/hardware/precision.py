@@ -1,0 +1,87 @@
+"""Numeric precision descriptions.
+
+AMPeD's Eq. 2 scales the time a functional unit is busy by
+``ceil(max(S_p, S_act) / S_FU)`` — the number of passes a functional unit
+built for ``S_FU``-bit operands needs to process a ``max(S_p, S_act)``-bit
+operand.  This module provides the precision vocabulary used everywhere:
+parameter precision ``S_p``, activation precision ``S_act``, non-linear
+precision ``S_nonlin``, gradient size ``S_g``, and the hardware-determined
+functional-unit precisions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Common operand widths, in bits.
+FP8 = 8
+FP16 = 16
+BF16 = 16
+FP32 = 32
+FP64 = 64
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Operand widths used during training, all in bits.
+
+    Attributes mirror the paper's symbols:
+
+    - ``parameter_bits`` — ``S_p``, weight storage precision.
+    - ``activation_bits`` — ``S_act``, activation (and error) precision;
+      also the width of every tensor moved by TP/PP/MoE communication.
+    - ``nonlinear_bits`` — ``S_nonlin``, operand width of softmax /
+      layernorm / GeLU evaluations.
+    - ``gradient_bits`` — ``S_g``, width of each gradient value moved by
+      the data-parallel all-reduce.
+    """
+
+    parameter_bits: int = FP16
+    activation_bits: int = FP16
+    nonlinear_bits: int = FP16
+    gradient_bits: int = FP16
+
+    def __post_init__(self) -> None:
+        for name in ("parameter_bits", "activation_bits",
+                     "nonlinear_bits", "gradient_bits"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be a positive integer number of bits, "
+                    f"got {value!r}")
+
+    @property
+    def mac_operand_bits(self) -> int:
+        """``max(S_p, S_act)`` — the operand width seen by MAC units."""
+        return max(self.parameter_bits, self.activation_bits)
+
+
+def precision_passes(operand_bits: int, functional_unit_bits: int) -> int:
+    """Number of functional-unit passes for one operand (Eq. 2's ceil).
+
+    A 32-bit multiply on a 16-bit unit takes ``ceil(32/16) = 2`` passes;
+    an 8-bit multiply on the same unit still takes one full pass.
+    """
+    if operand_bits <= 0:
+        raise ConfigurationError(
+            f"operand width must be positive, got {operand_bits}")
+    if functional_unit_bits <= 0:
+        raise ConfigurationError(
+            f"functional-unit width must be positive, got "
+            f"{functional_unit_bits}")
+    return math.ceil(operand_bits / functional_unit_bits)
+
+
+#: Mixed-precision FP16 training (the common Megatron configuration).
+MIXED_FP16 = PrecisionPolicy()
+
+#: Full FP32 training (the minGPT validation runs).
+FULL_FP32 = PrecisionPolicy(parameter_bits=FP32, activation_bits=FP32,
+                            nonlinear_bits=FP32, gradient_bits=FP32)
+
+#: 8-bit training assumed by Case Study III for the GLaM exploration.
+FP8_TRAINING = PrecisionPolicy(parameter_bits=FP8, activation_bits=FP8,
+                               nonlinear_bits=FP8, gradient_bits=FP8)

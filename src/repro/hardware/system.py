@@ -1,0 +1,85 @@
+"""Cluster (distributed system) description.
+
+A system is ``n_nodes`` identical nodes.  This is the hardware half of an
+AMPeD evaluation; the other half is the parallelism mapping
+(:mod:`repro.parallelism`) describing how TP/PP/DP/MoE degrees are laid
+out over intra-node and inter-node accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.hardware.node import NodeSpec
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A homogeneous cluster of multi-accelerator nodes."""
+
+    node: NodeSpec
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(
+                f"n_nodes must be >= 1, got {self.n_nodes}")
+
+    @property
+    def n_accelerators(self) -> int:
+        """Total accelerator count in the system."""
+        return self.n_nodes * self.node.n_accelerators
+
+    @property
+    def accelerator(self):
+        """Shorthand for the accelerator model used throughout."""
+        return self.node.accelerator
+
+    @property
+    def peak_system_flops_per_s(self) -> float:
+        """Aggregate 100%-efficiency MAC throughput of the whole system."""
+        return self.n_accelerators * self.accelerator.peak_mac_flops_per_s
+
+    def with_node(self, node: NodeSpec) -> "SystemSpec":
+        """A copy with a replacement node description."""
+        return replace(self, node=node)
+
+    def with_n_nodes(self, n_nodes: int) -> "SystemSpec":
+        """A copy with a different node count."""
+        return replace(self, n_nodes=n_nodes)
+
+    def repartitioned(self, accelerators_per_node: int,
+                      n_nics: int = None) -> "SystemSpec":
+        """The same total accelerator pool regrouped into different nodes.
+
+        Case Study II keeps 1024 accelerators constant while sweeping the
+        node size (1/2/4/8 accelerators + NICs per node); Case Study III
+        grows the node to 16/32/48 accelerators on an optical substrate.
+        The total accelerator count must be divisible by the new node
+        size.
+        """
+        total = self.n_accelerators
+        if accelerators_per_node < 1:
+            raise ConfigurationError(
+                f"accelerators_per_node must be >= 1, got "
+                f"{accelerators_per_node}")
+        if total % accelerators_per_node != 0:
+            raise ConfigurationError(
+                f"cannot regroup {total} accelerators into nodes of "
+                f"{accelerators_per_node}")
+        node = replace(
+            self.node,
+            n_accelerators=accelerators_per_node,
+            n_nics=n_nics if n_nics is not None else self.node.n_nics,
+        )
+        return SystemSpec(node=node,
+                          n_nodes=total // accelerators_per_node)
+
+    def describe(self) -> str:
+        """One-line summary used by reports and the CLI."""
+        node = self.node
+        return (f"{self.n_nodes} nodes x {node.n_accelerators} "
+                f"{node.accelerator.name} ({self.n_accelerators} total), "
+                f"intra: {node.intra_link.name}, "
+                f"inter: {node.n_nics} x {node.inter_link.name}")

@@ -1,0 +1,34 @@
+"""Heterogeneous-accelerator pipelines (the paper's declared extension).
+
+Describe a pipeline whose stages run on different accelerator
+generations, estimate its batch time analytically and by discrete-event
+simulation, and balance layers proportionally to stage speed.
+"""
+
+from repro.hetero.balance import balance_layers, balancing_gain, rebalance
+from repro.hetero.model import (
+    StageTimes,
+    bottleneck_stage,
+    estimate_batch_time,
+    simulate_batch,
+    stage_step_times,
+)
+from repro.hetero.stages import (
+    HeterogeneousPipeline,
+    StagePlatform,
+    even_assignment,
+)
+
+__all__ = [
+    "StagePlatform",
+    "HeterogeneousPipeline",
+    "even_assignment",
+    "StageTimes",
+    "stage_step_times",
+    "estimate_batch_time",
+    "simulate_batch",
+    "bottleneck_stage",
+    "balance_layers",
+    "rebalance",
+    "balancing_gain",
+]

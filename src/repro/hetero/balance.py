@@ -1,0 +1,81 @@
+"""Layer balancing across heterogeneous pipeline stages.
+
+An even layer split makes the slowest hardware the bottleneck; the
+right split gives each stage work proportional to its speed.
+:func:`balance_layers` computes the proportional split (largest-
+remainder rounding, every stage keeps at least one layer), and
+:func:`rebalance` applies it to a pipeline.  The tests assert the
+balanced split never loses to the even split and recovers the ideal
+proportional makespan within rounding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, MappingError
+from repro.hetero.model import estimate_batch_time
+from repro.hetero.stages import HeterogeneousPipeline, StagePlatform
+
+
+def balance_layers(n_layers: int, stages: Sequence[StagePlatform],
+                   microbatch_size: float = 8.0) -> Tuple[int, ...]:
+    """Assign layers to stages proportionally to stage speed.
+
+    Speeds are evaluated at ``microbatch_size`` through each stage's
+    own efficiency fit, so a stage that runs small microbatches poorly
+    receives fewer layers.  Uses largest-remainder rounding and
+    guarantees one layer per stage.
+    """
+    if not stages:
+        raise ConfigurationError("need at least one stage")
+    if n_layers < len(stages):
+        raise MappingError(
+            f"cannot balance {n_layers} layers over "
+            f"{len(stages)} stages")
+    speeds = [stage.speed_at(microbatch_size) for stage in stages]
+    total_speed = sum(speeds)
+    ideal = [n_layers * speed / total_speed for speed in speeds]
+
+    floors = [max(1, int(value)) for value in ideal]
+    # Largest-remainder distribution of the leftover layers.
+    assigned = sum(floors)
+    remainders = sorted(
+        range(len(stages)),
+        key=lambda index: ideal[index] - int(ideal[index]),
+        reverse=True)
+    counts: List[int] = list(floors)
+    index = 0
+    while assigned < n_layers:
+        counts[remainders[index % len(stages)]] += 1
+        assigned += 1
+        index += 1
+    while assigned > n_layers:
+        # floors over-assigned (possible when many 1-minimums): trim the
+        # stages furthest above their ideal share, never below 1.
+        victim = max((i for i in range(len(stages)) if counts[i] > 1),
+                     key=lambda i: counts[i] - ideal[i])
+        counts[victim] -= 1
+        assigned -= 1
+    return tuple(counts)
+
+
+def rebalance(pipeline: HeterogeneousPipeline,
+              microbatch_size: float = 8.0) -> HeterogeneousPipeline:
+    """The same pipeline with a speed-proportional layer split."""
+    assignment = balance_layers(pipeline.model.n_layers,
+                                pipeline.stages, microbatch_size)
+    return pipeline.with_assignment(assignment)
+
+
+def balancing_gain(pipeline: HeterogeneousPipeline,
+                   n_microbatches: int,
+                   microbatch_size: int) -> float:
+    """Speedup of the balanced split over the pipeline's current one
+    (>= 1 when balancing helps)."""
+    current = estimate_batch_time(pipeline, n_microbatches,
+                                  microbatch_size)
+    balanced = estimate_batch_time(
+        rebalance(pipeline, microbatch_size), n_microbatches,
+        microbatch_size)
+    return current / balanced

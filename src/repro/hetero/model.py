@@ -1,0 +1,147 @@
+"""Performance estimation for heterogeneous pipelines.
+
+Two estimators over a :class:`~repro.hetero.stages.HeterogeneousPipeline`:
+
+- :func:`stage_step_times` + :func:`estimate_batch_time` — the
+  analytical path: per-stage per-microbatch step times (compute at the
+  stage's own efficiency + its TP all-reduce + the boundary transfer),
+  composed with the GPipe makespan bound for *heterogeneous* stages,
+  ``sum(steps) + (M - 1) * max(step)``.
+- :func:`simulate_batch` — the discrete-event path, running the exact
+  schedule with :class:`~repro.pipeline.simulator.HeterogeneousWorkload`.
+
+The two agree to within the fill/drain approximation; the tests pin
+that agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.operations import build_operations
+from repro.errors import ConfigurationError
+from repro.hardware.precision import precision_passes
+from repro.hetero.stages import HeterogeneousPipeline, StagePlatform
+from repro.parallelism.topology import RING
+from repro.pipeline.simulator import (
+    HeterogeneousWorkload,
+    PipelineResult,
+    simulate_pipeline,
+)
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-microbatch timing of one heterogeneous stage."""
+
+    forward_s: float
+    backward_s: float
+    comm_s: float
+
+    @property
+    def step_s(self) -> float:
+        """One full forward+backward step through the stage."""
+        return self.forward_s + self.backward_s
+
+
+def stage_step_times(pipeline: HeterogeneousPipeline,
+                     microbatch_size: int) -> List[StageTimes]:
+    """Per-stage, per-microbatch forward/backward/boundary times."""
+    if microbatch_size < 1:
+        raise ConfigurationError(
+            f"microbatch_size must be >= 1, got {microbatch_size}")
+    model = pipeline.model
+    operations = build_operations(model, microbatch_size,
+                                  include_embeddings=False)
+    per_layer = operations.layers  # index 0.. L-1
+    times: List[StageTimes] = []
+    layer_cursor = 0
+    for stage, n_layers in zip(pipeline.stages,
+                               pipeline.layer_assignment):
+        layers = per_layer[layer_cursor:layer_cursor + n_layers]
+        layer_cursor += n_layers
+        forward = _stage_forward_time(stage, layers, pipeline,
+                                      microbatch_size)
+        backward = forward * pipeline.backward_multiplier
+        boundary_bits = (microbatch_size * model.sequence_length
+                         * model.hidden_size
+                         * pipeline.precision.activation_bits)
+        comm = pipeline.inter_stage_link.transfer_time(boundary_bits)
+        times.append(StageTimes(forward_s=forward, backward_s=backward,
+                                comm_s=comm))
+    return times
+
+
+def _stage_forward_time(stage: StagePlatform, layers,
+                        pipeline: HeterogeneousPipeline,
+                        microbatch_size: int) -> float:
+    """Forward time of one microbatch through one stage's layers."""
+    precision = pipeline.precision
+    accelerator = stage.accelerator
+    mac_passes = precision_passes(precision.mac_operand_bits,
+                                  accelerator.mac_fu_bits)
+    nonlin_passes = precision_passes(precision.nonlinear_bits,
+                                     accelerator.nonlinear_fu_bits)
+    speed = stage.speed_at(microbatch_size)
+    total = 0.0
+    for layer in layers:
+        total += layer.mac_flops * mac_passes / speed
+        total += (layer.nonlinear_ops * nonlin_passes
+                  / (accelerator.peak_nonlinear_ops_per_s
+                     * stage.tp_degree))
+        if stage.tp_degree > 1 and stage.intra_link is not None:
+            n_act = 2.0 * microbatch_size \
+                * pipeline.model.sequence_length \
+                * pipeline.model.hidden_size
+            total += RING.latency_term(stage.intra_link.latency_s,
+                                       stage.tp_degree)
+            total += RING.volume_term(
+                n_act, precision.activation_bits,
+                stage.intra_link.bandwidth_bits_per_s, stage.tp_degree)
+    return total
+
+
+def estimate_batch_time(pipeline: HeterogeneousPipeline,
+                        n_microbatches: int,
+                        microbatch_size: int) -> float:
+    """Analytical GPipe makespan for heterogeneous stages.
+
+    ``sum over stages of (step + boundary) + (M - 1) * max(step +
+    boundary)`` — one wave fills the pipe, then the slowest stage paces
+    the remaining ``M - 1`` microbatches.  Exact for GPipe schedules
+    when the slowest stage is the bottleneck throughout.
+    """
+    if n_microbatches < 1:
+        raise ConfigurationError(
+            f"n_microbatches must be >= 1, got {n_microbatches}")
+    times = stage_step_times(pipeline, microbatch_size)
+    step_with_comm = [t.step_s + 2.0 * t.comm_s for t in times]
+    return sum(step_with_comm) \
+        + (n_microbatches - 1) * max(step_with_comm)
+
+
+def simulate_batch(pipeline: HeterogeneousPipeline,
+                   n_microbatches: int,
+                   microbatch_size: int,
+                   schedule: str = "gpipe") -> PipelineResult:
+    """Discrete-event simulation of one batch on the heterogeneous
+    pipeline (the exact counterpart of :func:`estimate_batch_time`)."""
+    times = stage_step_times(pipeline, microbatch_size)
+    workload = HeterogeneousWorkload(
+        forward_times=tuple(t.forward_s for t in times),
+        backward_times=tuple(t.backward_s for t in times),
+        comm_time=max(t.comm_s for t in times),
+    )
+    return simulate_pipeline(workload,
+                             n_stages=pipeline.n_stages,
+                             n_microbatches=n_microbatches,
+                             schedule=schedule)
+
+
+def bottleneck_stage(pipeline: HeterogeneousPipeline,
+                     microbatch_size: int) -> Tuple[int, StageTimes]:
+    """(index, times) of the stage pacing the pipeline."""
+    times = stage_step_times(pipeline, microbatch_size)
+    index = max(range(len(times)), key=lambda i: times[i].step_s)
+    return index, times[index]

@@ -1,0 +1,135 @@
+"""Heterogeneous pipeline description.
+
+The paper's conclusion notes that "AMPeD can be easily extended for
+heterogeneous accelerators"; this package is that extension for the
+most common heterogeneous deployment — a pipeline whose stages run on
+different accelerator generations (e.g. new H100 nodes feeding old
+V100 nodes).
+
+A :class:`StagePlatform` describes one pipeline stage's hardware: the
+accelerator model, the tensor-parallel degree inside the stage, the
+stage's intra-node link, and the efficiency fit observed on that
+hardware.  :class:`HeterogeneousPipeline` strings stages together over
+an inter-stage link and assigns layers to stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError, MappingError
+from repro.hardware.accelerator import AcceleratorSpec
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.precision import MIXED_FP16, PrecisionPolicy
+from repro.parallelism.microbatch import MicrobatchEfficiency
+from repro.transformer.config import TransformerConfig
+
+
+@dataclass(frozen=True)
+class StagePlatform:
+    """Hardware hosting one pipeline stage."""
+
+    accelerator: AcceleratorSpec
+    tp_degree: int = 1
+    intra_link: LinkSpec = None
+    efficiency: MicrobatchEfficiency = None
+
+    def __post_init__(self) -> None:
+        if self.tp_degree < 1:
+            raise ConfigurationError(
+                f"tp_degree must be >= 1, got {self.tp_degree}")
+        if self.efficiency is None:
+            object.__setattr__(self, "efficiency",
+                               MicrobatchEfficiency())
+
+    @property
+    def effective_flops_per_s(self) -> float:
+        """Stage compute throughput at full efficiency: the TP group's
+        aggregate MAC rate."""
+        return self.accelerator.peak_mac_flops_per_s * self.tp_degree
+
+    def speed_at(self, microbatch_size: float) -> float:
+        """Effective FLOP/s at a microbatch size (efficiency applied)."""
+        return self.effective_flops_per_s \
+            * self.efficiency(microbatch_size)
+
+
+@dataclass(frozen=True)
+class HeterogeneousPipeline:
+    """A transformer pipelined over heterogeneous stage platforms.
+
+    Parameters
+    ----------
+    model:
+        The transformer being trained.
+    stages:
+        One :class:`StagePlatform` per pipeline stage, in order.
+    inter_stage_link:
+        Link carrying activations between consecutive stages.
+    layer_assignment:
+        Layers per stage, summing to the model's layer count.  Build
+        with :func:`even_assignment` or
+        :func:`repro.hetero.balance.balance_layers`.
+    precision:
+        Operand widths (FP16 mixed precision by default).
+    backward_multiplier:
+        ``U_b / U_f`` (2.0 standard).
+    """
+
+    model: TransformerConfig
+    stages: Tuple[StagePlatform, ...]
+    inter_stage_link: LinkSpec
+    layer_assignment: Tuple[int, ...]
+    precision: PrecisionPolicy = MIXED_FP16
+    backward_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigurationError("need at least one stage")
+        if len(self.layer_assignment) != len(self.stages):
+            raise MappingError(
+                f"{len(self.layer_assignment)} layer counts for "
+                f"{len(self.stages)} stages")
+        if any(count < 1 for count in self.layer_assignment):
+            raise MappingError(
+                f"every stage needs at least one layer, got "
+                f"{self.layer_assignment}")
+        if sum(self.layer_assignment) != self.model.n_layers:
+            raise MappingError(
+                f"layer assignment {self.layer_assignment} sums to "
+                f"{sum(self.layer_assignment)}, model has "
+                f"{self.model.n_layers} layers")
+
+    @property
+    def n_stages(self) -> int:
+        """Pipeline depth."""
+        return len(self.stages)
+
+    @property
+    def n_accelerators(self) -> int:
+        """Total accelerators across all stages."""
+        return sum(stage.tp_degree for stage in self.stages)
+
+    def with_assignment(self,
+                        layer_assignment: Sequence[int]
+                        ) -> "HeterogeneousPipeline":
+        """A copy with a different layer split."""
+        return replace(self,
+                       layer_assignment=tuple(layer_assignment))
+
+
+def even_assignment(n_layers: int, n_stages: int) -> Tuple[int, ...]:
+    """Split layers as evenly as integerly possible (the naive split a
+    homogeneous-pipeline runtime would use)."""
+    if n_stages < 1:
+        raise ConfigurationError(
+            f"n_stages must be >= 1, got {n_stages}")
+    if n_layers < n_stages:
+        raise MappingError(
+            f"cannot give each of {n_stages} stages a layer from "
+            f"{n_layers}")
+    base = n_layers // n_stages
+    remainder = n_layers % n_stages
+    return tuple(base + (1 if index < remainder else 0)
+                 for index in range(n_stages))

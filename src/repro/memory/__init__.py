@@ -1,0 +1,32 @@
+"""Per-accelerator memory modeling (the paper's declared future work).
+
+Footprint estimation (parameters / gradients / optimizer states /
+activations under TP, PP, DP and ZeRO sharding) plus the capacity
+constraints the design-space explorer enforces.
+"""
+
+from repro.memory.constraints import (
+    DEFAULT_USABLE_FRACTION,
+    fits_in_memory,
+    max_feasible_microbatch,
+    require_fits,
+)
+from repro.memory.footprint import (
+    ADAM_STATE_BYTES_PER_PARAM,
+    MemoryFootprint,
+    activation_bytes_per_layer,
+    checkpointed_activation_bytes_per_layer,
+    estimate_footprint,
+)
+
+__all__ = [
+    "MemoryFootprint",
+    "estimate_footprint",
+    "activation_bytes_per_layer",
+    "checkpointed_activation_bytes_per_layer",
+    "ADAM_STATE_BYTES_PER_PARAM",
+    "fits_in_memory",
+    "require_fits",
+    "max_feasible_microbatch",
+    "DEFAULT_USABLE_FRACTION",
+]

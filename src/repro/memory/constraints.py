@@ -1,0 +1,97 @@
+"""Memory-capacity checks and feasible-microbatch search.
+
+These make the paper's implicit feasibility constraints explicit: a
+mapping only counts if its footprint fits the accelerator's HBM.  The
+design-space explorer uses :func:`fits_in_memory` as a filter, and the
+validation experiments use :func:`max_feasible_microbatch` to reproduce
+"we adjust the batch size if needed to fit into the GPU memory" (§V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.zero import NO_ZERO, ZeroConfig
+from repro.errors import ConfigurationError, MemoryCapacityError
+from repro.hardware.accelerator import AcceleratorSpec
+from repro.hardware.precision import PrecisionPolicy
+from repro.memory.footprint import estimate_footprint
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.config import TransformerConfig
+from repro.units import format_bytes
+
+#: Fraction of HBM usable for model state (the rest goes to framework
+#: overhead, fragmentation, workspace buffers).
+DEFAULT_USABLE_FRACTION = 0.9
+
+
+def fits_in_memory(model: TransformerConfig,
+                   parallelism: ParallelismSpec,
+                   microbatch_size: float,
+                   precision: PrecisionPolicy,
+                   accelerator: AcceleratorSpec,
+                   zero: ZeroConfig = NO_ZERO,
+                   usable_fraction: float = DEFAULT_USABLE_FRACTION) -> bool:
+    """Whether the configuration's footprint fits one accelerator."""
+    footprint = estimate_footprint(model, parallelism, microbatch_size,
+                                   precision, zero)
+    return footprint.total <= accelerator.memory_bytes * usable_fraction
+
+
+def require_fits(model: TransformerConfig,
+                 parallelism: ParallelismSpec,
+                 microbatch_size: float,
+                 precision: PrecisionPolicy,
+                 accelerator: AcceleratorSpec,
+                 zero: ZeroConfig = NO_ZERO,
+                 usable_fraction: float = DEFAULT_USABLE_FRACTION) -> None:
+    """Raise :class:`MemoryCapacityError` (with sizes) when the
+    configuration does not fit."""
+    footprint = estimate_footprint(model, parallelism, microbatch_size,
+                                   precision, zero)
+    budget = accelerator.memory_bytes * usable_fraction
+    if footprint.total > budget:
+        raise MemoryCapacityError(
+            f"{model.name} with {parallelism.describe()} at microbatch "
+            f"{microbatch_size:g} needs {format_bytes(footprint.total)} "
+            f"but {accelerator.name} offers {format_bytes(budget)}",
+            required_bytes=footprint.total,
+            available_bytes=budget,
+        )
+
+
+def max_feasible_microbatch(model: TransformerConfig,
+                            parallelism: ParallelismSpec,
+                            precision: PrecisionPolicy,
+                            accelerator: AcceleratorSpec,
+                            zero: ZeroConfig = NO_ZERO,
+                            usable_fraction: float =
+                            DEFAULT_USABLE_FRACTION,
+                            upper_bound: int = 1 << 16) -> Optional[int]:
+    """Largest integer microbatch size that fits, or ``None`` if even
+    a single sequence does not (the model-state floor already
+    overflows).
+
+    Binary-searches over [1, upper_bound]; footprint is monotone in the
+    microbatch size, so the search is exact.
+    """
+    if upper_bound < 1:
+        raise ConfigurationError(
+            f"upper_bound must be >= 1, got {upper_bound}")
+
+    def fits(ub: int) -> bool:
+        return fits_in_memory(model, parallelism, ub, precision,
+                              accelerator, zero, usable_fraction)
+
+    if not fits(1):
+        return None
+    low, high = 1, upper_bound
+    if fits(high):
+        return high
+    while high - low > 1:
+        mid = (low + high) // 2
+        if fits(mid):
+            low = mid
+        else:
+            high = mid
+    return low

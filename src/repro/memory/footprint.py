@@ -1,0 +1,183 @@
+"""Per-accelerator memory footprint model.
+
+The paper lists memory-constraint modeling as future work and folds the
+constraint into the microbatch-efficiency fit; this module implements the
+extension explicitly so the design-space explorer can reject mappings
+that cannot physically run (the mechanism behind Fig. 2b's saturation
+and Table III's "we tune the microbatch size according to the available
+memory of P100").
+
+Footprint components, following the standard mixed-precision training
+accounting (and the ZeRO paper's partitioning):
+
+- *parameters*: one copy at parameter precision per rank, divided by the
+  TP degree and the PP stage count (each stage holds its layers only);
+  divided further by DP under ZeRO-3.
+- *gradients*: same size as parameters (gradient precision); divided by
+  DP under ZeRO-2+.
+- *optimizer states*: master weights + two Adam moments at FP32 by
+  default (12 bytes per parameter); divided by DP under ZeRO-1+.
+- *activations*: per microbatch, the standard transformer activation
+  footprint ``s * ub * h * (34 + 5 a s / h)`` bytes-at-activation-
+  precision per layer (Korthikanti et al.'s accounting, scaled to the
+  configured precision), divided by TP; pipeline stages hold activations
+  for the in-flight microbatches of their own layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.zero import NO_ZERO, ZeroConfig
+from repro.errors import ConfigurationError
+from repro.hardware.precision import PrecisionPolicy
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.config import TransformerConfig
+from repro.transformer.params import total_parameters
+from repro.units import BITS_PER_BYTE
+
+#: Bytes of optimizer state per parameter: FP32 master copy + two FP32
+#: Adam moments.
+ADAM_STATE_BYTES_PER_PARAM = 12.0
+
+#: Activation bytes per (token x hidden) element of one layer at 16-bit
+#: precision, excluding the attention-map term (Korthikanti et al.).
+_ACT_BYTES_LINEAR = 34.0
+
+#: Coefficient of the attention-map term ``5 a s / h``.
+_ACT_BYTES_ATTENTION = 5.0
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Per-accelerator footprint, in bytes, by component."""
+
+    parameters: float
+    gradients: float
+    optimizer_states: float
+    activations: float
+
+    @property
+    def total(self) -> float:
+        """Total bytes resident on one accelerator."""
+        return (self.parameters + self.gradients
+                + self.optimizer_states + self.activations)
+
+    def as_dict(self) -> dict:
+        """Component values keyed by name (reporting helper)."""
+        return {
+            "parameters": self.parameters,
+            "gradients": self.gradients,
+            "optimizer_states": self.optimizer_states,
+            "activations": self.activations,
+            "total": self.total,
+        }
+
+
+def activation_bytes_per_layer(model: TransformerConfig,
+                               microbatch_size: float,
+                               precision: PrecisionPolicy,
+                               tp_degree: int = 1) -> float:
+    """Stored activations of one transformer layer for one microbatch.
+
+    Uses the standard ``s*ub*h*(34 + 5*a*s/h)`` bytes-at-16-bit
+    accounting, rescaled to the configured activation precision, and
+    divided across TP ranks (tensor parallelism shards activations).
+    """
+    if microbatch_size <= 0:
+        raise ConfigurationError(
+            f"microbatch_size must be positive, got {microbatch_size}")
+    if tp_degree < 1:
+        raise ConfigurationError(
+            f"tp_degree must be >= 1, got {tp_degree}")
+    s, h, a = (model.sequence_length, model.hidden_size, model.n_heads)
+    per_element = (_ACT_BYTES_LINEAR
+                   + _ACT_BYTES_ATTENTION * a * s / h)
+    scale_16bit = precision.activation_bits / 16.0
+    return s * microbatch_size * h * per_element * scale_16bit / tp_degree
+
+
+def checkpointed_activation_bytes_per_layer(
+        model: TransformerConfig, microbatch_size: float,
+        precision: PrecisionPolicy, tp_degree: int = 1) -> float:
+    """Stored activations per layer under full recomputation: only the
+    layer-input checkpoint (``s·ub·h`` elements) survives the forward
+    pass."""
+    if microbatch_size <= 0:
+        raise ConfigurationError(
+            f"microbatch_size must be positive, got {microbatch_size}")
+    if tp_degree < 1:
+        raise ConfigurationError(
+            f"tp_degree must be >= 1, got {tp_degree}")
+    bytes_per_element = precision.activation_bits / BITS_PER_BYTE
+    return (model.sequence_length * microbatch_size
+            * model.hidden_size * bytes_per_element / tp_degree)
+
+
+def estimate_footprint(model: TransformerConfig,
+                       parallelism: ParallelismSpec,
+                       microbatch_size: float,
+                       precision: PrecisionPolicy,
+                       zero: ZeroConfig = NO_ZERO,
+                       in_flight_microbatches: int = None,
+                       optimizer_bytes_per_param: float =
+                       ADAM_STATE_BYTES_PER_PARAM,
+                       recompute_activations: bool = False
+                       ) -> MemoryFootprint:
+    """Estimate one accelerator's memory footprint for a configuration.
+
+    ``in_flight_microbatches`` is how many microbatches' activations a
+    pipeline stage holds simultaneously — ``N_PP`` for 1F1B (its defining
+    property), ``N_ub`` for GPipe.  Defaults to the 1F1B bound
+    ``min(N_PP, N_ub)``.
+
+    ``recompute_activations`` models full activation recomputation
+    (the configuration Megatron's published Table II runs used): only
+    each layer's *input* is checkpointed and everything else is rebuilt
+    during the backward pass, shrinking stored activations to the
+    layer-boundary tensors (``s·ub·h`` elements per layer) at the price
+    of an extra forward pass — pair it with
+    ``AMPeD(backward_compute_multiplier=3.0)``.
+    """
+    if optimizer_bytes_per_param < 0:
+        raise ConfigurationError(
+            f"optimizer_bytes_per_param must be non-negative, got "
+            f"{optimizer_bytes_per_param}")
+    params_total = total_parameters(model)
+    shard = parallelism.tp * parallelism.pp
+    params_per_rank = params_total / shard
+
+    param_bytes = params_per_rank * precision.parameter_bits / BITS_PER_BYTE
+    grad_bytes = params_per_rank * precision.gradient_bits / BITS_PER_BYTE
+    optim_bytes = params_per_rank * optimizer_bytes_per_param
+
+    dp = parallelism.dp
+    if zero.shards_parameters:
+        param_bytes /= dp
+    if zero.shards_gradients:
+        grad_bytes /= dp
+    if zero.shards_optimizer_states:
+        optim_bytes /= dp
+
+    if in_flight_microbatches is None:
+        in_flight_microbatches = min(parallelism.pp,
+                                     parallelism.microbatches)
+    if in_flight_microbatches < 1:
+        raise ConfigurationError(
+            f"in_flight_microbatches must be >= 1, got "
+            f"{in_flight_microbatches}")
+    layers_per_stage = max(1.0, model.n_layers / parallelism.pp)
+    if recompute_activations:
+        per_layer = checkpointed_activation_bytes_per_layer(
+            model, microbatch_size, precision, parallelism.tp)
+    else:
+        per_layer = activation_bytes_per_layer(
+            model, microbatch_size, precision, parallelism.tp)
+    act_bytes = per_layer * layers_per_stage * in_flight_microbatches
+
+    return MemoryFootprint(
+        parameters=param_bytes,
+        gradients=grad_bytes,
+        optimizer_states=optim_bytes,
+        activations=act_bytes,
+    )

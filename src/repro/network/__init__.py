@@ -1,0 +1,16 @@
+"""Cluster network fabrics: deriving AMPeD's inter-node link from a
+multi-level fat-tree with oversubscription."""
+
+from repro.network.fabric import (
+    FabricLevel,
+    FatTreeFabric,
+    apply_fabric,
+    two_level_fat_tree,
+)
+
+__all__ = [
+    "FabricLevel",
+    "FatTreeFabric",
+    "apply_fabric",
+    "two_level_fat_tree",
+]

@@ -1,0 +1,198 @@
+"""Multi-level network fabric model for the inter-node link.
+
+AMPeD abstracts the cluster network into a single latency/bandwidth
+pair.  Real clusters run multi-level fat-trees whose upper levels are
+often *oversubscribed*: a leaf switch with 32 down-links may have only
+8 up-links, so traffic leaving the leaf's subtree sees 1/4 of the port
+bandwidth.  This module derives AMPeD's effective inter-node
+:class:`~repro.hardware.interconnect.LinkSpec` from such a fabric: the
+deeper in the tree two communicating nodes are separated, the less
+bandwidth and the more latency each flow gets.
+
+It plays the role ASTRA-sim-style topology studies play for the related
+work (§III): a network substrate under the analytical model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.system import SystemSpec
+
+
+@dataclass(frozen=True)
+class FabricLevel:
+    """One switching level of a fat-tree.
+
+    Parameters
+    ----------
+    name:
+        Level label ("leaf", "spine", "core").
+    down_ports:
+        Children per switch at this level (nodes for the leaf level,
+        switches above).
+    up_ports:
+        Uplinks per switch toward the next level (0 for the top level).
+        ``down_ports / up_ports`` is the oversubscription ratio traffic
+        pays to leave this level's subtree.
+    hop_latency_s:
+        One-way latency added per traversal of this level's switch.
+    """
+
+    name: str
+    down_ports: int
+    up_ports: int
+    hop_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.down_ports < 1:
+            raise ConfigurationError(
+                f"down_ports must be >= 1, got {self.down_ports}")
+        if self.up_ports < 0:
+            raise ConfigurationError(
+                f"up_ports must be >= 0, got {self.up_ports}")
+        if self.hop_latency_s < 0:
+            raise ConfigurationError(
+                f"hop_latency_s must be non-negative, got "
+                f"{self.hop_latency_s}")
+
+    @property
+    def oversubscription(self) -> float:
+        """Bandwidth taper for traffic leaving this subtree (>= 1 for
+        tapered fabrics; < 1 would be over-provisioned, allowed)."""
+        if self.up_ports == 0:
+            raise ConfigurationError(
+                f"level {self.name!r} has no uplinks; traffic cannot "
+                f"leave it")
+        return self.down_ports / self.up_ports
+
+
+@dataclass(frozen=True)
+class FatTreeFabric:
+    """A fat-tree connecting the cluster's nodes.
+
+    Parameters
+    ----------
+    port_bandwidth_bits_per_s:
+        NIC/port speed at the node level.
+    nic_latency_s:
+        Node-to-leaf-switch latency (paid once at each end).
+    levels:
+        Switching levels from the leaf upward.  The topmost level needs
+        no uplinks.
+    """
+
+    port_bandwidth_bits_per_s: float
+    nic_latency_s: float
+    levels: Tuple[FabricLevel, ...]
+
+    def __post_init__(self) -> None:
+        if self.port_bandwidth_bits_per_s <= 0:
+            raise ConfigurationError(
+                f"port bandwidth must be positive, got "
+                f"{self.port_bandwidth_bits_per_s}")
+        if self.nic_latency_s < 0:
+            raise ConfigurationError(
+                f"nic_latency_s must be non-negative, got "
+                f"{self.nic_latency_s}")
+        if not self.levels:
+            raise ConfigurationError("a fabric needs at least one level")
+
+    @property
+    def max_nodes(self) -> int:
+        """Nodes the full tree can host."""
+        total = 1
+        for level in self.levels:
+            total *= level.down_ports
+        return total
+
+    def levels_to_span(self, n_nodes: int) -> int:
+        """How many switching levels a group of ``n_nodes`` must climb
+        (1 = all behind one leaf)."""
+        if n_nodes < 1:
+            raise ConfigurationError(
+                f"n_nodes must be >= 1, got {n_nodes}")
+        if n_nodes > self.max_nodes:
+            raise ConfigurationError(
+                f"fabric hosts at most {self.max_nodes} nodes, "
+                f"asked for {n_nodes}")
+        reach = 1
+        for depth, level in enumerate(self.levels, start=1):
+            reach *= level.down_ports
+            if n_nodes <= reach:
+                return depth
+        return len(self.levels)
+
+    def effective_bandwidth(self, n_nodes: int) -> float:
+        """Per-flow bandwidth for a group spanning ``n_nodes``.
+
+        The flow pays the product of oversubscription ratios of every
+        level it must leave (all levels *below* the spanning level).
+        """
+        depth = self.levels_to_span(n_nodes)
+        taper = 1.0
+        for level in self.levels[:depth - 1]:
+            taper *= level.oversubscription
+        # an over-provisioned fabric (taper < 1) cannot exceed the
+        # node's own port speed
+        return self.port_bandwidth_bits_per_s / max(taper, 1.0)
+
+    def effective_latency(self, n_nodes: int) -> float:
+        """One-way latency for a group spanning ``n_nodes``: NIC at each
+        end plus up-and-down traversal of the spanned levels."""
+        depth = self.levels_to_span(n_nodes)
+        switch_hops = 2 * depth - 1  # up (depth-1), across (1), down (depth-1)
+        hop_latency = sum(level.hop_latency_s
+                          for level in self.levels[:depth])
+        # approximate per-hop latency as the mean of traversed levels
+        per_hop = hop_latency / depth
+        return 2 * self.nic_latency_s + switch_hops * per_hop
+
+    def effective_link(self, n_nodes: int, name: str = "") -> LinkSpec:
+        """The :class:`LinkSpec` AMPeD should use for a communication
+        group spanning ``n_nodes`` nodes of this fabric."""
+        return LinkSpec(
+            name=name or f"fabric link ({n_nodes} nodes, "
+                         f"{self.levels_to_span(n_nodes)} levels)",
+            latency_s=self.effective_latency(n_nodes),
+            bandwidth_bits_per_s=self.effective_bandwidth(n_nodes),
+        )
+
+
+def apply_fabric(system: SystemSpec, fabric: FatTreeFabric) -> SystemSpec:
+    """A copy of ``system`` whose inter-node link reflects cluster-wide
+    communication over ``fabric`` (the conservative choice: collectives
+    at full cluster span)."""
+    link = fabric.effective_link(system.n_nodes)
+    return system.with_node(system.node.with_links(inter_link=link))
+
+
+def two_level_fat_tree(port_bandwidth_bits_per_s: float,
+                       nodes_per_leaf: int = 16,
+                       n_leaves: int = 32,
+                       oversubscription: float = 1.0,
+                       nic_latency_s: float = 1e-6,
+                       hop_latency_s: float = 5e-7) -> FatTreeFabric:
+    """A standard leaf-spine fabric with a tunable taper.
+
+    ``oversubscription = 1`` is a full-bisection (rail-optimized)
+    fabric; 4 means each leaf's uplinks carry a quarter of its downlink
+    capacity — the common cost-cut this module exists to quantify.
+    """
+    if oversubscription <= 0:
+        raise ConfigurationError(
+            f"oversubscription must be positive, got "
+            f"{oversubscription}")
+    up_ports = max(1, round(nodes_per_leaf / oversubscription))
+    leaf = FabricLevel("leaf", down_ports=nodes_per_leaf,
+                       up_ports=up_ports, hop_latency_s=hop_latency_s)
+    spine = FabricLevel("spine", down_ports=n_leaves, up_ports=0,
+                        hop_latency_s=hop_latency_s)
+    return FatTreeFabric(
+        port_bandwidth_bits_per_s=port_bandwidth_bits_per_s,
+        nic_latency_s=nic_latency_s,
+        levels=(leaf, spine),
+    )

@@ -1,0 +1,56 @@
+"""Parallelism mappings, topology factors and microbatch efficiency.
+
+The knobs of §II-B / §IV: which parallelism type (DP, TP, PP, MoE) runs
+at which level of the machine (intra-node vs inter-node), how collectives
+traverse the topology, and how the microbatch size that results from a
+mapping translates into compute efficiency.
+"""
+
+from repro.parallelism.mapping import (
+    enumerate_mappings,
+    factor_triples,
+    mapping_for,
+)
+from repro.parallelism.microbatch import (
+    CASE_STUDY_EFFICIENCY,
+    PERFECT_EFFICIENCY,
+    MicrobatchEfficiency,
+    microbatch_size,
+    replica_batch_size,
+)
+from repro.parallelism.spec import ParallelismSpec, spec_from_totals
+from repro.parallelism.topology import (
+    FULLY_CONNECTED,
+    PAIRWISE_ALLTOALL,
+    RING,
+    TOPOLOGIES,
+    TREE,
+    CollectiveTopology,
+    FullyConnectedAllReduce,
+    PairwiseAllToAll,
+    RingAllReduce,
+    TreeAllReduce,
+)
+
+__all__ = [
+    "ParallelismSpec",
+    "spec_from_totals",
+    "enumerate_mappings",
+    "factor_triples",
+    "mapping_for",
+    "MicrobatchEfficiency",
+    "microbatch_size",
+    "replica_batch_size",
+    "PERFECT_EFFICIENCY",
+    "CASE_STUDY_EFFICIENCY",
+    "CollectiveTopology",
+    "RingAllReduce",
+    "TreeAllReduce",
+    "FullyConnectedAllReduce",
+    "PairwiseAllToAll",
+    "RING",
+    "TREE",
+    "FULLY_CONNECTED",
+    "PAIRWISE_ALLTOALL",
+    "TOPOLOGIES",
+]

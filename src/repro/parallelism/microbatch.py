@@ -1,0 +1,139 @@
+"""Microbatch sizing and the microbatch-efficiency fit ``eff(ub)``.
+
+Eq. 3 derates an accelerator's peak MAC throughput by a *microbatch
+efficiency* — how well a kernel working on a microbatch of ``ub``
+sequences utilizes the compute cores.  The paper fits the empirical form
+
+    eff(ub) = a * ub / (b + ub)
+
+("a functional form a.ub/(b+ub) allows a good fit until a critical
+microbatch size"), optionally clamped below by a floor (Case Study I
+uses a fixed lower limit of 25%) and above by 1.
+
+The microbatch size itself follows §V-B / §VI-B: the global batch is
+divided among data-parallel replicas, and each replica's share is cut
+into ``N_ub`` microbatches for pipelining:
+
+    ub = global_batch / (N_DP * N_ub)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, MappingError
+from repro.parallelism.spec import ParallelismSpec
+
+
+@dataclass(frozen=True)
+class MicrobatchEfficiency:
+    """Saturating efficiency fit ``eff(ub) = clamp(a*ub / (b + ub))``.
+
+    Parameters
+    ----------
+    a:
+        Asymptotic efficiency scale.  Values slightly above 1 are legal
+        (the ceiling clamps the result); they model kernels that saturate
+        before the fit's asymptote.
+    b:
+        Half-saturation microbatch size: at ``ub == b`` the unclamped fit
+        reaches ``a / 2``.
+    floor:
+        Lower clamp (Case Study I uses 0.25 — "the microbatch efficiency
+        curve has a fixed lower limit of 25% in our case").
+    ceiling:
+        Upper clamp, at most 1.0.
+    """
+
+    a: float = 1.0
+    b: float = 4.0
+    floor: float = 0.0
+    ceiling: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise ConfigurationError(f"a must be positive, got {self.a}")
+        if self.b < 0:
+            raise ConfigurationError(f"b must be non-negative, got {self.b}")
+        if not 0 <= self.floor <= 1:
+            raise ConfigurationError(
+                f"floor must be in [0, 1], got {self.floor}")
+        if not 0 < self.ceiling <= 1:
+            raise ConfigurationError(
+                f"ceiling must be in (0, 1], got {self.ceiling}")
+        if self.floor > self.ceiling:
+            raise ConfigurationError(
+                f"floor ({self.floor}) exceeds ceiling ({self.ceiling})")
+
+    def __call__(self, microbatch_size: float) -> float:
+        """Efficiency in ``[max(floor, tiny), ceiling]`` for ``ub > 0``."""
+        if microbatch_size <= 0:
+            raise ConfigurationError(
+                f"microbatch size must be positive, got {microbatch_size}")
+        raw = self.a * microbatch_size / (self.b + microbatch_size)
+        return min(self.ceiling, max(self.floor, raw))
+
+    @classmethod
+    def from_points(cls, point_low, point_high, floor: float = 0.0,
+                    ceiling: float = 1.0) -> "MicrobatchEfficiency":
+        """Fit (a, b) through two measured ``(ub, eff)`` points.
+
+        This mirrors the paper's procedure of deriving the efficiency
+        empirically per application/machine.  The two points must have
+        distinct ``ub`` and efficiencies increasing with ``ub``.
+        """
+        (ub1, e1), (ub2, e2) = point_low, point_high
+        if ub1 <= 0 or ub2 <= 0 or ub1 == ub2:
+            raise ConfigurationError(
+                f"need two distinct positive microbatch sizes, got "
+                f"{ub1} and {ub2}")
+        if not (0 < e1 < e2 <= 1):
+            raise ConfigurationError(
+                f"efficiencies must satisfy 0 < e1 < e2 <= 1, got "
+                f"{e1} and {e2}")
+        # e = a*ub/(b+ub)  =>  b = ub*(a/e - 1); equate for both points.
+        b = (ub1 * ub2 * (e2 - e1)) / (e1 * ub2 - e2 * ub1)
+        if b <= 0:
+            raise ConfigurationError(
+                f"points ({point_low}, {point_high}) imply a non-saturating "
+                f"fit (b = {b:.3g}); pick points below saturation")
+        a = e1 * (b + ub1) / ub1
+        return cls(a=a, b=b, floor=floor, ceiling=ceiling)
+
+
+#: Perfect utilization — useful for isolating communication effects.
+PERFECT_EFFICIENCY = MicrobatchEfficiency(a=1.0, b=0.0, floor=1.0)
+
+#: The Case Study I fit: reproduces the paper's quoted operating points
+#: (~30% at ub = 16 for DP-heavy mappings, ~80% at ub = 128 for TP-intra
+#: mappings) with the paper's 25% floor.
+CASE_STUDY_EFFICIENCY = MicrobatchEfficiency(a=1.05, b=40.0, floor=0.25)
+
+
+def microbatch_size(global_batch: int, spec: ParallelismSpec,
+                    minimum: float = 1.0) -> float:
+    """Microbatch size ``ub = global_batch / (N_DP * N_ub)``.
+
+    Raises :class:`MappingError` when the mapping dices the batch below
+    ``minimum`` sequences per microbatch — such configurations cannot
+    actually run (a microbatch cannot hold a fraction of a sequence).
+    """
+    if global_batch < 1:
+        raise ConfigurationError(
+            f"global_batch must be >= 1, got {global_batch}")
+    ub = global_batch / (spec.dp * spec.microbatches)
+    if ub < minimum:
+        raise MappingError(
+            f"batch {global_batch} split over dp={spec.dp} x "
+            f"N_ub={spec.microbatches} leaves microbatches of {ub:.3g} "
+            f"sequences (< {minimum})")
+    return ub
+
+
+def replica_batch_size(global_batch: int, spec: ParallelismSpec) -> float:
+    """Per-data-parallel-replica batch ``b = global_batch / N_DP`` — the
+    'effective batch size' of Eq. 6's activation volume."""
+    if global_batch < 1:
+        raise ConfigurationError(
+            f"global_batch must be >= 1, got {global_batch}")
+    return global_batch / spec.dp

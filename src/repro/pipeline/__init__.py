@@ -1,0 +1,42 @@
+"""Discrete-event pipeline-schedule simulator.
+
+Validates Eq. 8's bubble model from first principles: tasks, schedules
+(GPipe / 1F1B / interleaved) and a list scheduler that measures real
+bubble fractions and overlap ratios ``R``.  Also the substrate for the
+Fig. 2b validation experiment, standing in for the paper's torchgpipe
+runs.
+"""
+
+from repro.pipeline.schedule import (
+    BACKWARD,
+    FORWARD,
+    SCHEDULES,
+    Task,
+    build_schedule,
+    gpipe_order,
+    interleaved_order,
+    one_f_one_b_order,
+)
+from repro.pipeline.simulator import (
+    HeterogeneousWorkload,
+    PipelineResult,
+    PipelineWorkload,
+    naive_bubble_fraction,
+    simulate_pipeline,
+)
+
+__all__ = [
+    "Task",
+    "FORWARD",
+    "BACKWARD",
+    "SCHEDULES",
+    "build_schedule",
+    "gpipe_order",
+    "one_f_one_b_order",
+    "interleaved_order",
+    "PipelineWorkload",
+    "HeterogeneousWorkload",
+    "PipelineResult",
+    "simulate_pipeline",
+    "naive_bubble_fraction",
+]

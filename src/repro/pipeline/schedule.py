@@ -1,0 +1,152 @@
+"""Pipeline schedules: which task each stage runs next.
+
+A *task* is one microbatch's forward or backward pass through one stage.
+A schedule fixes, per stage, the order in which that stage attempts its
+tasks; the simulator then derives actual start times from dependencies.
+
+Three schedules are provided:
+
+- ``gpipe`` — all forwards, then all backwards (Huang et al.); the
+  schedule of the paper's Table III validation.
+- ``1f1b`` — the PipeDream-flush schedule Megatron-LM uses: a warm-up of
+  forwards, then strict one-forward-one-backward alternation.  Same
+  bubble as GPipe, far lower activation memory.
+- ``interleaved`` — 1F1B over ``v`` model chunks per stage (Megatron's
+  interleaved schedule); shrinks the bubble by ``~1/v``, which is the
+  mechanism behind Eq. 8's ``R < 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+#: Task phases.
+FORWARD = "F"
+BACKWARD = "B"
+
+SCHEDULES = ("gpipe", "1f1b", "interleaved")
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of pipeline work.
+
+    ``chunk`` indexes the model chunk for interleaved schedules (0 for
+    the plain schedules); ``(stage, chunk)`` identifies the *virtual*
+    stage the task belongs to.
+    """
+
+    phase: str
+    stage: int
+    microbatch: int
+    chunk: int = 0
+
+    def __post_init__(self) -> None:
+        if self.phase not in (FORWARD, BACKWARD):
+            raise ConfigurationError(
+                f"phase must be '{FORWARD}' or '{BACKWARD}', got "
+                f"{self.phase!r}")
+        for name in ("stage", "microbatch", "chunk"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} must be non-negative, got "
+                    f"{getattr(self, name)}")
+
+    def virtual_stage(self, n_stages: int) -> int:
+        """Position in the unrolled (chunked) pipeline: chunk ``c`` on
+        stage ``s`` is virtual stage ``c * n_stages + s``."""
+        return self.chunk * n_stages + self.stage
+
+    def __repr__(self) -> str:  # compact debugging aid
+        return f"{self.phase}(s={self.stage},m={self.microbatch}," \
+               f"c={self.chunk})"
+
+
+def _check(n_stages: int, n_microbatches: int) -> None:
+    if n_stages < 1:
+        raise ConfigurationError(
+            f"n_stages must be >= 1, got {n_stages}")
+    if n_microbatches < 1:
+        raise ConfigurationError(
+            f"n_microbatches must be >= 1, got {n_microbatches}")
+
+
+def gpipe_order(n_stages: int, n_microbatches: int) -> List[List[Task]]:
+    """Per-stage task order for the GPipe schedule.
+
+    Stage ``s`` runs F(0)...F(M-1) then B(M-1)...B(0).
+    """
+    _check(n_stages, n_microbatches)
+    orders = []
+    for stage in range(n_stages):
+        tasks = [Task(FORWARD, stage, mb) for mb in range(n_microbatches)]
+        tasks += [Task(BACKWARD, stage, mb)
+                  for mb in reversed(range(n_microbatches))]
+        orders.append(tasks)
+    return orders
+
+
+def one_f_one_b_order(n_stages: int,
+                      n_microbatches: int) -> List[List[Task]]:
+    """Per-stage task order for the 1F1B (PipeDream-flush) schedule.
+
+    Stage ``s`` warms up with ``min(M, n_stages - s)`` forwards, then
+    alternates one backward / one forward until both phases complete.
+    """
+    _check(n_stages, n_microbatches)
+    orders = []
+    for stage in range(n_stages):
+        warmup = min(n_microbatches, n_stages - stage)
+        tasks = [Task(FORWARD, stage, mb) for mb in range(warmup)]
+        next_forward = warmup
+        next_backward = 0
+        while next_backward < n_microbatches:
+            tasks.append(Task(BACKWARD, stage, next_backward))
+            next_backward += 1
+            if next_forward < n_microbatches:
+                tasks.append(Task(FORWARD, stage, next_forward))
+                next_forward += 1
+        orders.append(tasks)
+    return orders
+
+
+def interleaved_order(n_stages: int, n_microbatches: int,
+                      n_chunks: int) -> List[List[Task]]:
+    """Per-stage task order for the interleaved (chunked) schedule.
+
+    The model is cut into ``n_stages * n_chunks`` pieces; stage ``s``
+    owns chunks ``0..n_chunks-1`` (virtual stages ``s + c*n_stages``).
+    Each stage runs the GPipe pattern chunk-major: all forwards of chunk
+    0, then chunk 1, ...; backwards in reverse.  This shrinks the
+    fill/drain bubble by roughly ``1/n_chunks``.
+    """
+    _check(n_stages, n_microbatches)
+    if n_chunks < 1:
+        raise ConfigurationError(
+            f"n_chunks must be >= 1, got {n_chunks}")
+    orders = []
+    for stage in range(n_stages):
+        tasks = [Task(FORWARD, stage, mb, chunk)
+                 for chunk in range(n_chunks)
+                 for mb in range(n_microbatches)]
+        tasks += [Task(BACKWARD, stage, mb, chunk)
+                  for chunk in reversed(range(n_chunks))
+                  for mb in reversed(range(n_microbatches))]
+        orders.append(tasks)
+    return orders
+
+
+def build_schedule(name: str, n_stages: int, n_microbatches: int,
+                   n_chunks: int = 1) -> List[List[Task]]:
+    """Dispatch on a schedule name (one of :data:`SCHEDULES`)."""
+    if name == "gpipe":
+        return gpipe_order(n_stages, n_microbatches)
+    if name == "1f1b":
+        return one_f_one_b_order(n_stages, n_microbatches)
+    if name == "interleaved":
+        return interleaved_order(n_stages, n_microbatches, n_chunks)
+    raise ConfigurationError(
+        f"unknown schedule {name!r}; expected one of {SCHEDULES}")

@@ -1,0 +1,17 @@
+"""Plain-text tables, ASCII charts and CSV/JSON export."""
+
+from repro.reporting.ascii_plot import bar_chart, line_chart
+from repro.reporting.export import export_csv, export_json, load_json
+from repro.reporting.markdown import MarkdownReport, render_markdown_table
+from repro.reporting.tables import render_table
+
+__all__ = [
+    "render_table",
+    "render_markdown_table",
+    "MarkdownReport",
+    "bar_chart",
+    "line_chart",
+    "export_csv",
+    "export_json",
+    "load_json",
+]

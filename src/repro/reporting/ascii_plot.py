@@ -1,0 +1,90 @@
+"""Minimal ASCII charts for the benchmark harness.
+
+Two marks cover everything the paper's figures need: horizontal bar
+charts (Fig. 3's breakdown, Fig. 11's optimization ladder) and
+multi-series line charts over a log-ish x-axis (the scaling and sweep
+figures).  Output is deliberately plain text so it renders anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+_BAR = "#"
+_MARKERS = "ox+*sd^v"
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              title: Optional[str] = None, width: int = 50,
+              unit: str = "") -> str:
+    """Horizontal bar chart; bars scale to the largest value."""
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"{len(labels)} labels vs {len(values)} values")
+    if not values:
+        raise ConfigurationError("bar chart needs at least one value")
+    if any(v < 0 for v in values):
+        raise ConfigurationError(f"values must be non-negative: {values}")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines += [title, "=" * len(title)]
+    for label, value in zip(labels, values):
+        bar = _BAR * max(1 if value > 0 else 0,
+                         round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} "
+                     f"{value:.4g}{(' ' + unit) if unit else ''}")
+    return "\n".join(lines)
+
+
+def line_chart(x_values: Sequence[float],
+               series: Dict[str, Sequence[float]],
+               title: Optional[str] = None,
+               height: int = 12, width: int = 60) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    ``series`` maps a name to y-values aligned with ``x_values``.  Each
+    series gets a marker; a legend follows the grid.  Both axes are
+    linear; x-positions are spread by rank when values are uneven (the
+    sweeps use 2^k grids, where rank spacing reads best).
+    """
+    if not x_values:
+        raise ConfigurationError("line chart needs x values")
+    if not series:
+        raise ConfigurationError("line chart needs at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points, expected "
+                f"{len(x_values)}")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    spread = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    n = len(x_values)
+    for index, (name, ys) in enumerate(sorted(series.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for i, y in enumerate(ys):
+            col = 0 if n == 1 else round(i * (width - 1) / (n - 1))
+            row = (height - 1
+                   - round((y - y_min) / spread * (height - 1)))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines += [title, "=" * len(title)]
+    lines.append(f"y: {y_min:.4g} .. {y_max:.4g}")
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_values[0]:g} .. {x_values[-1]:g} "
+                 f"({n} points, rank-spaced)")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(sorted(series)))
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""CSV / JSON export of experiment series.
+
+Every experiment module returns plain data (lists of dataclasses or
+dicts); these helpers persist them so downstream plotting or diffing
+does not need to re-run the sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def export_csv(path: PathLike, headers: Sequence[str],
+               rows: Sequence[Sequence]) -> Path:
+    """Write rows to ``path`` as CSV, creating parent directories."""
+    if not headers:
+        raise ConfigurationError("CSV export needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected "
+                f"{len(headers)}")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return target
+
+
+def export_json(path: PathLike, payload) -> Path:
+    """Write a JSON-serializable payload to ``path`` (indented)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def load_json(path: PathLike):
+    """Read back a payload written by :func:`export_json`."""
+    with Path(path).open() as handle:
+        return json.load(handle)

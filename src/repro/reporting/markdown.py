@@ -1,0 +1,75 @@
+"""GitHub-flavored-markdown rendering for reports.
+
+The plain-text renderer (:mod:`repro.reporting.tables`) targets
+terminals and CI logs; this module targets committed artifacts —
+``amped export`` writes a ``report.md`` with every reproduced series as
+a markdown table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def render_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence],
+                          float_format: str = "{:.4g}") -> str:
+    """Render rows as a GitHub-flavored markdown table.
+
+    Pipes inside cells are escaped; floats go through ``float_format``.
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    lines = ["| " + " | ".join(_cell(h, float_format)
+                               for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected "
+                f"{len(headers)}")
+        lines.append("| " + " | ".join(_cell(cell, float_format)
+                                       for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _cell(value, float_format: str) -> str:
+    if isinstance(value, bool):
+        text = str(value)
+    elif isinstance(value, float):
+        text = float_format.format(value)
+    else:
+        text = str(value)
+    return text.replace("|", "\\|")
+
+
+class MarkdownReport:
+    """An incrementally-built markdown document."""
+
+    def __init__(self, title: str) -> None:
+        if not title:
+            raise ConfigurationError("report title must be non-empty")
+        self._parts: List[str] = [f"# {title}"]
+
+    def add_section(self, heading: str,
+                    body: Optional[str] = None) -> "MarkdownReport":
+        """Append a ``##`` section with optional prose."""
+        self._parts.append(f"## {heading}")
+        if body:
+            self._parts.append(body)
+        return self
+
+    def add_table(self, headers: Sequence[str],
+                  rows: Sequence[Sequence],
+                  caption: Optional[str] = None) -> "MarkdownReport":
+        """Append a markdown table with an optional italic caption."""
+        self._parts.append(render_markdown_table(headers, rows))
+        if caption:
+            self._parts.append(f"*{caption}*")
+        return self
+
+    def render(self) -> str:
+        """The full document."""
+        return "\n\n".join(self._parts) + "\n"

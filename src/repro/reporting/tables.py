@@ -1,0 +1,66 @@
+"""Plain-text table rendering.
+
+The benchmark harness prints every reproduced table and figure as
+aligned text so the reproduction is legible in CI logs without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None,
+                 float_format: str = "{:.4g}") -> str:
+    """Render rows as an aligned text table.
+
+    Cells may be any type; floats are formatted with ``float_format``,
+    everything else with ``str``.  Column widths adapt to content.
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected "
+                f"{len(headers)}")
+        formatted_rows.append([_format_cell(cell, float_format)
+                               for cell in row])
+
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.rjust(w) if _is_numeric(cell)
+                               else cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

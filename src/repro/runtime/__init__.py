@@ -1,0 +1,34 @@
+"""Production-run realism on top of AMPeD's clean estimates:
+batch-size ramps, checkpointing (Young/Daly), failure inflation."""
+
+from repro.runtime.checkpoint import (
+    CheckpointSpec,
+    checkpoint_bytes,
+    checkpoint_overhead_fraction,
+    checkpoint_write_seconds,
+    young_daly_interval,
+)
+from repro.runtime.ramp import (
+    BatchSizeRamp,
+    ramp_overhead,
+    ramped_training_time,
+)
+from repro.runtime.reliability import (
+    CampaignEstimate,
+    FailureModel,
+    campaign_estimate,
+)
+
+__all__ = [
+    "BatchSizeRamp",
+    "ramped_training_time",
+    "ramp_overhead",
+    "CheckpointSpec",
+    "checkpoint_bytes",
+    "checkpoint_write_seconds",
+    "young_daly_interval",
+    "checkpoint_overhead_fraction",
+    "FailureModel",
+    "CampaignEstimate",
+    "campaign_estimate",
+]

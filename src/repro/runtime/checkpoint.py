@@ -1,0 +1,116 @@
+"""Checkpointing overhead and the Young/Daly optimal interval.
+
+At thousand-accelerator scale, failures are routine and training
+checkpoints constantly.  Each checkpoint stalls training while the
+model state drains to storage; checkpointing too often wastes time
+writing, too rarely wastes time recomputing after failures.  The
+classic Young/Daly result gives the optimal interval
+
+    t_opt = sqrt(2 * checkpoint_cost * MTBF)
+
+which this module implements along with the resulting overhead
+fractions.  Used by :mod:`repro.runtime.reliability` to inflate AMPeD
+estimates into realistic campaign wall-clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.precision import PrecisionPolicy
+from repro.transformer.config import TransformerConfig
+from repro.transformer.params import total_parameters
+from repro.units import BITS_PER_BYTE
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """What one checkpoint costs.
+
+    Parameters
+    ----------
+    write_seconds:
+        Stall while the model state drains to storage (training paused;
+        asynchronous checkpointing can shrink this toward the marginal
+        staging cost).
+    restart_seconds:
+        Time to load the last checkpoint and rebuild state after a
+        failure (job re-queue excluded).
+    """
+
+    write_seconds: float
+    restart_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.write_seconds <= 0:
+            raise ConfigurationError(
+                f"write_seconds must be positive, got "
+                f"{self.write_seconds}")
+        if self.restart_seconds < 0:
+            raise ConfigurationError(
+                f"restart_seconds must be non-negative, got "
+                f"{self.restart_seconds}")
+
+
+def checkpoint_bytes(model: TransformerConfig,
+                     precision: PrecisionPolicy,
+                     optimizer_bytes_per_param: float = 12.0) -> float:
+    """Bytes a full training checkpoint holds: parameters at training
+    precision plus optimizer state."""
+    if optimizer_bytes_per_param < 0:
+        raise ConfigurationError(
+            f"optimizer_bytes_per_param must be non-negative, got "
+            f"{optimizer_bytes_per_param}")
+    params = total_parameters(model)
+    return params * (precision.parameter_bits / BITS_PER_BYTE
+                     + optimizer_bytes_per_param)
+
+
+def checkpoint_write_seconds(model: TransformerConfig,
+                             precision: PrecisionPolicy,
+                             storage_bandwidth_bits_per_s: float,
+                             parallel_writers: int = 1) -> float:
+    """Stall time for one checkpoint over ``parallel_writers`` ranks
+    sharing the aggregate storage bandwidth (sharded checkpoints write
+    concurrently, so the wall-clock is the aggregate-volume time)."""
+    if storage_bandwidth_bits_per_s <= 0:
+        raise ConfigurationError(
+            f"storage bandwidth must be positive, got "
+            f"{storage_bandwidth_bits_per_s}")
+    if parallel_writers < 1:
+        raise ConfigurationError(
+            f"parallel_writers must be >= 1, got {parallel_writers}")
+    bits = checkpoint_bytes(model, precision) * BITS_PER_BYTE
+    return bits / (storage_bandwidth_bits_per_s * parallel_writers)
+
+
+def young_daly_interval(checkpoint_seconds: float,
+                        mtbf_seconds: float) -> float:
+    """The Young/Daly optimal checkpoint interval
+    ``sqrt(2 * delta * MTBF)`` (first-order optimum; valid while the
+    interval stays well below the MTBF)."""
+    if checkpoint_seconds <= 0:
+        raise ConfigurationError(
+            f"checkpoint_seconds must be positive, got "
+            f"{checkpoint_seconds}")
+    if mtbf_seconds <= 0:
+        raise ConfigurationError(
+            f"mtbf_seconds must be positive, got {mtbf_seconds}")
+    return math.sqrt(2.0 * checkpoint_seconds * mtbf_seconds)
+
+
+def checkpoint_overhead_fraction(checkpoint_seconds: float,
+                                 interval_seconds: float) -> float:
+    """Fraction of wall-clock spent writing checkpoints at a fixed
+    interval (``delta / (tau + delta)``)."""
+    if interval_seconds <= 0:
+        raise ConfigurationError(
+            f"interval_seconds must be positive, got "
+            f"{interval_seconds}")
+    if checkpoint_seconds < 0:
+        raise ConfigurationError(
+            f"checkpoint_seconds must be non-negative, got "
+            f"{checkpoint_seconds}")
+    return checkpoint_seconds / (interval_seconds + checkpoint_seconds)

@@ -1,0 +1,114 @@
+"""Batch-size ramp schedules.
+
+Large-model recipes do not train at the full batch from step one:
+GPT-3-style schedules ramp the global batch linearly over the first few
+billion tokens (small batches early for optimization stability, large
+batches late for throughput).  Because AMPeD's per-batch time depends
+on the batch size through the microbatch efficiency, the ramp changes
+total wall-clock — this module integrates the model over a ramp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.model import AMPeD
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BatchSizeRamp:
+    """A staged linear batch-size ramp.
+
+    Parameters
+    ----------
+    initial_batch:
+        Global batch at the start of training.
+    full_batch:
+        Target global batch after the ramp.
+    ramp_tokens:
+        Tokens consumed while ramping (GPT-3 used 4-12B).
+    n_stages:
+        The continuous ramp is discretized into this many equal-token
+        stages with linearly interpolated batch sizes (AMPeD evaluates
+        one batch size per stage).
+    """
+
+    initial_batch: int
+    full_batch: int
+    ramp_tokens: float
+    n_stages: int = 8
+
+    def __post_init__(self) -> None:
+        if self.initial_batch < 1:
+            raise ConfigurationError(
+                f"initial_batch must be >= 1, got {self.initial_batch}")
+        if self.full_batch < self.initial_batch:
+            raise ConfigurationError(
+                f"full_batch ({self.full_batch}) must be >= "
+                f"initial_batch ({self.initial_batch})")
+        if self.ramp_tokens < 0:
+            raise ConfigurationError(
+                f"ramp_tokens must be non-negative, got "
+                f"{self.ramp_tokens}")
+        if self.n_stages < 1:
+            raise ConfigurationError(
+                f"n_stages must be >= 1, got {self.n_stages}")
+
+    def stages(self, total_tokens: float) -> List[Tuple[int, float]]:
+        """(batch_size, tokens) stages covering ``total_tokens``.
+
+        The ramp's tokens are split into ``n_stages`` equal slices with
+        interpolated batch sizes; the remainder runs at the full batch.
+        """
+        if total_tokens <= 0:
+            raise ConfigurationError(
+                f"total_tokens must be positive, got {total_tokens}")
+        ramp_tokens = min(self.ramp_tokens, total_tokens)
+        result: List[Tuple[int, float]] = []
+        per_stage = ramp_tokens / self.n_stages
+        if per_stage > 0 and self.full_batch > self.initial_batch:
+            for index in range(self.n_stages):
+                fraction = (index + 0.5) / self.n_stages
+                batch = round(self.initial_batch
+                              + fraction * (self.full_batch
+                                            - self.initial_batch))
+                result.append((max(1, batch), per_stage))
+        else:
+            ramp_tokens = 0.0
+        remaining = total_tokens - ramp_tokens
+        if remaining > 0:
+            result.append((self.full_batch, remaining))
+        return result
+
+
+def ramped_training_time(amped: AMPeD, ramp: BatchSizeRamp,
+                         total_tokens: float) -> float:
+    """Wall-clock seconds for a run under a batch-size ramp.
+
+    Each stage is evaluated at its own batch size (efficiency included);
+    stages whose batch the mapping cannot run (microbatch below one
+    sequence) re-raise the underlying mapping error — a ramp that dips
+    below the mapping's granularity is a real deployment bug.
+    """
+    seconds = 0.0
+    sequence_tokens = amped.model.sequence_length
+    for batch, tokens in ramp.stages(total_tokens):
+        batch_time = amped.estimate_batch(batch).total
+        n_batches = tokens / (batch * sequence_tokens)
+        seconds += batch_time * n_batches
+    return seconds
+
+
+def ramp_overhead(amped: AMPeD, ramp: BatchSizeRamp,
+                  total_tokens: float) -> float:
+    """Fractional slowdown of the ramped run over running the full
+    batch throughout (>= 0 when small batches are less efficient)."""
+    ramped = ramped_training_time(amped, ramp, total_tokens)
+    flat = ramped_training_time(
+        amped,
+        BatchSizeRamp(initial_batch=ramp.full_batch,
+                      full_batch=ramp.full_batch, ramp_tokens=0.0),
+        total_tokens)
+    return ramped / flat - 1.0

@@ -1,0 +1,124 @@
+"""Failure-aware runtime inflation (Daly's model).
+
+A 1024-accelerator system with a 5-year per-device MTBF fails every
+~1.8 days; a month-long run *will* be interrupted.  With periodic
+checkpoints every ``tau`` and failures at system rate ``1/M``, the
+expected wall-clock inflates by three terms: checkpoint writes, lost
+work since the last checkpoint (half an interval on average), and
+restart time:
+
+    inflation ~ delta/tau + (tau/2 + R) / M
+
+This module composes that with AMPeD: take a clean training estimate,
+a checkpoint spec and a failure model, and produce the expected
+campaign wall-clock — at the Young/Daly-optimal interval or any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.runtime.checkpoint import (
+    CheckpointSpec,
+    checkpoint_overhead_fraction,
+    young_daly_interval,
+)
+from repro.units import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """System-level failure behavior.
+
+    Parameters
+    ----------
+    device_mtbf_hours:
+        Mean time between failures of one accelerator (including its
+        host share); cluster operators report 40k-90k hours.
+    n_devices:
+        Devices whose failures interrupt the job (system MTBF =
+        device MTBF / n).
+    """
+
+    device_mtbf_hours: float
+    n_devices: int
+
+    def __post_init__(self) -> None:
+        if self.device_mtbf_hours <= 0:
+            raise ConfigurationError(
+                f"device_mtbf_hours must be positive, got "
+                f"{self.device_mtbf_hours}")
+        if self.n_devices < 1:
+            raise ConfigurationError(
+                f"n_devices must be >= 1, got {self.n_devices}")
+
+    @property
+    def system_mtbf_seconds(self) -> float:
+        """Mean time between job interruptions."""
+        return (self.device_mtbf_hours * SECONDS_PER_HOUR
+                / self.n_devices)
+
+
+@dataclass(frozen=True)
+class CampaignEstimate:
+    """A clean estimate inflated by checkpoint and failure overheads."""
+
+    clean_seconds: float
+    checkpoint_interval_s: float
+    checkpoint_overhead: float
+    failure_overhead: float
+    expected_failures: float
+
+    @property
+    def total_overhead(self) -> float:
+        """Combined fractional inflation."""
+        return self.checkpoint_overhead + self.failure_overhead
+
+    @property
+    def expected_seconds(self) -> float:
+        """Expected campaign wall-clock."""
+        return self.clean_seconds * (1.0 + self.total_overhead)
+
+    @property
+    def expected_days(self) -> float:
+        """Expected campaign length in days."""
+        return self.expected_seconds / 86400.0
+
+
+def campaign_estimate(clean_seconds: float,
+                      checkpoint: CheckpointSpec,
+                      failures: FailureModel,
+                      interval_seconds: Optional[float] = None
+                      ) -> CampaignEstimate:
+    """Inflate a clean training time by checkpoint + failure overheads.
+
+    ``interval_seconds`` defaults to the Young/Daly optimum for the
+    given checkpoint cost and system MTBF.
+    """
+    if clean_seconds <= 0:
+        raise ConfigurationError(
+            f"clean_seconds must be positive, got {clean_seconds}")
+    mtbf = failures.system_mtbf_seconds
+    if interval_seconds is None:
+        interval_seconds = young_daly_interval(
+            checkpoint.write_seconds, mtbf)
+    if interval_seconds <= 0:
+        raise ConfigurationError(
+            f"interval_seconds must be positive, got "
+            f"{interval_seconds}")
+
+    ckpt_overhead = checkpoint_overhead_fraction(
+        checkpoint.write_seconds, interval_seconds)
+    # per failure: half an interval of lost work plus the restart
+    per_failure = interval_seconds / 2.0 + checkpoint.restart_seconds
+    failure_overhead = per_failure / mtbf
+    expected_failures = clean_seconds * (1.0 + ckpt_overhead) / mtbf
+    return CampaignEstimate(
+        clean_seconds=clean_seconds,
+        checkpoint_interval_s=interval_seconds,
+        checkpoint_overhead=ckpt_overhead,
+        failure_overhead=failure_overhead,
+        expected_failures=expected_failures,
+    )

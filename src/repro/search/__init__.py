@@ -1,0 +1,37 @@
+"""Design-space exploration: exhaustive sweeps, tuning, heuristics,
+feasibility diagnosis."""
+
+from repro.search.diagnose import (
+    FeasibilityIssue,
+    MappingDiagnosis,
+    diagnose_mapping,
+    require_feasible,
+)
+from repro.search.dse import (
+    ExplorationResult,
+    best_mapping,
+    explore,
+    pareto_front,
+)
+from repro.search.heuristics import (
+    LOW_BANDWIDTH_THRESHOLD_BITS_PER_S,
+    MappingRecommendation,
+    recommend_mapping,
+)
+from repro.search.tuning import microbatch_candidates, optimize_microbatches
+
+__all__ = [
+    "explore",
+    "best_mapping",
+    "pareto_front",
+    "ExplorationResult",
+    "optimize_microbatches",
+    "microbatch_candidates",
+    "recommend_mapping",
+    "MappingRecommendation",
+    "LOW_BANDWIDTH_THRESHOLD_BITS_PER_S",
+    "diagnose_mapping",
+    "require_feasible",
+    "MappingDiagnosis",
+    "FeasibilityIssue",
+]

@@ -1,0 +1,152 @@
+"""Mapping-feasibility diagnosis: *why* a configuration cannot run.
+
+The explorer silently skips infeasible mappings; when a user asks for a
+specific one, a bare ``MappingError`` is unhelpful.
+:func:`diagnose_mapping` runs every feasibility check and returns all
+failures at once (system tiling, model divisibility, microbatch
+granularity, memory capacity), each with a concrete suggestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.zero import NO_ZERO, ZeroConfig
+from repro.errors import MappingError
+from repro.hardware.precision import MIXED_FP16, PrecisionPolicy
+from repro.hardware.system import SystemSpec
+from repro.memory.constraints import (
+    DEFAULT_USABLE_FRACTION,
+    fits_in_memory,
+    max_feasible_microbatch,
+)
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.config import TransformerConfig
+from repro.units import format_bytes
+
+
+@dataclass(frozen=True)
+class FeasibilityIssue:
+    """One reason a mapping cannot run, with a suggested fix."""
+
+    check: str
+    problem: str
+    suggestion: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.problem} — {self.suggestion}"
+
+
+@dataclass(frozen=True)
+class MappingDiagnosis:
+    """All feasibility findings for one (mapping, workload) pair."""
+
+    parallelism: ParallelismSpec
+    issues: Tuple[FeasibilityIssue, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """True when every check passed."""
+        return not self.issues
+
+    def explain(self) -> str:
+        """A printable summary."""
+        if self.feasible:
+            return (f"{self.parallelism.describe()}: feasible "
+                    f"(all checks passed)")
+        lines = [f"{self.parallelism.describe()}: "
+                 f"{len(self.issues)} issue(s)"]
+        lines += [f"  - {issue}" for issue in self.issues]
+        return "\n".join(lines)
+
+
+def diagnose_mapping(spec: ParallelismSpec,
+                     model: TransformerConfig,
+                     system: SystemSpec,
+                     global_batch: Optional[int] = None,
+                     precision: PrecisionPolicy = MIXED_FP16,
+                     zero: ZeroConfig = NO_ZERO,
+                     usable_fraction: float = DEFAULT_USABLE_FRACTION
+                     ) -> MappingDiagnosis:
+    """Run every feasibility check and collect all failures."""
+    issues: List[FeasibilityIssue] = []
+
+    # 1. system tiling
+    node_size = system.node.n_accelerators
+    if spec.intra_degree != node_size:
+        issues.append(FeasibilityIssue(
+            "system",
+            f"intra-node degrees multiply to {spec.intra_degree}, the "
+            f"node has {node_size} accelerators",
+            f"make tp_intra*pp_intra*dp_intra == {node_size}"))
+    if spec.inter_degree != system.n_nodes:
+        issues.append(FeasibilityIssue(
+            "system",
+            f"inter-node degrees multiply to {spec.inter_degree}, the "
+            f"cluster has {system.n_nodes} nodes",
+            f"make tp_inter*pp_inter*dp_inter == {system.n_nodes}"))
+
+    # 2. model divisibility
+    if spec.pp > model.n_layers:
+        issues.append(FeasibilityIssue(
+            "model",
+            f"pipeline degree {spec.pp} exceeds the model's "
+            f"{model.n_layers} layers",
+            f"cap total PP at {model.n_layers}"))
+    if spec.tp > 1 and model.n_heads % spec.tp != 0:
+        issues.append(FeasibilityIssue(
+            "model",
+            f"TP degree {spec.tp} does not divide {model.n_heads} "
+            f"attention heads",
+            "pick a TP degree dividing the head count"))
+
+    # 3. microbatch granularity
+    if global_batch is not None:
+        per_microbatch = global_batch / (spec.dp * spec.microbatches)
+        if per_microbatch < 1.0:
+            issues.append(FeasibilityIssue(
+                "batch",
+                f"batch {global_batch} over dp={spec.dp} x "
+                f"N_ub={spec.microbatches} leaves "
+                f"{per_microbatch:.3g} sequences per microbatch",
+                f"raise the batch to at least "
+                f"{spec.dp * spec.microbatches} or reduce N_ub/DP"))
+
+    # 4. memory capacity
+    if global_batch is not None:
+        microbatch = max(1.0, global_batch / (spec.dp
+                                              * spec.microbatches))
+        if not fits_in_memory(model, spec, microbatch, precision,
+                              system.accelerator, zero,
+                              usable_fraction):
+            best = max_feasible_microbatch(
+                model, spec, precision, system.accelerator, zero,
+                usable_fraction)
+            if best is None:
+                issues.append(FeasibilityIssue(
+                    "memory",
+                    f"model state alone overflows "
+                    f"{format_bytes(system.accelerator.memory_bytes)} "
+                    f"of HBM under this sharding",
+                    "raise TP/PP degrees or enable ZeRO-3"))
+            else:
+                issues.append(FeasibilityIssue(
+                    "memory",
+                    f"microbatch {microbatch:g} does not fit; the "
+                    f"largest feasible is {best}",
+                    f"raise N_ub so the microbatch drops to <= {best}, "
+                    f"or enable activation recomputation"))
+
+    return MappingDiagnosis(parallelism=spec, issues=tuple(issues))
+
+
+def require_feasible(spec: ParallelismSpec, model: TransformerConfig,
+                     system: SystemSpec,
+                     global_batch: Optional[int] = None,
+                     **kwargs) -> None:
+    """Raise a :class:`MappingError` carrying the *full* diagnosis."""
+    diagnosis = diagnose_mapping(spec, model, system, global_batch,
+                                 **kwargs)
+    if not diagnosis.feasible:
+        raise MappingError(diagnosis.explain())

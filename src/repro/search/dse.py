@@ -1,0 +1,148 @@
+"""Design-space exploration over parallelism mappings.
+
+Case Study I's workflow: enumerate every legal (intra, inter)
+parallelism factorization of a system, evaluate AMPeD for each, and
+rank.  The explorer optionally tunes the microbatch count per mapping
+and filters mappings whose footprint exceeds accelerator memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.core.breakdown import TrainingTimeBreakdown
+from repro.core.model import AMPeD
+from repro.errors import MappingError, MemoryCapacityError
+from repro.memory.constraints import fits_in_memory
+from repro.parallelism.mapping import enumerate_mappings
+from repro.parallelism.spec import ParallelismSpec
+from repro.search.tuning import microbatch_candidates, optimize_microbatches
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """One evaluated point of the design space."""
+
+    parallelism: ParallelismSpec
+    global_batch: int
+    batch_time_s: float
+    breakdown: TrainingTimeBreakdown
+    microbatch_size: float
+    microbatch_efficiency: float
+
+    @property
+    def label(self) -> str:
+        """Compact mapping descriptor for tables."""
+        return self.parallelism.describe()
+
+
+def explore(amped: AMPeD, global_batch: int,
+            mappings: Optional[List[ParallelismSpec]] = None,
+            tune_microbatches: bool = True,
+            enforce_memory: bool = False,
+            max_results: Optional[int] = None) -> List[ExplorationResult]:
+    """Evaluate every mapping and return results sorted fastest-first.
+
+    Parameters
+    ----------
+    amped:
+        Template scenario; its parallelism field is replaced per mapping.
+    global_batch:
+        Batch size to evaluate at.
+    mappings:
+        Explicit mapping list, or every legal factorization by default.
+    tune_microbatches:
+        Re-tune ``N_ub`` per mapping (the paper's practice).
+    enforce_memory:
+        Drop mappings whose footprint exceeds the accelerator memory.
+    max_results:
+        Truncate the (sorted) result list.
+    """
+    if mappings is None:
+        mappings = enumerate_mappings(amped.system, amped.model)
+    results = []
+    for spec in mappings:
+        candidate = replace(amped, parallelism=spec)
+        try:
+            if tune_microbatches:
+                candidates = None
+                if enforce_memory:
+                    candidates = _memory_feasible_candidates(
+                        candidate, global_batch)
+                    if not candidates:
+                        continue
+                candidate, _ = optimize_microbatches(
+                    candidate, global_batch, candidates=candidates)
+            microbatch = candidate.microbatch(global_batch)
+            if enforce_memory and not fits_in_memory(
+                    candidate.model, candidate.parallelism, microbatch,
+                    candidate.precision, candidate.system.accelerator,
+                    candidate.zero):
+                continue
+            breakdown = candidate.estimate_batch(global_batch)
+        except (MappingError, MemoryCapacityError):
+            continue
+        results.append(ExplorationResult(
+            parallelism=candidate.parallelism,
+            global_batch=global_batch,
+            batch_time_s=breakdown.total,
+            breakdown=breakdown,
+            microbatch_size=microbatch,
+            microbatch_efficiency=candidate.microbatch_efficiency(
+                global_batch),
+        ))
+    results.sort(key=lambda result: result.batch_time_s)
+    if max_results is not None:
+        results = results[:max_results]
+    return results
+
+
+def _memory_feasible_candidates(candidate: AMPeD,
+                                global_batch: int) -> list:
+    """Microbatch counts whose resulting microbatch size fits in HBM."""
+    feasible = []
+    for n_ub in microbatch_candidates(candidate, global_batch):
+        spec = candidate.parallelism.with_microbatches(n_ub)
+        microbatch = global_batch / (spec.dp * n_ub)
+        if microbatch < 1:
+            continue
+        if fits_in_memory(candidate.model, spec, microbatch,
+                          candidate.precision,
+                          candidate.system.accelerator, candidate.zero):
+            feasible.append(n_ub)
+    return feasible
+
+
+def best_mapping(amped: AMPeD, global_batch: int,
+                 **explore_kwargs) -> ExplorationResult:
+    """The fastest mapping for the scenario (raises
+    :class:`MappingError` if the space is empty)."""
+    results = explore(amped, global_batch, **explore_kwargs)
+    if not results:
+        raise MappingError(
+            f"no feasible parallelism mapping for {amped.model.name} on "
+            f"{amped.system.describe()}")
+    return results[0]
+
+
+def pareto_front(results: List[ExplorationResult],
+                 secondary=lambda result: result.breakdown.bubble
+                 ) -> List[ExplorationResult]:
+    """Mappings not dominated on (batch time, ``secondary``).
+
+    Default secondary objective is bubble time (an energy proxy per
+    Case Study II); any callable on :class:`ExplorationResult` works.
+    """
+    front = []
+    for candidate in results:
+        dominated = any(
+            other.batch_time_s <= candidate.batch_time_s
+            and secondary(other) <= secondary(candidate)
+            and (other.batch_time_s < candidate.batch_time_s
+                 or secondary(other) < secondary(candidate))
+            for other in results)
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda result: result.batch_time_s)
+    return front

@@ -1,0 +1,117 @@
+"""The paper's Case-Study-I conclusions, codified as mapping heuristics.
+
+§VI-E's conclusions ❶–❺ amount to a recipe:
+
+1. fill the node with tensor parallelism (it parallelizes without
+   hurting microbatch efficiency but is bandwidth-hungry — conclusion ❷
+   and ❺);
+2. never run TP across nodes (conclusion ❷);
+3. use DP across nodes when the inter-node fabric is reasonably
+   provisioned, PP when it is not (conclusions ❸, ❹ and Case Study II's
+   refinement);
+4. keep batch (hence microbatch) sizes large (conclusion ❶).
+
+:func:`recommend_mapping` applies the recipe and explains itself, and
+the tests cross-check that the recommendation lands within a small
+factor of the exhaustive-search optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hardware.system import SystemSpec
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.config import TransformerConfig
+from repro.units import divisors
+
+#: Below this effective gradient-reduce bandwidth (per-accelerator NIC
+#: share times the TP degree that shards the gradients) the DP
+#: all-reduce starts losing to pipeline point-to-point traffic.  The
+#: value places the Case Study II crossover where Fig. 10 shows it:
+#: PP wins for 1-2 EDR-NIC nodes, DP for 4-8.
+LOW_BANDWIDTH_THRESHOLD_BITS_PER_S = 4e11
+
+
+@dataclass(frozen=True)
+class MappingRecommendation:
+    """A recommended mapping plus the reasoning that produced it."""
+
+    parallelism: ParallelismSpec
+    rationale: Tuple[str, ...]
+
+    def explain(self) -> str:
+        """The rationale as a printable bullet list."""
+        return "\n".join(f"- {line}" for line in self.rationale)
+
+
+def recommend_mapping(model: TransformerConfig,
+                      system: SystemSpec) -> MappingRecommendation:
+    """Apply the paper's conclusions to produce a mapping.
+
+    The recommendation is heuristic — the exhaustive explorer in
+    :mod:`repro.search.dse` is the ground truth — but it lands on the
+    paper's preferred shape (TP intra, DP or PP inter) in one step.
+    """
+    rationale: List[str] = []
+    node_size = system.node.n_accelerators
+
+    tp_intra = _largest_supported_tp(node_size, model.n_heads)
+    if tp_intra == node_size:
+        rationale.append(
+            f"TP fills the node (degree {tp_intra}): high intra-node "
+            f"bandwidth absorbs the two all-reduces per layer "
+            f"(conclusion 5).")
+    else:
+        rationale.append(
+            f"TP limited to {tp_intra} of {node_size} accelerators per "
+            f"node by the model's {model.n_heads} attention heads.")
+    dp_intra = node_size // tp_intra
+    if dp_intra > 1:
+        rationale.append(
+            f"Remaining {dp_intra} intra-node accelerators go to DP.")
+
+    per_accel_bw = system.node.inter_bandwidth_per_accelerator_bits_per_s
+    # TP shards the gradients, so the all-reduce effectively enjoys
+    # tp_intra times the per-accelerator NIC share.
+    gradient_bw = per_accel_bw * tp_intra
+    if gradient_bw >= LOW_BANDWIDTH_THRESHOLD_BITS_PER_S:
+        inter = ParallelismSpec(
+            tp_intra=tp_intra, dp_intra=dp_intra,
+            dp_inter=system.n_nodes)
+        rationale.append(
+            f"Effective gradient-reduce bandwidth ({gradient_bw:.3g} "
+            f"bit/s) is healthy: DP across nodes — its all-reduce is "
+            f"~2x cheaper than pipeline bubbles (conclusion 4).")
+        return MappingRecommendation(inter, tuple(rationale))
+
+    pp_inter = _largest_supported_pp(system.n_nodes, model.n_layers)
+    dp_inter = system.n_nodes // pp_inter
+    inter = ParallelismSpec(
+        tp_intra=tp_intra, dp_intra=dp_intra,
+        pp_inter=pp_inter, dp_inter=dp_inter)
+    rationale.append(
+        f"Effective gradient-reduce bandwidth ({gradient_bw:.3g} "
+        f"bit/s) is scarce: PP's point-to-point traffic beats DP's "
+        f"all-reduce (Case Study II), so PP={pp_inter} across nodes"
+        + (f" with DP={dp_inter} for the rest." if dp_inter > 1 else "."))
+    return MappingRecommendation(inter, tuple(rationale))
+
+
+def _largest_supported_tp(node_size: int, n_heads: int) -> int:
+    """Largest divisor of the node size that also divides the heads."""
+    best = 1
+    for degree in divisors(node_size):
+        if n_heads % degree == 0:
+            best = max(best, degree)
+    return best
+
+
+def _largest_supported_pp(n_nodes: int, n_layers: int) -> int:
+    """Largest divisor of the node count within the layer budget."""
+    best = 1
+    for degree in divisors(n_nodes):
+        if degree <= n_layers:
+            best = max(best, degree)
+    return best

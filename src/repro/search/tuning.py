@@ -1,0 +1,68 @@
+"""Per-mapping tuning knobs: the microbatch count.
+
+The paper tunes the number of microbatches per batch to the machine
+("we tune the microbatch size according to the available memory",
+§V-C; the validation runs pick ``N_ub = N_PP``).  The choice trades
+pipeline-bubble share ``(N_PP - 1)/N_ub`` (favoring many microbatches)
+against microbatch efficiency ``eff(b_replica / N_ub)`` (favoring few),
+so the optimum depends on the efficiency fit and the mapping.
+:func:`optimize_microbatches` searches the trade-off exhaustively over
+a geometric candidate grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.model import AMPeD
+from repro.errors import MappingError, ReproError
+
+
+def microbatch_candidates(amped: AMPeD, global_batch: int) -> List[int]:
+    """Candidate ``N_ub`` values: powers of two from the pipeline degree
+    up to the per-replica batch (an ``N_ub`` below ``N_PP`` starves the
+    pipeline; above the replica batch it dices sequences)."""
+    spec = amped.parallelism
+    replica_batch = max(1, global_batch // spec.dp)
+    lowest = max(1, spec.pp)
+    candidates = []
+    value = 1
+    while value <= replica_batch:
+        if value >= lowest:
+            candidates.append(value)
+        value *= 2
+    if not candidates:
+        candidates = [lowest]
+    return candidates
+
+
+def optimize_microbatches(amped: AMPeD, global_batch: int,
+                          candidates: Optional[Iterable[int]] = None
+                          ) -> Tuple[AMPeD, float]:
+    """Pick the ``N_ub`` minimizing the per-batch time.
+
+    Returns the re-tuned model and its per-batch time.  Candidates that
+    produce an infeasible microbatch (below one sequence) are skipped;
+    if every candidate is infeasible the original mapping's error is
+    re-raised.
+    """
+    if candidates is None:
+        candidates = microbatch_candidates(amped, global_batch)
+    best: Optional[Tuple[AMPeD, float]] = None
+    last_error: Optional[ReproError] = None
+    for n_ub in candidates:
+        tuned = replace(
+            amped, parallelism=amped.parallelism.with_microbatches(n_ub))
+        try:
+            batch_time = tuned.estimate_batch(global_batch).total
+        except MappingError as error:
+            last_error = error
+            continue
+        if best is None or batch_time < best[1]:
+            best = (tuned, batch_time)
+    if best is None:
+        raise last_error if last_error is not None else MappingError(
+            f"no feasible microbatch count for batch {global_batch} "
+            f"under {amped.parallelism.describe()}")
+    return best

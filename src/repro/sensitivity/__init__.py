@@ -1,0 +1,19 @@
+"""Sensitivity analysis over AMPeD's hardware knobs."""
+
+from repro.sensitivity.elasticity import (
+    DEFAULT_EPSILON,
+    KNOBS,
+    Elasticity,
+    dominant_bottleneck,
+    knob_elasticity,
+    sensitivity_profile,
+)
+
+__all__ = [
+    "Elasticity",
+    "knob_elasticity",
+    "sensitivity_profile",
+    "dominant_bottleneck",
+    "KNOBS",
+    "DEFAULT_EPSILON",
+]

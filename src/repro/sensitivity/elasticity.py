@@ -1,0 +1,131 @@
+"""Sensitivity analysis: which knob moves the training time most?
+
+AMPeD's purpose is hardware-software co-design; the natural first
+question is *where the leverage is*.  This module computes, for a
+configured :class:`~repro.core.model.AMPeD` scenario, the elasticity of
+batch time with respect to each hardware knob:
+
+    elasticity(k) = (dT / T) / (dk / k)
+
+evaluated by central finite differences on a multiplicative
+perturbation.  An elasticity of -0.8 for "intra-node bandwidth" means a
+1% bandwidth improvement buys a 0.8% faster batch — worth silicon; an
+elasticity of -0.001 means the knob is already off the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List
+
+from repro.core.model import AMPeD
+from repro.errors import ConfigurationError
+from repro.hardware.system import SystemSpec
+
+#: Default relative perturbation for the finite differences.
+DEFAULT_EPSILON = 0.05
+
+
+def _scale_frequency(system: SystemSpec, factor: float) -> SystemSpec:
+    accelerator = replace(system.accelerator,
+                          frequency_hz=system.accelerator.frequency_hz
+                          * factor)
+    return system.with_node(system.node.with_accelerator(accelerator))
+
+
+def _scale_nonlinear(system: SystemSpec, factor: float) -> SystemSpec:
+    accelerator = system.accelerator
+    scaled = replace(
+        accelerator,
+        fu_nonlinear_width=max(
+            1, round(accelerator.fu_nonlinear_width * factor)))
+    return system.with_node(system.node.with_accelerator(scaled))
+
+
+def _scale_intra_bandwidth(system: SystemSpec,
+                           factor: float) -> SystemSpec:
+    return system.with_node(system.node.with_links(
+        intra_link=system.node.intra_link.scaled(factor)))
+
+
+def _scale_inter_bandwidth(system: SystemSpec,
+                           factor: float) -> SystemSpec:
+    return system.with_node(system.node.with_links(
+        inter_link=system.node.inter_link.scaled(factor)))
+
+
+def _scale_intra_latency(system: SystemSpec,
+                         factor: float) -> SystemSpec:
+    link = replace(system.node.intra_link,
+                   latency_s=system.node.intra_link.latency_s * factor)
+    return system.with_node(system.node.with_links(intra_link=link))
+
+
+def _scale_inter_latency(system: SystemSpec,
+                         factor: float) -> SystemSpec:
+    link = replace(system.node.inter_link,
+                   latency_s=system.node.inter_link.latency_s * factor)
+    return system.with_node(system.node.with_links(inter_link=link))
+
+
+#: Knob name -> system transformer. Compute-side knobs scale the
+#: accelerator; network-side knobs scale a link parameter.
+KNOBS: Dict[str, Callable[[SystemSpec, float], SystemSpec]] = {
+    "compute_frequency": _scale_frequency,
+    "nonlinear_throughput": _scale_nonlinear,
+    "intra_bandwidth": _scale_intra_bandwidth,
+    "inter_bandwidth": _scale_inter_bandwidth,
+    "intra_latency": _scale_intra_latency,
+    "inter_latency": _scale_inter_latency,
+}
+
+
+@dataclass(frozen=True)
+class Elasticity:
+    """One knob's measured leverage on batch time."""
+
+    knob: str
+    elasticity: float
+    baseline_time_s: float
+
+    @property
+    def improves_when_increased(self) -> bool:
+        """True for throughput knobs (negative elasticity), False for
+        cost knobs like latency."""
+        return self.elasticity < 0
+
+
+def knob_elasticity(amped: AMPeD, global_batch: int, knob: str,
+                    epsilon: float = DEFAULT_EPSILON) -> Elasticity:
+    """Central-difference elasticity of batch time w.r.t. one knob."""
+    if knob not in KNOBS:
+        raise ConfigurationError(
+            f"unknown knob {knob!r}; known: {sorted(KNOBS)}")
+    if not 0 < epsilon < 0.5:
+        raise ConfigurationError(
+            f"epsilon must be in (0, 0.5), got {epsilon}")
+    transform = KNOBS[knob]
+    baseline = amped.estimate_batch(global_batch).total
+    up = replace(amped, system=transform(amped.system, 1.0 + epsilon)) \
+        .estimate_batch(global_batch).total
+    down = replace(amped, system=transform(amped.system, 1.0 - epsilon)) \
+        .estimate_batch(global_batch).total
+    slope = (up - down) / (2.0 * epsilon)
+    return Elasticity(knob=knob, elasticity=slope / baseline,
+                      baseline_time_s=baseline)
+
+
+def sensitivity_profile(amped: AMPeD, global_batch: int,
+                        epsilon: float = DEFAULT_EPSILON
+                        ) -> List[Elasticity]:
+    """Elasticities for every knob, sorted by absolute leverage
+    (a tornado-chart ordering)."""
+    results = [knob_elasticity(amped, global_batch, knob, epsilon)
+               for knob in KNOBS]
+    results.sort(key=lambda item: abs(item.elasticity), reverse=True)
+    return results
+
+
+def dominant_bottleneck(amped: AMPeD, global_batch: int) -> str:
+    """The knob with the most leverage — a one-word co-design answer."""
+    return sensitivity_profile(amped, global_batch)[0].knob

@@ -1,0 +1,78 @@
+"""Transformer descriptions and operation counting.
+
+This package turns a transformer architecture into the countable
+quantities AMPeD consumes: per-sublayer MAC and non-linear operation
+counts (Eq. 2), per-layer parameter counts (Eqs. 10-12), and aggregate
+model FLOPs for the TFLOP/s/GPU metric.
+"""
+
+from repro.transformer.config import MoEConfig, TransformerConfig
+from repro.transformer.layers import (
+    SublayerOps,
+    attention_sublayer,
+    embedding_sublayer,
+    layer_sublayers,
+    logits_sublayer,
+    mlp_sublayer,
+    moe_ffn_sublayer,
+)
+from repro.transformer.params import (
+    active_parameters_per_token,
+    dense_layer_parameters,
+    flops_per_token,
+    layer_parameters,
+    model_flops_per_batch,
+    total_parameters,
+)
+from repro.transformer.scaling_laws import (
+    CHINCHILLA_TOKENS_PER_PARAMETER,
+    chinchilla_optimal_tokens,
+    overtraining_ratio,
+    training_flops_budget,
+)
+from repro.transformer.zoo import (
+    GLAM_1_2T,
+    GPIPE_T24,
+    GPT3_175B,
+    MEGATRON_145B,
+    MEGATRON_310B,
+    MEGATRON_530B,
+    MEGATRON_1T,
+    MINGPT_85M,
+    MINGPT_PP,
+    MODELS,
+    get_model,
+)
+
+__all__ = [
+    "TransformerConfig",
+    "MoEConfig",
+    "SublayerOps",
+    "attention_sublayer",
+    "mlp_sublayer",
+    "moe_ffn_sublayer",
+    "embedding_sublayer",
+    "logits_sublayer",
+    "layer_sublayers",
+    "layer_parameters",
+    "dense_layer_parameters",
+    "total_parameters",
+    "active_parameters_per_token",
+    "model_flops_per_batch",
+    "flops_per_token",
+    "chinchilla_optimal_tokens",
+    "training_flops_budget",
+    "overtraining_ratio",
+    "CHINCHILLA_TOKENS_PER_PARAMETER",
+    "MODELS",
+    "get_model",
+    "MINGPT_85M",
+    "MINGPT_PP",
+    "MEGATRON_145B",
+    "MEGATRON_310B",
+    "MEGATRON_530B",
+    "MEGATRON_1T",
+    "GPT3_175B",
+    "GPIPE_T24",
+    "GLAM_1_2T",
+]

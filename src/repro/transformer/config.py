@@ -1,0 +1,169 @@
+"""Transformer architecture description.
+
+AMPeD consumes a transformer as a bag of countable quantities: layers,
+hidden size, attention heads, sequence length, vocabulary, feed-forward
+width, and — for Mixture-of-Experts models — how many experts exist and
+which layers carry them.  :class:`TransformerConfig` captures exactly
+those knobs; the operation counting lives in
+:mod:`repro.transformer.layers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """Mixture-of-Experts structure (GShard/GLaM style, §II-B4).
+
+    Parameters
+    ----------
+    n_experts:
+        Experts per MoE layer (split across workers).
+    expert_interval:
+        Every ``expert_interval``-th transformer layer carries experts
+        (GLaM uses 2: MoE in every other layer).
+    top_k:
+        Experts activated per token by the gating network; compute per
+        token scales with ``top_k`` while parameters scale with
+        ``n_experts``.
+    capacity_factor:
+        Head-room multiplier on the per-expert token budget; inflates the
+        all-to-all volume (1.0 means perfect load balance, matching the
+        paper's assumption).
+    """
+
+    n_experts: int
+    expert_interval: int = 2
+    top_k: int = 2
+    capacity_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_experts < 2:
+            raise ConfigurationError(
+                f"n_experts must be >= 2, got {self.n_experts}")
+        if self.expert_interval < 1:
+            raise ConfigurationError(
+                f"expert_interval must be >= 1, got {self.expert_interval}")
+        if not 1 <= self.top_k <= self.n_experts:
+            raise ConfigurationError(
+                f"top_k must be in [1, n_experts], got {self.top_k}")
+        if self.capacity_factor < 1.0:
+            raise ConfigurationError(
+                f"capacity_factor must be >= 1.0, got {self.capacity_factor}")
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """A decoder-style transformer language model.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    n_layers:
+        ``L``, transformer blocks.
+    hidden_size:
+        ``h``, embedding / hidden-state width.
+    n_heads:
+        Attention heads per layer (FLOP-neutral, but needed for the
+        softmax operation count and head-divisibility checks under TP).
+    sequence_length:
+        ``s``, tokens per sample.
+    vocab_size:
+        ``V``, output vocabulary.
+    ffn_hidden_size:
+        Feed-forward inner width; defaults to ``4h`` when omitted.
+    moe:
+        Optional Mixture-of-Experts structure; ``None`` means dense.
+    tied_embeddings:
+        Whether input and output embeddings share weights (affects the
+        parameter count only).
+    """
+
+    name: str
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    sequence_length: int
+    vocab_size: int
+    ffn_hidden_size: Optional[int] = None
+    moe: Optional[MoEConfig] = None
+    tied_embeddings: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("model name must be non-empty")
+        for field_name in ("n_layers", "hidden_size", "n_heads",
+                           "sequence_length", "vocab_size"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"{field_name} must be a positive integer, got {value!r}")
+        if self.hidden_size % self.n_heads != 0:
+            raise ConfigurationError(
+                f"hidden_size ({self.hidden_size}) must be divisible by "
+                f"n_heads ({self.n_heads})")
+        if self.ffn_hidden_size is not None and self.ffn_hidden_size < 1:
+            raise ConfigurationError(
+                f"ffn_hidden_size must be positive, got "
+                f"{self.ffn_hidden_size}")
+
+    @property
+    def ffn_size(self) -> int:
+        """Feed-forward inner width (``4h`` unless configured)."""
+        if self.ffn_hidden_size is not None:
+            return self.ffn_hidden_size
+        return 4 * self.hidden_size
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head projection width ``h / n_heads``."""
+        return self.hidden_size // self.n_heads
+
+    @property
+    def uses_moe(self) -> bool:
+        """True when the model has Mixture-of-Experts layers."""
+        return self.moe is not None
+
+    @property
+    def n_moe_layers(self) -> int:
+        """How many of the ``L`` layers carry experts."""
+        if self.moe is None:
+            return 0
+        return self.n_layers // self.moe.expert_interval
+
+    def is_moe_layer(self, layer_index: int) -> bool:
+        """Whether layer ``layer_index`` (0-based) carries experts.
+
+        With ``expert_interval = k``, layers ``k-1, 2k-1, ...`` are MoE
+        layers, giving exactly ``L // k`` expert layers.
+        """
+        if not 0 <= layer_index < self.n_layers:
+            raise ConfigurationError(
+                f"layer_index must be in [0, {self.n_layers}), "
+                f"got {layer_index}")
+        if self.moe is None:
+            return False
+        return (layer_index + 1) % self.moe.expert_interval == 0
+
+    def without_moe(self) -> "TransformerConfig":
+        """A dense version of this model (paper §IV: 'AMPeD is
+        parameterizable enough to turn off this feature')."""
+        if self.moe is None:
+            return self
+        return replace(self, name=f"{self.name} (dense)", moe=None)
+
+    def scaled(self, n_layers: int = None,
+               hidden_size: int = None) -> "TransformerConfig":
+        """A copy with replacement depth/width, for sweep studies."""
+        return replace(
+            self,
+            n_layers=n_layers if n_layers is not None else self.n_layers,
+            hidden_size=(hidden_size if hidden_size is not None
+                         else self.hidden_size),
+        )

@@ -1,0 +1,196 @@
+"""Per-sublayer operation counting.
+
+Eq. 2 sums, over the sublayers ``i`` of a transformer layer ``l``, the
+MAC operations ``N_MAC(l, i)`` and non-linear operations
+``N_nonlin(l, i)``.  This module produces those counts for a *global
+batch* of ``b`` sequences of ``s`` tokens — Eq. 1 later divides the
+resulting compute time by ``N_TP * N_DP * N_PP``.
+
+MAC counts are expressed in FLOPs (1 MAC = 2 FLOPs) so that the
+Table IV accelerator rows reproduce vendor FP16 peaks (see DESIGN.md).
+
+The non-linear coefficients (ops per element for layernorm, softmax,
+GeLU) are approximations of what a fused kernel evaluates per element;
+they are module-level constants so studies can judge their impact, and
+they matter little in practice because non-linear time is orders of
+magnitude below MAC time for realistic widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.transformer.config import TransformerConfig
+
+#: Ops per element for a layer normalization (mean, variance, normalize,
+#: scale, shift).
+LAYERNORM_OPS_PER_ELEMENT = 5.0
+
+#: Ops per element for a softmax (exponential, accumulation, divide).
+SOFTMAX_OPS_PER_ELEMENT = 3.0
+
+#: Ops per element for a tanh-approximated GeLU.
+GELU_OPS_PER_ELEMENT = 8.0
+
+#: Ops per element for a residual addition.
+RESIDUAL_OPS_PER_ELEMENT = 1.0
+
+
+@dataclass(frozen=True)
+class SublayerOps:
+    """Operation and size counts for one sublayer of one transformer layer.
+
+    All counts are totals for a batch of ``b`` sequences (not per token).
+
+    Attributes
+    ----------
+    name:
+        Sublayer identifier ("attention", "mlp", "moe-ffn", ...).
+    mac_flops:
+        ``N_MAC(l, i)`` in FLOPs for the forward pass.
+    nonlinear_ops:
+        ``N_nonlin(l, i)`` for the forward pass.
+    parameters:
+        Trainable parameters held by the sublayer (drives Eq. 12's weight
+        update and Eqs. 10-11's gradient volume).
+    expert_parameters:
+        The subset of ``parameters`` belonging to MoE experts.  Under
+        expert parallelism each expert lives on one worker (not
+        replicated across DP ranks), so these weights are excluded from
+        the data-parallel gradient all-reduce volume.
+    """
+
+    name: str
+    mac_flops: float
+    nonlinear_ops: float
+    parameters: float
+    expert_parameters: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("mac_flops", "nonlinear_ops", "parameters",
+                           "expert_parameters"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(
+                    f"{field_name} must be non-negative, got "
+                    f"{getattr(self, field_name)}")
+        if self.expert_parameters > self.parameters:
+            raise ConfigurationError(
+                f"expert_parameters ({self.expert_parameters}) exceeds "
+                f"parameters ({self.parameters})")
+
+
+def attention_sublayer(config: TransformerConfig, batch_size: int) -> SublayerOps:
+    """Self-attention sublayer counts (pre-norm residual block).
+
+    MAC FLOPs: QKV projections ``6bsh^2``, attention scores ``2bs^2h``,
+    attention-weighted values ``2bs^2h``, output projection ``2bsh^2``.
+    Non-linear: one layernorm over ``bsh`` elements, a softmax over
+    ``b * n_heads * s^2`` logits, and the residual addition.
+    """
+    _check_batch(batch_size)
+    b, s, h = batch_size, config.sequence_length, config.hidden_size
+    mac = 6 * b * s * h * h + 2 * b * s * s * h + 2 * b * s * s * h \
+        + 2 * b * s * h * h
+    nonlinear = (b * s * h * LAYERNORM_OPS_PER_ELEMENT
+                 + b * config.n_heads * s * s * SOFTMAX_OPS_PER_ELEMENT
+                 + b * s * h * RESIDUAL_OPS_PER_ELEMENT)
+    parameters = 4 * h * h + 4 * h  # QKV + output weights, biases
+    return SublayerOps("attention", float(mac), float(nonlinear),
+                       float(parameters))
+
+
+def mlp_sublayer(config: TransformerConfig, batch_size: int) -> SublayerOps:
+    """Dense feed-forward sublayer counts.
+
+    MAC FLOPs: two matmuls ``h -> f`` and ``f -> h``, ``4bshf`` total
+    (``16bsh^2`` for the standard ``f = 4h``).  Non-linear: layernorm,
+    GeLU over the inner activation, residual.
+    """
+    _check_batch(batch_size)
+    b, s, h = batch_size, config.sequence_length, config.hidden_size
+    f = config.ffn_size
+    mac = 2 * b * s * h * f + 2 * b * s * f * h
+    nonlinear = (b * s * h * LAYERNORM_OPS_PER_ELEMENT
+                 + b * s * f * GELU_OPS_PER_ELEMENT
+                 + b * s * h * RESIDUAL_OPS_PER_ELEMENT)
+    parameters = 2 * h * f + h + f  # two weight matrices + biases
+    return SublayerOps("mlp", float(mac), float(nonlinear),
+                       float(parameters))
+
+
+def moe_ffn_sublayer(config: TransformerConfig, batch_size: int) -> SublayerOps:
+    """Mixture-of-Experts feed-forward sublayer counts.
+
+    Each token is routed to ``top_k`` experts, so per-token compute is
+    ``top_k`` times a dense expert FFN, while parameters scale with the
+    full expert count ``n_experts`` (the MoE premise, §II-B4).  The
+    gating network adds an ``h x n_experts`` projection and a softmax
+    over experts per token.
+    """
+    _check_batch(batch_size)
+    if config.moe is None:
+        raise ConfigurationError(
+            f"model {config.name!r} has no MoE configuration")
+    b, s, h = batch_size, config.sequence_length, config.hidden_size
+    f = config.ffn_size
+    moe = config.moe
+    expert_mac = (2 * b * s * h * f + 2 * b * s * f * h) * moe.top_k
+    gating_mac = 2 * b * s * h * moe.n_experts
+    nonlinear = (b * s * h * LAYERNORM_OPS_PER_ELEMENT
+                 + b * s * f * moe.top_k * GELU_OPS_PER_ELEMENT
+                 + b * s * moe.n_experts * SOFTMAX_OPS_PER_ELEMENT
+                 + b * s * h * RESIDUAL_OPS_PER_ELEMENT)
+    expert_params = (2 * h * f + h + f) * moe.n_experts
+    gating_params = h * moe.n_experts
+    return SublayerOps("moe-ffn", float(expert_mac + gating_mac),
+                       float(nonlinear),
+                       float(expert_params + gating_params),
+                       expert_parameters=float(expert_params))
+
+
+def layer_sublayers(config: TransformerConfig, batch_size: int,
+                    layer_index: int) -> List[SublayerOps]:
+    """All sublayers of transformer layer ``layer_index`` (0-based)."""
+    attention = attention_sublayer(config, batch_size)
+    if config.is_moe_layer(layer_index):
+        return [attention, moe_ffn_sublayer(config, batch_size)]
+    return [attention, mlp_sublayer(config, batch_size)]
+
+
+def embedding_sublayer(config: TransformerConfig,
+                       batch_size: int) -> SublayerOps:
+    """Input embedding + positional embedding.
+
+    Embedding lookups are gathers, not MACs, so the MAC count is zero;
+    parameters are ``Vh + sh``.
+    """
+    _check_batch(batch_size)
+    b, s, h = batch_size, config.sequence_length, config.hidden_size
+    parameters = config.vocab_size * h + s * h
+    nonlinear = b * s * h * RESIDUAL_OPS_PER_ELEMENT  # token + position add
+    return SublayerOps("embedding", 0.0, float(nonlinear),
+                       float(parameters))
+
+
+def logits_sublayer(config: TransformerConfig, batch_size: int) -> SublayerOps:
+    """Output projection to vocabulary logits plus softmax.
+
+    MAC FLOPs ``2bshV``; with tied embeddings the projection reuses the
+    input embedding matrix and contributes no extra parameters.
+    """
+    _check_batch(batch_size)
+    b, s, h = batch_size, config.sequence_length, config.hidden_size
+    v = config.vocab_size
+    mac = 2 * b * s * h * v
+    nonlinear = (b * s * h * LAYERNORM_OPS_PER_ELEMENT  # final layernorm
+                 + b * s * v * SOFTMAX_OPS_PER_ELEMENT)
+    parameters = 0.0 if config.tied_embeddings else float(v * h)
+    return SublayerOps("logits", float(mac), float(nonlinear), parameters)
+
+
+def _check_batch(batch_size: int) -> None:
+    if batch_size < 1:
+        raise ConfigurationError(
+            f"batch_size must be >= 1, got {batch_size}")

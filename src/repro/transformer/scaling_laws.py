@@ -1,0 +1,73 @@
+"""Compute-optimal training-budget helpers.
+
+The case studies need a corpus size to turn per-batch times into
+training days; the paper does not state one (DESIGN.md assumes 300B
+tokens for Case Study I).  These helpers provide principled defaults:
+the Chinchilla compute-optimal rule (~20 training tokens per parameter,
+Hoffmann et al.) and the corresponding FLOP budgets, so studies can ask
+"how long would a compute-optimal run of this model take?" without
+hand-picking token counts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.transformer.config import TransformerConfig
+from repro.transformer.params import (
+    active_parameters_per_token,
+    total_parameters,
+)
+
+#: Chinchilla's compute-optimal tokens-per-parameter ratio.
+CHINCHILLA_TOKENS_PER_PARAMETER = 20.0
+
+
+def chinchilla_optimal_tokens(model: TransformerConfig,
+                              tokens_per_parameter: float =
+                              CHINCHILLA_TOKENS_PER_PARAMETER) -> float:
+    """Compute-optimal training tokens for ``model``.
+
+    Uses *active* parameters per token, so Mixture-of-Experts models
+    are budgeted by the compute they actually spend per token, not by
+    their expanded parameter store.
+    """
+    if tokens_per_parameter <= 0:
+        raise ConfigurationError(
+            f"tokens_per_parameter must be positive, got "
+            f"{tokens_per_parameter}")
+    return active_parameters_per_token(model) * tokens_per_parameter
+
+
+def training_flops_budget(model: TransformerConfig,
+                          total_tokens: float = None) -> float:
+    """Total training FLOPs: the classic ``6 N D`` estimate.
+
+    ``N`` is active parameters per token, ``D`` the token count
+    (Chinchilla-optimal when omitted).
+    """
+    if total_tokens is None:
+        total_tokens = chinchilla_optimal_tokens(model)
+    if total_tokens <= 0:
+        raise ConfigurationError(
+            f"total_tokens must be positive, got {total_tokens}")
+    return 6.0 * active_parameters_per_token(model) * total_tokens
+
+
+def overtraining_ratio(model: TransformerConfig,
+                       total_tokens: float) -> float:
+    """How far a token budget sits above (>1) or below (<1) the
+    compute-optimal point — a sanity signal for study configurations."""
+    optimal = chinchilla_optimal_tokens(model)
+    if total_tokens <= 0:
+        raise ConfigurationError(
+            f"total_tokens must be positive, got {total_tokens}")
+    return total_tokens / optimal
+
+
+__all__ = [
+    "CHINCHILLA_TOKENS_PER_PARAMETER",
+    "chinchilla_optimal_tokens",
+    "training_flops_budget",
+    "overtraining_ratio",
+    "total_parameters",
+]

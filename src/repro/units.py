@@ -1,0 +1,198 @@
+"""Unit conversions, constants and human-readable formatting.
+
+AMPeD mixes quantities whose natural units differ by many orders of
+magnitude: link bandwidths in bits/second, accelerator throughput in
+FLOP/second, training times from microseconds per layer to tens of days
+per run.  Internally the library sticks to strict SI base units —
+**seconds**, **bits**, **FLOPs** (and operations/second, bits/second) —
+and this module is the single place where anything else is converted in
+or out.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# SI prefixes
+# ---------------------------------------------------------------------------
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+
+#: Binary (IEC) multipliers, used only for memory capacities.
+KIB = 1024.0
+MIB = 1024.0 ** 2
+GIB = 1024.0 ** 3
+TIB = 1024.0 ** 4
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+BITS_PER_BYTE = 8.0
+
+#: FLOPs performed by one multiply-accumulate.
+FLOPS_PER_MAC = 2.0
+
+
+def seconds_to_days(seconds: float) -> float:
+    """Convert seconds to days (the unit of the paper's case studies)."""
+    return seconds / SECONDS_PER_DAY
+
+
+def days_to_seconds(days: float) -> float:
+    """Convert days to seconds."""
+    return days * SECONDS_PER_DAY
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def bytes_to_bits(n_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return n_bytes * BITS_PER_BYTE
+
+
+def bits_to_bytes(n_bits: float) -> float:
+    """Convert a bit count to bytes."""
+    return n_bits / BITS_PER_BYTE
+
+
+def gbps_to_bits_per_second(gbps: float) -> float:
+    """Convert gigabits/second (network datasheet unit) to bits/second."""
+    return gbps * GIGA
+
+
+def gbytes_per_second_to_bits_per_second(gbs: float) -> float:
+    """Convert gigabytes/second (NVLink datasheet unit) to bits/second."""
+    return gbs * GIGA * BITS_PER_BYTE
+
+
+def teraflops(value: float) -> float:
+    """Express ``value`` TFLOP/s in FLOP/s."""
+    return value * TERA
+
+
+def to_teraflops(flops_per_second: float) -> float:
+    """Express a FLOP/s rate in TFLOP/s (the unit of Table II)."""
+    return flops_per_second / TERA
+
+
+# ---------------------------------------------------------------------------
+# Formatting helpers
+# ---------------------------------------------------------------------------
+
+_SI_STEPS = (
+    (PETA, "P"),
+    (TERA, "T"),
+    (GIGA, "G"),
+    (MEGA, "M"),
+    (KILO, "k"),
+)
+
+
+def format_si(value: float, unit: str = "", precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(3.12e14, "FLOP/s")
+    == '312 TFLOP/s'``.
+
+    Values below 1000 are printed without a prefix.  Negative values keep
+    their sign; zero is printed as ``0 <unit>``.
+    """
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for step, prefix in _SI_STEPS:
+        if magnitude >= step:
+            scaled = value / step
+            return f"{_trim(scaled, precision)} {prefix}{unit}".strip()
+    return f"{_trim(value, precision)} {unit}".strip()
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration at a human scale: us/ms/s/min/h/days.
+
+    >>> format_duration(1.8e6)
+    '20.8 days'
+    >>> format_duration(0.004)
+    '4 ms'
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-3:
+        return f"{_trim(seconds * 1e6, 3)} us"
+    if seconds < 1.0:
+        return f"{_trim(seconds * 1e3, 3)} ms"
+    if seconds < SECONDS_PER_MINUTE:
+        return f"{_trim(seconds, 3)} s"
+    if seconds < SECONDS_PER_HOUR:
+        return f"{_trim(seconds / SECONDS_PER_MINUTE, 3)} min"
+    if seconds < SECONDS_PER_DAY:
+        return f"{_trim(seconds / SECONDS_PER_HOUR, 3)} h"
+    return f"{_trim(seconds / SECONDS_PER_DAY, 3)} days"
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Render a byte count with IEC prefixes (KiB/MiB/GiB/TiB)."""
+    if n_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+    for step, prefix in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if n_bytes >= step:
+            return f"{_trim(n_bytes / step, 3)} {prefix}"
+    return f"{_trim(n_bytes, 3)} B"
+
+
+def _trim(value: float, precision: int) -> str:
+    """Format a float to ``precision`` significant digits without trailing
+    zeros ('312', '1.84', '0.006')."""
+    if value == 0:
+        return "0"
+    digits = max(precision - 1 - int(math.floor(math.log10(abs(value)))), 0)
+    text = f"{value:.{digits}f}"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text
+
+
+def relative_error(predicted: float, reference: float) -> float:
+    """Fractional error ``|predicted - reference| / |reference|``.
+
+    This is the metric the paper quotes ("max. observed error is limited
+    to 12%").  Raises :class:`ZeroDivisionError` if ``reference`` is zero.
+    """
+    return abs(predicted - reference) / abs(reference)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two (1, 2, 4, ...)."""
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+def divisors(value: int) -> list:
+    """All positive divisors of ``value`` in ascending order.
+
+    Used by the design-space explorer to factor accelerator counts into
+    parallelism degrees.
+    """
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    small, large = [], []
+    step = 1
+    limit = int(math.isqrt(value))
+    for candidate in range(1, limit + 1, step):
+        if value % candidate == 0:
+            small.append(candidate)
+            if candidate != value // candidate:
+                large.append(value // candidate)
+    return small + large[::-1]

@@ -1,0 +1,33 @@
+"""Published reference data and prediction-error reporting (§V)."""
+
+from repro.validation.compare import (
+    ComparisonRow,
+    ValidationReport,
+    compare_series,
+)
+from repro.validation.published import (
+    FIG2C_ERRORS,
+    GPIPE_N_MICROBATCHES,
+    GPIPE_TABLE3,
+    MAX_PAPER_ERROR_PERCENT,
+    MEGATRON_TABLE2,
+    Fig2cPoint,
+    GPipePoint,
+    MegatronPoint,
+    table2_point,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "ValidationReport",
+    "compare_series",
+    "MegatronPoint",
+    "GPipePoint",
+    "Fig2cPoint",
+    "MEGATRON_TABLE2",
+    "GPIPE_TABLE3",
+    "GPIPE_N_MICROBATCHES",
+    "FIG2C_ERRORS",
+    "MAX_PAPER_ERROR_PERCENT",
+    "table2_point",
+]

@@ -1,0 +1,88 @@
+"""Prediction-vs-reference comparison and validation reports.
+
+Implements the paper's error metric (percent relative error against the
+published or measured value) and a small report container the
+experiments and benchmarks share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ValidationDataError
+from repro.units import relative_error
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One predicted-vs-reference data point."""
+
+    label: str
+    predicted: float
+    reference: float
+
+    @property
+    def error_percent(self) -> float:
+        """Percent relative error, the paper's reporting unit."""
+        return 100.0 * relative_error(self.predicted, self.reference)
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """A named collection of comparison rows."""
+
+    name: str
+    rows: Sequence[ComparisonRow]
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ValidationDataError(
+                f"validation report {self.name!r} has no rows")
+
+    @property
+    def max_error_percent(self) -> float:
+        """Worst-case error across the report."""
+        return max(row.error_percent for row in self.rows)
+
+    @property
+    def mean_error_percent(self) -> float:
+        """Mean error across the report."""
+        return sum(row.error_percent for row in self.rows) / len(self.rows)
+
+    def within(self, budget_percent: float) -> bool:
+        """Whether every row lands inside the error budget."""
+        return self.max_error_percent <= budget_percent
+
+    def format_table(self) -> str:
+        """Aligned text table: label, predicted, reference, error%."""
+        width = max(len(row.label) for row in self.rows)
+        width = max(width, len("label"))
+        lines = [
+            self.name,
+            "-" * len(self.name),
+            f"{'label'.ljust(width)}  {'predicted':>12}  "
+            f"{'reference':>12}  {'error':>7}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.label.ljust(width)}  {row.predicted:>12.4g}  "
+                f"{row.reference:>12.4g}  {row.error_percent:>6.2f}%")
+        lines.append(
+            f"{'max error'.ljust(width)}  {'':>12}  {'':>12}  "
+            f"{self.max_error_percent:>6.2f}%")
+        return "\n".join(lines)
+
+
+def compare_series(name: str, labels: Sequence[str],
+                   predicted: Sequence[float],
+                   reference: Sequence[float]) -> ValidationReport:
+    """Zip three equal-length sequences into a report."""
+    if not (len(labels) == len(predicted) == len(reference)):
+        raise ValidationDataError(
+            f"series lengths differ: {len(labels)} labels, "
+            f"{len(predicted)} predictions, {len(reference)} references")
+    rows: List[ComparisonRow] = [
+        ComparisonRow(label, p, r)
+        for label, p, r in zip(labels, predicted, reference)]
+    return ValidationReport(name=name, rows=rows)

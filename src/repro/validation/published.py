@@ -1,0 +1,112 @@
+"""Published reference data the paper validates against.
+
+Three datasets, transcribed from the paper:
+
+- :data:`MEGATRON_TABLE2` — Table II: achieved TFLOP/s/GPU of the
+  Megatron GPT family (Narayanan et al., SC'21), with the (TP, PP, DP)
+  mapping each model ran under, the paper's own AMPeD predictions and
+  its reported errors.
+- :data:`GPIPE_TABLE3` — Table III: normalized GPipe training throughput
+  on P100/PCIe with 32 microbatches (Huang et al.), with the paper's
+  predictions.
+- :data:`FIG2C_ERRORS` — Fig. 2c's quoted prediction errors for GPT-3
+  175B on 96 GPUs at the two ends of the microbatch-size sweep.
+
+Batch sizes for Table II follow the Megatron paper's published training
+configuration for each model size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ValidationDataError
+
+
+@dataclass(frozen=True)
+class MegatronPoint:
+    """One Table II row."""
+
+    model_key: str          # repro.transformer.zoo registry key
+    n_parameters_b: float   # billions, as labelled in the table
+    tp: int
+    pp: int
+    dp: int
+    global_batch: int       # Megatron SC'21 training configuration
+    published_tflops: float
+    paper_prediction_tflops: float
+    paper_error_percent: float
+
+    @property
+    def n_gpus(self) -> int:
+        """Total GPUs of the published run."""
+        return self.tp * self.pp * self.dp
+
+
+#: Table II of the paper (published column from Narayanan et al.).
+MEGATRON_TABLE2: Tuple[MegatronPoint, ...] = (
+    MegatronPoint("megatron-145b", 145, tp=8, pp=8, dp=24,
+                  global_batch=2304, published_tflops=148,
+                  paper_prediction_tflops=147, paper_error_percent=0.6),
+    MegatronPoint("megatron-310b", 310, tp=8, pp=16, dp=12,
+                  global_batch=2160, published_tflops=155,
+                  paper_prediction_tflops=162, paper_error_percent=4.5),
+    MegatronPoint("megatron-530b", 530, tp=8, pp=35, dp=9,
+                  global_batch=2520, published_tflops=163,
+                  paper_prediction_tflops=148.6, paper_error_percent=8.8),
+    MegatronPoint("megatron-1t", 1000, tp=8, pp=64, dp=6,
+                  global_batch=3072, published_tflops=163,
+                  paper_prediction_tflops=144.3, paper_error_percent=11.47),
+)
+
+
+@dataclass(frozen=True)
+class GPipePoint:
+    """One Table III column."""
+
+    n_gpus: int
+    published_speedup: float
+    paper_prediction_speedup: float
+
+
+#: Table III: GPipe normalized throughput, M = 32 microbatches.
+GPIPE_TABLE3: Tuple[GPipePoint, ...] = (
+    GPipePoint(n_gpus=2, published_speedup=1.0,
+               paper_prediction_speedup=1.0),
+    GPipePoint(n_gpus=4, published_speedup=1.8,
+               paper_prediction_speedup=1.84),
+    GPipePoint(n_gpus=8, published_speedup=3.3,
+               paper_prediction_speedup=3.19),
+)
+
+#: GPipe's microbatch count in Table III.
+GPIPE_N_MICROBATCHES = 32
+
+
+@dataclass(frozen=True)
+class Fig2cPoint:
+    """A quoted error bound of Fig. 2c (GPT-3 175B, 96 GPUs, PP only)."""
+
+    microbatch_size: int
+    paper_error_percent: float
+
+
+#: Fig. 2c's quoted endpoints: ~11% error at microbatch 12, ~2% at 60.
+FIG2C_ERRORS: Tuple[Fig2cPoint, ...] = (
+    Fig2cPoint(microbatch_size=12, paper_error_percent=11.0),
+    Fig2cPoint(microbatch_size=60, paper_error_percent=2.0),
+)
+
+#: The paper's headline validation claim.
+MAX_PAPER_ERROR_PERCENT = 12.0
+
+
+def table2_point(model_key: str) -> MegatronPoint:
+    """Look up a Table II row by zoo key."""
+    for point in MEGATRON_TABLE2:
+        if point.model_key == model_key:
+            return point
+    known = ", ".join(p.model_key for p in MEGATRON_TABLE2)
+    raise ValidationDataError(
+        f"no Table II entry for {model_key!r}; known: {known}")

@@ -1,0 +1,57 @@
+"""Unit tests for ideal/Amdahl scaling baselines."""
+
+import pytest
+
+from repro.baselines.amdahl import (
+    amdahl_scaling,
+    fitted_serial_fraction,
+    ideal_scaling,
+)
+from repro.errors import ConfigurationError
+
+
+class TestIdeal:
+    def test_inverse_workers(self):
+        assert ideal_scaling([1, 2, 4]) == [1.0, 0.5, 0.25]
+
+    def test_base_not_one(self):
+        assert ideal_scaling([2, 8]) == [1.0, 0.25]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ideal_scaling([])
+
+
+class TestAmdahl:
+    def test_zero_serial_is_ideal(self):
+        assert amdahl_scaling([1, 2, 4], 0.0) == ideal_scaling([1, 2, 4])
+
+    def test_serial_fraction_floors_time(self):
+        curve = amdahl_scaling([1, 2, 4, 1024], 0.2)
+        assert curve[-1] == pytest.approx(0.2, abs=0.01)
+
+    def test_normalized_at_base(self):
+        assert amdahl_scaling([4, 8], 0.3)[0] == pytest.approx(1.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_scaling([1, 2], 1.0)
+
+
+class TestFit:
+    def test_recovers_known_fraction(self):
+        workers = [1, 2, 4, 8, 16]
+        for f in (0.0, 0.1, 0.3, 0.7):
+            curve = amdahl_scaling(workers, f)
+            assert fitted_serial_fraction(workers, curve) \
+                == pytest.approx(f, abs=1e-9)
+
+    def test_clamped_to_unit_interval(self):
+        # superlinear curve would fit a negative fraction; clamp to 0
+        workers = [1, 2, 4]
+        curve = [1.0, 0.4, 0.15]
+        assert fitted_serial_fraction(workers, curve) >= 0.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            fitted_serial_fraction([1, 2], [1.0])

@@ -1,0 +1,65 @@
+"""Unit tests for the roofline baseline."""
+
+import pytest
+
+from repro.baselines.roofline import (
+    arithmetic_intensity,
+    roofline_batch_time,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import A100
+from repro.hardware.precision import MIXED_FP16
+from repro.transformer.params import model_flops_per_batch
+from repro.transformer.zoo import MEGATRON_145B
+
+
+class TestRoofline:
+    def test_compute_ceiling(self, tiny_model):
+        point = roofline_batch_time(tiny_model, A100, MIXED_FP16, 64, 4)
+        expected = model_flops_per_batch(tiny_model, 64) \
+            / (A100.peak_mac_flops_per_s * 4)
+        assert point.compute_time_s == pytest.approx(expected)
+
+    def test_time_is_max_of_ceilings(self, tiny_model):
+        point = roofline_batch_time(tiny_model, A100, MIXED_FP16, 64, 4)
+        assert point.time_s == max(point.compute_time_s,
+                                   point.memory_time_s)
+
+    def test_large_batches_are_compute_bound(self):
+        point = roofline_batch_time(MEGATRON_145B, A100, MIXED_FP16,
+                                    1024, 1024)
+        assert point.compute_bound
+
+    def test_no_weight_reuse_is_memory_bound(self):
+        point = roofline_batch_time(MEGATRON_145B, A100, MIXED_FP16,
+                                    1024, 1024, weight_reuse=1.0)
+        assert not point.compute_bound
+
+    def test_roofline_below_amped(self, tiny_amped, tiny_model,
+                                  small_system):
+        """The roofline ignores communication, so it lower-bounds the
+        AMPeD estimate at equal efficiency assumptions."""
+        from repro.parallelism.microbatch import PERFECT_EFFICIENCY
+        import dataclasses
+        ideal = dataclasses.replace(tiny_amped,
+                                    efficiency=PERFECT_EFFICIENCY)
+        point = roofline_batch_time(tiny_model, A100, MIXED_FP16, 64,
+                                    small_system.n_accelerators)
+        assert point.compute_time_s \
+            <= ideal.estimate_batch(64).total * 1.001
+
+    def test_rejects_zero_accelerators(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            roofline_batch_time(tiny_model, A100, MIXED_FP16, 64, 0)
+
+    def test_rejects_sub_one_reuse(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            roofline_batch_time(tiny_model, A100, MIXED_FP16, 64, 4,
+                                weight_reuse=0.5)
+
+
+class TestIntensity:
+    def test_grows_with_batch(self, tiny_model):
+        low = arithmetic_intensity(tiny_model, 1, MIXED_FP16)
+        high = arithmetic_intensity(tiny_model, 64, MIXED_FP16)
+        assert high == pytest.approx(64 * low)

@@ -1,0 +1,28 @@
+"""Unit tests for the pairwise all-to-all simulator."""
+
+import pytest
+
+from repro.collectives.alltoall import simulate_pairwise_alltoall
+from repro.hardware.interconnect import LinkSpec
+from repro.parallelism.topology import PAIRWISE_ALLTOALL
+
+LINK = LinkSpec("test", latency_s=1e-6, bandwidth_bits_per_s=1e9)
+
+
+class TestAllToAll:
+    def test_round_count(self):
+        assert simulate_pairwise_alltoall(1e6, 8, LINK).n_rounds == 7
+
+    def test_factor_matches_eq9(self):
+        for n in (2, 4, 8, 16, 128):
+            result = simulate_pairwise_alltoall(1e6, n, LINK)
+            assert result.effective_topology_factor \
+                == pytest.approx(PAIRWISE_ALLTOALL.factor(n))
+
+    def test_single_rank_free(self):
+        assert simulate_pairwise_alltoall(1e6, 1, LINK).time_s == 0.0
+
+    def test_time_hand_computation(self):
+        result = simulate_pairwise_alltoall(8e6, 8, LINK)
+        expected = 7 * (1e-6 + 1e6 / 1e9)
+        assert result.time_s == pytest.approx(expected)

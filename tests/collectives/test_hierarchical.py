@@ -1,0 +1,47 @@
+"""Unit tests for the hierarchical all-reduce simulator."""
+
+import pytest
+
+from repro.collectives.hierarchical import simulate_hierarchical_allreduce
+from repro.collectives.ring import simulate_ring_allreduce
+from repro.hardware.interconnect import LinkSpec
+
+FAST = LinkSpec("intra", latency_s=1e-6, bandwidth_bits_per_s=1e12)
+SLOW = LinkSpec("inter", latency_s=5e-6, bandwidth_bits_per_s=1e11)
+
+
+class TestHierarchical:
+    def test_phases_are_sequential(self):
+        result = simulate_hierarchical_allreduce(1e9, 8, 16, FAST, SLOW)
+        assert result.time_s == pytest.approx(
+            result.intra_reduce_scatter_s + result.inter_allreduce_s
+            + result.intra_allgather_s)
+
+    def test_inter_phase_carries_shard(self):
+        """The key sharding property behind Eq. 6/11's inter terms."""
+        result = simulate_hierarchical_allreduce(8e9, 8, 16, FAST, SLOW)
+        flat = simulate_ring_allreduce(8e9 / 8, 16, SLOW)
+        assert result.inter_allreduce_s == pytest.approx(flat.time_s)
+
+    def test_inter_bits_per_nic(self):
+        result = simulate_hierarchical_allreduce(8e9, 8, 16, FAST, SLOW)
+        expected = 8e9 / 8 * 2 * 15 / 16
+        assert result.inter_bits_per_nic == pytest.approx(expected)
+
+    def test_degenerate_intra_only(self):
+        result = simulate_hierarchical_allreduce(1e9, 8, 1, FAST, SLOW)
+        flat = simulate_ring_allreduce(1e9, 8, FAST)
+        assert result.time_s == pytest.approx(flat.time_s)
+        assert result.inter_bits_per_nic == 0.0
+
+    def test_degenerate_inter_only(self):
+        result = simulate_hierarchical_allreduce(1e9, 1, 16, FAST, SLOW)
+        flat = simulate_ring_allreduce(1e9, 16, SLOW)
+        assert result.time_s == pytest.approx(flat.time_s)
+
+    def test_hierarchy_beats_flat_ring_over_slow_links(self):
+        """Reducing intra first then sending shards beats running the
+        whole ring over the slow inter link."""
+        hier = simulate_hierarchical_allreduce(8e9, 8, 16, FAST, SLOW)
+        flat = simulate_ring_allreduce(8e9, 128, SLOW)
+        assert hier.time_s < flat.time_s

@@ -1,0 +1,49 @@
+"""Unit tests for collective-simulator primitives."""
+
+import pytest
+
+from repro.collectives.primitives import (
+    CollectiveResult,
+    Round,
+    even_shards,
+)
+from repro.errors import SimulationError
+from repro.hardware.interconnect import LinkSpec
+
+LINK = LinkSpec("test", latency_s=1e-6, bandwidth_bits_per_s=1e9)
+
+
+class TestRound:
+    def test_duration(self):
+        assert Round(1e9).duration(LINK) == pytest.approx(1.0 + 1e-6)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(SimulationError):
+            Round(-1.0)
+
+
+class TestCollectiveResult:
+    def test_aggregates(self):
+        result = CollectiveResult(
+            name="x", n_ranks=4, payload_bits=4e6,
+            rounds=(Round(1e6), Round(1e6)), link=LINK)
+        assert result.n_rounds == 2
+        assert result.bits_moved_per_rank == 2e6
+        assert result.effective_topology_factor == pytest.approx(0.5)
+        assert result.time_s == pytest.approx(2 * (1e-6 + 1e-3))
+
+    def test_zero_payload_factor(self):
+        result = CollectiveResult(name="x", n_ranks=4, payload_bits=0.0,
+                                  rounds=(), link=LINK)
+        assert result.effective_topology_factor == 0.0
+
+
+class TestEvenShards:
+    def test_splits_exactly(self):
+        shards = even_shards(1e6, 8)
+        assert len(shards) == 8
+        assert sum(shards) == pytest.approx(1e6)
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(SimulationError):
+            even_shards(1e6, 0)

@@ -1,0 +1,67 @@
+"""Unit tests for the ring all-reduce simulator."""
+
+import pytest
+
+from repro.collectives.ring import (
+    simulate_ring_allgather,
+    simulate_ring_allreduce,
+    simulate_ring_reduce_scatter,
+)
+from repro.errors import SimulationError
+from repro.hardware.interconnect import LinkSpec
+from repro.parallelism.topology import RING
+
+LINK = LinkSpec("test", latency_s=1e-6, bandwidth_bits_per_s=1e9)
+
+
+class TestRingAllReduce:
+    def test_round_count(self):
+        result = simulate_ring_allreduce(1e6, 8, LINK)
+        assert result.n_rounds == 2 * 7
+
+    def test_factor_matches_closed_form(self):
+        for n in (2, 3, 4, 7, 8, 16, 100):
+            result = simulate_ring_allreduce(1e6, n, LINK)
+            assert result.effective_topology_factor \
+                == pytest.approx(RING.factor(n))
+
+    def test_time_matches_latency_plus_volume(self):
+        result = simulate_ring_allreduce(1e6, 4, LINK)
+        expected = 6 * (1e-6 + (1e6 / 4) / 1e9)
+        assert result.time_s == pytest.approx(expected)
+
+    def test_single_rank_free(self):
+        result = simulate_ring_allreduce(1e6, 1, LINK)
+        assert result.n_rounds == 0
+        assert result.time_s == 0.0
+
+    def test_zero_payload_costs_latency_only(self):
+        result = simulate_ring_allreduce(0.0, 4, LINK)
+        assert result.time_s == pytest.approx(6e-6)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(SimulationError):
+            simulate_ring_allreduce(-1.0, 4, LINK)
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(SimulationError):
+            simulate_ring_allreduce(1e6, 0, LINK)
+
+
+class TestHalves:
+    def test_reduce_scatter_is_half_the_rounds(self):
+        full = simulate_ring_allreduce(1e6, 8, LINK)
+        half = simulate_ring_reduce_scatter(1e6, 8, LINK)
+        assert half.n_rounds == full.n_rounds // 2
+        assert half.time_s == pytest.approx(full.time_s / 2)
+
+    def test_allgather_matches_reduce_scatter_cost(self):
+        rs = simulate_ring_reduce_scatter(1e6, 8, LINK)
+        ag = simulate_ring_allgather(1e6, 8, LINK)
+        assert ag.time_s == pytest.approx(rs.time_s)
+
+    def test_halves_compose_to_full(self):
+        full = simulate_ring_allreduce(1e6, 8, LINK)
+        rs = simulate_ring_reduce_scatter(1e6, 8, LINK)
+        ag = simulate_ring_allgather(1e6, 8, LINK)
+        assert rs.time_s + ag.time_s == pytest.approx(full.time_s)

@@ -1,0 +1,40 @@
+"""Unit tests for the tree all-reduce simulator."""
+
+import pytest
+
+from repro.collectives.ring import simulate_ring_allreduce
+from repro.collectives.tree import simulate_tree_allreduce
+from repro.hardware.interconnect import LinkSpec
+from repro.parallelism.topology import TREE
+
+FAST = LinkSpec("fast", latency_s=1e-3, bandwidth_bits_per_s=1e12)
+WIDE = LinkSpec("wide", latency_s=1e-9, bandwidth_bits_per_s=1e9)
+
+
+class TestTree:
+    def test_round_count_log2(self):
+        assert simulate_tree_allreduce(1e6, 8, FAST).n_rounds == 6
+
+    def test_round_count_rounds_up(self):
+        assert simulate_tree_allreduce(1e6, 5, FAST).n_rounds == 6
+
+    def test_factor_matches_closed_form(self):
+        for n in (2, 4, 8, 9, 16, 33):
+            result = simulate_tree_allreduce(1e6, n, FAST)
+            assert result.effective_topology_factor \
+                == pytest.approx(TREE.factor(n))
+
+    def test_single_rank_free(self):
+        assert simulate_tree_allreduce(1e6, 1, FAST).time_s == 0.0
+
+    def test_tree_wins_on_latency_bound_links(self):
+        """Small payload, high latency: fewer rounds win."""
+        tree = simulate_tree_allreduce(1e3, 64, FAST)
+        ring = simulate_ring_allreduce(1e3, 64, FAST)
+        assert tree.time_s < ring.time_s
+
+    def test_ring_wins_on_bandwidth_bound_links(self):
+        """Huge payload, negligible latency: less volume wins."""
+        tree = simulate_tree_allreduce(1e12, 64, WIDE)
+        ring = simulate_ring_allreduce(1e12, 64, WIDE)
+        assert ring.time_s < tree.time_s

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import AMPeD
+from repro.hardware.catalog import (
+    A100,
+    hgx2_node,
+    megatron_a100_cluster,
+)
+from repro.hardware.interconnect import IB_HDR, NVLINK3
+from repro.hardware.node import NodeSpec
+from repro.hardware.system import SystemSpec
+from repro.parallelism.microbatch import (
+    CASE_STUDY_EFFICIENCY,
+    MicrobatchEfficiency,
+)
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.config import MoEConfig, TransformerConfig
+
+
+@pytest.fixture
+def tiny_model() -> TransformerConfig:
+    """A small transformer whose counts are easy to verify by hand."""
+    return TransformerConfig(
+        name="tiny",
+        n_layers=4,
+        hidden_size=64,
+        n_heads=4,
+        sequence_length=32,
+        vocab_size=1000,
+    )
+
+
+@pytest.fixture
+def tiny_moe_model() -> TransformerConfig:
+    """A tiny Mixture-of-Experts transformer (experts every 2nd layer)."""
+    return TransformerConfig(
+        name="tiny-moe",
+        n_layers=4,
+        hidden_size=64,
+        n_heads=4,
+        sequence_length=32,
+        vocab_size=1000,
+        moe=MoEConfig(n_experts=4, expert_interval=2, top_k=2),
+    )
+
+
+@pytest.fixture
+def small_system() -> SystemSpec:
+    """4 nodes x 4 A100s — small enough for exhaustive sweeps in tests."""
+    node = NodeSpec(
+        accelerator=A100,
+        n_accelerators=4,
+        intra_link=NVLINK3,
+        inter_link=IB_HDR,
+        n_nics=4,
+    )
+    return SystemSpec(node=node, n_nodes=4)
+
+
+@pytest.fixture
+def cs1_system() -> SystemSpec:
+    """The Case Study I platform (128 nodes x 8 A100)."""
+    return megatron_a100_cluster()
+
+
+@pytest.fixture
+def hgx2() -> SystemSpec:
+    """The Table I validation platform."""
+    return hgx2_node()
+
+
+@pytest.fixture
+def serial_spec() -> ParallelismSpec:
+    """No parallelism at all."""
+    return ParallelismSpec()
+
+
+@pytest.fixture
+def efficiency() -> MicrobatchEfficiency:
+    """The Case Study I efficiency fit."""
+    return CASE_STUDY_EFFICIENCY
+
+
+@pytest.fixture
+def tiny_amped(tiny_model, small_system) -> AMPeD:
+    """A fully wired AMPeD over the tiny model and small system."""
+    spec = ParallelismSpec(tp_intra=4, dp_inter=4)
+    return AMPeD(model=tiny_model, system=small_system, parallelism=spec)

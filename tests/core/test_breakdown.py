@@ -1,0 +1,94 @@
+"""Unit tests for the breakdown containers."""
+
+import pytest
+
+from repro.core.breakdown import TrainingEstimate, TrainingTimeBreakdown
+from repro.errors import ConfigurationError
+
+
+def make(**overrides) -> TrainingTimeBreakdown:
+    base = dict(compute_forward=1.0, compute_backward=2.0,
+                compute_weight_update=0.5, comm_tp_intra=0.2,
+                comm_tp_inter=0.3, comm_pp=0.1, comm_moe=0.05,
+                comm_gradient_intra=0.15, comm_gradient_inter=0.25,
+                comm_zero=0.05, bubble=0.4)
+    base.update(overrides)
+    return TrainingTimeBreakdown(**base)
+
+
+class TestAggregates:
+    def test_compute_time(self):
+        assert make().compute_time == pytest.approx(3.5)
+
+    def test_comm_time(self):
+        assert make().comm_time == pytest.approx(1.10)
+
+    def test_total(self):
+        assert make().total == pytest.approx(3.5 + 1.10 + 0.4)
+
+    def test_tp_and_gradient_pairs(self):
+        breakdown = make()
+        assert breakdown.comm_tp == pytest.approx(0.5)
+        assert breakdown.comm_gradient == pytest.approx(0.4)
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ConfigurationError):
+            make(bubble=-0.1)
+
+
+class TestAlgebra:
+    def test_scaled(self):
+        assert make().scaled(10).total == pytest.approx(10 * make().total)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            make().scaled(-1)
+
+    def test_addition(self):
+        total = make() + make()
+        assert total.total == pytest.approx(2 * make().total)
+
+    def test_addition_type_error(self):
+        with pytest.raises(TypeError):
+            make() + 3
+
+
+class TestPresentation:
+    def test_summary_covers_total(self):
+        breakdown = make()
+        assert sum(breakdown.summary_dict().values()) \
+            == pytest.approx(breakdown.total)
+
+    def test_as_dict_round_trip(self):
+        breakdown = make()
+        rebuilt = TrainingTimeBreakdown(**breakdown.as_dict())
+        assert rebuilt == breakdown
+
+    def test_format_table_mentions_categories(self):
+        text = make().format_table()
+        for key in ("compute", "tp_comm", "bubble", "total"):
+            assert key in text
+
+    def test_format_table_shares_sum_to_100(self):
+        text = make().format_table()
+        assert "100.00%" in text
+
+
+class TestTrainingEstimate:
+    def test_total_time(self):
+        estimate = TrainingEstimate(per_batch=make(), n_batches=100)
+        assert estimate.total_time_s \
+            == pytest.approx(100 * make().total)
+
+    def test_days(self):
+        estimate = TrainingEstimate(per_batch=make(), n_batches=86400)
+        assert estimate.total_time_days \
+            == pytest.approx(make().total)
+
+    def test_breakdown_scaled(self):
+        estimate = TrainingEstimate(per_batch=make(), n_batches=3)
+        assert estimate.breakdown.bubble == pytest.approx(1.2)
+
+    def test_rejects_zero_batches(self):
+        with pytest.raises(ConfigurationError):
+            TrainingEstimate(per_batch=make(), n_batches=0)

@@ -1,0 +1,69 @@
+"""Unit tests for Eq. 8 (pipeline bubbles)."""
+
+import pytest
+
+from repro.core.bubbles import bubble_fraction, bubble_time
+from repro.errors import ConfigurationError
+from repro.parallelism.spec import ParallelismSpec
+
+
+def spec(pp=4, n_ub=None, r=1.0) -> ParallelismSpec:
+    return ParallelismSpec(pp_inter=pp, n_microbatches=n_ub,
+                           bubble_overlap_ratio=r)
+
+
+class TestBubbleTime:
+    def test_no_pipeline_no_bubble(self):
+        assert bubble_time(1.0, 2.0, 0.1, 0.1, 8,
+                           ParallelismSpec(dp_inter=4)) == 0.0
+
+    def test_physical_hand_computation(self):
+        # W = R * (pp-1)/n_ub * [(U_f+U_b)/(tp*dp*pp) + M_b + M_f]
+        w = bubble_time(8.0, 16.0, 0.5, 0.5, n_layers=8,
+                        parallelism=spec(pp=4, n_ub=16),
+                        model="physical")
+        expected = 1.0 * 3 / 16 * ((8 + 16) / 4 + 1.0)
+        assert w == pytest.approx(expected)
+
+    def test_eq8_divides_compute_by_layers(self):
+        physical = bubble_time(8.0, 16.0, 0.0, 0.0, 8, spec(4, 16),
+                               model="physical")
+        literal = bubble_time(8.0, 16.0, 0.0, 0.0, 8, spec(4, 16),
+                              model="eq8")
+        assert literal == pytest.approx(physical / 8)
+
+    def test_overlap_ratio_scales_linearly(self):
+        full = bubble_time(8.0, 16.0, 0.5, 0.5, 8, spec(4, 16, r=1.0))
+        half = bubble_time(8.0, 16.0, 0.5, 0.5, 8, spec(4, 16, r=0.5))
+        assert half == pytest.approx(full / 2)
+
+    def test_more_microbatches_shrink_bubble(self):
+        few = bubble_time(8.0, 16.0, 0.5, 0.5, 8, spec(4, 8))
+        many = bubble_time(8.0, 16.0, 0.5, 0.5, 8, spec(4, 64))
+        assert many < few
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            bubble_time(1.0, 1.0, 0.0, 0.0, 8, spec(), model="magic")
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ConfigurationError):
+            bubble_time(-1.0, 1.0, 0.0, 0.0, 8, spec())
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ConfigurationError):
+            bubble_time(1.0, 1.0, 0.0, 0.0, 0, spec())
+
+
+class TestBubbleFraction:
+    def test_classic_bound(self):
+        assert bubble_fraction(spec(pp=8, n_ub=32)) == 7 / 32
+
+    def test_default_microbatches_equal_pp(self):
+        assert bubble_fraction(spec(pp=8)) == 7 / 8
+
+    def test_no_pipeline(self):
+        assert bubble_fraction(ParallelismSpec(dp_inter=8)) == 0.0
+
+    def test_overlap_scales(self):
+        assert bubble_fraction(spec(pp=8, n_ub=32, r=0.5)) == 7 / 64

@@ -1,0 +1,217 @@
+"""Unit tests for Eqs. 5, 6, 7, 9, 10, 11."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.communication import (
+    CommEnvironment,
+    backward_comm_time,
+    forward_comm_components,
+    forward_comm_time,
+    gradient_comm_components,
+    gradient_comm_time,
+    moe_comm_time,
+    pp_activation_count,
+    pp_comm_time,
+    tp_activation_count,
+    tp_comm_time,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.precision import MIXED_FP16
+from repro.parallelism.spec import ParallelismSpec
+from repro.parallelism.topology import RING
+
+
+def env_for(system, **spec_kwargs) -> CommEnvironment:
+    return CommEnvironment(
+        system=system,
+        parallelism=ParallelismSpec(**spec_kwargs),
+        precision=MIXED_FP16,
+    )
+
+
+class TestActivationVolumes:
+    def test_tp_volume_is_2bsh(self, tiny_model):
+        assert tp_activation_count(tiny_model, 16) \
+            == 2 * 16 * 32 * 64
+
+    def test_pp_volume_is_bsh(self, tiny_model):
+        assert pp_activation_count(tiny_model, 16) == 16 * 32 * 64
+
+
+class TestTPComm:
+    def test_eq6_hand_computation(self, small_system, tiny_model):
+        env = env_for(small_system, tp_intra=4, dp_inter=4)
+        link = small_system.node.intra_link
+        n_act = tp_activation_count(tiny_model, 8.0)
+        expected = (link.latency_s * RING.steps(4)
+                    + n_act * 16 / link.bandwidth_bits_per_s
+                    * RING.factor(4))
+        assert tp_comm_time(env, tiny_model, 8.0, "intra") \
+            == pytest.approx(expected)
+
+    def test_degree_one_is_free(self, small_system, tiny_model):
+        env = env_for(small_system, dp_intra=4, dp_inter=4)
+        assert tp_comm_time(env, tiny_model, 8.0, "intra") == 0.0
+        assert tp_comm_time(env, tiny_model, 8.0, "inter") == 0.0
+
+    def test_inter_uses_nic_share(self, small_system, tiny_model):
+        env = env_for(small_system, tp_inter=4, dp_intra=4)
+        intra_like = tp_comm_time(env, tiny_model, 8.0, "inter")
+        assert intra_like > 0.0
+
+    def test_hierarchical_sharding(self, small_system, tiny_model):
+        """With tp_intra > 1, the inter phase carries 1/tp_intra of the
+        payload per NIC."""
+        flat = env_for(small_system, tp_inter=4, dp_intra=4)
+        sharded = env_for(small_system, tp_intra=4, tp_inter=4)
+        t_flat = tp_comm_time(flat, tiny_model, 8.0, "inter")
+        t_sharded = tp_comm_time(sharded, tiny_model, 8.0, "inter")
+        link = small_system.node.effective_inter_link
+        latency = RING.steps(4) * link.latency_s
+        assert (t_sharded - latency) \
+            == pytest.approx((t_flat - latency) / 4)
+
+    def test_rejects_bad_level(self, small_system, tiny_model):
+        env = env_for(small_system, tp_intra=4, dp_inter=4)
+        with pytest.raises(ConfigurationError):
+            tp_comm_time(env, tiny_model, 8.0, "sideways")
+
+
+class TestPPComm:
+    def test_eq7_hand_computation(self, small_system, tiny_model):
+        env = env_for(small_system, pp_intra=4, dp_inter=4)
+        link = small_system.node.intra_link
+        bits = pp_activation_count(tiny_model, 8.0) * 16
+        expected = (link.latency_s
+                    + bits / link.bandwidth_bits_per_s) \
+            / tiny_model.n_layers
+        assert pp_comm_time(env, tiny_model, 8.0, "intra") \
+            == pytest.approx(expected)
+
+    def test_degree_one_is_free(self, small_system, tiny_model):
+        env = env_for(small_system, tp_intra=4, dp_inter=4)
+        assert pp_comm_time(env, tiny_model, 8.0, "intra") == 0.0
+
+    def test_no_topology_factor(self, small_system, tiny_model):
+        """Doubling the PP degree does not change the per-boundary cost."""
+        env2 = env_for(small_system, pp_intra=2, dp_intra=2, dp_inter=4)
+        env4 = env_for(small_system, pp_intra=4, dp_inter=4)
+        b = 8.0
+        assert pp_comm_time(env2, tiny_model, b, "intra") \
+            == pytest.approx(pp_comm_time(env4, tiny_model, b, "intra"))
+
+
+class TestMoEComm:
+    def test_single_node_is_free(self, small_system, tiny_moe_model):
+        one_node = small_system.with_n_nodes(1)
+        env = env_for(one_node, tp_intra=4)
+        assert moe_comm_time(env, tiny_moe_model, 8.0) == 0.0
+
+    def test_grows_with_volume_multiplier(self, small_system,
+                                          tiny_moe_model):
+        base = env_for(small_system, tp_intra=4, dp_inter=4)
+        heavy = dataclasses.replace(base, moe_volume_multiplier=4.0)
+        t_base = moe_comm_time(base, tiny_moe_model, 8.0)
+        t_heavy = moe_comm_time(heavy, tiny_moe_model, 8.0)
+        assert t_heavy > t_base
+
+    def test_tp_sharding_divides_volume(self, small_system,
+                                        tiny_moe_model):
+        sharded = env_for(small_system, tp_intra=4, dp_inter=4)
+        literal = dataclasses.replace(sharded, moe_tp_sharding=False)
+        t_sharded = moe_comm_time(sharded, tiny_moe_model, 8.0)
+        t_literal = moe_comm_time(literal, tiny_moe_model, 8.0)
+        assert t_sharded < t_literal
+
+    def test_more_inter_bandwidth_reduces_time(self, small_system,
+                                               tiny_moe_model):
+        fast_node = small_system.node.with_links(
+            inter_link=small_system.node.inter_link.scaled(10.0))
+        fast = small_system.with_node(fast_node)
+        slow_t = moe_comm_time(env_for(small_system, tp_intra=4,
+                                       dp_inter=4),
+                               tiny_moe_model, 8.0)
+        fast_t = moe_comm_time(env_for(fast, tp_intra=4, dp_inter=4),
+                               tiny_moe_model, 8.0)
+        assert fast_t < slow_t
+
+
+class TestForwardAggregation:
+    def test_eq5_sums_components(self, small_system, tiny_model):
+        env = env_for(small_system, tp_intra=4, pp_inter=2, dp_inter=2)
+        parts = forward_comm_components(env, tiny_model, 8.0, False)
+        assert forward_comm_time(env, tiny_model, 8.0, False) \
+            == pytest.approx(sum(parts.values()))
+
+    def test_pp_takes_max_of_levels(self, small_system, tiny_model):
+        env = env_for(small_system, pp_intra=4, pp_inter=4)
+        parts = forward_comm_components(env, tiny_model, 8.0, False)
+        intra = pp_comm_time(env, tiny_model, 8.0, "intra")
+        inter = pp_comm_time(env, tiny_model, 8.0, "inter")
+        assert parts["pp"] == pytest.approx(max(intra, inter))
+
+    def test_zero_factor_scales_everything(self, small_system,
+                                           tiny_model):
+        base = env_for(small_system, tp_intra=4, dp_inter=4)
+        zero = dataclasses.replace(base, zero_forward_overhead=0.5)
+        assert forward_comm_time(zero, tiny_model, 8.0, False) \
+            == pytest.approx(
+                1.5 * forward_comm_time(base, tiny_model, 8.0, False))
+
+    def test_moe_only_on_expert_layers(self, small_system,
+                                       tiny_moe_model):
+        env = env_for(small_system, tp_intra=4, dp_inter=4)
+        dense = forward_comm_components(env, tiny_moe_model, 8.0, False)
+        moe = forward_comm_components(env, tiny_moe_model, 8.0, True)
+        assert dense["moe"] == 0.0
+        assert moe["moe"] > 0.0
+
+    def test_expert_parallel_off_silences_moe(self, small_system,
+                                              tiny_moe_model):
+        env = CommEnvironment(
+            system=small_system,
+            parallelism=ParallelismSpec(tp_intra=4, dp_inter=4,
+                                        expert_parallel=False),
+            precision=MIXED_FP16)
+        parts = forward_comm_components(env, tiny_moe_model, 8.0, True)
+        assert parts["moe"] == 0.0
+
+    def test_backward_mirrors_forward(self, small_system, tiny_model):
+        env = env_for(small_system, tp_intra=4, dp_inter=4)
+        fwd = forward_comm_time(env, tiny_model, 8.0, False)
+        assert backward_comm_time(env, tiny_model, 8.0, False) \
+            == pytest.approx(fwd)
+        assert backward_comm_time(env, tiny_model, 8.0, False,
+                                  volume_ratio=0.5) \
+            == pytest.approx(0.5 * fwd)
+
+
+class TestGradientComm:
+    def test_eq11_hand_computation(self, small_system):
+        env = env_for(small_system, dp_intra=4, dp_inter=4)
+        link = small_system.node.intra_link
+        n_g = 1e6
+        parts = gradient_comm_components(env, n_g)
+        expected_intra = (RING.steps(4) * link.latency_s
+                          + n_g * 16 / link.bandwidth_bits_per_s
+                          * RING.factor(4))
+        assert parts["intra"] == pytest.approx(expected_intra)
+
+    def test_tp_shards_gradients(self, small_system):
+        dense = env_for(small_system, pp_intra=4, dp_inter=4)
+        # tp=4 quarters the per-rank gradient volume
+        sharded = env_for(small_system, tp_intra=4, dp_inter=4)
+        t_dense = gradient_comm_components(dense, 1e9)["inter"]
+        t_sharded = gradient_comm_components(sharded, 1e9)["inter"]
+        assert t_sharded < t_dense
+
+    def test_no_dp_no_cost(self, small_system):
+        env = env_for(small_system, tp_intra=4, pp_inter=4)
+        assert gradient_comm_time(env, 1e6) == 0.0
+
+    def test_rejects_negative_params(self, small_system):
+        env = env_for(small_system, dp_intra=4, dp_inter=4)
+        with pytest.raises(ConfigurationError):
+            gradient_comm_time(env, -1.0)

@@ -1,0 +1,102 @@
+"""Unit tests for Eq. 2-4 and Eq. 12."""
+
+import pytest
+
+from repro.core.compute import (
+    backward_compute_time,
+    forward_compute_time,
+    mac_time_per_op,
+    nonlinear_time_per_op,
+    weight_update_time,
+)
+from repro.core.operations import build_operations
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import A100
+from repro.hardware.precision import FULL_FP32, MIXED_FP16
+
+
+@pytest.fixture
+def layer(tiny_model):
+    return build_operations(tiny_model, 4).layers[1]  # first real layer
+
+
+class TestThroughputReciprocals:
+    def test_c_mac_at_full_efficiency(self):
+        assert mac_time_per_op(A100, 1.0) \
+            == pytest.approx(1.0 / A100.peak_mac_flops_per_s)
+
+    def test_c_mac_scales_inverse_with_efficiency(self):
+        assert mac_time_per_op(A100, 0.5) \
+            == pytest.approx(2 * mac_time_per_op(A100, 1.0))
+
+    def test_c_mac_rejects_zero_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            mac_time_per_op(A100, 0.0)
+
+    def test_c_mac_rejects_above_one(self):
+        with pytest.raises(ConfigurationError):
+            mac_time_per_op(A100, 1.1)
+
+    def test_c_nonlin(self):
+        assert nonlinear_time_per_op(A100) \
+            == pytest.approx(1.0 / A100.peak_nonlinear_ops_per_s)
+
+
+class TestForward:
+    def test_matches_hand_sum(self, layer):
+        time = forward_compute_time(layer, A100, MIXED_FP16, 1.0)
+        expected = (layer.mac_flops / A100.peak_mac_flops_per_s
+                    + layer.nonlinear_ops / A100.peak_nonlinear_ops_per_s)
+        assert time == pytest.approx(expected)
+
+    def test_fp32_doubles_mac_passes(self, layer):
+        fp16 = forward_compute_time(layer, A100, MIXED_FP16, 1.0)
+        fp32 = forward_compute_time(layer, A100, FULL_FP32, 1.0)
+        # both MAC (x2) and nonlinear (x2) pass counts double
+        assert fp32 == pytest.approx(2 * fp16)
+
+    def test_efficiency_derates_macs_only(self, layer):
+        full = forward_compute_time(layer, A100, MIXED_FP16, 1.0)
+        half = forward_compute_time(layer, A100, MIXED_FP16, 0.5)
+        nonlin = layer.nonlinear_ops / A100.peak_nonlinear_ops_per_s
+        mac = layer.mac_flops / A100.peak_mac_flops_per_s
+        assert half == pytest.approx(2 * mac + nonlin)
+        assert full == pytest.approx(mac + nonlin)
+
+
+class TestBackward:
+    def test_default_is_twice_forward(self, layer):
+        fwd = forward_compute_time(layer, A100, MIXED_FP16, 0.8)
+        bwd = backward_compute_time(layer, A100, MIXED_FP16, 0.8)
+        assert bwd == pytest.approx(2 * fwd)
+
+    def test_recompute_multiplier(self, layer):
+        fwd = forward_compute_time(layer, A100, MIXED_FP16, 0.8)
+        bwd = backward_compute_time(layer, A100, MIXED_FP16, 0.8,
+                                    backward_multiplier=3.0)
+        assert bwd == pytest.approx(3 * fwd)
+
+    def test_rejects_negative_multiplier(self, layer):
+        with pytest.raises(ConfigurationError):
+            backward_compute_time(layer, A100, MIXED_FP16, 0.8,
+                                  backward_multiplier=-1.0)
+
+
+class TestWeightUpdate:
+    def test_eq12_one_mac_per_weight(self, layer):
+        time = weight_update_time(layer, A100, MIXED_FP16, 1.0)
+        expected = layer.parameters * 2.0 \
+            / A100.peak_mac_flops_per_s  # FLOPs per MAC = 2
+        assert time == pytest.approx(expected)
+
+    def test_adam_style_cost(self, layer):
+        sgd = weight_update_time(layer, A100, MIXED_FP16, 1.0)
+        adam = weight_update_time(layer, A100, MIXED_FP16, 1.0,
+                                  optimizer_macs_per_parameter=4.0)
+        assert adam == pytest.approx(4 * sgd)
+
+    def test_independent_of_batch(self, tiny_model):
+        small = build_operations(tiny_model, 1).layers[1]
+        large = build_operations(tiny_model, 64).layers[1]
+        assert weight_update_time(small, A100, MIXED_FP16, 1.0) \
+            == weight_update_time(large, A100, MIXED_FP16, 1.0)

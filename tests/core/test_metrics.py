@@ -1,0 +1,59 @@
+"""Unit tests for metric helpers."""
+
+import pytest
+
+from repro.core.metrics import (
+    best_configuration,
+    efficiency_of_scaling,
+    normalize_to_first,
+    speedups,
+)
+from repro.errors import ConfigurationError
+
+
+class TestNormalize:
+    def test_first_is_one(self):
+        assert normalize_to_first([4.0, 2.0, 1.0]) == [1.0, 0.5, 0.25]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            normalize_to_first([])
+
+    def test_rejects_zero_first(self):
+        with pytest.raises(ConfigurationError):
+            normalize_to_first([0.0, 1.0])
+
+
+class TestSpeedups:
+    def test_table3_convention(self):
+        assert speedups([10.0, 5.0, 2.5]) == [1.0, 2.0, 4.0]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            speedups([1.0, 0.0])
+
+
+class TestScalingEfficiency:
+    def test_ideal_scaling_is_one(self):
+        times = [8.0, 4.0, 2.0, 1.0]
+        workers = [1, 2, 4, 8]
+        assert efficiency_of_scaling(times, workers) \
+            == pytest.approx([1.0] * 4)
+
+    def test_sublinear_below_one(self):
+        eff = efficiency_of_scaling([8.0, 5.0], [1, 2])
+        assert eff[1] < 1.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            efficiency_of_scaling([1.0], [1, 2])
+
+
+class TestBestConfiguration:
+    def test_picks_minimum(self):
+        key, value = best_configuration({"a": 3.0, "b": 1.0, "c": 2.0})
+        assert (key, value) == ("b", 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            best_configuration({})

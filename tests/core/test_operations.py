@@ -1,0 +1,60 @@
+"""Unit tests for per-layer operation assembly."""
+
+import pytest
+
+from repro.core.operations import build_operations
+from repro.errors import ConfigurationError
+from repro.transformer.params import total_parameters
+
+
+class TestBuildOperations:
+    def test_layer_count_with_embeddings(self, tiny_model):
+        ops = build_operations(tiny_model, 2)
+        assert len(ops.layers) == tiny_model.n_layers + 1
+        assert ops.n_layers == tiny_model.n_layers
+
+    def test_layer_count_without_embeddings(self, tiny_model):
+        ops = build_operations(tiny_model, 2, include_embeddings=False)
+        assert len(ops.layers) == tiny_model.n_layers
+        assert all(layer.index >= 0 for layer in ops.layers)
+
+    def test_pseudo_layer_first(self, tiny_model):
+        ops = build_operations(tiny_model, 2)
+        assert ops.layers[0].index == -1
+        assert not ops.layers[0].is_moe
+
+    def test_total_parameters_match_transformer_count(self, tiny_model):
+        ops = build_operations(tiny_model, 2)
+        assert ops.total_parameters \
+            == pytest.approx(total_parameters(tiny_model))
+
+    def test_moe_flags(self, tiny_moe_model):
+        ops = build_operations(tiny_moe_model, 2)
+        flags = [layer.is_moe for layer in ops.layers if layer.index >= 0]
+        assert flags == [False, True, False, True]
+
+    def test_expert_parameters_only_on_moe_layers(self, tiny_moe_model):
+        ops = build_operations(tiny_moe_model, 2)
+        for layer in ops.layers:
+            if layer.is_moe:
+                assert layer.expert_parameters > 0
+            else:
+                assert layer.expert_parameters == 0
+
+    def test_gradient_parameters_exclude_experts(self, tiny_moe_model):
+        ops = build_operations(tiny_moe_model, 2)
+        moe_layer = next(l for l in ops.layers if l.is_moe)
+        assert moe_layer.gradient_parameters(True) \
+            == moe_layer.parameters - moe_layer.expert_parameters
+        assert moe_layer.gradient_parameters(False) \
+            == moe_layer.parameters
+
+    def test_flops_scale_with_batch(self, tiny_model):
+        one = build_operations(tiny_model, 1)
+        four = build_operations(tiny_model, 4)
+        assert four.total_forward_mac_flops \
+            == pytest.approx(4 * one.total_forward_mac_flops)
+
+    def test_rejects_zero_batch(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            build_operations(tiny_model, 0)

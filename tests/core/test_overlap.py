@@ -1,0 +1,67 @@
+"""Unit tests for the communication-overlap knob."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.model import AMPeD
+from repro.errors import ConfigurationError
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import ParallelismSpec
+
+
+@pytest.fixture
+def base(tiny_model, small_system):
+    return AMPeD(model=tiny_model, system=small_system,
+                 parallelism=ParallelismSpec(tp_intra=4, dp_inter=4),
+                 efficiency=CASE_STUDY_EFFICIENCY)
+
+
+class TestCommOverlap:
+    def test_zero_overlap_is_default(self, base):
+        assert base.comm_overlap_fraction == 0.0
+
+    def test_half_overlap_halves_comm(self, base):
+        overlapped = dataclasses.replace(base,
+                                         comm_overlap_fraction=0.5)
+        assert overlapped.estimate_batch(64).comm_time \
+            == pytest.approx(base.estimate_batch(64).comm_time / 2)
+
+    def test_compute_untouched(self, base):
+        overlapped = dataclasses.replace(base,
+                                         comm_overlap_fraction=0.5)
+        assert overlapped.estimate_batch(64).compute_time \
+            == pytest.approx(base.estimate_batch(64).compute_time)
+
+    def test_total_monotone_in_overlap(self, base):
+        totals = [dataclasses.replace(
+            base, comm_overlap_fraction=fraction)
+            .estimate_batch(64).total
+            for fraction in (0.0, 0.25, 0.5, 0.75)]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_applies_to_pp_and_bubbles(self, tiny_model, small_system):
+        spec = ParallelismSpec(pp_intra=4, dp_inter=4,
+                               n_microbatches=8)
+        base = AMPeD(model=tiny_model, system=small_system,
+                     parallelism=spec,
+                     efficiency=CASE_STUDY_EFFICIENCY)
+        overlapped = dataclasses.replace(base,
+                                         comm_overlap_fraction=0.5)
+        assert overlapped.estimate_batch(64).comm_pp \
+            == pytest.approx(base.estimate_batch(64).comm_pp / 2)
+        # bubbles shrink too: the exposed comm inside Eq. 8 halves
+        assert overlapped.estimate_batch(64).bubble \
+            < base.estimate_batch(64).bubble
+
+    def test_rejects_full_overlap(self, tiny_model, small_system):
+        with pytest.raises(ConfigurationError):
+            AMPeD(model=tiny_model, system=small_system,
+                  parallelism=ParallelismSpec(tp_intra=4, dp_inter=4),
+                  comm_overlap_fraction=1.0)
+
+    def test_rejects_negative(self, tiny_model, small_system):
+        with pytest.raises(ConfigurationError):
+            AMPeD(model=tiny_model, system=small_system,
+                  parallelism=ParallelismSpec(tp_intra=4, dp_inter=4),
+                  comm_overlap_fraction=-0.1)

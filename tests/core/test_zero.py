@@ -1,0 +1,36 @@
+"""Unit tests for ZeRO configuration."""
+
+import pytest
+
+from repro.core.zero import NO_ZERO, ZeroConfig
+from repro.errors import ConfigurationError
+
+
+class TestStages:
+    def test_plain_dp_has_no_overhead(self):
+        assert NO_ZERO.communication_overhead == 0.0
+
+    def test_stage3_default_overhead(self):
+        assert ZeroConfig(stage=3).communication_overhead == 0.5
+
+    def test_explicit_override_wins(self):
+        assert ZeroConfig(stage=3, forward_overhead=0.2) \
+            .communication_overhead == 0.2
+
+    def test_sharding_flags_are_cumulative(self):
+        stage1 = ZeroConfig(stage=1)
+        stage2 = ZeroConfig(stage=2)
+        stage3 = ZeroConfig(stage=3)
+        assert stage1.shards_optimizer_states
+        assert not stage1.shards_gradients
+        assert stage2.shards_gradients
+        assert not stage2.shards_parameters
+        assert stage3.shards_parameters
+
+    def test_rejects_unknown_stage(self):
+        with pytest.raises(ConfigurationError):
+            ZeroConfig(stage=4)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigurationError):
+            ZeroConfig(stage=1, forward_overhead=-0.1)

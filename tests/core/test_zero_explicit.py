@@ -1,0 +1,99 @@
+"""Unit tests for the explicit ZeRO-3 communication modeling."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.communication import (
+    CommEnvironment,
+    zero_gather_components,
+    zero_gather_time,
+)
+from repro.core.model import AMPeD
+from repro.core.zero import ZeroConfig, parameter_gather_bits
+from repro.errors import ConfigurationError
+from repro.hardware.precision import MIXED_FP16
+from repro.parallelism.spec import ParallelismSpec
+
+
+def env_for(system, **spec_kwargs) -> CommEnvironment:
+    return CommEnvironment(system=system,
+                           parallelism=ParallelismSpec(**spec_kwargs),
+                           precision=MIXED_FP16)
+
+
+class TestGatherBits:
+    def test_tp_shards(self):
+        assert parameter_gather_bits(1e6, 16, tp_degree=4) == 4e6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            parameter_gather_bits(-1.0, 16)
+
+
+class TestGatherComponents:
+    def test_half_the_allreduce(self, small_system):
+        """An all-gather is one ring phase; the gradient all-reduce is
+        two — so the gather costs half at equal volume and degree."""
+        from repro.core.communication import gradient_comm_components
+        env = env_for(small_system, dp_intra=4, dp_inter=4)
+        gather = zero_gather_components(env, 1e8)
+        reduce_ = gradient_comm_components(env, 1e8)
+        assert gather["intra"] == pytest.approx(reduce_["intra"] / 2)
+        assert gather["inter"] == pytest.approx(reduce_["inter"] / 2)
+
+    def test_no_dp_no_cost(self, small_system):
+        env = env_for(small_system, tp_intra=4, pp_inter=4)
+        assert zero_gather_time(env, 1e8) == 0.0
+
+    def test_rejects_negative_params(self, small_system):
+        env = env_for(small_system, dp_intra=4, dp_inter=4)
+        with pytest.raises(ConfigurationError):
+            zero_gather_time(env, -1.0)
+
+
+class TestModelIntegration:
+    @pytest.fixture
+    def base(self, tiny_model, small_system):
+        return AMPeD(model=tiny_model, system=small_system,
+                     parallelism=ParallelismSpec(dp_intra=4,
+                                                 dp_inter=4),
+                     zero=ZeroConfig(stage=3))
+
+    def test_explicit_mode_adds_zero_component(self, base):
+        explicit = dataclasses.replace(base, zero_explicit_comm=True)
+        breakdown = explicit.estimate_batch(64)
+        assert breakdown.comm_zero > 0.0
+
+    def test_factor_mode_has_no_zero_component(self, base):
+        breakdown = base.estimate_batch(64)
+        assert breakdown.comm_zero == 0.0
+
+    def test_explicit_mode_disables_the_flat_factor(self, base,
+                                                    tiny_model,
+                                                    small_system):
+        """With explicit gathers on, Eq. 5's (1 + M_f_DP) factor must
+        not double-charge: on a pure-DP mapping with no TP/PP/MoE, the
+        forward comm is zero either way, so the factor's effect is only
+        visible through a TP mapping."""
+        spec = ParallelismSpec(tp_intra=2, dp_intra=2, dp_inter=4)
+        factor = AMPeD(model=tiny_model, system=small_system,
+                       parallelism=spec, zero=ZeroConfig(stage=3))
+        explicit = dataclasses.replace(factor, zero_explicit_comm=True)
+        assert explicit.estimate_batch(64).comm_tp \
+            < factor.estimate_batch(64).comm_tp
+
+    def test_stage1_explicit_is_noop(self, tiny_model, small_system):
+        """Stages below 3 do not shard parameters: nothing to gather."""
+        amped = AMPeD(model=tiny_model, system=small_system,
+                      parallelism=ParallelismSpec(dp_intra=4,
+                                                  dp_inter=4),
+                      zero=ZeroConfig(stage=1), zero_explicit_comm=True)
+        assert amped.estimate_batch(64).comm_zero == 0.0
+
+    def test_summary_dict_includes_zero(self, base):
+        explicit = dataclasses.replace(base, zero_explicit_comm=True)
+        summary = explicit.estimate_batch(64).summary_dict()
+        assert "zero_comm" in summary
+        assert sum(summary.values()) \
+            == pytest.approx(explicit.estimate_batch(64).total)

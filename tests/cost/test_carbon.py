@@ -1,0 +1,43 @@
+"""Unit tests for carbon-footprint estimation."""
+
+import pytest
+
+from repro.cost.carbon import (
+    COAL_HEAVY_GRID,
+    HYDRO_GRID,
+    GridCarbonIntensity,
+    estimate_carbon,
+)
+from repro.energy.energy import EnergyEstimate
+from repro.errors import ConfigurationError
+
+
+def energy(kwh: float) -> EnergyEstimate:
+    return EnergyEstimate(active_joules=kwh * 3.6e6, idle_joules=0.0,
+                          n_accelerators=1)
+
+
+class TestCarbon:
+    def test_hand_computation(self):
+        grid = GridCarbonIntensity("test", 500.0, pue=1.0)
+        footprint = estimate_carbon(energy(1000.0), grid)
+        assert footprint.kg_co2 == pytest.approx(500.0)
+        assert footprint.tonnes_co2 == pytest.approx(0.5)
+
+    def test_pue_scales_facility_energy(self):
+        grid = GridCarbonIntensity("test", 500.0, pue=1.5)
+        footprint = estimate_carbon(energy(1000.0), grid)
+        assert footprint.facility_kwh == pytest.approx(1500.0)
+
+    def test_grid_choice_matters(self):
+        coal = estimate_carbon(energy(1000.0), COAL_HEAVY_GRID)
+        hydro = estimate_carbon(energy(1000.0), HYDRO_GRID)
+        assert coal.kg_co2 > 20 * hydro.kg_co2
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(ConfigurationError):
+            GridCarbonIntensity("x", -1.0)
+
+    def test_rejects_pue_below_one(self):
+        with pytest.raises(ConfigurationError):
+            GridCarbonIntensity("x", 100.0, pue=0.9)

@@ -1,0 +1,73 @@
+"""Unit tests for cloud-cost estimation."""
+
+import pytest
+
+from repro.core.breakdown import TrainingEstimate, TrainingTimeBreakdown
+from repro.cost.pricing import (
+    ON_DEMAND_A100,
+    CloudPricing,
+    estimate_cost,
+)
+from repro.errors import ConfigurationError
+
+
+def run_estimate(batch_time_s: float, n_batches: int) -> TrainingEstimate:
+    return TrainingEstimate(
+        per_batch=TrainingTimeBreakdown(compute_forward=batch_time_s),
+        n_batches=n_batches)
+
+
+class TestCloudPricing:
+    def test_effective_rate_applies_premium(self):
+        pricing = CloudPricing("x", 4.0, interconnect_premium=1.25)
+        assert pricing.effective_rate == 5.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ConfigurationError):
+            CloudPricing("x", 0.0)
+
+    def test_rejects_discount_premium(self):
+        with pytest.raises(ConfigurationError):
+            CloudPricing("x", 4.0, interconnect_premium=0.8)
+
+
+class TestEstimateCost:
+    def test_gpu_hours(self):
+        estimate = run_estimate(3600.0, 10)  # 10 hours wall clock
+        cost = estimate_cost(estimate, 8,
+                             CloudPricing("x", 2.0,
+                                          minimum_billing_s=1.0))
+        assert cost.gpu_hours == pytest.approx(80.0)
+        assert cost.usd == pytest.approx(160.0)
+
+    def test_billing_granularity_rounds_up(self):
+        estimate = run_estimate(1800.0, 1)  # half an hour
+        cost = estimate_cost(estimate, 1,
+                             CloudPricing("x", 2.0,
+                                          minimum_billing_s=3600.0))
+        assert cost.billed_gpu_hours == pytest.approx(1.0)
+        assert cost.gpu_hours == pytest.approx(0.5)
+        assert cost.usd == pytest.approx(2.0)
+
+    def test_exact_multiple_not_rounded(self):
+        estimate = run_estimate(3600.0, 2)
+        cost = estimate_cost(estimate, 1,
+                             CloudPricing("x", 2.0,
+                                          minimum_billing_s=3600.0))
+        assert cost.billed_gpu_hours == pytest.approx(2.0)
+
+    def test_rejects_zero_accelerators(self):
+        with pytest.raises(ConfigurationError):
+            estimate_cost(run_estimate(1.0, 1), 0, ON_DEMAND_A100)
+
+    def test_gpt3_scale_sanity(self):
+        """The paper's motivating figure: GPT-3 took ~3.1M GPU-hours,
+        ~$4.6M.  A run with those GPU-hours at ~$1.5/h spot-era pricing
+        lands in the millions."""
+        hours_per_gpu = 3.1e6 / 1024
+        estimate = run_estimate(hours_per_gpu * 3600.0, 1)
+        cost = estimate_cost(
+            estimate, 1024, CloudPricing("v100-era", 1.48,
+                                         minimum_billing_s=1.0))
+        assert cost.gpu_hours == pytest.approx(3.1e6, rel=1e-6)
+        assert 4e6 < cost.usd < 5e6

@@ -1,0 +1,66 @@
+"""Unit tests for energy estimation and the break-even analysis."""
+
+import pytest
+
+from repro.core.breakdown import TrainingTimeBreakdown
+from repro.energy.energy import (
+    JOULES_PER_KWH,
+    breakeven_idle_fraction,
+    estimate_energy,
+)
+from repro.energy.power import PowerModel
+from repro.errors import ConfigurationError
+
+POWER = PowerModel(active_watts=400.0, idle_fraction=0.3)
+
+
+def breakdown(compute=100.0, bubble=0.0) -> TrainingTimeBreakdown:
+    return TrainingTimeBreakdown(compute_forward=compute, bubble=bubble)
+
+
+class TestEstimateEnergy:
+    def test_active_only(self):
+        energy = estimate_energy(breakdown(compute=100.0), POWER, 10)
+        assert energy.total_joules == pytest.approx(100 * 400 * 10)
+        assert energy.idle_joules == 0.0
+
+    def test_bubble_draws_idle_power(self):
+        energy = estimate_energy(breakdown(compute=100.0, bubble=50.0),
+                                 POWER, 1)
+        assert energy.active_joules == pytest.approx(100 * 400)
+        assert energy.idle_joules == pytest.approx(50 * 120)
+
+    def test_kwh(self):
+        energy = estimate_energy(breakdown(compute=9000.0), POWER, 1)
+        assert energy.total_kwh \
+            == pytest.approx(9000 * 400 / JOULES_PER_KWH)
+
+    def test_rejects_zero_accelerators(self):
+        with pytest.raises(ConfigurationError):
+            estimate_energy(breakdown(), POWER, 0)
+
+
+class TestBreakeven:
+    def test_paper_scenario(self):
+        """Case Study II: PP ~4% slower with ~11% bubbles -> break-even
+        idle fraction should be positive and below 1."""
+        fraction = breakeven_idle_fraction(
+            time_fast_s=100.0, time_slow_s=104.0,
+            bubble_share_slow=0.11)
+        assert 0.0 < fraction < 1.0
+        # verify the parity algebra: energy equal at the returned x
+        active = 104.0 * 0.89
+        idle = 104.0 * 0.11
+        assert active + idle * fraction == pytest.approx(100.0)
+
+    def test_never_wins_when_slower_and_busy(self):
+        fraction = breakeven_idle_fraction(100.0, 150.0, 0.05)
+        assert fraction < 0  # impossible: active time alone exceeds fast
+
+    def test_rejects_bad_bubble_share(self):
+        with pytest.raises(ConfigurationError):
+            breakeven_idle_fraction(100.0, 104.0, 0.0)
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(ConfigurationError):
+            breakeven_idle_fraction(0.0, 104.0, 0.1)

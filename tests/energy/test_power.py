@@ -1,0 +1,39 @@
+"""Unit tests for the two-state power model."""
+
+import pytest
+
+from repro.energy.power import PowerModel
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import A100
+
+
+class TestPowerModel:
+    def test_idle_watts(self):
+        power = PowerModel(active_watts=400.0, idle_fraction=0.3)
+        assert power.idle_watts == pytest.approx(120.0)
+
+    def test_average_interpolates(self):
+        power = PowerModel(active_watts=400.0, idle_fraction=0.5)
+        assert power.average_watts(0.5) == pytest.approx(300.0)
+
+    def test_average_endpoints(self):
+        power = PowerModel(active_watts=400.0, idle_fraction=0.25)
+        assert power.average_watts(1.0) == 400.0
+        assert power.average_watts(0.0) == 100.0
+
+    def test_for_accelerator_uses_tdp(self):
+        power = PowerModel.for_accelerator(A100)
+        assert power.active_watts == A100.tdp_watts
+
+    def test_rejects_zero_active(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(active_watts=0.0)
+
+    def test_rejects_bad_idle_fraction(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(active_watts=100.0, idle_fraction=1.5)
+
+    def test_rejects_bad_busy_share(self):
+        power = PowerModel(active_watts=100.0)
+        with pytest.raises(ConfigurationError):
+            power.average_watts(-0.1)

@@ -1,0 +1,73 @@
+"""Tests reproducing Case Study II (Fig. 10)."""
+
+import pytest
+
+from repro.experiments.casestudy2 import (
+    energy_comparison,
+    reproduce_fig10,
+)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return reproduce_fig10()
+
+
+class TestFig10:
+    def test_covers_paper_node_sizes(self, fig10):
+        assert set(fig10) == {1, 2, 4, 8}
+
+    def test_pp_wins_at_one_nic(self, fig10):
+        """The paper's headline: with 1 accelerator + 1 NIC per node,
+        PP beats DP."""
+        assert fig10[1].winner == "PP"
+
+    def test_dp_wins_at_eight_nics(self, fig10):
+        assert fig10[8].winner == "DP"
+
+    def test_crossover_exists(self, fig10):
+        """Somewhere between 1 and 8 NICs the winner flips."""
+        winners = [fig10[k].winner for k in (1, 2, 4, 8)]
+        assert "PP" in winners and "DP" in winners
+        # and the flip is monotone: once DP wins it keeps winning
+        first_dp = winners.index("DP")
+        assert all(w == "DP" for w in winners[first_dp:])
+
+    def test_dp_improves_with_more_nics(self, fig10):
+        dp_days = [fig10[k].dp_days for k in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(dp_days, dp_days[1:]))
+
+    def test_pp_insensitive_to_nic_count(self, fig10):
+        """PP's point-to-point traffic does not aggregate NICs, so its
+        time moves far less than DP's across node shapes."""
+        pp_days = [fig10[k].pp_days for k in (1, 2, 4, 8)]
+        dp_days = [fig10[k].dp_days for k in (1, 2, 4, 8)]
+        pp_swing = max(pp_days) / min(pp_days)
+        dp_swing = max(dp_days) / min(dp_days)
+        assert pp_swing < dp_swing
+
+    def test_bubble_share_near_paper_value_at_one_nic(self, fig10):
+        """The paper quotes ~11% pipeline bubbles for its PP config."""
+        assert 0.02 < fig10[1].pp_bubble_share < 0.30
+
+    def test_breakeven_reported_when_pp_slower(self, fig10):
+        for point in fig10.values():
+            if point.pp_days > point.dp_days:
+                assert point.energy_breakeven_idle_fraction is not None
+
+
+class TestEnergy:
+    def test_energy_comparison_fields(self):
+        result = energy_comparison(node_size=4)
+        assert set(result) == {"dp_days", "pp_days", "dp_kwh", "pp_kwh",
+                               "idle_fraction"}
+        assert result["dp_kwh"] > 0 and result["pp_kwh"] > 0
+
+    def test_low_idle_power_narrows_energy_gap(self):
+        """Lower idle power makes the bubbly PP config relatively more
+        energy-efficient (the paper's Case Study II argument)."""
+        hot = energy_comparison(node_size=4, idle_fraction=0.9)
+        cold = energy_comparison(node_size=4, idle_fraction=0.1)
+        hot_ratio = hot["pp_kwh"] / hot["dp_kwh"]
+        cold_ratio = cold["pp_kwh"] / cold["dp_kwh"]
+        assert cold_ratio < hot_ratio

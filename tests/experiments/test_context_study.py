@@ -1,0 +1,59 @@
+"""Tests for the long-context study."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.context_study import (
+    attention_quadratic_share,
+    quadratic_crossover_length,
+    run_context_study,
+)
+from repro.transformer.zoo import MEGATRON_7_5B
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_context_study(context_lengths=(2048, 8192, 32768))
+
+
+class TestClosedForms:
+    def test_crossover_is_6h(self):
+        assert quadratic_crossover_length(MEGATRON_7_5B) == 6 * 4096
+
+    def test_share_is_half_at_crossover(self):
+        model = dataclasses.replace(
+            MEGATRON_7_5B,
+            sequence_length=int(
+                quadratic_crossover_length(MEGATRON_7_5B)))
+        share = attention_quadratic_share(model)
+        # embeddings excluded; residual small terms keep it near half
+        assert share == pytest.approx(0.5, abs=0.03)
+
+    def test_share_tiny_at_paper_contexts(self):
+        assert attention_quadratic_share(MEGATRON_7_5B) < 0.12
+
+
+class TestSweep:
+    def test_share_monotone_in_context(self, points):
+        shares = [p.attention_flop_share for p in points]
+        assert shares == sorted(shares)
+
+    def test_time_per_token_grows_superlinearly(self, points):
+        """At fixed tokens per batch, longer contexts cost more per
+        token — and increasingly so."""
+        costs = [p.time_per_token_s for p in points]
+        assert costs == sorted(costs)
+        first_jump = costs[1] / costs[0]
+        second_jump = costs[2] / costs[1]
+        assert second_jump > first_jump
+
+    def test_fixed_token_budget(self, points):
+        budgets = {p.sequence_length * p.global_batch for p in points}
+        assert len(budgets) == 1
+
+    def test_rejects_non_dividing_context(self):
+        with pytest.raises(ConfigurationError):
+            run_context_study(context_lengths=(3000,),
+                              tokens_per_batch=2 ** 20)

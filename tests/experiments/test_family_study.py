@@ -1,0 +1,41 @@
+"""Tests for the Megatron-family efficiency study."""
+
+import pytest
+
+from repro.experiments.family_study import run_family_study
+
+
+@pytest.fixture(scope="module")
+def points():
+    # a 4-member slice keeps the exhaustive searches fast in CI
+    return run_family_study(model_keys=(
+        "megatron-1.7b", "megatron-7.5b", "megatron-39b",
+        "megatron-145b"))
+
+
+class TestFamilyStudy:
+    def test_sizes_monotone(self, points):
+        sizes = [p.n_parameters for p in points]
+        assert sizes == sorted(sizes)
+
+    def test_utilization_roughly_flat(self, points):
+        """The combined-parallelism headline: best-mapping throughput
+        varies by < 2x across ~two decades of model size."""
+        tflops = [p.tflops_per_gpu for p in points]
+        assert max(tflops) / min(tflops) < 2.0
+
+    def test_mfu_physically_plausible(self, points):
+        for p in points:
+            assert 0.1 < p.mfu < 0.9
+
+    def test_bigger_models_need_model_parallelism(self, points):
+        """The 145B member cannot run DP-only on 80 GiB GPUs; its best
+        mapping must carry TP and PP."""
+        largest = points[-1]
+        assert "PP" in largest.mapping
+        assert "TP" in largest.mapping
+
+    def test_mappings_are_memory_feasible(self, points):
+        # run_family_study enforces memory; spot-check the output shape
+        for p in points:
+            assert p.batch_time_s > 0

@@ -1,0 +1,94 @@
+"""Tests for the Fig. 2 validation experiments.
+
+These assert the paper's claims: predicted curves track the measured
+(simulated) curves within the 12% validation budget, and Fig. 2c shows
+the saturating TFLOP/s shape.
+"""
+
+import pytest
+
+from repro.experiments.fig2_validation import (
+    batch_size_saturation,
+    data_parallel_scaling,
+    pipeline_parallel_scaling,
+)
+from repro.validation.published import MAX_PAPER_ERROR_PERCENT
+
+
+class TestFig2a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return data_parallel_scaling()
+
+    def test_covers_paper_gpu_counts(self, result):
+        assert result.gpu_counts == [1, 2, 4, 8, 16]
+
+    def test_predicted_monotone_decreasing(self, result):
+        curve = result.predicted_normalized
+        assert all(a > b for a, b in zip(curve, curve[1:]))
+
+    def test_measured_monotone_decreasing(self, result):
+        curve = result.measured_normalized
+        assert all(a > b for a, b in zip(curve, curve[1:]))
+
+    def test_within_paper_error_budget(self, result):
+        assert result.report().max_error_percent \
+            <= MAX_PAPER_ERROR_PERCENT
+
+    def test_sublinear_scaling(self, result):
+        """Communication keeps the 16-GPU point above ideal 1/16."""
+        assert result.measured_normalized[-1] > 1 / 16
+
+
+class TestFig2b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return pipeline_parallel_scaling()
+
+    def test_covers_paper_gpu_counts(self, result):
+        assert result.gpu_counts == [2, 4, 8, 16]
+
+    def test_predicted_monotone_decreasing(self, result):
+        curve = result.predicted_normalized
+        assert all(a > b for a, b in zip(curve, curve[1:]))
+
+    def test_within_paper_error_budget(self, result):
+        assert result.report().max_error_percent \
+            <= MAX_PAPER_ERROR_PERCENT
+
+    def test_diminishing_returns(self, result):
+        """The paper's saturation trend: the 8->16 improvement factor is
+        weaker than the 2->4 one."""
+        curve = result.predicted_normalized
+        first_gain = curve[0] / curve[1]
+        last_gain = curve[2] / curve[3]
+        assert last_gain < first_gain
+
+
+class TestFig2c:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return batch_size_saturation()
+
+    def test_monotone_increasing(self, points):
+        tflops = [p.tflops_per_gpu for p in points]
+        assert tflops == sorted(tflops)
+
+    def test_saturates(self, points):
+        """Concave curve: the gain from the last doubling is far below
+        the gain from the first."""
+        by_ub = {p.microbatch_size: p.tflops_per_gpu for p in points}
+        early_gain = by_ub[2] / by_ub[1]
+        late_gain = by_ub[60] / by_ub[32]
+        assert late_gain < early_gain
+        assert late_gain < 1.25
+
+    def test_saturated_end_in_published_range(self, points):
+        """Narayanan et al. measure ~140-160 TFLOP/s/GPU at large
+        microbatches for GPT-3-scale models on A100s."""
+        assert 120 <= points[-1].tflops_per_gpu <= 170
+
+    def test_efficiency_drives_the_shape(self, points):
+        ratio_eff = points[-1].efficiency / points[0].efficiency
+        ratio_tflops = points[-1].tflops_per_gpu / points[0].tflops_per_gpu
+        assert ratio_tflops == pytest.approx(ratio_eff, rel=0.35)

@@ -1,0 +1,43 @@
+"""Tests reproducing Fig. 3's breakdown narrative."""
+
+import pytest
+
+from repro.experiments.fig3_breakdown import reproduce_fig3
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return reproduce_fig3()
+
+
+class TestFig3:
+    def test_mappings_match_paper(self, cases):
+        pp_case, tp_case = cases
+        assert pp_case.parallelism.dp_intra == 8
+        assert pp_case.parallelism.dp_inter == 64
+        assert pp_case.parallelism.pp_inter == 2
+        assert tp_case.parallelism.tp_inter == 2
+
+    def test_both_tile_1024_accelerators(self, cases):
+        for case in cases:
+            assert case.parallelism.world_size == 1024
+
+    def test_bubble_negligible_vs_tp_comm(self, cases):
+        """The paper's observation: "the pipeline bubble time in the
+        first configuration is negligible compared to the communication
+        overheads in the second configuration"."""
+        pp_case, tp_case = cases
+        assert pp_case.breakdown.bubble < 0.2 * tp_case.breakdown.comm_tp
+
+    def test_tp_case_has_no_bubble(self, cases):
+        __, tp_case = cases
+        assert tp_case.breakdown.bubble == 0.0
+
+    def test_pp_case_has_no_tp_comm(self, cases):
+        pp_case, _ = cases
+        assert pp_case.breakdown.comm_tp == 0.0
+
+    def test_compute_dominates_both(self, cases):
+        for case in cases:
+            assert case.breakdown.compute_time \
+                > 0.5 * case.breakdown.total

@@ -1,0 +1,42 @@
+"""Tests for the strong-scaling study."""
+
+import pytest
+
+from repro.experiments.scaling_study import run_scaling_study
+
+
+@pytest.fixture(scope="module")
+def points():
+    # a reduced sweep keeps the exhaustive search fast in CI
+    return run_scaling_study(node_counts=(8, 16, 32))
+
+
+class TestScalingStudy:
+    def test_time_falls_with_accelerators(self, points):
+        times = [p.batch_time_s for p in points]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_efficiency_near_or_below_one(self, points):
+        """Parallel efficiency stays at or below ideal (a small
+        tolerance absorbs mapping-change artifacts: the optimizer may
+        find a slightly better *shape* at a larger size)."""
+        base = points[0]
+        efficiencies = [p.efficiency_over(base) for p in points[1:]]
+        assert all(e <= 1.02 for e in efficiencies)
+        assert efficiencies[-1] <= efficiencies[0] + 1e-9
+
+    def test_speedup_is_near_linear_but_bounded(self, points):
+        base = points[0]
+        final = points[-1]
+        ideal = final.n_accelerators / base.n_accelerators
+        speedup = final.speedup_over(base)
+        assert 1.0 < speedup <= ideal * 1.02
+
+    def test_tp_stays_inside_the_node(self, points):
+        """Conclusion 5 holds at every scale."""
+        for point in points:
+            assert point.tp_intra > 1
+            assert not point.uses_inter_tp
+
+    def test_mappings_recorded(self, points):
+        assert all("TP" in p.mapping for p in points)

@@ -1,0 +1,49 @@
+"""Tests for the interleaved-overlap Table II refinement."""
+
+import pytest
+
+from repro.experiments.table2 import reproduce_table2
+from repro.experiments.table2_interleaved import (
+    estimated_overlap_ratio,
+    reproduce_table2_interleaved,
+)
+
+
+@pytest.fixture(scope="module")
+def interleaved():
+    return reproduce_table2_interleaved()
+
+
+class TestOverlapRatio:
+    def test_two_chunks_near_half(self):
+        ratio = estimated_overlap_ratio(2)
+        assert 0.4 < ratio < 0.7
+
+
+class TestRefinedTable2:
+    def test_overall_error_improves(self, interleaved):
+        __, naive_report = reproduce_table2()
+        __, report = interleaved
+        assert report.max_error_percent < naive_report.max_error_percent
+
+    def test_deep_pp_rows_improve_most(self, interleaved):
+        """The paper's diagnosis: the R = 1 error concentrates at deep
+        PP, so modeling the overlap should help exactly there."""
+        rows, _ = interleaved
+        deep = [row for row in rows if row.point.pp >= 32]
+        shallow = [row for row in rows if row.point.pp <= 8]
+        assert min(row.improvement_percent for row in deep) \
+            > max(row.improvement_percent for row in shallow)
+
+    def test_deep_rows_land_well_inside_budget(self, interleaved):
+        rows, report = interleaved
+        assert report.max_error_percent < 9.0
+        for row in rows:
+            if row.point.pp >= 32:
+                assert row.interleaved.error_percent \
+                    < row.naive.error_percent
+
+    def test_predictions_still_under_published_peaks(self, interleaved):
+        rows, _ = interleaved
+        for row in rows:
+            assert 0 < row.interleaved.predicted_tflops < 312

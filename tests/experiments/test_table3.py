@@ -1,0 +1,44 @@
+"""Tests reproducing Table III's GPipe speedups."""
+
+import pytest
+
+from repro.core.metrics import speedups
+from repro.experiments.table3 import build_rows, reproduce_table3
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return reproduce_table3()
+
+
+class TestTable3:
+    def test_within_paper_error_budget(self, table3):
+        __, report = table3
+        assert report.max_error_percent <= 12.0
+
+    def test_speedup_shape(self, table3):
+        """Published: 1 / 1.8 / 3.3 — sub-linear in GPU count."""
+        rows, _ = table3
+        gains = speedups([row.batch_time_s for row in rows])
+        assert gains[0] == 1.0
+        assert 1.5 < gains[1] < 2.0
+        assert 2.8 < gains[2] < 3.8
+
+    def test_sublinear_due_to_bubbles(self, table3):
+        rows, _ = table3
+        gains = speedups([row.batch_time_s for row in rows])
+        assert gains[1] < 2.0  # ideal would be 2.0
+        assert gains[2] < 4.0  # ideal would be 4.0
+
+    def test_simulator_agrees_with_analytical(self, table3):
+        """The discrete-event cross-check should produce the same
+        speedup shape as the closed form."""
+        rows, _ = table3
+        analytical = speedups([row.batch_time_s for row in rows])
+        simulated = speedups([row.simulated_time_s for row in rows])
+        for a, s in zip(analytical, simulated):
+            assert a == pytest.approx(s, rel=0.15)
+
+    def test_custom_gpu_counts(self):
+        rows = build_rows([2, 4])
+        assert [row.n_gpus for row in rows] == [2, 4]

@@ -1,0 +1,68 @@
+"""Unit tests for the calibration workflows."""
+
+import pytest
+
+from repro.core.model import AMPeD
+from repro.errors import ConfigurationError
+from repro.fitting.calibration import (
+    calibrate_efficiency_to_batch_time,
+    calibrate_efficiency_to_tflops,
+)
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.microbatch import MicrobatchEfficiency
+from repro.parallelism.spec import spec_from_totals
+from repro.transformer.zoo import MEGATRON_145B
+
+
+@pytest.fixture(scope="module")
+def amped():
+    system = megatron_a100_cluster(n_nodes=16)
+    return AMPeD(model=MEGATRON_145B, system=system,
+                 parallelism=spec_from_totals(system, tp=8, dp=16),
+                 efficiency=MicrobatchEfficiency(a=0.7, b=8.0))
+
+
+class TestTflopsCalibration:
+    def test_hits_the_anchor(self, amped):
+        result = calibrate_efficiency_to_tflops(amped, 2048, 120.0)
+        assert result.achieved_value == pytest.approx(120.0, abs=0.01)
+        assert result.anchor_error < 1e-3
+
+    def test_preserves_curve_shape(self, amped):
+        result = calibrate_efficiency_to_tflops(amped, 2048, 120.0)
+        assert result.efficiency.b == amped.efficiency.b
+        assert result.efficiency.floor == amped.efficiency.floor
+
+    def test_calibrated_model_transfers(self, amped):
+        """A calibrated model predicts other batch sizes consistently:
+        higher batch -> no lower throughput (saturating efficiency)."""
+        result = calibrate_efficiency_to_tflops(amped, 2048, 120.0)
+        small = result.amped.achieved_tflops_per_gpu(1024)
+        large = result.amped.achieved_tflops_per_gpu(4096)
+        assert large >= small * 0.99
+
+    def test_rejects_non_positive_target(self, amped):
+        with pytest.raises(ConfigurationError):
+            calibrate_efficiency_to_tflops(amped, 2048, 0.0)
+
+    def test_unreachable_target_raises(self, amped):
+        with pytest.raises(ConfigurationError):
+            calibrate_efficiency_to_tflops(amped, 2048, 5000.0)
+
+
+class TestBatchTimeCalibration:
+    def test_hits_the_anchor(self, amped):
+        baseline = amped.estimate_batch(2048).total
+        target = baseline * 1.3
+        result = calibrate_efficiency_to_batch_time(amped, 2048, target)
+        assert result.achieved_value == pytest.approx(target, rel=1e-4)
+
+    def test_slower_target_means_lower_a(self, amped):
+        baseline = amped.estimate_batch(2048).total
+        result = calibrate_efficiency_to_batch_time(
+            amped, 2048, baseline * 1.5)
+        assert result.efficiency.a < amped.efficiency.a
+
+    def test_rejects_non_positive_target(self, amped):
+        with pytest.raises(ConfigurationError):
+            calibrate_efficiency_to_batch_time(amped, 2048, -1.0)

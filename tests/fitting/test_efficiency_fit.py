@@ -1,0 +1,72 @@
+"""Unit tests for the efficiency-curve fit."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fitting.efficiency_fit import fit_efficiency
+from repro.parallelism.microbatch import MicrobatchEfficiency
+
+
+def curve_points(a, b, ubs):
+    reference = MicrobatchEfficiency(a=a, b=b)
+    return [(ub, reference(ub)) for ub in ubs]
+
+
+class TestExactRecovery:
+    @pytest.mark.parametrize("a,b", [(0.8, 10.0), (0.5, 2.0),
+                                     (0.95, 50.0)])
+    def test_recovers_noise_free_parameters(self, a, b):
+        fit = fit_efficiency(curve_points(a, b, [1, 4, 16, 64, 256]))
+        assert fit.a == pytest.approx(a, rel=1e-9)
+        assert fit.b == pytest.approx(b, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_two_points_match_from_points(self):
+        fit = fit_efficiency([(16, 0.30), (128, 0.80)])
+        closed = MicrobatchEfficiency.from_points((16, 0.30),
+                                                  (128, 0.80))
+        assert fit.a == pytest.approx(closed.a, rel=1e-9)
+        assert fit.b == pytest.approx(closed.b, rel=1e-6)
+
+
+class TestNoisyData:
+    def test_noisy_fit_is_close(self):
+        points = curve_points(0.8, 12.0, [2, 8, 32, 128])
+        noisy = [(ub, eff * (1.03 if index % 2 else 0.97))
+                 for index, (ub, eff) in enumerate(points)]
+        fit = fit_efficiency(noisy)
+        assert fit.a == pytest.approx(0.8, rel=0.15)
+        assert fit.b == pytest.approx(12.0, rel=0.35)
+        assert fit.r_squared > 0.95
+
+    def test_residuals_align_with_rmse(self):
+        points = curve_points(0.7, 8.0, [1, 8, 64])
+        fit = fit_efficiency(points)
+        residuals = fit.residuals()
+        assert len(residuals) == 3
+        assert (sum(r * r for r in residuals) / 3) ** 0.5 \
+            == pytest.approx(fit.rmse)
+
+
+class TestValidation:
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            fit_efficiency([(4, 0.5)])
+
+    def test_needs_distinct_ubs(self):
+        with pytest.raises(ConfigurationError):
+            fit_efficiency([(4, 0.5), (4, 0.6)])
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            fit_efficiency([(4, 0.5), (8, 1.2)])
+
+    def test_rejects_decreasing_curve(self):
+        with pytest.raises(ConfigurationError):
+            fit_efficiency([(4, 0.9), (16, 0.5), (64, 0.2)])
+
+    def test_clamps_forwarded(self):
+        fit = fit_efficiency(curve_points(0.8, 10.0, [2, 8, 32]),
+                             floor=0.25)
+        assert fit.efficiency(1e-3) == 0.25

@@ -1,0 +1,93 @@
+"""Unit tests for overlap-ratio estimation."""
+
+import pytest
+
+from repro.core.model import AMPeD
+from repro.errors import ConfigurationError
+from repro.fitting.overlap_fit import (
+    bisect_scalar,
+    fit_overlap_to_target,
+    interleaving_overlap_model,
+    measure_overlap_ratio,
+)
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import spec_from_totals
+from repro.transformer.zoo import MEGATRON_145B
+
+
+class TestClosedForm:
+    def test_one_chunk_is_naive(self):
+        assert interleaving_overlap_model(1) == 1.0
+
+    def test_inverse_in_chunks(self):
+        assert interleaving_overlap_model(4) == 0.25
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ConfigurationError):
+            interleaving_overlap_model(0)
+
+
+class TestSimulatedRatio:
+    def test_naive_schedule_is_one(self):
+        assert measure_overlap_ratio(4, 16, 1) == pytest.approx(1.0)
+
+    def test_two_chunks_near_half(self):
+        ratio = measure_overlap_ratio(8, 32, 2)
+        assert 0.4 < ratio < 0.7
+
+    def test_more_chunks_more_overlap(self):
+        two = measure_overlap_ratio(8, 32, 2)
+        four = measure_overlap_ratio(8, 32, 4)
+        assert four < two
+
+    def test_tracks_closed_form(self):
+        for chunks in (2, 4):
+            measured = measure_overlap_ratio(8, 32, chunks)
+            assert measured == pytest.approx(
+                interleaving_overlap_model(chunks), abs=0.15)
+
+    def test_needs_a_pipeline(self):
+        with pytest.raises(ConfigurationError):
+            measure_overlap_ratio(1, 16, 2)
+
+
+class TestFitToTarget:
+    @pytest.fixture(scope="class")
+    def amped(self):
+        system = megatron_a100_cluster(n_nodes=16)
+        spec = spec_from_totals(system, tp=8, pp=16,
+                                n_microbatches=64)
+        return AMPeD(model=MEGATRON_145B, system=system,
+                     parallelism=spec,
+                     efficiency=CASE_STUDY_EFFICIENCY)
+
+    def test_round_trips_a_known_ratio(self, amped):
+        import dataclasses
+        known = dataclasses.replace(
+            amped, parallelism=amped.parallelism.with_overlap(0.4))
+        target = known.achieved_tflops_per_gpu(2048)
+        fitted = fit_overlap_to_target(amped, 2048, target)
+        assert fitted == pytest.approx(0.4, abs=0.02)
+
+    def test_unreachable_target_raises(self, amped):
+        with pytest.raises(ConfigurationError):
+            fit_overlap_to_target(amped, 2048, 10000.0)
+
+
+class TestBisection:
+    def test_increasing_function(self):
+        root = bisect_scalar(lambda x: x * x, 9.0, 0.0, 10.0)
+        assert root == pytest.approx(3.0, abs=1e-4)
+
+    def test_decreasing_function(self):
+        root = bisect_scalar(lambda x: 10.0 - x, 4.0, 0.0, 10.0)
+        assert root == pytest.approx(6.0, abs=1e-4)
+
+    def test_out_of_bracket_raises(self):
+        with pytest.raises(ConfigurationError):
+            bisect_scalar(lambda x: x, 20.0, 0.0, 10.0)
+
+    def test_constant_function_raises(self):
+        with pytest.raises(ConfigurationError):
+            bisect_scalar(lambda x: 1.0, 1.0, 0.0, 10.0)

@@ -1,0 +1,69 @@
+"""Unit tests for AcceleratorSpec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import AcceleratorSpec
+
+
+def make(**overrides) -> AcceleratorSpec:
+    base = dict(name="test-gpu", frequency_hz=1e9, n_cores=4, n_fu=2,
+                fu_width=8, n_fu_nonlinear=16, fu_nonlinear_width=2)
+    base.update(overrides)
+    return AcceleratorSpec(**base)
+
+
+class TestThroughputs:
+    def test_peak_mac_product(self):
+        assert make().peak_mac_flops_per_s == 1e9 * 4 * 2 * 8
+
+    def test_peak_nonlinear_product(self):
+        assert make().peak_nonlinear_ops_per_s == 1e9 * 16 * 2
+
+    def test_nonlinear_excludes_core_count(self):
+        """Eq. 4 has no N_cores factor."""
+        more_cores = make(n_cores=8)
+        assert more_cores.peak_nonlinear_ops_per_s \
+            == make().peak_nonlinear_ops_per_s
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            make(name="")
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigurationError):
+            make(frequency_hz=0)
+
+    @pytest.mark.parametrize("field", ["n_cores", "n_fu", "fu_width",
+                                       "n_fu_nonlinear",
+                                       "fu_nonlinear_width"])
+    def test_rejects_zero_counts(self, field):
+        with pytest.raises(ConfigurationError):
+            make(**{field: 0})
+
+    def test_rejects_negative_memory(self):
+        with pytest.raises(ConfigurationError):
+            make(memory_bytes=-1.0)
+
+
+class TestOffchipScaling:
+    def test_scaling_doubles_bandwidth(self):
+        accel = make(offchip_bandwidth_bits_per_s=1e12)
+        doubled = accel.with_offchip_bandwidth_scaled(2.0)
+        assert doubled.offchip_bandwidth_bits_per_s == 2e12
+
+    def test_scaling_preserves_compute(self):
+        accel = make(offchip_bandwidth_bits_per_s=1e12)
+        doubled = accel.with_offchip_bandwidth_scaled(2.0)
+        assert doubled.peak_mac_flops_per_s == accel.peak_mac_flops_per_s
+
+    def test_scaling_renames(self):
+        accel = make(offchip_bandwidth_bits_per_s=1e12)
+        assert "x2" in accel.with_offchip_bandwidth_scaled(2.0).name
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(ConfigurationError):
+            make(offchip_bandwidth_bits_per_s=1e12) \
+                .with_offchip_bandwidth_scaled(0.0)

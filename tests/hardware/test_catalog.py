@@ -1,0 +1,87 @@
+"""Unit tests pinning the hardware catalog to the paper's tables."""
+
+import pytest
+
+from repro.hardware.catalog import (
+    A100,
+    ACCELERATORS,
+    H100,
+    P100,
+    V100_SXM3,
+    glam_h100_reference,
+    gpipe_p100_node,
+    hgx2_node,
+    lowend_a100_cluster,
+    megatron_a100_cluster,
+)
+from repro.units import TERA
+
+
+class TestTableIV:
+    """Table IV's accelerator rows, exactly."""
+
+    def test_a100_row(self):
+        assert A100.frequency_hz == 1.41e9
+        assert A100.n_cores == 108
+        assert A100.n_fu == 4
+        assert A100.fu_width == 512
+        assert A100.n_fu_nonlinear == 192
+        assert A100.fu_nonlinear_width == 4
+
+    def test_h100_row(self):
+        assert H100.frequency_hz == 1.8e9
+        assert H100.n_cores == 132
+        assert H100.fu_width == 1024
+        assert H100.n_fu_nonlinear == 320
+
+    def test_a100_peak_is_vendor_fp16(self):
+        assert A100.peak_mac_flops_per_s \
+            == pytest.approx(312 * TERA, rel=0.01)
+
+    def test_h100_peak_is_vendor_fp16(self):
+        assert H100.peak_mac_flops_per_s \
+            == pytest.approx(973 * TERA, rel=0.01)
+
+    def test_v100_peak_is_vendor_fp16(self):
+        assert V100_SXM3.peak_mac_flops_per_s \
+            == pytest.approx(125 * TERA, rel=0.01)
+
+    def test_p100_peak_is_vendor_fp16(self):
+        assert P100.peak_mac_flops_per_s \
+            == pytest.approx(21.2 * TERA, rel=0.01)
+
+    def test_registry(self):
+        assert set(ACCELERATORS) == {"a100", "h100", "v100", "p100"}
+
+
+class TestReferenceSystems:
+    def test_hgx2_is_one_node_of_16(self):
+        system = hgx2_node()
+        assert system.n_nodes == 1
+        assert system.node.n_accelerators == 16
+        assert system.accelerator is V100_SXM3
+
+    def test_megatron_cluster_shape(self):
+        system = megatron_a100_cluster()
+        assert system.n_accelerators == 1024
+        assert system.n_nodes == 128
+        assert system.node.inter_link.name.startswith("HDR")
+
+    def test_lowend_cluster_keeps_pool(self):
+        for node_size in (1, 2, 4, 8):
+            system = lowend_a100_cluster(node_size)
+            assert system.n_accelerators == 1024
+            assert system.node.n_nics == node_size
+            assert system.node.inter_link.name.startswith("EDR")
+
+    def test_glam_reference_shape(self):
+        system = glam_h100_reference()
+        assert system.n_accelerators == 3072
+        assert system.accelerator is H100
+        assert system.node.inter_link.name.startswith("NDR")
+
+    def test_gpipe_platform(self):
+        system = gpipe_p100_node(8)
+        assert system.n_accelerators == 8
+        assert system.accelerator is P100
+        assert "PCIe" in system.node.intra_link.name

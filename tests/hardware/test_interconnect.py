@@ -1,0 +1,70 @@
+"""Unit tests for LinkSpec and the link catalog."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.interconnect import (
+    IB_EDR,
+    IB_HDR,
+    IB_NDR,
+    NVLINK3,
+    NVLINK4,
+    PCIE3_X16,
+    LinkSpec,
+    optical_fiber_link,
+)
+
+
+class TestLinkSpec:
+    def test_transfer_time_latency_plus_volume(self):
+        link = LinkSpec("l", latency_s=1e-6, bandwidth_bits_per_s=1e9)
+        assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_zero_bits_costs_latency(self):
+        link = LinkSpec("l", latency_s=5e-6, bandwidth_bits_per_s=1e9)
+        assert link.transfer_time(0) == 5e-6
+
+    def test_rejects_negative_volume(self):
+        with pytest.raises(ConfigurationError):
+            NVLINK3.transfer_time(-1)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec("l", latency_s=0, bandwidth_bits_per_s=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec("l", latency_s=-1e-6, bandwidth_bits_per_s=1e9)
+
+    def test_scaled(self):
+        assert NVLINK3.scaled(2.0).bandwidth_bits_per_s \
+            == 2 * NVLINK3.bandwidth_bits_per_s
+
+    def test_with_bandwidth(self):
+        assert NVLINK3.with_bandwidth(5e11).bandwidth_bits_per_s == 5e11
+
+
+class TestCatalog:
+    def test_table_iv_intra_bandwidths(self):
+        """Table IV: A100 2.4e12 bit/s, H100 3.6e12 bit/s."""
+        assert NVLINK3.bandwidth_bits_per_s == 2.4e12
+        assert NVLINK4.bandwidth_bits_per_s == 3.6e12
+
+    def test_infiniband_generations(self):
+        assert IB_EDR.bandwidth_bits_per_s == 1e11
+        assert IB_HDR.bandwidth_bits_per_s == 2e11
+        assert IB_NDR.bandwidth_bits_per_s == 4e11
+
+    def test_pcie_slower_than_nvlink(self):
+        assert PCIE3_X16.bandwidth_bits_per_s \
+            < NVLINK3.bandwidth_bits_per_s
+
+
+class TestOpticalFiber:
+    def test_bandwidth_scales_with_fibers(self):
+        link = optical_fiber_link(3.6e12, n_fibers=8)
+        assert link.bandwidth_bits_per_s == 8 * 3.6e12
+
+    def test_rejects_zero_fibers(self):
+        with pytest.raises(ConfigurationError):
+            optical_fiber_link(3.6e12, n_fibers=0)

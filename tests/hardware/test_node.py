@@ -1,0 +1,58 @@
+"""Unit tests for NodeSpec bandwidth aggregation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import A100
+from repro.hardware.interconnect import IB_EDR, IB_HDR, NVLINK3
+from repro.hardware.node import NodeSpec
+
+
+def make(n_accelerators=8, n_nics=8, inter=IB_HDR) -> NodeSpec:
+    return NodeSpec(accelerator=A100, n_accelerators=n_accelerators,
+                    intra_link=NVLINK3, inter_link=inter, n_nics=n_nics)
+
+
+class TestBandwidthShares:
+    def test_aggregate_is_nic_sum(self):
+        assert make(n_nics=8).aggregate_inter_bandwidth_bits_per_s \
+            == 8 * IB_HDR.bandwidth_bits_per_s
+
+    def test_one_nic_per_accelerator_gives_full_share(self):
+        node = make(n_accelerators=8, n_nics=8)
+        assert node.inter_bandwidth_per_accelerator_bits_per_s \
+            == IB_HDR.bandwidth_bits_per_s
+
+    def test_shared_nic_divides_bandwidth(self):
+        node = make(n_accelerators=8, n_nics=1)
+        assert node.inter_bandwidth_per_accelerator_bits_per_s \
+            == IB_HDR.bandwidth_bits_per_s / 8
+
+    def test_effective_link_keeps_latency(self):
+        node = make(n_nics=2)
+        assert node.effective_inter_link.latency_s == IB_HDR.latency_s
+
+    def test_case_study2_shapes(self):
+        """1 accelerator + 1 EDR NIC per node: the full NIC per GPU."""
+        node = make(n_accelerators=1, n_nics=1, inter=IB_EDR)
+        assert node.inter_bandwidth_per_accelerator_bits_per_s == 1e11
+
+
+class TestValidationAndCopies:
+    def test_rejects_zero_accelerators(self):
+        with pytest.raises(ConfigurationError):
+            make(n_accelerators=0)
+
+    def test_rejects_zero_nics(self):
+        with pytest.raises(ConfigurationError):
+            make(n_nics=0)
+
+    def test_with_links_replaces_only_given(self):
+        node = make()
+        updated = node.with_links(inter_link=IB_EDR)
+        assert updated.inter_link is IB_EDR
+        assert updated.intra_link is NVLINK3
+
+    def test_with_accelerator(self):
+        from repro.hardware.catalog import H100
+        assert make().with_accelerator(H100).accelerator is H100

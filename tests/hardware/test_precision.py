@@ -1,0 +1,53 @@
+"""Unit tests for precision policies and the Eq. 2 ceiling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.precision import (
+    FP8_TRAINING,
+    FULL_FP32,
+    MIXED_FP16,
+    PrecisionPolicy,
+    precision_passes,
+)
+
+
+class TestPrecisionPasses:
+    def test_same_width_one_pass(self):
+        assert precision_passes(16, 16) == 1
+
+    def test_wide_operand_two_passes(self):
+        assert precision_passes(32, 16) == 2
+
+    def test_narrow_operand_still_one_pass(self):
+        assert precision_passes(8, 16) == 1
+
+    def test_uneven_widths_round_up(self):
+        assert precision_passes(24, 16) == 2
+
+    def test_rejects_zero_operand(self):
+        with pytest.raises(ConfigurationError):
+            precision_passes(0, 16)
+
+    def test_rejects_zero_unit(self):
+        with pytest.raises(ConfigurationError):
+            precision_passes(16, 0)
+
+
+class TestPrecisionPolicy:
+    def test_mac_operand_is_max(self):
+        policy = PrecisionPolicy(parameter_bits=16, activation_bits=32)
+        assert policy.mac_operand_bits == 32
+
+    def test_presets(self):
+        assert MIXED_FP16.parameter_bits == 16
+        assert FULL_FP32.activation_bits == 32
+        assert FP8_TRAINING.gradient_bits == 8
+
+    def test_rejects_non_positive_bits(self):
+        with pytest.raises(ConfigurationError):
+            PrecisionPolicy(parameter_bits=0)
+
+    def test_rejects_float_bits(self):
+        with pytest.raises(ConfigurationError):
+            PrecisionPolicy(activation_bits=16.5)

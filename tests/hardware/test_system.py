@@ -1,0 +1,56 @@
+"""Unit tests for SystemSpec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import A100, megatron_a100_cluster
+
+
+class TestAggregates:
+    def test_total_accelerators(self, cs1_system):
+        assert cs1_system.n_accelerators == 1024
+
+    def test_peak_system_flops(self, cs1_system):
+        assert cs1_system.peak_system_flops_per_s \
+            == 1024 * A100.peak_mac_flops_per_s
+
+    def test_accelerator_shorthand(self, cs1_system):
+        assert cs1_system.accelerator is A100
+
+    def test_describe_mentions_counts(self, cs1_system):
+        text = cs1_system.describe()
+        assert "128 nodes" in text and "1024 total" in text
+
+    def test_rejects_zero_nodes(self, cs1_system):
+        with pytest.raises(ConfigurationError):
+            cs1_system.with_n_nodes(0)
+
+
+class TestRepartitioning:
+    def test_preserves_total(self, cs1_system):
+        for node_size in (1, 2, 4, 8):
+            regrouped = cs1_system.repartitioned(node_size)
+            assert regrouped.n_accelerators == 1024
+            assert regrouped.node.n_accelerators == node_size
+
+    def test_sets_nics(self, cs1_system):
+        regrouped = cs1_system.repartitioned(4, n_nics=4)
+        assert regrouped.node.n_nics == 4
+
+    def test_keeps_nics_when_unspecified(self, cs1_system):
+        assert cs1_system.repartitioned(4).node.n_nics \
+            == cs1_system.node.n_nics
+
+    def test_rejects_non_dividing_size(self, cs1_system):
+        with pytest.raises(ConfigurationError):
+            cs1_system.repartitioned(3)
+
+    def test_rejects_zero_size(self, cs1_system):
+        with pytest.raises(ConfigurationError):
+            cs1_system.repartitioned(0)
+
+    def test_bigger_nodes(self):
+        system = megatron_a100_cluster(n_nodes=4)
+        grown = system.repartitioned(16)
+        assert grown.n_nodes == 2
+        assert grown.node.n_accelerators == 16

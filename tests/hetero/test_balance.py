@@ -1,0 +1,91 @@
+"""Unit tests for heterogeneous layer balancing."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hardware.catalog import A100, H100, V100_SXM3
+from repro.hardware.interconnect import IB_HDR, NVLINK2, NVLINK3, NVLINK4
+from repro.hetero.balance import balance_layers, balancing_gain, rebalance
+from repro.hetero.model import stage_step_times
+from repro.hetero.stages import (
+    HeterogeneousPipeline,
+    StagePlatform,
+    even_assignment,
+)
+from repro.transformer.zoo import GPIPE_T24, GPT3_175B
+
+
+def mixed_pipeline():
+    fast = StagePlatform(A100, tp_degree=8, intra_link=NVLINK3)
+    slow = StagePlatform(V100_SXM3, tp_degree=8, intra_link=NVLINK2)
+    stages = (fast, fast, slow, slow)
+    return HeterogeneousPipeline(
+        model=GPT3_175B, stages=stages, inter_stage_link=IB_HDR,
+        layer_assignment=even_assignment(96, 4))
+
+
+class TestBalanceLayers:
+    def test_preserves_total(self):
+        pipeline = mixed_pipeline()
+        counts = balance_layers(96, pipeline.stages)
+        assert sum(counts) == 96
+
+    def test_fast_stages_get_more(self):
+        pipeline = mixed_pipeline()
+        counts = balance_layers(96, pipeline.stages)
+        assert counts[0] > counts[2]
+
+    def test_split_tracks_speed_ratio(self):
+        pipeline = mixed_pipeline()
+        counts = balance_layers(96, pipeline.stages)
+        speed_ratio = (A100.peak_mac_flops_per_s
+                       / V100_SXM3.peak_mac_flops_per_s)
+        assert counts[0] / counts[2] \
+            == pytest.approx(speed_ratio, rel=0.2)
+
+    def test_homogeneous_stages_get_even_split(self):
+        stage = StagePlatform(A100, tp_degree=8, intra_link=NVLINK3)
+        assert balance_layers(24, (stage,) * 4) == (6, 6, 6, 6)
+
+    def test_every_stage_keeps_a_layer(self):
+        turbo = StagePlatform(H100, tp_degree=8, intra_link=NVLINK4)
+        slow = StagePlatform(V100_SXM3, tp_degree=1,
+                             intra_link=NVLINK2)
+        counts = balance_layers(8, (turbo,) * 3 + (slow,) * 5)
+        assert all(count >= 1 for count in counts)
+        assert sum(counts) == 8
+
+    def test_rejects_too_few_layers(self):
+        stage = StagePlatform(A100)
+        with pytest.raises(MappingError):
+            balance_layers(2, (stage,) * 3)
+
+
+class TestRebalancing:
+    def test_balancing_never_hurts(self):
+        gain = balancing_gain(mixed_pipeline(), 32, 4)
+        assert gain >= 1.0
+
+    def test_balancing_helps_meaningfully_when_skewed(self):
+        gain = balancing_gain(mixed_pipeline(), 32, 4)
+        assert gain > 1.2  # A100 vs V100 is a 2.5x speed skew
+
+    def test_balanced_bottleneck_is_tighter(self):
+        pipeline = mixed_pipeline()
+        balanced = rebalance(pipeline)
+        spread = _step_spread(pipeline)
+        balanced_spread = _step_spread(balanced)
+        assert balanced_spread < spread
+
+    def test_rebalance_on_homogeneous_is_even(self):
+        stage = StagePlatform(A100, tp_degree=8, intra_link=NVLINK3)
+        pipeline = HeterogeneousPipeline(
+            model=GPIPE_T24, stages=(stage,) * 4,
+            inter_stage_link=IB_HDR,
+            layer_assignment=even_assignment(24, 4))
+        assert rebalance(pipeline).layer_assignment == (6, 6, 6, 6)
+
+
+def _step_spread(pipeline) -> float:
+    times = [t.step_s for t in stage_step_times(pipeline, 4)]
+    return max(times) / min(times)

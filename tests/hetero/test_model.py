@@ -1,0 +1,106 @@
+"""Unit tests for heterogeneous pipeline estimation."""
+
+import pytest
+
+from repro.hardware.catalog import A100, V100_SXM3
+from repro.hardware.interconnect import IB_HDR, NVLINK2, NVLINK3
+from repro.hetero.model import (
+    bottleneck_stage,
+    estimate_batch_time,
+    simulate_batch,
+    stage_step_times,
+)
+from repro.hetero.stages import (
+    HeterogeneousPipeline,
+    StagePlatform,
+    even_assignment,
+)
+from repro.transformer.zoo import GPIPE_T24
+
+
+def make_pipeline(n_fast=2, n_slow=2, model=GPIPE_T24):
+    fast = StagePlatform(A100, tp_degree=8, intra_link=NVLINK3)
+    slow = StagePlatform(V100_SXM3, tp_degree=8, intra_link=NVLINK2)
+    stages = tuple([fast] * n_fast + [slow] * n_slow)
+    return HeterogeneousPipeline(
+        model=model, stages=stages, inter_stage_link=IB_HDR,
+        layer_assignment=even_assignment(model.n_layers, len(stages)))
+
+
+class TestStageTimes:
+    def test_slow_stages_take_longer(self):
+        pipeline = make_pipeline()
+        times = stage_step_times(pipeline, 4)
+        assert times[2].step_s > times[0].step_s
+
+    def test_speed_ratio_tracks_hardware(self):
+        pipeline = make_pipeline()
+        times = stage_step_times(pipeline, 4)
+        ratio = times[2].forward_s / times[0].forward_s
+        hardware_ratio = (A100.peak_mac_flops_per_s
+                          / V100_SXM3.peak_mac_flops_per_s)
+        # communication and nonlinear terms dilute the pure ratio
+        assert 1.3 < ratio <= hardware_ratio * 1.1
+
+    def test_bottleneck_is_a_slow_stage(self):
+        index, _ = bottleneck_stage(make_pipeline(), 4)
+        assert index >= 2
+
+
+class TestAnalyticalVsSimulated:
+    def test_close_agreement(self):
+        pipeline = make_pipeline()
+        analytic = estimate_batch_time(pipeline, 32, 4)
+        simulated = simulate_batch(pipeline, 32, 4).makespan_s
+        assert analytic == pytest.approx(simulated, rel=0.1)
+
+    def test_simulated_at_least_work_bound(self):
+        pipeline = make_pipeline()
+        times = stage_step_times(pipeline, 4)
+        work_bound = 32 * max(t.step_s for t in times)
+        assert simulate_batch(pipeline, 32, 4).makespan_s >= work_bound
+
+    def test_homogeneous_pipeline_matches_gpipe_closed_form(self):
+        fast = StagePlatform(A100, tp_degree=8, intra_link=NVLINK3)
+        pipeline = HeterogeneousPipeline(
+            model=GPIPE_T24, stages=(fast,) * 4,
+            inter_stage_link=IB_HDR,
+            layer_assignment=even_assignment(24, 4))
+        times = stage_step_times(pipeline, 4)
+        step = times[0].step_s + 2 * times[0].comm_s
+        analytic = estimate_batch_time(pipeline, 16, 4)
+        assert analytic == pytest.approx((16 + 3) * step, rel=1e-9)
+
+
+class TestSchedules:
+    def test_1f1b_close_to_gpipe_makespan(self):
+        """With *heterogeneous* stage times the two schedules are no
+        longer exactly equal (1F1B's alternation can stall fast stages
+        behind slow downstream backwards), but they stay within a few
+        percent — 1F1B's win remains memory, not speed."""
+        pipeline = make_pipeline()
+        gpipe = simulate_batch(pipeline, 32, 4, schedule="gpipe")
+        one_f = simulate_batch(pipeline, 32, 4, schedule="1f1b")
+        assert one_f.makespan_s \
+            == pytest.approx(gpipe.makespan_s, rel=0.1)
+
+    def test_bubble_fraction_reported(self):
+        pipeline = make_pipeline()
+        result = simulate_batch(pipeline, 8, 4)
+        # heterogeneous stages idle more than the uniform bound, since
+        # fast stages wait on slow ones
+        assert result.bubble_fraction > 0.0
+
+
+class TestScalingBehaviour:
+    def test_more_microbatches_amortize_fill(self):
+        pipeline = make_pipeline()
+        few = estimate_batch_time(pipeline, 8, 4) / 8
+        many = estimate_batch_time(pipeline, 64, 4) / 64
+        assert many < few
+
+    def test_all_fast_beats_mixed(self):
+        mixed = make_pipeline(2, 2)
+        all_fast = make_pipeline(4, 0)
+        assert estimate_batch_time(all_fast, 32, 4) \
+            < estimate_batch_time(mixed, 32, 4)

@@ -1,0 +1,92 @@
+"""Unit tests for heterogeneous pipeline descriptions."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MappingError
+from repro.hardware.catalog import A100, V100_SXM3
+from repro.hardware.interconnect import IB_HDR, NVLINK2, NVLINK3
+from repro.hetero.stages import (
+    HeterogeneousPipeline,
+    StagePlatform,
+    even_assignment,
+)
+from repro.parallelism.microbatch import MicrobatchEfficiency
+from repro.transformer.zoo import GPIPE_T24
+
+
+def mixed_stages(n_fast=2, n_slow=2):
+    fast = StagePlatform(A100, tp_degree=8, intra_link=NVLINK3)
+    slow = StagePlatform(V100_SXM3, tp_degree=8, intra_link=NVLINK2)
+    return tuple([fast] * n_fast + [slow] * n_slow)
+
+
+class TestStagePlatform:
+    def test_effective_flops_aggregate_tp(self):
+        stage = StagePlatform(A100, tp_degree=8)
+        assert stage.effective_flops_per_s \
+            == 8 * A100.peak_mac_flops_per_s
+
+    def test_speed_applies_efficiency(self):
+        eff = MicrobatchEfficiency(a=0.5, b=0.0, floor=0.5, ceiling=0.5)
+        stage = StagePlatform(A100, tp_degree=1, efficiency=eff)
+        assert stage.speed_at(8) \
+            == pytest.approx(0.5 * A100.peak_mac_flops_per_s)
+
+    def test_default_efficiency_installed(self):
+        assert StagePlatform(A100).efficiency is not None
+
+    def test_rejects_zero_tp(self):
+        with pytest.raises(ConfigurationError):
+            StagePlatform(A100, tp_degree=0)
+
+
+class TestEvenAssignment:
+    def test_divisible(self):
+        assert even_assignment(24, 4) == (6, 6, 6, 6)
+
+    def test_remainder_spreads_forward(self):
+        assert even_assignment(10, 4) == (3, 3, 2, 2)
+
+    def test_preserves_total(self):
+        for layers, stages in ((24, 5), (96, 7), (13, 13)):
+            assert sum(even_assignment(layers, stages)) == layers
+
+    def test_rejects_more_stages_than_layers(self):
+        with pytest.raises(MappingError):
+            even_assignment(3, 4)
+
+
+class TestPipelineValidation:
+    def test_accepts_consistent_assignment(self):
+        HeterogeneousPipeline(
+            model=GPIPE_T24, stages=mixed_stages(),
+            inter_stage_link=IB_HDR,
+            layer_assignment=even_assignment(24, 4))
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(MappingError):
+            HeterogeneousPipeline(
+                model=GPIPE_T24, stages=mixed_stages(),
+                inter_stage_link=IB_HDR,
+                layer_assignment=(6, 6, 6, 5))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(MappingError):
+            HeterogeneousPipeline(
+                model=GPIPE_T24, stages=mixed_stages(),
+                inter_stage_link=IB_HDR,
+                layer_assignment=(12, 12))
+
+    def test_rejects_empty_stage(self):
+        with pytest.raises(MappingError):
+            HeterogeneousPipeline(
+                model=GPIPE_T24, stages=mixed_stages(),
+                inter_stage_link=IB_HDR,
+                layer_assignment=(24, 0, 0, 0))
+
+    def test_accelerator_count(self):
+        pipeline = HeterogeneousPipeline(
+            model=GPIPE_T24, stages=mixed_stages(),
+            inter_stage_link=IB_HDR,
+            layer_assignment=even_assignment(24, 4))
+        assert pipeline.n_accelerators == 32

@@ -1,0 +1,91 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each example's ``main()`` is imported and run with stdout
+captured, and a few load-bearing phrases are asserted.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys, argv=None) -> str:
+    """Import an example module fresh and run its main()."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        spec.loader.exec_module(module)
+        module.main(*([] if argv is None else []))
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "one batch of" in out
+        assert "days" in out
+
+    def test_parallelism_explorer(self, capsys):
+        out = run_example("parallelism_explorer", capsys)
+        assert "top mappings" in out
+        assert "heuristic recommendation" in out
+
+    def test_lowend_cluster(self, capsys):
+        out = run_example("lowend_cluster", capsys)
+        assert "winner" in out
+        assert "kWh" in out
+
+    def test_optical_substrate(self, capsys):
+        out = run_example("optical_substrate", capsys)
+        assert "Opt." in out
+        assert "speedup" in out
+
+    def test_validate_against_published(self, capsys):
+        out = run_example("validate_against_published", capsys)
+        assert "[PASS]" in out
+
+    def test_memory_planner(self, capsys):
+        out = run_example("memory_planner", capsys)
+        assert "does not fit" in out
+        assert "ub <=" in out
+
+    def test_hetero_pipeline(self, capsys):
+        out = run_example("hetero_pipeline", capsys)
+        assert "balancing recovers" in out
+
+    def test_calibrate_and_sweep(self, capsys):
+        out = run_example("calibrate_and_sweep", capsys)
+        assert "R^2" in out
+        assert "best mapping" in out
+
+    def test_cost_planner(self, capsys):
+        out = run_example("cost_planner", capsys)
+        assert "$" in out
+        assert "CO2" in out
+
+    def test_future_accelerator(self, capsys):
+        out = run_example("future_accelerator", capsys)
+        assert "2x compute" in out
+        assert "dominant knob" in out
+
+    def test_production_run(self, capsys):
+        out = run_example("production_run", capsys)
+        assert "campaign plan" in out
+        assert "Young/Daly" in out
+
+    def test_every_example_has_a_smoke_test(self):
+        """Adding an example without a smoke test should fail CI."""
+        tested = {name[5:] for name in dir(TestExamples)
+                  if name.startswith("test_")
+                  and name != "test_every_example_has_a_smoke_test"}
+        present = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+        assert present == tested

@@ -1,0 +1,82 @@
+"""Matrix tests: AMPeD invariants across a grid of real configurations.
+
+Single-configuration unit tests can miss interaction bugs (a mapping
+shape that only misbehaves on a particular model family or batch).
+This module sweeps a structured grid of (model, mapping, batch) and
+asserts the invariants every physical configuration must satisfy.
+"""
+
+import pytest
+
+from repro.core.model import AMPeD
+from repro.errors import MappingError
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import spec_from_totals
+from repro.transformer.zoo import get_model
+
+SYSTEM = megatron_a100_cluster(n_nodes=16)  # 128 A100s
+
+MODEL_KEYS = ("mingpt-85m", "megatron-1.7b", "megatron-7.5b",
+              "megatron-39b", "gpt3-175b", "glam-1.2t")
+
+MAPPINGS = (
+    {"tp": 8, "dp": 16},
+    {"tp": 8, "pp": 4, "dp": 4, "n_microbatches": 32},
+    {"tp": 4, "pp": 8, "dp": 4, "n_microbatches": 32},
+    {"dp": 128},
+    {"tp": 2, "dp": 64},
+)
+
+BATCHES = (512, 2048)
+
+
+def build(model_key: str, mapping: dict, **kwargs):
+    spec_kwargs = dict(mapping)
+    return AMPeD(
+        model=get_model(model_key),
+        system=SYSTEM,
+        parallelism=spec_from_totals(SYSTEM, **spec_kwargs),
+        efficiency=CASE_STUDY_EFFICIENCY,
+        validate=False,  # grid includes shapes some models can't run
+        **kwargs)
+
+
+@pytest.mark.parametrize("model_key", MODEL_KEYS)
+@pytest.mark.parametrize("mapping", MAPPINGS,
+                         ids=lambda m: "-".join(f"{k}{v}"
+                                                for k, v in m.items()))
+@pytest.mark.parametrize("batch", BATCHES)
+class TestMatrixInvariants:
+    def test_invariants(self, model_key, mapping, batch):
+        amped = build(model_key, mapping)
+        try:
+            breakdown = amped.estimate_batch(batch)
+        except MappingError:
+            pytest.skip("mapping infeasible at this batch (expected "
+                        "for deep splits of small batches)")
+
+        # every component finite and non-negative
+        for name, value in breakdown.as_dict().items():
+            assert value >= 0.0, name
+        # identity: total = compute + comm + bubble
+        assert breakdown.total == pytest.approx(
+            breakdown.compute_time + breakdown.comm_time
+            + breakdown.bubble)
+        # throughput below hardware peak
+        tflops = amped.achieved_tflops_per_gpu(batch)
+        assert 0 < tflops < 312
+        # time scales with batches
+        estimate = amped.estimate(batch, n_batches=3)
+        assert estimate.total_time_s \
+            == pytest.approx(3 * breakdown.total)
+        # MoE models pay MoE communication; dense ones never do
+        if amped.model.uses_moe:
+            assert breakdown.comm_moe > 0.0
+        else:
+            assert breakdown.comm_moe == 0.0
+        # pipelines bubble, flat mappings don't
+        if amped.parallelism.pp > 1:
+            assert breakdown.bubble > 0.0
+        else:
+            assert breakdown.bubble == 0.0

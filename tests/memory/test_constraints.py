@@ -1,0 +1,66 @@
+"""Unit tests for memory-capacity constraints."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryCapacityError
+from repro.hardware.catalog import A100, V100_SXM3
+from repro.hardware.precision import MIXED_FP16
+from repro.memory.constraints import (
+    fits_in_memory,
+    max_feasible_microbatch,
+    require_fits,
+)
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.zoo import MEGATRON_145B, MINGPT_85M
+
+
+class TestFits:
+    def test_small_model_fits(self, serial_spec):
+        assert fits_in_memory(MINGPT_85M, serial_spec, 8, MIXED_FP16,
+                              V100_SXM3)
+
+    def test_145b_does_not_fit_one_gpu(self, serial_spec):
+        assert not fits_in_memory(MEGATRON_145B, serial_spec, 1,
+                                  MIXED_FP16, A100)
+
+    def test_145b_fits_when_sharded_enough(self):
+        spec = ParallelismSpec(tp_intra=8, pp_inter=16,
+                               n_microbatches=16)
+        assert fits_in_memory(MEGATRON_145B, spec, 1, MIXED_FP16, A100)
+
+    def test_require_fits_raises_with_sizes(self, serial_spec):
+        with pytest.raises(MemoryCapacityError) as excinfo:
+            require_fits(MEGATRON_145B, serial_spec, 1, MIXED_FP16, A100)
+        assert excinfo.value.required_bytes \
+            > excinfo.value.available_bytes
+
+    def test_require_fits_passes_silently(self, serial_spec):
+        require_fits(MINGPT_85M, serial_spec, 8, MIXED_FP16, V100_SXM3)
+
+
+class TestMaxMicrobatch:
+    def test_monotone_definition(self, serial_spec):
+        best = max_feasible_microbatch(MINGPT_85M, serial_spec,
+                                       MIXED_FP16, V100_SXM3)
+        assert best is not None
+        assert fits_in_memory(MINGPT_85M, serial_spec, best, MIXED_FP16,
+                              V100_SXM3)
+        assert not fits_in_memory(MINGPT_85M, serial_spec, best + 1,
+                                  MIXED_FP16, V100_SXM3)
+
+    def test_none_when_weights_overflow(self, serial_spec):
+        assert max_feasible_microbatch(MEGATRON_145B, serial_spec,
+                                       MIXED_FP16, A100) is None
+
+    def test_sharding_increases_budget(self):
+        small = max_feasible_microbatch(
+            MINGPT_85M, ParallelismSpec(), MIXED_FP16, V100_SXM3)
+        larger = max_feasible_microbatch(
+            MINGPT_85M, ParallelismSpec(tp_intra=4), MIXED_FP16,
+            V100_SXM3)
+        assert larger > small
+
+    def test_rejects_bad_upper_bound(self, serial_spec):
+        with pytest.raises(ConfigurationError):
+            max_feasible_microbatch(MINGPT_85M, serial_spec, MIXED_FP16,
+                                    V100_SXM3, upper_bound=0)

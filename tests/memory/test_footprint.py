@@ -1,0 +1,96 @@
+"""Unit tests for the memory footprint model."""
+
+import pytest
+
+from repro.core.zero import ZeroConfig
+from repro.errors import ConfigurationError
+from repro.hardware.precision import FP8_TRAINING, MIXED_FP16
+from repro.memory.footprint import (
+    activation_bytes_per_layer,
+    estimate_footprint,
+)
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.params import total_parameters
+
+
+class TestActivations:
+    def test_scales_linearly_with_microbatch(self, tiny_model):
+        one = activation_bytes_per_layer(tiny_model, 1, MIXED_FP16)
+        four = activation_bytes_per_layer(tiny_model, 4, MIXED_FP16)
+        assert four == pytest.approx(4 * one)
+
+    def test_tp_shards_activations(self, tiny_model):
+        full = activation_bytes_per_layer(tiny_model, 4, MIXED_FP16)
+        sharded = activation_bytes_per_layer(tiny_model, 4, MIXED_FP16,
+                                             tp_degree=4)
+        assert sharded == pytest.approx(full / 4)
+
+    def test_precision_scales(self, tiny_model):
+        fp16 = activation_bytes_per_layer(tiny_model, 4, MIXED_FP16)
+        fp8 = activation_bytes_per_layer(tiny_model, 4, FP8_TRAINING)
+        assert fp8 == pytest.approx(fp16 / 2)
+
+    def test_rejects_zero_microbatch(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            activation_bytes_per_layer(tiny_model, 0, MIXED_FP16)
+
+
+class TestFootprint:
+    def test_serial_parameter_bytes(self, tiny_model, serial_spec):
+        footprint = estimate_footprint(tiny_model, serial_spec, 1,
+                                       MIXED_FP16)
+        expected = total_parameters(tiny_model) * 2  # 16 bits = 2 bytes
+        assert footprint.parameters == pytest.approx(expected)
+
+    def test_adam_states_are_12_bytes(self, tiny_model, serial_spec):
+        footprint = estimate_footprint(tiny_model, serial_spec, 1,
+                                       MIXED_FP16)
+        assert footprint.optimizer_states \
+            == pytest.approx(total_parameters(tiny_model) * 12)
+
+    def test_tp_and_pp_shard_model_state(self, tiny_model):
+        serial = estimate_footprint(tiny_model, ParallelismSpec(), 1,
+                                    MIXED_FP16)
+        sharded = estimate_footprint(
+            tiny_model, ParallelismSpec(tp_intra=2, pp_inter=2), 1,
+            MIXED_FP16)
+        assert sharded.parameters == pytest.approx(serial.parameters / 4)
+
+    def test_zero_stages_shed_state(self, tiny_model):
+        spec = ParallelismSpec(dp_inter=4)
+        by_stage = [estimate_footprint(tiny_model, spec, 1, MIXED_FP16,
+                                       zero=ZeroConfig(stage=stage)).total
+                    for stage in (0, 1, 2, 3)]
+        assert by_stage == sorted(by_stage, reverse=True)
+        assert by_stage[3] < by_stage[0]
+
+    def test_zero1_sheds_exactly_optimizer(self, tiny_model):
+        spec = ParallelismSpec(dp_inter=4)
+        plain = estimate_footprint(tiny_model, spec, 1, MIXED_FP16)
+        zero1 = estimate_footprint(tiny_model, spec, 1, MIXED_FP16,
+                                   zero=ZeroConfig(stage=1))
+        assert zero1.optimizer_states \
+            == pytest.approx(plain.optimizer_states / 4)
+        assert zero1.parameters == plain.parameters
+
+    def test_as_dict_includes_total(self, tiny_model, serial_spec):
+        data = estimate_footprint(tiny_model, serial_spec, 1,
+                                  MIXED_FP16).as_dict()
+        assert data["total"] == pytest.approx(
+            data["parameters"] + data["gradients"]
+            + data["optimizer_states"] + data["activations"])
+
+    def test_in_flight_microbatches_scale_activations(self, tiny_model):
+        spec = ParallelismSpec(pp_inter=4, n_microbatches=16)
+        few = estimate_footprint(tiny_model, spec, 1, MIXED_FP16,
+                                 in_flight_microbatches=1)
+        many = estimate_footprint(tiny_model, spec, 1, MIXED_FP16,
+                                  in_flight_microbatches=16)
+        assert many.activations == pytest.approx(16 * few.activations)
+
+    def test_default_in_flight_is_1f1b_bound(self, tiny_model):
+        spec = ParallelismSpec(pp_inter=4, n_microbatches=16)
+        default = estimate_footprint(tiny_model, spec, 1, MIXED_FP16)
+        explicit = estimate_footprint(tiny_model, spec, 1, MIXED_FP16,
+                                      in_flight_microbatches=4)
+        assert default.activations == pytest.approx(explicit.activations)

@@ -1,0 +1,66 @@
+"""Unit tests for activation-recomputation memory modeling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.precision import MIXED_FP16
+from repro.memory.footprint import (
+    activation_bytes_per_layer,
+    checkpointed_activation_bytes_per_layer,
+    estimate_footprint,
+)
+from repro.parallelism.spec import ParallelismSpec
+
+
+class TestCheckpointedActivations:
+    def test_only_layer_input_survives(self, tiny_model):
+        # s * ub * h * 2 bytes, undivided
+        expected = 32 * 4 * 64 * 2
+        assert checkpointed_activation_bytes_per_layer(
+            tiny_model, 4, MIXED_FP16) == expected
+
+    def test_far_below_full_storage(self, tiny_model):
+        full = activation_bytes_per_layer(tiny_model, 4, MIXED_FP16)
+        checkpointed = checkpointed_activation_bytes_per_layer(
+            tiny_model, 4, MIXED_FP16)
+        assert checkpointed < full / 10
+
+    def test_tp_shards(self, tiny_model):
+        flat = checkpointed_activation_bytes_per_layer(
+            tiny_model, 4, MIXED_FP16)
+        sharded = checkpointed_activation_bytes_per_layer(
+            tiny_model, 4, MIXED_FP16, tp_degree=4)
+        assert sharded == pytest.approx(flat / 4)
+
+    def test_rejects_bad_inputs(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            checkpointed_activation_bytes_per_layer(
+                tiny_model, 0, MIXED_FP16)
+        with pytest.raises(ConfigurationError):
+            checkpointed_activation_bytes_per_layer(
+                tiny_model, 4, MIXED_FP16, tp_degree=0)
+
+
+class TestFootprintIntegration:
+    def test_recompute_shrinks_only_activations(self, tiny_model):
+        spec = ParallelismSpec(pp_inter=4, n_microbatches=8)
+        stored = estimate_footprint(tiny_model, spec, 4, MIXED_FP16)
+        recomputed = estimate_footprint(
+            tiny_model, spec, 4, MIXED_FP16,
+            recompute_activations=True)
+        assert recomputed.activations < stored.activations
+        assert recomputed.parameters == stored.parameters
+        assert recomputed.optimizer_states == stored.optimizer_states
+
+    def test_recompute_raises_max_microbatch(self, tiny_model):
+        """A microbatch that overflows with stored activations can fit
+        with recomputation."""
+        spec = ParallelismSpec()
+        budget = estimate_footprint(tiny_model, spec, 64,
+                                    MIXED_FP16).total * 0.5
+        stored = estimate_footprint(tiny_model, spec, 64, MIXED_FP16)
+        recomputed = estimate_footprint(tiny_model, spec, 64,
+                                        MIXED_FP16,
+                                        recompute_activations=True)
+        assert stored.total > budget
+        assert recomputed.total < stored.total

@@ -1,0 +1,115 @@
+"""Unit tests for the fat-tree fabric model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.network.fabric import (
+    FabricLevel,
+    apply_fabric,
+    two_level_fat_tree,
+)
+
+
+def make_fabric(oversubscription=1.0, nodes_per_leaf=16, n_leaves=8):
+    return two_level_fat_tree(
+        port_bandwidth_bits_per_s=2e11,
+        nodes_per_leaf=nodes_per_leaf,
+        n_leaves=n_leaves,
+        oversubscription=oversubscription)
+
+
+class TestFabricLevel:
+    def test_oversubscription_ratio(self):
+        level = FabricLevel("leaf", down_ports=32, up_ports=8,
+                            hop_latency_s=1e-6)
+        assert level.oversubscription == 4.0
+
+    def test_top_level_has_no_escape(self):
+        top = FabricLevel("core", down_ports=8, up_ports=0,
+                          hop_latency_s=1e-6)
+        with pytest.raises(ConfigurationError):
+            top.oversubscription
+
+    def test_rejects_zero_down_ports(self):
+        with pytest.raises(ConfigurationError):
+            FabricLevel("x", down_ports=0, up_ports=1,
+                        hop_latency_s=0.0)
+
+
+class TestSpan:
+    def test_capacity(self):
+        assert make_fabric().max_nodes == 128
+
+    def test_leaf_local_group(self):
+        assert make_fabric().levels_to_span(16) == 1
+
+    def test_cluster_wide_group(self):
+        assert make_fabric().levels_to_span(128) == 2
+
+    def test_rejects_oversized_group(self):
+        with pytest.raises(ConfigurationError):
+            make_fabric().levels_to_span(129)
+
+
+class TestEffectiveLink:
+    def test_full_bisection_keeps_port_speed(self):
+        fabric = make_fabric(oversubscription=1.0)
+        assert fabric.effective_bandwidth(128) == 2e11
+
+    def test_taper_divides_bandwidth(self):
+        fabric = make_fabric(oversubscription=4.0)
+        assert fabric.effective_bandwidth(128) \
+            == pytest.approx(2e11 / 4.0)
+
+    def test_leaf_local_traffic_never_tapered(self):
+        fabric = make_fabric(oversubscription=4.0)
+        assert fabric.effective_bandwidth(16) == 2e11
+
+    def test_latency_grows_with_span(self):
+        fabric = make_fabric()
+        assert fabric.effective_latency(128) \
+            > fabric.effective_latency(16)
+
+    def test_effective_link_is_linkspec(self):
+        link = make_fabric().effective_link(64)
+        assert link.bandwidth_bits_per_s > 0
+        assert "fabric" in link.name
+
+    def test_overprovisioned_capped_at_port_speed(self):
+        fabric = make_fabric(oversubscription=0.5)
+        assert fabric.effective_bandwidth(128) == 2e11
+
+
+class TestApplyFabric:
+    def test_replaces_inter_link(self):
+        system = megatron_a100_cluster()
+        fabric = make_fabric(oversubscription=4.0, nodes_per_leaf=16,
+                             n_leaves=8)
+        tapered = apply_fabric(system, fabric)
+        assert tapered.node.inter_link.bandwidth_bits_per_s \
+            == pytest.approx(5e10)
+        # everything else untouched
+        assert tapered.node.intra_link is system.node.intra_link
+        assert tapered.n_nodes == system.n_nodes
+
+    def test_oversubscription_slows_dp_training(self):
+        """End to end: a 4:1 tapered fabric slows the DP-inter mapping."""
+        from repro.core.model import AMPeD
+        from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+        from repro.parallelism.spec import spec_from_totals
+        from repro.transformer.zoo import MEGATRON_145B
+
+        system = megatron_a100_cluster()
+        spec = spec_from_totals(system, tp=8, dp=128)
+        full = apply_fabric(system, make_fabric(1.0))
+        tapered = apply_fabric(system, make_fabric(8.0))
+        t_full = AMPeD(model=MEGATRON_145B, system=full,
+                       parallelism=spec,
+                       efficiency=CASE_STUDY_EFFICIENCY) \
+            .estimate_batch(8192).total
+        t_tapered = AMPeD(model=MEGATRON_145B, system=tapered,
+                          parallelism=spec,
+                          efficiency=CASE_STUDY_EFFICIENCY) \
+            .estimate_batch(8192).total
+        assert t_tapered > t_full

@@ -1,0 +1,93 @@
+"""Unit tests for microbatch sizing and the efficiency fit."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MappingError
+from repro.parallelism.microbatch import (
+    CASE_STUDY_EFFICIENCY,
+    PERFECT_EFFICIENCY,
+    MicrobatchEfficiency,
+    microbatch_size,
+    replica_batch_size,
+)
+from repro.parallelism.spec import ParallelismSpec
+
+
+class TestEfficiencyFit:
+    def test_saturating_form(self):
+        eff = MicrobatchEfficiency(a=1.0, b=4.0)
+        assert eff(4) == pytest.approx(0.5)
+        assert eff(12) == pytest.approx(0.75)
+
+    def test_ceiling_clamps(self):
+        eff = MicrobatchEfficiency(a=1.5, b=1.0)
+        assert eff(1e9) == 1.0
+
+    def test_floor_clamps(self):
+        eff = MicrobatchEfficiency(a=1.0, b=100.0, floor=0.25)
+        assert eff(1) == 0.25
+
+    def test_monotone_nondecreasing(self):
+        eff = CASE_STUDY_EFFICIENCY
+        values = [eff(ub) for ub in (1, 2, 4, 8, 16, 64, 256, 1024)]
+        assert values == sorted(values)
+
+    def test_case_study_operating_points(self):
+        """The paper's quoted points: ~30% at ub 16, ~80% at ub 128."""
+        assert CASE_STUDY_EFFICIENCY(16) == pytest.approx(0.30, abs=0.02)
+        assert CASE_STUDY_EFFICIENCY(128) == pytest.approx(0.80, abs=0.02)
+
+    def test_case_study_floor_is_25_percent(self):
+        assert CASE_STUDY_EFFICIENCY(0.5) == 0.25
+
+    def test_perfect_is_always_one(self):
+        assert PERFECT_EFFICIENCY(0.001) == 1.0
+        assert PERFECT_EFFICIENCY(1e9) == 1.0
+
+    def test_rejects_non_positive_ub(self):
+        with pytest.raises(ConfigurationError):
+            CASE_STUDY_EFFICIENCY(0)
+
+    def test_rejects_floor_above_ceiling(self):
+        with pytest.raises(ConfigurationError):
+            MicrobatchEfficiency(floor=0.9, ceiling=0.5)
+
+    def test_from_points_recovers_values(self):
+        eff = MicrobatchEfficiency.from_points((16, 0.30), (128, 0.80))
+        assert eff(16) == pytest.approx(0.30, rel=1e-6)
+        assert eff(128) == pytest.approx(0.80, rel=1e-6)
+
+    def test_from_points_rejects_decreasing(self):
+        with pytest.raises(ConfigurationError):
+            MicrobatchEfficiency.from_points((16, 0.8), (128, 0.3))
+
+    def test_from_points_rejects_equal_ub(self):
+        with pytest.raises(ConfigurationError):
+            MicrobatchEfficiency.from_points((16, 0.3), (16, 0.8))
+
+
+class TestMicrobatchSize:
+    def test_paper_rule(self):
+        """ub = batch / (N_DP * N_ub) (§V-B / §VI-B)."""
+        spec = ParallelismSpec(dp_inter=8, pp_inter=4)  # N_ub = pp = 4
+        assert microbatch_size(1024, spec) == 32.0
+
+    def test_explicit_microbatches(self):
+        spec = ParallelismSpec(dp_inter=8, n_microbatches=16)
+        assert microbatch_size(1024, spec) == 8.0
+
+    def test_serial_is_full_batch(self, serial_spec):
+        assert microbatch_size(64, serial_spec) == 64.0
+
+    def test_rejects_subunit_microbatch(self):
+        spec = ParallelismSpec(dp_inter=64, pp_inter=4)
+        with pytest.raises(MappingError):
+            microbatch_size(64, spec)
+
+    def test_rejects_zero_batch(self, serial_spec):
+        with pytest.raises(ConfigurationError):
+            microbatch_size(0, serial_spec)
+
+    def test_replica_batch(self):
+        spec = ParallelismSpec(dp_intra=4, dp_inter=8)
+        assert replica_batch_size(1024, spec) == 32.0

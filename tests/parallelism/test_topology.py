@@ -1,0 +1,92 @@
+"""Unit tests for collective topology factors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallelism.topology import (
+    FULLY_CONNECTED,
+    PAIRWISE_ALLTOALL,
+    RING,
+    TOPOLOGIES,
+    TREE,
+)
+
+
+class TestRing:
+    def test_paper_example(self):
+        """Eq. 6's worked example: 2 (N - 1) / N."""
+        assert RING.factor(8) == 2 * 7 / 8
+
+    def test_single_rank_free(self):
+        assert RING.factor(1) == 0.0
+        assert RING.steps(1) == 0
+
+    def test_steps(self):
+        assert RING.steps(8) == 14
+
+    def test_factor_approaches_two(self):
+        assert RING.factor(1024) == pytest.approx(2.0, abs=0.01)
+
+    def test_latency_term_is_c_times_steps(self):
+        assert RING.latency_term(1e-6, 8) == pytest.approx(14e-6)
+
+
+class TestTree:
+    def test_full_payload_steps(self):
+        assert TREE.factor(8) == 6.0  # 2*log2(8) full-size rounds
+        assert TREE.steps(8) == 6
+
+    def test_non_power_of_two_rounds_up(self):
+        assert TREE.steps(5) == 2 * 3
+
+    def test_single_rank_free(self):
+        assert TREE.factor(1) == 0.0
+
+    def test_tree_beats_ring_on_latency(self):
+        assert TREE.steps(1024) < RING.steps(1024)
+
+    def test_ring_beats_tree_on_volume(self):
+        assert RING.factor(1024) < TREE.factor(1024)
+
+
+class TestAllToAll:
+    def test_paper_moe_factor(self):
+        """Eq. 9's default: (N - 1) / N."""
+        assert PAIRWISE_ALLTOALL.factor(128) == 127 / 128
+
+    def test_steps(self):
+        assert PAIRWISE_ALLTOALL.steps(8) == 7
+
+    def test_single_rank_free(self):
+        assert PAIRWISE_ALLTOALL.factor(1) == 0.0
+
+
+class TestFullyConnected:
+    def test_one_step(self):
+        assert FULLY_CONNECTED.steps(8) == 1
+
+    def test_factor(self):
+        assert FULLY_CONNECTED.factor(8) == 7 / 8
+
+    def test_half_the_ring_volume(self):
+        assert FULLY_CONNECTED.factor(16) \
+            == pytest.approx(RING.factor(16) / 2)
+
+
+class TestShared:
+    @pytest.mark.parametrize("topology", list(TOPOLOGIES.values()),
+                             ids=list(TOPOLOGIES))
+    def test_rejects_zero_participants(self, topology):
+        with pytest.raises(ConfigurationError):
+            topology.factor(0)
+
+    @pytest.mark.parametrize("topology", list(TOPOLOGIES.values()),
+                             ids=list(TOPOLOGIES))
+    def test_volume_term_scales_with_payload(self, topology):
+        small = topology.volume_term(1e6, 16, 1e9, 8)
+        large = topology.volume_term(2e6, 16, 1e9, 8)
+        assert large == pytest.approx(2 * small)
+
+    def test_registry_names_match(self):
+        for name, topology in TOPOLOGIES.items():
+            assert topology.name == name

@@ -1,0 +1,91 @@
+"""Unit tests for pipeline schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.schedule import (
+    BACKWARD,
+    FORWARD,
+    Task,
+    build_schedule,
+    gpipe_order,
+    interleaved_order,
+    one_f_one_b_order,
+)
+
+
+class TestTask:
+    def test_virtual_stage(self):
+        assert Task(FORWARD, stage=1, microbatch=0, chunk=2) \
+            .virtual_stage(4) == 9
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(ConfigurationError):
+            Task("X", 0, 0)
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ConfigurationError):
+            Task(FORWARD, -1, 0)
+
+
+class TestGPipe:
+    def test_all_forwards_then_backwards(self):
+        order = gpipe_order(2, 3)[0]
+        phases = [t.phase for t in order]
+        assert phases == [FORWARD] * 3 + [BACKWARD] * 3
+
+    def test_backwards_reversed(self):
+        order = gpipe_order(2, 3)[0]
+        backward_mbs = [t.microbatch for t in order if t.phase == BACKWARD]
+        assert backward_mbs == [2, 1, 0]
+
+    def test_task_count(self):
+        orders = gpipe_order(4, 8)
+        assert all(len(order) == 16 for order in orders)
+
+
+class TestOneFOneB:
+    def test_warmup_depth_depends_on_stage(self):
+        orders = one_f_one_b_order(4, 8)
+        for stage, order in enumerate(orders):
+            warmup = 0
+            for task in order:
+                if task.phase != FORWARD:
+                    break
+                warmup += 1
+            assert warmup == min(8, 4 - stage)
+
+    def test_every_task_exactly_once(self):
+        for order in one_f_one_b_order(4, 8):
+            assert len(order) == len(set(order)) == 16
+
+    def test_alternation_after_warmup(self):
+        order = one_f_one_b_order(4, 8)[0]  # warmup 4
+        tail = [t.phase for t in order[4:12]]
+        assert tail == [BACKWARD, FORWARD] * 4
+
+
+class TestInterleaved:
+    def test_chunk_count(self):
+        order = interleaved_order(2, 3, 2)[0]
+        assert len(order) == 2 * 3 * 2
+        assert {t.chunk for t in order} == {0, 1}
+
+    def test_single_chunk_matches_gpipe(self):
+        assert interleaved_order(2, 3, 1) == gpipe_order(2, 3)
+
+
+class TestBuildSchedule:
+    def test_dispatch(self):
+        assert build_schedule("gpipe", 2, 4) == gpipe_order(2, 4)
+        assert build_schedule("1f1b", 2, 4) == one_f_one_b_order(2, 4)
+        assert build_schedule("interleaved", 2, 4, 2) \
+            == interleaved_order(2, 4, 2)
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ConfigurationError):
+            build_schedule("zigzag", 2, 4)
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ConfigurationError):
+            gpipe_order(0, 4)

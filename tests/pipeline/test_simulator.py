@@ -1,0 +1,101 @@
+"""Unit tests for the discrete-event pipeline simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pipeline.simulator import (
+    PipelineWorkload,
+    naive_bubble_fraction,
+    simulate_pipeline,
+)
+
+UNIT = PipelineWorkload(forward_time=1.0, backward_time=1.0)
+
+
+class TestWorkload:
+    def test_rejects_zero_forward(self):
+        with pytest.raises(ConfigurationError):
+            PipelineWorkload(forward_time=0.0, backward_time=1.0)
+
+    def test_rejects_negative_comm(self):
+        with pytest.raises(ConfigurationError):
+            PipelineWorkload(forward_time=1.0, backward_time=1.0,
+                             comm_time=-0.1)
+
+
+class TestSingleStage:
+    def test_no_pipeline_no_bubble(self):
+        result = simulate_pipeline(UNIT, n_stages=1, n_microbatches=8)
+        assert result.makespan_s == pytest.approx(16.0)
+        assert result.bubble_fraction == pytest.approx(0.0)
+
+
+class TestGPipeMakespan:
+    def test_closed_form_makespan(self):
+        """Equal tasks, no comm: makespan = (M + S - 1) * (f + b)."""
+        result = simulate_pipeline(UNIT, n_stages=4, n_microbatches=8,
+                                   schedule="gpipe")
+        assert result.makespan_s == pytest.approx((8 + 3) * 2.0)
+
+    def test_bubble_matches_closed_form(self):
+        for stages, mbs in ((2, 4), (4, 8), (4, 16), (8, 32)):
+            result = simulate_pipeline(UNIT, n_stages=stages,
+                                       n_microbatches=mbs)
+            assert result.bubble_fraction \
+                == pytest.approx(naive_bubble_fraction(stages, mbs))
+
+    def test_busy_time_is_work(self):
+        result = simulate_pipeline(UNIT, n_stages=4, n_microbatches=8)
+        assert result.total_busy_s == pytest.approx(4 * 8 * 2.0)
+
+    def test_unequal_forward_backward(self):
+        workload = PipelineWorkload(forward_time=1.0, backward_time=2.0)
+        result = simulate_pipeline(workload, n_stages=4,
+                                   n_microbatches=16)
+        assert result.makespan_s == pytest.approx((16 + 3) * 3.0)
+
+    def test_comm_stretches_fill(self):
+        with_comm = simulate_pipeline(
+            PipelineWorkload(1.0, 1.0, comm_time=0.5),
+            n_stages=4, n_microbatches=8)
+        without = simulate_pipeline(UNIT, n_stages=4, n_microbatches=8)
+        assert with_comm.makespan_s > without.makespan_s
+
+
+class TestSchedules:
+    def test_1f1b_same_makespan_as_gpipe(self):
+        """1F1B reduces memory, not the bubble."""
+        gpipe = simulate_pipeline(UNIT, 4, 16, schedule="gpipe")
+        one_f = simulate_pipeline(UNIT, 4, 16, schedule="1f1b")
+        assert one_f.makespan_s == pytest.approx(gpipe.makespan_s)
+
+    def test_interleaving_shrinks_bubble(self):
+        base = simulate_pipeline(UNIT, 4, 16, schedule="gpipe")
+        half_tasks = PipelineWorkload(0.5, 0.5)
+        chunked = simulate_pipeline(half_tasks, 4, 16,
+                                    schedule="interleaved", n_chunks=2)
+        assert chunked.bubble_fraction < base.bubble_fraction
+
+    def test_interleaved_overlap_ratio_below_one(self):
+        half_tasks = PipelineWorkload(0.5, 0.5)
+        chunked = simulate_pipeline(half_tasks, 4, 16,
+                                    schedule="interleaved", n_chunks=4)
+        naive = naive_bubble_fraction(4, 16)
+        assert chunked.overlap_ratio(naive) < 1.0
+
+    def test_overlap_ratio_rejects_zero_reference(self):
+        result = simulate_pipeline(UNIT, 4, 16)
+        with pytest.raises(ConfigurationError):
+            result.overlap_ratio(0.0)
+
+
+class TestNaiveBound:
+    def test_formula(self):
+        assert naive_bubble_fraction(4, 16) == pytest.approx(3 / 19)
+
+    def test_single_stage_zero(self):
+        assert naive_bubble_fraction(1, 16) == 0.0
+
+    def test_rejects_zero_microbatches(self):
+        with pytest.raises(ConfigurationError):
+            naive_bubble_fraction(4, 0)

@@ -1,0 +1,112 @@
+"""Property tests on the communication equations."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.communication import (
+    CommEnvironment,
+    forward_comm_time,
+    gradient_comm_time,
+    moe_comm_time,
+    pp_comm_time,
+    tp_comm_time,
+)
+from repro.hardware.catalog import A100
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.precision import MIXED_FP16
+from repro.hardware.system import SystemSpec
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.config import TransformerConfig
+
+MODEL = TransformerConfig(name="prop", n_layers=4, hidden_size=128,
+                          n_heads=4, sequence_length=64,
+                          vocab_size=1000)
+
+bandwidths = st.floats(min_value=1e9, max_value=1e13, allow_nan=False)
+batches = st.floats(min_value=1.0, max_value=4096.0, allow_nan=False)
+degrees = st.sampled_from([2, 4, 8])
+
+
+def system_with(intra_bw: float, inter_bw: float,
+                node_size: int = 8, n_nodes: int = 8) -> SystemSpec:
+    node = NodeSpec(
+        accelerator=A100,
+        n_accelerators=node_size,
+        intra_link=LinkSpec("intra", 1e-6, intra_bw),
+        inter_link=LinkSpec("inter", 5e-6, inter_bw),
+        n_nics=node_size,
+    )
+    return SystemSpec(node=node, n_nodes=n_nodes)
+
+
+def env_with(system, **spec_kwargs) -> CommEnvironment:
+    return CommEnvironment(system=system,
+                           parallelism=ParallelismSpec(**spec_kwargs),
+                           precision=MIXED_FP16)
+
+
+class TestMonotonicity:
+    @settings(max_examples=40)
+    @given(bw=bandwidths, b=batches)
+    def test_tp_time_decreases_with_bandwidth(self, bw, b):
+        slow = env_with(system_with(bw, 1e11), tp_intra=8, dp_inter=8)
+        fast = env_with(system_with(2 * bw, 1e11), tp_intra=8,
+                        dp_inter=8)
+        assert tp_comm_time(fast, MODEL, b, "intra") \
+            <= tp_comm_time(slow, MODEL, b, "intra")
+
+    @settings(max_examples=40)
+    @given(bw=bandwidths, b=batches)
+    def test_pp_time_decreases_with_bandwidth(self, bw, b):
+        slow = env_with(system_with(1e12, bw), pp_intra=8, dp_inter=8)
+        fast = env_with(system_with(1e12, 2 * bw), pp_intra=8,
+                        dp_inter=8)
+        assert pp_comm_time(fast, MODEL, b, "inter") \
+            <= pp_comm_time(slow, MODEL, b, "inter")
+
+    @settings(max_examples=40)
+    @given(b=batches, tp=degrees)
+    def test_tp_volume_linear_in_batch(self, b, tp):
+        env = env_with(system_with(1e12, 1e11), tp_intra=tp,
+                       dp_intra=8 // tp, dp_inter=8)
+        latency = tp_comm_time(env, MODEL, 1e-9, "intra")
+        one = tp_comm_time(env, MODEL, b, "intra") - latency
+        double = tp_comm_time(env, MODEL, 2 * b, "intra") - latency
+        assert abs(double - 2 * one) <= 1e-9 + 1e-6 * abs(double)
+
+    @settings(max_examples=40)
+    @given(b=batches)
+    def test_forward_comm_nonnegative_everywhere(self, b):
+        env = env_with(system_with(1e12, 1e11), tp_intra=4,
+                       pp_intra=2, dp_inter=8)
+        assert forward_comm_time(env, MODEL, b, False) >= 0.0
+        assert forward_comm_time(env, MODEL, b, True) \
+            >= forward_comm_time(env, MODEL, b, False)
+
+    @settings(max_examples=40)
+    @given(params=st.floats(min_value=0, max_value=1e12,
+                            allow_nan=False))
+    def test_gradient_time_linear_in_params(self, params):
+        env = env_with(system_with(1e12, 1e11), dp_intra=8,
+                       dp_inter=8)
+        zero = gradient_comm_time(env, 0.0)
+        one = gradient_comm_time(env, params) - zero
+        double = gradient_comm_time(env, 2 * params) - zero
+        assert abs(double - 2 * one) <= 1e-9 + 1e-6 * abs(double)
+
+    @settings(max_examples=40)
+    @given(b=batches, mult=st.floats(min_value=0.5, max_value=8.0,
+                                     allow_nan=False))
+    def test_moe_scales_with_multiplier(self, b, mult):
+        base = env_with(system_with(1e12, 1e11), tp_intra=8,
+                        dp_inter=8)
+        scaled = dataclasses.replace(base, moe_volume_multiplier=mult)
+        latency = 2 * base.inter_link.latency_s \
+            * base.moe_topology.factor(8) * 8
+        base_vol = moe_comm_time(base, MODEL, b) - latency
+        scaled_vol = moe_comm_time(scaled, MODEL, b) - latency
+        assert abs(scaled_vol - mult * base_vol) \
+            <= 1e-12 + 1e-6 * abs(scaled_vol)

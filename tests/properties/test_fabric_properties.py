@@ -1,0 +1,96 @@
+"""Property tests on the fat-tree fabric model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.fabric import two_level_fat_tree
+
+ports = st.floats(min_value=1e10, max_value=1e13, allow_nan=False)
+leaf_sizes = st.sampled_from([4, 8, 16, 32])
+leaf_counts = st.sampled_from([2, 4, 8, 16])
+tapers = st.floats(min_value=1.0, max_value=32.0, allow_nan=False)
+
+
+class TestPlacementProperties:
+    """Mapping factorization round-trips (placed here with the other
+    structural property tests)."""
+
+    @settings(max_examples=60)
+    @given(node_bits=st.integers(min_value=0, max_value=4),
+           cluster_bits=st.integers(min_value=0, max_value=6),
+           tp_bits=st.integers(min_value=0, max_value=6),
+           pp_bits=st.integers(min_value=0, max_value=4))
+    def test_spec_from_totals_round_trips(self, node_bits,
+                                          cluster_bits, tp_bits,
+                                          pp_bits):
+        from repro.errors import MappingError
+        from repro.hardware.catalog import megatron_a100_cluster
+        from repro.parallelism.spec import spec_from_totals
+
+        node_size = 1 << node_bits
+        n_nodes = 1 << cluster_bits
+        total = node_size * n_nodes
+        tp = 1 << min(tp_bits, node_bits + cluster_bits)
+        remaining = total // tp
+        pp = 1 << min(pp_bits, remaining.bit_length() - 1)
+        dp = remaining // pp
+        system = megatron_a100_cluster(
+            n_nodes=n_nodes, accelerators_per_node=node_size)
+        try:
+            spec = spec_from_totals(system, tp=tp, pp=pp, dp=dp)
+        except MappingError:
+            return  # splits that fragment the node boundary are rejected
+        assert (spec.tp, spec.pp, spec.dp) == (tp, pp, dp)
+        spec.validate_against(system)
+
+
+class TestFabricProperties:
+    @settings(max_examples=50)
+    @given(port=ports, leaf=leaf_sizes, leaves=leaf_counts,
+           taper=tapers)
+    def test_bandwidth_never_exceeds_port(self, port, leaf, leaves,
+                                          taper):
+        fabric = two_level_fat_tree(port, nodes_per_leaf=leaf,
+                                    n_leaves=leaves,
+                                    oversubscription=taper)
+        for group in (1, leaf, leaf * leaves):
+            assert fabric.effective_bandwidth(group) <= port * 1.0001
+
+    @settings(max_examples=50)
+    @given(port=ports, leaf=leaf_sizes, leaves=leaf_counts,
+           taper=tapers)
+    def test_bandwidth_non_increasing_in_span(self, port, leaf, leaves,
+                                              taper):
+        fabric = two_level_fat_tree(port, nodes_per_leaf=leaf,
+                                    n_leaves=leaves,
+                                    oversubscription=taper)
+        local = fabric.effective_bandwidth(leaf)
+        wide = fabric.effective_bandwidth(leaf * leaves)
+        assert wide <= local
+
+    @settings(max_examples=50)
+    @given(port=ports, leaf=leaf_sizes, leaves=leaf_counts,
+           taper=tapers)
+    def test_latency_non_decreasing_in_span(self, port, leaf, leaves,
+                                            taper):
+        fabric = two_level_fat_tree(port, nodes_per_leaf=leaf,
+                                    n_leaves=leaves,
+                                    oversubscription=taper)
+        assert fabric.effective_latency(leaf * leaves) \
+            >= fabric.effective_latency(1)
+
+    @settings(max_examples=50)
+    @given(port=ports, leaf=leaf_sizes, leaves=leaf_counts,
+           taper=tapers)
+    def test_taper_only_hurts_cross_leaf_traffic(self, port, leaf,
+                                                 leaves, taper):
+        flat = two_level_fat_tree(port, nodes_per_leaf=leaf,
+                                  n_leaves=leaves,
+                                  oversubscription=1.0)
+        tapered = two_level_fat_tree(port, nodes_per_leaf=leaf,
+                                     n_leaves=leaves,
+                                     oversubscription=taper)
+        assert tapered.effective_bandwidth(leaf) \
+            == flat.effective_bandwidth(leaf)
+        assert tapered.effective_bandwidth(leaf * leaves) \
+            <= flat.effective_bandwidth(leaf * leaves) * 1.0001

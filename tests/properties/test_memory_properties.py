@@ -1,0 +1,69 @@
+"""Property tests on the memory footprint model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.zero import ZeroConfig
+from repro.hardware.precision import MIXED_FP16
+from repro.memory.footprint import estimate_footprint
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.config import TransformerConfig
+
+model_configs = st.builds(
+    TransformerConfig,
+    name=st.just("prop"),
+    n_layers=st.integers(min_value=1, max_value=12),
+    hidden_size=st.sampled_from([64, 256, 1024]),
+    n_heads=st.just(4),
+    sequence_length=st.sampled_from([32, 128]),
+    vocab_size=st.integers(min_value=100, max_value=60000),
+)
+
+microbatches = st.integers(min_value=1, max_value=64)
+
+
+class TestFootprintInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, ub=microbatches)
+    def test_components_positive(self, model, ub):
+        footprint = estimate_footprint(model, ParallelismSpec(), ub,
+                                       MIXED_FP16)
+        assert footprint.parameters > 0
+        assert footprint.activations > 0
+        assert footprint.total == pytest.approx(
+            sum(v for k, v in footprint.as_dict().items()
+                if k != "total"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, ub=microbatches)
+    def test_zero_stages_monotone(self, model, ub):
+        spec = ParallelismSpec(dp_inter=8)
+        totals = [estimate_footprint(model, spec, ub, MIXED_FP16,
+                                     zero=ZeroConfig(stage=stage)).total
+                  for stage in (0, 1, 2, 3)]
+        for lighter, heavier in zip(totals[1:], totals):
+            assert lighter <= heavier + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, ub=microbatches,
+           tp=st.sampled_from([1, 2, 4]))
+    def test_tp_shards_strictly(self, model, ub, tp):
+        flat = estimate_footprint(model, ParallelismSpec(), ub,
+                                  MIXED_FP16)
+        sharded = estimate_footprint(
+            model, ParallelismSpec(tp_intra=tp), ub, MIXED_FP16)
+        assert sharded.parameters \
+            == pytest.approx(flat.parameters / tp)
+        assert sharded.activations \
+            == pytest.approx(flat.activations / tp)
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, ub=microbatches)
+    def test_activations_linear_in_microbatch(self, model, ub):
+        spec = ParallelismSpec()
+        one = estimate_footprint(model, spec, ub, MIXED_FP16)
+        double = estimate_footprint(model, spec, 2 * ub, MIXED_FP16)
+        assert double.activations \
+            == pytest.approx(2 * one.activations)
+        assert double.parameters == pytest.approx(one.parameters)

@@ -1,0 +1,142 @@
+"""Property tests on the AMPeD model's physical invariants."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import AMPeD
+from repro.errors import MappingError
+from repro.hardware.catalog import A100
+from repro.hardware.interconnect import IB_HDR, NVLINK3
+from repro.hardware.node import NodeSpec
+from repro.hardware.system import SystemSpec
+from repro.parallelism.microbatch import (
+    CASE_STUDY_EFFICIENCY,
+    MicrobatchEfficiency,
+)
+from repro.parallelism.spec import ParallelismSpec
+from repro.transformer.config import TransformerConfig
+
+model_configs = st.builds(
+    TransformerConfig,
+    name=st.just("prop"),
+    n_layers=st.integers(min_value=1, max_value=8),
+    hidden_size=st.sampled_from([64, 128, 256]),
+    n_heads=st.sampled_from([4, 8]),
+    sequence_length=st.sampled_from([16, 64, 256]),
+    vocab_size=st.integers(min_value=100, max_value=50000),
+)
+
+
+def build_system(node_size: int, n_nodes: int) -> SystemSpec:
+    node = NodeSpec(accelerator=A100, n_accelerators=node_size,
+                    intra_link=NVLINK3, inter_link=IB_HDR,
+                    n_nics=node_size)
+    return SystemSpec(node=node, n_nodes=n_nodes)
+
+
+def build_amped(model, spec, system, **kwargs) -> AMPeD:
+    return AMPeD(model=model, system=system, parallelism=spec,
+                 efficiency=CASE_STUDY_EFFICIENCY, validate=False,
+                 **kwargs)
+
+
+@st.composite
+def specs(draw):
+    """Parallelism specs whose degrees stay small enough to divide the
+    test batch."""
+    return ParallelismSpec(
+        tp_intra=draw(st.sampled_from([1, 2, 4])),
+        pp_inter=draw(st.sampled_from([1, 2, 4])),
+        dp_intra=draw(st.sampled_from([1, 2])),
+        dp_inter=draw(st.sampled_from([1, 2, 4])),
+    )
+
+
+class TestModelInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, spec=specs())
+    def test_all_components_nonnegative(self, model, spec):
+        system = build_system(8, 16)
+        amped = build_amped(model, spec, system)
+        try:
+            breakdown = amped.estimate_batch(256)
+        except MappingError:
+            return
+        for value in breakdown.as_dict().values():
+            assert value >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, spec=specs())
+    def test_time_scales_linearly_in_batches(self, model, spec):
+        system = build_system(8, 16)
+        amped = build_amped(model, spec, system)
+        try:
+            one = amped.estimate(256, n_batches=1).total_time_s
+        except MappingError:
+            return
+        seven = amped.estimate(256, n_batches=7).total_time_s
+        assert seven == pytest.approx(7 * one)
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs)
+    def test_faster_interconnect_never_hurts(self, model):
+        spec = ParallelismSpec(tp_intra=4, dp_intra=2, dp_inter=16)
+        slow = build_system(8, 16)
+        fast_node = slow.node.with_links(
+            intra_link=slow.node.intra_link.scaled(4.0),
+            inter_link=slow.node.inter_link.scaled(4.0))
+        fast = slow.with_node(fast_node)
+        t_slow = build_amped(model, spec, slow).estimate_batch(256).total
+        t_fast = build_amped(model, spec, fast).estimate_batch(256).total
+        assert t_fast <= t_slow + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs,
+           eff=st.floats(min_value=0.1, max_value=1.0,
+                         allow_nan=False))
+    def test_lower_efficiency_never_helps(self, model, eff):
+        spec = ParallelismSpec(tp_intra=4, dp_intra=2, dp_inter=16)
+        system = build_system(8, 16)
+        derated = MicrobatchEfficiency(a=eff, b=0.0, floor=eff,
+                                       ceiling=eff)
+        perfect = MicrobatchEfficiency(a=1.0, b=0.0, floor=1.0)
+        t_derated = dataclasses.replace(
+            build_amped(model, spec, system),
+            efficiency=derated).estimate_batch(256).total
+        t_perfect = dataclasses.replace(
+            build_amped(model, spec, system),
+            efficiency=perfect).estimate_batch(256).total
+        assert t_perfect <= t_derated + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(model=model_configs, spec=specs())
+    def test_compute_is_conserved_across_mappings(self, model, spec):
+        """Total compute work (time x workers) is mapping-independent
+        at fixed efficiency."""
+        system = build_system(8, 16)
+        perfect = MicrobatchEfficiency(a=1.0, b=0.0, floor=1.0)
+        amped = dataclasses.replace(build_amped(model, spec, system),
+                                    efficiency=perfect)
+        serial_system = build_system(1, 1)
+        serial = dataclasses.replace(
+            build_amped(model, ParallelismSpec(), serial_system),
+            efficiency=perfect)
+        try:
+            sharded = amped.estimate_batch(256)
+        except MappingError:
+            return
+        baseline = serial.estimate_batch(256)
+        assert sharded.compute_time * spec.world_size \
+            == pytest.approx(baseline.compute_time)
+
+    @settings(max_examples=30, deadline=None)
+    @given(model=model_configs)
+    def test_achieved_tflops_below_peak(self, model):
+        spec = ParallelismSpec(tp_intra=4, dp_intra=2, dp_inter=16)
+        system = build_system(8, 16)
+        amped = build_amped(model, spec, system)
+        tflops = amped.achieved_tflops_per_gpu(256)
+        assert 0 < tflops < A100.peak_mac_flops_per_s / 1e12

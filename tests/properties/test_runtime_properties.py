@@ -1,0 +1,102 @@
+"""Property tests on the production-runtime models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.checkpoint import (
+    CheckpointSpec,
+    checkpoint_overhead_fraction,
+    young_daly_interval,
+)
+from repro.runtime.ramp import BatchSizeRamp
+from repro.runtime.reliability import FailureModel, campaign_estimate
+
+deltas = st.floats(min_value=1.0, max_value=600.0, allow_nan=False)
+mtbfs = st.floats(min_value=3600.0, max_value=1e7, allow_nan=False)
+cleans = st.floats(min_value=3600.0, max_value=1e8, allow_nan=False)
+
+
+class TestYoungDalyProperties:
+    @settings(max_examples=60)
+    @given(delta=deltas, mtbf=mtbfs)
+    def test_interval_beats_neighbors(self, delta, mtbf):
+        """The closed-form optimum minimizes the first-order overhead
+        model against multiplicative perturbations."""
+        optimum = young_daly_interval(delta, mtbf)
+
+        def overhead(tau):
+            return delta / tau + tau / (2 * mtbf)
+
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            assert overhead(optimum) <= overhead(optimum * factor) \
+                + 1e-12
+
+    @settings(max_examples=60)
+    @given(delta=deltas, mtbf=mtbfs)
+    def test_interval_scales_sqrt(self, delta, mtbf):
+        base = young_daly_interval(delta, mtbf)
+        assert young_daly_interval(4 * delta, mtbf) \
+            == pytest.approx(2 * base)
+        assert young_daly_interval(delta, 4 * mtbf) \
+            == pytest.approx(2 * base)
+
+    @settings(max_examples=60)
+    @given(delta=deltas,
+           tau=st.floats(min_value=1.0, max_value=1e6,
+                         allow_nan=False))
+    def test_overhead_fraction_in_unit_interval(self, delta, tau):
+        fraction = checkpoint_overhead_fraction(delta, tau)
+        assert 0.0 < fraction < 1.0
+
+
+class TestCampaignProperties:
+    @settings(max_examples=40)
+    @given(clean=cleans, delta=deltas, mtbf_hours=st.floats(
+        min_value=1e3, max_value=1e6, allow_nan=False),
+        devices=st.integers(min_value=1, max_value=4096))
+    def test_expected_time_exceeds_clean(self, clean, delta,
+                                         mtbf_hours, devices):
+        estimate = campaign_estimate(
+            clean, CheckpointSpec(write_seconds=delta),
+            FailureModel(device_mtbf_hours=mtbf_hours,
+                         n_devices=devices))
+        assert estimate.expected_seconds > clean
+        assert estimate.checkpoint_overhead >= 0
+        assert estimate.failure_overhead >= 0
+
+    @settings(max_examples=40)
+    @given(clean=cleans, delta=deltas)
+    def test_more_devices_more_overhead(self, clean, delta):
+        checkpoint = CheckpointSpec(write_seconds=delta)
+        small = campaign_estimate(
+            clean, checkpoint,
+            FailureModel(device_mtbf_hours=50000, n_devices=64))
+        large = campaign_estimate(
+            clean, checkpoint,
+            FailureModel(device_mtbf_hours=50000, n_devices=2048))
+        assert large.total_overhead > small.total_overhead
+
+
+class TestRampProperties:
+    @settings(max_examples=60)
+    @given(initial=st.integers(min_value=1, max_value=512),
+           growth=st.integers(min_value=0, max_value=4096),
+           ramp_tokens=st.floats(min_value=0, max_value=1e9,
+                                 allow_nan=False),
+           total=st.floats(min_value=1e3, max_value=1e10,
+                           allow_nan=False),
+           stages=st.integers(min_value=1, max_value=16))
+    def test_stages_conserve_tokens_and_bounds(self, initial, growth,
+                                               ramp_tokens, total,
+                                               stages):
+        ramp = BatchSizeRamp(initial_batch=initial,
+                             full_batch=initial + growth,
+                             ramp_tokens=ramp_tokens,
+                             n_stages=stages)
+        plan = ramp.stages(total)
+        assert sum(tokens for _, tokens in plan) \
+            == pytest.approx(total)
+        for batch, tokens in plan:
+            assert initial <= batch <= initial + growth
+            assert tokens > 0

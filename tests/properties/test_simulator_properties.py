@@ -1,0 +1,80 @@
+"""Property tests on the discrete-event pipeline simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.simulator import (
+    PipelineWorkload,
+    naive_bubble_fraction,
+    simulate_pipeline,
+)
+
+stages = st.integers(min_value=1, max_value=8)
+microbatches = st.integers(min_value=1, max_value=24)
+durations = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+
+
+class TestPipelineInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(s=stages, m=microbatches, f=durations, b=durations)
+    def test_gpipe_closed_form_makespan(self, s, m, f, b):
+        """Equal tasks, zero comm: makespan = (M + S - 1)(f + b)."""
+        result = simulate_pipeline(
+            PipelineWorkload(forward_time=f, backward_time=b),
+            n_stages=s, n_microbatches=m, schedule="gpipe")
+        expected = (m + s - 1) * (f + b)
+        assert abs(result.makespan_s - expected) < 1e-6 * expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=stages, m=microbatches, f=durations, b=durations)
+    def test_busy_time_equals_work(self, s, m, f, b):
+        result = simulate_pipeline(
+            PipelineWorkload(forward_time=f, backward_time=b),
+            n_stages=s, n_microbatches=m)
+        assert abs(result.total_busy_s - s * m * (f + b)) < 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=stages, m=microbatches, f=durations, b=durations,
+           c=st.floats(min_value=0.0, max_value=2.0, allow_nan=False))
+    def test_makespan_bounded_below_by_work(self, s, m, f, b, c):
+        """No schedule beats one stage's total work per stage."""
+        result = simulate_pipeline(
+            PipelineWorkload(forward_time=f, backward_time=b,
+                             comm_time=c),
+            n_stages=s, n_microbatches=m)
+        assert result.makespan_s >= m * (f + b) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=stages, m=microbatches, f=durations, b=durations)
+    def test_1f1b_never_slower_than_gpipe(self, s, m, f, b):
+        workload = PipelineWorkload(forward_time=f, backward_time=b)
+        gpipe = simulate_pipeline(workload, s, m, schedule="gpipe")
+        one_f = simulate_pipeline(workload, s, m, schedule="1f1b")
+        assert one_f.makespan_s <= gpipe.makespan_s + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=stages, m=microbatches)
+    def test_bubble_fraction_matches_naive_bound(self, s, m):
+        result = simulate_pipeline(PipelineWorkload(1.0, 1.0),
+                                   n_stages=s, n_microbatches=m)
+        assert abs(result.bubble_fraction
+                   - naive_bubble_fraction(s, m)) < 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(s=st.integers(min_value=2, max_value=6),
+           m=st.integers(min_value=8, max_value=24),
+           chunks=st.integers(min_value=2, max_value=4))
+    def test_interleaving_never_increases_bubble(self, s, m, chunks):
+        base = simulate_pipeline(PipelineWorkload(1.0, 1.0), s, m)
+        chunked = simulate_pipeline(
+            PipelineWorkload(1.0 / chunks, 1.0 / chunks), s, m,
+            schedule="interleaved", n_chunks=chunks)
+        assert chunked.bubble_fraction <= base.bubble_fraction + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=stages, m=microbatches, f=durations)
+    def test_more_microbatches_reduce_bubble_fraction(self, s, m, f):
+        workload = PipelineWorkload(forward_time=f, backward_time=f)
+        small = simulate_pipeline(workload, s, m)
+        large = simulate_pipeline(workload, s, m + 8)
+        assert large.bubble_fraction <= small.bubble_fraction + 1e-9

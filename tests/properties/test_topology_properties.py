@@ -1,0 +1,84 @@
+"""Property tests: topology factors vs the step simulators.
+
+The closed-form topology factors of Eq. 6/9/11 must equal the volume
+multipliers the constructive simulators measure, for *every* rank count
+hypothesis throws at them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.alltoall import simulate_pairwise_alltoall
+from repro.collectives.hierarchical import simulate_hierarchical_allreduce
+from repro.collectives.ring import simulate_ring_allreduce
+from repro.collectives.tree import simulate_tree_allreduce
+from repro.hardware.interconnect import LinkSpec
+from repro.parallelism.topology import (
+    PAIRWISE_ALLTOALL,
+    RING,
+    TREE,
+)
+
+LINK = LinkSpec("prop", latency_s=0.0, bandwidth_bits_per_s=1e9)
+
+ranks = st.integers(min_value=1, max_value=200)
+payloads = st.floats(min_value=1.0, max_value=1e12,
+                     allow_nan=False, allow_infinity=False)
+
+
+class TestSimulatorMatchesClosedForm:
+    @given(n=ranks, payload=payloads)
+    def test_ring_factor(self, n, payload):
+        result = simulate_ring_allreduce(payload, n, LINK)
+        assert abs(result.effective_topology_factor
+                   - RING.factor(n)) < 1e-9
+
+    @given(n=ranks, payload=payloads)
+    def test_tree_factor(self, n, payload):
+        result = simulate_tree_allreduce(payload, n, LINK)
+        assert abs(result.effective_topology_factor
+                   - TREE.factor(n)) < 1e-9
+
+    @given(n=ranks, payload=payloads)
+    def test_alltoall_factor(self, n, payload):
+        result = simulate_pairwise_alltoall(payload, n, LINK)
+        assert abs(result.effective_topology_factor
+                   - PAIRWISE_ALLTOALL.factor(n)) < 1e-9
+
+
+class TestFactorInvariants:
+    @given(n=st.integers(min_value=2, max_value=4096))
+    def test_ring_factor_bounds(self, n):
+        assert 1.0 <= RING.factor(n) < 2.0
+
+    @given(n=st.integers(min_value=2, max_value=4096))
+    def test_alltoall_below_one(self, n):
+        assert 0.5 <= PAIRWISE_ALLTOALL.factor(n) < 1.0
+
+    @given(n=st.integers(min_value=2, max_value=4096))
+    def test_ring_factor_monotone(self, n):
+        assert RING.factor(n + 1) > RING.factor(n)
+
+    @given(n=ranks)
+    def test_latency_term_nonnegative(self, n):
+        for topology in (RING, TREE, PAIRWISE_ALLTOALL):
+            assert topology.latency_term(1e-6, n) >= 0.0
+
+
+class TestHierarchicalInvariants:
+    @settings(max_examples=40)
+    @given(n_intra=st.integers(min_value=1, max_value=16),
+           n_inter=st.integers(min_value=1, max_value=64),
+           payload=st.floats(min_value=1e3, max_value=1e12,
+                             allow_nan=False))
+    def test_intra_sharding_always_helps_inter_phase(self, n_intra,
+                                                     n_inter, payload):
+        """The inter phase never carries more than the flat all-reduce."""
+        slow = LinkSpec("slow", latency_s=0.0,
+                        bandwidth_bits_per_s=1e9)
+        fast = LinkSpec("fast", latency_s=0.0,
+                        bandwidth_bits_per_s=1e12)
+        hier = simulate_hierarchical_allreduce(payload, n_intra,
+                                               n_inter, fast, slow)
+        flat = simulate_ring_allreduce(payload, n_inter, slow)
+        assert hier.inter_allreduce_s <= flat.time_s + 1e-12

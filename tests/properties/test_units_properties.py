@@ -1,0 +1,85 @@
+"""Property tests on unit helpers and the efficiency fit."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallelism.microbatch import MicrobatchEfficiency
+from repro.units import (
+    days_to_seconds,
+    divisors,
+    format_duration,
+    format_si,
+    relative_error,
+    seconds_to_days,
+)
+
+
+class TestUnitProperties:
+    @given(st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    def test_day_round_trip(self, seconds):
+        assert days_to_seconds(seconds_to_days(seconds)) \
+            == pytest.approx(seconds)
+
+    @given(st.floats(min_value=1e-9, max_value=1e9, allow_nan=False))
+    def test_format_duration_total(self, seconds):
+        text = format_duration(seconds)
+        assert any(text.endswith(unit)
+                   for unit in ("us", "ms", "s", "min", "h", "days"))
+
+    @given(st.floats(min_value=1e-3, max_value=1e18, allow_nan=False),
+           st.floats(min_value=1e-3, max_value=1e18, allow_nan=False))
+    def test_relative_error_symmetric_zero(self, a, b):
+        assert relative_error(a, a) == 0.0
+        assert relative_error(a, b) >= 0.0
+
+    @given(st.integers(min_value=1, max_value=100000))
+    def test_divisors_complete_and_sorted(self, n):
+        divs = divisors(n)
+        assert divs[0] == 1 and divs[-1] == n
+        assert divs == sorted(set(divs))
+        assert all(n % d == 0 for d in divs)
+
+    @given(st.floats(min_value=1e-30, max_value=1e30, allow_nan=False))
+    def test_format_si_nonempty(self, value):
+        assert format_si(value, "X")
+
+
+class TestEfficiencyProperties:
+    @given(a=st.floats(min_value=0.1, max_value=1.5, allow_nan=False),
+           b=st.floats(min_value=0.0, max_value=1000.0,
+                       allow_nan=False),
+           ub=st.floats(min_value=0.01, max_value=1e6,
+                        allow_nan=False))
+    def test_always_in_unit_interval(self, a, b, ub):
+        eff = MicrobatchEfficiency(a=a, b=b)
+        assert 0.0 <= eff(ub) <= 1.0
+
+    @given(a=st.floats(min_value=0.1, max_value=1.5, allow_nan=False),
+           b=st.floats(min_value=0.0, max_value=1000.0,
+                       allow_nan=False),
+           ub=st.floats(min_value=0.01, max_value=1e5,
+                        allow_nan=False))
+    def test_monotone_nondecreasing(self, a, b, ub):
+        eff = MicrobatchEfficiency(a=a, b=b)
+        assert eff(2 * ub) >= eff(ub) - 1e-12
+
+    @given(ub1=st.floats(min_value=1, max_value=100, allow_nan=False),
+           scale=st.floats(min_value=2, max_value=50,
+                           allow_nan=False),
+           e1=st.floats(min_value=0.05, max_value=0.5,
+                        allow_nan=False),
+           gain=st.floats(min_value=1.2, max_value=1.8,
+                          allow_nan=False))
+    def test_from_points_interpolates(self, ub1, scale, e1, gain):
+        ub2 = ub1 * scale
+        e2 = min(e1 * gain, 0.95)
+        if e2 <= e1:
+            return
+        from repro.errors import ConfigurationError
+        try:
+            eff = MicrobatchEfficiency.from_points((ub1, e1), (ub2, e2))
+        except ConfigurationError:
+            return  # some point pairs imply non-saturating fits
+        assert eff(ub1) == pytest.approx(e1, rel=1e-6)
+        assert eff(ub2) == pytest.approx(e2, rel=1e-6)

@@ -1,0 +1,59 @@
+"""Unit tests for the ASCII charts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.ascii_plot import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        line_a, line_b = text.splitlines()
+        assert line_b.count("#") == 10
+        assert line_a.count("#") == 5
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart(["a", "b"], [0.0, 2.0])
+        assert "#" not in text.splitlines()[0]
+
+    def test_values_printed(self):
+        assert "2" in bar_chart(["a"], [2.0])
+
+    def test_unit_suffix(self):
+        assert "days" in bar_chart(["a"], [2.0], unit="days")
+
+    def test_title(self):
+        assert bar_chart(["a"], [1.0], title="T").startswith("T\n=")
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        text = line_chart([1, 2, 4], {"s1": [1.0, 2.0, 3.0],
+                                      "s2": [3.0, 2.0, 1.0]})
+        assert "o = s1" in text
+        assert "x = s2" in text
+
+    def test_y_range_line(self):
+        text = line_chart([1, 2], {"s": [1.0, 5.0]})
+        assert "y: 1 .. 5" in text
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"s": [1.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([], {})
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart([1, 2, 3], {"s": [2.0, 2.0, 2.0]})
+        assert "y: 2 .. 2" in text

@@ -1,0 +1,41 @@
+"""Unit tests for CSV/JSON export."""
+
+import csv
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.export import export_csv, export_json, load_json
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path):
+        path = export_csv(tmp_path / "out.csv", ["a", "b"],
+                          [(1, 2.5), (3, 4.5)])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_csv(tmp_path / "deep/dir/out.csv", ["a"], [(1,)])
+        assert path.exists()
+
+    def test_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_csv(tmp_path / "out.csv", ["a", "b"], [(1,)])
+
+    def test_rejects_no_headers(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_csv(tmp_path / "out.csv", [], [])
+
+
+class TestJSON:
+    def test_round_trip(self, tmp_path):
+        payload = {"series": [1, 2, 3], "name": "fig"}
+        path = export_json(tmp_path / "out.json", payload)
+        assert load_json(path) == payload
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_json(tmp_path / "a/b/out.json", [1])
+        assert path.exists()

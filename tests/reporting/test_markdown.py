@@ -1,0 +1,54 @@
+"""Unit tests for markdown rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.markdown import MarkdownReport, render_markdown_table
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = render_markdown_table(["a", "b"], [(1, 2.5)])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5 |"
+
+    def test_pipes_escaped(self):
+        text = render_markdown_table(["x"], [("a|b",)])
+        assert "a\\|b" in text
+
+    def test_float_format(self):
+        text = render_markdown_table(["v"], [(3.14159,)],
+                                     float_format="{:.2f}")
+        assert "3.14" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_markdown_table(["a", "b"], [(1,)])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_markdown_table([], [])
+
+
+class TestMarkdownReport:
+    def test_full_document(self):
+        report = (MarkdownReport("My Repro")
+                  .add_section("Results", "Everything reproduced.")
+                  .add_table(["k", "v"], [("x", 1)],
+                             caption="one table"))
+        text = report.render()
+        assert text.startswith("# My Repro")
+        assert "## Results" in text
+        assert "| k | v |" in text
+        assert "*one table*" in text
+        assert text.endswith("\n")
+
+    def test_rejects_empty_title(self):
+        with pytest.raises(ConfigurationError):
+            MarkdownReport("")
+
+    def test_sections_chain(self):
+        report = MarkdownReport("t").add_section("a").add_section("b")
+        assert report.render().count("##") == 2

@@ -1,0 +1,43 @@
+"""Unit tests for the text table renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        text = render_table(["name", "value"],
+                            [("alpha", 1.5), ("b", 22.0)])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+
+    def test_title(self):
+        text = render_table(["x"], [("y",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [(3.14159,)],
+                            float_format="{:.2f}")
+        assert "3.14" in text
+
+    def test_numbers_right_aligned(self):
+        text = render_table(["name", "v"], [("a", 1.0), ("bb", 100.0)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  1") or rows[0].rstrip().endswith("1")
+
+    def test_column_count_enforced(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [("only-one",)])
+
+    def test_needs_headers(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_handles_mixed_types(self):
+        text = render_table(["a", "b", "c"], [(True, 7, "text")])
+        assert "True" in text and "7" in text and "text" in text

@@ -1,0 +1,82 @@
+"""Unit tests for checkpoint sizing and the Young/Daly interval."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.precision import MIXED_FP16
+from repro.runtime.checkpoint import (
+    CheckpointSpec,
+    checkpoint_bytes,
+    checkpoint_overhead_fraction,
+    checkpoint_write_seconds,
+    young_daly_interval,
+)
+from repro.transformer.params import total_parameters
+from repro.transformer.zoo import MEGATRON_145B
+
+
+class TestCheckpointSize:
+    def test_bytes_formula(self, tiny_model):
+        params = total_parameters(tiny_model)
+        assert checkpoint_bytes(tiny_model, MIXED_FP16) \
+            == pytest.approx(params * (2 + 12))
+
+    def test_145b_checkpoint_about_2tb(self):
+        size = checkpoint_bytes(MEGATRON_145B, MIXED_FP16)
+        assert size == pytest.approx(2.04e12, rel=0.05)
+
+    def test_write_time_scales_with_writers(self, tiny_model):
+        one = checkpoint_write_seconds(tiny_model, MIXED_FP16, 1e10)
+        eight = checkpoint_write_seconds(tiny_model, MIXED_FP16, 1e10,
+                                         parallel_writers=8)
+        assert eight == pytest.approx(one / 8)
+
+    def test_rejects_zero_bandwidth(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            checkpoint_write_seconds(tiny_model, MIXED_FP16, 0.0)
+
+
+class TestYoungDaly:
+    def test_formula(self):
+        assert young_daly_interval(60.0, 86400.0) \
+            == pytest.approx(math.sqrt(2 * 60 * 86400))
+
+    def test_interval_grows_with_mtbf(self):
+        assert young_daly_interval(60.0, 4 * 86400.0) \
+            == pytest.approx(2 * young_daly_interval(60.0, 86400.0))
+
+    def test_optimality(self):
+        """The Young/Daly interval minimizes the combined checkpoint +
+        lost-work overhead delta/tau ... approximated as
+        delta/tau + tau/(2*MTBF)."""
+        delta, mtbf = 120.0, 2 * 86400.0
+        optimum = young_daly_interval(delta, mtbf)
+
+        def overhead(tau):
+            return delta / tau + tau / (2 * mtbf)
+
+        assert overhead(optimum) <= overhead(optimum * 0.8)
+        assert overhead(optimum) <= overhead(optimum * 1.25)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            young_daly_interval(0.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            young_daly_interval(10.0, 0.0)
+
+
+class TestOverheadFraction:
+    def test_formula(self):
+        assert checkpoint_overhead_fraction(60.0, 540.0) \
+            == pytest.approx(0.1)
+
+    def test_zero_cost_zero_overhead(self):
+        assert checkpoint_overhead_fraction(0.0, 600.0) == 0.0
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointSpec(write_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            CheckpointSpec(write_seconds=10.0, restart_seconds=-1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for batch-size ramps."""
+
+import pytest
+
+from repro.core.model import AMPeD
+from repro.errors import ConfigurationError
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import ParallelismSpec
+from repro.runtime.ramp import (
+    BatchSizeRamp,
+    ramp_overhead,
+    ramped_training_time,
+)
+
+
+@pytest.fixture
+def amped(tiny_model, small_system):
+    return AMPeD(model=tiny_model, system=small_system,
+                 parallelism=ParallelismSpec(tp_intra=4, dp_inter=4),
+                 efficiency=CASE_STUDY_EFFICIENCY)
+
+
+class TestStages:
+    def test_covers_total_tokens(self):
+        ramp = BatchSizeRamp(initial_batch=32, full_batch=256,
+                             ramp_tokens=1e6, n_stages=4)
+        stages = ramp.stages(1e7)
+        assert sum(tokens for _, tokens in stages) \
+            == pytest.approx(1e7)
+
+    def test_batches_interpolate_upward(self):
+        ramp = BatchSizeRamp(initial_batch=32, full_batch=256,
+                             ramp_tokens=1e6, n_stages=4)
+        batches = [batch for batch, _ in ramp.stages(1e7)]
+        assert batches == sorted(batches)
+        assert batches[-1] == 256
+        assert batches[0] < 256
+
+    def test_no_ramp_is_single_stage(self):
+        ramp = BatchSizeRamp(initial_batch=256, full_batch=256,
+                             ramp_tokens=1e6)
+        assert ramp.stages(1e7) == [(256, 1e7)]
+
+    def test_short_run_truncates_ramp(self):
+        ramp = BatchSizeRamp(initial_batch=32, full_batch=256,
+                             ramp_tokens=1e9, n_stages=4)
+        stages = ramp.stages(1e6)
+        assert sum(tokens for _, tokens in stages) \
+            == pytest.approx(1e6)
+
+    def test_rejects_inverted_ramp(self):
+        with pytest.raises(ConfigurationError):
+            BatchSizeRamp(initial_batch=256, full_batch=32,
+                          ramp_tokens=1e6)
+
+    def test_rejects_zero_tokens(self):
+        ramp = BatchSizeRamp(initial_batch=32, full_batch=256,
+                             ramp_tokens=1e6)
+        with pytest.raises(ConfigurationError):
+            ramp.stages(0)
+
+
+class TestRampedTime:
+    def test_flat_ramp_matches_direct_estimate(self, amped,
+                                               tiny_model):
+        ramp = BatchSizeRamp(initial_batch=256, full_batch=256,
+                             ramp_tokens=0.0)
+        tokens = 256 * tiny_model.sequence_length * 50
+        direct = amped.estimate_batch(256).total * 50
+        assert ramped_training_time(amped, ramp, tokens) \
+            == pytest.approx(direct)
+
+    def test_ramp_slower_than_flat(self, amped, tiny_model):
+        """Small early batches run at lower efficiency, so the ramped
+        run takes longer for the same tokens."""
+        tokens = 256 * tiny_model.sequence_length * 200
+        ramp = BatchSizeRamp(initial_batch=32, full_batch=256,
+                             ramp_tokens=tokens / 4, n_stages=4)
+        overhead = ramp_overhead(amped, ramp, tokens)
+        assert overhead > 0.0
+
+    def test_overhead_shrinks_with_shorter_ramp(self, amped,
+                                                tiny_model):
+        tokens = 256 * tiny_model.sequence_length * 200
+        long_ramp = BatchSizeRamp(32, 256, ramp_tokens=tokens / 2)
+        short_ramp = BatchSizeRamp(32, 256, ramp_tokens=tokens / 10)
+        assert ramp_overhead(amped, short_ramp, tokens) \
+            < ramp_overhead(amped, long_ramp, tokens)

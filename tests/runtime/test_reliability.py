@@ -1,0 +1,91 @@
+"""Unit tests for the failure-aware campaign model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.checkpoint import CheckpointSpec, young_daly_interval
+from repro.runtime.reliability import (
+    CampaignEstimate,
+    FailureModel,
+    campaign_estimate,
+)
+
+
+class TestFailureModel:
+    def test_system_mtbf_divides_by_devices(self):
+        model = FailureModel(device_mtbf_hours=50000, n_devices=1024)
+        assert model.system_mtbf_seconds \
+            == pytest.approx(50000 * 3600 / 1024)
+
+    def test_thousand_gpu_cluster_fails_every_couple_days(self):
+        model = FailureModel(device_mtbf_hours=50000, n_devices=1024)
+        assert 1.0 < model.system_mtbf_seconds / 86400 < 3.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            FailureModel(device_mtbf_hours=0, n_devices=8)
+        with pytest.raises(ConfigurationError):
+            FailureModel(device_mtbf_hours=1000, n_devices=0)
+
+
+class TestCampaign:
+    @pytest.fixture
+    def scenario(self):
+        checkpoint = CheckpointSpec(write_seconds=120.0,
+                                    restart_seconds=600.0)
+        failures = FailureModel(device_mtbf_hours=50000,
+                                n_devices=1024)
+        return checkpoint, failures
+
+    def test_defaults_to_young_daly(self, scenario):
+        checkpoint, failures = scenario
+        estimate = campaign_estimate(30 * 86400.0, checkpoint, failures)
+        assert estimate.checkpoint_interval_s == pytest.approx(
+            young_daly_interval(checkpoint.write_seconds,
+                                failures.system_mtbf_seconds))
+
+    def test_overheads_positive_and_modest(self, scenario):
+        checkpoint, failures = scenario
+        estimate = campaign_estimate(30 * 86400.0, checkpoint, failures)
+        assert 0 < estimate.checkpoint_overhead < 0.2
+        assert 0 < estimate.failure_overhead < 0.2
+        assert estimate.expected_seconds > estimate.clean_seconds
+
+    def test_month_long_run_sees_failures(self, scenario):
+        checkpoint, failures = scenario
+        estimate = campaign_estimate(30 * 86400.0, checkpoint, failures)
+        assert estimate.expected_failures > 5
+
+    def test_young_daly_beats_extreme_intervals(self, scenario):
+        checkpoint, failures = scenario
+        clean = 30 * 86400.0
+        optimal = campaign_estimate(clean, checkpoint, failures)
+        too_often = campaign_estimate(clean, checkpoint, failures,
+                                      interval_seconds=300.0)
+        too_rare = campaign_estimate(
+            clean, checkpoint, failures,
+            interval_seconds=failures.system_mtbf_seconds)
+        assert optimal.expected_seconds <= too_often.expected_seconds
+        assert optimal.expected_seconds <= too_rare.expected_seconds
+
+    def test_reliable_hardware_shrinks_overhead(self, scenario):
+        checkpoint, _ = scenario
+        flaky = FailureModel(device_mtbf_hours=20000, n_devices=1024)
+        solid = FailureModel(device_mtbf_hours=200000, n_devices=1024)
+        clean = 30 * 86400.0
+        assert campaign_estimate(clean, checkpoint,
+                                 solid).total_overhead \
+            < campaign_estimate(clean, checkpoint,
+                                flaky).total_overhead
+
+    def test_estimate_days(self):
+        estimate = CampaignEstimate(
+            clean_seconds=86400.0, checkpoint_interval_s=3600.0,
+            checkpoint_overhead=0.05, failure_overhead=0.05,
+            expected_failures=1.0)
+        assert estimate.expected_days == pytest.approx(1.1)
+
+    def test_rejects_bad_clean_time(self, scenario):
+        checkpoint, failures = scenario
+        with pytest.raises(ConfigurationError):
+            campaign_estimate(0.0, checkpoint, failures)

@@ -1,0 +1,89 @@
+"""Unit tests for mapping-feasibility diagnosis."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.spec import ParallelismSpec, spec_from_totals
+from repro.search.diagnose import diagnose_mapping, require_feasible
+from repro.transformer.zoo import MEGATRON_145B, MINGPT_85M
+
+
+@pytest.fixture
+def system():
+    return megatron_a100_cluster(n_nodes=16)
+
+
+class TestDiagnosis:
+    def test_good_mapping_is_feasible(self, system):
+        spec = spec_from_totals(system, tp=8, pp=8, dp=2,
+                                n_microbatches=1024)  # microbatch 1
+        diagnosis = diagnose_mapping(spec, MEGATRON_145B, system,
+                                     global_batch=2048)
+        assert diagnosis.feasible
+        assert "feasible" in diagnosis.explain()
+
+    def test_system_tiling_reported(self, system):
+        spec = ParallelismSpec(tp_intra=4, dp_inter=16)  # node has 8
+        diagnosis = diagnose_mapping(spec, MEGATRON_145B, system)
+        assert not diagnosis.feasible
+        assert any(issue.check == "system"
+                   for issue in diagnosis.issues)
+
+    def test_head_divisibility_reported(self, system):
+        # 145B has 96 heads; TP = 64 does not divide them
+        spec = spec_from_totals(system, tp=64, dp=2)
+        diagnosis = diagnose_mapping(spec, MEGATRON_145B, system)
+        assert any("heads" in issue.problem
+                   for issue in diagnosis.issues)
+
+    def test_deep_pipeline_reported(self, system):
+        spec = spec_from_totals(system, tp=8, pp=16)
+        diagnosis = diagnose_mapping(spec, MINGPT_85M, system)
+        assert any("layers" in issue.problem
+                   for issue in diagnosis.issues)
+
+    def test_microbatch_granularity_reported(self, system):
+        spec = spec_from_totals(system, dp=128)
+        diagnosis = diagnose_mapping(spec, MINGPT_85M, system,
+                                     global_batch=64)
+        assert any(issue.check == "batch"
+                   for issue in diagnosis.issues)
+
+    def test_memory_overflow_reported_with_suggestion(self, system):
+        spec = spec_from_totals(system, dp=128)  # 145B replicated
+        diagnosis = diagnose_mapping(spec, MEGATRON_145B, system,
+                                     global_batch=2048)
+        memory_issues = [issue for issue in diagnosis.issues
+                         if issue.check == "memory"]
+        assert memory_issues
+        assert "ZeRO-3" in memory_issues[0].suggestion
+
+    def test_multiple_issues_collected_at_once(self, system):
+        spec = ParallelismSpec(tp_intra=3, pp_inter=100)
+        diagnosis = diagnose_mapping(spec, MINGPT_85M, system,
+                                     global_batch=4)
+        assert len(diagnosis.issues) >= 3
+
+    def test_microbatch_suggestion_names_feasible_size(self, system):
+        spec = spec_from_totals(system, tp=8, pp=8, dp=2,
+                                n_microbatches=8)
+        diagnosis = diagnose_mapping(spec, MEGATRON_145B, system,
+                                     global_batch=2048)
+        memory_issues = [issue for issue in diagnosis.issues
+                         if issue.check == "memory"]
+        if memory_issues:  # microbatch 128 will not fit
+            assert "largest feasible" in memory_issues[0].problem
+
+
+class TestRequireFeasible:
+    def test_passes_silently(self, system):
+        spec = spec_from_totals(system, tp=4, dp=32)  # 4 divides 12 heads
+        require_feasible(spec, MINGPT_85M, system, global_batch=256)
+
+    def test_raises_with_full_story(self, system):
+        spec = spec_from_totals(system, dp=128)
+        with pytest.raises(MappingError) as excinfo:
+            require_feasible(spec, MEGATRON_145B, system,
+                             global_batch=2048)
+        assert "memory" in str(excinfo.value)

@@ -1,0 +1,51 @@
+"""Unit tests for the conclusion-encoding heuristics."""
+
+from repro.core.model import AMPeD
+from repro.hardware.catalog import lowend_a100_cluster
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.search.dse import best_mapping
+from repro.search.heuristics import recommend_mapping
+from repro.transformer.zoo import MEGATRON_145B
+
+
+class TestRecommendation:
+    def test_highend_gets_tp_intra_dp_inter(self, cs1_system):
+        rec = recommend_mapping(MEGATRON_145B, cs1_system)
+        assert rec.parallelism.tp_intra == 8
+        assert rec.parallelism.dp_inter == 128
+        assert not rec.parallelism.uses_inter_tp
+
+    def test_lowend_single_nic_gets_pp(self):
+        system = lowend_a100_cluster(1)
+        rec = recommend_mapping(MEGATRON_145B, system)
+        assert rec.parallelism.pp_inter > 1
+
+    def test_mapping_tiles_system(self, cs1_system):
+        rec = recommend_mapping(MEGATRON_145B, cs1_system)
+        rec.parallelism.validate_against(cs1_system)
+
+    def test_respects_head_divisibility(self, cs1_system, tiny_model):
+        rec = recommend_mapping(tiny_model, cs1_system)
+        assert tiny_model.n_heads % rec.parallelism.tp == 0
+
+    def test_rationale_is_explanatory(self, cs1_system):
+        rec = recommend_mapping(MEGATRON_145B, cs1_system)
+        text = rec.explain()
+        assert text.startswith("-")
+        assert "TP" in text
+
+    def test_recommendation_close_to_exhaustive_optimum(
+            self, small_system):
+        """The heuristic should land within 1.5x of the true best for a
+        compute-heavy model (its natural domain)."""
+        from repro.transformer.config import TransformerConfig
+        medium = TransformerConfig(
+            name="medium", n_layers=8, hidden_size=2048, n_heads=16,
+            sequence_length=512, vocab_size=32000)
+        rec = recommend_mapping(medium, small_system)
+        amped = AMPeD(model=medium, system=small_system,
+                      parallelism=rec.parallelism,
+                      efficiency=CASE_STUDY_EFFICIENCY)
+        recommended_time = amped.estimate_batch(512).total
+        optimum = best_mapping(amped, 512)
+        assert recommended_time <= 1.5 * optimum.batch_time_s

@@ -1,0 +1,54 @@
+"""Unit tests for microbatch-count tuning."""
+
+import pytest
+
+from repro.core.model import AMPeD
+from repro.errors import MappingError
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import ParallelismSpec
+from repro.search.tuning import microbatch_candidates, optimize_microbatches
+
+
+@pytest.fixture
+def pp_amped(tiny_model, small_system):
+    spec = ParallelismSpec(pp_intra=4, dp_inter=4)
+    return AMPeD(model=tiny_model, system=small_system,
+                 parallelism=spec, efficiency=CASE_STUDY_EFFICIENCY)
+
+
+class TestCandidates:
+    def test_powers_of_two_from_pp(self, pp_amped):
+        candidates = microbatch_candidates(pp_amped, 256)
+        assert candidates == [4, 8, 16, 32, 64]
+
+    def test_never_empty(self, pp_amped):
+        assert microbatch_candidates(pp_amped, 4) == [4]
+
+
+class TestOptimize:
+    def test_returns_feasible_minimum(self, pp_amped):
+        tuned, best_time = optimize_microbatches(pp_amped, 256)
+        for n_ub in microbatch_candidates(pp_amped, 256):
+            other = pp_amped.with_parallelism(
+                pp_amped.parallelism.with_microbatches(n_ub))
+            assert best_time <= other.estimate_batch(256).total + 1e-12
+
+    def test_beats_or_matches_default(self, pp_amped):
+        default_time = pp_amped.estimate_batch(256).total
+        __, best_time = optimize_microbatches(pp_amped, 256)
+        assert best_time <= default_time + 1e-12
+
+    def test_explicit_candidates(self, pp_amped):
+        tuned, _ = optimize_microbatches(pp_amped, 256,
+                                         candidates=[8])
+        assert tuned.parallelism.microbatches == 8
+
+    def test_infeasible_candidates_skipped(self, pp_amped):
+        # 512 microbatches over batch 256 dices sequences -> skipped
+        tuned, _ = optimize_microbatches(pp_amped, 256,
+                                         candidates=[512, 8])
+        assert tuned.parallelism.microbatches == 8
+
+    def test_all_infeasible_raises(self, pp_amped):
+        with pytest.raises(MappingError):
+            optimize_microbatches(pp_amped, 256, candidates=[100000])

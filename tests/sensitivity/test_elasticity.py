@@ -1,0 +1,100 @@
+"""Unit tests for the sensitivity/elasticity analysis."""
+
+import pytest
+
+from repro.core.model import AMPeD
+from repro.errors import ConfigurationError
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.parallelism.spec import spec_from_totals
+from repro.sensitivity.elasticity import (
+    KNOBS,
+    dominant_bottleneck,
+    knob_elasticity,
+    sensitivity_profile,
+)
+from repro.transformer.zoo import MEGATRON_145B
+
+
+@pytest.fixture(scope="module")
+def compute_bound():
+    """TP-intra / DP-inter: compute dominates."""
+    system = megatron_a100_cluster(n_nodes=16)
+    return AMPeD(model=MEGATRON_145B, system=system,
+                 parallelism=spec_from_totals(system, tp=8, dp=16),
+                 efficiency=CASE_STUDY_EFFICIENCY)
+
+
+@pytest.fixture(scope="module")
+def comm_bound():
+    """TP across nodes: inter-node bandwidth dominates."""
+    system = megatron_a100_cluster(n_nodes=16)
+    return AMPeD(model=MEGATRON_145B, system=system,
+                 parallelism=spec_from_totals(system, tp=16, dp=8),
+                 efficiency=CASE_STUDY_EFFICIENCY)
+
+
+class TestElasticitySigns:
+    def test_frequency_helps(self, compute_bound):
+        result = knob_elasticity(compute_bound, 2048,
+                                 "compute_frequency")
+        assert result.elasticity < 0
+        assert result.improves_when_increased
+
+    def test_latency_hurts(self, compute_bound):
+        result = knob_elasticity(compute_bound, 2048, "inter_latency")
+        assert result.elasticity >= 0
+
+    def test_bandwidth_helps(self, comm_bound):
+        result = knob_elasticity(comm_bound, 2048, "inter_bandwidth")
+        assert result.elasticity < 0
+
+
+class TestBottleneckIdentification:
+    def test_compute_bound_names_frequency(self, compute_bound):
+        assert dominant_bottleneck(compute_bound, 2048) \
+            == "compute_frequency"
+
+    def test_comm_bound_shifts_leverage_to_network(self, compute_bound,
+                                                   comm_bound):
+        compute_profile = {e.knob: e.elasticity
+                           for e in sensitivity_profile(compute_bound,
+                                                        2048)}
+        comm_profile = {e.knob: e.elasticity
+                        for e in sensitivity_profile(comm_bound, 2048)}
+        assert abs(comm_profile["inter_bandwidth"]) \
+            > abs(compute_profile["inter_bandwidth"])
+
+
+class TestProfileShape:
+    def test_covers_all_knobs(self, compute_bound):
+        profile = sensitivity_profile(compute_bound, 2048)
+        assert {e.knob for e in profile} == set(KNOBS)
+
+    def test_sorted_by_magnitude(self, compute_bound):
+        profile = sensitivity_profile(compute_bound, 2048)
+        magnitudes = [abs(e.elasticity) for e in profile]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_elasticities_sum_to_about_minus_one(self, compute_bound):
+        """Batch time is (nearly) homogeneous of degree -1 in the
+        throughput knobs plus +1 in latencies; scaling every rate up
+        10% should cut time ~10%, so throughput elasticities sum to
+        ~-1 (latency terms are negligible here)."""
+        profile = sensitivity_profile(compute_bound, 2048)
+        throughput_sum = sum(
+            e.elasticity for e in profile
+            if e.knob in ("compute_frequency", "nonlinear_throughput",
+                          "intra_bandwidth", "inter_bandwidth"))
+        assert throughput_sum == pytest.approx(-1.0, abs=0.05)
+
+
+class TestValidation:
+    def test_unknown_knob(self, compute_bound):
+        with pytest.raises(ConfigurationError):
+            knob_elasticity(compute_bound, 2048, "magic")
+
+    def test_bad_epsilon(self, compute_bound):
+        with pytest.raises(ConfigurationError):
+            knob_elasticity(compute_bound, 2048, "compute_frequency",
+                            epsilon=0.9)

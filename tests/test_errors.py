@@ -1,0 +1,48 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    MappingError,
+    MemoryCapacityError,
+    ReproError,
+    SimulationError,
+    ValidationDataError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ConfigurationError,
+        MappingError,
+        MemoryCapacityError,
+        ValidationDataError,
+        SimulationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise MappingError("nope")
+
+
+class TestMemoryCapacityError:
+    def test_carries_sizes(self):
+        error = MemoryCapacityError("too big", required_bytes=100.0,
+                                    available_bytes=80.0)
+        assert error.required_bytes == 100.0
+        assert error.available_bytes == 80.0
+
+    def test_defaults(self):
+        error = MemoryCapacityError("too big")
+        assert error.required_bytes == 0.0
+        assert error.available_bytes == 0.0
+
+    def test_message_preserved(self):
+        error = MemoryCapacityError("needs 2x")
+        assert "needs 2x" in str(error)

@@ -1,0 +1,145 @@
+"""Unit tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.units import (
+    bits_to_bytes,
+    bytes_to_bits,
+    days_to_seconds,
+    divisors,
+    format_bytes,
+    format_duration,
+    format_si,
+    gbps_to_bits_per_second,
+    gbytes_per_second_to_bits_per_second,
+    is_power_of_two,
+    relative_error,
+    seconds_to_days,
+    seconds_to_hours,
+    teraflops,
+    to_teraflops,
+)
+
+
+class TestConversions:
+    def test_seconds_to_days_round_trip(self):
+        assert days_to_seconds(seconds_to_days(123456.0)) \
+            == pytest.approx(123456.0)
+
+    def test_one_day(self):
+        assert seconds_to_days(86400.0) == 1.0
+
+    def test_seconds_to_hours(self):
+        assert seconds_to_hours(7200.0) == 2.0
+
+    def test_bits_bytes_round_trip(self):
+        assert bits_to_bytes(bytes_to_bits(17.0)) == 17.0
+
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(1.0) == 8.0
+
+    def test_gbps(self):
+        assert gbps_to_bits_per_second(200.0) == 2e11
+
+    def test_gbytes_per_second(self):
+        assert gbytes_per_second_to_bits_per_second(300.0) == 2.4e12
+
+    def test_teraflops_round_trip(self):
+        assert to_teraflops(teraflops(312.0)) == pytest.approx(312.0)
+
+    def test_flops_per_mac(self):
+        assert units.FLOPS_PER_MAC == 2.0
+
+
+class TestFormatting:
+    def test_format_si_teraflops(self):
+        assert format_si(3.12e14, "FLOP/s") == "312 TFLOP/s"
+
+    def test_format_si_below_kilo(self):
+        assert format_si(42.0, "W") == "42 W"
+
+    def test_format_si_zero(self):
+        assert format_si(0, "B") == "0 B"
+
+    def test_format_si_negative(self):
+        assert format_si(-2e9, "B") == "-2 GB"
+
+    def test_format_duration_days(self):
+        assert format_duration(2 * 86400.0) == "2 days"
+
+    def test_format_duration_ms(self):
+        assert format_duration(0.004) == "4 ms"
+
+    def test_format_duration_us(self):
+        assert format_duration(5e-6) == "5 us"
+
+    def test_format_duration_minutes(self):
+        assert format_duration(120.0) == "2 min"
+
+    def test_format_duration_hours(self):
+        assert format_duration(7200.0) == "2 h"
+
+    def test_format_duration_zero(self):
+        assert format_duration(0.0) == "0 s"
+
+    def test_format_duration_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+    def test_format_bytes_gib(self):
+        assert format_bytes(80 * 2**30) == "80 GiB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(12.0) == "12 B"
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1.0)
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(100.0, 100.0) == 0.0
+
+    def test_ten_percent(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_symmetric_sign(self):
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            relative_error(1.0, 0.0)
+
+
+class TestIntegerHelpers:
+    def test_is_power_of_two_true(self):
+        assert all(is_power_of_two(1 << k) for k in range(12))
+
+    def test_is_power_of_two_false(self):
+        assert not any(is_power_of_two(n) for n in (0, 3, 6, 12, -4))
+
+    def test_divisors_of_12(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_divisors_of_1(self):
+        assert divisors(1) == [1]
+
+    def test_divisors_of_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_divisors_sorted_and_complete(self):
+        for n in (16, 36, 100, 1024):
+            divs = divisors(n)
+            assert divs == sorted(divs)
+            assert all(n % d == 0 for d in divs)
+            assert math.prod([]) == 1  # sanity for the stdlib
+            assert len(divs) == sum(1 for d in range(1, n + 1)
+                                    if n % d == 0)
+
+    def test_divisors_rejects_zero(self):
+        with pytest.raises(ValueError):
+            divisors(0)

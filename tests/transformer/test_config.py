@@ -1,0 +1,94 @@
+"""Unit tests for transformer configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transformer.config import MoEConfig, TransformerConfig
+
+
+def make(**overrides) -> TransformerConfig:
+    base = dict(name="m", n_layers=4, hidden_size=64, n_heads=4,
+                sequence_length=32, vocab_size=100)
+    base.update(overrides)
+    return TransformerConfig(**base)
+
+
+class TestTransformerConfig:
+    def test_ffn_defaults_to_4h(self):
+        assert make().ffn_size == 256
+
+    def test_ffn_override(self):
+        assert make(ffn_hidden_size=512).ffn_size == 512
+
+    def test_head_dim(self):
+        assert make().head_dim == 16
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ConfigurationError):
+            make(hidden_size=65)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ConfigurationError):
+            make(n_layers=0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            make(name="")
+
+    def test_rejects_negative_ffn(self):
+        with pytest.raises(ConfigurationError):
+            make(ffn_hidden_size=-1)
+
+    def test_dense_has_no_moe_layers(self):
+        model = make()
+        assert not model.uses_moe
+        assert model.n_moe_layers == 0
+        assert not any(model.is_moe_layer(i) for i in range(4))
+
+    def test_scaled_copies(self):
+        wider = make().scaled(hidden_size=128)
+        assert wider.hidden_size == 128
+        assert wider.n_layers == 4
+
+
+class TestMoEConfig:
+    def test_every_other_layer(self):
+        model = make(moe=MoEConfig(n_experts=4, expert_interval=2))
+        assert model.n_moe_layers == 2
+        assert [model.is_moe_layer(i) for i in range(4)] \
+            == [False, True, False, True]
+
+    def test_every_layer(self):
+        model = make(moe=MoEConfig(n_experts=4, expert_interval=1))
+        assert model.n_moe_layers == 4
+
+    def test_layer_index_bounds(self):
+        model = make(moe=MoEConfig(n_experts=4))
+        with pytest.raises(ConfigurationError):
+            model.is_moe_layer(4)
+        with pytest.raises(ConfigurationError):
+            model.is_moe_layer(-1)
+
+    def test_without_moe(self):
+        model = make(moe=MoEConfig(n_experts=4))
+        dense = model.without_moe()
+        assert dense.moe is None
+        assert dense.n_moe_layers == 0
+        # original untouched
+        assert model.uses_moe
+
+    def test_without_moe_on_dense_is_identity(self):
+        model = make()
+        assert model.without_moe() is model
+
+    def test_rejects_single_expert(self):
+        with pytest.raises(ConfigurationError):
+            MoEConfig(n_experts=1)
+
+    def test_rejects_topk_above_experts(self):
+        with pytest.raises(ConfigurationError):
+            MoEConfig(n_experts=4, top_k=5)
+
+    def test_rejects_capacity_below_one(self):
+        with pytest.raises(ConfigurationError):
+            MoEConfig(n_experts=4, capacity_factor=0.5)

@@ -1,0 +1,116 @@
+"""Unit tests for per-sublayer operation counting, against hand
+computations on a tiny model (h=64, s=32, L=4, f=256, V=1000)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transformer.layers import (
+    attention_sublayer,
+    embedding_sublayer,
+    layer_sublayers,
+    logits_sublayer,
+    mlp_sublayer,
+    moe_ffn_sublayer,
+)
+
+
+class TestAttention:
+    def test_mac_flops_formula(self, tiny_model):
+        # 8*b*s*h^2 + 4*b*s^2*h with b=2, s=32, h=64
+        ops = attention_sublayer(tiny_model, 2)
+        expected = 8 * 2 * 32 * 64 * 64 + 4 * 2 * 32 * 32 * 64
+        assert ops.mac_flops == expected
+
+    def test_parameters(self, tiny_model):
+        ops = attention_sublayer(tiny_model, 1)
+        assert ops.parameters == 4 * 64 * 64 + 4 * 64
+
+    def test_scales_linearly_with_batch(self, tiny_model):
+        one = attention_sublayer(tiny_model, 1)
+        four = attention_sublayer(tiny_model, 4)
+        assert four.mac_flops == 4 * one.mac_flops
+        assert four.nonlinear_ops == 4 * one.nonlinear_ops
+        assert four.parameters == one.parameters
+
+    def test_nonlinear_includes_softmax_heads(self, tiny_model):
+        wider = tiny_model.scaled(hidden_size=64)
+        base = attention_sublayer(wider, 1).nonlinear_ops
+        # doubling heads (same hidden) doubles only the softmax term
+        import dataclasses
+        more_heads = dataclasses.replace(tiny_model, n_heads=8)
+        extra = attention_sublayer(more_heads, 1).nonlinear_ops
+        assert extra > base
+
+    def test_rejects_zero_batch(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            attention_sublayer(tiny_model, 0)
+
+
+class TestMLP:
+    def test_mac_flops_formula(self, tiny_model):
+        # 4*b*s*h*f with b=2, s=32, h=64, f=256
+        ops = mlp_sublayer(tiny_model, 2)
+        assert ops.mac_flops == 4 * 2 * 32 * 64 * 256
+
+    def test_parameters(self, tiny_model):
+        ops = mlp_sublayer(tiny_model, 1)
+        assert ops.parameters == 2 * 64 * 256 + 64 + 256
+
+    def test_standard_ffn_is_16bsh2(self, tiny_model):
+        ops = mlp_sublayer(tiny_model, 1)
+        assert ops.mac_flops == 16 * 1 * 32 * 64 * 64
+
+
+class TestMoEFFN:
+    def test_compute_scales_with_topk_not_experts(self, tiny_moe_model):
+        ops = moe_ffn_sublayer(tiny_moe_model, 1)
+        dense = mlp_sublayer(tiny_moe_model, 1)
+        gating = 2 * 1 * 32 * 64 * 4
+        assert ops.mac_flops == dense.mac_flops * 2 + gating
+
+    def test_parameters_scale_with_experts(self, tiny_moe_model):
+        ops = moe_ffn_sublayer(tiny_moe_model, 1)
+        dense = mlp_sublayer(tiny_moe_model, 1)
+        gating_params = 64 * 4
+        assert ops.parameters == dense.parameters * 4 + gating_params
+
+    def test_expert_parameters_exclude_gating(self, tiny_moe_model):
+        ops = moe_ffn_sublayer(tiny_moe_model, 1)
+        dense = mlp_sublayer(tiny_moe_model, 1)
+        assert ops.expert_parameters == dense.parameters * 4
+        assert ops.expert_parameters < ops.parameters
+
+    def test_dense_model_rejected(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            moe_ffn_sublayer(tiny_model, 1)
+
+
+class TestLayerAssembly:
+    def test_dense_layer_has_two_sublayers(self, tiny_model):
+        subs = layer_sublayers(tiny_model, 1, 0)
+        assert [s.name for s in subs] == ["attention", "mlp"]
+
+    def test_moe_layer_swaps_ffn(self, tiny_moe_model):
+        assert [s.name for s in layer_sublayers(tiny_moe_model, 1, 1)] \
+            == ["attention", "moe-ffn"]
+        assert [s.name for s in layer_sublayers(tiny_moe_model, 1, 0)] \
+            == ["attention", "mlp"]
+
+
+class TestEmbeddingAndLogits:
+    def test_embedding_has_no_macs(self, tiny_model):
+        ops = embedding_sublayer(tiny_model, 3)
+        assert ops.mac_flops == 0.0
+        assert ops.parameters == 1000 * 64 + 32 * 64
+
+    def test_logits_mac_formula(self, tiny_model):
+        ops = logits_sublayer(tiny_model, 2)
+        assert ops.mac_flops == 2 * 2 * 32 * 64 * 1000
+
+    def test_tied_embeddings_add_no_logit_params(self, tiny_model):
+        assert logits_sublayer(tiny_model, 1).parameters == 0.0
+
+    def test_untied_embeddings(self, tiny_model):
+        import dataclasses
+        untied = dataclasses.replace(tiny_model, tied_embeddings=False)
+        assert logits_sublayer(untied, 1).parameters == 1000 * 64

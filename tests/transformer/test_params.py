@@ -1,0 +1,99 @@
+"""Unit tests for parameter counting and FLOP formulas."""
+
+import pytest
+
+from repro.transformer.params import (
+    active_parameters_per_token,
+    dense_layer_parameters,
+    flops_per_token,
+    layer_parameters,
+    model_flops_per_batch,
+    total_parameters,
+)
+from repro.transformer.zoo import (
+    MEGATRON_1T,
+    MEGATRON_145B,
+    MEGATRON_310B,
+    MEGATRON_530B,
+    MINGPT_85M,
+)
+
+
+class TestZooParameterCounts:
+    """The Megatron entries must land on their advertised sizes."""
+
+    @pytest.mark.parametrize("model,billions", [
+        (MEGATRON_145B, 145), (MEGATRON_310B, 310),
+        (MEGATRON_530B, 530), (MEGATRON_1T, 1000),
+    ])
+    def test_megatron_sizes(self, model, billions):
+        total = total_parameters(model)
+        assert total == pytest.approx(billions * 1e9, rel=0.06)
+
+    def test_mingpt_85m(self):
+        layers_only = total_parameters(MINGPT_85M,
+                                       include_embeddings=False)
+        assert layers_only == pytest.approx(85e6, rel=0.05)
+
+
+class TestLayerParameters:
+    def test_dense_layer_is_12h2_plus_small(self, tiny_model):
+        params = dense_layer_parameters(tiny_model)
+        assert params == pytest.approx(12 * 64 * 64, rel=0.02)
+
+    def test_layer_parameters_match_dense(self, tiny_model):
+        assert layer_parameters(tiny_model, 0) \
+            == dense_layer_parameters(tiny_model)
+
+    def test_moe_layer_heavier(self, tiny_moe_model):
+        assert layer_parameters(tiny_moe_model, 1) \
+            > layer_parameters(tiny_moe_model, 0)
+
+
+class TestActiveParameters:
+    def test_dense_active_equals_total_without_embeddings(self, tiny_model):
+        assert active_parameters_per_token(tiny_model) \
+            == total_parameters(tiny_model, include_embeddings=False)
+
+    def test_moe_active_below_total(self, tiny_moe_model):
+        active = active_parameters_per_token(tiny_moe_model)
+        total = total_parameters(tiny_moe_model,
+                                 include_embeddings=False)
+        assert active < total
+
+    def test_moe_active_scales_with_topk(self, tiny_moe_model):
+        import dataclasses
+
+        from repro.transformer.config import MoEConfig
+        top1 = dataclasses.replace(
+            tiny_moe_model,
+            moe=MoEConfig(n_experts=4, expert_interval=2, top_k=1))
+        assert active_parameters_per_token(top1) \
+            < active_parameters_per_token(tiny_moe_model)
+
+
+class TestFlops:
+    def test_batch_linearity(self, tiny_model):
+        one = model_flops_per_batch(tiny_model, 1)
+        eight = model_flops_per_batch(tiny_model, 8)
+        assert eight == pytest.approx(8 * one)
+
+    def test_backward_multiplier(self, tiny_model):
+        fwd_only = model_flops_per_batch(tiny_model, 1,
+                                         backward_multiplier=0.0)
+        fwd_bwd = model_flops_per_batch(tiny_model, 1,
+                                        backward_multiplier=2.0)
+        assert fwd_bwd == pytest.approx(3 * fwd_only)
+
+    def test_logits_toggle(self, tiny_model):
+        with_logits = model_flops_per_batch(tiny_model, 1)
+        without = model_flops_per_batch(tiny_model, 1,
+                                        include_logits=False)
+        assert with_logits > without
+
+    def test_flops_per_token_approx_6p(self):
+        """For s << h dense models, FLOPs/token ~ 6 x parameters."""
+        per_token = flops_per_token(MEGATRON_145B)
+        params = total_parameters(MEGATRON_145B,
+                                  include_embeddings=False)
+        assert per_token == pytest.approx(6 * params, rel=0.15)

@@ -1,0 +1,65 @@
+"""Unit tests for the compute-optimal budget helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.transformer.params import active_parameters_per_token
+from repro.transformer.scaling_laws import (
+    chinchilla_optimal_tokens,
+    overtraining_ratio,
+    training_flops_budget,
+)
+from repro.transformer.zoo import GLAM_1_2T, MEGATRON_145B
+
+
+class TestChinchilla:
+    def test_twenty_tokens_per_parameter(self):
+        tokens = chinchilla_optimal_tokens(MEGATRON_145B)
+        active = active_parameters_per_token(MEGATRON_145B)
+        assert tokens == pytest.approx(20 * active)
+
+    def test_145b_needs_about_3t_tokens(self):
+        assert chinchilla_optimal_tokens(MEGATRON_145B) \
+            == pytest.approx(2.9e12, rel=0.1)
+
+    def test_moe_budgeted_by_active_params(self):
+        """GLaM's 1.2T stored parameters do not inflate the budget;
+        only its ~100B active parameters count."""
+        tokens = chinchilla_optimal_tokens(GLAM_1_2T)
+        assert tokens < 20 * 1.2e12 / 3
+
+    def test_custom_ratio(self):
+        assert chinchilla_optimal_tokens(MEGATRON_145B,
+                                         tokens_per_parameter=10) \
+            == pytest.approx(
+                chinchilla_optimal_tokens(MEGATRON_145B) / 2)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            chinchilla_optimal_tokens(MEGATRON_145B,
+                                      tokens_per_parameter=0)
+
+
+class TestBudgets:
+    def test_flops_budget_6nd(self):
+        tokens = 1e12
+        budget = training_flops_budget(MEGATRON_145B, tokens)
+        active = active_parameters_per_token(MEGATRON_145B)
+        assert budget == pytest.approx(6 * active * tokens)
+
+    def test_default_uses_chinchilla(self):
+        assert training_flops_budget(MEGATRON_145B) \
+            == pytest.approx(training_flops_budget(
+                MEGATRON_145B,
+                chinchilla_optimal_tokens(MEGATRON_145B)))
+
+    def test_overtraining_ratio(self):
+        optimal = chinchilla_optimal_tokens(MEGATRON_145B)
+        assert overtraining_ratio(MEGATRON_145B, optimal) \
+            == pytest.approx(1.0)
+        assert overtraining_ratio(MEGATRON_145B, 2 * optimal) \
+            == pytest.approx(2.0)
+
+    def test_rejects_bad_tokens(self):
+        with pytest.raises(ConfigurationError):
+            overtraining_ratio(MEGATRON_145B, 0)

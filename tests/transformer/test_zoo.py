@@ -1,0 +1,87 @@
+"""Unit tests for the model zoo."""
+
+import pytest
+
+from repro.transformer.config import TransformerConfig
+from repro.transformer.params import total_parameters
+from repro.transformer.zoo import (
+    GLAM_1_2T,
+    GPIPE_T24,
+    GPT3_175B,
+    MINGPT_85M,
+    MINGPT_PP,
+    MODELS,
+    get_model,
+)
+
+
+class TestRegistry:
+    def test_all_entries_are_configs(self):
+        assert all(isinstance(m, TransformerConfig)
+                   for m in MODELS.values())
+
+    def test_lookup_case_insensitive(self):
+        assert get_model("MEGATRON-145B").name == "Megatron-145B"
+
+    def test_unknown_model_lists_known(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_model("gpt-5")
+        assert "megatron-145b" in str(excinfo.value)
+
+    def test_registry_covers_paper_models(self):
+        expected = {"mingpt-85m", "mingpt-pp", "megatron-145b",
+                    "megatron-310b", "megatron-530b", "megatron-1t",
+                    "gpt3-175b", "gpipe-t24", "glam-1.2t"}
+        assert expected <= set(MODELS)
+
+    def test_megatron_family_sizes(self):
+        """The smaller family members land on their advertised sizes."""
+        from repro.transformer.params import total_parameters
+        for key, billions in (("megatron-1.7b", 1.7),
+                              ("megatron-3.6b", 3.6),
+                              ("megatron-7.5b", 7.5),
+                              ("megatron-18b", 18),
+                              ("megatron-39b", 39),
+                              ("megatron-76b", 76)):
+            total = total_parameters(get_model(key))
+            assert total == pytest.approx(billions * 1e9, rel=0.12)
+
+    def test_megatron_family_monotone(self):
+        """Depth, width and parameters all grow along the family."""
+        from repro.transformer.params import total_parameters
+        keys = ["megatron-1.7b", "megatron-3.6b", "megatron-7.5b",
+                "megatron-18b", "megatron-39b", "megatron-76b",
+                "megatron-145b", "megatron-310b", "megatron-530b",
+                "megatron-1t"]
+        models = [get_model(key) for key in keys]
+        params = [total_parameters(model) for model in models]
+        widths = [model.hidden_size for model in models]
+        assert params == sorted(params)
+        assert widths == sorted(widths)
+
+
+class TestPaperArchitectures:
+    def test_mingpt_85m_architecture(self):
+        assert (MINGPT_85M.n_layers, MINGPT_85M.n_heads,
+                MINGPT_85M.hidden_size) == (12, 12, 768)
+
+    def test_mingpt_pp_architecture(self):
+        """The paper's stated PP-validation variant: 16 layers, 8 heads,
+        hidden 1024."""
+        assert (MINGPT_PP.n_layers, MINGPT_PP.n_heads,
+                MINGPT_PP.hidden_size) == (16, 8, 1024)
+
+    def test_gpt3_architecture(self):
+        assert (GPT3_175B.n_layers, GPT3_175B.hidden_size) == (96, 12288)
+        assert total_parameters(GPT3_175B) == pytest.approx(175e9,
+                                                            rel=0.05)
+
+    def test_gpipe_has_24_layers(self):
+        assert GPIPE_T24.n_layers == 24
+
+    def test_glam_is_about_1_2t(self):
+        assert GLAM_1_2T.uses_moe
+        assert GLAM_1_2T.moe.n_experts == 64
+        assert GLAM_1_2T.n_moe_layers == 32
+        assert total_parameters(GLAM_1_2T) == pytest.approx(1.2e12,
+                                                            rel=0.1)

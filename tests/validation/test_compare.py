@@ -1,0 +1,51 @@
+"""Unit tests for the comparison/report helpers."""
+
+import pytest
+
+from repro.errors import ValidationDataError
+from repro.validation.compare import (
+    ComparisonRow,
+    ValidationReport,
+    compare_series,
+)
+
+
+class TestComparisonRow:
+    def test_error_percent(self):
+        assert ComparisonRow("x", 110.0, 100.0).error_percent \
+            == pytest.approx(10.0)
+
+    def test_exact_match(self):
+        assert ComparisonRow("x", 5.0, 5.0).error_percent == 0.0
+
+
+class TestValidationReport:
+    def make(self) -> ValidationReport:
+        return compare_series("test", ["a", "b", "c"],
+                              [1.0, 2.2, 2.85], [1.0, 2.0, 3.0])
+
+    def test_max_error(self):
+        assert self.make().max_error_percent == pytest.approx(10.0)
+
+    def test_mean_error(self):
+        assert self.make().mean_error_percent \
+            == pytest.approx((0 + 10 + 5) / 3)
+
+    def test_within_budget(self):
+        report = self.make()
+        assert report.within(10.01)
+        assert not report.within(9.99)
+
+    def test_format_table_structure(self):
+        text = self.make().format_table()
+        assert "predicted" in text and "reference" in text
+        assert "max error" in text
+        assert "10.00%" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationDataError):
+            ValidationReport(name="empty", rows=())
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValidationDataError):
+            compare_series("x", ["a"], [1.0, 2.0], [1.0])

@@ -1,0 +1,74 @@
+"""Unit tests for the transcribed published datasets."""
+
+import pytest
+
+from repro.errors import ValidationDataError
+from repro.transformer.zoo import MODELS
+from repro.validation.published import (
+    FIG2C_ERRORS,
+    GPIPE_TABLE3,
+    MAX_PAPER_ERROR_PERCENT,
+    MEGATRON_TABLE2,
+    table2_point,
+)
+
+
+class TestTable2Data:
+    def test_four_rows(self):
+        assert len(MEGATRON_TABLE2) == 4
+
+    def test_model_keys_resolve(self):
+        assert all(point.model_key in MODELS
+                   for point in MEGATRON_TABLE2)
+
+    def test_gpu_counts_divisible_by_8(self):
+        assert all(point.n_gpus % 8 == 0 for point in MEGATRON_TABLE2)
+
+    def test_paper_errors_within_claim(self):
+        assert all(point.paper_error_percent <= MAX_PAPER_ERROR_PERCENT
+                   for point in MEGATRON_TABLE2)
+
+    def test_paper_predictions_consistent_with_errors(self):
+        """The transcribed prediction/published/error columns must agree
+        with each other (guards transcription typos)."""
+        for point in MEGATRON_TABLE2:
+            error = 100.0 * abs(point.paper_prediction_tflops
+                                - point.published_tflops) \
+                / point.published_tflops
+            assert error == pytest.approx(point.paper_error_percent,
+                                          abs=0.35)
+
+    def test_tp_is_always_8(self):
+        assert all(point.tp == 8 for point in MEGATRON_TABLE2)
+
+    def test_lookup(self):
+        assert table2_point("megatron-145b").published_tflops == 148
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ValidationDataError):
+            table2_point("gpt-5")
+
+
+class TestTable3Data:
+    def test_baseline_is_two_gpus(self):
+        assert GPIPE_TABLE3[0].n_gpus == 2
+        assert GPIPE_TABLE3[0].published_speedup == 1.0
+
+    def test_speedups_monotone(self):
+        published = [point.published_speedup for point in GPIPE_TABLE3]
+        assert published == sorted(published)
+
+    def test_paper_predictions_within_claim(self):
+        for point in GPIPE_TABLE3:
+            error = abs(point.paper_prediction_speedup
+                        - point.published_speedup) \
+                / point.published_speedup
+            assert error <= MAX_PAPER_ERROR_PERCENT / 100.0
+
+
+class TestFig2cData:
+    def test_error_shrinks_with_microbatch(self):
+        assert FIG2C_ERRORS[0].microbatch_size \
+            < FIG2C_ERRORS[-1].microbatch_size
+        assert FIG2C_ERRORS[0].paper_error_percent \
+            > FIG2C_ERRORS[-1].paper_error_percent
