@@ -1,0 +1,68 @@
+"""DSE throughput benchmark: collapsed fast path vs per-layer reference.
+
+Unlike the figure/table benchmarks, this one tracks the evaluation
+engine itself: it times the Case Study I mapping sweep (Megatron-1T on
+the 1024-A100 cluster) through both evaluation paths and asserts the
+collapsed path's speedup and exactness, recording the measurement in
+``BENCH_dse.json`` at the repo root.
+
+Run it explicitly (it is excluded from tier-1 via the ``perf`` marker):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dse.py -m perf -s
+    PYTHONPATH=src python benchmarks/bench_dse.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.search.benchmark import run_dse_benchmark, write_bench_json
+
+from conftest import print_block
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_dse.json"
+
+MIN_SPEEDUP = 10.0
+MAX_REL_ERROR = 1e-9
+
+
+def _format(payload: dict) -> str:
+    reference, fast = payload["reference"], payload["fast"]
+    return "\n".join([
+        f"model           {payload['model']}",
+        f"system          {payload['system']}",
+        f"mappings        {payload['n_mappings']}",
+        f"reference path  {reference['seconds']:.3f} s "
+        f"({reference['mappings_per_s']:.0f} mappings/s)",
+        f"fast path       {fast['seconds']:.3f} s "
+        f"({fast['mappings_per_s']:.0f} mappings/s)",
+        f"speedup         {payload['speedup']:.1f}x",
+        f"max rel error   {payload['max_rel_error']:.2e}",
+        f"explore (top {payload['explore']['n_results']})  "
+        f"{payload['explore']['seconds']:.3f} s, best "
+        f"{payload['explore']['best_mapping']}",
+    ])
+
+
+@pytest.mark.perf
+def test_bench_dse() -> None:
+    payload = run_dse_benchmark()
+    print_block("DSE throughput: collapsed vs per-layer", _format(payload))
+    write_bench_json(payload, BENCH_JSON)
+    assert payload["speedup"] >= MIN_SPEEDUP, (
+        f"collapsed path speedup {payload['speedup']:.1f}x below the "
+        f"{MIN_SPEEDUP:.0f}x bar")
+    assert payload["max_rel_error"] <= MAX_REL_ERROR, (
+        f"fast path diverges from reference: "
+        f"{payload['max_rel_error']:.2e}")
+
+
+if __name__ == "__main__":
+    result = run_dse_benchmark()
+    print(_format(result))
+    written = write_bench_json(result, BENCH_JSON)
+    print(f"\nwrote {written}")
+    print(json.dumps(result, indent=2))

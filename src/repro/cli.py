@@ -62,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_args(sweep)
     sweep.add_argument("--batch", type=int, default=2048)
     sweep.add_argument("--top", type=int, default=10)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep "
+                            "(1 = serial; ranking is identical)")
 
     validate = sub.add_parser(
         "validate", help="reproduce the paper's validation tables")
@@ -168,7 +171,8 @@ def _cmd_sweep(args) -> int:
     model = get_model(args.model)
     template = AMPeD.for_mapping(model, system, dp=system.n_accelerators,
                                  efficiency=_efficiency())
-    results = explore(template, args.batch, max_results=args.top)
+    results = explore(template, args.batch, max_results=args.top,
+                      workers=args.jobs)
     rows = [(r.label, format_duration(r.batch_time_s),
              f"{r.microbatch_size:g}", f"{r.microbatch_efficiency:.2f}",
              format_duration(r.breakdown.comm_time),

@@ -10,6 +10,8 @@ from repro.core.bubbles import bubble_fraction, bubble_time
 from repro.core.communication import (
     CommEnvironment,
     backward_comm_time,
+    clear_comm_cache,
+    comm_cache_stats,
     forward_comm_components,
     forward_comm_time,
     gradient_comm_components,
@@ -35,22 +37,33 @@ from repro.core.metrics import (
     normalize_to_first,
     speedups,
 )
-from repro.core.model import AMPeD
+from repro.core.model import EVALUATION_PATHS, AMPeD
 from repro.core.operations import (
+    LayerClass,
     LayerOperations,
     ModelOperations,
     build_operations,
+    cache_stats,
+    collapse_layer_classes,
+    configure_operations_cache,
 )
 from repro.core.zero import NO_ZERO, ZeroConfig
 
 __all__ = [
     "AMPeD",
+    "EVALUATION_PATHS",
     "TrainingTimeBreakdown",
     "TrainingEstimate",
     "CommEnvironment",
+    "LayerClass",
     "LayerOperations",
     "ModelOperations",
     "build_operations",
+    "collapse_layer_classes",
+    "configure_operations_cache",
+    "cache_stats",
+    "comm_cache_stats",
+    "clear_comm_cache",
     "mac_time_per_op",
     "nonlinear_time_per_op",
     "forward_compute_time",

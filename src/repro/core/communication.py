@@ -25,7 +25,9 @@ Volume conventions (§IV-B):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.hardware.interconnect import LinkSpec
@@ -101,6 +103,40 @@ class CommEnvironment:
 
 
 # ---------------------------------------------------------------------------
+# Memoized collective-time lookups
+# ---------------------------------------------------------------------------
+#
+# A design-space sweep evaluates the same physical collective — one
+# topology, one link, one payload — for every layer class, microbatch
+# candidate and mapping that shares the degree; the closed form depends
+# only on the scalars below, so the lookup is cached at module level.
+# Topology singletons hash by identity, making the key cheap.
+
+
+@functools.lru_cache(maxsize=131072)
+def _collective_time(topology: CollectiveTopology, link_latency_s: float,
+                     bandwidth_bits_per_s: float, n_values: float,
+                     value_bits: float, n_participants: int) -> float:
+    """Latency + volume terms of one collective (Eqs. 6 and 11)."""
+    return (topology.latency_term(link_latency_s, n_participants)
+            + topology.volume_term(n_values, value_bits,
+                                   bandwidth_bits_per_s, n_participants))
+
+
+def comm_cache_stats() -> Dict[str, Optional[int]]:
+    """Hit/miss counters of the collective-time memo."""
+    info = _collective_time.cache_info()
+    return {"hits": info.hits, "misses": info.misses,
+            "maxsize": info.maxsize, "currsize": info.currsize}
+
+
+def clear_comm_cache() -> None:
+    """Drop every memoized collective time (benchmarks use this to
+    compare cold paths fairly)."""
+    _collective_time.cache_clear()
+
+
+# ---------------------------------------------------------------------------
 # Activation volumes (§IV-B1, §IV-B2, §IV-D)
 # ---------------------------------------------------------------------------
 
@@ -153,10 +189,9 @@ def tp_comm_time(env: CommEnvironment, model: TransformerConfig,
     if participants <= 1:
         return 0.0
     n_act = tp_activation_count(model, replica_batch) / shard
-    latency = topology.latency_term(link.latency_s, participants)
-    volume = topology.volume_term(n_act, env.precision.activation_bits,
-                                  link.bandwidth_bits_per_s, participants)
-    return latency + volume
+    return _collective_time(topology, link.latency_s,
+                            link.bandwidth_bits_per_s, n_act,
+                            env.precision.activation_bits, participants)
 
 
 # ---------------------------------------------------------------------------
@@ -297,20 +332,16 @@ def gradient_comm_components(env: CommEnvironment,
     s_g = env.precision.gradient_bits
     components = {"intra": 0.0, "inter": 0.0}
     if env.parallelism.dp_intra > 1:
-        components["intra"] = (
-            env.intra_topology.latency_term(env.intra_link.latency_s,
-                                            env.parallelism.dp_intra)
-            + env.intra_topology.volume_term(
-                n_g, s_g, env.intra_link.bandwidth_bits_per_s,
-                env.parallelism.dp_intra))
+        components["intra"] = _collective_time(
+            env.intra_topology, env.intra_link.latency_s,
+            env.intra_link.bandwidth_bits_per_s, n_g, s_g,
+            env.parallelism.dp_intra)
     if env.parallelism.dp_inter > 1:
-        components["inter"] = (
-            env.inter_topology.latency_term(env.inter_link.latency_s,
-                                            env.parallelism.dp_inter)
-            + env.inter_topology.volume_term(
-                n_g / env.parallelism.dp_intra, s_g,
-                env.inter_link.bandwidth_bits_per_s,
-                env.parallelism.dp_inter))
+        components["inter"] = _collective_time(
+            env.inter_topology, env.inter_link.latency_s,
+            env.inter_link.bandwidth_bits_per_s,
+            n_g / env.parallelism.dp_intra, s_g,
+            env.parallelism.dp_inter)
     return components
 
 
@@ -346,20 +377,16 @@ def zero_gather_components(env: CommEnvironment,
     bits = env.precision.parameter_bits
     components = {"intra": 0.0, "inter": 0.0}
     if env.parallelism.dp_intra > 1:
-        components["intra"] = 0.5 * (
-            env.intra_topology.latency_term(env.intra_link.latency_s,
-                                            env.parallelism.dp_intra)
-            + env.intra_topology.volume_term(
-                n_values, bits, env.intra_link.bandwidth_bits_per_s,
-                env.parallelism.dp_intra))
+        components["intra"] = 0.5 * _collective_time(
+            env.intra_topology, env.intra_link.latency_s,
+            env.intra_link.bandwidth_bits_per_s, n_values, bits,
+            env.parallelism.dp_intra)
     if env.parallelism.dp_inter > 1:
-        components["inter"] = 0.5 * (
-            env.inter_topology.latency_term(env.inter_link.latency_s,
-                                            env.parallelism.dp_inter)
-            + env.inter_topology.volume_term(
-                n_values / env.parallelism.dp_intra, bits,
-                env.inter_link.bandwidth_bits_per_s,
-                env.parallelism.dp_inter))
+        components["inter"] = 0.5 * _collective_time(
+            env.inter_topology, env.inter_link.latency_s,
+            env.inter_link.bandwidth_bits_per_s,
+            n_values / env.parallelism.dp_intra, bits,
+            env.parallelism.dp_inter)
     return components
 
 

@@ -6,13 +6,22 @@ compute and communication estimators need: sublayer MAC/non-linear counts
 for the *global* batch (the division by ``N_TP N_DP N_PP`` happens in
 Eq. 1), the layer's parameter count (weight update, gradient volume), and
 whether the layer carries MoE experts.
+
+Transformer stacks are highly repetitive — every dense layer is
+structurally identical, and so is every MoE layer — so the module also
+collapses a model's layers into *equivalence classes*
+(:class:`LayerClass`): at most an embedding pseudo-layer, one dense
+class and one MoE class, each with a multiplicity.  Eq. 1 is linear in
+the per-layer terms, which lets :meth:`repro.core.model.AMPeD`'s fast
+path evaluate each class once and scale by its multiplicity instead of
+walking all ``n_layers`` layers.
 """
 
 from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.transformer.config import TransformerConfig
@@ -72,6 +81,36 @@ class LayerOperations:
 
 
 @dataclass(frozen=True)
+class LayerClass:
+    """A set of structurally identical layers, evaluated once.
+
+    Attributes
+    ----------
+    representative:
+        One member of the class; every Eq. 1 term computed from it is
+        shared by all members.
+    multiplicity:
+        How many layers the class stands for.  Eq. 1 is linear in its
+        per-layer terms, so ``multiplicity * term(representative)``
+        equals the sum over the members exactly (up to floating-point
+        associativity).
+    """
+
+    representative: LayerOperations
+    multiplicity: int
+
+    @property
+    def is_moe(self) -> bool:
+        """Whether the class's layers carry MoE experts."""
+        return self.representative.is_moe
+
+    @property
+    def is_pseudo(self) -> bool:
+        """Whether this is the embedding/logits pseudo-layer."""
+        return self.representative.index < 0
+
+
+@dataclass(frozen=True)
 class ModelOperations:
     """Operation profiles of every layer for one global batch size."""
 
@@ -83,6 +122,33 @@ class ModelOperations:
     def n_layers(self) -> int:
         """Transformer layer count ``L`` (embedding pseudo-layer excluded)."""
         return sum(1 for layer in self.layers if layer.index >= 0)
+
+    @functools.cached_property
+    def layer_classes(self) -> Tuple[LayerClass, ...]:
+        """The layers collapsed into equivalence classes.
+
+        Layers are grouped by structural content — pseudo-layer flag,
+        MoE flag, the full sublayer operation counts and the parameter
+        count — so the grouping stays correct even for hypothetical
+        stacks whose layers differ in ways the flags alone miss.  For
+        every model the zoo knows this yields at most three classes
+        (embedding pseudo-layer, dense, MoE).  Cached on the instance;
+        :func:`build_operations` memoizes instances, so sweeps collapse
+        each (model, batch) pair once.
+        """
+        groups: Dict[tuple, List] = {}
+        order: List[tuple] = []
+        for layer in self.layers:
+            key = (layer.index < 0, layer.is_moe, layer.sublayers,
+                   layer.parameters)
+            if key in groups:
+                groups[key][1] += 1
+            else:
+                groups[key] = [layer, 1]
+                order.append(key)
+        return tuple(LayerClass(representative=groups[key][0],
+                                multiplicity=groups[key][1])
+                     for key in order)
 
     @property
     def total_parameters(self) -> float:
@@ -96,21 +162,12 @@ class ModelOperations:
         return sum(layer.mac_flops for layer in self.layers)
 
 
-@functools.lru_cache(maxsize=512)
-def build_operations(model: TransformerConfig, global_batch: int,
-                     include_embeddings: bool = True) -> ModelOperations:
-    """Assemble :class:`ModelOperations` for ``model`` at ``global_batch``.
+#: Default entry count for the :func:`build_operations` memo.
+DEFAULT_OPERATIONS_CACHE_SIZE = 512
 
-    When ``include_embeddings`` is set (the default), the input embedding
-    and vocabulary projection are folded into one extra pseudo-layer with
-    ``index == -1``; it contributes compute and weight-update/gradient
-    volume but never TP/PP/MoE communication (the paper's equations only
-    attach communication to transformer layers).
 
-    Results are memoized (configs are frozen dataclasses, so the cache
-    key is sound); design-space sweeps re-evaluate the same (model,
-    batch) pair for every mapping, and the counts never change.
-    """
+def _assemble_operations(model: TransformerConfig, global_batch: int,
+                         include_embeddings: bool = True) -> ModelOperations:
     if global_batch < 1:
         raise ConfigurationError(
             f"global_batch must be >= 1, got {global_batch}")
@@ -134,3 +191,58 @@ def build_operations(model: TransformerConfig, global_batch: int,
         ))
     return ModelOperations(model=model, global_batch=global_batch,
                            layers=tuple(layers))
+
+
+_cached_assemble = functools.lru_cache(
+    maxsize=DEFAULT_OPERATIONS_CACHE_SIZE)(_assemble_operations)
+
+
+def build_operations(model: TransformerConfig, global_batch: int,
+                     include_embeddings: bool = True) -> ModelOperations:
+    """Assemble :class:`ModelOperations` for ``model`` at ``global_batch``.
+
+    When ``include_embeddings`` is set (the default), the input embedding
+    and vocabulary projection are folded into one extra pseudo-layer with
+    ``index == -1``; it contributes compute and weight-update/gradient
+    volume but never TP/PP/MoE communication (the paper's equations only
+    attach communication to transformer layers).
+
+    Results are memoized (configs are frozen dataclasses, so the cache
+    key is sound); design-space sweeps re-evaluate the same (model,
+    batch) pair for every mapping, and the counts never change.  Size
+    the memo with :func:`configure_operations_cache` and inspect it with
+    :func:`cache_stats`.
+    """
+    return _cached_assemble(model, global_batch, include_embeddings)
+
+
+def collapse_layer_classes(
+        operations: ModelOperations) -> Tuple[LayerClass, ...]:
+    """Functional access to :attr:`ModelOperations.layer_classes`."""
+    return operations.layer_classes
+
+
+def configure_operations_cache(
+        maxsize: Optional[int] = DEFAULT_OPERATIONS_CACHE_SIZE) -> None:
+    """Rebuild the :func:`build_operations` memo with a new ``maxsize``.
+
+    ``None`` makes the memo unbounded.  The existing cache contents are
+    discarded, so sweeps can also use this to reset hit/miss counters
+    between phases.
+    """
+    global _cached_assemble
+    _cached_assemble = functools.lru_cache(maxsize=maxsize)(
+        _assemble_operations)
+
+
+def cache_stats() -> Dict[str, Optional[int]]:
+    """Hit/miss counters of the :func:`build_operations` memo.
+
+    Sweeps that vary the global batch can check ``hits``/``misses``
+    after a run to verify the memo is not thrashing (a healthy sweep
+    shows one miss per distinct (model, batch, embeddings) triple and
+    hits for everything else).
+    """
+    info = _cached_assemble.cache_info()
+    return {"hits": info.hits, "misses": info.misses,
+            "maxsize": info.maxsize, "currsize": info.currsize}

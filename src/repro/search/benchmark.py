@@ -1,0 +1,186 @@
+"""DSE throughput benchmark: mappings evaluated per second.
+
+The benchmark measures the Case Study I workload — every legal
+parallelism factorization of a system, each evaluated through Eq. 1 —
+twice: once with the per-layer reference path and once with the
+collapsed layer-class fast path, starting both from cold caches.  It
+also times a full :func:`repro.search.dse.explore` ranking (microbatch
+tuning + branch-and-bound pruning) and cross-checks the two evaluation
+paths against each other.
+
+The resulting payload is written to ``BENCH_dse.json`` so successive
+PRs can track the evaluation engine's throughput trajectory; its schema
+is enforced by :func:`validate_bench_result` (exercised by both the
+perf-marked benchmark and the tier-1 smoke test).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.core.communication import clear_comm_cache
+from repro.core.model import AMPeD
+from repro.core.operations import configure_operations_cache
+from repro.errors import MappingError, MemoryCapacityError
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.hardware.system import SystemSpec
+from repro.parallelism.mapping import enumerate_mappings
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.search.dse import explore
+from repro.transformer.config import TransformerConfig
+from repro.transformer.zoo import MEGATRON_1T
+
+#: Top-level keys every benchmark payload must carry, with their types.
+BENCH_SCHEMA = {
+    "benchmark": str,
+    "model": str,
+    "system": str,
+    "global_batch": int,
+    "n_mappings": int,
+    "reference": dict,
+    "fast": dict,
+    "speedup": float,
+    "max_rel_error": float,
+    "explore": dict,
+}
+
+#: Keys every timed phase (``reference``/``fast``) must carry.
+PHASE_KEYS = ("path", "seconds", "mappings_per_s")
+
+
+def _clear_caches() -> None:
+    """Reset every evaluation-engine memo so a timed phase starts cold."""
+    configure_operations_cache()
+    clear_comm_cache()
+
+
+def _time_path(template: AMPeD, mappings, global_batch: int,
+               path: str) -> Tuple[float, List[Optional[float]]]:
+    """Seconds to evaluate every mapping on ``path``, plus the totals."""
+    amped = replace(template, evaluation_path=path)
+    _clear_caches()
+    totals: List[Optional[float]] = []
+    start = time.perf_counter()
+    for spec in mappings:
+        candidate = replace(amped, parallelism=spec)
+        try:
+            totals.append(candidate.estimate_batch(global_batch).total)
+        except (MappingError, MemoryCapacityError):
+            totals.append(None)
+    return time.perf_counter() - start, totals
+
+
+def run_dse_benchmark(system: Optional[SystemSpec] = None,
+                      model: Optional[TransformerConfig] = None,
+                      global_batch: int = 2048,
+                      max_results: int = 10) -> dict:
+    """Run the throughput benchmark and return the payload dict.
+
+    Defaults to the Case Study I exploration space (the 1024-A100
+    cluster) with Megatron-1T, whose 128 identical layers are the
+    collapsed path's headline case.
+    """
+    if system is None:
+        system = megatron_a100_cluster()
+    if model is None:
+        model = MEGATRON_1T
+    template = AMPeD.for_mapping(model, system, dp=system.n_accelerators,
+                                 efficiency=CASE_STUDY_EFFICIENCY)
+    mappings = enumerate_mappings(system, model)
+
+    reference_s, reference_totals = _time_path(
+        template, mappings, global_batch, "per_layer")
+    fast_s, fast_totals = _time_path(
+        template, mappings, global_batch, "collapsed")
+
+    max_rel_error = 0.0
+    for fast_total, reference_total in zip(fast_totals, reference_totals):
+        if fast_total is None or reference_total is None:
+            continue
+        scale = max(abs(reference_total), 1e-300)
+        max_rel_error = max(max_rel_error,
+                            abs(fast_total - reference_total) / scale)
+
+    _clear_caches()
+    explore_start = time.perf_counter()
+    ranked = explore(template, global_batch, mappings=mappings,
+                     max_results=max_results)
+    explore_s = time.perf_counter() - explore_start
+
+    n_mappings = len(mappings)
+    return {
+        "benchmark": "dse-throughput",
+        "model": model.name,
+        "system": system.describe(),
+        "global_batch": global_batch,
+        "n_mappings": n_mappings,
+        "reference": _phase("per_layer", reference_s, n_mappings),
+        "fast": _phase("collapsed", fast_s, n_mappings),
+        "speedup": reference_s / fast_s if fast_s > 0 else float("inf"),
+        "max_rel_error": max_rel_error,
+        "explore": {
+            "seconds": explore_s,
+            "n_results": len(ranked),
+            "best_mapping": ranked[0].label if ranked else None,
+        },
+    }
+
+
+def _phase(path: str, seconds: float, n_mappings: int) -> dict:
+    return {
+        "path": path,
+        "seconds": seconds,
+        "mappings_per_s": n_mappings / seconds if seconds > 0 else 0.0,
+    }
+
+
+def validate_bench_result(payload: dict) -> None:
+    """Raise ``ValueError`` when ``payload`` violates the bench schema."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload must be a dict, got {type(payload)}")
+    for key, expected in BENCH_SCHEMA.items():
+        if key not in payload:
+            raise ValueError(f"payload missing key {key!r}")
+        value = payload[key]
+        if expected is float:
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise ValueError(
+                    f"{key!r} must be a number, got {value!r}")
+        elif not isinstance(value, expected):
+            raise ValueError(
+                f"{key!r} must be {expected.__name__}, got {value!r}")
+    for phase_name in ("reference", "fast"):
+        phase = payload[phase_name]
+        for key in PHASE_KEYS:
+            if key not in phase:
+                raise ValueError(f"{phase_name!r} missing key {key!r}")
+        if phase["seconds"] <= 0 or phase["mappings_per_s"] <= 0:
+            raise ValueError(
+                f"{phase_name!r} timings must be positive, got {phase}")
+    if payload["speedup"] <= 0:
+        raise ValueError(f"speedup must be positive, got "
+                         f"{payload['speedup']}")
+    if payload["max_rel_error"] < 0:
+        raise ValueError(f"max_rel_error must be non-negative, got "
+                         f"{payload['max_rel_error']}")
+    if payload["n_mappings"] < 1:
+        raise ValueError(f"n_mappings must be >= 1, got "
+                         f"{payload['n_mappings']}")
+    explore_stats = payload["explore"]
+    for key in ("seconds", "n_results", "best_mapping"):
+        if key not in explore_stats:
+            raise ValueError(f"'explore' missing key {key!r}")
+
+
+def write_bench_json(payload: dict, path) -> Path:
+    """Validate and write ``payload`` to ``path``; returns the path."""
+    validate_bench_result(payload)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target

@@ -4,15 +4,40 @@ Case Study I's workflow: enumerate every legal (intra, inter)
 parallelism factorization of a system, evaluate AMPeD for each, and
 rank.  The explorer optionally tunes the microbatch count per mapping
 and filters mappings whose footprint exceeds accelerator memory.
+
+Two performance levers keep large spaces interactive (see
+``docs/performance.md``):
+
+- **Branch-and-bound pruning** (``prune=True``): a compute-only lower
+  bound — the collapsed-layer-class compute time at the best achievable
+  microbatch efficiency — is compared against the incumbent ``k``-th
+  best batch time (``k = max_results``); mappings whose bound already
+  exceeds it cannot enter the top-``k`` and are skipped without a full
+  evaluation.  The returned (truncated) ranking is provably identical
+  to the unpruned one, and pruning is a no-op when ``max_results`` is
+  ``None``.
+- **Process-pool fan-out** (``workers=N``): mappings are evaluated by
+  ``N`` worker processes in submission order, preserving the exact
+  result ordering of the serial path (surfaced as ``--jobs`` on the
+  CLI ``sweep`` command).
 """
 
 from __future__ import annotations
 
+import bisect
+import math
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from functools import partial
+from typing import Callable, Iterable, List, Optional
 
 from repro.core.breakdown import TrainingTimeBreakdown
+from repro.core.compute import (
+    backward_compute_time,
+    forward_compute_time,
+    weight_update_time,
+)
 from repro.core.model import AMPeD
+from repro.core.operations import build_operations
 from repro.errors import MappingError, MemoryCapacityError
 from repro.memory.constraints import fits_in_memory
 from repro.parallelism.mapping import enumerate_mappings
@@ -41,7 +66,9 @@ def explore(amped: AMPeD, global_batch: int,
             mappings: Optional[List[ParallelismSpec]] = None,
             tune_microbatches: bool = True,
             enforce_memory: bool = False,
-            max_results: Optional[int] = None) -> List[ExplorationResult]:
+            max_results: Optional[int] = None,
+            prune: bool = True,
+            workers: Optional[int] = None) -> List[ExplorationResult]:
     """Evaluate every mapping and return results sorted fastest-first.
 
     Parameters
@@ -58,44 +85,197 @@ def explore(amped: AMPeD, global_batch: int,
         Drop mappings whose footprint exceeds the accelerator memory.
     max_results:
         Truncate the (sorted) result list.
+    prune:
+        Skip mappings whose compute-only lower bound exceeds the
+        incumbent ``max_results``-th best time.  Exact: the truncated
+        ranking is identical to the unpruned one.  No-op without
+        ``max_results``.
+    workers:
+        Evaluate mappings with a pool of this many worker processes
+        (``None``/``0``/``1`` = serial).  Submission order is
+        preserved, so the ranked result list matches the serial path
+        exactly.  Requires the template (including its efficiency fit)
+        to be picklable.
     """
     if mappings is None:
         mappings = enumerate_mappings(amped.system, amped.model)
-    results = []
-    for spec in mappings:
-        candidate = replace(amped, parallelism=spec)
-        try:
-            if tune_microbatches:
-                candidates = None
-                if enforce_memory:
-                    candidates = _memory_feasible_candidates(
-                        candidate, global_batch)
-                    if not candidates:
-                        continue
-                candidate, _ = optimize_microbatches(
-                    candidate, global_batch, candidates=candidates)
-            microbatch = candidate.microbatch(global_batch)
-            if enforce_memory and not fits_in_memory(
-                    candidate.model, candidate.parallelism, microbatch,
-                    candidate.precision, candidate.system.accelerator,
-                    candidate.zero):
-                continue
-            breakdown = candidate.estimate_batch(global_batch)
-        except (MappingError, MemoryCapacityError):
-            continue
-        results.append(ExplorationResult(
-            parallelism=candidate.parallelism,
-            global_batch=global_batch,
-            batch_time_s=breakdown.total,
-            breakdown=breakdown,
-            microbatch_size=microbatch,
-            microbatch_efficiency=candidate.microbatch_efficiency(
-                global_batch),
-        ))
+    evaluate = partial(_evaluate_spec, amped, global_batch=global_batch,
+                       tune_microbatches=tune_microbatches,
+                       enforce_memory=enforce_memory)
+    pruner = None
+    if prune:
+        pruner = _BoundPruner(amped, global_batch, tune_microbatches,
+                              max_results)
+    if workers is not None and workers > 1:
+        evaluated = _explore_parallel(evaluate, mappings, workers, pruner)
+    else:
+        evaluated = _explore_serial(evaluate, mappings, pruner)
+    results = [result for result in evaluated if result is not None]
     results.sort(key=lambda result: result.batch_time_s)
     if max_results is not None:
         results = results[:max_results]
     return results
+
+
+def _evaluate_spec(template: AMPeD, spec: ParallelismSpec,
+                   global_batch: int, tune_microbatches: bool,
+                   enforce_memory: bool) -> Optional[ExplorationResult]:
+    """Fully evaluate one mapping; ``None`` when it is infeasible."""
+    candidate = replace(template, parallelism=spec)
+    needs_memory_check = enforce_memory
+    try:
+        if tune_microbatches:
+            candidates = None
+            if enforce_memory:
+                candidates = _memory_feasible_candidates(
+                    candidate, global_batch)
+                if not candidates:
+                    return None
+                # Every candidate already passed fits_in_memory, and the
+                # tuned spec is one of them — no re-check needed.
+                needs_memory_check = False
+            candidate, _ = optimize_microbatches(
+                candidate, global_batch, candidates=candidates)
+        microbatch = candidate.microbatch(global_batch)
+        if needs_memory_check and not fits_in_memory(
+                candidate.model, candidate.parallelism, microbatch,
+                candidate.precision, candidate.system.accelerator,
+                candidate.zero):
+            return None
+        breakdown = candidate.estimate_batch(global_batch)
+    except (MappingError, MemoryCapacityError):
+        return None
+    return ExplorationResult(
+        parallelism=candidate.parallelism,
+        global_batch=global_batch,
+        batch_time_s=breakdown.total,
+        breakdown=breakdown,
+        microbatch_size=microbatch,
+        microbatch_efficiency=candidate.microbatch_efficiency(global_batch),
+    )
+
+
+def _explore_serial(evaluate: Callable, mappings: List[ParallelismSpec],
+                    pruner: Optional["_BoundPruner"]) -> List:
+    out = []
+    for spec in mappings:
+        if pruner is not None and pruner.should_skip(spec):
+            continue
+        result = evaluate(spec)
+        if pruner is not None:
+            pruner.record(result)
+        out.append(result)
+    return out
+
+
+def _explore_parallel(evaluate: Callable, mappings: List[ParallelismSpec],
+                      workers: int,
+                      pruner: Optional["_BoundPruner"]) -> List:
+    """Fan mappings out over a process pool, in submission order.
+
+    Work is dispatched in chunks so the pruner's incumbent (updated as
+    chunks complete) can skip later mappings, mirroring the serial
+    branch-and-bound.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    out = []
+    chunk_size = max(1, 4 * workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for start in range(0, len(mappings), chunk_size):
+            chunk = mappings[start:start + chunk_size]
+            if pruner is not None:
+                chunk = [spec for spec in chunk
+                         if not pruner.should_skip(spec)]
+            for result in pool.map(evaluate, chunk):
+                if pruner is not None:
+                    pruner.record(result)
+                out.append(result)
+    return out
+
+
+def compute_lower_bound(amped: AMPeD, global_batch: int,
+                        tune_microbatches: bool = True) -> float:
+    """A compute-only lower bound on the mapping's achievable batch time.
+
+    Evaluates the collapsed layer classes' forward + backward + weight
+    update time at the *best* microbatch efficiency any candidate
+    ``N_ub`` can reach (efficiency only derates compute, so the true
+    compute time at the tuned ``N_ub`` is at least this), and charges
+    zero communication and bubble time.  Returns ``inf`` when no
+    candidate yields a feasible microbatch — such mappings are dropped
+    by the full evaluation anyway.
+    """
+    spec = amped.parallelism
+    if tune_microbatches:
+        n_ubs: Iterable[int] = microbatch_candidates(amped, global_batch)
+    else:
+        n_ubs = (spec.microbatches,)
+    best_eff = 0.0
+    for n_ub in n_ubs:
+        microbatch = global_batch / (spec.dp * n_ub)
+        if microbatch >= 1:
+            best_eff = max(best_eff, amped.efficiency(microbatch))
+    if best_eff <= 0.0:
+        return math.inf
+    operations = build_operations(amped.model, global_batch,
+                                  amped.include_embeddings)
+    accelerator = amped.system.accelerator
+    total = 0.0
+    for cls in operations.layer_classes:
+        layer = cls.representative
+        total += cls.multiplicity * (
+            forward_compute_time(layer, accelerator, amped.precision,
+                                 best_eff)
+            + backward_compute_time(layer, accelerator, amped.precision,
+                                    best_eff,
+                                    amped.backward_compute_multiplier)
+            + weight_update_time(layer, accelerator, amped.precision,
+                                 best_eff,
+                                 amped.optimizer_macs_per_parameter))
+    return total / spec.world_size
+
+
+class _BoundPruner:
+    """Branch-and-bound state shared across one :func:`explore` call.
+
+    Tracks the ``keep`` smallest batch times seen so far; a mapping is
+    skipped when its compute-only lower bound strictly exceeds the
+    incumbent ``keep``-th best, which proves it cannot appear in the
+    final truncated ranking.  Without a ``keep`` (``max_results is
+    None``) the threshold stays infinite and nothing is pruned.
+    """
+
+    def __init__(self, template: AMPeD, global_batch: int,
+                 tune_microbatches: bool,
+                 keep: Optional[int]) -> None:
+        self.template = template
+        self.global_batch = global_batch
+        self.tune_microbatches = tune_microbatches
+        self.keep = keep
+        self._best_times: List[float] = []
+
+    @property
+    def threshold(self) -> float:
+        if self.keep is None or len(self._best_times) < self.keep:
+            return math.inf
+        return self._best_times[self.keep - 1]
+
+    def should_skip(self, spec: ParallelismSpec) -> bool:
+        threshold = self.threshold
+        if math.isinf(threshold):
+            return False
+        candidate = replace(self.template, parallelism=spec)
+        bound = compute_lower_bound(candidate, self.global_batch,
+                                    self.tune_microbatches)
+        return bound > threshold
+
+    def record(self, result: Optional[ExplorationResult]) -> None:
+        if result is None:
+            return
+        bisect.insort(self._best_times, result.batch_time_s)
+        if self.keep is not None:
+            del self._best_times[self.keep:]
 
 
 def _memory_feasible_candidates(candidate: AMPeD,
@@ -118,6 +298,7 @@ def best_mapping(amped: AMPeD, global_batch: int,
                  **explore_kwargs) -> ExplorationResult:
     """The fastest mapping for the scenario (raises
     :class:`MappingError` if the space is empty)."""
+    explore_kwargs.setdefault("max_results", 1)
     results = explore(amped, global_batch, **explore_kwargs)
     if not results:
         raise MappingError(

@@ -16,7 +16,7 @@ from dataclasses import replace
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.model import AMPeD
-from repro.errors import MappingError, ReproError
+from repro.errors import MappingError, MemoryCapacityError, ReproError
 
 
 def microbatch_candidates(amped: AMPeD, global_batch: int) -> List[int]:
@@ -43,26 +43,41 @@ def optimize_microbatches(amped: AMPeD, global_batch: int,
     """Pick the ``N_ub`` minimizing the per-batch time.
 
     Returns the re-tuned model and its per-batch time.  Candidates that
-    produce an infeasible microbatch (below one sequence) are skipped;
-    if every candidate is infeasible the original mapping's error is
-    re-raised.
+    produce an infeasible microbatch (below one sequence) or that blow
+    the memory budget (:class:`MemoryCapacityError`) are skipped; if
+    every candidate fails, the last failure is re-raised with the same
+    type and the failing ``N_ub`` named in the message.
     """
     if candidates is None:
         candidates = microbatch_candidates(amped, global_batch)
     best: Optional[Tuple[AMPeD, float]] = None
     last_error: Optional[ReproError] = None
+    last_n_ub: Optional[int] = None
     for n_ub in candidates:
         tuned = replace(
             amped, parallelism=amped.parallelism.with_microbatches(n_ub))
         try:
             batch_time = tuned.estimate_batch(global_batch).total
-        except MappingError as error:
-            last_error = error
+        except (MappingError, MemoryCapacityError) as error:
+            last_error, last_n_ub = error, n_ub
             continue
         if best is None or batch_time < best[1]:
             best = (tuned, batch_time)
     if best is None:
-        raise last_error if last_error is not None else MappingError(
-            f"no feasible microbatch count for batch {global_batch} "
-            f"under {amped.parallelism.describe()}")
+        if last_error is None:
+            raise MappingError(
+                f"no feasible microbatch count for batch {global_batch} "
+                f"under {amped.parallelism.describe()}")
+        raise _with_failing_n_ub(last_error, last_n_ub) from last_error
     return best
+
+
+def _with_failing_n_ub(error: ReproError, n_ub: int) -> ReproError:
+    """Rebuild ``error`` (same type) with the failing ``N_ub`` named,
+    preserving :class:`MemoryCapacityError`'s size attributes."""
+    message = f"{error} (failing N_ub={n_ub})"
+    if isinstance(error, MemoryCapacityError):
+        return MemoryCapacityError(
+            message, required_bytes=error.required_bytes,
+            available_bytes=error.available_bytes)
+    return type(error)(message)

@@ -7,6 +7,8 @@ import pytest
 from repro.core.communication import (
     CommEnvironment,
     backward_comm_time,
+    clear_comm_cache,
+    comm_cache_stats,
     forward_comm_components,
     forward_comm_time,
     gradient_comm_components,
@@ -215,3 +217,24 @@ class TestGradientComm:
         env = env_for(small_system, dp_intra=4, dp_inter=4)
         with pytest.raises(ConfigurationError):
             gradient_comm_time(env, -1.0)
+
+
+class TestCollectiveCache:
+    def test_repeat_lookup_hits_cache(self, small_system):
+        env = env_for(small_system, dp_intra=4, dp_inter=4)
+        clear_comm_cache()
+        first = gradient_comm_components(env, 1e6)
+        after_first = comm_cache_stats()
+        second = gradient_comm_components(env, 1e6)
+        after_second = comm_cache_stats()
+        assert second == first
+        assert after_second["hits"] > after_first["hits"]
+        assert after_second["misses"] == after_first["misses"]
+
+    def test_clear_resets_counters(self, small_system):
+        env = env_for(small_system, dp_intra=4, dp_inter=4)
+        gradient_comm_components(env, 1e6)
+        clear_comm_cache()
+        stats = comm_cache_stats()
+        assert stats["hits"] == 0
+        assert stats["currsize"] == 0

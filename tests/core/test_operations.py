@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core.operations import build_operations
+from repro.core.operations import (
+    DEFAULT_OPERATIONS_CACHE_SIZE,
+    build_operations,
+    cache_stats,
+    collapse_layer_classes,
+    configure_operations_cache,
+)
 from repro.errors import ConfigurationError
 from repro.transformer.params import total_parameters
 
@@ -58,3 +64,73 @@ class TestBuildOperations:
     def test_rejects_zero_batch(self, tiny_model):
         with pytest.raises(ConfigurationError):
             build_operations(tiny_model, 0)
+
+
+class TestLayerClasses:
+    def test_dense_model_collapses_to_two_classes(self, tiny_model):
+        ops = build_operations(tiny_model, 2)
+        classes = collapse_layer_classes(ops)
+        assert len(classes) == 2
+        assert classes[0].is_pseudo
+        assert classes[0].multiplicity == 1
+        assert not classes[1].is_pseudo
+        assert classes[1].multiplicity == tiny_model.n_layers
+
+    def test_no_embeddings_collapses_to_one_class(self, tiny_model):
+        ops = build_operations(tiny_model, 2, include_embeddings=False)
+        classes = collapse_layer_classes(ops)
+        assert len(classes) == 1
+        assert classes[0].multiplicity == tiny_model.n_layers
+
+    def test_moe_model_collapses_to_three_classes(self, tiny_moe_model):
+        ops = build_operations(tiny_moe_model, 2)
+        classes = collapse_layer_classes(ops)
+        assert len(classes) == 3
+        assert [cls.is_moe for cls in classes] == [False, False, True]
+        assert [cls.multiplicity for cls in classes] == [1, 2, 2]
+
+    def test_multiplicities_cover_every_layer(self, tiny_moe_model):
+        ops = build_operations(tiny_moe_model, 2)
+        assert sum(cls.multiplicity for cls in ops.layer_classes) \
+            == len(ops.layers)
+
+    def test_classes_cached_per_instance(self, tiny_model):
+        ops = build_operations(tiny_model, 2)
+        assert ops.layer_classes is ops.layer_classes
+
+
+class TestOperationsCache:
+    def teardown_method(self):
+        configure_operations_cache()
+
+    def test_repeat_build_hits_cache(self, tiny_model):
+        configure_operations_cache()
+        first = build_operations(tiny_model, 2)
+        before = cache_stats()
+        second = build_operations(tiny_model, 2)
+        after = cache_stats()
+        assert second is first
+        assert after["hits"] == before["hits"] + 1
+
+    def test_stats_report_misses(self, tiny_model):
+        configure_operations_cache()
+        build_operations(tiny_model, 2)
+        build_operations(tiny_model, 4)
+        stats = cache_stats()
+        assert stats["misses"] >= 2
+        assert stats["currsize"] >= 2
+
+    def test_maxsize_is_configurable(self, tiny_model):
+        configure_operations_cache(2)
+        stats = cache_stats()
+        assert stats["maxsize"] == 2
+        assert stats["currsize"] == 0
+        build_operations(tiny_model, 2)
+        build_operations(tiny_model, 4)
+        build_operations(tiny_model, 8)
+        assert cache_stats()["currsize"] == 2
+
+    def test_default_maxsize_restored(self):
+        configure_operations_cache(2)
+        configure_operations_cache()
+        assert cache_stats()["maxsize"] == DEFAULT_OPERATIONS_CACHE_SIZE

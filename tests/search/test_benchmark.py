@@ -1,0 +1,90 @@
+"""Smoke tests for the DSE throughput benchmark harness.
+
+Runs the real benchmark on the tiny fixture space (fast enough for
+tier-1) and checks the payload schema that ``BENCH_dse.json`` must
+satisfy, including a JSON round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hardware.catalog import A100
+from repro.hardware.interconnect import IB_HDR, NVLINK3
+from repro.hardware.node import NodeSpec
+from repro.hardware.system import SystemSpec
+from repro.search.benchmark import (
+    run_dse_benchmark,
+    validate_bench_result,
+    write_bench_json,
+)
+from repro.transformer.config import TransformerConfig
+
+
+@pytest.fixture(scope="module")
+def payload():
+    # Rebuilt here (rather than via the function-scoped conftest
+    # fixtures) so one benchmark run serves the whole module.
+    model = TransformerConfig(name="tiny", n_layers=4, hidden_size=64,
+                              n_heads=4, sequence_length=32,
+                              vocab_size=1000)
+    node = NodeSpec(accelerator=A100, n_accelerators=4,
+                    intra_link=NVLINK3, inter_link=IB_HDR, n_nics=4)
+    system = SystemSpec(node=node, n_nodes=4)
+    return run_dse_benchmark(system=system, model=model, global_batch=64)
+
+
+class TestRunDseBenchmark:
+    def test_payload_validates(self, payload):
+        validate_bench_result(payload)
+
+    def test_paths_labelled(self, payload):
+        assert payload["reference"]["path"] == "per_layer"
+        assert payload["fast"]["path"] == "collapsed"
+
+    def test_fast_path_exact(self, payload):
+        assert payload["max_rel_error"] <= 1e-9
+
+    def test_explore_found_a_best_mapping(self, payload):
+        assert payload["explore"]["n_results"] >= 1
+        assert isinstance(payload["explore"]["best_mapping"], str)
+
+    def test_json_round_trip(self, payload, tmp_path):
+        target = write_bench_json(payload, tmp_path / "BENCH_dse.json")
+        reloaded = json.loads(target.read_text())
+        validate_bench_result(reloaded)
+        assert reloaded["n_mappings"] == payload["n_mappings"]
+
+
+class TestValidateBenchResult:
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="must be a dict"):
+            validate_bench_result([])
+
+    def test_rejects_missing_key(self, payload):
+        broken = dict(payload)
+        del broken["speedup"]
+        with pytest.raises(ValueError, match="missing key 'speedup'"):
+            validate_bench_result(broken)
+
+    def test_rejects_wrong_type(self, payload):
+        broken = dict(payload, n_mappings="many")
+        with pytest.raises(ValueError, match="'n_mappings' must be int"):
+            validate_bench_result(broken)
+
+    def test_rejects_non_positive_timing(self, payload):
+        broken = dict(payload,
+                      fast=dict(payload["fast"], seconds=0.0))
+        with pytest.raises(ValueError, match="timings must be positive"):
+            validate_bench_result(broken)
+
+    def test_rejects_incomplete_phase(self, payload):
+        broken = dict(payload, reference={"path": "per_layer"})
+        with pytest.raises(ValueError, match="missing key"):
+            validate_bench_result(broken)
+
+    def test_write_refuses_invalid_payload(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench_json({}, tmp_path / "BENCH_dse.json")

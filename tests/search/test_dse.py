@@ -6,7 +6,13 @@ from repro.core.model import AMPeD
 from repro.errors import MappingError
 from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
 from repro.parallelism.spec import ParallelismSpec
-from repro.search.dse import best_mapping, explore, pareto_front
+from repro.search.dse import (
+    _evaluate_spec,
+    best_mapping,
+    compute_lower_bound,
+    explore,
+    pareto_front,
+)
 
 
 @pytest.fixture
@@ -100,3 +106,57 @@ class TestPareto:
         results = explore(template, 64)
         front = pareto_front(results)
         assert front[0].batch_time_s == results[0].batch_time_s
+
+
+class TestPruning:
+    def test_pruned_topk_matches_unpruned(self, template):
+        full = explore(template, 64, prune=False)
+        pruned = explore(template, 64, max_results=5, prune=True)
+        assert [(r.label, r.batch_time_s) for r in pruned] \
+            == [(r.label, r.batch_time_s) for r in full[:5]]
+
+    def test_noop_without_max_results(self, template):
+        assert [r.label for r in explore(template, 64, prune=True)] \
+            == [r.label for r in explore(template, 64, prune=False)]
+
+    def test_lower_bound_never_exceeds_true_time(self, template,
+                                                 small_system):
+        from dataclasses import replace
+        from repro.parallelism.mapping import enumerate_mappings
+        for spec in enumerate_mappings(small_system, template.model):
+            candidate = replace(template, parallelism=spec)
+            bound = compute_lower_bound(candidate, 64)
+            result = _evaluate_spec(template, spec, 64,
+                                    tune_microbatches=True,
+                                    enforce_memory=False)
+            if result is None:
+                continue
+            assert bound <= result.batch_time_s + 1e-12
+
+
+class TestParallelExplore:
+    def test_workers_match_serial_ranking(self, template):
+        serial = explore(template, 64, max_results=5)
+        parallel = explore(template, 64, max_results=5, workers=2)
+        assert [(r.label, r.batch_time_s) for r in parallel] \
+            == [(r.label, r.batch_time_s) for r in serial]
+
+    def test_single_worker_stays_serial(self, template):
+        assert [r.label for r in explore(template, 64, workers=1)] \
+            == [r.label for r in explore(template, 64)]
+
+
+class TestMemoryCheckDedup:
+    def test_tuned_candidates_skip_recheck(self, template, monkeypatch):
+        import repro.search.dse as dse_module
+        calls = []
+        monkeypatch.setattr(dse_module, "_memory_feasible_candidates",
+                            lambda candidate, global_batch: [4])
+        monkeypatch.setattr(
+            dse_module, "fits_in_memory",
+            lambda *args, **kwargs: calls.append(args) or True)
+        results = explore(template, 64, enforce_memory=True)
+        assert results  # the sweep still produced ranked mappings
+        # every candidate list came pre-screened, so the per-result
+        # fits_in_memory re-check must never run
+        assert calls == []

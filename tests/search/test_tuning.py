@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.model import AMPeD
-from repro.errors import MappingError
+from repro.errors import MappingError, MemoryCapacityError
 from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
 from repro.parallelism.spec import ParallelismSpec
 from repro.search.tuning import microbatch_candidates, optimize_microbatches
@@ -52,3 +52,30 @@ class TestOptimize:
     def test_all_infeasible_raises(self, pp_amped):
         with pytest.raises(MappingError):
             optimize_microbatches(pp_amped, 256, candidates=[100000])
+
+
+class ExplodingAMPeD(AMPeD):
+    """Every estimate blows the memory budget (for error-path tests)."""
+
+    def estimate_batch(self, global_batch):
+        raise MemoryCapacityError("footprint over budget",
+                                  required_bytes=2.0e9,
+                                  available_bytes=1.0e9)
+
+
+class TestErrorReporting:
+    def test_memory_error_type_and_attrs_preserved(self, pp_amped):
+        exploding = ExplodingAMPeD(
+            model=pp_amped.model, system=pp_amped.system,
+            parallelism=pp_amped.parallelism,
+            efficiency=CASE_STUDY_EFFICIENCY)
+        with pytest.raises(MemoryCapacityError) as excinfo:
+            optimize_microbatches(exploding, 256)
+        assert "N_ub=64" in str(excinfo.value)
+        assert excinfo.value.required_bytes == 2.0e9
+        assert excinfo.value.available_bytes == 1.0e9
+
+    def test_mapping_error_names_failing_candidate(self, pp_amped):
+        with pytest.raises(MappingError) as excinfo:
+            optimize_microbatches(pp_amped, 256, candidates=[100000])
+        assert "100000" in str(excinfo.value)
