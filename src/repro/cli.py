@@ -22,6 +22,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.model import AMPeD
+from repro.errors import ReproError
 from repro.hardware.catalog import ACCELERATORS
 from repro.hardware.interconnect import IB_EDR, IB_HDR, IB_NDR, NVLINK3
 from repro.hardware.node import NodeSpec
@@ -32,7 +33,6 @@ from repro.parallelism.microbatch import (
 )
 from repro.parallelism.spec import spec_from_totals
 from repro.reporting.tables import render_table
-from repro.search.dse import explore
 from repro.transformer.zoo import MODELS, get_model
 from repro.units import format_duration
 
@@ -65,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep "
                             "(1 = serial; ranking is identical)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock limit per batch of worker "
+                            "results before the batch is retried")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="consecutive worker failures tolerated "
+                            "(with exponential backoff) before the "
+                            "sweep degrades to serial execution")
+    sweep.add_argument("--journal", default=None, metavar="PATH",
+                       help="append progress to a JSONL sweep journal "
+                            "(resumable with --resume)")
+    sweep.add_argument("--resume", default=None, metavar="JOURNAL",
+                       help="resume an interrupted sweep from its "
+                            "journal; finished candidates are never "
+                            "re-evaluated")
 
     validate = sub.add_parser(
         "validate", help="reproduce the paper's validation tables")
@@ -167,20 +182,38 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    from repro.search.resilience import run_sweep
+
     system = _system_from_args(args)
     model = get_model(args.model)
     template = AMPeD.for_mapping(model, system, dp=system.n_accelerators,
                                  efficiency=_efficiency())
-    results = explore(template, args.batch, max_results=args.top,
-                      workers=args.jobs)
+    journal_path = args.resume or args.journal
+    outcome = run_sweep(template, args.batch, max_results=args.top,
+                        workers=args.jobs, timeout=args.timeout,
+                        retries=args.retries, journal_path=journal_path,
+                        resume=args.resume is not None)
     rows = [(r.label, format_duration(r.batch_time_s),
              f"{r.microbatch_size:g}", f"{r.microbatch_efficiency:.2f}",
              format_duration(r.breakdown.comm_time),
              format_duration(r.breakdown.bubble))
-            for r in results]
+            for r in outcome.results]
+    title = f"{model.name} on {system.describe()} @ batch {args.batch}"
+    if outcome.partial:
+        title += " [PARTIAL]"
     print(render_table(
         ["mapping", "batch time", "ub", "eff", "comm", "bubble"], rows,
-        title=f"{model.name} on {system.describe()} @ batch {args.batch}"))
+        title=title))
+    print()
+    print(outcome.report.format_table())
+    if outcome.partial:
+        if journal_path:
+            print(f"\nsweep interrupted — continue with: "
+                  f"amped sweep --resume {journal_path}")
+        else:
+            print("\nsweep interrupted — rerun with --journal to make "
+                  "future runs resumable")
+        return 130
     return 0
 
 
@@ -493,7 +526,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cost": _cmd_cost,
         "export": _cmd_export,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

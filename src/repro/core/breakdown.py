@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite
 from repro.units import format_duration, seconds_to_days
 
 
@@ -39,6 +39,9 @@ class TrainingTimeBreakdown:
     def __post_init__(self) -> None:
         for item in fields(self):
             value = getattr(self, item.name)
+            # A NaN component would pass `< 0` (every NaN comparison is
+            # false) and poison batch-time rankings downstream.
+            require_finite(item.name, value)
             if value < 0:
                 raise ConfigurationError(
                     f"{item.name} must be non-negative, got {value}")

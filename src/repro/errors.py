@@ -8,6 +8,9 @@ skip infeasible configurations without masking genuine programming errors
 
 from __future__ import annotations
 
+import math
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -50,3 +53,48 @@ class ValidationDataError(ReproError):
 
 class SimulationError(ReproError):
     """A discrete-event or step simulation reached an invalid state."""
+
+
+class WorkerError(ReproError):
+    """A sweep worker failed with a non-:class:`ReproError` exception.
+
+    Raised by the resilient sweep runtime when a candidate evaluation
+    keeps failing even after retries and degradation to serial
+    execution.  Carries the journal path (when journaling is on) so the
+    finished portion of the sweep remains recoverable.
+    """
+
+    def __init__(self, message: str,
+                 journal_path: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.journal_path = journal_path
+
+
+class SweepInterrupted(ReproError):
+    """A sweep was cancelled (SIGINT) before covering the full space.
+
+    Carries the journal path (for ``--resume``) and the exact ranked
+    results over everything evaluated up to the interruption, so callers
+    that opt into exception-style cancellation lose nothing.
+    """
+
+    def __init__(self, message: str,
+                 journal_path: Optional[str] = None,
+                 partial_results: Optional[list] = None) -> None:
+        super().__init__(message)
+        self.journal_path = journal_path
+        self.partial_results = partial_results if partial_results else []
+
+
+def require_finite(name: str, value: float) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is a finite
+    number (rejects ``nan`` and ``±inf``, which otherwise slip through
+    ``<``/``<=`` range checks because every NaN comparison is false)."""
+    try:
+        finite = math.isfinite(value)
+    except TypeError:
+        raise ConfigurationError(
+            f"{name} must be a real number, got {value!r}") from None
+    if not finite:
+        raise ConfigurationError(
+            f"{name} must be finite, got {value!r}")

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite
 from repro.hardware.precision import FP16
 
 
@@ -76,6 +76,7 @@ class AcceleratorSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("accelerator name must be non-empty")
+        require_finite("frequency_hz", self.frequency_hz)
         if self.frequency_hz <= 0:
             raise ConfigurationError(
                 f"frequency_hz must be positive, got {self.frequency_hz}")
@@ -93,6 +94,7 @@ class AcceleratorSpec:
                     f"got {value!r}")
         for name in ("memory_bytes", "memory_bandwidth_bits_per_s",
                      "offchip_bandwidth_bits_per_s", "tdp_watts"):
+            require_finite(name, getattr(self, name))
             if getattr(self, name) < 0:
                 raise ConfigurationError(
                     f"{name} must be non-negative, got {getattr(self, name)}")

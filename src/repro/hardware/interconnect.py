@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite
 from repro.units import gbps_to_bits_per_second
 
 
@@ -40,9 +40,11 @@ class LinkSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("link name must be non-empty")
+        require_finite("latency_s", self.latency_s)
         if self.latency_s < 0:
             raise ConfigurationError(
                 f"latency_s must be non-negative, got {self.latency_s}")
+        require_finite("bandwidth_bits_per_s", self.bandwidth_bits_per_s)
         if self.bandwidth_bits_per_s <= 0:
             raise ConfigurationError(
                 f"bandwidth_bits_per_s must be positive, got "
@@ -50,6 +52,7 @@ class LinkSpec:
 
     def transfer_time(self, n_bits: float) -> float:
         """Time to move ``n_bits`` over this link, latency included."""
+        require_finite("transfer size", n_bits)
         if n_bits < 0:
             raise ConfigurationError(
                 f"transfer size must be non-negative, got {n_bits}")

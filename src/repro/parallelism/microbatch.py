@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, MappingError
+from repro.errors import ConfigurationError, MappingError, require_finite
 from repro.parallelism.spec import ParallelismSpec
 
 
@@ -51,6 +51,10 @@ class MicrobatchEfficiency:
     ceiling: float = 1.0
 
     def __post_init__(self) -> None:
+        # NaN slips through every comparison below (each is false), so
+        # the finiteness guards must come first.
+        for name in ("a", "b", "floor", "ceiling"):
+            require_finite(name, getattr(self, name))
         if self.a <= 0:
             raise ConfigurationError(f"a must be positive, got {self.a}")
         if self.b < 0:
@@ -67,7 +71,8 @@ class MicrobatchEfficiency:
 
     def __call__(self, microbatch_size: float) -> float:
         """Efficiency in ``[max(floor, tiny), ceiling]`` for ``ub > 0``."""
-        if microbatch_size <= 0:
+        require_finite("microbatch size", microbatch_size)
+        if not microbatch_size > 0:  # rejects NaN as well as <= 0
             raise ConfigurationError(
                 f"microbatch size must be positive, got {microbatch_size}")
         raw = self.a * microbatch_size / (self.b + microbatch_size)

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.errors import ConfigurationError, MappingError
+from repro.errors import ConfigurationError, MappingError, require_finite
 from repro.hardware.system import SystemSpec
 
 
@@ -70,6 +70,7 @@ class ParallelismSpec:
         if self.n_microbatches is not None and self.n_microbatches < 1:
             raise ConfigurationError(
                 f"n_microbatches must be >= 1, got {self.n_microbatches}")
+        require_finite("bubble_overlap_ratio", self.bubble_overlap_ratio)
         if self.bubble_overlap_ratio < 0:
             raise ConfigurationError(
                 f"bubble_overlap_ratio must be >= 0, got "

@@ -1,14 +1,16 @@
-"""Plain-text tables, ASCII charts and CSV/JSON export."""
+"""Plain-text tables, ASCII charts, CSV/JSON export and sweep ledgers."""
 
 from repro.reporting.ascii_plot import bar_chart, line_chart
 from repro.reporting.export import export_csv, export_json, load_json
 from repro.reporting.markdown import MarkdownReport, render_markdown_table
+from repro.reporting.sweep import SweepReport
 from repro.reporting.tables import render_table
 
 __all__ = [
     "render_table",
     "render_markdown_table",
     "MarkdownReport",
+    "SweepReport",
     "bar_chart",
     "line_chart",
     "export_csv",

@@ -1,5 +1,5 @@
 """Design-space exploration: exhaustive sweeps, tuning, heuristics,
-feasibility diagnosis."""
+feasibility diagnosis, and the fault-tolerant sweep runtime."""
 
 from repro.search.diagnose import (
     FeasibilityIssue,
@@ -8,8 +8,11 @@ from repro.search.diagnose import (
     require_feasible,
 )
 from repro.search.dse import (
+    SKIP_CATEGORIES,
+    CandidateOutcome,
     ExplorationResult,
     best_mapping,
+    evaluate_candidate,
     explore,
     pareto_front,
 )
@@ -18,6 +21,13 @@ from repro.search.heuristics import (
     MappingRecommendation,
     recommend_mapping,
 )
+from repro.search.resilience import (
+    JOURNAL_SCHEMA_VERSION,
+    SweepJournal,
+    SweepOutcome,
+    run_sweep,
+    spec_key,
+)
 from repro.search.tuning import microbatch_candidates, optimize_microbatches
 
 __all__ = [
@@ -25,6 +35,14 @@ __all__ = [
     "best_mapping",
     "pareto_front",
     "ExplorationResult",
+    "CandidateOutcome",
+    "evaluate_candidate",
+    "SKIP_CATEGORIES",
+    "run_sweep",
+    "spec_key",
+    "SweepOutcome",
+    "SweepJournal",
+    "JOURNAL_SCHEMA_VERSION",
     "optimize_microbatches",
     "microbatch_candidates",
     "recommend_mapping",

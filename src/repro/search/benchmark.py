@@ -4,9 +4,10 @@ The benchmark measures the Case Study I workload — every legal
 parallelism factorization of a system, each evaluated through Eq. 1 —
 twice: once with the per-layer reference path and once with the
 collapsed layer-class fast path, starting both from cold caches.  It
-also times a full :func:`repro.search.dse.explore` ranking (microbatch
-tuning + branch-and-bound pruning) and cross-checks the two evaluation
-paths against each other.
+also times a full ranked sweep through the resilient runtime
+(:func:`repro.search.resilience.run_sweep`: microbatch tuning +
+branch-and-bound pruning + coverage accounting) and cross-checks the
+two evaluation paths against each other.
 
 The resulting payload is written to ``BENCH_dse.json`` so successive
 PRs can track the evaluation engine's throughput trajectory; its schema
@@ -30,7 +31,7 @@ from repro.hardware.catalog import megatron_a100_cluster
 from repro.hardware.system import SystemSpec
 from repro.parallelism.mapping import enumerate_mappings
 from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
-from repro.search.dse import explore
+from repro.search.resilience import run_sweep
 from repro.transformer.config import TransformerConfig
 from repro.transformer.zoo import MEGATRON_1T
 
@@ -107,9 +108,10 @@ def run_dse_benchmark(system: Optional[SystemSpec] = None,
 
     _clear_caches()
     explore_start = time.perf_counter()
-    ranked = explore(template, global_batch, mappings=mappings,
-                     max_results=max_results)
+    outcome = run_sweep(template, global_batch, mappings=mappings,
+                        max_results=max_results)
     explore_s = time.perf_counter() - explore_start
+    ranked = outcome.results
 
     n_mappings = len(mappings)
     return {
@@ -126,6 +128,7 @@ def run_dse_benchmark(system: Optional[SystemSpec] = None,
             "seconds": explore_s,
             "n_results": len(ranked),
             "best_mapping": ranked[0].label if ranked else None,
+            "coverage": outcome.report.as_dict(),
         },
     }
 

@@ -45,6 +45,23 @@ from repro.parallelism.spec import ParallelismSpec
 from repro.search.tuning import microbatch_candidates, optimize_microbatches
 
 
+#: Skip-category vocabulary shared by the explorer, the resilient sweep
+#: runtime and its journal (``docs/robustness.md`` documents each).
+SKIP_MAPPING_INFEASIBLE = "mapping_infeasible"
+SKIP_MEMORY_CAPACITY = "memory_capacity"
+SKIP_NON_FINITE = "non_finite_result"
+SKIP_PRUNED = "pruned"
+SKIP_WORKER_ERROR = "worker_error"
+
+SKIP_CATEGORIES = (
+    SKIP_MAPPING_INFEASIBLE,
+    SKIP_MEMORY_CAPACITY,
+    SKIP_NON_FINITE,
+    SKIP_PRUNED,
+    SKIP_WORKER_ERROR,
+)
+
+
 @dataclass(frozen=True)
 class ExplorationResult:
     """One evaluated point of the design space."""
@@ -60,6 +77,26 @@ class ExplorationResult:
     def label(self) -> str:
         """Compact mapping descriptor for tables."""
         return self.parallelism.describe()
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """The categorized outcome of evaluating one candidate mapping.
+
+    Exactly one of two shapes: ``result`` set and ``skip_category``
+    ``None`` (evaluated), or ``result`` ``None`` and ``skip_category``
+    naming *why* the candidate was discarded — the truthful record the
+    sweep journal persists.
+    """
+
+    spec: ParallelismSpec
+    result: Optional[ExplorationResult] = None
+    skip_category: Optional[str] = None
+    detail: str = ""
+
+    @property
+    def evaluated(self) -> bool:
+        return self.result is not None
 
 
 def explore(amped: AMPeD, global_batch: int,
@@ -117,10 +154,17 @@ def explore(amped: AMPeD, global_batch: int,
     return results
 
 
-def _evaluate_spec(template: AMPeD, spec: ParallelismSpec,
-                   global_batch: int, tune_microbatches: bool,
-                   enforce_memory: bool) -> Optional[ExplorationResult]:
-    """Fully evaluate one mapping; ``None`` when it is infeasible."""
+def evaluate_candidate(template: AMPeD, spec: ParallelismSpec,
+                       global_batch: int, tune_microbatches: bool = True,
+                       enforce_memory: bool = False) -> CandidateOutcome:
+    """Fully evaluate one mapping, categorizing any infeasibility.
+
+    Never raises a :class:`~repro.errors.ReproError`: infeasible
+    mappings come back as skipped outcomes whose category says why
+    (mapping constraints vs memory capacity vs a non-finite batch time),
+    which is what the sweep journal records.  Genuine programming errors
+    still propagate.
+    """
     candidate = replace(template, parallelism=spec)
     needs_memory_check = enforce_memory
     try:
@@ -130,7 +174,9 @@ def _evaluate_spec(template: AMPeD, spec: ParallelismSpec,
                 candidates = _memory_feasible_candidates(
                     candidate, global_batch)
                 if not candidates:
-                    return None
+                    return CandidateOutcome(
+                        spec=spec, skip_category=SKIP_MEMORY_CAPACITY,
+                        detail="no microbatch count fits in memory")
                 # Every candidate already passed fits_in_memory, and the
                 # tuned spec is one of them — no re-check needed.
                 needs_memory_check = False
@@ -141,18 +187,38 @@ def _evaluate_spec(template: AMPeD, spec: ParallelismSpec,
                 candidate.model, candidate.parallelism, microbatch,
                 candidate.precision, candidate.system.accelerator,
                 candidate.zero):
-            return None
+            return CandidateOutcome(
+                spec=spec, skip_category=SKIP_MEMORY_CAPACITY,
+                detail=f"microbatch {microbatch:g} does not fit in HBM")
         breakdown = candidate.estimate_batch(global_batch)
-    except (MappingError, MemoryCapacityError):
-        return None
-    return ExplorationResult(
+    except MemoryCapacityError as error:
+        return CandidateOutcome(spec=spec,
+                                skip_category=SKIP_MEMORY_CAPACITY,
+                                detail=str(error))
+    except MappingError as error:
+        return CandidateOutcome(spec=spec,
+                                skip_category=SKIP_MAPPING_INFEASIBLE,
+                                detail=str(error))
+    if not math.isfinite(breakdown.total):
+        return CandidateOutcome(
+            spec=spec, skip_category=SKIP_NON_FINITE,
+            detail=f"batch time is {breakdown.total!r}")
+    return CandidateOutcome(spec=spec, result=ExplorationResult(
         parallelism=candidate.parallelism,
         global_batch=global_batch,
         batch_time_s=breakdown.total,
         breakdown=breakdown,
         microbatch_size=microbatch,
         microbatch_efficiency=candidate.microbatch_efficiency(global_batch),
-    )
+    ))
+
+
+def _evaluate_spec(template: AMPeD, spec: ParallelismSpec,
+                   global_batch: int, tune_microbatches: bool,
+                   enforce_memory: bool) -> Optional[ExplorationResult]:
+    """Fully evaluate one mapping; ``None`` when it is infeasible."""
+    return evaluate_candidate(template, spec, global_batch,
+                              tune_microbatches, enforce_memory).result
 
 
 def _explore_serial(evaluate: Callable, mappings: List[ParallelismSpec],
@@ -202,9 +268,10 @@ def compute_lower_bound(amped: AMPeD, global_batch: int,
     update time at the *best* microbatch efficiency any candidate
     ``N_ub`` can reach (efficiency only derates compute, so the true
     compute time at the tuned ``N_ub`` is at least this), and charges
-    zero communication and bubble time.  Returns ``inf`` when no
-    candidate yields a feasible microbatch — such mappings are dropped
-    by the full evaluation anyway.
+    zero communication and bubble time.  Raises :class:`MappingError`
+    when no candidate yields a feasible microbatch — historically this
+    returned a bare ``math.inf``, which conflated "provably infeasible"
+    with "bound unknown" and made sweep-journal skip categories lie.
     """
     spec = amped.parallelism
     if tune_microbatches:
@@ -217,7 +284,10 @@ def compute_lower_bound(amped: AMPeD, global_batch: int,
         if microbatch >= 1:
             best_eff = max(best_eff, amped.efficiency(microbatch))
     if best_eff <= 0.0:
-        return math.inf
+        raise MappingError(
+            f"no feasible microbatch count for batch {global_batch} "
+            f"under {spec.describe()}: every candidate N_ub dices the "
+            f"batch below one sequence")
     operations = build_operations(amped.model, global_batch,
                                   amped.include_embeddings)
     accelerator = amped.system.accelerator
@@ -256,19 +326,35 @@ class _BoundPruner:
         self._best_times: List[float] = []
 
     @property
-    def threshold(self) -> float:
+    def threshold(self) -> Optional[float]:
+        """The incumbent ``keep``-th best time, or ``None`` while the
+        incumbent list is not full yet (distinct from an *infinite*
+        bound, which would mean a provably infeasible candidate)."""
         if self.keep is None or len(self._best_times) < self.keep:
-            return math.inf
+            return None
         return self._best_times[self.keep - 1]
 
-    def should_skip(self, spec: ParallelismSpec) -> bool:
+    def skip_category(self, spec: ParallelismSpec) -> Optional[str]:
+        """``SKIP_PRUNED``/``SKIP_MAPPING_INFEASIBLE`` when the mapping
+        can be discarded without a full evaluation, else ``None``.
+
+        Without an incumbent threshold no bound is computed (same work
+        profile as plain exploration); infeasibility then surfaces
+        through :func:`evaluate_candidate` with the same category.
+        """
         threshold = self.threshold
-        if math.isinf(threshold):
-            return False
+        if threshold is None:
+            return None
         candidate = replace(self.template, parallelism=spec)
-        bound = compute_lower_bound(candidate, self.global_batch,
-                                    self.tune_microbatches)
-        return bound > threshold
+        try:
+            bound = compute_lower_bound(candidate, self.global_batch,
+                                        self.tune_microbatches)
+        except MappingError:
+            return SKIP_MAPPING_INFEASIBLE
+        return SKIP_PRUNED if bound > threshold else None
+
+    def should_skip(self, spec: ParallelismSpec) -> bool:
+        return self.skip_category(spec) is not None
 
     def record(self, result: Optional[ExplorationResult]) -> None:
         if result is None:

@@ -1,0 +1,643 @@
+"""Fault-tolerant sweep runtime: supervised workers + resumable journal.
+
+:func:`repro.search.dse.explore` made large design-space sweeps fast;
+this module makes them *survivable*.  A long exploration is the hot
+path toward ranking millions of candidate mappings, and PR 1's
+process-pool fan-out turned one hung worker, one crashed process, or
+one ``Ctrl-C`` into hours of lost exact top-k work.  The paper already
+applies reliability discipline to the *modeled* system (the Daly
+checkpoint model in :mod:`repro.runtime.reliability`); this module
+applies the same discipline to the sweeps themselves:
+
+- **Supervised workers** — every batch of candidate evaluations gets a
+  wall-clock ``timeout``; a timeout, a dead worker process, or an
+  unexpected worker exception tears the pool down, retries with
+  exponential backoff, and after ``retries`` consecutive failures
+  degrades gracefully to serial evaluation with a logged reason.  A
+  sweep never hangs silently and never dies with nothing to show.
+- **Resumable journal** — with ``journal_path`` set, every candidate's
+  fate (evaluated with its timings, or skipped with a truthful category
+  from the :data:`~repro.search.dse.SKIP_CATEGORIES` vocabulary) is
+  appended to a JSONL journal as soon as it is known.  ``resume=True``
+  replays the journal, never re-evaluates a finished candidate, and
+  continues deterministically: journal + fresh completion equals one
+  uninterrupted run.
+- **SIGINT-safe cancellation** — the first ``Ctrl-C`` stops the sweep
+  at the next candidate boundary and still returns the exact top-k over
+  everything evaluated so far, flagged ``partial=True`` (a second
+  ``Ctrl-C`` hard-aborts).  Callers that prefer exceptions can ask for
+  :class:`~repro.errors.SweepInterrupted`, which carries the journal
+  path and the partial ranking.
+
+Coverage accounting is surfaced as a
+:class:`~repro.reporting.sweep.SweepReport`.  The same
+supervise/journal/resume pattern is intended for every future
+long-running workload (fitting, sensitivity, experiment grids); see
+``docs/robustness.md`` for the state machine and the journal schema.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.breakdown import TrainingTimeBreakdown
+from repro.core.model import AMPeD
+from repro.errors import (
+    ConfigurationError,
+    MemoryCapacityError,
+    ReproError,
+    SweepInterrupted,
+    WorkerError,
+)
+from repro.parallelism.mapping import enumerate_mappings
+from repro.parallelism.spec import ParallelismSpec
+from repro.reporting.sweep import SweepReport
+from repro.search.dse import (
+    SKIP_MAPPING_INFEASIBLE,
+    SKIP_MEMORY_CAPACITY,
+    SKIP_PRUNED,
+    SKIP_WORKER_ERROR,
+    CandidateOutcome,
+    ExplorationResult,
+    _BoundPruner,
+    evaluate_candidate,
+)
+
+_LOG = logging.getLogger("repro.search.resilience")
+
+#: Version stamped into every journal header; bumped on schema changes.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Header fields that must match for a journal to be resumable against
+#: a sweep (a journal written for a different workload must not
+#: silently poison the ranking).
+_HEADER_IDENTITY_FIELDS = ("model", "system", "global_batch",
+                           "tune_microbatches", "enforce_memory",
+                           "n_candidates")
+
+#: Ceiling on one exponential-backoff pause, seconds.
+_MAX_BACKOFF_S = 30.0
+
+
+def spec_key(spec: ParallelismSpec) -> str:
+    """Canonical journal key for a candidate, as submitted (pre-tuning)."""
+    return json.dumps(asdict(spec), sort_keys=True,
+                      separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+
+
+class SweepJournal:
+    """Append-only JSONL record of every candidate's fate.
+
+    Line 1 is a versioned header identifying the sweep; each following
+    line is one candidate record (``status`` ``"evaluated"`` with the
+    numbers needed to reconstruct its :class:`ExplorationResult`, or
+    ``"skipped"`` with a category and detail).  Records are flushed as
+    written, so a crash loses at most the line being written — and the
+    loader tolerates exactly that one torn trailing line.
+    """
+
+    def __init__(self, path: Path, header: dict,
+                 done: Dict[str, dict], handle) -> None:
+        self.path = path
+        self.header = header
+        self.done = done
+        self._handle = handle
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def open(cls, path, header: dict,
+             resume: bool = False) -> "SweepJournal":
+        """Create a fresh journal, or re-open one for resumption.
+
+        With ``resume`` and an existing file, the header is checked
+        against ``header`` (:class:`ConfigurationError` on mismatch)
+        and previously journaled candidates are loaded into ``done``.
+        Without ``resume`` an existing file is started over.
+        """
+        path = Path(path)
+        if resume and path.exists():
+            stored_header, done = cls.load(path)
+            cls._check_identity(stored_header, header, path)
+            handle = path.open("a", encoding="utf-8")
+            return cls(path, stored_header, done, handle)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = path.open("w", encoding="utf-8")
+        journal = cls(path, header, {}, handle)
+        journal._write(header)
+        return journal
+
+    @classmethod
+    def load(cls, path) -> Tuple[dict, Dict[str, dict]]:
+        """Parse a journal into ``(header, done)`` without opening it
+        for writing.  Raises :class:`ConfigurationError` on a missing
+        or version-incompatible header; a torn final line (crash during
+        a write) is dropped with a warning."""
+        path = Path(path)
+        header: Optional[dict] = None
+        done: Dict[str, dict] = {}
+        with path.open("r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    _LOG.warning(
+                        "journal %s: dropping torn final line %d",
+                        path, number)
+                    continue
+                raise ConfigurationError(
+                    f"journal {path}: line {number} is not valid JSON")
+            if header is None:
+                if record.get("kind") != "header":
+                    raise ConfigurationError(
+                        f"journal {path}: first record must be a header, "
+                        f"got {record.get('kind')!r}")
+                version = record.get("schema_version")
+                if version != JOURNAL_SCHEMA_VERSION:
+                    raise ConfigurationError(
+                        f"journal {path}: schema version {version!r} is "
+                        f"not supported (expected "
+                        f"{JOURNAL_SCHEMA_VERSION})")
+                header = record
+                continue
+            if record.get("kind") == "candidate" and "key" in record:
+                done[record["key"]] = record
+        if header is None:
+            raise ConfigurationError(
+                f"journal {path} is empty — nothing to resume")
+        return header, done
+
+    @classmethod
+    def _check_identity(cls, stored: dict, expected: dict,
+                        path: Path) -> None:
+        for name in _HEADER_IDENTITY_FIELDS:
+            if stored.get(name) != expected.get(name):
+                raise ConfigurationError(
+                    f"journal {path} was written for a different sweep: "
+                    f"{name} is {stored.get(name)!r}, this sweep has "
+                    f"{expected.get(name)!r}")
+
+    # -- writing ------------------------------------------------------------
+
+    def record(self, key: str, outcome: CandidateOutcome) -> None:
+        """Append one candidate's fate and remember it as done."""
+        record = _record_for(key, outcome)
+        self.done[key] = record
+        self._write(record)
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def _record_for(key: str, outcome: CandidateOutcome) -> dict:
+    if outcome.evaluated:
+        result = outcome.result
+        return {
+            "kind": "candidate",
+            "key": key,
+            "status": "evaluated",
+            "parallelism": asdict(result.parallelism),
+            "batch_time_s": result.batch_time_s,
+            "microbatch_size": result.microbatch_size,
+            "microbatch_efficiency": result.microbatch_efficiency,
+            "breakdown": result.breakdown.as_dict(),
+        }
+    return {
+        "kind": "candidate",
+        "key": key,
+        "status": "skipped",
+        "category": outcome.skip_category,
+        "detail": outcome.detail,
+    }
+
+
+def _result_from_record(record: dict,
+                        global_batch: int) -> ExplorationResult:
+    """Rebuild a full result from its journal record (bit-exact: JSON
+    round-trips doubles exactly, so resumed rankings tie-break the same
+    way the uninterrupted run did)."""
+    return ExplorationResult(
+        parallelism=ParallelismSpec(**record["parallelism"]),
+        global_batch=global_batch,
+        batch_time_s=record["batch_time_s"],
+        breakdown=TrainingTimeBreakdown(**record["breakdown"]),
+        microbatch_size=record["microbatch_size"],
+        microbatch_efficiency=record["microbatch_efficiency"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# SIGINT trap
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def _sigint_trap():
+    """Install a cooperative SIGINT handler for the sweep's duration.
+
+    Yields a zero-argument callable that reports whether a SIGINT has
+    arrived.  The first signal only sets the flag (the sweep stops at
+    the next candidate boundary, keeping the journal consistent); a
+    second signal raises :class:`KeyboardInterrupt` for a hard abort.
+    Off the main thread, signal handlers cannot be installed and the
+    flag simply stays false.
+    """
+    state = {"count": 0}
+
+    def cancelled() -> bool:
+        return state["count"] > 0
+
+    if threading.current_thread() is not threading.main_thread():
+        yield cancelled
+        return
+
+    def handler(signum, frame):
+        state["count"] += 1
+        if state["count"] > 1:
+            raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGINT, handler)
+    try:
+        yield cancelled
+    finally:
+        signal.signal(signal.SIGINT, previous)
+
+
+# ---------------------------------------------------------------------------
+# Worker-pool supervisor
+# ---------------------------------------------------------------------------
+
+
+class _PoolSupervisor:
+    """Owns the process pool and its retry/degrade state machine.
+
+    States: ``pool`` (healthy fan-out) → ``retry`` (tear down, back
+    off, rebuild — at most ``retries`` consecutive times) → ``serial``
+    (permanent degradation; the caller evaluates in-process).  Any
+    failure mode — a batch timeout, a dead worker process, or an
+    unexpected exception from the evaluation function — takes the same
+    path, so no failure can hang the sweep.
+    """
+
+    def __init__(self, workers: int, evaluate: Callable,
+                 timeout: Optional[float], retries: int,
+                 backoff_s: float) -> None:
+        self.workers = workers
+        self.evaluate = evaluate
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.degraded = False
+        self.degraded_reason = ""
+        self.consecutive_failures = 0
+        self.total_retries = 0
+        self._pool = None
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Tear the pool down without ever waiting on a hung worker."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        # ProcessPoolExecutor has no public kill switch; a hung worker
+        # would survive shutdown() and stall interpreter exit (the
+        # executor manager thread joins on it).  Snapshot the process
+        # handles *before* shutdown() — it nulls out ``_processes`` even
+        # with ``wait=False`` — then terminate whatever is still alive.
+        processes = dict(getattr(pool, "_processes", None) or {})
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+
+    # -- supervised execution ----------------------------------------------
+
+    def run_chunk(self, specs: List[ParallelismSpec],
+                  cancelled: Callable[[], bool]
+                  ) -> Tuple[List[CandidateOutcome],
+                             List[ParallelismSpec]]:
+        """Evaluate ``specs`` on the pool, supervising each batch.
+
+        Returns ``(outcomes, leftover)``: outcomes are collected in
+        submission order; ``leftover`` is whatever was abandoned to
+        cancellation or permanent degradation (the caller evaluates it
+        serially, or drops it on cancel).
+        """
+        remaining = list(specs)
+        outcomes: List[CandidateOutcome] = []
+        while remaining and not self.degraded and not cancelled():
+            failure = None
+            collected = 0
+            try:
+                pool = self._ensure_pool()
+                futures = [pool.submit(self.evaluate, spec)
+                           for spec in remaining]
+            except Exception as error:
+                self._note_failure(error)
+                continue
+            deadline = (None if self.timeout is None
+                        else time.monotonic() + self.timeout)
+            for future in futures:
+                wait = (None if deadline is None
+                        else max(0.0, deadline - time.monotonic()))
+                try:
+                    outcomes.append(future.result(timeout=wait))
+                except Exception as error:
+                    failure = error
+                    break
+                collected += 1
+                if cancelled():
+                    break
+            remaining = remaining[collected:]
+            if failure is None:
+                if cancelled():
+                    for future in futures:
+                        future.cancel()
+                    break
+                self.consecutive_failures = 0
+            else:
+                self._note_failure(failure)
+        return outcomes, remaining
+
+    def _note_failure(self, error: BaseException) -> None:
+        """One supervision event: tear down, then retry or degrade."""
+        self.consecutive_failures += 1
+        self.shutdown()
+        if self.consecutive_failures > self.retries:
+            self.degraded = True
+            self.degraded_reason = (
+                f"worker pool failed {self.consecutive_failures} "
+                f"consecutive times (last: {error!r}); continuing "
+                f"serially")
+            _LOG.warning("sweep degraded to serial execution: %s",
+                         self.degraded_reason)
+            return
+        self.total_retries += 1
+        delay = min(_MAX_BACKOFF_S,
+                    self.backoff_s * 2 ** (self.consecutive_failures - 1))
+        _LOG.warning(
+            "sweep worker batch failed (%r); retry %d/%d after %.2fs",
+            error, self.consecutive_failures, self.retries, delay)
+        if delay > 0:
+            time.sleep(delay)
+
+
+# ---------------------------------------------------------------------------
+# The resilient sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepOutcome:
+    """Ranked results plus the coverage ledger of one resilient sweep."""
+
+    results: List[ExplorationResult] = field(default_factory=list)
+    report: SweepReport = field(default_factory=SweepReport)
+
+    @property
+    def partial(self) -> bool:
+        """True when the sweep was cancelled before full coverage."""
+        return self.report.partial
+
+    @property
+    def best(self) -> Optional[ExplorationResult]:
+        """The fastest mapping seen, or ``None`` for an empty ranking."""
+        return self.results[0] if self.results else None
+
+
+def run_sweep(template: AMPeD, global_batch: int,
+              mappings: Optional[List[ParallelismSpec]] = None,
+              tune_microbatches: bool = True,
+              enforce_memory: bool = False,
+              max_results: Optional[int] = None,
+              prune: bool = True,
+              workers: Optional[int] = None,
+              timeout: Optional[float] = None,
+              retries: int = 2,
+              backoff_s: float = 0.5,
+              journal_path=None,
+              resume: bool = False,
+              strict: bool = False,
+              raise_on_interrupt: bool = False,
+              evaluate: Optional[Callable] = None) -> SweepOutcome:
+    """Explore the design space under supervision; never hang, never
+    lose finished work.
+
+    Ranking semantics match :func:`repro.search.dse.explore` exactly
+    (same submission order, same branch-and-bound pruning, same
+    fastest-first truncation to ``max_results``); the additional
+    parameters control fault tolerance:
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock seconds allowed per submitted batch of worker
+        results before the batch is considered hung (``None`` = wait
+        forever, the pre-resilience behavior).
+    retries:
+        Consecutive batch failures (timeout, dead worker, unexpected
+        exception) tolerated — each retried with exponential backoff
+        ``backoff_s * 2**n`` — before the sweep degrades to serial
+        execution for the remainder.
+    journal_path:
+        Append-only JSONL journal destination; ``None`` disables
+        persistence.
+    resume:
+        Replay ``journal_path`` first and evaluate only candidates it
+        does not already cover.
+    strict:
+        Raise :class:`~repro.errors.WorkerError` when a candidate keeps
+        failing with a non-``ReproError`` even serially, instead of
+        journaling it as a ``worker_error`` skip and continuing.
+    raise_on_interrupt:
+        Raise :class:`~repro.errors.SweepInterrupted` (carrying the
+        journal path and partial ranking) on SIGINT instead of
+        returning a ``partial=True`` outcome.
+    evaluate:
+        Evaluation function ``spec -> CandidateOutcome`` (picklable for
+        worker pools); defaults to the real
+        :func:`~repro.search.dse.evaluate_candidate` over ``template``.
+        Exposed for fault-injection tests.
+    """
+    if mappings is None:
+        mappings = enumerate_mappings(template.system, template.model)
+    if evaluate is None:
+        evaluate = partial(evaluate_candidate, template,
+                           global_batch=global_batch,
+                           tune_microbatches=tune_microbatches,
+                           enforce_memory=enforce_memory)
+
+    header = {
+        "kind": "header",
+        "schema_version": JOURNAL_SCHEMA_VERSION,
+        "model": template.model.name,
+        "system": template.system.describe(),
+        "global_batch": global_batch,
+        "tune_microbatches": tune_microbatches,
+        "enforce_memory": enforce_memory,
+        "n_candidates": len(mappings),
+    }
+    journal: Optional[SweepJournal] = None
+    if journal_path is not None:
+        journal = SweepJournal.open(journal_path, header, resume=resume)
+
+    report = SweepReport(
+        n_candidates=len(mappings),
+        journal_path=str(journal.path) if journal else None)
+    results: List[ExplorationResult] = []
+    pruner = (_BoundPruner(template, global_batch, tune_microbatches,
+                           max_results) if prune else None)
+
+    # Replay the journal: finished candidates are restored, never
+    # re-evaluated, and feed the pruner's incumbents so the resumed
+    # branch-and-bound stays exact.
+    done = journal.done if journal else {}
+    for record in done.values():
+        if record["status"] == "evaluated":
+            result = _result_from_record(record, global_batch)
+            results.append(result)
+            if pruner is not None:
+                pruner.record(result)
+            report.resumed += 1
+        else:
+            report.record_skip(record["category"])
+    pending = [spec for spec in mappings if spec_key(spec) not in done]
+
+    def absorb(outcome: CandidateOutcome) -> None:
+        if journal is not None:
+            journal.record(spec_key(outcome.spec), outcome)
+        if outcome.evaluated:
+            report.evaluated += 1
+            results.append(outcome.result)
+            if pruner is not None:
+                pruner.record(outcome.result)
+        else:
+            report.record_skip(outcome.skip_category)
+
+    def evaluate_serially(spec: ParallelismSpec) -> CandidateOutcome:
+        try:
+            return evaluate(spec)
+        except MemoryCapacityError as error:
+            return CandidateOutcome(spec=spec,
+                                    skip_category=SKIP_MEMORY_CAPACITY,
+                                    detail=str(error))
+        except ReproError as error:
+            return CandidateOutcome(
+                spec=spec, skip_category=SKIP_MAPPING_INFEASIBLE,
+                detail=str(error))
+        except Exception as error:  # noqa: BLE001 — supervised boundary
+            report.worker_errors += 1
+            _LOG.warning("candidate %s failed even serially: %r",
+                         spec.describe(), error)
+            if strict:
+                raise WorkerError(
+                    f"candidate {spec.describe()} failed: {error!r}",
+                    journal_path=report.journal_path) from error
+            return CandidateOutcome(spec=spec,
+                                    skip_category=SKIP_WORKER_ERROR,
+                                    detail=repr(error))
+
+    use_pool = workers is not None and workers > 1
+    supervisor = (_PoolSupervisor(workers, evaluate, timeout, retries,
+                                  backoff_s) if use_pool else None)
+    chunk_size = max(1, 4 * workers) if use_pool else 1
+    interrupted = False
+
+    with _sigint_trap() as cancelled:
+        try:
+            position = 0
+            while position < len(pending):
+                if cancelled():
+                    interrupted = True
+                    break
+                chunk = pending[position:position + chunk_size]
+                position += len(chunk)
+                runnable = []
+                for spec in chunk:
+                    category = (pruner.skip_category(spec)
+                                if pruner is not None else None)
+                    if category is not None:
+                        detail = ("compute lower bound exceeds the "
+                                  "incumbent top-k"
+                                  if category == SKIP_PRUNED else
+                                  "no feasible microbatch count")
+                        absorb(CandidateOutcome(spec=spec,
+                                                skip_category=category,
+                                                detail=detail))
+                    else:
+                        runnable.append(spec)
+                if supervisor is not None and not supervisor.degraded:
+                    outcomes, runnable = supervisor.run_chunk(
+                        runnable, cancelled)
+                    for outcome in outcomes:
+                        absorb(outcome)
+                    if supervisor.degraded and not report.degraded:
+                        report.degraded = True
+                        report.degraded_reason = \
+                            supervisor.degraded_reason
+                    report.retried = supervisor.total_retries
+                for spec in runnable:
+                    if cancelled():
+                        interrupted = True
+                        break
+                    absorb(evaluate_serially(spec))
+                if cancelled():
+                    interrupted = True
+                    break
+        finally:
+            if supervisor is not None:
+                supervisor.shutdown()
+            if journal is not None:
+                journal.close()
+
+    results.sort(key=lambda result: result.batch_time_s)
+    if max_results is not None:
+        results = results[:max_results]
+    report.partial = interrupted
+    if interrupted:
+        _LOG.warning(
+            "sweep interrupted: exact top-%s over %d evaluated "
+            "candidates%s", max_results or "all",
+            report.evaluated + report.resumed,
+            f" (resume with the journal at {report.journal_path})"
+            if report.journal_path else "")
+        if raise_on_interrupt:
+            raise SweepInterrupted(
+                f"sweep cancelled after {report.covered} of "
+                f"{report.n_candidates} candidates",
+                journal_path=report.journal_path,
+                partial_results=results)
+    return SweepOutcome(results=results, report=report)

@@ -12,6 +12,7 @@ a geometric candidate grid.
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 from typing import Iterable, List, Optional, Tuple
 
@@ -43,10 +44,11 @@ def optimize_microbatches(amped: AMPeD, global_batch: int,
     """Pick the ``N_ub`` minimizing the per-batch time.
 
     Returns the re-tuned model and its per-batch time.  Candidates that
-    produce an infeasible microbatch (below one sequence) or that blow
-    the memory budget (:class:`MemoryCapacityError`) are skipped; if
-    every candidate fails, the last failure is re-raised with the same
-    type and the failing ``N_ub`` named in the message.
+    produce an infeasible microbatch (below one sequence), that blow
+    the memory budget (:class:`MemoryCapacityError`), or whose estimate
+    comes back non-finite are skipped; if every candidate fails, the
+    last failure is re-raised with the same type and the failing
+    ``N_ub`` named in the message.
     """
     if candidates is None:
         candidates = microbatch_candidates(amped, global_batch)
@@ -60,6 +62,14 @@ def optimize_microbatches(amped: AMPeD, global_batch: int,
             batch_time = tuned.estimate_batch(global_batch).total
         except (MappingError, MemoryCapacityError) as error:
             last_error, last_n_ub = error, n_ub
+            continue
+        if not math.isfinite(batch_time):
+            # A NaN would poison the < comparison below (every NaN
+            # comparison is false) and silently win or lose at random;
+            # treat non-finite estimates as infeasible candidates.
+            last_error = MappingError(
+                f"batch time is non-finite ({batch_time!r})")
+            last_n_ub = n_ub
             continue
         if best is None or batch_time < best[1]:
             best = (tuned, batch_time)

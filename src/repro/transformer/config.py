@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,7 @@ class MoEConfig:
         if not 1 <= self.top_k <= self.n_experts:
             raise ConfigurationError(
                 f"top_k must be in [1, n_experts], got {self.top_k}")
+        require_finite("capacity_factor", self.capacity_factor)
         if self.capacity_factor < 1.0:
             raise ConfigurationError(
                 f"capacity_factor must be >= 1.0, got {self.capacity_factor}")
@@ -101,6 +102,10 @@ class TransformerConfig:
         for field_name in ("n_layers", "hidden_size", "n_heads",
                            "sequence_length", "vocab_size"):
             value = getattr(self, field_name)
+            # isinstance(int) already excludes float nan/inf, but the
+            # explicit guard keeps the contract obvious and survives a
+            # future loosening of the type check (e.g. numpy scalars).
+            require_finite(field_name, value)
             if not isinstance(value, int) or value < 1:
                 raise ConfigurationError(
                     f"{field_name} must be a positive integer, got {value!r}")

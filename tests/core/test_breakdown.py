@@ -92,3 +92,10 @@ class TestTrainingEstimate:
     def test_rejects_zero_batches(self):
         with pytest.raises(ConfigurationError):
             TrainingEstimate(per_batch=make(), n_batches=0)
+
+
+class TestNonFiniteInputs:
+    @pytest.mark.parametrize("value", [float("nan"), float("inf")])
+    def test_rejects_non_finite_components(self, value):
+        with pytest.raises(ConfigurationError, match="finite"):
+            make(comm_pp=value)

@@ -67,3 +67,22 @@ class TestOffchipScaling:
         with pytest.raises(ConfigurationError):
             make(offchip_bandwidth_bits_per_s=1e12) \
                 .with_offchip_bandwidth_scaled(0.0)
+
+
+class TestNonFiniteInputs:
+    """NaN passes every `<`/`<=` range check (all NaN comparisons are
+    false), so the specs must reject non-finite values explicitly."""
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"),
+                                       float("-inf")])
+    def test_rejects_non_finite_frequency(self, value):
+        with pytest.raises(ConfigurationError, match="finite"):
+            make(frequency_hz=value)
+
+    @pytest.mark.parametrize("field", ["memory_bytes",
+                                       "memory_bandwidth_bits_per_s",
+                                       "offchip_bandwidth_bits_per_s",
+                                       "tdp_watts"])
+    def test_rejects_nan_optional_fields(self, field):
+        with pytest.raises(ConfigurationError, match="finite"):
+            make(**{field: float("nan")})

@@ -68,3 +68,18 @@ class TestOpticalFiber:
     def test_rejects_zero_fibers(self):
         with pytest.raises(ConfigurationError):
             optical_fiber_link(3.6e12, n_fibers=0)
+
+
+class TestNonFiniteInputs:
+    @pytest.mark.parametrize("field", ["latency_s",
+                                       "bandwidth_bits_per_s"])
+    @pytest.mark.parametrize("value", [float("nan"), float("inf")])
+    def test_rejects_non_finite_link_fields(self, field, value):
+        base = dict(latency_s=1e-6, bandwidth_bits_per_s=1e9)
+        base[field] = value
+        with pytest.raises(ConfigurationError, match="finite"):
+            LinkSpec("l", **base)
+
+    def test_rejects_nan_transfer_volume(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            NVLINK3.transfer_time(float("nan"))

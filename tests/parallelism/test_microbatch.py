@@ -91,3 +91,15 @@ class TestMicrobatchSize:
     def test_replica_batch(self):
         spec = ParallelismSpec(dp_intra=4, dp_inter=8)
         assert replica_batch_size(1024, spec) == 32.0
+
+
+class TestNonFiniteInputs:
+    @pytest.mark.parametrize("field", ["a", "b", "floor", "ceiling"])
+    def test_rejects_nan_fit_parameters(self, field):
+        with pytest.raises(ConfigurationError, match="finite"):
+            MicrobatchEfficiency(**{field: float("nan")})
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf")])
+    def test_rejects_non_finite_microbatch_size(self, value):
+        with pytest.raises(ConfigurationError):
+            CASE_STUDY_EFFICIENCY(value)

@@ -92,3 +92,15 @@ class TestMoEConfig:
     def test_rejects_capacity_below_one(self):
         with pytest.raises(ConfigurationError):
             MoEConfig(n_experts=4, capacity_factor=0.5)
+
+
+class TestNonFiniteInputs:
+    def test_rejects_nan_capacity_factor(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            MoEConfig(n_experts=4, capacity_factor=float("nan"))
+
+    @pytest.mark.parametrize("field", ["n_layers", "hidden_size",
+                                       "sequence_length", "vocab_size"])
+    def test_rejects_nan_count_fields(self, field):
+        with pytest.raises(ConfigurationError):
+            make(**{field: float("nan")})
