@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.accelerator import AcceleratorSpec
 from repro.hardware.precision import PrecisionPolicy
 from repro.transformer.config import TransformerConfig
@@ -26,6 +26,9 @@ class RooflinePoint:
 
     compute_time_s: float
     memory_time_s: float
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def time_s(self) -> float:

@@ -34,7 +34,7 @@ from repro.parallelism.microbatch import (
 from repro.parallelism.spec import spec_from_totals
 from repro.reporting.tables import render_table
 from repro.transformer.zoo import MODELS, get_model
-from repro.units import format_duration
+from repro.units import format_duration, seconds_to_microseconds
 
 _INTER_LINKS = {"edr": IB_EDR, "hdr": IB_HDR, "ndr": IB_NDR}
 
@@ -317,7 +317,7 @@ def _cmd_experiment(args) -> int:
              "attention share"],
             [(p.sequence_length, p.global_batch,
               round(p.batch_time_s, 1),
-              round(p.time_per_token_s * 1e6, 2),
+              round(seconds_to_microseconds(p.time_per_token_s), 2),
               f"{p.attention_flop_share:.1%}")
              for p in run_context_study()],
             title="Long-context cost (7.5B arch, 4M tokens/batch)"))

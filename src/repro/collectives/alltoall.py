@@ -18,9 +18,10 @@ from repro.collectives.primitives import (
     check_ranks,
 )
 from repro.hardware.interconnect import LinkSpec
+from repro.units import Bits
 
 
-def simulate_pairwise_alltoall(payload_bits: float, n_ranks: int,
+def simulate_pairwise_alltoall(payload_bits: Bits, n_ranks: int,
                                link: LinkSpec) -> CollectiveResult:
     """Simulate an all-to-all where each rank holds ``payload_bits``
     destined for the group (``payload_bits / N`` per destination)."""

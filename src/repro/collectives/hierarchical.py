@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.collectives.primitives import check_payload, check_ranks
+from repro.errors import require_finite_fields
+from repro.units import Bits, Seconds
 from repro.collectives.ring import (
     simulate_ring_allgather,
     simulate_ring_allreduce,
@@ -35,21 +37,24 @@ from repro.hardware.interconnect import LinkSpec
 class HierarchicalResult:
     """Outcome of a two-level all-reduce simulation."""
 
-    intra_reduce_scatter_s: float
-    inter_allreduce_s: float
-    intra_allgather_s: float
+    intra_reduce_scatter_s: Seconds
+    inter_allreduce_s: Seconds
+    intra_allgather_s: Seconds
     n_intra: int
     n_inter: int
-    payload_bits: float
+    payload_bits: Bits
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
-    def time_s(self) -> float:
+    def time_s(self) -> Seconds:
         """Total wall-clock time: the three phases are sequential."""
         return (self.intra_reduce_scatter_s + self.inter_allreduce_s
                 + self.intra_allgather_s)
 
     @property
-    def inter_bits_per_nic(self) -> float:
+    def inter_bits_per_nic(self) -> Bits:
         """Payload the inter phase pushed through one NIC — the sharded
         volume Eq. 6/11's inter terms assume."""
         if self.n_inter <= 1:
@@ -58,7 +63,7 @@ class HierarchicalResult:
         return self.payload_bits / self.n_intra * factor
 
 
-def simulate_hierarchical_allreduce(payload_bits: float, n_intra: int,
+def simulate_hierarchical_allreduce(payload_bits: Bits, n_intra: int,
                                     n_inter: int, intra_link: LinkSpec,
                                     inter_link: LinkSpec
                                     ) -> HierarchicalResult:

@@ -17,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, require_finite_fields
 from repro.hardware.interconnect import LinkSpec
+from repro.units import Bits, Seconds
 
 
 @dataclass(frozen=True)
@@ -33,16 +34,17 @@ class Round:
         What the round does ("reduce-scatter step 3", ...).
     """
 
-    bits_per_rank: float
+    bits_per_rank: Bits
     description: str = ""
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.bits_per_rank < 0:
             raise SimulationError(
                 f"round payload must be non-negative, got "
                 f"{self.bits_per_rank}")
 
-    def duration(self, link: LinkSpec) -> float:
+    def duration(self, link: LinkSpec) -> Seconds:
         """Wall-clock time of this round over ``link``."""
         return link.transfer_time(self.bits_per_rank)
 
@@ -53,9 +55,12 @@ class CollectiveResult:
 
     name: str
     n_ranks: int
-    payload_bits: float
+    payload_bits: Bits
     rounds: Sequence[Round]
     link: LinkSpec
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def n_rounds(self) -> int:
@@ -63,12 +68,12 @@ class CollectiveResult:
         return len(self.rounds)
 
     @property
-    def time_s(self) -> float:
+    def time_s(self) -> Seconds:
         """Total wall-clock time: the sum of round durations."""
         return sum(r.duration(self.link) for r in self.rounds)
 
     @property
-    def bits_moved_per_rank(self) -> float:
+    def bits_moved_per_rank(self) -> Bits:
         """Total payload a single rank pushed through its link."""
         return sum(r.bits_per_rank for r in self.rounds)
 
@@ -89,14 +94,14 @@ def check_ranks(n_ranks: int) -> None:
             f"rank count must be a positive integer, got {n_ranks!r}")
 
 
-def check_payload(payload_bits: float) -> None:
+def check_payload(payload_bits: Bits) -> None:
     """Validate a payload size for the simulators."""
     if payload_bits < 0:
         raise SimulationError(
             f"payload must be non-negative, got {payload_bits}")
 
 
-def even_shards(payload_bits: float, n_ranks: int) -> List[float]:
+def even_shards(payload_bits: Bits, n_ranks: int) -> List[float]:
     """Split a payload into ``n_ranks`` equal shards (floats, exact)."""
     check_ranks(n_ranks)
     check_payload(payload_bits)

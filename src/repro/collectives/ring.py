@@ -27,9 +27,10 @@ from repro.collectives.primitives import (
     check_ranks,
 )
 from repro.hardware.interconnect import LinkSpec
+from repro.units import Bits
 
 
-def simulate_ring_allreduce(payload_bits: float, n_ranks: int,
+def simulate_ring_allreduce(payload_bits: Bits, n_ranks: int,
                             link: LinkSpec) -> CollectiveResult:
     """Simulate an all-reduce of ``payload_bits`` over ``n_ranks``.
 
@@ -53,7 +54,7 @@ def simulate_ring_allreduce(payload_bits: float, n_ranks: int,
     )
 
 
-def simulate_ring_reduce_scatter(payload_bits: float, n_ranks: int,
+def simulate_ring_reduce_scatter(payload_bits: Bits, n_ranks: int,
                                  link: LinkSpec) -> CollectiveResult:
     """The reduce-scatter half on its own (ZeRO gradient partitioning)."""
     check_ranks(n_ranks)
@@ -72,7 +73,7 @@ def simulate_ring_reduce_scatter(payload_bits: float, n_ranks: int,
     )
 
 
-def simulate_ring_allgather(payload_bits: float, n_ranks: int,
+def simulate_ring_allgather(payload_bits: Bits, n_ranks: int,
                             link: LinkSpec) -> CollectiveResult:
     """The all-gather half on its own (ZeRO-3 parameter gathering).
 

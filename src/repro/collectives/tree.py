@@ -20,9 +20,10 @@ from repro.collectives.primitives import (
     check_ranks,
 )
 from repro.hardware.interconnect import LinkSpec
+from repro.units import Bits
 
 
-def simulate_tree_allreduce(payload_bits: float, n_ranks: int,
+def simulate_tree_allreduce(payload_bits: Bits, n_ranks: int,
                             link: LinkSpec) -> CollectiveResult:
     """Simulate a binary-tree all-reduce (reduce + broadcast)."""
     check_ranks(n_ranks)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 from repro.errors import ConfigurationError, require_finite
-from repro.units import format_duration, seconds_to_days
+from repro.units import Seconds, format_duration, seconds_to_days
 
 
 @dataclass(frozen=True)
@@ -49,30 +49,30 @@ class TrainingTimeBreakdown:
     # -- aggregates ----------------------------------------------------------
 
     @property
-    def compute_time(self) -> float:
+    def compute_time(self) -> Seconds:
         """All computation: forward + backward + weight update."""
         return (self.compute_forward + self.compute_backward
                 + self.compute_weight_update)
 
     @property
-    def comm_tp(self) -> float:
+    def comm_tp(self) -> Seconds:
         """Tensor-parallel communication (both levels, fwd+bwd)."""
         return self.comm_tp_intra + self.comm_tp_inter
 
     @property
-    def comm_gradient(self) -> float:
+    def comm_gradient(self) -> Seconds:
         """Data-parallel gradient all-reduce (both levels)."""
         return self.comm_gradient_intra + self.comm_gradient_inter
 
     @property
-    def comm_time(self) -> float:
+    def comm_time(self) -> Seconds:
         """All communication terms of Eq. 1 (plus the explicit ZeRO-3
         parameter gathers when that modeling is enabled)."""
         return (self.comm_tp + self.comm_pp + self.comm_moe
                 + self.comm_gradient + self.comm_zero)
 
     @property
-    def total(self) -> float:
+    def total(self) -> Seconds:
         """The full Eq. 1 bracket: compute + communication + bubbles."""
         return self.compute_time + self.comm_time + self.bubble
 
@@ -142,12 +142,12 @@ class TrainingEstimate:
                 f"n_batches must be >= 1, got {self.n_batches}")
 
     @property
-    def batch_time_s(self) -> float:
+    def batch_time_s(self) -> Seconds:
         """Seconds per training batch."""
         return self.per_batch.total
 
     @property
-    def total_time_s(self) -> float:
+    def total_time_s(self) -> Seconds:
         """Seconds for the whole run (Eq. 1's ``N_batch`` scaling)."""
         return self.per_batch.total * self.n_batches
 

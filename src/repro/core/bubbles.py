@@ -34,15 +34,16 @@ from __future__ import annotations
 
 from repro.errors import ConfigurationError
 from repro.parallelism.spec import ParallelismSpec
+from repro.units import Seconds
 
 #: Recognized bubble-model interpretations.
 BUBBLE_MODELS = ("physical", "eq8")
 
 
-def bubble_time(forward_compute: float, backward_compute: float,
-                forward_comm: float, backward_comm: float,
+def bubble_time(forward_compute: Seconds, backward_compute: Seconds,
+                forward_comm: Seconds, backward_comm: Seconds,
                 n_layers: int, parallelism: ParallelismSpec,
-                model: str = "physical") -> float:
+                model: str = "physical") -> Seconds:
     """``W(l)`` (Eq. 8) for one layer.
 
     Parameters

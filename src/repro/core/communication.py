@@ -29,7 +29,7 @@ import functools
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.interconnect import LinkSpec
 from repro.hardware.precision import PrecisionPolicy
 from repro.hardware.system import SystemSpec
@@ -40,6 +40,7 @@ from repro.parallelism.topology import (
     CollectiveTopology,
 )
 from repro.transformer.config import TransformerConfig
+from repro.units import BitsPerSecond, Seconds
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,7 @@ class CommEnvironment:
     moe_tp_sharding: bool = True
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.zero_forward_overhead < 0:
             raise ConfigurationError(
                 f"zero_forward_overhead must be non-negative, got "
@@ -114,9 +116,9 @@ class CommEnvironment:
 
 
 @functools.lru_cache(maxsize=131072)
-def _collective_time(topology: CollectiveTopology, link_latency_s: float,
-                     bandwidth_bits_per_s: float, n_values: float,
-                     value_bits: float, n_participants: int) -> float:
+def _collective_time(topology: CollectiveTopology, link_latency_s: Seconds,
+                     bandwidth_bits_per_s: BitsPerSecond, n_values: float,
+                     value_bits: float, n_participants: int) -> Seconds:
     """Latency + volume terms of one collective (Eqs. 6 and 11)."""
     return (topology.latency_term(link_latency_s, n_participants)
             + topology.volume_term(n_values, value_bits,
@@ -159,7 +161,7 @@ def pp_activation_count(model: TransformerConfig,
 
 
 def tp_comm_time(env: CommEnvironment, model: TransformerConfig,
-                 replica_batch: float, level: str) -> float:
+                 replica_batch: float, level: str) -> Seconds:
     """Eq. 6: TP all-reduce time per layer at ``level``.
 
     ``M_f,TP = C * T * N_TP + N_act,TP * S_act / BW * T``
@@ -200,7 +202,7 @@ def tp_comm_time(env: CommEnvironment, model: TransformerConfig,
 
 
 def pp_comm_time(env: CommEnvironment, model: TransformerConfig,
-                 replica_batch: float, level: str) -> float:
+                 replica_batch: float, level: str) -> Seconds:
     """Eq. 7: PP stage-boundary communication, expressed per layer.
 
     ``M_f,PP = (1/L) [C + N_act,PP * S_act / BW]``
@@ -230,7 +232,7 @@ def pp_comm_time(env: CommEnvironment, model: TransformerConfig,
 
 
 def moe_comm_time(env: CommEnvironment, model: TransformerConfig,
-                  replica_batch: float) -> float:
+                  replica_batch: float) -> Seconds:
     """Eq. 9: the two all-to-alls (dispatch + combine) of an expert layer.
 
     ``M_f,MoE = 2 C_inter T_MoE N_nodes
@@ -288,7 +290,7 @@ def forward_comm_components(env: CommEnvironment, model: TransformerConfig,
 
 
 def forward_comm_time(env: CommEnvironment, model: TransformerConfig,
-                      replica_batch: float, layer_is_moe: bool) -> float:
+                      replica_batch: float, layer_is_moe: bool) -> Seconds:
     """``M_f(l)`` (Eq. 5): total forward communication of one layer."""
     return sum(forward_comm_components(
         env, model, replica_batch, layer_is_moe).values())
@@ -296,7 +298,7 @@ def forward_comm_time(env: CommEnvironment, model: TransformerConfig,
 
 def backward_comm_time(env: CommEnvironment, model: TransformerConfig,
                        replica_batch: float, layer_is_moe: bool,
-                       volume_ratio: float = 1.0) -> float:
+                       volume_ratio: float = 1.0) -> Seconds:
     """``M_b(l)`` (§IV-E): backward communication mirrors the forward
     pass with activations replaced by errors of the same shape; the
     optional ``volume_ratio`` scales it for asymmetric schemes."""
@@ -346,7 +348,7 @@ def gradient_comm_components(env: CommEnvironment,
 
 
 def gradient_comm_time(env: CommEnvironment,
-                       layer_parameters: float) -> float:
+                       layer_parameters: float) -> Seconds:
     """``M_g(l)`` (Eq. 10): hierarchical gradient all-reduce time."""
     return sum(gradient_comm_components(env, layer_parameters).values())
 
@@ -391,6 +393,6 @@ def zero_gather_components(env: CommEnvironment,
 
 
 def zero_gather_time(env: CommEnvironment,
-                     layer_parameters: float) -> float:
+                     layer_parameters: float) -> Seconds:
     """Total per-layer ZeRO-3 parameter-gather time (one gather)."""
     return sum(zero_gather_components(env, layer_parameters).values())

@@ -12,11 +12,11 @@ from repro.errors import ConfigurationError
 from repro.hardware.accelerator import AcceleratorSpec
 from repro.hardware.precision import PrecisionPolicy, precision_passes
 from repro.core.operations import LayerOperations
-from repro.units import FLOPS_PER_MAC
+from repro.units import FLOPS_PER_MAC, Seconds
 
 
 def mac_time_per_op(accelerator: AcceleratorSpec,
-                    efficiency: float) -> float:
+                    efficiency: float) -> Seconds:
     """``C_MAC`` (Eq. 3): seconds per MAC-pipeline FLOP at ``efficiency``.
 
     ``C_MAC = (f * N_cores * N_FU * W_FU * eff(ub))^-1``
@@ -27,7 +27,7 @@ def mac_time_per_op(accelerator: AcceleratorSpec,
     return 1.0 / (accelerator.peak_mac_flops_per_s * efficiency)
 
 
-def nonlinear_time_per_op(accelerator: AcceleratorSpec) -> float:
+def nonlinear_time_per_op(accelerator: AcceleratorSpec) -> Seconds:
     """``C_nonlin`` (Eq. 4): seconds per non-linear operation.
 
     ``C_nonlin = (f * N_FU_nonlin * W_FU_nonlin)^-1``; no efficiency
@@ -39,7 +39,7 @@ def nonlinear_time_per_op(accelerator: AcceleratorSpec) -> float:
 def forward_compute_time(layer: LayerOperations,
                          accelerator: AcceleratorSpec,
                          precision: PrecisionPolicy,
-                         efficiency: float) -> float:
+                         efficiency: float) -> Seconds:
     """``U_f(l)`` (Eq. 2): forward compute time of layer ``l``.
 
     Sums over the layer's sublayers ``i``:
@@ -67,7 +67,7 @@ def backward_compute_time(layer: LayerOperations,
                           accelerator: AcceleratorSpec,
                           precision: PrecisionPolicy,
                           efficiency: float,
-                          backward_multiplier: float = 2.0) -> float:
+                          backward_multiplier: float = 2.0) -> Seconds:
     """``U_b(l)`` (§IV-E): backward compute as a multiple of forward.
 
     The backward pass computes gradients with respect to both inputs and
@@ -88,7 +88,7 @@ def weight_update_time(layer: LayerOperations,
                        accelerator: AcceleratorSpec,
                        precision: PrecisionPolicy,
                        efficiency: float,
-                       optimizer_macs_per_parameter: float = 1.0) -> float:
+                       optimizer_macs_per_parameter: float = 1.0) -> Seconds:
     """``U_w(l)`` (Eq. 12): time to apply the optimizer step to layer ``l``.
 
     The paper multiplies the layer's weight count by the MAC reciprocal

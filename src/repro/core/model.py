@@ -51,7 +51,7 @@ from repro.core.operations import build_operations
 #: Recognized Eq. 1 evaluation strategies (see :class:`AMPeD`).
 EVALUATION_PATHS = ("collapsed", "per_layer")
 from repro.core.zero import NO_ZERO, ZeroConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.precision import MIXED_FP16, PrecisionPolicy
 from repro.hardware.system import SystemSpec
 from repro.parallelism.microbatch import (
@@ -151,6 +151,7 @@ class AMPeD:
     validate: bool = True
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.evaluation_path not in EVALUATION_PATHS:
             raise ConfigurationError(
                 f"evaluation_path must be one of {EVALUATION_PATHS}, got "

@@ -23,7 +23,7 @@ import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.transformer.config import TransformerConfig
 from repro.transformer.layers import (
     SublayerOps,
@@ -54,6 +54,9 @@ class LayerOperations:
     sublayers: Tuple[SublayerOps, ...]
     parameters: float
     is_moe: bool
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def mac_flops(self) -> float:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 
 #: Default forward/backward communication overhead per ZeRO stage.
 #:
@@ -44,6 +44,7 @@ class ZeroConfig:
     forward_overhead: Optional[float] = None
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.stage not in DEFAULT_STAGE_OVERHEAD:
             raise ConfigurationError(
                 f"ZeRO stage must be one of "

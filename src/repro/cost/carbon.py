@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.energy.energy import EnergyEstimate
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
+from repro.units import KILO
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,7 @@ class GridCarbonIntensity:
     pue: float = 1.2
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.grams_co2_per_kwh < 0:
             raise ConfigurationError(
                 f"grams_co2_per_kwh must be non-negative, got "
@@ -50,17 +52,20 @@ class CarbonFootprint:
     facility_kwh: float
     kg_co2: float
 
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
+
     @property
     def tonnes_co2(self) -> float:
         """Emissions in metric tonnes."""
-        return self.kg_co2 / 1000.0
+        return self.kg_co2 / KILO
 
 
 def estimate_carbon(energy: EnergyEstimate,
                     grid: GridCarbonIntensity) -> CarbonFootprint:
     """Emissions of a run whose accelerator energy is ``energy``."""
     facility_kwh = energy.total_kwh * grid.pue
-    kg = facility_kwh * grid.grams_co2_per_kwh / 1000.0
+    kg = facility_kwh * grid.grams_co2_per_kwh / KILO
     return CarbonFootprint(facility_kwh=facility_kwh, kg_co2=kg)
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.breakdown import TrainingEstimate
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.units import SECONDS_PER_HOUR
 
 
@@ -38,9 +38,10 @@ class CloudPricing:
     name: str
     usd_per_accelerator_hour: float
     interconnect_premium: float = 1.0
-    minimum_billing_s: float = 3600.0
+    minimum_billing_s: float = SECONDS_PER_HOUR
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.usd_per_accelerator_hour <= 0:
             raise ConfigurationError(
                 f"usd_per_accelerator_hour must be positive, got "
@@ -68,6 +69,9 @@ class TrainingCost:
     billed_gpu_hours: float
     usd: float
     n_accelerators: int
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def usd_per_gpu_hour(self) -> float:

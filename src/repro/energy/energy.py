@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.core.breakdown import TrainingTimeBreakdown
 from repro.energy.power import PowerModel
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 
 #: Joules per kWh, for reporting.
 JOULES_PER_KWH = 3.6e6
@@ -24,6 +24,9 @@ class EnergyEstimate:
     active_joules: float
     idle_joules: float
     n_accelerators: int
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def total_joules(self) -> float:

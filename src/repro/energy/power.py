@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.accelerator import AcceleratorSpec
 
 
@@ -35,6 +35,7 @@ class PowerModel:
     idle_fraction: float = 0.3
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.active_watts <= 0:
             raise ConfigurationError(
                 f"active_watts must be positive, got {self.active_watts}")

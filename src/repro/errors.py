@@ -8,8 +8,9 @@ skip infeasible configurations without masking genuine programming errors
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from typing import Optional
+from typing import Any, List, Optional
 
 
 class ReproError(Exception):
@@ -80,10 +81,11 @@ class SweepInterrupted(ReproError):
 
     def __init__(self, message: str,
                  journal_path: Optional[str] = None,
-                 partial_results: Optional[list] = None) -> None:
+                 partial_results: Optional[List[Any]] = None) -> None:
         super().__init__(message)
         self.journal_path = journal_path
-        self.partial_results = partial_results if partial_results else []
+        self.partial_results: List[Any] = (
+            partial_results if partial_results else [])
 
 
 def require_finite(name: str, value: float) -> None:
@@ -98,3 +100,21 @@ def require_finite(name: str, value: float) -> None:
     if not finite:
         raise ConfigurationError(
             f"{name} must be finite, got {value!r}")
+
+
+def require_finite_fields(instance: Any) -> None:
+    """Apply :func:`require_finite` to every real-number field of a
+    dataclass instance.
+
+    The standard ``__post_init__`` guard for spec and result containers
+    (analyzer rule AMP005): a NaN passes every ``< 0`` range check and an
+    infinity survives them, so both must be rejected at construction,
+    before they poison a sweep ranking far from the mistake.  Bools and
+    non-numeric fields are skipped; ints are checked too (they are always
+    finite, but may arrive as floats through untyped call sites).
+    """
+    for item in dataclasses.fields(instance):
+        value = getattr(instance, item.name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        require_finite(item.name, value)

@@ -27,6 +27,7 @@ from repro.parallelism.mapping import mapping_for
 from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
 from repro.search.tuning import optimize_microbatches
 from repro.transformer.zoo import MEGATRON_145B
+from repro.errors import require_finite_fields
 from repro.units import divisors
 
 #: Fig. 10's workload.
@@ -46,6 +47,9 @@ class Fig10Point:
     pp_days: float
     pp_bubble_share: float
     energy_breakeven_idle_fraction: Optional[float]
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def winner(self) -> str:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.breakdown import TrainingTimeBreakdown
+from repro.errors import require_finite_fields
 from repro.core.model import AMPeD
 from repro.hardware.catalog import H100, glam_h100_reference
 from repro.hardware.interconnect import NVLINK4, LinkSpec
@@ -78,6 +79,9 @@ class Fig11Bar:
     offchip_scale: float
     training_days_per_epoch: float
     breakdown: TrainingTimeBreakdown
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     def speedup_over(self, reference: "Fig11Bar") -> float:
         """Throughput gain over the reference bar."""

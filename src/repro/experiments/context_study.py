@@ -22,7 +22,7 @@ from typing import List, Sequence
 
 from repro.core.model import AMPeD
 from repro.core.operations import build_operations
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.catalog import megatron_a100_cluster
 from repro.parallelism.microbatch import PERFECT_EFFICIENCY
 from repro.parallelism.spec import spec_from_totals
@@ -45,6 +45,9 @@ class ContextPoint:
     batch_time_s: float
     attention_flop_share: float
     time_per_token_s: float
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
 
 def attention_quadratic_share(model: TransformerConfig,

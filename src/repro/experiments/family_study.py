@@ -25,6 +25,8 @@ from repro.parallelism.spec import spec_from_totals
 from repro.search.dse import best_mapping
 from repro.transformer.params import total_parameters
 from repro.transformer.zoo import get_model
+from repro.errors import require_finite_fields
+from repro.units import to_teraflops
 
 #: The family, smallest to largest.
 FAMILY_KEYS = ("megatron-1.7b", "megatron-3.6b", "megatron-7.5b",
@@ -46,6 +48,9 @@ class FamilyPoint:
     mfu: float
     batch_time_s: float
 
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
+
 
 def run_family_study(model_keys: Sequence[str] = FAMILY_KEYS,
                      global_batch: int = FAMILY_BATCH,
@@ -53,7 +58,7 @@ def run_family_study(model_keys: Sequence[str] = FAMILY_KEYS,
                      ) -> List[FamilyPoint]:
     """Best-mapping achieved throughput for every family member."""
     system = megatron_a100_cluster(n_nodes=n_nodes)
-    peak_tflops = system.accelerator.peak_mac_flops_per_s / 1e12
+    peak_tflops = to_teraflops(system.accelerator.peak_mac_flops_per_s)
     points = []
     for key in model_keys:
         model = get_model(key)

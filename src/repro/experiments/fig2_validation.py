@@ -27,6 +27,7 @@ from typing import List, Sequence, Tuple
 
 from repro.collectives.hierarchical import simulate_hierarchical_allreduce
 from repro.core.metrics import normalize_to_first
+from repro.errors import require_finite_fields
 from repro.core.model import AMPeD
 from repro.core.operations import build_operations
 from repro.hardware.catalog import hgx2_node
@@ -36,6 +37,7 @@ from repro.parallelism.spec import ParallelismSpec
 from repro.pipeline.simulator import PipelineWorkload, simulate_pipeline
 from repro.transformer.params import total_parameters
 from repro.transformer.zoo import GPT3_175B, MINGPT_85M, MINGPT_PP
+from repro.units import Seconds
 from repro.validation.compare import ValidationReport, compare_series
 
 #: Efficiency fit for the minGPT validation runs — saturates quickly, as
@@ -61,6 +63,9 @@ class ScalingPoint:
     n_gpus: int
     predicted_s: float
     measured_s: float
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
 
 @dataclass(frozen=True)
@@ -102,7 +107,7 @@ class ScalingResult:
 
 def _mingpt_compute_time(model, global_batch: int, n_gpus: int,
                          efficiency: MicrobatchEfficiency,
-                         accelerator) -> float:
+                         accelerator) -> Seconds:
     """Measurement substitute's compute path: raw FLOPs (forward +
     2x backward + weight update) over derated MAC peak, plus the
     non-linear operations over the special-function-unit peak, per GPU."""
@@ -221,6 +226,9 @@ class SaturationPoint:
     global_batch: int
     tflops_per_gpu: float
     efficiency: float
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
 
 def batch_size_saturation(microbatch_sizes: Sequence[int] =

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.core.model import AMPeD
+from repro.errors import require_finite_fields
 from repro.hardware.catalog import megatron_a100_cluster
 from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
 from repro.parallelism.spec import spec_from_totals
@@ -46,6 +47,9 @@ class ScalingStudyPoint:
     uses_inter_tp: bool
     batch_time_s: float
     training_days: float
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     def speedup_over(self, base: "ScalingStudyPoint") -> float:
         """Throughput gain over the smallest cluster."""

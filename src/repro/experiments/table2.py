@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.model import AMPeD
+from repro.errors import require_finite_fields
 from repro.hardware.catalog import megatron_a100_cluster
 from repro.parallelism.microbatch import MicrobatchEfficiency
 from repro.parallelism.spec import spec_from_totals
@@ -43,6 +44,9 @@ class Table2Row:
 
     point: MegatronPoint
     predicted_tflops: float
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def error_percent(self) -> float:

@@ -23,6 +23,7 @@ from repro.experiments.table2 import (
     Table2Row,
     build_row,
 )
+from repro.errors import require_finite_fields
 from repro.fitting.overlap_fit import measure_overlap_ratio
 from repro.validation.compare import ValidationReport, compare_series
 from repro.validation.published import MEGATRON_TABLE2, MegatronPoint
@@ -44,6 +45,9 @@ class InterleavedRow:
     naive: Table2Row
     interleaved: Table2Row
     overlap_ratio: float
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def point(self) -> MegatronPoint:

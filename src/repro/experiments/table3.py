@@ -22,6 +22,7 @@ from typing import List, Sequence, Tuple
 from repro.core.metrics import speedups
 from repro.core.model import AMPeD
 from repro.core.operations import build_operations
+from repro.errors import require_finite_fields
 from repro.hardware.catalog import gpipe_p100_node
 from repro.hardware.precision import FULL_FP32
 from repro.parallelism.microbatch import MicrobatchEfficiency
@@ -47,6 +48,9 @@ class Table3Row:
     n_gpus: int
     batch_time_s: float
     simulated_time_s: float
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
 
 def build_rows(gpu_counts: Sequence[int] = (2, 4, 8)

@@ -13,9 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.core.model import AMPeD
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.fitting.overlap_fit import bisect_scalar
 from repro.parallelism.microbatch import MicrobatchEfficiency
+from repro.units import Seconds
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,10 @@ class CalibrationResult:
     efficiency: MicrobatchEfficiency
     anchor_value: float
     achieved_value: float
+
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def anchor_error(self) -> float:
@@ -89,7 +94,7 @@ def calibrate_efficiency_to_batch_time(amped: AMPeD, global_batch: int,
             ceiling=template.ceiling)
         return replace(amped, efficiency=efficiency)
 
-    def batch_time(a: float) -> float:
+    def batch_time(a: float) -> Seconds:
         return with_a(a).estimate_batch(global_batch).total
 
     fitted_a = bisect_scalar(batch_time, target_batch_time_s,

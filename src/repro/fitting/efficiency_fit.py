@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.parallelism.microbatch import MicrobatchEfficiency
 
 
@@ -33,6 +33,10 @@ class EfficiencyFitResult:
     points: Tuple[Tuple[float, float], ...]
     rmse: float
     r_squared: float
+
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def a(self) -> float:

@@ -18,6 +18,12 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError, require_finite
 from repro.hardware.precision import FP16
+from repro.units import (
+    Bytes,
+    BitsPerSecond,
+    FlopsPerSecond,
+    Watts,
+)
 
 
 @dataclass(frozen=True)
@@ -68,10 +74,10 @@ class AcceleratorSpec:
     fu_nonlinear_width: int
     mac_fu_bits: int = FP16
     nonlinear_fu_bits: int = FP16
-    memory_bytes: float = 0.0
-    memory_bandwidth_bits_per_s: float = 0.0
-    offchip_bandwidth_bits_per_s: float = 0.0
-    tdp_watts: float = 0.0
+    memory_bytes: Bytes = 0.0
+    memory_bandwidth_bits_per_s: BitsPerSecond = 0.0
+    offchip_bandwidth_bits_per_s: BitsPerSecond = 0.0
+    tdp_watts: Watts = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -102,7 +108,7 @@ class AcceleratorSpec:
     # -- throughputs --------------------------------------------------------
 
     @property
-    def peak_mac_flops_per_s(self) -> float:
+    def peak_mac_flops_per_s(self) -> FlopsPerSecond:
         """Peak MAC-pipeline throughput ``f·N_cores·N_FU·W_FU`` (FLOP/s).
 
         This is the 100%-efficiency throughput; Eq. 3 derates it by the
@@ -112,7 +118,7 @@ class AcceleratorSpec:
                 * self.n_fu * self.fu_width)
 
     @property
-    def peak_nonlinear_ops_per_s(self) -> float:
+    def peak_nonlinear_ops_per_s(self) -> FlopsPerSecond:
         """Peak non-linear throughput ``f·N_FU_nonlin·W_FU_nonlin`` (op/s),
         the reciprocal of Eq. 4."""
         return (self.frequency_hz * self.n_fu_nonlinear

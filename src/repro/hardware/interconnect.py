@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError, require_finite
-from repro.units import gbps_to_bits_per_second
+from repro.units import BitsPerSecond, Seconds, gbps_to_bits_per_second
 
 
 @dataclass(frozen=True)
@@ -34,8 +34,8 @@ class LinkSpec:
     """
 
     name: str
-    latency_s: float
-    bandwidth_bits_per_s: float
+    latency_s: Seconds
+    bandwidth_bits_per_s: BitsPerSecond
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -50,7 +50,7 @@ class LinkSpec:
                 f"bandwidth_bits_per_s must be positive, got "
                 f"{self.bandwidth_bits_per_s}")
 
-    def transfer_time(self, n_bits: float) -> float:
+    def transfer_time(self, n_bits: float) -> Seconds:
         """Time to move ``n_bits`` over this link, latency included."""
         require_finite("transfer size", n_bits)
         if n_bits < 0:

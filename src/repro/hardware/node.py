@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 from repro.errors import ConfigurationError
 from repro.hardware.accelerator import AcceleratorSpec
 from repro.hardware.interconnect import LinkSpec
+from repro.units import BitsPerSecond
 
 
 @dataclass(frozen=True)
@@ -55,12 +56,12 @@ class NodeSpec:
                 f"n_nics must be >= 1, got {self.n_nics}")
 
     @property
-    def aggregate_inter_bandwidth_bits_per_s(self) -> float:
+    def aggregate_inter_bandwidth_bits_per_s(self) -> BitsPerSecond:
         """Total node-to-network bandwidth across all NICs."""
         return self.inter_link.bandwidth_bits_per_s * self.n_nics
 
     @property
-    def inter_bandwidth_per_accelerator_bits_per_s(self) -> float:
+    def inter_bandwidth_per_accelerator_bits_per_s(self) -> BitsPerSecond:
         """Inter-node bandwidth available to one accelerator.
 
         When accelerators outnumber NICs they share NIC bandwidth; when

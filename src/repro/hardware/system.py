@@ -12,6 +12,7 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 from repro.hardware.node import NodeSpec
+from repro.units import FlopsPerSecond
 
 
 @dataclass(frozen=True)
@@ -37,7 +38,7 @@ class SystemSpec:
         return self.node.accelerator
 
     @property
-    def peak_system_flops_per_s(self) -> float:
+    def peak_system_flops_per_s(self) -> FlopsPerSecond:
         """Aggregate 100%-efficiency MAC throughput of the whole system."""
         return self.n_accelerators * self.accelerator.peak_mac_flops_per_s
 

@@ -20,10 +20,11 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.operations import build_operations
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.precision import precision_passes
 from repro.hetero.stages import HeterogeneousPipeline, StagePlatform
 from repro.parallelism.topology import RING
+from repro.units import Seconds
 from repro.pipeline.simulator import (
     HeterogeneousWorkload,
     PipelineResult,
@@ -35,12 +36,16 @@ from repro.pipeline.simulator import (
 class StageTimes:
     """Per-microbatch timing of one heterogeneous stage."""
 
-    forward_s: float
-    backward_s: float
-    comm_s: float
+    forward_s: Seconds
+    backward_s: Seconds
+    comm_s: Seconds
+
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
-    def step_s(self) -> float:
+    def step_s(self) -> Seconds:
         """One full forward+backward step through the stage."""
         return self.forward_s + self.backward_s
 
@@ -75,7 +80,7 @@ def stage_step_times(pipeline: HeterogeneousPipeline,
 
 def _stage_forward_time(stage: StagePlatform, layers,
                         pipeline: HeterogeneousPipeline,
-                        microbatch_size: int) -> float:
+                        microbatch_size: int) -> Seconds:
     """Forward time of one microbatch through one stage's layers."""
     precision = pipeline.precision
     accelerator = stage.accelerator
@@ -104,7 +109,7 @@ def _stage_forward_time(stage: StagePlatform, layers,
 
 def estimate_batch_time(pipeline: HeterogeneousPipeline,
                         n_microbatches: int,
-                        microbatch_size: int) -> float:
+                        microbatch_size: int) -> Seconds:
     """Analytical GPipe makespan for heterogeneous stages.
 
     ``sum over stages of (step + boundary) + (M - 1) * max(step +

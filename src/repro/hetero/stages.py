@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence, Tuple
 
-from repro.errors import ConfigurationError, MappingError
+from repro.errors import ConfigurationError, MappingError, require_finite_fields
 from repro.hardware.accelerator import AcceleratorSpec
 from repro.hardware.interconnect import LinkSpec
 from repro.hardware.precision import MIXED_FP16, PrecisionPolicy
@@ -85,6 +85,7 @@ class HeterogeneousPipeline:
     backward_multiplier: float = 2.0
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if not self.stages:
             raise ConfigurationError("need at least one stage")
         if len(self.layer_assignment) != len(self.stages):

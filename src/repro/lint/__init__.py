@@ -1,0 +1,44 @@
+"""``repro.lint`` — dimensional-consistency static analysis for this repo.
+
+AMPeD's closed-form equations mix seconds, bits, bits/second, FLOPs and
+FLOP/second — quantities spanning ~20 orders of magnitude — and the only
+runtime defense is the convention that :mod:`repro.units` is the single
+conversion boundary.  This package machine-checks that convention: an
+AST-based analyzer (``python -m repro.lint [paths]``, stdlib only) with a
+rule registry, per-line suppressions (``# amplint: disable=AMP00x``),
+JSON/text output and CI-friendly exit codes.
+
+Rules
+-----
+AMP001  raw SI-magnitude literal bypassing a ``repro.units`` constant
+AMP002  bit/byte arithmetic with a literal 8 outside ``units.py``
+AMP003  bare infinity sentinel instead of raising ``MappingError``
+AMP004  time-returning function without ``_s`` suffix or ``Seconds``
+AMP005  dataclass float fields without ``require_finite`` validation
+AMP006  broad ``except Exception`` without the supervised-boundary
+        contract (``# noqa: BLE001 — <justification>``)
+
+Exit codes: 0 clean, 1 violations found, 2 file/parse errors.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    FileContext,
+    LintResult,
+    ParseFailure,
+    Violation,
+    run_lint,
+)
+from repro.lint.rules import Rule, all_rules, get_rule
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "ParseFailure",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "run_lint",
+]

@@ -1,0 +1,75 @@
+"""Command-line front end: ``python -m repro.lint`` / ``amped-lint``.
+
+Exit codes follow the CI contract of :class:`repro.lint.engine.LintResult`:
+0 clean, 1 violations, 2 unreadable or unparseable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import run_lint
+from repro.lint.report import render_json, render_rule_listing, render_text
+
+
+def _split_ids(values: List[str]) -> List[str]:
+    """Flatten repeatable, comma-separated ``--select``/``--ignore``."""
+    ids: List[str] = []
+    for value in values:
+        ids.extend(part.strip() for part in value.split(",") if part.strip())
+    return ids
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=("Dimensional-consistency and invariant static "
+                     "analysis for the AMPeD codebase (rules AMP001-"
+                     "AMP006; suppress with `# amplint: disable=AMP00x`)."))
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to analyze (default: ./src if it "
+             "exists, else .)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--select", action="append", default=[], metavar="IDS",
+        help="comma-separated rule ids to run exclusively")
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="IDS",
+        help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="append per-rule violation counts (text format)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(render_rule_listing())
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        paths = ["src"] if os.path.isdir("src") else ["."]
+
+    result = run_lint(paths,
+                      select=_split_ids(args.select) or None,
+                      ignore=_split_ids(args.ignore) or None)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, statistics=args.statistics))
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""Analyzer engine: file discovery, parsing, suppressions, rule driving.
+
+The engine is deliberately dependency-free (``ast`` + ``tokenize`` only)
+so the linter can gate CI on a bare interpreter.  Rules live in
+:mod:`repro.lint.rules`; this module owns everything rule-independent:
+
+* walking directories for ``*.py`` files,
+* parsing each file once into an AST plus a comment map,
+* the suppression contract (``# amplint: disable=AMP001`` on the
+  violating line, ``# amplint: disable-file=AMP001`` anywhere on a
+  comment-only line for whole-file waivers),
+* collecting :class:`Violation` records into a :class:`LintResult` with
+  CI-friendly exit codes.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Union
+
+#: Marker introducing an inline analyzer directive.
+DIRECTIVE_PREFIX = "amplint:"
+
+_DIRECTIVE_RE = re.compile(
+    r"amplint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_,\s]+)")
+
+#: Wildcard accepted in a directive's id list ("disable=all").
+ALL_RULES = "all"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The classic compiler-style one-liner."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the analyzer could not read or parse."""
+
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: error: {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "error": self.message}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Physical line number -> comment text (including the leading ``#``).
+    comments: Dict[int, str] = field(default_factory=dict)
+    #: Line number -> rule ids suppressed on that line.
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Rule ids suppressed for the whole file.
+    file_disables: Set[str] = field(default_factory=set)
+
+    def comment_on(self, line: int) -> str:
+        """The comment ending physical line ``line`` ('' if none)."""
+        return self.comments.get(line, "")
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is waived at ``line`` by a directive."""
+        if rule_id in self.file_disables or ALL_RULES in self.file_disables:
+            return True
+        disabled = self.line_disables.get(line, set())
+        return rule_id in disabled or ALL_RULES in disabled
+
+    def violation(self, rule_id: str, node: Union[ast.AST, int],
+                  message: str, col: Optional[int] = None) -> Violation:
+        """Build a :class:`Violation` anchored at ``node`` (or a line)."""
+        if isinstance(node, int):
+            line, column = node, 0 if col is None else col
+        else:
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0) if col is None else col
+        return Violation(path=self.path, line=line, col=column,
+                         rule_id=rule_id, message=message)
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of one analyzer run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    failures: List[ParseFailure] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Violations per rule id, sorted by id."""
+        tally: Dict[str, int] = {}
+        for violation in self.violations:
+            tally[violation.rule_id] = tally.get(violation.rule_id, 0) + 1
+        return dict(sorted(tally.items()))
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean · 1 violations · 2 unreadable/unparseable input."""
+        if self.failures:
+            return 2
+        if self.violations:
+            return 1
+        return 0
+
+
+def _scan_comments(source: str) -> Dict[int, str]:
+    """Map physical line numbers to their trailing comments.
+
+    Uses :mod:`tokenize` so ``#`` inside string literals is never
+    mistaken for a comment.  Files that tokenize rejects fall back to an
+    empty map (the AST parse already succeeded, so rules still run).
+    """
+    comments: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return comments
+
+
+def _parse_directives(context: FileContext) -> None:
+    """Populate the context's suppression tables from its comments."""
+    for line, comment in context.comments.items():
+        match = _DIRECTIVE_RE.search(comment)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group("ids").split(",")}
+        ids = {part for part in ids if part}
+        if match.group("kind") == "disable-file":
+            context.file_disables.update(ids)
+        else:
+            context.line_disables.setdefault(line, set()).update(ids)
+
+
+def build_context(path: Path) -> Union[FileContext, ParseFailure]:
+    """Read and parse one file; on failure return a :class:`ParseFailure`."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return ParseFailure(path=str(path), line=1, message=str(error))
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return ParseFailure(path=str(path), line=error.lineno or 1,
+                            message=f"syntax error: {error.msg}")
+    context = FileContext(path=str(path), source=source, tree=tree,
+                          comments=_scan_comments(source))
+    _parse_directives(context)
+    return context
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``*.py`` file under ``paths`` in deterministic order.
+
+    Directories are walked recursively; ``__pycache__`` and hidden
+    directories are skipped.  Non-existent inputs surface later as
+    :class:`ParseFailure` entries rather than being silently dropped.
+    """
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            for candidate in sorted(root.rglob("*.py")):
+                parts = candidate.relative_to(root).parts
+                if any(part == "__pycache__" or part.startswith(".")
+                       for part in parts):
+                    continue
+                yield candidate
+        else:
+            yield root
+
+
+def run_lint(paths: Sequence[str],
+             select: Optional[Sequence[str]] = None,
+             ignore: Optional[Sequence[str]] = None) -> LintResult:
+    """Run the (optionally filtered) rule set over ``paths``."""
+    from repro.lint.rules import all_rules
+
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+    if ignore:
+        unwanted = set(ignore)
+        rules = [rule for rule in rules if rule.rule_id not in unwanted]
+
+    result = LintResult()
+    for path in iter_python_files(paths):
+        context = build_context(path)
+        if isinstance(context, ParseFailure):
+            result.failures.append(context)
+            continue
+        result.files_checked += 1
+        for rule in rules:
+            if rule.exempts(path):
+                continue
+            for violation in rule.check(context):
+                if not context.is_suppressed(violation.rule_id,
+                                             violation.line):
+                    result.violations.append(violation)
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return result

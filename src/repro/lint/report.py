@@ -1,0 +1,59 @@
+"""Render a :class:`~repro.lint.engine.LintResult` for humans or CI."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.engine import LintResult
+from repro.lint.rules import all_rules
+
+
+def render_text(result: LintResult, statistics: bool = False) -> str:
+    """Compiler-style one-liners plus a summary footer."""
+    lines: List[str] = []
+    for failure in result.failures:
+        lines.append(failure.render())
+    for violation in result.violations:
+        lines.append(violation.render())
+    if statistics and result.counts:
+        lines.append("")
+        for rule_id, count in result.counts.items():
+            lines.append(f"{rule_id:>8}  {count}")
+    lines.append(_summary_line(result))
+    return "\n".join(lines)
+
+
+def _summary_line(result: LintResult) -> str:
+    checked = (f"{result.files_checked} file"
+               f"{'s' if result.files_checked != 1 else ''} checked")
+    if result.failures:
+        return (f"{checked}; {len(result.failures)} unreadable; "
+                f"{len(result.violations)} violation(s)")
+    if result.violations:
+        return f"{checked}; {len(result.violations)} violation(s)"
+    return f"{checked}; clean"
+
+
+def as_json_dict(result: LintResult) -> Dict[str, object]:
+    """JSON-serializable payload consumed by CI annotations."""
+    return {
+        "files_checked": result.files_checked,
+        "counts": result.counts,
+        "violations": [v.as_dict() for v in result.violations],
+        "errors": [f.as_dict() for f in result.failures],
+        "exit_code": result.exit_code,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """Pretty-printed JSON report."""
+    return json.dumps(as_json_dict(result), indent=2, sort_keys=True)
+
+
+def render_rule_listing() -> str:
+    """The ``--list-rules`` catalogue with one-line summaries."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}  {rule.name:<24} {rule.summary}")
+    return "\n".join(lines)

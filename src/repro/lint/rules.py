@@ -1,0 +1,399 @@
+"""The AMP rule set: this codebase's real dimensional failure modes.
+
+Each rule is a pure function from a parsed :class:`~repro.lint.engine.FileContext`
+to an iterator of violations, registered under a stable ``AMPnnn`` id.
+Performance-model reproductions die by unit slips — a ``* 8`` in the
+wrong place silently turns bits into bytes, an inline ``86400.0``
+detaches a conversion from the one module allowed to define it — so the
+rules target exactly those patterns rather than general style.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.engine import FileContext, Violation
+from repro.units import (
+    GIB,
+    GIGA,
+    KIB,
+    KILO,
+    MEGA,
+    MIB,
+    PETA,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    TERA,
+    TIB,
+)
+
+CheckFn = Callable[[FileContext], Iterator[Violation]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered analyzer rule."""
+
+    rule_id: str
+    name: str
+    summary: str
+    check: CheckFn
+    #: File basenames the rule never applies to (e.g. ``units.py`` is the
+    #: one module allowed to spell out conversion constants).
+    exempt_basenames: Tuple[str, ...] = ()
+
+    def exempts(self, path: "object") -> bool:
+        """True when ``path`` (a ``pathlib.Path`` or str) is out of scope."""
+        name = getattr(path, "name", None)
+        if name is None:
+            name = str(path).rsplit("/", 1)[-1]
+        return name in self.exempt_basenames
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def _register(rule_id: str, name: str, summary: str,
+              exempt_basenames: Tuple[str, ...] = ()
+              ) -> Callable[[CheckFn], CheckFn]:
+    def decorator(check: CheckFn) -> CheckFn:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        _REGISTRY[rule_id] = Rule(rule_id=rule_id, name=name,
+                                  summary=summary, check=check,
+                                  exempt_basenames=exempt_basenames)
+        return check
+    return decorator
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (KeyError when unknown)."""
+    return _REGISTRY[rule_id]
+
+
+# ---------------------------------------------------------------------------
+# AMP001 — raw SI-magnitude literals
+# ---------------------------------------------------------------------------
+
+#: Float literal -> the repro.units constant it silently re-derives.
+#: Built from the constants themselves so the table can never drift.
+_MAGNITUDE_CONSTANTS: Dict[float, str] = {
+    KILO: "KILO",
+    MEGA: "MEGA",
+    GIGA: "GIGA",
+    TERA: "TERA",
+    PETA: "PETA",
+    SECONDS_PER_MINUTE: "SECONDS_PER_MINUTE",
+    SECONDS_PER_HOUR: "SECONDS_PER_HOUR",
+    SECONDS_PER_DAY: "SECONDS_PER_DAY",
+    KIB: "KIB",
+    MIB: "MIB",
+    GIB: "GIB",
+    TIB: "TIB",
+}
+
+
+@_register(
+    "AMP001", "magnitude-literal",
+    "raw SI/IEC magnitude literal bypassing a repro.units constant",
+    exempt_basenames=("units.py",))
+def _check_magnitude_literals(context: FileContext) -> Iterator[Violation]:
+    """Flag float literals equal to a known unit-conversion magnitude.
+
+    Integer literals stay legal (``hidden_size=1024`` is a dimensionless
+    count), but *float* spellings — ``1e9``, ``86400.0``, ``3600.0`` —
+    are conversion factors and must come from :mod:`repro.units` so a
+    grep for the constant finds every conversion site.
+    """
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Constant):
+            continue
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, float):
+            continue
+        constant = _MAGNITUDE_CONSTANTS.get(value)
+        if constant is not None:
+            yield context.violation(
+                "AMP001", node,
+                f"raw magnitude literal {value!r}; use "
+                f"repro.units.{constant} (or a units.py conversion helper) "
+                f"so the dimension stays greppable")
+
+
+# ---------------------------------------------------------------------------
+# AMP002 — bit/byte arithmetic outside units.py
+# ---------------------------------------------------------------------------
+
+
+@_register(
+    "AMP002", "bit-byte-arith",
+    "inline *8 or /8 bit/byte conversion outside repro.units",
+    exempt_basenames=("units.py",))
+def _check_bit_byte_arithmetic(context: FileContext) -> Iterator[Violation]:
+    """Flag ``x * 8`` / ``x / 8`` — the classic silent bits↔bytes slip.
+
+    ``//`` is exempt (integer grouping like ``n_gpus // 8`` is counting,
+    not unit conversion).  Conversions belong to
+    :func:`repro.units.bytes_to_bits` / :func:`repro.units.bits_to_bytes`
+    or an explicit ``BITS_PER_BYTE`` factor.
+    """
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.BinOp):
+            continue
+        if not isinstance(node.op, (ast.Mult, ast.Div)):
+            continue
+        for operand in (node.left, node.right):
+            if (isinstance(operand, ast.Constant)
+                    and not isinstance(operand.value, bool)
+                    and isinstance(operand.value, (int, float))
+                    and operand.value == 8):
+                yield context.violation(
+                    "AMP002", node,
+                    "bit/byte arithmetic with a literal 8; use "
+                    "repro.units.BITS_PER_BYTE or "
+                    "bytes_to_bits()/bits_to_bytes() so the direction of "
+                    "the conversion is explicit")
+                break
+
+
+# ---------------------------------------------------------------------------
+# AMP003 — bare infinity sentinels
+# ---------------------------------------------------------------------------
+
+_INF_STRINGS = {"inf", "-inf", "+inf", "infinity", "-infinity", "+infinity"}
+
+
+def _is_inf_expression(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "inf":
+        return isinstance(node.value, ast.Name) and node.value.id == "math"
+    if isinstance(node, ast.Name) and node.id == "inf":
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "float" and len(node.args) == 1):
+        argument = node.args[0]
+        return (isinstance(argument, ast.Constant)
+                and isinstance(argument.value, str)
+                and argument.value.strip().lower() in _INF_STRINGS)
+    return False
+
+
+@_register(
+    "AMP003", "inf-sentinel",
+    "bare infinity sentinel instead of raising MappingError")
+def _check_inf_sentinels(context: FileContext) -> Iterator[Violation]:
+    """Flag ``math.inf`` / ``float('inf')`` cost sentinels.
+
+    PR 2 replaced infeasible-configuration sentinels with
+    :class:`repro.errors.MappingError` so sweeps can distinguish
+    "provably infeasible" from "numerically broken"; an infinity that
+    sneaks back in defeats that, poisons rankings and does not survive
+    JSON serialization.
+    """
+    for node in ast.walk(context.tree):
+        if _is_inf_expression(node):
+            yield context.violation(
+                "AMP003", node,
+                "bare infinity sentinel; raise repro.errors.MappingError "
+                "(or another ReproError) for infeasible configurations, "
+                "or suppress with a justification if this is a reporting "
+                "value")
+
+
+# ---------------------------------------------------------------------------
+# AMP004 — time-returning functions must carry their unit
+# ---------------------------------------------------------------------------
+
+_TIME_TOKENS = {"time", "latency", "duration", "delay"}
+_UNIT_SUFFIXES = ("_s", "_seconds", "_ms", "_us", "_ns",
+                  "_minutes", "_hours", "_days")
+_DIM_ALIASES = {"Seconds", "Bits", "Bytes", "BitsPerSecond",
+                "Flops", "FlopsPerSecond", "Watts"}
+
+
+def _annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    """The trailing identifier of an annotation expression, if any."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.rsplit(".", 1)[-1]
+    return None
+
+
+@_register(
+    "AMP004", "time-unit-name",
+    "time-returning function lacks a _s/_seconds suffix or Seconds "
+    "annotation")
+def _check_time_function_names(context: FileContext) -> Iterator[Violation]:
+    """Flag scalar time functions whose signature hides the unit.
+
+    A function whose name mentions time (``*_time``, ``latency``,
+    ``duration``, ``delay``) and returns a bare/unannotated float gives
+    the caller no way to know whether it yields seconds, microseconds or
+    days.  Either suffix the name (``_s``, ``_seconds``, ``_days``, ...)
+    or annotate the return as :data:`repro.units.Seconds` so the unit is
+    checkable at every call boundary.
+    """
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        name = node.name
+        if name.startswith("__") and name.endswith("__"):
+            continue
+        tokens = set(name.strip("_").split("_"))
+        if not tokens & _TIME_TOKENS:
+            continue
+        if name.endswith(_UNIT_SUFFIXES):
+            continue
+        if node.returns is not None:
+            returns = _annotation_name(node.returns)
+            if returns != "float":
+                # Annotated with a dimension alias, or a non-scalar type
+                # (str, SystemSpec, Iterator[...], ...): either the unit
+                # is carried by the annotation or the value is not a raw
+                # number.  Only a bare/missing float hides the unit.
+                continue
+        yield context.violation(
+            "AMP004", node,
+            f"time-returning function {name!r} hides its unit; add a "
+            f"unit suffix (e.g. {name}_s) or annotate the return as "
+            f"repro.units.Seconds")
+
+
+# ---------------------------------------------------------------------------
+# AMP005 — dataclass float fields must be validated finite
+# ---------------------------------------------------------------------------
+
+
+def _is_dataclass_decorator(node: ast.AST) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == "dataclass"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return False
+
+
+def _is_float_annotation(node: Optional[ast.AST]) -> bool:
+    name = _annotation_name(node)
+    if name == "float" or name in _DIM_ALIASES:
+        return True
+    if isinstance(node, ast.Subscript):
+        head = _annotation_name(node.value)
+        if head == "Optional":
+            return _is_float_annotation(node.slice)
+    return False
+
+
+def _calls_require_finite(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            callee = child.func
+            callee_name = (callee.id if isinstance(callee, ast.Name)
+                           else callee.attr
+                           if isinstance(callee, ast.Attribute) else None)
+            if callee_name is not None and \
+                    callee_name.startswith("require_finite"):
+                # require_finite itself or the require_finite_fields
+                # bulk helper from repro.errors.
+                return True
+    return False
+
+
+@_register(
+    "AMP005", "unvalidated-float-field",
+    "dataclass float fields without require_finite validation")
+def _check_dataclass_finite(context: FileContext) -> Iterator[Violation]:
+    """Flag dataclasses whose float fields skip ``require_finite``.
+
+    NaN passes every ``< 0`` range check (all NaN comparisons are false)
+    and infinity survives them, so a spec object built from bad input
+    poisons whole sweeps many frames away from the mistake.  Every
+    dataclass with float fields must call
+    :func:`repro.errors.require_finite` on them in ``__post_init__``.
+    """
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(_is_dataclass_decorator(d) for d in node.decorator_list):
+            continue
+        float_fields = [
+            statement.target.id
+            for statement in node.body
+            if isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and _is_float_annotation(statement.annotation)
+        ]
+        if not float_fields:
+            continue
+        post_init = next(
+            (statement for statement in node.body
+             if isinstance(statement, ast.FunctionDef)
+             and statement.name == "__post_init__"), None)
+        if post_init is not None and _calls_require_finite(post_init):
+            continue
+        listing = ", ".join(float_fields[:4])
+        if len(float_fields) > 4:
+            listing += ", ..."
+        yield context.violation(
+            "AMP005", node,
+            f"dataclass {node.name!r} has float fields ({listing}) but "
+            f"__post_init__ never calls repro.errors.require_finite; "
+            f"NaN/inf would pass its range checks silently")
+
+
+# ---------------------------------------------------------------------------
+# AMP006 — broad except without the supervised-boundary contract
+# ---------------------------------------------------------------------------
+
+_BOUNDARY_MARK = "noqa: BLE001"
+
+
+def _names_broad_exception(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        # A bare ``except:`` is even broader than ``except Exception``.
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in ("Exception", "BaseException")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Exception", "BaseException")
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad_exception(element) for element in node.elts)
+    return False
+
+
+@_register(
+    "AMP006", "broad-except",
+    "broad except Exception without the supervised-boundary contract")
+def _check_broad_except(context: FileContext) -> Iterator[Violation]:
+    """Flag ``except Exception`` handlers missing the boundary contract.
+
+    The resilient sweep runtime (PR 2) established the convention: a
+    broad catch is legal only at a *supervised boundary* — a worker
+    wrapper whose caller retries/degrades — and must be marked
+    ``# noqa: BLE001 — <justification>`` on the ``except`` line.
+    Anywhere else it masks genuine programming errors.
+    """
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _names_broad_exception(node.type):
+            continue
+        if _BOUNDARY_MARK in context.comment_on(node.lineno):
+            continue
+        yield context.violation(
+            "AMP006", node,
+            "broad `except Exception` without the supervised-boundary "
+            "contract; catch ReproError (or a narrower type), or mark "
+            "the boundary with `# noqa: BLE001 — <justification>`")

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.zero import NO_ZERO, ZeroConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.precision import PrecisionPolicy
 from repro.parallelism.spec import ParallelismSpec
 from repro.transformer.config import TransformerConfig
@@ -56,6 +56,9 @@ class MemoryFootprint:
     gradients: float
     optimizer_states: float
     activations: float
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def total(self) -> float:

@@ -18,9 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.interconnect import LinkSpec
 from repro.hardware.system import SystemSpec
+from repro.units import BitsPerSecond, Seconds
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,7 @@ class FabricLevel:
     hop_latency_s: float
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.down_ports < 1:
             raise ConfigurationError(
                 f"down_ports must be >= 1, got {self.down_ports}")
@@ -90,6 +92,7 @@ class FatTreeFabric:
     levels: Tuple[FabricLevel, ...]
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.port_bandwidth_bits_per_s <= 0:
             raise ConfigurationError(
                 f"port bandwidth must be positive, got "
@@ -126,7 +129,7 @@ class FatTreeFabric:
                 return depth
         return len(self.levels)
 
-    def effective_bandwidth(self, n_nodes: int) -> float:
+    def effective_bandwidth(self, n_nodes: int) -> BitsPerSecond:
         """Per-flow bandwidth for a group spanning ``n_nodes``.
 
         The flow pays the product of oversubscription ratios of every
@@ -140,7 +143,7 @@ class FatTreeFabric:
         # node's own port speed
         return self.port_bandwidth_bits_per_s / max(taper, 1.0)
 
-    def effective_latency(self, n_nodes: int) -> float:
+    def effective_latency(self, n_nodes: int) -> Seconds:
         """One-way latency for a group spanning ``n_nodes``: NIC at each
         end plus up-and-down traversal of the spanned levels."""
         depth = self.levels_to_span(n_nodes)

@@ -20,6 +20,7 @@ import math
 from abc import ABC, abstractmethod
 
 from repro.errors import ConfigurationError
+from repro.units import Seconds
 
 
 def _check_participants(n: int) -> None:
@@ -47,7 +48,8 @@ class CollectiveTopology(ABC):
     def steps(self, n_participants: int) -> int:
         """Number of sequential communication steps."""
 
-    def latency_term(self, link_latency_s: float, n_participants: int) -> float:
+    def latency_term(self, link_latency_s: Seconds,
+                     n_participants: int) -> Seconds:
         """The latency contribution of Eqs. 6 and 11.
 
         The paper writes it as ``C * T * N``; for the ring this equals

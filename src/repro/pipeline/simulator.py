@@ -21,7 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    SimulationError,
+    require_finite_fields,
+)
+from repro.units import Seconds
 from repro.pipeline.schedule import (
     BACKWARD,
     FORWARD,
@@ -39,11 +44,12 @@ class PipelineWorkload:
     the activation/error transfer between adjacent virtual stages.
     """
 
-    forward_time: float
-    backward_time: float
-    comm_time: float = 0.0
+    forward_time: Seconds
+    backward_time: Seconds
+    comm_time: Seconds = 0.0
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.forward_time <= 0:
             raise ConfigurationError(
                 f"forward_time must be positive, got {self.forward_time}")
@@ -55,11 +61,11 @@ class PipelineWorkload:
             raise ConfigurationError(
                 f"comm_time must be non-negative, got {self.comm_time}")
 
-    def duration(self, phase: str) -> float:
+    def duration(self, phase: str) -> Seconds:
         """Duration of one task of ``phase``."""
         return self.forward_time if phase == FORWARD else self.backward_time
 
-    def duration_for(self, task: Task) -> float:
+    def duration_for(self, task: Task) -> Seconds:
         """Duration of ``task`` (uniform across stages for this
         workload; heterogeneous workloads override per stage)."""
         return self.duration(task.phase)
@@ -80,6 +86,7 @@ class HeterogeneousWorkload:
     comm_time: float = 0.0
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if not self.forward_times:
             raise ConfigurationError(
                 "need at least one stage of forward times")
@@ -103,7 +110,7 @@ class HeterogeneousWorkload:
         """Stage count the duration tables cover."""
         return len(self.forward_times)
 
-    def duration_for(self, task: Task) -> float:
+    def duration_for(self, task: Task) -> Seconds:
         """Duration of ``task`` on its stage."""
         if task.stage >= self.n_stages:
             raise ConfigurationError(
@@ -124,6 +131,10 @@ class PipelineResult:
     n_microbatches: int
     n_chunks: int
     task_finish: Dict[Task, float]
+
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def total_busy_s(self) -> float:

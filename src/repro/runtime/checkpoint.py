@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.precision import PrecisionPolicy
 from repro.transformer.config import TransformerConfig
 from repro.transformer.params import total_parameters
@@ -44,6 +44,7 @@ class CheckpointSpec:
     restart_seconds: float = 0.0
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.write_seconds <= 0:
             raise ConfigurationError(
                 f"write_seconds must be positive, got "

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.model import AMPeD
-from repro.errors import ConfigurationError
+from repro.units import Seconds
+from repro.errors import ConfigurationError, require_finite_fields
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,7 @@ class BatchSizeRamp:
     n_stages: int = 8
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.initial_batch < 1:
             raise ConfigurationError(
                 f"initial_batch must be >= 1, got {self.initial_batch}")
@@ -84,7 +86,7 @@ class BatchSizeRamp:
 
 
 def ramped_training_time(amped: AMPeD, ramp: BatchSizeRamp,
-                         total_tokens: float) -> float:
+                         total_tokens: float) -> Seconds:
     """Wall-clock seconds for a run under a batch-size ramp.
 
     Each stage is evaluated at its own batch size (efficiency included);

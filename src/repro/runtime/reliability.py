@@ -19,13 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.runtime.checkpoint import (
     CheckpointSpec,
     checkpoint_overhead_fraction,
     young_daly_interval,
 )
-from repro.units import SECONDS_PER_HOUR
+from repro.units import SECONDS_PER_HOUR, seconds_to_days
 
 
 @dataclass(frozen=True)
@@ -46,6 +46,7 @@ class FailureModel:
     n_devices: int
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         if self.device_mtbf_hours <= 0:
             raise ConfigurationError(
                 f"device_mtbf_hours must be positive, got "
@@ -71,6 +72,10 @@ class CampaignEstimate:
     failure_overhead: float
     expected_failures: float
 
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
+
     @property
     def total_overhead(self) -> float:
         """Combined fractional inflation."""
@@ -84,7 +89,7 @@ class CampaignEstimate:
     @property
     def expected_days(self) -> float:
         """Expected campaign length in days."""
-        return self.expected_seconds / 86400.0
+        return seconds_to_days(self.expected_seconds)
 
 
 def campaign_estimate(clean_seconds: float,

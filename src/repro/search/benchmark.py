@@ -122,7 +122,10 @@ def run_dse_benchmark(system: Optional[SystemSpec] = None,
         "n_mappings": n_mappings,
         "reference": _phase("per_layer", reference_s, n_mappings),
         "fast": _phase("collapsed", fast_s, n_mappings),
-        "speedup": reference_s / fast_s if fast_s > 0 else float("inf"),
+        # Floor the denominator instead of emitting an infinity sentinel:
+        # inf does not survive JSON round-trips and would defeat the
+        # MappingError convention (analyzer rule AMP003).
+        "speedup": reference_s / max(fast_s, 1e-12),
         "max_rel_error": max_rel_error,
         "explore": {
             "seconds": explore_s,

@@ -38,7 +38,11 @@ from repro.core.compute import (
 )
 from repro.core.model import AMPeD
 from repro.core.operations import build_operations
-from repro.errors import MappingError, MemoryCapacityError
+from repro.errors import (
+    MappingError,
+    MemoryCapacityError,
+    require_finite_fields,
+)
 from repro.memory.constraints import fits_in_memory
 from repro.parallelism.mapping import enumerate_mappings
 from repro.parallelism.spec import ParallelismSpec
@@ -72,6 +76,10 @@ class ExplorationResult:
     breakdown: TrainingTimeBreakdown
     microbatch_size: float
     microbatch_efficiency: float
+
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def label(self) -> str:

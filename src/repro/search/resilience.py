@@ -365,7 +365,7 @@ class _PoolSupervisor:
                 pool = self._ensure_pool()
                 futures = [pool.submit(self.evaluate, spec)
                            for spec in remaining]
-            except Exception as error:
+            except Exception as error:  # noqa: BLE001 — supervised boundary: pool spawn/submit failures trigger retry-or-degrade
                 self._note_failure(error)
                 continue
             deadline = (None if self.timeout is None
@@ -375,7 +375,7 @@ class _PoolSupervisor:
                         else max(0.0, deadline - time.monotonic()))
                 try:
                     outcomes.append(future.result(timeout=wait))
-                except Exception as error:
+                except Exception as error:  # noqa: BLE001 — supervised boundary: worker crash/timeout is recorded and retried
                     failure = error
                     break
                 collected += 1

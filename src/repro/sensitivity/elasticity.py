@@ -19,7 +19,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, List
 
 from repro.core.model import AMPeD
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.system import SystemSpec
 
 #: Default relative perturbation for the finite differences.
@@ -87,6 +87,10 @@ class Elasticity:
     knob: str
     elasticity: float
     baseline_time_s: float
+
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def improves_when_increased(self) -> bool:

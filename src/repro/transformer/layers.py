@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, require_finite_fields
 from repro.transformer.config import TransformerConfig
 
 #: Ops per element for a layer normalization (mean, variance, normalize,
@@ -69,6 +69,7 @@ class SublayerOps:
     expert_parameters: float = 0.0
 
     def __post_init__(self) -> None:
+        require_finite_fields(self)
         for field_name in ("mac_flops", "nonlinear_ops", "parameters",
                            "expert_parameters"):
             if getattr(self, field_name) < 0:

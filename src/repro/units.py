@@ -12,6 +12,40 @@ or out.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
+from typing import Annotated, List
+
+# ---------------------------------------------------------------------------
+# Dimension tags
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A physical-dimension tag attached to a ``float`` via ``Annotated``.
+
+    The tag is metadata only — zero runtime cost, invisible to callers —
+    but it lets static tooling (``repro.lint`` rule AMP004, mypy plugins)
+    verify that quantities keep their dimension across call boundaries.
+    """
+
+    unit: str
+
+
+#: Wall-clock or modeled time in SI seconds.
+Seconds = Annotated[float, Dim("s")]
+#: Payload sizes in bits (the library's canonical data-volume unit).
+Bits = Annotated[float, Dim("bit")]
+#: Memory capacities in bytes (HBM datasheet unit; convert at the edge).
+Bytes = Annotated[float, Dim("byte")]
+#: Link and fabric bandwidths in bits/second.
+BitsPerSecond = Annotated[float, Dim("bit/s")]
+#: Operation counts in FLOPs (1 MAC = 2 FLOPs).
+Flops = Annotated[float, Dim("FLOP")]
+#: Compute throughput in FLOP/second.
+FlopsPerSecond = Annotated[float, Dim("FLOP/s")]
+#: Electrical power in watts (energy model).
+Watts = Annotated[float, Dim("W")]
 
 # ---------------------------------------------------------------------------
 # SI prefixes
@@ -22,6 +56,8 @@ MEGA = 1e6
 GIGA = 1e9
 TERA = 1e12
 PETA = 1e15
+
+MICRO = 1e-6
 
 #: Binary (IEC) multipliers, used only for memory capacities.
 KIB = 1024.0
@@ -56,6 +92,11 @@ def days_to_seconds(days: float) -> float:
 def seconds_to_hours(seconds: float) -> float:
     """Convert seconds to hours."""
     return seconds / SECONDS_PER_HOUR
+
+
+def seconds_to_microseconds(seconds: float) -> float:
+    """Convert seconds to microseconds (per-token reporting unit)."""
+    return seconds / MICRO
 
 
 def bytes_to_bits(n_bytes: float) -> float:
@@ -179,7 +220,7 @@ def is_power_of_two(value: int) -> bool:
     return value >= 1 and (value & (value - 1)) == 0
 
 
-def divisors(value: int) -> list:
+def divisors(value: int) -> List[int]:
     """All positive divisors of ``value`` in ascending order.
 
     Used by the design-space explorer to factor accelerator counts into
@@ -187,7 +228,8 @@ def divisors(value: int) -> list:
     """
     if value < 1:
         raise ValueError(f"value must be >= 1, got {value}")
-    small, large = [], []
+    small: List[int] = []
+    large: List[int] = []
     step = 1
     limit = int(math.isqrt(value))
     for candidate in range(1, limit + 1, step):

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from repro.errors import ValidationDataError
+from repro.errors import ValidationDataError, require_finite_fields
 from repro.units import relative_error
 
 
@@ -21,6 +21,10 @@ class ComparisonRow:
     label: str
     predicted: float
     reference: float
+
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def error_percent(self) -> float:

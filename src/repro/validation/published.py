@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.errors import ValidationDataError
+from repro.errors import ValidationDataError, require_finite_fields
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,10 @@ class MegatronPoint:
     published_tflops: float
     paper_prediction_tflops: float
     paper_error_percent: float
+
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
     @property
     def n_gpus(self) -> int:
@@ -70,6 +74,10 @@ class GPipePoint:
     paper_prediction_speedup: float
 
 
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
+
+
 #: Table III: GPipe normalized throughput, M = 32 microbatches.
 GPIPE_TABLE3: Tuple[GPipePoint, ...] = (
     GPipePoint(n_gpus=2, published_speedup=1.0,
@@ -90,6 +98,10 @@ class Fig2cPoint:
 
     microbatch_size: int
     paper_error_percent: float
+
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
 
 
 #: Fig. 2c's quoted endpoints: ~11% error at microbatch 12, ~2% at 60.

@@ -1,0 +1,37 @@
+"""Self-check fixture: one deliberate violation of every amplint rule.
+
+``tests/lint/test_fixtures.py`` runs the analyzer over this file and
+asserts that AMP001 through AMP006 each fire at least once — proving
+the shipped rule set still detects the patterns it was written for.
+This module is analyzed, never imported; keep it ruff-clean (no unused
+imports, no undefined names) because CI's ruff job also walks it.
+"""
+
+import math
+from dataclasses import dataclass
+
+SECONDS_IN_AN_HOUR = 3600.0  # AMP001: raw SI magnitude literal
+
+
+def payload_bytes(bits: float) -> float:
+    return bits / 8  # AMP002: bit<->byte arithmetic outside units.py
+
+
+def impossible_cost() -> float:
+    return math.inf  # AMP003: inf sentinel instead of MappingError
+
+
+def transfer_time(volume, bandwidth):  # AMP004: time fn without _s suffix
+    return volume / bandwidth
+
+
+@dataclass(frozen=True)
+class UncheckedSample:  # AMP005: float field, no require_finite check
+    value: float
+
+
+def swallow_everything() -> float:
+    try:
+        return impossible_cost()
+    except Exception:  # AMP006: broad except without the noqa contract
+        return 0.0

@@ -1,0 +1,119 @@
+"""Engine, CLI and report behavior of the analyzer."""
+
+import json
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.cli import main
+from repro.lint.engine import iter_python_files
+from repro.lint.report import as_json_dict
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text("x = 2.5\n")
+        assert run_lint([str(path)]).exit_code == 0
+
+    def test_violations_exit_one(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text("rate = 1e9\n")
+        assert run_lint([str(path)]).exit_code == 1
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def oops(:\n")
+        result = run_lint([str(path)])
+        assert result.exit_code == 2
+        assert result.failures
+
+    def test_missing_file_exits_two(self, tmp_path):
+        result = run_lint([str(tmp_path / "absent.py")])
+        assert result.exit_code == 2
+
+
+class TestFileDiscovery:
+    def test_walks_directories_recursively(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "top.py").write_text("y = 2\n")
+        names = [p.name for p in iter_python_files([str(tmp_path)])]
+        assert sorted(names) == ["mod.py", "top.py"]
+
+    def test_skips_pycache_and_hidden(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "mod.py").write_text("x = 1\n")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "mod.py").write_text("x = 1\n")
+        assert list(iter_python_files([str(tmp_path)])) == []
+
+
+class TestViolationMetadata:
+    def test_violation_locates_line(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text("x = 1\nrate = 1e9\n")
+        violation = run_lint([str(path)]).violations[0]
+        assert violation.line == 2
+        assert violation.rule_id == "AMP001"
+        assert str(path) in violation.render()
+
+    def test_counts_tally_per_rule(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text("a = 1e9\nb = 1e6\nimport math\nc = math.inf\n")
+        counts = run_lint([str(path)]).counts
+        assert counts == {"AMP001": 2, "AMP003": 1}
+
+    def test_json_payload_shape(self, tmp_path):
+        path = tmp_path / "dirty.py"
+        path.write_text("rate = 1e9\n")
+        payload = as_json_dict(run_lint([str(path)]))
+        assert payload["files_checked"] == 1
+        assert payload["violations"][0]["rule"] == "AMP001"
+
+
+class TestCli:
+    def test_clean_run(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("x = 2.5\n")
+        assert main([str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_run_reports_and_fails(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("rate = 1e9\n")
+        assert main([str(path)]) == 1
+        assert "AMP001" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("rate = 1e9\n")
+        assert main(["--format", "json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"AMP001": 1}
+
+    def test_select_flag(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("rate = 1e9\n")
+        assert main(["--select", "AMP003", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_ignore_flag(self, tmp_path, capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("rate = 1e9\n")
+        assert main(["--ignore", "AMP001", str(path)]) == 0
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("AMP001", "AMP002", "AMP003",
+                        "AMP004", "AMP005", "AMP006"):
+            assert rule_id in out
+
+    @pytest.mark.parametrize("flag", ["--statistics"])
+    def test_statistics_footer(self, tmp_path, capsys, flag):
+        path = tmp_path / "dirty.py"
+        path.write_text("a = 1e9\nb = 1e9\n")
+        assert main([flag, str(path)]) == 1
+        assert "AMP001" in capsys.readouterr().out

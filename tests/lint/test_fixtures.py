@@ -1,0 +1,29 @@
+"""Self-check: the fixture trips every rule; the shipped tree is clean."""
+
+from pathlib import Path
+
+from repro.lint import all_rules, run_lint
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestFixture:
+    def test_every_rule_fires_on_the_fixture(self):
+        result = run_lint([str(FIXTURES)])
+        fired = set(result.counts)
+        expected = {rule.rule_id for rule in all_rules()}
+        assert fired == expected, f"rules not firing: {expected - fired}"
+
+    def test_cli_exits_nonzero_on_the_fixture(self, capsys):
+        assert main([str(FIXTURES)]) == 1
+        capsys.readouterr()
+
+
+class TestShippedTreeIsClean:
+    def test_src_has_no_violations(self):
+        result = run_lint([str(REPO_ROOT / "src")])
+        rendered = "\n".join(v.render() for v in result.violations)
+        assert result.exit_code == 0, f"violations in src:\n{rendered}"
+        assert result.files_checked > 100

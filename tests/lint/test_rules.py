@@ -1,0 +1,266 @@
+"""Positive and negative cases for every amplint rule."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import all_rules, get_rule, run_lint
+
+
+def lint_source(tmp_path, source, name="sample.py", **kwargs):
+    """Write ``source`` to a temp file and run the analyzer on it."""
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return run_lint([str(path)], **kwargs)
+
+
+def rule_ids(result):
+    return [violation.rule_id for violation in result.violations]
+
+
+class TestRegistry:
+    def test_six_rules_registered(self):
+        assert [rule.rule_id for rule in all_rules()] == [
+            "AMP001", "AMP002", "AMP003", "AMP004", "AMP005", "AMP006"]
+
+    def test_get_rule(self):
+        assert get_rule("AMP003").name == "inf-sentinel"
+
+    def test_get_rule_unknown(self):
+        with pytest.raises(KeyError):
+            get_rule("AMP999")
+
+
+class TestAMP001MagnitudeLiterals:
+    def test_flags_float_si_magnitude(self, tmp_path):
+        result = lint_source(tmp_path, "rate = 1e9\n")
+        assert "AMP001" in rule_ids(result)
+
+    def test_flags_seconds_per_hour_spelled_raw(self, tmp_path):
+        result = lint_source(tmp_path, "stall = 3600.0\n")
+        assert "AMP001" in rule_ids(result)
+
+    def test_int_literals_are_legal(self, tmp_path):
+        result = lint_source(tmp_path, "hidden_size = 1024\n")
+        assert "AMP001" not in rule_ids(result)
+
+    def test_ordinary_floats_are_legal(self, tmp_path):
+        result = lint_source(tmp_path, "ratio = 2.5\n")
+        assert "AMP001" not in rule_ids(result)
+
+
+class TestAMP002BitByteArithmetic:
+    def test_flags_division_by_eight(self, tmp_path):
+        result = lint_source(tmp_path, "n_bytes = payload / 8\n")
+        assert "AMP002" in rule_ids(result)
+
+    def test_flags_multiplication_by_eight(self, tmp_path):
+        result = lint_source(tmp_path, "n_bits = payload * 8\n")
+        assert "AMP002" in rule_ids(result)
+
+    def test_floor_division_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, "n_nodes = n_gpus // 8\n")
+        assert "AMP002" not in rule_ids(result)
+
+    def test_other_factors_are_legal(self, tmp_path):
+        result = lint_source(tmp_path, "doubled = payload * 2\n")
+        assert "AMP002" not in rule_ids(result)
+
+
+class TestAMP003InfSentinel:
+    def test_flags_math_inf(self, tmp_path):
+        result = lint_source(
+            tmp_path, "import math\ncost = math.inf\n")
+        assert "AMP003" in rule_ids(result)
+
+    def test_flags_float_inf_string(self, tmp_path):
+        result = lint_source(tmp_path, "cost = float('inf')\n")
+        assert "AMP003" in rule_ids(result)
+
+    def test_finite_float_call_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, "cost = float('1.5')\n")
+        assert "AMP003" not in rule_ids(result)
+
+
+class TestAMP004TimeFunctionNames:
+    def test_flags_unannotated_time_function(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def transfer_time(volume, bandwidth):
+                return volume / bandwidth
+        """)
+        assert "AMP004" in rule_ids(result)
+
+    def test_flags_bare_float_return(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def startup_latency(hops) -> float:
+                return hops * 1.5e-6
+        """)
+        assert "AMP004" in rule_ids(result)
+
+    def test_unit_suffix_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            def transfer_time_s(volume, bandwidth) -> float:
+                return volume / bandwidth
+        """)
+        assert "AMP004" not in rule_ids(result)
+
+    def test_seconds_annotation_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from repro.units import Seconds
+
+            def transfer_time(volume, bandwidth) -> Seconds:
+                return volume / bandwidth
+        """)
+        assert "AMP004" not in rule_ids(result)
+
+    def test_non_float_return_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from typing import Tuple
+
+            def time_pair(a, b) -> Tuple[float, float]:
+                return a, b
+        """)
+        assert "AMP004" not in rule_ids(result)
+
+
+class TestAMP005UnvalidatedDataclass:
+    def test_flags_float_field_without_validation(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Point:
+                time_taken_s: float
+        """)
+        assert "AMP005" in rule_ids(result)
+
+    def test_require_finite_fields_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from dataclasses import dataclass
+
+            from repro.errors import require_finite_fields
+
+            @dataclass(frozen=True)
+            class Point:
+                time_taken_s: float
+
+                def __post_init__(self) -> None:
+                    require_finite_fields(self)
+        """)
+        assert "AMP005" not in rule_ids(result)
+
+    def test_per_field_require_finite_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from dataclasses import dataclass
+
+            from repro.errors import require_finite
+
+            @dataclass(frozen=True)
+            class Point:
+                time_taken_s: float
+
+                def __post_init__(self) -> None:
+                    require_finite("time_taken_s", self.time_taken_s)
+        """)
+        assert "AMP005" not in rule_ids(result)
+
+    def test_no_float_fields_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Label:
+                name: str
+                count: int
+        """)
+        assert "AMP005" not in rule_ids(result)
+
+
+class TestAMP006BroadExcept:
+    def test_flags_unmarked_broad_except(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            try:
+                work()
+            except Exception:
+                pass
+        """)
+        assert "AMP006" in rule_ids(result)
+
+    def test_flags_bare_except(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            try:
+                work()
+            except:  # noqa: E722
+                pass
+        """)
+        assert "AMP006" in rule_ids(result)
+
+    def test_supervised_boundary_mark_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            try:
+                work()
+            except Exception:  # noqa: BLE001 -- supervised boundary
+                pass
+        """)
+        assert "AMP006" not in rule_ids(result)
+
+    def test_narrow_except_is_legal(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            try:
+                work()
+            except ValueError:
+                pass
+        """)
+        assert "AMP006" not in rule_ids(result)
+
+
+class TestSuppression:
+    def test_line_directive_suppresses_one_rule(self, tmp_path):
+        result = lint_source(
+            tmp_path, "rate = 1e9  # amplint: disable=AMP001\n")
+        assert rule_ids(result) == []
+
+    def test_line_directive_is_rule_specific(self, tmp_path):
+        result = lint_source(
+            tmp_path, "rate = 1e9  # amplint: disable=AMP002\n")
+        assert "AMP001" in rule_ids(result)
+
+    def test_line_directive_accepts_multiple_ids(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            "n = payload / 8 * 1e9  # amplint: disable=AMP001, AMP002\n")
+        assert rule_ids(result) == []
+
+    def test_file_directive_suppresses_everywhere(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            # amplint: disable-file=AMP001
+            fast = 1e9
+            slow = 1e6
+        """)
+        assert rule_ids(result) == []
+
+    def test_disable_all(self, tmp_path):
+        result = lint_source(tmp_path, """\
+            # amplint: disable-file=all
+            import math
+            cost = math.inf
+            rate = 1e9
+        """)
+        assert rule_ids(result) == []
+
+
+class TestRuleFiltering:
+    def test_select_restricts_rules(self, tmp_path):
+        source = "import math\ncost = math.inf\nrate = 1e9\n"
+        result = lint_source(tmp_path, source, select=["AMP003"])
+        assert rule_ids(result) == ["AMP003"]
+
+    def test_ignore_drops_rules(self, tmp_path):
+        source = "import math\ncost = math.inf\nrate = 1e9\n"
+        result = lint_source(tmp_path, source, ignore=["AMP001"])
+        assert rule_ids(result) == ["AMP003"]
+
+    def test_units_module_is_exempt_from_magnitude_rules(self, tmp_path):
+        result = lint_source(
+            tmp_path, "GIGA = 1e9\nBYTES = bits / 8\n", name="units.py")
+        assert rule_ids(result) == []

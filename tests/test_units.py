@@ -143,3 +143,89 @@ class TestIntegerHelpers:
     def test_divisors_rejects_zero(self):
         with pytest.raises(ValueError):
             divisors(0)
+
+
+class TestDimensionTags:
+    """The Annotated dimension aliases added for the static analyzer."""
+
+    ALIASES = {
+        "Seconds": "s",
+        "Bits": "bit",
+        "Bytes": "byte",
+        "BitsPerSecond": "bit/s",
+        "Flops": "FLOP",
+        "FlopsPerSecond": "FLOP/s",
+        "Watts": "W",
+    }
+
+    def test_every_alias_wraps_float(self):
+        for name in self.ALIASES:
+            alias = getattr(units, name)
+            assert alias.__origin__ is float
+
+    def test_every_alias_carries_its_dim(self):
+        for name, unit in self.ALIASES.items():
+            alias = getattr(units, name)
+            (tag,) = alias.__metadata__
+            assert tag == units.Dim(unit)
+
+    def test_dim_is_hashable_and_frozen(self):
+        tag = units.Dim("s")
+        assert hash(tag) == hash(units.Dim("s"))
+        with pytest.raises(Exception):
+            tag.unit = "ms"
+
+    def test_annotation_is_runtime_transparent(self):
+        def speed(distance: float) -> units.Seconds:
+            return distance / 2.0
+
+        assert speed(3.0) == 1.5
+
+
+class TestPrefixes:
+    def test_si_prefix_ladder(self):
+        assert units.MEGA == 1e3 * units.KILO
+        assert units.GIGA == 1e3 * units.MEGA
+        assert units.TERA == 1e3 * units.GIGA
+        assert units.PETA == 1e3 * units.TERA
+
+    def test_micro_inverts_mega(self):
+        assert units.MICRO * units.MEGA == pytest.approx(1.0)
+
+    def test_iec_prefix_ladder(self):
+        assert units.KIB == 2.0 ** 10
+        assert units.MIB == units.KIB ** 2
+        assert units.GIB == units.KIB ** 3
+        assert units.TIB == units.KIB ** 4
+
+    def test_iec_exceeds_si(self):
+        assert units.GIB > units.GIGA
+        assert units.KIB > units.KILO
+
+
+class TestMoreRoundTrips:
+    def test_seconds_days_inverse_both_ways(self):
+        assert seconds_to_days(days_to_seconds(2.75)) \
+            == pytest.approx(2.75)
+
+    def test_one_day_in_hours(self):
+        assert seconds_to_hours(days_to_seconds(1.0)) == 24.0
+
+    def test_seconds_to_microseconds(self):
+        assert units.seconds_to_microseconds(1.5) \
+            == pytest.approx(1.5e6)
+
+    def test_microseconds_round_trip_via_micro(self):
+        assert units.seconds_to_microseconds(0.25) * units.MICRO \
+            == pytest.approx(0.25)
+
+    def test_flops_per_mac(self):
+        assert units.FLOPS_PER_MAC == 2.0
+
+    def test_teraflops_uses_si_tera(self):
+        assert to_teraflops(3.0 * units.TERA) == pytest.approx(3.0)
+        assert teraflops(3.0) == pytest.approx(3.0 * units.TERA)
+
+    def test_gbps_uses_si_giga(self):
+        assert gbps_to_bits_per_second(100.0) \
+            == pytest.approx(100.0 * units.GIGA)
