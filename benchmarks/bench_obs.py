@@ -1,0 +1,79 @@
+"""Disabled-tracer overhead guard for the observability instrumentation.
+
+ISSUE 4's budget: with tracing off, the instrumented collapsed
+evaluation path must stay within 5% of the fast-path throughput
+recorded in ``BENCH_dse.json``.  The benchmark measures the same
+Megatron-1T / 1024-A100 workload with the tracer disabled and enabled,
+asserts the budget, and records the measurement in ``BENCH_obs.json``.
+
+Run it explicitly (it is excluded from tier-1 via the ``perf`` marker):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py -m perf -s
+    PYTHONPATH=src python benchmarks/bench_obs.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.benchmark import (
+    MAX_OVERHEAD_FRACTION,
+    run_obs_benchmark,
+    write_obs_bench_json,
+)
+
+from conftest import print_block
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_obs.json"
+DSE_BASELINE_JSON = REPO_ROOT / "BENCH_dse.json"
+
+
+def _dse_baseline() -> float:
+    return json.loads(DSE_BASELINE_JSON.read_text())["fast"][
+        "mappings_per_s"]
+
+
+def _format(payload: dict) -> str:
+    off, on = payload["tracing_off"], payload["tracing_on"]
+    baseline = payload["baseline_fast_mappings_per_s"]
+    ratio = payload["off_vs_baseline"]
+    return "\n".join([
+        f"model            {payload['model']}",
+        f"system           {payload['system']}",
+        f"mappings         {payload['n_mappings']}",
+        f"tracing off      {off['seconds']:.3f} s "
+        f"({off['mappings_per_s']:.0f} mappings/s)",
+        f"tracing on       {on['seconds']:.3f} s "
+        f"({on['mappings_per_s']:.0f} mappings/s, "
+        f"{on['n_records']} records)",
+        f"enabled overhead {payload['enabled_overhead']:.2f}x",
+        f"BENCH_dse fast   {baseline:.0f} mappings/s "
+        f"(off/baseline = {ratio:.3f})",
+    ])
+
+
+@pytest.mark.perf
+def test_bench_obs() -> None:
+    payload = run_obs_benchmark(
+        baseline_fast_mappings_per_s=_dse_baseline())
+    print_block("obs overhead: instrumented collapsed path", _format(payload))
+    write_obs_bench_json(payload, BENCH_JSON)
+    floor = 1.0 - MAX_OVERHEAD_FRACTION
+    assert payload["off_vs_baseline"] >= floor, (
+        f"disabled-tracer throughput is "
+        f"{payload['off_vs_baseline']:.3f} of the BENCH_dse.json "
+        f"fast-path baseline — instrumentation overhead exceeds the "
+        f"{MAX_OVERHEAD_FRACTION:.0%} budget")
+    assert payload["tracing_on"]["n_records"] > 0
+
+
+if __name__ == "__main__":
+    result = run_obs_benchmark(
+        baseline_fast_mappings_per_s=_dse_baseline())
+    print(_format(result))
+    written = write_obs_bench_json(result, BENCH_JSON)
+    print(f"\nwrote {written}")

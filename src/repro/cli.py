@@ -18,11 +18,16 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
 from repro.core.model import AMPeD
 from repro.errors import ReproError
+from repro.obs.export import write_chrome_trace, write_metrics_snapshot
+from repro.obs.logs import LOG_LEVELS, configure_logging
+from repro.obs.metrics import collect_cache_metrics, get_metrics
+from repro.obs.trace import get_tracer, span
 from repro.hardware.catalog import ACCELERATORS
 from repro.hardware.interconnect import IB_EDR, IB_HDR, IB_NDR, NVLINK3
 from repro.hardware.node import NodeSpec
@@ -37,6 +42,17 @@ from repro.transformer.zoo import MODELS, get_model
 from repro.units import format_duration, seconds_to_microseconds
 
 _INTER_LINKS = {"edr": IB_EDR, "hdr": IB_HDR, "ndr": IB_NDR}
+
+#: The CLI's user-facing output channel (see :mod:`repro.obs.logs`):
+#: INFO lands on stdout bare, ERROR on stderr, levels honor
+#: ``--log-level``.  At the default level the output is byte-identical
+#: to the historical ``print()`` behaviour.
+_OUT = logging.getLogger("repro.cli")
+
+
+def _say(message: str = "") -> None:
+    """Emit one line of user-facing CLI output."""
+    _OUT.info(message)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,7 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output directory (created if missing)")
     export.add_argument("--skip-sweeps", action="store_true",
                         help="skip the slow Case Study I sweeps")
+    for command_parser in sub.choices.values():
+        _add_obs_args(command_parser)
     return parser
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", default=None, metavar="PATH",
+                       help="record spans and modeled-time events, and "
+                            "write a Chrome trace-event JSON (open in "
+                            "chrome://tracing or ui.perfetto.dev)")
+    group.add_argument("--metrics", nargs="?", const="", default=None,
+                       metavar="PATH",
+                       help="print a metrics snapshot after the "
+                            "command (or write it as JSON to PATH)")
+    group.add_argument("--log-level", default="info",
+                       choices=sorted(LOG_LEVELS), dest="log_level",
+                       help="verbosity of CLI output and library "
+                            "diagnostics (default: info)")
 
 
 def _add_system_args(parser: argparse.ArgumentParser) -> None:
@@ -163,19 +197,19 @@ def _cmd_estimate(args) -> int:
     except MappingError:
         diagnosis = diagnose_mapping(spec, model, system,
                                      global_batch=args.batch)
-        print(diagnosis.explain())
+        _say(diagnosis.explain())
         return 1
     breakdown = amped.estimate_batch(args.batch)
-    print(f"model:   {model.name}")
-    print(f"system:  {system.describe()}")
-    print(f"mapping: {spec.describe()}  "
+    _say(f"model:   {model.name}")
+    _say(f"system:  {system.describe()}")
+    _say(f"mapping: {spec.describe()}  "
           f"(ub={amped.microbatch(args.batch):g}, "
           f"eff={amped.microbatch_efficiency(args.batch):.2f})")
-    print()
-    print(breakdown.format_table())
+    _say()
+    _say(breakdown.format_table())
     if args.tokens:
         estimate = amped.estimate(args.batch, total_tokens=args.tokens)
-        print(f"\ntraining {args.tokens:g} tokens: "
+        _say(f"\ntraining {args.tokens:g} tokens: "
               f"{estimate.total_time_days:.1f} days "
               f"({estimate.n_batches} batches)")
     return 0
@@ -201,17 +235,24 @@ def _cmd_sweep(args) -> int:
     title = f"{model.name} on {system.describe()} @ batch {args.batch}"
     if outcome.partial:
         title += " [PARTIAL]"
-    print(render_table(
+    _say(render_table(
         ["mapping", "batch time", "ub", "eff", "comm", "bubble"], rows,
         title=title))
-    print()
-    print(outcome.report.format_table())
+    _say()
+    _say(outcome.report.format_table())
+    if outcome.cumulative is not None:
+        counters = outcome.cumulative["counters"]
+        _say(f"journal cumulative: {counters['runs']} run(s), "
+             f"{counters['evaluated']} evaluated, "
+             f"{counters['retried']} batch retries, "
+             f"{counters['worker_errors']} worker errors, "
+             f"{counters['interrupts']} interrupt(s)")
     if outcome.partial:
         if journal_path:
-            print(f"\nsweep interrupted — continue with: "
+            _say(f"\nsweep interrupted — continue with: "
                   f"amped sweep --resume {journal_path}")
         else:
-            print("\nsweep interrupted — rerun with --journal to make "
+            _say("\nsweep interrupted — rerun with --journal to make "
                   "future runs resumable")
         return 130
     return 0
@@ -226,14 +267,14 @@ def _cmd_validate(args) -> int:
     from repro.experiments.table3 import reproduce_table3
 
     __, table2_report = reproduce_table2()
-    print(table2_report.format_table())
-    print()
+    _say(table2_report.format_table())
+    _say()
     __, table3_report = reproduce_table3()
-    print(table3_report.format_table())
-    print()
-    print(data_parallel_scaling().report().format_table())
-    print()
-    print(pipeline_parallel_scaling().report().format_table())
+    _say(table3_report.format_table())
+    _say()
+    _say(data_parallel_scaling().report().format_table())
+    _say()
+    _say(pipeline_parallel_scaling().report().format_table())
     return 0
 
 
@@ -241,15 +282,15 @@ def _cmd_experiment(args) -> int:
     name = args.name
     if name == "fig2a":
         from repro.experiments.fig2_validation import data_parallel_scaling
-        print(data_parallel_scaling().report().format_table())
+        _say(data_parallel_scaling().report().format_table())
     elif name == "fig2b":
         from repro.experiments.fig2_validation import (
             pipeline_parallel_scaling)
-        print(pipeline_parallel_scaling().report().format_table())
+        _say(pipeline_parallel_scaling().report().format_table())
     elif name == "fig2c":
         from repro.experiments.fig2_validation import batch_size_saturation
         points = batch_size_saturation()
-        print(render_table(
+        _say(render_table(
             ["microbatch", "global batch", "TFLOP/s/GPU", "eff"],
             [(p.microbatch_size, p.global_batch, p.tflops_per_gpu,
               p.efficiency) for p in points],
@@ -257,8 +298,8 @@ def _cmd_experiment(args) -> int:
     elif name == "fig3":
         from repro.experiments.fig3_breakdown import reproduce_fig3
         for case in reproduce_fig3():
-            print(case.breakdown.format_table(title=case.label))
-            print()
+            _say(case.breakdown.format_table(title=case.label))
+            _say()
     elif name in ("fig4", "fig5", "fig6", "fig7", "fig8", "fig9"):
         from repro.experiments.casestudy1 import ALL_FIGURES
         series = ALL_FIGURES[name]()
@@ -268,13 +309,13 @@ def _cmd_experiment(args) -> int:
                               else f"{p.days[b]:.1f}")
                              for b in sorted(p.days)]
                 for p in series.points]
-        print(render_table(headers, rows, title=series.figure))
+        _say(render_table(headers, rows, title=series.figure))
     elif name == "fig10":
         from repro.experiments.casestudy2 import reproduce_fig10
         rows = [(k, f"{v.dp_days:.1f}", f"{v.pp_days:.1f}", v.winner,
                  f"{v.pp_bubble_share:.1%}")
                 for k, v in reproduce_fig10().items()]
-        print(render_table(
+        _say(render_table(
             ["accel+NICs/node", "DP days", "PP days", "winner",
              "PP bubble"],
             rows, title="Fig. 10: low-end inter-node DP vs PP"))
@@ -284,19 +325,19 @@ def _cmd_experiment(args) -> int:
         reference = bars[0]
         rows = [(bar.label, f"{bar.training_days_per_epoch:.2f}",
                  f"{bar.speedup_over(reference):.2f}x") for bar in bars]
-        print(render_table(
+        _say(render_table(
             ["configuration", "days/100B tokens", "speedup"],
             rows, title="Fig. 11: optical communication substrates"))
     elif name == "table2-interleaved":
         from repro.experiments.table2_interleaved import (
             reproduce_table2_interleaved)
         __, report = reproduce_table2_interleaved()
-        print(report.format_table())
+        _say(report.format_table())
     elif name == "scaling":
         from repro.experiments.scaling_study import run_scaling_study
         points = run_scaling_study()
         base = points[0]
-        print(render_table(
+        _say(render_table(
             ["GPUs", "best mapping", "s/batch", "speedup",
              "efficiency"],
             [(p.n_accelerators, p.mapping, round(p.batch_time_s, 1),
@@ -305,14 +346,14 @@ def _cmd_experiment(args) -> int:
             title="Strong scaling (Megatron 145B)"))
     elif name == "family":
         from repro.experiments.family_study import run_family_study
-        print(render_table(
+        _say(render_table(
             ["model", "best mapping", "TFLOP/s/GPU", "MFU"],
             [(p.model_key, p.mapping, round(p.tflops_per_gpu, 1),
               f"{p.mfu:.0%}") for p in run_family_study()],
             title="Megatron family on 512 A100s"))
     elif name == "context":
         from repro.experiments.context_study import run_context_study
-        print(render_table(
+        _say(render_table(
             ["context", "batch", "s/batch", "us/token",
              "attention share"],
             [(p.sequence_length, p.global_batch,
@@ -330,10 +371,10 @@ def _cmd_recommend(args) -> int:
     system = _system_from_args(args)
     model = get_model(args.model)
     recommendation = recommend_mapping(model, system)
-    print(f"model:   {model.name}")
-    print(f"system:  {system.describe()}")
-    print(f"mapping: {recommendation.parallelism.describe()}")
-    print(recommendation.explain())
+    _say(f"model:   {model.name}")
+    _say(f"system:  {system.describe()}")
+    _say(f"mapping: {recommendation.parallelism.describe()}")
+    _say(recommendation.explain())
     return 0
 
 
@@ -346,7 +387,7 @@ def _cmd_sensitivity(args) -> int:
     amped = AMPeD(model=model, system=system, parallelism=spec,
                   efficiency=_efficiency())
     profile = sensitivity_profile(amped, args.batch)
-    print(render_table(
+    _say(render_table(
         ["knob", "elasticity", "interpretation"],
         [(e.knob, f"{e.elasticity:+.4f}",
           "raising it helps" if e.improves_when_increased
@@ -375,17 +416,17 @@ def _cmd_cost(args) -> int:
     energy = estimate_energy(estimate.breakdown, power,
                              system.n_accelerators)
     carbon = estimate_carbon(energy, EU_AVERAGE_GRID)
-    print(f"model:    {model.name} ({args.tokens:.0e} tokens, "
+    _say(f"model:    {model.name} ({args.tokens:.0e} tokens, "
           f"batch {args.batch})")
-    print(f"system:   {system.describe()}")
-    print(f"mapping:  {spec.describe()}")
-    print(f"duration: {estimate.total_time_days:.1f} days")
-    print(f"usage:    {cost.gpu_hours:,.0f} GPU-hours "
+    _say(f"system:   {system.describe()}")
+    _say(f"mapping:  {spec.describe()}")
+    _say(f"duration: {estimate.total_time_days:.1f} days")
+    _say(f"usage:    {cost.gpu_hours:,.0f} GPU-hours "
           f"({cost.billed_gpu_hours:,.0f} billed)")
-    print(f"cost:     ${cost.usd:,.0f} at "
+    _say(f"cost:     ${cost.usd:,.0f} at "
           f"${pricing.effective_rate:.2f}/GPU-hour")
-    print(f"energy:   {energy.total_kwh:,.0f} kWh")
-    print(f"carbon:   {carbon.tonnes_co2:,.1f} t CO2 "
+    _say(f"energy:   {energy.total_kwh:,.0f} kWh")
+    _say(f"carbon:   {carbon.tonnes_co2:,.1f} t CO2 "
           f"({EU_AVERAGE_GRID.name} grid, PUE "
           f"{EU_AVERAGE_GRID.pue})")
     return 0
@@ -468,7 +509,7 @@ def _cmd_export(args) -> int:
     written.append(_write_summary_report(outdir, rows2, rows3, bars))
 
     for path in written:
-        print(f"wrote {path}")
+        _say(f"wrote {path}")
     return 0
 
 
@@ -516,6 +557,11 @@ def _write_summary_report(outdir: str, table2_rows, table3_rows,
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``amped`` and ``python -m repro``."""
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", "info"))
+    tracer = get_tracer()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        tracer.enable(reset=True)
     handlers = {
         "estimate": _cmd_estimate,
         "sweep": _cmd_sweep,
@@ -527,10 +573,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
     }
     try:
-        return handlers[args.command](args)
+        with span(f"cli.{args.command}", category="cli"):
+            code = handlers[args.command](args)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        _OUT.error(f"error: {error}")
+        code = 2
+    if trace_path:
+        tracer.disable()
+        try:
+            write_chrome_trace(tracer.records(), trace_path)
+            _say(f"wrote trace to {trace_path}")
+        except (OSError, ValueError) as error:
+            _OUT.error(f"error: could not write trace: {error}")
+            code = code or 1
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path is not None:
+        registry = collect_cache_metrics(get_metrics())
+        if metrics_path:
+            try:
+                write_metrics_snapshot(registry.snapshot(), metrics_path)
+                _say(f"wrote metrics to {metrics_path}")
+            except (OSError, ValueError) as error:
+                _OUT.error(f"error: could not write metrics: {error}")
+                code = code or 1
+        else:
+            _say(registry.format_table())
+    return code
 
 
 if __name__ == "__main__":

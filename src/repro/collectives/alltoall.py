@@ -16,11 +16,13 @@ from repro.collectives.primitives import (
     Round,
     check_payload,
     check_ranks,
+    traced_simulation,
 )
 from repro.hardware.interconnect import LinkSpec
 from repro.units import Bits
 
 
+@traced_simulation
 def simulate_pairwise_alltoall(payload_bits: Bits, n_ranks: int,
                                link: LinkSpec) -> CollectiveResult:
     """Simulate an all-to-all where each rank holds ``payload_bits``

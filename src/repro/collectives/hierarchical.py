@@ -24,7 +24,8 @@ from dataclasses import dataclass
 
 from repro.collectives.primitives import check_payload, check_ranks
 from repro.errors import require_finite_fields
-from repro.units import Bits, Seconds
+from repro.obs.trace import span
+from repro.units import Bits, Seconds, bits_to_bytes
 from repro.collectives.ring import (
     simulate_ring_allgather,
     simulate_ring_allreduce,
@@ -77,24 +78,35 @@ def simulate_hierarchical_allreduce(payload_bits: Bits, n_intra: int,
     check_ranks(n_inter)
     check_payload(payload_bits)
 
-    intra_rs = 0.0
-    intra_ag = 0.0
-    if n_intra > 1:
-        intra_rs = simulate_ring_reduce_scatter(
-            payload_bits, n_intra, intra_link).time_s
-        intra_ag = simulate_ring_allgather(
-            payload_bits, n_intra, intra_link).time_s
+    with span("collective.hierarchical_allreduce",
+              category="collective") as live:
+        intra_rs = 0.0
+        intra_ag = 0.0
+        if n_intra > 1:
+            intra_rs = simulate_ring_reduce_scatter(
+                payload_bits, n_intra, intra_link).time_s
+            intra_ag = simulate_ring_allgather(
+                payload_bits, n_intra, intra_link).time_s
 
-    inter = 0.0
-    if n_inter > 1:
-        shard = payload_bits / n_intra
-        inter = simulate_ring_allreduce(shard, n_inter, inter_link).time_s
+        inter = 0.0
+        if n_inter > 1:
+            shard = payload_bits / n_intra
+            inter = simulate_ring_allreduce(
+                shard, n_inter, inter_link).time_s
 
-    return HierarchicalResult(
-        intra_reduce_scatter_s=intra_rs,
-        inter_allreduce_s=inter,
-        intra_allgather_s=intra_ag,
-        n_intra=n_intra,
-        n_inter=n_inter,
-        payload_bits=payload_bits,
-    )
+        result = HierarchicalResult(
+            intra_reduce_scatter_s=intra_rs,
+            inter_allreduce_s=inter,
+            intra_allgather_s=intra_ag,
+            n_intra=n_intra,
+            n_inter=n_inter,
+            payload_bits=payload_bits,
+        )
+        live.set_attrs(
+            algorithm="hierarchical-allreduce",
+            n_ranks=n_intra * n_inter,
+            payload_bytes=bits_to_bytes(payload_bits),
+            steps=3,
+            modeled_time_s=result.time_s,
+        )
+        return result

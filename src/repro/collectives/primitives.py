@@ -14,12 +14,14 @@ coarse enough to run thousands of configurations in tests.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Callable, List, Sequence
 
 from repro.errors import SimulationError, require_finite_fields
 from repro.hardware.interconnect import LinkSpec
-from repro.units import Bits, Seconds
+from repro.obs.trace import get_tracer
+from repro.units import Bits, Seconds, bits_to_bytes
 
 
 @dataclass(frozen=True)
@@ -106,3 +108,31 @@ def even_shards(payload_bits: Bits, n_ranks: int) -> List[float]:
     check_ranks(n_ranks)
     check_payload(payload_bits)
     return [payload_bits / n_ranks] * n_ranks
+
+
+def traced_simulation(fn: Callable) -> Callable:
+    """Trace a ``simulate_*`` collective under a ``collective.<name>``
+    span carrying its cost attributes (payload bytes, round count,
+    algorithm, modeled time).
+
+    The enabled check happens before the span is built, so decorated
+    simulators cost one attribute check while tracing is off.
+    """
+    label = "collective." + fn.__name__.replace("simulate_", "", 1)
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return fn(*args, **kwargs)
+        with tracer.span(label, category="collective") as live:
+            result = fn(*args, **kwargs)
+            live.set_attrs(
+                algorithm=result.name,
+                n_ranks=result.n_ranks,
+                payload_bytes=bits_to_bytes(result.payload_bits),
+                steps=result.n_rounds,
+                modeled_time_s=result.time_s,
+            )
+            return result
+    return wrapper

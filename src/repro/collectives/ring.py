@@ -25,11 +25,13 @@ from repro.collectives.primitives import (
     Round,
     check_payload,
     check_ranks,
+    traced_simulation,
 )
 from repro.hardware.interconnect import LinkSpec
 from repro.units import Bits
 
 
+@traced_simulation
 def simulate_ring_allreduce(payload_bits: Bits, n_ranks: int,
                             link: LinkSpec) -> CollectiveResult:
     """Simulate an all-reduce of ``payload_bits`` over ``n_ranks``.
@@ -54,6 +56,7 @@ def simulate_ring_allreduce(payload_bits: Bits, n_ranks: int,
     )
 
 
+@traced_simulation
 def simulate_ring_reduce_scatter(payload_bits: Bits, n_ranks: int,
                                  link: LinkSpec) -> CollectiveResult:
     """The reduce-scatter half on its own (ZeRO gradient partitioning)."""
@@ -73,6 +76,7 @@ def simulate_ring_reduce_scatter(payload_bits: Bits, n_ranks: int,
     )
 
 
+@traced_simulation
 def simulate_ring_allgather(payload_bits: Bits, n_ranks: int,
                             link: LinkSpec) -> CollectiveResult:
     """The all-gather half on its own (ZeRO-3 parameter gathering).

@@ -18,11 +18,13 @@ from repro.collectives.primitives import (
     Round,
     check_payload,
     check_ranks,
+    traced_simulation,
 )
 from repro.hardware.interconnect import LinkSpec
 from repro.units import Bits
 
 
+@traced_simulation
 def simulate_tree_allreduce(payload_bits: Bits, n_ranks: int,
                             link: LinkSpec) -> CollectiveResult:
     """Simulate a binary-tree all-reduce (reduce + broadcast)."""

@@ -53,6 +53,7 @@ EVALUATION_PATHS = ("collapsed", "per_layer")
 from repro.core.zero import NO_ZERO, ZeroConfig
 from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.precision import MIXED_FP16, PrecisionPolicy
+from repro.obs.trace import emit_component_events, get_tracer
 from repro.hardware.system import SystemSpec
 from repro.parallelism.microbatch import (
     MicrobatchEfficiency,
@@ -302,7 +303,18 @@ class AMPeD:
                 u_f, u_b, m_f, m_b, self.model.n_layers, spec,
                 model=self.bubble_model)
 
-        return TrainingTimeBreakdown(**totals)
+        breakdown = TrainingTimeBreakdown(**totals)
+        tracer = get_tracer()
+        if tracer.enabled:
+            emit_component_events(
+                tracer, breakdown.as_dict(), breakdown.total,
+                name="model.estimate_batch", track_prefix="model.eq1",
+                category="model",
+                attrs={"model": self.model.name,
+                       "mapping": spec.describe(),
+                       "global_batch": global_batch,
+                       "evaluation_path": self.evaluation_path})
+        return breakdown
 
     def estimate(self, global_batch: int,
                  n_batches: Optional[int] = None,

@@ -1,0 +1,74 @@
+"""Observability subsystem: span tracing, metrics, and exporters.
+
+Three pieces, all dependency-free (stdlib only):
+
+- :mod:`repro.obs.trace` — a nestable, thread- and process-aware span
+  tracer with near-zero overhead when disabled, plus virtual
+  (modeled-time) events so the analytical timeline (Eq. 1 terms,
+  simulated pipeline schedules) can be inspected in the same viewers
+  as wall-clock spans.
+- :mod:`repro.obs.metrics` — a counter/gauge/histogram registry that
+  also absorbs the operation- and collective-cache statistics and the
+  sweep coverage counters.
+- :mod:`repro.obs.export` — Chrome trace-event / Perfetto and JSON
+  span-tree exporters with validators; ``python -m repro.obs FILE``
+  validates artifacts from the command line.
+
+See ``docs/observability.md`` for naming conventions and a Perfetto
+walkthrough.
+"""
+
+from repro.obs.export import (
+    detect_payload_kind,
+    span_tree,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    write_chrome_trace,
+    write_metrics_snapshot,
+    write_span_tree,
+)
+from repro.obs.logs import LOG_LEVELS, configure_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_cache_metrics,
+    get_metrics,
+    reset_metrics,
+)
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    emit_component_events,
+    get_tracer,
+    span,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "collect_cache_metrics",
+    "configure_logging",
+    "detect_payload_kind",
+    "emit_component_events",
+    "get_metrics",
+    "get_tracer",
+    "reset_metrics",
+    "span",
+    "span_tree",
+    "to_chrome_trace",
+    "traced",
+    "validate_chrome_trace",
+    "validate_metrics_snapshot",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+    "write_span_tree",
+]

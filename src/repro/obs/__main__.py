@@ -1,0 +1,70 @@
+"""Schema validation entry point: ``python -m repro.obs FILE [...]``.
+
+Auto-detects whether each file is a Chrome trace-event document or a
+metrics snapshot, validates it, and exits non-zero on the first
+failure — the CI observability smoke step runs this over the artifacts
+an instrumented sweep just wrote.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.export import (
+    detect_payload_kind,
+    load_json,
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+)
+
+_VALIDATORS = {
+    "trace": validate_chrome_trace,
+    "metrics": validate_metrics_snapshot,
+}
+
+
+def validate_file(path: str) -> str:
+    """Validate one JSON artifact; returns its detected kind.
+
+    Raises :class:`ValueError` for unparseable, unrecognized, or
+    schema-violating content and :class:`OSError` for unreadable paths.
+    """
+    try:
+        payload = load_json(path)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from error
+    kind = detect_payload_kind(payload)
+    if kind is None:
+        raise ValueError(
+            f"{path}: neither a Chrome trace (traceEvents) nor a "
+            "metrics snapshot (counters/gauges/histograms)")
+    try:
+        _VALIDATORS[kind](payload)
+    except ValueError as error:
+        raise ValueError(f"{path}: invalid {kind}: {error}") from error
+    return kind
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate observability artifacts (Chrome traces, "
+                    "metrics snapshots).")
+    parser.add_argument("files", nargs="+",
+                        help="JSON files to validate")
+    args = parser.parse_args(argv)
+    for path in args.files:
+        try:
+            kind = validate_file(path)
+        except (OSError, ValueError) as error:
+            print(f"FAIL {error}", file=sys.stderr)
+            return 1
+        print(f"ok {path} ({kind})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

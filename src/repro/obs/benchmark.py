@@ -1,0 +1,153 @@
+"""Disabled-tracer overhead benchmark for the instrumented fast path.
+
+PR 1 bought a ~40x collapsed-path speedup (``BENCH_dse.json``); this
+benchmark guards it against the observability instrumentation.  It
+times the same workload — every legal mapping of the Case Study I
+cluster evaluated through the collapsed Eq. 1 path — with the tracer
+disabled and again with it enabled, and reports both throughputs plus
+the ratio against the recorded ``BENCH_dse.json`` fast-path baseline.
+The perf-marked test in ``benchmarks/bench_obs.py`` asserts the
+disabled-tracer run stays within the ISSUE 4 budget (< 5% regression)
+and writes ``BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.model import AMPeD
+from repro.errors import MappingError, MemoryCapacityError
+from repro.hardware.catalog import megatron_a100_cluster
+from repro.hardware.system import SystemSpec
+from repro.units import Seconds
+from repro.obs.trace import get_tracer
+from repro.parallelism.mapping import enumerate_mappings
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.search.benchmark import _clear_caches
+from repro.transformer.config import TransformerConfig
+from repro.transformer.zoo import MEGATRON_1T
+
+#: Maximum tolerated throughput regression with tracing disabled,
+#: relative to the recorded ``BENCH_dse.json`` fast-path baseline.
+MAX_OVERHEAD_FRACTION = 0.05
+
+#: Keys every overhead payload must carry.
+OBS_BENCH_KEYS = ("benchmark", "model", "system", "global_batch",
+                  "n_mappings", "tracing_off", "tracing_on",
+                  "enabled_overhead", "baseline_fast_mappings_per_s",
+                  "off_vs_baseline")
+
+
+def _time_collapsed_s(template: AMPeD, mappings, global_batch: int
+                      ) -> Seconds:
+    """Seconds to evaluate every mapping on the collapsed path."""
+    _clear_caches()
+    start = time.perf_counter()
+    for spec in mappings:
+        candidate = replace(template, parallelism=spec)
+        try:
+            candidate.estimate_batch(global_batch)
+        except (MappingError, MemoryCapacityError):
+            pass
+    return time.perf_counter() - start
+
+
+def run_obs_benchmark(system: Optional[SystemSpec] = None,
+                      model: Optional[TransformerConfig] = None,
+                      global_batch: int = 2048,
+                      repeats: int = 3,
+                      baseline_fast_mappings_per_s: Optional[float]
+                      = None) -> dict:
+    """Measure the instrumented collapsed path with tracing off and on.
+
+    Each mode takes the best of ``repeats`` cold-cache passes (minimum
+    wall-clock — the standard noise filter for throughput benches).
+    ``baseline_fast_mappings_per_s`` is the recorded ``BENCH_dse.json``
+    fast-path throughput; when given, the payload includes the ratio
+    the overhead guard asserts on.
+    """
+    if system is None:
+        system = megatron_a100_cluster()
+    if model is None:
+        model = MEGATRON_1T
+    template = AMPeD.for_mapping(model, system, dp=system.n_accelerators,
+                                 efficiency=CASE_STUDY_EFFICIENCY)
+    template = replace(template, evaluation_path="collapsed")
+    mappings = enumerate_mappings(system, model)
+    n_mappings = len(mappings)
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+
+    try:
+        tracer.disable()
+        off_runs: List[float] = []
+        for _ in range(max(1, repeats)):
+            off_runs.append(_time_collapsed_s(template, mappings,
+                                              global_batch))
+        off_s = min(off_runs)
+
+        on_runs: List[float] = []
+        n_records = 0
+        for _ in range(max(1, repeats)):
+            tracer.enable(reset=True)
+            on_runs.append(_time_collapsed_s(template, mappings,
+                                             global_batch))
+            n_records = len(tracer.records())
+            tracer.disable()
+        on_s = min(on_runs)
+    finally:
+        if was_enabled:
+            tracer.enable(reset=False)
+        else:
+            tracer.disable()
+        tracer.reset()
+
+    off_rate = n_mappings / off_s if off_s > 0 else 0.0
+    on_rate = n_mappings / on_s if on_s > 0 else 0.0
+    payload = {
+        "benchmark": "obs-overhead",
+        "model": model.name,
+        "system": system.describe(),
+        "global_batch": global_batch,
+        "n_mappings": n_mappings,
+        "tracing_off": {"seconds": off_s, "mappings_per_s": off_rate},
+        "tracing_on": {"seconds": on_s, "mappings_per_s": on_rate,
+                       "n_records": n_records},
+        # >1 means tracing-on is slower, as expected; it buys the trace.
+        "enabled_overhead": on_s / off_s if off_s > 0 else 0.0,
+        "baseline_fast_mappings_per_s": baseline_fast_mappings_per_s,
+        "off_vs_baseline": (
+            off_rate / baseline_fast_mappings_per_s
+            if baseline_fast_mappings_per_s else None),
+    }
+    return payload
+
+
+def validate_obs_bench(payload: dict) -> None:
+    """Raise ``ValueError`` when ``payload`` violates the schema."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload must be a dict, got {type(payload)}")
+    for key in OBS_BENCH_KEYS:
+        if key not in payload:
+            raise ValueError(f"payload missing key {key!r}")
+    for mode in ("tracing_off", "tracing_on"):
+        phase = payload[mode]
+        if phase["seconds"] <= 0 or phase["mappings_per_s"] <= 0:
+            raise ValueError(
+                f"{mode!r} timings must be positive, got {phase}")
+    if payload["tracing_on"]["n_records"] < 1:
+        raise ValueError("tracing-on pass recorded no spans — the "
+                         "instrumentation is not firing")
+
+
+def write_obs_bench_json(payload: dict, path) -> Path:
+    """Validate and write ``payload`` to ``path``; returns the path."""
+    validate_obs_bench(payload)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target

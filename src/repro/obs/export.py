@@ -1,0 +1,276 @@
+"""Exporters and validators for tracer records and metrics snapshots.
+
+Two output formats:
+
+- **Chrome trace-event JSON** (:func:`to_chrome_trace`) — the
+  ``{"traceEvents": [...]}`` envelope understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev.  Every
+  :class:`~repro.obs.trace.SpanRecord` becomes a complete event
+  (``"ph": "X"``) with microsecond ``ts``/``dur``; virtual tracks and
+  wall-clock threads each get a small integer ``tid`` plus a
+  ``thread_name`` metadata event, so modeled timelines (Eq. 1 terms,
+  pipeline stages) appear as named rows next to real threads.
+- **JSON span trees** (:func:`span_tree`) — records nested by
+  ``parent_id`` into ``{"name", "start_s", "duration_s", "children"}``
+  nodes, the shape the acceptance test walks to check that Eq. 1 term
+  durations sum to the breakdown total.
+
+The matching validators (:func:`validate_chrome_trace`,
+:func:`validate_metrics_snapshot`) raise :class:`ValueError` with a
+pointed message; ``python -m repro.obs <files>`` wraps them for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import SpanRecord
+from repro.units import seconds_to_microseconds
+
+#: Keys every complete ("X") trace event must carry.
+REQUIRED_EVENT_KEYS: Tuple[str, ...] = ("name", "ph", "ts", "dur",
+                                        "pid", "tid")
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce an attribute value to something ``json.dumps`` accepts
+    strictly (non-finite floats would otherwise serialize as the
+    invalid bare tokens ``NaN``/``Infinity``)."""
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    return str(value)
+
+
+def to_chrome_trace(records: Iterable[SpanRecord]) -> Dict[str, Any]:
+    """Render tracer records as a Chrome trace-event document.
+
+    Rows (``tid``) are assigned per ``(pid, track-or-thread)`` in first
+    appearance order; virtual tracks keep their given name, wall-clock
+    threads are labelled ``thread <ident>``.
+    """
+    ordered = list(records)
+    tids: Dict[Tuple[int, str], int] = {}
+    events: List[Dict[str, Any]] = []
+    for record in ordered:
+        label = record.track or f"thread {record.thread_id}"
+        key = (record.pid, label)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+        args: Dict[str, Any] = {k: _json_safe(v)
+                                for k, v in record.attrs.items()}
+        args["span_id"] = record.span_id
+        if record.parent_id is not None:
+            args["parent_id"] = record.parent_id
+        events.append({
+            "name": record.name,
+            "cat": record.category or "repro",
+            "ph": "X",
+            "ts": seconds_to_microseconds(record.start_s),
+            "dur": seconds_to_microseconds(record.duration_s),
+            "pid": record.pid,
+            "tid": tids[key],
+            "args": args,
+        })
+    metadata = [{
+        "name": "thread_name",
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": label},
+    } for (pid, label), tid in sorted(tids.items(), key=lambda kv: kv[1])]
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], -e["dur"]))
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[SpanRecord],
+                       path: "str | Path") -> Path:
+    """Validate and write a Chrome trace-event file; returns the path."""
+    payload = to_chrome_trace(records)
+    validate_chrome_trace(payload)
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, allow_nan=False)
+                      + "\n")
+    return target
+
+
+def span_tree(records: Iterable[SpanRecord]) -> List[Dict[str, Any]]:
+    """Nest records by ``parent_id`` into a forest of plain dicts.
+
+    Roots (and orphans whose parent is not in ``records``) appear at
+    the top level; sibling order is by start time, ties by span id.
+    """
+    nodes: Dict[int, Dict[str, Any]] = {}
+    ordered = list(records)
+    for record in ordered:
+        nodes[record.span_id] = {
+            "name": record.name,
+            "category": record.category,
+            "start_s": record.start_s,
+            "duration_s": record.duration_s,
+            "pid": record.pid,
+            "thread_id": record.thread_id,
+            "track": record.track,
+            "span_id": record.span_id,
+            "attrs": {k: _json_safe(v) for k, v in record.attrs.items()},
+            "children": [],
+        }
+    roots: List[Dict[str, Any]] = []
+    for record in ordered:
+        node = nodes[record.span_id]
+        if record.parent_id is not None and record.parent_id in nodes:
+            nodes[record.parent_id]["children"].append(node)
+        else:
+            roots.append(node)
+    def sort_children(items: List[Dict[str, Any]]) -> None:
+        items.sort(key=lambda n: (n["start_s"], n["span_id"]))
+        for item in items:
+            sort_children(item["children"])
+    sort_children(roots)
+    return roots
+
+
+def write_span_tree(records: Iterable[SpanRecord],
+                    path: "str | Path") -> Path:
+    """Write the nested span tree as JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps({"spans": span_tree(records)},
+                                 indent=2, allow_nan=False) + "\n")
+    return target
+
+
+def write_metrics_snapshot(snapshot: Dict[str, Any],
+                           path: "str | Path") -> Path:
+    """Validate and write a metrics snapshot; returns the path."""
+    validate_metrics_snapshot(snapshot)
+    target = Path(path)
+    target.write_text(json.dumps(snapshot, indent=2, allow_nan=False)
+                      + "\n")
+    return target
+
+
+def validate_chrome_trace(payload: Any) -> None:
+    """Raise :class:`ValueError` unless ``payload`` is a well-formed
+    Chrome trace-event document.
+
+    Checks the envelope, the required keys of every event, finiteness
+    and non-negativity of every ``ts``/``dur``, and that the events of
+    each ``(pid, tid)`` row are *monotonically consistent*: sorted by
+    start, each event either begins at-or-after the previous event's
+    end or is fully contained in a still-open enclosing event (proper
+    nesting — trace viewers render anything else as garbage).
+    """
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ValueError("trace must be an object with a "
+                         "'traceEvents' array")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be an array")
+    complete: List[Dict[str, Any]] = []
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {position} is not an object")
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            raise ValueError(
+                f"event {position} has unsupported phase {phase!r}")
+        required = REQUIRED_EVENT_KEYS if phase == "X" else (
+            "name", "ph", "pid", "tid")
+        for key in required:
+            if key not in event:
+                raise ValueError(
+                    f"event {position} ({event.get('name')!r}) is "
+                    f"missing required key {key!r}")
+        if phase != "X":
+            continue
+        for key in ("ts", "dur"):
+            value = event[key]
+            if not isinstance(value, (int, float)) or isinstance(
+                    value, bool) or not math.isfinite(value):
+                raise ValueError(
+                    f"event {position} ({event['name']!r}) has "
+                    f"non-finite {key}={value!r}")
+            if value < 0:
+                raise ValueError(
+                    f"event {position} ({event['name']!r}) has "
+                    f"negative {key}={value!r}")
+        complete.append(event)
+    _check_row_consistency(complete)
+
+
+def _check_row_consistency(events: Sequence[Dict[str, Any]]) -> None:
+    rows: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
+    for event in events:
+        rows.setdefault((event["pid"], event["tid"]), []).append(event)
+    for (pid, tid), row in rows.items():
+        row.sort(key=lambda e: (e["ts"], -e["dur"]))
+        scale = max((e["ts"] + e["dur"] for e in row), default=0.0)
+        tolerance = max(0.001, 1e-9 * scale)
+        open_spans: List[Tuple[float, float]] = []
+        for event in row:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while open_spans and start >= open_spans[-1][1] - tolerance:
+                open_spans.pop()
+            if open_spans and end > open_spans[-1][1] + tolerance:
+                raise ValueError(
+                    f"row pid={pid} tid={tid}: event "
+                    f"{event['name']!r} at ts={start} overlaps the "
+                    f"enclosing event ending at {open_spans[-1][1]} "
+                    "without nesting inside it")
+            open_spans.append((start, end))
+
+
+def validate_metrics_snapshot(payload: Any) -> None:
+    """Raise :class:`ValueError` unless ``payload`` looks like a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dump."""
+    if not isinstance(payload, dict):
+        raise ValueError("metrics snapshot must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        if section not in payload or not isinstance(
+                payload[section], dict):
+            raise ValueError(
+                f"metrics snapshot is missing the {section!r} object")
+    for section in ("counters", "gauges"):
+        for name, value in payload[section].items():
+            if not isinstance(value, (int, float)) or isinstance(
+                    value, bool) or not math.isfinite(value):
+                raise ValueError(
+                    f"{section} entry {name!r} has non-numeric value "
+                    f"{value!r}")
+    for name, data in payload["histograms"].items():
+        if not isinstance(data, dict):
+            raise ValueError(f"histogram {name!r} must be an object")
+        for key in ("count", "sum", "bounds", "bucket_counts",
+                    "quantiles"):
+            if key not in data:
+                raise ValueError(
+                    f"histogram {name!r} is missing key {key!r}")
+        if len(data["bucket_counts"]) != len(data["bounds"]) + 1:
+            raise ValueError(
+                f"histogram {name!r} has {len(data['bucket_counts'])} "
+                f"bucket counts for {len(data['bounds'])} bounds "
+                "(expected bounds + 1)")
+
+
+def load_json(path: "str | Path") -> Any:
+    """Read and parse a JSON file (shared by the validation CLI)."""
+    return json.loads(Path(path).read_text())
+
+
+def detect_payload_kind(payload: Any) -> Optional[str]:
+    """Best-effort classification of a JSON document: ``"trace"``,
+    ``"metrics"``, or ``None`` when it is neither."""
+    if isinstance(payload, dict):
+        if "traceEvents" in payload:
+            return "trace"
+        if all(section in payload
+               for section in ("counters", "gauges", "histograms")):
+            return "metrics"
+    return None

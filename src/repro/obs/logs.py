@@ -1,0 +1,94 @@
+"""Logging configuration for the CLI and library diagnostics.
+
+Two logger trees, one knob (``--log-level``):
+
+- ``repro.cli`` — the CLI's user-facing output.  Messages below ERROR
+  go to stdout bare (``%(message)s``), ERROR and above go to stderr,
+  so at the default ``info`` level the CLI's output is byte-identical
+  to the historical ``print()`` behaviour while ``--log-level
+  warning`` silences the tables without touching errors.
+- ``repro`` — library diagnostics (e.g. the resilient sweep runtime's
+  warnings).  These go to stderr with a ``LEVEL logger: message``
+  prefix and never mix into parseable stdout.
+
+Handlers resolve ``sys.stdout`` / ``sys.stderr`` at *emit* time rather
+than capturing them at configuration time, so pytest's ``capsys`` and
+any other stream redirection keep working.  ``configure_logging`` is
+idempotent: it tags its handlers and replaces them on
+reconfiguration, so repeated ``main()`` calls never stack duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Callable, Dict, List, TextIO
+
+from repro.errors import ConfigurationError
+
+#: Accepted ``--log-level`` values, mapped to stdlib levels.
+LOG_LEVELS: Dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Attribute marking handlers owned by :func:`configure_logging`.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+class _DynamicStreamHandler(logging.StreamHandler):
+    """A stream handler that re-resolves its target stream per record."""
+
+    def __init__(self, resolve: Callable[[], TextIO]) -> None:
+        super().__init__(resolve())
+        self._resolve = resolve
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.stream = self._resolve()
+        super().emit(record)
+
+
+class _BelowErrorFilter(logging.Filter):
+    """Pass only records below ERROR (the stdout side of the split)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno < logging.ERROR
+
+
+def _replace_handlers(logger: logging.Logger,
+                      handlers: List[logging.Handler]) -> None:
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    for handler in handlers:
+        setattr(handler, _HANDLER_MARK, True)
+        logger.addHandler(handler)
+
+
+def configure_logging(level: str = "info") -> None:
+    """Install the CLI/diagnostic logging split at ``level``."""
+    if level not in LOG_LEVELS:
+        raise ConfigurationError(
+            f"unknown log level {level!r}; choose from "
+            f"{sorted(LOG_LEVELS)}")
+    numeric = LOG_LEVELS[level]
+
+    out_handler = _DynamicStreamHandler(lambda: sys.stdout)
+    out_handler.setFormatter(logging.Formatter("%(message)s"))
+    out_handler.addFilter(_BelowErrorFilter())
+    err_handler = _DynamicStreamHandler(lambda: sys.stderr)
+    err_handler.setFormatter(logging.Formatter("%(message)s"))
+    err_handler.setLevel(logging.ERROR)
+    cli = logging.getLogger("repro.cli")
+    cli.propagate = False
+    cli.setLevel(numeric)
+    _replace_handlers(cli, [out_handler, err_handler])
+
+    diag_handler = _DynamicStreamHandler(lambda: sys.stderr)
+    diag_handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    diag = logging.getLogger("repro")
+    diag.setLevel(numeric)
+    _replace_handlers(diag, [diag_handler])

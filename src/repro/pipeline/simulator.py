@@ -26,6 +26,7 @@ from repro.errors import (
     SimulationError,
     require_finite_fields,
 )
+from repro.obs.trace import Tracer, get_tracer
 from repro.units import Seconds
 from repro.pipeline.schedule import (
     BACKWARD,
@@ -210,7 +211,7 @@ def simulate_pipeline(workload, n_stages: int,
                 f"pipeline schedule deadlocked; blocked tasks: {stuck}")
 
     makespan = max(stage_free) if finish else 0.0
-    return PipelineResult(
+    result = PipelineResult(
         makespan_s=makespan,
         busy_s=tuple(busy),
         n_stages=n_stages,
@@ -218,6 +219,45 @@ def simulate_pipeline(workload, n_stages: int,
         n_chunks=chunks,
         task_finish=finish,
     )
+    tracer = get_tracer()
+    if tracer.enabled:
+        _emit_schedule_trace(tracer, result, workload, schedule)
+    return result
+
+
+def _emit_schedule_trace(tracer: Tracer, result: PipelineResult,
+                         workload, schedule: str) -> None:
+    """Emit the simulated schedule as virtual trace events.
+
+    Each physical stage becomes one track (``pipeline.gpipe#1/stage
+    0``, ...), each task one event placed at its modeled start, so the
+    pipeline bubbles appear as literal gaps between slices in Perfetto.
+    A summary event on a sibling track spans the whole makespan and
+    carries the empirical bubble fraction.
+    """
+    base = tracer.unique_track(f"pipeline.{schedule}")
+    summary = tracer.add_event(
+        "pipeline.makespan", 0.0, result.makespan_s,
+        category="pipeline", track=f"{base}/schedule",
+        attrs={"schedule": schedule,
+               "n_stages": result.n_stages,
+               "n_microbatches": result.n_microbatches,
+               "n_chunks": result.n_chunks,
+               "bubble_fraction": result.bubble_fraction})
+    parent_id = summary.span_id if summary is not None else None
+    ordered = sorted(result.task_finish.items(),
+                     key=lambda item: (item[0].stage, item[1]))
+    for task, finish_s in ordered:
+        duration_s = workload.duration_for(task)
+        label = f"{task.phase}{task.microbatch}"
+        if result.n_chunks > 1:
+            label = f"{label}.{task.chunk}"
+        tracer.add_event(
+            label, finish_s - duration_s, duration_s,
+            category="pipeline", track=f"{base}/stage {task.stage}",
+            parent_id=parent_id,
+            attrs={"phase": task.phase, "stage": task.stage,
+                   "microbatch": task.microbatch, "chunk": task.chunk})
 
 
 def _ready_time(task: Task, finish: Dict[Task, float],

@@ -44,6 +44,7 @@ from repro.errors import (
     require_finite_fields,
 )
 from repro.memory.constraints import fits_in_memory
+from repro.obs.trace import span
 from repro.parallelism.mapping import enumerate_mappings
 from repro.parallelism.spec import ParallelismSpec
 from repro.search.tuning import microbatch_candidates, optimize_microbatches
@@ -151,15 +152,21 @@ def explore(amped: AMPeD, global_batch: int,
     if prune:
         pruner = _BoundPruner(amped, global_batch, tune_microbatches,
                               max_results)
-    if workers is not None and workers > 1:
-        evaluated = _explore_parallel(evaluate, mappings, workers, pruner)
-    else:
-        evaluated = _explore_serial(evaluate, mappings, pruner)
-    results = [result for result in evaluated if result is not None]
-    results.sort(key=lambda result: result.batch_time_s)
-    if max_results is not None:
-        results = results[:max_results]
-    return results
+    with span("dse.explore", category="search") as live:
+        if workers is not None and workers > 1:
+            evaluated = _explore_parallel(evaluate, mappings, workers,
+                                          pruner)
+        else:
+            evaluated = _explore_serial(evaluate, mappings, pruner)
+        results = [result for result in evaluated if result is not None]
+        results.sort(key=lambda result: result.batch_time_s)
+        if max_results is not None:
+            results = results[:max_results]
+        live.set_attrs(n_mappings=len(mappings),
+                       n_results=len(results),
+                       workers=workers if workers else 1,
+                       global_batch=global_batch)
+        return results
 
 
 def evaluate_candidate(template: AMPeD, spec: ParallelismSpec,

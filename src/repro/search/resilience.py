@@ -58,6 +58,8 @@ from repro.errors import (
     SweepInterrupted,
     WorkerError,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import span
 from repro.parallelism.mapping import enumerate_mappings
 from repro.parallelism.spec import ParallelismSpec
 from repro.reporting.sweep import SweepReport
@@ -111,11 +113,16 @@ class SweepJournal:
     """
 
     def __init__(self, path: Path, header: dict,
-                 done: Dict[str, dict], handle) -> None:
+                 done: Dict[str, dict], handle,
+                 prior_metrics: Optional[dict] = None) -> None:
         self.path = path
         self.header = header
         self.done = done
         self._handle = handle
+        #: Last ``kind: "metrics"`` record of the journal being
+        #: resumed, or ``None`` — the base the next cumulative
+        #: snapshot adds onto.
+        self.prior_metrics = prior_metrics
 
     # -- construction -------------------------------------------------------
 
@@ -134,7 +141,8 @@ class SweepJournal:
             stored_header, done = cls.load(path)
             cls._check_identity(stored_header, header, path)
             handle = path.open("a", encoding="utf-8")
-            return cls(path, stored_header, done, handle)
+            return cls(path, stored_header, done, handle,
+                       prior_metrics=cls.load_metrics(path))
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = path.open("w", encoding="utf-8")
         journal = cls(path, header, {}, handle)
@@ -186,6 +194,27 @@ class SweepJournal:
         return header, done
 
     @classmethod
+    def load_metrics(cls, path) -> Optional[dict]:
+        """The last cumulative ``kind: "metrics"`` record in a journal,
+        or ``None``.  Unparseable lines are skipped (the candidate
+        loader already warns about the only legitimate one, a torn
+        final line)."""
+        path = Path(path)
+        latest: Optional[dict] = None
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if record.get("kind") == "metrics":
+                    latest = record
+        return latest
+
+    @classmethod
     def _check_identity(cls, stored: dict, expected: dict,
                         path: Path) -> None:
         for name in _HEADER_IDENTITY_FIELDS:
@@ -202,6 +231,15 @@ class SweepJournal:
         record = _record_for(key, outcome)
         self.done[key] = record
         self._write(record)
+
+    def record_metrics(self, counters: Dict[str, float],
+                       skipped: Dict[str, int]) -> None:
+        """Append a cumulative metrics snapshot (``kind: "metrics"``).
+
+        The candidate loader ignores non-candidate kinds, so journals
+        carrying these records stay readable by older code."""
+        self._write({"kind": "metrics", "counters": dict(counters),
+                     "skipped": dict(skipped)})
 
     def _write(self, record: dict) -> None:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -402,10 +440,12 @@ class _PoolSupervisor:
                 f"worker pool failed {self.consecutive_failures} "
                 f"consecutive times (last: {error!r}); continuing "
                 f"serially")
+            get_metrics().gauge("sweep.degraded").set(1.0)
             _LOG.warning("sweep degraded to serial execution: %s",
                          self.degraded_reason)
             return
         self.total_retries += 1
+        get_metrics().counter("sweep.retries").inc()
         delay = min(_MAX_BACKOFF_S,
                     self.backoff_s * 2 ** (self.consecutive_failures - 1))
         _LOG.warning(
@@ -426,6 +466,10 @@ class SweepOutcome:
 
     results: List[ExplorationResult] = field(default_factory=list)
     report: SweepReport = field(default_factory=SweepReport)
+    #: Journal-cumulative operational counters (runs, evaluated,
+    #: retried, worker_errors, interrupts) spanning every run that
+    #: contributed to the journal; ``None`` when journaling is off.
+    cumulative: Optional[dict] = None
 
     @property
     def partial(self) -> bool:
@@ -536,18 +580,26 @@ def run_sweep(template: AMPeD, global_batch: int,
             report.record_skip(record["category"])
     pending = [spec for spec in mappings if spec_key(spec) not in done]
 
+    metrics = get_metrics()
+    heartbeat = metrics.gauge("sweep.heartbeat_monotonic_s")
+
     def absorb(outcome: CandidateOutcome) -> None:
+        heartbeat.set(time.monotonic())
         if journal is not None:
             journal.record(spec_key(outcome.spec), outcome)
         if outcome.evaluated:
             report.evaluated += 1
+            metrics.counter("sweep.evaluated").inc()
             results.append(outcome.result)
             if pruner is not None:
                 pruner.record(outcome.result)
         else:
             report.record_skip(outcome.skip_category)
+            metrics.counter(
+                f"sweep.skipped.{outcome.skip_category}").inc()
 
     def evaluate_serially(spec: ParallelismSpec) -> CandidateOutcome:
+        started = time.perf_counter()
         try:
             return evaluate(spec)
         except MemoryCapacityError as error:
@@ -560,6 +612,7 @@ def run_sweep(template: AMPeD, global_batch: int,
                 detail=str(error))
         except Exception as error:  # noqa: BLE001 — supervised boundary
             report.worker_errors += 1
+            metrics.counter("sweep.worker_errors").inc()
             _LOG.warning("candidate %s failed even serially: %r",
                          spec.describe(), error)
             if strict:
@@ -569,14 +622,22 @@ def run_sweep(template: AMPeD, global_batch: int,
             return CandidateOutcome(spec=spec,
                                     skip_category=SKIP_WORKER_ERROR,
                                     detail=repr(error))
+        finally:
+            metrics.histogram("sweep.candidate_seconds").observe(
+                time.perf_counter() - started)
 
     use_pool = workers is not None and workers > 1
     supervisor = (_PoolSupervisor(workers, evaluate, timeout, retries,
                                   backoff_s) if use_pool else None)
     chunk_size = max(1, 4 * workers) if use_pool else 1
     interrupted = False
+    cumulative: Optional[dict] = None
 
-    with _sigint_trap() as cancelled:
+    with _sigint_trap() as cancelled, \
+            span("sweep.run", category="search",
+                 attrs={"n_candidates": len(mappings),
+                        "n_pending": len(pending),
+                        "workers": workers if use_pool else 1}):
         try:
             position = 0
             while position < len(pending):
@@ -584,36 +645,39 @@ def run_sweep(template: AMPeD, global_batch: int,
                     interrupted = True
                     break
                 chunk = pending[position:position + chunk_size]
-                position += len(chunk)
-                runnable = []
-                for spec in chunk:
-                    category = (pruner.skip_category(spec)
-                                if pruner is not None else None)
-                    if category is not None:
-                        detail = ("compute lower bound exceeds the "
-                                  "incumbent top-k"
-                                  if category == SKIP_PRUNED else
-                                  "no feasible microbatch count")
-                        absorb(CandidateOutcome(spec=spec,
-                                                skip_category=category,
-                                                detail=detail))
-                    else:
-                        runnable.append(spec)
-                if supervisor is not None and not supervisor.degraded:
-                    outcomes, runnable = supervisor.run_chunk(
-                        runnable, cancelled)
-                    for outcome in outcomes:
-                        absorb(outcome)
-                    if supervisor.degraded and not report.degraded:
-                        report.degraded = True
-                        report.degraded_reason = \
-                            supervisor.degraded_reason
-                    report.retried = supervisor.total_retries
-                for spec in runnable:
-                    if cancelled():
-                        interrupted = True
-                        break
-                    absorb(evaluate_serially(spec))
+                with span("sweep.chunk", category="search",
+                          attrs={"offset": position,
+                                 "size": len(chunk)}):
+                    position += len(chunk)
+                    runnable = []
+                    for spec in chunk:
+                        category = (pruner.skip_category(spec)
+                                    if pruner is not None else None)
+                        if category is not None:
+                            detail = ("compute lower bound exceeds the "
+                                      "incumbent top-k"
+                                      if category == SKIP_PRUNED else
+                                      "no feasible microbatch count")
+                            absorb(CandidateOutcome(
+                                spec=spec, skip_category=category,
+                                detail=detail))
+                        else:
+                            runnable.append(spec)
+                    if supervisor is not None and not supervisor.degraded:
+                        outcomes, runnable = supervisor.run_chunk(
+                            runnable, cancelled)
+                        for outcome in outcomes:
+                            absorb(outcome)
+                        if supervisor.degraded and not report.degraded:
+                            report.degraded = True
+                            report.degraded_reason = \
+                                supervisor.degraded_reason
+                        report.retried = supervisor.total_retries
+                    for spec in runnable:
+                        if cancelled():
+                            interrupted = True
+                            break
+                        absorb(evaluate_serially(spec))
                 if cancelled():
                     interrupted = True
                     break
@@ -621,6 +685,10 @@ def run_sweep(template: AMPeD, global_batch: int,
             if supervisor is not None:
                 supervisor.shutdown()
             if journal is not None:
+                cumulative = _cumulative_counters(
+                    journal.prior_metrics, report, interrupted)
+                journal.record_metrics(cumulative["counters"],
+                                       cumulative["skipped"])
                 journal.close()
 
     results.sort(key=lambda result: result.batch_time_s)
@@ -640,4 +708,34 @@ def run_sweep(template: AMPeD, global_batch: int,
                 f"{report.n_candidates} candidates",
                 journal_path=report.journal_path,
                 partial_results=results)
-    return SweepOutcome(results=results, report=report)
+    return SweepOutcome(results=results, report=report,
+                        cumulative=cumulative)
+
+
+def _cumulative_counters(prior: Optional[dict], report: SweepReport,
+                         interrupted: bool) -> dict:
+    """Journal-cumulative operational counters.
+
+    Coverage numbers (``evaluated``, ``skipped``) are already
+    journal-cumulative in the report — resumption replays every prior
+    candidate into it — so they are taken as-is; run-scoped counters
+    (``runs``, ``retried``, ``worker_errors``, ``interrupts``) add onto
+    the previous metrics record of the journal being resumed.
+    """
+    base = (prior or {}).get("counters", {})
+
+    def prior_count(name: str) -> int:
+        value = base.get(name, 0)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    counters = {
+        "runs": prior_count("runs") + 1,
+        "evaluated": report.evaluated + report.resumed,
+        "skipped": sum(report.skipped.values()),
+        "retried": prior_count("retried") + report.retried,
+        "worker_errors": (prior_count("worker_errors")
+                          + report.worker_errors),
+        "interrupts": prior_count("interrupts") + (1 if interrupted
+                                                   else 0),
+    }
+    return {"counters": counters, "skipped": dict(report.skipped)}

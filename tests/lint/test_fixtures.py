@@ -27,3 +27,12 @@ class TestShippedTreeIsClean:
         rendered = "\n".join(v.render() for v in result.violations)
         assert result.exit_code == 0, f"violations in src:\n{rendered}"
         assert result.files_checked > 100
+
+    def test_obs_package_is_clean(self):
+        # The observability subsystem handles raw seconds, bytes, and
+        # microsecond conversions everywhere — exactly the territory
+        # AMP001-AMP006 police — so check it explicitly.
+        result = run_lint([str(REPO_ROOT / "src" / "repro" / "obs")])
+        rendered = "\n".join(v.render() for v in result.violations)
+        assert result.exit_code == 0, f"violations in obs:\n{rendered}"
+        assert result.files_checked >= 6

@@ -1,0 +1,24 @@
+"""Shared state hygiene for the observability tests.
+
+The tracer and metrics registry are process-wide singletons; every
+test in this package starts from (and leaves behind) a disabled,
+empty tracer and an empty registry so tests cannot bleed into each
+other or into the rest of the suite.
+"""
+
+import pytest
+
+from repro.obs.metrics import reset_metrics
+from repro.obs.trace import get_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_observability_state():
+    tracer = get_tracer()
+    tracer.disable()
+    tracer.reset()
+    reset_metrics()
+    yield
+    tracer.disable()
+    tracer.reset()
+    reset_metrics()

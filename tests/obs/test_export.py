@@ -1,0 +1,220 @@
+"""Exporter and validator tests, including the traced-pipeline golden.
+
+The golden test drives :func:`repro.pipeline.simulator.simulate_pipeline`
+under an enabled tracer and checks the exported document is a
+well-formed Chrome trace: every complete event carries the required
+keys, the per-row timestamps are monotonically consistent, and the
+span nesting matches the simulated stage count.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    REQUIRED_EVENT_KEYS,
+    detect_payload_kind,
+    span_tree,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_metrics_snapshot,
+    write_chrome_trace,
+    write_span_tree,
+)
+from repro.obs.trace import SpanRecord, Tracer, get_tracer
+from repro.pipeline.simulator import PipelineWorkload, simulate_pipeline
+from repro.units import seconds_to_microseconds
+
+N_STAGES = 4
+N_MICROBATCHES = 8
+WORKLOAD = PipelineWorkload(forward_time=1.0, backward_time=2.0)
+
+
+def _traced_pipeline_records():
+    tracer = get_tracer()
+    tracer.enable(reset=True)
+    result = simulate_pipeline(WORKLOAD, n_stages=N_STAGES,
+                               n_microbatches=N_MICROBATCHES,
+                               schedule="1f1b")
+    tracer.disable()
+    return result, tracer.records()
+
+
+class TestPipelineGoldenTrace:
+    def test_exports_valid_chrome_trace(self, tmp_path):
+        _, records = _traced_pipeline_records()
+        path = write_chrome_trace(records, tmp_path / "pipeline.json")
+        payload = json.loads(path.read_text())
+        validate_chrome_trace(payload)
+        complete = [e for e in payload["traceEvents"]
+                    if e["ph"] == "X"]
+        assert complete
+        for event in complete:
+            for key in REQUIRED_EVENT_KEYS:
+                assert key in event
+            assert math.isfinite(event["ts"]) and event["ts"] >= 0
+            assert math.isfinite(event["dur"]) and event["dur"] >= 0
+
+    def test_one_track_per_stage_plus_schedule_row(self):
+        _, records = _traced_pipeline_records()
+        tracks = {r.track for r in records}
+        stage_tracks = {t for t in tracks if "/stage " in t}
+        assert len(stage_tracks) == N_STAGES
+        assert sum(1 for t in tracks if t.endswith("/schedule")) == 1
+
+    def test_task_events_cover_the_schedule(self):
+        result, records = _traced_pipeline_records()
+        summary = next(r for r in records
+                       if r.name == "pipeline.makespan")
+        tasks = [r for r in records
+                 if r.parent_id == summary.span_id]
+        # Forward + backward per microbatch per stage.
+        assert len(tasks) == 2 * N_STAGES * N_MICROBATCHES
+        assert summary.duration_s == pytest.approx(result.makespan_s)
+        assert max(t.end_s for t in tasks) == pytest.approx(
+            result.makespan_s)
+        assert summary.attrs["n_stages"] == N_STAGES
+        assert summary.attrs["schedule"] == "1f1b"
+
+    def test_row_timestamps_monotonically_consistent(self):
+        _, records = _traced_pipeline_records()
+        payload = to_chrome_trace(records)
+        rows = {}
+        for event in payload["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            rows.setdefault((event["pid"], event["tid"]),
+                            []).append(event)
+        for row in rows.values():
+            assert row == sorted(row,
+                                 key=lambda e: (e["ts"], -e["dur"]))
+
+    def test_validates_as_file_payload(self, tmp_path):
+        _, records = _traced_pipeline_records()
+        path = write_chrome_trace(records, tmp_path / "t.json")
+        assert detect_payload_kind(json.loads(path.read_text())) == \
+            "trace"
+
+
+class TestToChromeTrace:
+    def test_microsecond_units(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.add_event("e", 1.0, 2.0, track="row")
+        payload = to_chrome_trace(tracer.records())
+        (event,) = [e for e in payload["traceEvents"]
+                    if e["ph"] == "X"]
+        assert event["ts"] == seconds_to_microseconds(1.0)
+        assert event["dur"] == seconds_to_microseconds(2.0)
+
+    def test_thread_name_metadata_per_track(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.add_event("a", 0.0, 1.0, track="alpha")
+        tracer.add_event("b", 0.0, 1.0, track="beta")
+        payload = to_chrome_trace(tracer.records())
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "M"}
+        assert names == {"alpha", "beta"}
+
+    def test_non_finite_attrs_stringified(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.add_event("e", 0.0, 1.0, track="row",
+                         attrs={"bad": float("inf"), "obj": object()})
+        payload = to_chrome_trace(tracer.records())
+        json.dumps(payload, allow_nan=False)  # must not raise
+
+
+class TestSpanTree:
+    def test_nests_by_parent(self):
+        tracer = Tracer()
+        tracer.enable()
+        parent = tracer.add_event("root", 0.0, 3.0, track="t")
+        tracer.add_event("child", 0.0, 1.0, track="t",
+                         parent_id=parent.span_id)
+        tracer.add_event("child2", 1.0, 2.0, track="t",
+                         parent_id=parent.span_id)
+        (root,) = span_tree(tracer.records())
+        assert root["name"] == "root"
+        assert [c["name"] for c in root["children"]] == ["child",
+                                                         "child2"]
+
+    def test_orphans_become_roots(self):
+        record = SpanRecord(name="orphan", category="", start_s=0.0,
+                            duration_s=1.0, pid=1, thread_id=1,
+                            span_id=7, parent_id=99)
+        (root,) = span_tree([record])
+        assert root["name"] == "orphan"
+
+    def test_write_span_tree(self, tmp_path):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.add_event("root", 0.0, 1.0, track="t")
+        path = write_span_tree(tracer.records(), tmp_path / "tree.json")
+        payload = json.loads(path.read_text())
+        assert payload["spans"][0]["name"] == "root"
+
+
+class TestValidators:
+    def test_rejects_missing_envelope(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "e", "ph": "B", "pid": 1, "tid": 1}]})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "e", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0}]})
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="negative"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "e", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0, "dur": -1}]})
+
+    def test_rejects_overlapping_row_events(self):
+        with pytest.raises(ValueError, match="overlaps"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "a", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 0, "dur": 10},
+                {"name": "b", "ph": "X", "pid": 1, "tid": 1,
+                 "ts": 5, "dur": 10}]})
+
+    def test_accepts_nested_row_events(self):
+        validate_chrome_trace({"traceEvents": [
+            {"name": "a", "ph": "X", "pid": 1, "tid": 1,
+             "ts": 0, "dur": 10},
+            {"name": "b", "ph": "X", "pid": 1, "tid": 1,
+             "ts": 2, "dur": 5}]})
+
+    def test_metrics_validator_rejects_missing_section(self):
+        with pytest.raises(ValueError, match="histograms"):
+            validate_metrics_snapshot({"counters": {}, "gauges": {}})
+
+    def test_metrics_validator_rejects_non_numeric(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_metrics_snapshot({
+                "counters": {"c": "three"}, "gauges": {},
+                "histograms": {}})
+
+    def test_metrics_validator_rejects_bucket_mismatch(self):
+        with pytest.raises(ValueError, match="bucket counts"):
+            validate_metrics_snapshot({
+                "counters": {}, "gauges": {},
+                "histograms": {"h": {
+                    "count": 1, "sum": 1.0, "bounds": [1.0],
+                    "bucket_counts": [1], "quantiles": {}}}})
+
+    def test_detect_payload_kind(self):
+        assert detect_payload_kind({"traceEvents": []}) == "trace"
+        assert detect_payload_kind({"counters": {}, "gauges": {},
+                                    "histograms": {}}) == "metrics"
+        assert detect_payload_kind([1, 2]) is None
+        assert detect_payload_kind({"x": 1}) is None

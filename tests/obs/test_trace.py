@@ -1,0 +1,231 @@
+"""Unit tests for the zero-dependency span tracer."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    emit_component_events,
+    get_tracer,
+    span,
+    traced,
+)
+
+
+def _record(**overrides) -> SpanRecord:
+    base = dict(name="x", category="test", start_s=0.0, duration_s=1.0,
+                pid=1, thread_id=1, span_id=1)
+    base.update(overrides)
+    return SpanRecord(**base)
+
+
+class TestSpanRecord:
+    def test_end_is_start_plus_duration(self):
+        assert _record(start_s=2.0, duration_s=3.0).end_s == 5.0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            _record(name="")
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            _record(duration_s=-0.1)
+
+    def test_rejects_non_finite_times(self):
+        with pytest.raises(ConfigurationError):
+            _record(start_s=float("nan"))
+
+
+class TestDisabledTracer:
+    def test_disabled_by_default(self):
+        assert not Tracer().enabled
+
+    def test_span_records_nothing(self):
+        tracer = Tracer()
+        with tracer.span("work", category="test") as live:
+            live.set_attr("k", 1)
+            live.set_attrs(a=1, b=2)
+        assert tracer.records() == ()
+
+    def test_disabled_spans_share_one_object(self):
+        tracer = Tracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_add_event_returns_none(self):
+        assert Tracer().add_event("e", 0.0, 1.0) is None
+
+    def test_module_level_span_uses_default_tracer(self):
+        with span("work"):
+            pass
+        assert get_tracer().records() == ()
+
+
+class TestEnabledTracer:
+    def test_span_produces_record(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", category="test",
+                         attrs={"static": 1}) as live:
+            live.set_attr("dynamic", 2)
+        (record,) = tracer.records()
+        assert record.name == "work"
+        assert record.category == "test"
+        assert record.attrs == {"static": 1, "dynamic": 2}
+        assert record.duration_s >= 0
+        assert record.parent_id is None
+
+    def test_nested_spans_link_parents(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.records()
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.start_s >= outer.start_s
+        assert inner.end_s <= outer.end_s
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        first, second, outer = tracer.records()
+        assert first.parent_id == outer.span_id
+        assert second.parent_id == outer.span_id
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        tracer.enable()
+        for _ in range(10):
+            with tracer.span("work"):
+                pass
+        ids = [r.span_id for r in tracer.records()]
+        assert len(set(ids)) == len(ids)
+
+    def test_threads_keep_separate_parent_stacks(self):
+        tracer = Tracer()
+        tracer.enable()
+
+        def worker():
+            with tracer.span("thread-span"):
+                pass
+
+        with tracer.span("main-span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        by_name = {r.name: r for r in tracer.records()}
+        # The other thread's span must NOT be parented under the span
+        # open on the main thread.
+        assert by_name["thread-span"].parent_id is None
+        assert (by_name["thread-span"].thread_id
+                != by_name["main-span"].thread_id)
+
+    def test_enable_reset_clears_records(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("old"):
+            pass
+        tracer.enable(reset=True)
+        assert tracer.records() == ()
+
+    def test_disable_keeps_records(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("kept"):
+            pass
+        tracer.disable()
+        assert len(tracer.records()) == 1
+
+
+class TestVirtualEvents:
+    def test_add_event_records_modeled_time(self):
+        tracer = Tracer()
+        tracer.enable()
+        record = tracer.add_event("term", 1.5, 2.5, category="model",
+                                  track="eq1", attrs={"seconds": 2.5})
+        assert record is not None
+        assert record.start_s == 1.5
+        assert record.duration_s == 2.5
+        assert record.track == "eq1"
+        assert tracer.records() == (record,)
+
+    def test_unique_track_never_repeats(self):
+        tracer = Tracer()
+        names = {tracer.unique_track("eq1") for _ in range(5)}
+        assert len(names) == 5
+        assert all(name.startswith("eq1#") for name in names)
+
+    def test_reset_restarts_track_serials(self):
+        tracer = Tracer()
+        first = tracer.unique_track("eq1")
+        tracer.reset()
+        assert tracer.unique_track("eq1") == first
+
+
+class TestTracedDecorator:
+    def test_enabled_check_at_call_time(self):
+        tracer = get_tracer()
+
+        @traced("decorated.work", category="test")
+        def work():
+            return 42
+
+        assert work() == 42
+        assert tracer.records() == ()
+        tracer.enable()
+        assert work() == 42
+        (record,) = tracer.records()
+        assert record.name == "decorated.work"
+
+    def test_defaults_to_qualname(self):
+        tracer = get_tracer()
+        tracer.enable()
+
+        @traced()
+        def helper():
+            pass
+
+        helper()
+        (record,) = tracer.records()
+        assert "helper" in record.name
+
+
+class TestEmitComponentEvents:
+    def test_children_tile_the_parent(self):
+        tracer = Tracer()
+        tracer.enable()
+        components = {"a": 1.0, "b": 2.0, "c": 3.0}
+        parent = emit_component_events(
+            tracer, components, 6.0, name="model.estimate_batch",
+            track_prefix="model.eq1")
+        records = tracer.records()
+        assert parent is not None
+        children = [r for r in records if r.parent_id == parent.span_id]
+        assert [c.name for c in children] == ["term.a", "term.b",
+                                              "term.c"]
+        # End-to-end tiling: each child starts where the previous ended
+        # and together they cover the parent exactly.
+        cursor = 0.0
+        for child, expected in zip(children, (1.0, 2.0, 3.0)):
+            assert child.start_s == pytest.approx(cursor)
+            assert child.duration_s == pytest.approx(expected)
+            cursor += expected
+        assert cursor == pytest.approx(parent.duration_s)
+        assert all(r.track == parent.track for r in records)
+
+    def test_disabled_tracer_emits_nothing(self):
+        tracer = Tracer()
+        assert emit_component_events(
+            tracer, {"a": 1.0}, 1.0, name="n",
+            track_prefix="p") is None
+        assert tracer.records() == ()
