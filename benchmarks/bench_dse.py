@@ -26,11 +26,13 @@ from conftest import print_block
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_dse.json"
 
 MIN_SPEEDUP = 10.0
+MIN_COMPILED_SPEEDUP = 10.0
 MAX_REL_ERROR = 1e-9
 
 
 def _format(payload: dict) -> str:
     reference, fast = payload["reference"], payload["fast"]
+    compiled = payload["compiled"]
     return "\n".join([
         f"model           {payload['model']}",
         f"system          {payload['system']}",
@@ -39,7 +41,12 @@ def _format(payload: dict) -> str:
         f"({reference['mappings_per_s']:.0f} mappings/s)",
         f"fast path       {fast['seconds']:.3f} s "
         f"({fast['mappings_per_s']:.0f} mappings/s)",
-        f"speedup         {payload['speedup']:.1f}x",
+        f"compiled path   {compiled['seconds']:.3f} s "
+        f"({compiled['mappings_per_s']:.0f} mappings/s, "
+        f"tables built in {compiled['build_seconds']:.3f} s)",
+        f"speedup         {payload['speedup']:.1f}x collapsed, "
+        f"{payload['compiled_speedup_vs_fast']:.1f}x compiled vs "
+        f"collapsed",
         f"max rel error   {payload['max_rel_error']:.2e}",
         f"explore (top {payload['explore']['n_results']})  "
         f"{payload['explore']['seconds']:.3f} s, best "
@@ -50,13 +57,18 @@ def _format(payload: dict) -> str:
 @pytest.mark.perf
 def test_bench_dse() -> None:
     payload = run_dse_benchmark()
-    print_block("DSE throughput: collapsed vs per-layer", _format(payload))
+    print_block("DSE throughput: compiled vs collapsed vs per-layer",
+                _format(payload))
     write_bench_json(payload, BENCH_JSON)
     assert payload["speedup"] >= MIN_SPEEDUP, (
         f"collapsed path speedup {payload['speedup']:.1f}x below the "
         f"{MIN_SPEEDUP:.0f}x bar")
+    assert payload["compiled_speedup_vs_fast"] >= MIN_COMPILED_SPEEDUP, (
+        f"compiled path speedup "
+        f"{payload['compiled_speedup_vs_fast']:.1f}x over the collapsed "
+        f"path is below the {MIN_COMPILED_SPEEDUP:.0f}x bar")
     assert payload["max_rel_error"] <= MAX_REL_ERROR, (
-        f"fast path diverges from reference: "
+        f"fast/compiled paths diverge from reference: "
         f"{payload['max_rel_error']:.2e}")
 
 

@@ -1,0 +1,92 @@
+"""CI regression gate for the DSE evaluation engine.
+
+Runs the same workload as ``bench_dse.py``, compares the measured
+``mappings_per_s`` of the gated phases (collapsed fast path, sweep
+compiler) against the committed ``BENCH_dse.json`` with a 20%
+one-sided tolerance, and appends the measurement to
+``BENCH_trajectory.json`` so the engine's throughput history
+accumulates run over run.  Unlike ``bench_dse.py`` it never rewrites
+``BENCH_dse.json`` — the committed baseline only moves when a PR
+regenerates it deliberately.
+
+Run it the way CI does:
+
+    PYTHONPATH=src python benchmarks/bench_gate.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_gate.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.search.benchmark import (
+    GATE_TOLERANCE,
+    append_trajectory,
+    check_bench_regression,
+    run_dse_benchmark,
+    trajectory_entry,
+)
+
+from conftest import print_block
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE_JSON = REPO_ROOT / "BENCH_dse.json"
+TRAJECTORY_JSON = REPO_ROOT / "BENCH_trajectory.json"
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True,
+            timeout=10).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _run_gate() -> tuple:
+    committed = json.loads(BASELINE_JSON.read_text())
+    payload = run_dse_benchmark()
+    failures = check_bench_regression(payload, committed)
+    entry = trajectory_entry(
+        payload,
+        timestamp=datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        commit=_git_commit())
+    append_trajectory(entry, TRAJECTORY_JSON)
+    return payload, committed, failures
+
+
+def _format(payload: dict, committed: dict, failures: list) -> str:
+    lines = []
+    for phase_name in ("fast", "compiled"):
+        measured = payload[phase_name]["mappings_per_s"]
+        baseline = committed[phase_name]["mappings_per_s"]
+        lines.append(
+            f"{phase_name:<9} {measured:>10.0f} mappings/s "
+            f"(committed {baseline:.0f}, floor "
+            f"{(1.0 - GATE_TOLERANCE) * baseline:.0f})")
+    lines.append(f"trajectory appended to {TRAJECTORY_JSON.name}")
+    lines.extend(f"REGRESSION: {failure}" for failure in failures)
+    return "\n".join(lines)
+
+
+@pytest.mark.perf
+def test_bench_gate() -> None:
+    payload, committed, failures = _run_gate()
+    print_block(
+        f"DSE regression gate ({GATE_TOLERANCE:.0%} tolerance)",
+        _format(payload, committed, failures))
+    assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":
+    result, baseline, problems = _run_gate()
+    print(_format(result, baseline, problems))
+    sys.exit(1 if problems else 0)

@@ -96,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume an interrupted sweep from its "
                             "journal; finished candidates are never "
                             "re-evaluated")
+    sweep.add_argument("--eval-mode", default="compiled",
+                       metavar="{per_layer,collapsed,compiled}",
+                       dest="eval_mode",
+                       help="evaluation path for every candidate "
+                            "(default: compiled — term-table lookups; "
+                            "all three rank identically)")
 
     validate = sub.add_parser(
         "validate", help="reproduce the paper's validation tables")
@@ -226,7 +232,8 @@ def _cmd_sweep(args) -> int:
     outcome = run_sweep(template, args.batch, max_results=args.top,
                         workers=args.jobs, timeout=args.timeout,
                         retries=args.retries, journal_path=journal_path,
-                        resume=args.resume is not None)
+                        resume=args.resume is not None,
+                        evaluation_path=args.eval_mode)
     rows = [(r.label, format_duration(r.batch_time_s),
              f"{r.microbatch_size:g}", f"{r.microbatch_efficiency:.2f}",
              format_duration(r.breakdown.comm_time),

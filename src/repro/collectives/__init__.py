@@ -17,6 +17,16 @@ from repro.collectives.hierarchical import (
     HierarchicalResult,
     simulate_hierarchical_allreduce,
 )
+from repro.collectives.keys import (
+    TERM_KEYS,
+    bubble_key,
+    efficiency_key,
+    gradient_key,
+    moe_key,
+    pp_key,
+    tp_inter_key,
+    tp_intra_key,
+)
 from repro.collectives.primitives import (
     CollectiveResult,
     Round,
@@ -33,7 +43,15 @@ __all__ = [
     "Round",
     "CollectiveResult",
     "HierarchicalResult",
+    "TERM_KEYS",
     "even_shards",
+    "tp_intra_key",
+    "tp_inter_key",
+    "pp_key",
+    "moe_key",
+    "gradient_key",
+    "efficiency_key",
+    "bubble_key",
     "simulate_ring_allreduce",
     "simulate_ring_reduce_scatter",
     "simulate_ring_allgather",

@@ -1,0 +1,96 @@
+"""Minimal-key extraction for the sweep compiler's term tables.
+
+Every communication primitive of Eq. 1 depends on only a *slice* of the
+six mapping coordinates (plus the per-candidate microbatch count and
+expert-parallel flag).  This module is the declarative record of those
+slices: for each term the sweep compiler tabulates
+(:mod:`repro.search.compiler`), a key function projects a
+:class:`~repro.parallelism.spec.ParallelismSpec` onto exactly the
+coordinates the term's closed form reads — two candidates with equal
+keys provably receive bit-identical term values, which is what lets one
+table entry serve every mapping that shares the slice.
+
+Coordinate dependence, primitive by primitive:
+
+- ``tp_intra`` (Eq. 6, intra phase): participants ``tp_intra`` and the
+  replica batch ``global_batch / dp`` — key ``(tp_intra, dp)``.
+- ``tp_inter`` (Eq. 6, inter phase): participants ``tp_inter``, payload
+  sharded by ``tp_intra``, replica batch — key
+  ``(tp_intra, tp_inter, dp)``.
+- ``pp`` (Eq. 7): the per-level degree only *gates* the term (a degree
+  of 1 costs nothing; the cost itself is degree-independent), so the
+  minimal key carries the two gates plus the replica batch —
+  ``(pp_intra > 1, pp_inter > 1, dp)``.
+- ``moe`` (Eq. 9): volume sharded by the total TP degree, gated by the
+  expert-parallel flag, replica batch — key ``(tp, dp,
+  expert_parallel)``.  Node count and topology are sweep constants.
+- ``gradient`` / ``zero`` (Eqs. 10-11 and the explicit ZeRO-3 gather):
+  per-rank volume ``params / tp``, hierarchical over ``(dp_intra,
+  dp_inter)``, parameter count gated by ``expert_parallel`` — key
+  ``(tp, dp_intra, dp_inter, expert_parallel)``.
+- ``compute`` (Eqs. 2-4): only through the microbatch efficiency —
+  key ``eff``, itself keyed ``(dp, n_microbatches)``.
+- ``bubble`` prefactor (Eq. 8): ``(pp, n_microbatches,
+  bubble_overlap_ratio)`` — see
+  :func:`repro.pipeline.schedule.bubble_prefactor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.parallelism.spec import ParallelismSpec
+
+Key = Tuple
+
+
+def tp_intra_key(spec: ParallelismSpec) -> Key:
+    """Minimal key of the intra-node TP all-reduce term (Eq. 6)."""
+    return (spec.tp_intra, spec.dp)
+
+
+def tp_inter_key(spec: ParallelismSpec) -> Key:
+    """Minimal key of the inter-node TP all-reduce term (Eq. 6)."""
+    return (spec.tp_intra, spec.tp_inter, spec.dp)
+
+
+def pp_key(spec: ParallelismSpec) -> Key:
+    """Minimal key of the PP stage-boundary term (Eq. 7): the per-level
+    degrees only gate the term, so booleans suffice."""
+    return (spec.pp_intra > 1, spec.pp_inter > 1, spec.dp)
+
+
+def moe_key(spec: ParallelismSpec) -> Key:
+    """Minimal key of the MoE all-to-all term (Eq. 9)."""
+    return (spec.tp, spec.dp, spec.expert_parallel)
+
+
+def gradient_key(spec: ParallelismSpec) -> Key:
+    """Minimal key of the hierarchical gradient all-reduce (Eqs. 10-11)
+    and of the explicit ZeRO-3 parameter gather, which shards and
+    gates identically."""
+    return (spec.tp, spec.dp_intra, spec.dp_inter, spec.expert_parallel)
+
+
+def efficiency_key(spec: ParallelismSpec) -> Key:
+    """Minimal key of the microbatch-efficiency lookup (Eq. 3): the
+    microbatch size is ``global_batch / (dp * N_ub)``."""
+    return (spec.dp, spec.microbatches)
+
+
+def bubble_key(spec: ParallelismSpec) -> Key:
+    """Minimal key of the pipeline-bubble prefactor (Eq. 8)."""
+    return (spec.pp, spec.microbatches, spec.bubble_overlap_ratio)
+
+
+#: The compiler-facing taxonomy: term name -> key projection.
+TERM_KEYS: Dict[str, Callable[[ParallelismSpec], Key]] = {
+    "tp_intra": tp_intra_key,
+    "tp_inter": tp_inter_key,
+    "pp": pp_key,
+    "moe": moe_key,
+    "gradient": gradient_key,
+    "zero": gradient_key,
+    "efficiency": efficiency_key,
+    "bubble": bubble_key,
+}

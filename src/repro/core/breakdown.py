@@ -98,8 +98,11 @@ class TrainingTimeBreakdown:
 
     def as_dict(self) -> dict:
         """Raw component values, keyed by field name."""
-        return {item.name: getattr(self, item.name)
-                for item in fields(self)}
+        # The instance dict holds exactly the declared fields in
+        # declaration order (frozen dataclass, no extra attributes), so
+        # copying it sidesteps fields() introspection on a path the
+        # tracer hits once per evaluated mapping.
+        return dict(self.__dict__)
 
     def summary_dict(self) -> dict:
         """Fig. 3's categories: computation, TP/PP/MoE/DP communication,

@@ -30,7 +30,7 @@ Typical use::
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
 
 from repro.core.breakdown import TrainingEstimate, TrainingTimeBreakdown
@@ -49,7 +49,13 @@ from repro.core.compute import (
 from repro.core.operations import build_operations
 
 #: Recognized Eq. 1 evaluation strategies (see :class:`AMPeD`).
-EVALUATION_PATHS = ("collapsed", "per_layer")
+EVALUATION_PATHS = ("collapsed", "per_layer", "compiled")
+
+#: Fields that do NOT identify a sweep (see :meth:`AMPeD.sweep_identity`):
+#: the mapping varies per candidate, the evaluation path is a strategy
+#: choice over the same arithmetic, and ``validate`` is a construction
+#: knob with no effect on the estimate.
+_SWEEP_IDENTITY_EXCLUDED = ("parallelism", "evaluation_path", "validate")
 from repro.core.zero import NO_ZERO, ZeroConfig
 from repro.errors import ConfigurationError, require_finite_fields
 from repro.hardware.precision import MIXED_FP16, PrecisionPolicy
@@ -207,9 +213,31 @@ class AMPeD:
         """``eff(ub)`` at this mapping's microbatch size."""
         return self.efficiency(self.microbatch(global_batch))
 
+    def sweep_identity(self) -> tuple:
+        """Hashable identity of everything *but* the mapping.
+
+        Two instances with equal sweep identities evaluate the same
+        Eq. 1 arithmetic for any given mapping, which is what lets the
+        sweep compiler (:mod:`repro.search.compiler`) share one set of
+        term tables across every candidate — and every evaluation path —
+        of a design-space sweep.
+        """
+        return tuple(getattr(self, item.name) for item in fields(self)
+                     if item.name not in _SWEEP_IDENTITY_EXCLUDED)
+
     def estimate_batch(self, global_batch: int) -> TrainingTimeBreakdown:
         """Evaluate Eq. 1's bracket for one batch, per component."""
         spec = self.parallelism
+        if self.evaluation_path == "compiled":
+            # Term-table route: identical arithmetic, factored into
+            # per-term lookup tables shared across the whole sweep.
+            # Imported lazily — repro.search.compiler imports this
+            # module for typing.
+            from repro.search.compiler import compile_sweep
+
+            breakdown = compile_sweep(self, global_batch).breakdown(spec)
+            self._emit_estimate_trace(breakdown, spec, global_batch)
+            return breakdown
         eff = self.microbatch_efficiency(global_batch)
         replica_batch = replica_batch_size(global_batch, spec)
         accelerator = self.system.accelerator
@@ -304,6 +332,14 @@ class AMPeD:
                 model=self.bubble_model)
 
         breakdown = TrainingTimeBreakdown(**totals)
+        self._emit_estimate_trace(breakdown, spec, global_batch)
+        return breakdown
+
+    def _emit_estimate_trace(self, breakdown: TrainingTimeBreakdown,
+                             spec: ParallelismSpec,
+                             global_batch: int) -> None:
+        """Emit the per-component span events for one estimate (no-op
+        while tracing is disabled)."""
         tracer = get_tracer()
         if tracer.enabled:
             emit_component_events(
@@ -314,7 +350,6 @@ class AMPeD:
                        "mapping": spec.describe(),
                        "global_batch": global_batch,
                        "evaluation_path": self.evaluation_path})
-        return breakdown
 
     def estimate(self, global_batch: int,
                  n_batches: Optional[int] = None,

@@ -102,6 +102,12 @@ def require_finite(name: str, value: float) -> None:
             f"{name} must be finite, got {value!r}")
 
 
+#: Per-class cache of dataclass field names, so hot-path containers
+#: (span records, breakdowns) skip ``dataclasses.fields`` introspection
+#: after their first construction.
+_FIELD_NAMES_BY_CLASS: dict = {}
+
+
 def require_finite_fields(instance: Any) -> None:
     """Apply :func:`require_finite` to every real-number field of a
     dataclass instance.
@@ -113,8 +119,13 @@ def require_finite_fields(instance: Any) -> None:
     non-numeric fields are skipped; ints are checked too (they are always
     finite, but may arrive as floats through untyped call sites).
     """
-    for item in dataclasses.fields(instance):
-        value = getattr(instance, item.name)
+    cls = instance.__class__
+    names = _FIELD_NAMES_BY_CLASS.get(cls)
+    if names is None:
+        names = tuple(item.name for item in dataclasses.fields(instance))
+        _FIELD_NAMES_BY_CLASS[cls] = names
+    for name in names:
+        value = getattr(instance, name)
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue
-        require_finite(item.name, value)
+        require_finite(name, value)

@@ -282,19 +282,23 @@ def collect_cache_metrics(
         registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
     """Fold the memoization statistics into gauges.
 
-    Pulls ``repro.core.cache_stats()`` (the ``build_operations`` LRU)
-    and ``repro.core.comm_cache_stats()`` (the collective-time LRU)
-    into ``cache.operations.*`` / ``cache.collectives.*`` gauges, so a
-    single snapshot answers "did the fast path actually hit the cache".
-    Imports lazily: :mod:`repro.core` imports the tracer, so a
-    module-level import here would be circular.
+    Pulls ``repro.core.cache_stats()`` (the ``build_operations`` LRU),
+    ``repro.core.comm_cache_stats()`` (the collective-time LRU) and
+    ``repro.search.compiler.compiled_cache_stats()`` (the sweep-compiler
+    table cache) into ``cache.operations.*`` / ``cache.collectives.*`` /
+    ``cache.compiled.*`` gauges, so a single snapshot answers "did the
+    fast path actually hit the cache" and "how hot are the compiled
+    term tables".  Imports lazily: :mod:`repro.core` imports the
+    tracer, so a module-level import here would be circular.
     """
     from repro.core.communication import comm_cache_stats
     from repro.core.operations import cache_stats
+    from repro.search.compiler import compiled_cache_stats
 
     target = registry if registry is not None else _METRICS
     for prefix, stats in (("cache.operations", cache_stats()),
-                          ("cache.collectives", comm_cache_stats())):
+                          ("cache.collectives", comm_cache_stats()),
+                          ("cache.compiled", compiled_cache_stats())):
         for key, value in stats.items():
             if value is None:
                 continue

@@ -24,6 +24,7 @@ conventions are documented in ``docs/observability.md``.
 from __future__ import annotations
 
 import functools
+import math
 import os
 import threading
 import time
@@ -73,7 +74,23 @@ class SpanRecord:
     attrs: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        require_finite_fields(self)
+        # Records are constructed once per span on the tracing hot path,
+        # so the AMP005 finiteness guard is inlined: one isfinite() per
+        # numeric field, falling back to the generic walker (which
+        # carries the precise per-field error message, and skips
+        # non-numeric values) only when something looks wrong.
+        try:
+            finite = (math.isfinite(self.start_s)
+                      and math.isfinite(self.duration_s)
+                      and math.isfinite(self.pid)
+                      and math.isfinite(self.thread_id)
+                      and math.isfinite(self.span_id)
+                      and (self.parent_id is None
+                           or math.isfinite(self.parent_id)))
+        except TypeError:
+            finite = False
+        if not finite:
+            require_finite_fields(self)
         if not self.name:
             raise ConfigurationError("span name must be non-empty")
         if self.duration_s < 0:
@@ -165,12 +182,63 @@ class _SpanContext:
         return False
 
 
+class _PendingComponents:
+    """A deferred batch of ``term.<key>`` child records.
+
+    :func:`emit_component_events` validates the component values once
+    (the same checks :class:`SpanRecord.__post_init__` applies) and
+    stores this compact entry instead of twelve-odd frozen dataclass
+    instances; :meth:`Tracer.records` expands it on first read.  Child
+    span ids are pre-allocated at emission time — ``parent_id + 1``
+    onward — so the expansion is reproducible no matter when it runs.
+    """
+
+    __slots__ = ("category", "pid", "thread_id", "parent_id", "track",
+                 "items")
+
+    def __init__(self, category: str, pid: int, thread_id: int,
+                 parent_id: int, track: Optional[str],
+                 items: Tuple[Tuple[str, float], ...]) -> None:
+        self.category = category
+        self.pid = pid
+        self.thread_id = thread_id
+        self.parent_id = parent_id
+        self.track = track
+        self.items = items
+
+    def materialize(self) -> List[SpanRecord]:
+        """The child :class:`SpanRecord` instances, laid end-to-end."""
+        records: List[SpanRecord] = []
+        new_record = object.__new__
+        cursor = 0.0
+        child_id = self.parent_id
+        for key, value in self.items:
+            child_id += 1
+            record = new_record(SpanRecord)
+            record.__dict__.update(
+                name=f"term.{key}",
+                category=self.category,
+                start_s=cursor,
+                duration_s=float(value),
+                pid=self.pid,
+                thread_id=self.thread_id,
+                span_id=child_id,
+                parent_id=self.parent_id,
+                track=self.track,
+                attrs={"seconds": value},
+            )
+            records.append(record)
+            cursor += value
+        return records
+
+
 class Tracer:
     """Thread-safe collector of :class:`SpanRecord` instances."""
 
     def __init__(self, enabled: bool = False) -> None:
         self._enabled = enabled
-        self._records: List[SpanRecord] = []
+        self._records: List[Any] = []
+        self._has_pending = False
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_id = 0
@@ -199,13 +267,29 @@ class Tracer:
         """Drop every record and restart the wall-clock epoch."""
         with self._lock:
             self._records = []
+            self._has_pending = False
             self._next_id = 0
             self._track_serials = {}
             self._epoch_s = time.perf_counter()
 
     def records(self) -> Tuple[SpanRecord, ...]:
-        """Every record collected so far, in completion order."""
+        """Every record collected so far, in completion order.
+
+        Bulk emissions (:func:`emit_component_events`) append a compact
+        pending entry instead of materialized records; they are expanded
+        here, once, so the emission hot path never pays per-record
+        construction.
+        """
         with self._lock:
+            if self._has_pending:
+                expanded: List[Any] = []
+                for entry in self._records:
+                    if type(entry) is _PendingComponents:
+                        expanded.extend(entry.materialize())
+                    else:
+                        expanded.append(entry)
+                self._records = expanded
+                self._has_pending = False
             return tuple(self._records)
 
     # -- recording ----------------------------------------------------------
@@ -271,9 +355,33 @@ class Tracer:
             self._next_id += 1
             return self._next_id
 
+    def _allocate_ids(self, count: int) -> int:
+        """Reserve ``count`` consecutive span ids under one lock
+        acquisition; returns the first id of the block."""
+        with self._lock:
+            first = self._next_id + 1
+            self._next_id += count
+            return first
+
     def _append(self, record: SpanRecord) -> None:
         with self._lock:
             self._records.append(record)
+
+    def _append_many(self, records: List[SpanRecord]) -> None:
+        """Append a batch of finished records under one lock
+        acquisition (the bulk-emission path of
+        :func:`emit_component_events`)."""
+        with self._lock:
+            self._records.extend(records)
+
+    def _append_pending(self, parent: SpanRecord,
+                        pending: "_PendingComponents") -> None:
+        """Append a parent plus the deferred description of its child
+        records under one lock acquisition; :meth:`records` expands it."""
+        with self._lock:
+            self._records.append(parent)
+            self._records.append(pending)
+            self._has_pending = True
 
 
 #: The process-wide default tracer every instrumentation site uses.
@@ -335,14 +443,78 @@ def emit_component_events(tracer: Tracer,
     if not tracer.enabled:
         return None
     track = tracer.unique_track(track_prefix)
-    parent = tracer.add_event(name, 0.0, total_s, category=category,
-                              track=track, attrs=attrs)
-    if parent is None:
-        return None
+    pid = os.getpid()
+    thread_id = threading.get_ident()
+    parent_id = tracer._allocate_ids(len(components) + 1)
+    try:
+        trusted = bool(name) and math.isfinite(total_s) and total_s >= 0
+    except TypeError:
+        trusted = False
+    if trusted:
+        parent = object.__new__(SpanRecord)
+        parent.__dict__.update(
+            name=name,
+            category=category,
+            start_s=0.0,
+            duration_s=float(total_s),
+            pid=pid,
+            thread_id=thread_id,
+            span_id=parent_id,
+            parent_id=None,
+            track=track,
+            attrs=dict(attrs) if attrs else {},
+        )
+    else:
+        parent = SpanRecord(
+            name=name,
+            category=category,
+            start_s=0.0,
+            duration_s=float(total_s),
+            pid=pid,
+            thread_id=thread_id,
+            span_id=parent_id,
+            track=track,
+            attrs=dict(attrs) if attrs else {},
+        )
+    # Validate every child value once with the same checks
+    # SpanRecord.__post_init__ would apply (finite, non-negative, finite
+    # running cursor); a clean batch is deferred as one compact entry —
+    # per-record construction happens lazily in Tracer.records() —
+    # while a suspicious one takes the eager constructor path below so
+    # it raises the exact validation error at emission time.
+    try:
+        cursor = 0.0
+        clean = True
+        for value in components.values():
+            if not (math.isfinite(value) and value >= 0.0):
+                clean = False
+                break
+            cursor += value
+        clean = clean and math.isfinite(cursor)
+    except TypeError:
+        clean = False
+    if clean:
+        tracer._append_pending(parent, _PendingComponents(
+            category, pid, thread_id, parent_id, track,
+            tuple(components.items())))
+        return parent
+    records = [parent]
     cursor = 0.0
+    child_id = parent_id
     for key, value in components.items():
-        tracer.add_event(f"term.{key}", cursor, value, category=category,
-                         track=track, parent_id=parent.span_id,
-                         attrs={"seconds": value})
+        child_id += 1
+        records.append(SpanRecord(
+            name=f"term.{key}",
+            category=category,
+            start_s=cursor,
+            duration_s=float(value),
+            pid=pid,
+            thread_id=thread_id,
+            span_id=child_id,
+            parent_id=parent_id,
+            track=track,
+            attrs={"seconds": value},
+        ))
         cursor += value
+    tracer._append_many(records)
     return parent

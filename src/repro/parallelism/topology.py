@@ -34,6 +34,18 @@ class CollectiveTopology(ABC):
 
     name: str = "abstract"
 
+    def __eq__(self, other: object) -> bool:
+        # Topologies are stateless strategies: two instances of the same
+        # class are interchangeable.  Value equality (rather than the
+        # default identity) keeps cache keys built from topology objects
+        # — e.g. :meth:`repro.core.model.AMPeD.sweep_identity` — stable
+        # across pickling, so worker processes warmed with compiled
+        # tables recognise them when task messages arrive.
+        return type(other) is type(self)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
     @abstractmethod
     def factor(self, n_participants: int) -> float:
         """Topology factor ``T``, the volume multiplier of the collective.

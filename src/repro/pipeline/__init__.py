@@ -12,6 +12,7 @@ from repro.pipeline.schedule import (
     FORWARD,
     SCHEDULES,
     Task,
+    bubble_prefactor,
     build_schedule,
     gpipe_order,
     interleaved_order,
@@ -30,6 +31,7 @@ __all__ = [
     "FORWARD",
     "BACKWARD",
     "SCHEDULES",
+    "bubble_prefactor",
     "build_schedule",
     "gpipe_order",
     "one_f_one_b_order",

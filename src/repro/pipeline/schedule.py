@@ -74,6 +74,29 @@ def _check(n_stages: int, n_microbatches: int) -> None:
             f"n_microbatches must be >= 1, got {n_microbatches}")
 
 
+def bubble_prefactor(n_stages: int, n_microbatches: int,
+                     overlap_ratio: float = 1.0) -> float:
+    """Closed-form Eq. 8 prefactor ``R * (N_PP - 1) / N_ub``.
+
+    The entire schedule dependence of the bubble term — fill/drain
+    steps over microbatch count, derated by the overlap ratio ``R``
+    that interleaved schedules buy — collapses to this scalar keyed on
+    ``(N_PP, N_ub)`` (and ``R``); the sweep compiler tabulates it once
+    per distinct key and multiplies it onto the per-candidate step
+    time.  Arithmetic matches :func:`repro.core.bubbles.bubble_time`
+    operation for operation, so tabulated bubbles stay bit-identical
+    to the reference path.  A one-stage pipeline has no fill/drain
+    phase and costs nothing.
+    """
+    _check(n_stages, n_microbatches)
+    if overlap_ratio < 0:
+        raise ConfigurationError(
+            f"overlap_ratio must be non-negative, got {overlap_ratio}")
+    if n_stages <= 1:
+        return 0.0
+    return overlap_ratio * (n_stages - 1) / n_microbatches
+
+
 def gpipe_order(n_stages: int, n_microbatches: int) -> List[List[Task]]:
     """Per-stage task order for the GPipe schedule.
 

@@ -2,12 +2,18 @@
 
 The benchmark measures the Case Study I workload — every legal
 parallelism factorization of a system, each evaluated through Eq. 1 —
-twice: once with the per-layer reference path and once with the
-collapsed layer-class fast path, starting both from cold caches.  It
-also times a full ranked sweep through the resilient runtime
+three times: once with the per-layer reference path, once with the
+collapsed layer-class fast path (both from cold caches), and once
+through the sweep compiler (:mod:`repro.search.compiler`), whose
+one-off term-table build is timed separately from the steady-state
+per-candidate rate (a sweep pays the build once and the lookups
+``n_mappings x n_microbatch_candidates`` times, so the steady-state
+rate is what pruning and tuning actually see).  It also times a full
+ranked sweep through the resilient runtime
 (:func:`repro.search.resilience.run_sweep`: microbatch tuning +
-branch-and-bound pruning + coverage accounting) and cross-checks the
-two evaluation paths against each other.
+branch-and-bound pruning + coverage accounting) and cross-checks all
+evaluation paths against each other (``max_rel_error`` spans both the
+collapsed and compiled paths vs the per-layer reference).
 
 The resulting payload is written to ``BENCH_dse.json`` so successive
 PRs can track the evaluation engine's throughput trajectory; its schema
@@ -31,6 +37,7 @@ from repro.hardware.catalog import megatron_a100_cluster
 from repro.hardware.system import SystemSpec
 from repro.parallelism.mapping import enumerate_mappings
 from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.search.compiler import clear_compiled_cache, compile_sweep
 from repro.search.resilience import run_sweep
 from repro.transformer.config import TransformerConfig
 from repro.transformer.zoo import MEGATRON_1T
@@ -44,12 +51,15 @@ BENCH_SCHEMA = {
     "n_mappings": int,
     "reference": dict,
     "fast": dict,
+    "compiled": dict,
     "speedup": float,
+    "compiled_speedup_vs_fast": float,
     "max_rel_error": float,
     "explore": dict,
 }
 
-#: Keys every timed phase (``reference``/``fast``) must carry.
+#: Keys every timed phase (``reference``/``fast``/``compiled``) must
+#: carry (``compiled`` additionally reports ``build_seconds``).
 PHASE_KEYS = ("path", "seconds", "mappings_per_s")
 
 
@@ -75,6 +85,28 @@ def _time_path(template: AMPeD, mappings, global_batch: int,
     return time.perf_counter() - start, totals
 
 
+def _time_compiled(template: AMPeD, mappings, global_batch: int
+                   ) -> Tuple[float, float, List[Optional[float]]]:
+    """Compiled-path timing: the one-off term-table build (cold caches)
+    and the steady-state seconds to evaluate every mapping, plus the
+    totals."""
+    amped = replace(template, evaluation_path="compiled")
+    _clear_caches()
+    clear_compiled_cache()
+    build_start = time.perf_counter()
+    compiled = compile_sweep(amped, global_batch)
+    compiled.prefill(mappings, tune_microbatches=False)
+    build_s = time.perf_counter() - build_start
+    totals: List[Optional[float]] = []
+    start = time.perf_counter()
+    for spec in mappings:
+        try:
+            totals.append(compiled.batch_time(spec))
+        except (MappingError, MemoryCapacityError):
+            totals.append(None)
+    return build_s, time.perf_counter() - start, totals
+
+
 def run_dse_benchmark(system: Optional[SystemSpec] = None,
                       model: Optional[TransformerConfig] = None,
                       global_batch: int = 2048,
@@ -97,14 +129,18 @@ def run_dse_benchmark(system: Optional[SystemSpec] = None,
         template, mappings, global_batch, "per_layer")
     fast_s, fast_totals = _time_path(
         template, mappings, global_batch, "collapsed")
+    build_s, compiled_s, compiled_totals = _time_compiled(
+        template, mappings, global_batch)
 
     max_rel_error = 0.0
-    for fast_total, reference_total in zip(fast_totals, reference_totals):
-        if fast_total is None or reference_total is None:
-            continue
-        scale = max(abs(reference_total), 1e-300)
-        max_rel_error = max(max_rel_error,
-                            abs(fast_total - reference_total) / scale)
+    for candidate_totals in (fast_totals, compiled_totals):
+        for total, reference_total in zip(candidate_totals,
+                                          reference_totals):
+            if total is None or reference_total is None:
+                continue
+            scale = max(abs(reference_total), 1e-300)
+            max_rel_error = max(max_rel_error,
+                                abs(total - reference_total) / scale)
 
     _clear_caches()
     explore_start = time.perf_counter()
@@ -122,10 +158,13 @@ def run_dse_benchmark(system: Optional[SystemSpec] = None,
         "n_mappings": n_mappings,
         "reference": _phase("per_layer", reference_s, n_mappings),
         "fast": _phase("collapsed", fast_s, n_mappings),
+        "compiled": dict(_phase("compiled", compiled_s, n_mappings),
+                         build_seconds=build_s),
         # Floor the denominator instead of emitting an infinity sentinel:
         # inf does not survive JSON round-trips and would defeat the
         # MappingError convention (analyzer rule AMP003).
         "speedup": reference_s / max(fast_s, 1e-12),
+        "compiled_speedup_vs_fast": fast_s / max(compiled_s, 1e-12),
         "max_rel_error": max_rel_error,
         "explore": {
             "seconds": explore_s,
@@ -160,7 +199,7 @@ def validate_bench_result(payload: dict) -> None:
         elif not isinstance(value, expected):
             raise ValueError(
                 f"{key!r} must be {expected.__name__}, got {value!r}")
-    for phase_name in ("reference", "fast"):
+    for phase_name in ("reference", "fast", "compiled"):
         phase = payload[phase_name]
         for key in PHASE_KEYS:
             if key not in phase:
@@ -168,9 +207,17 @@ def validate_bench_result(payload: dict) -> None:
         if phase["seconds"] <= 0 or phase["mappings_per_s"] <= 0:
             raise ValueError(
                 f"{phase_name!r} timings must be positive, got {phase}")
-    if payload["speedup"] <= 0:
-        raise ValueError(f"speedup must be positive, got "
-                         f"{payload['speedup']}")
+    compiled_phase = payload["compiled"]
+    if "build_seconds" not in compiled_phase:
+        raise ValueError("'compiled' missing key 'build_seconds'")
+    if compiled_phase["build_seconds"] <= 0:
+        raise ValueError(
+            f"'compiled' build_seconds must be positive, got "
+            f"{compiled_phase['build_seconds']}")
+    for key in ("speedup", "compiled_speedup_vs_fast"):
+        if payload[key] <= 0:
+            raise ValueError(f"{key} must be positive, got "
+                             f"{payload[key]}")
     if payload["max_rel_error"] < 0:
         raise ValueError(f"max_rel_error must be non-negative, got "
                          f"{payload['max_rel_error']}")
@@ -189,4 +236,84 @@ def write_bench_json(payload: dict, path) -> Path:
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(payload, indent=2) + "\n")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# Regression gate + trajectory (CI)
+# ---------------------------------------------------------------------------
+
+#: Fractional slowdown tolerated by the CI gate before it fails: a
+#: phase may measure down to ``(1 - tolerance)`` of its committed
+#: ``mappings_per_s`` (CI runners are noisy; a genuine regression from
+#: an algorithmic change dwarfs 20%).
+GATE_TOLERANCE = 0.20
+
+#: Phases the gate compares against the committed baseline.  The
+#: per-layer reference is deliberately ungated — it is the semantics
+#: oracle, not a performance product.
+GATED_PHASES = ("fast", "compiled")
+
+
+def check_bench_regression(measured: dict, committed: dict,
+                           tolerance: float = GATE_TOLERANCE
+                           ) -> List[str]:
+    """Compare a fresh benchmark payload against the committed one.
+
+    Returns one human-readable failure string per gated phase whose
+    measured ``mappings_per_s`` fell below ``(1 - tolerance)`` of the
+    committed value (one-sided: running *faster* than the baseline is
+    progress, not a failure).
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(
+            f"tolerance must be in [0, 1), got {tolerance}")
+    failures: List[str] = []
+    for phase_name in GATED_PHASES:
+        measured_rate = measured[phase_name]["mappings_per_s"]
+        committed_rate = committed[phase_name]["mappings_per_s"]
+        floor = (1.0 - tolerance) * committed_rate
+        if measured_rate < floor:
+            failures.append(
+                f"{phase_name}: {measured_rate:.0f} mappings/s is below "
+                f"{floor:.0f} ({1.0 - tolerance:.0%} of the committed "
+                f"{committed_rate:.0f})")
+    return failures
+
+
+def trajectory_entry(payload: dict, timestamp: str,
+                     commit: str = "unknown") -> dict:
+    """One ``BENCH_trajectory.json`` row distilled from a payload."""
+    return {
+        "timestamp": timestamp,
+        "commit": commit,
+        "n_mappings": payload["n_mappings"],
+        "reference_mappings_per_s":
+            payload["reference"]["mappings_per_s"],
+        "fast_mappings_per_s": payload["fast"]["mappings_per_s"],
+        "compiled_mappings_per_s":
+            payload["compiled"]["mappings_per_s"],
+        "compiled_build_seconds": payload["compiled"]["build_seconds"],
+        "speedup": payload["speedup"],
+        "compiled_speedup_vs_fast":
+            payload["compiled_speedup_vs_fast"],
+        "max_rel_error": payload["max_rel_error"],
+    }
+
+
+def append_trajectory(entry: dict, path) -> Path:
+    """Append ``entry`` to the JSON list at ``path`` (created when
+    missing); returns the path."""
+    target = Path(path)
+    if target.exists():
+        history = json.loads(target.read_text())
+        if not isinstance(history, list):
+            raise ValueError(
+                f"{target} must hold a JSON list, got "
+                f"{type(history).__name__}")
+    else:
+        history = []
+    history.append(entry)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(history, indent=2) + "\n")
     return target

@@ -1,0 +1,608 @@
+"""Term-table sweep compiler: sublinear candidate evaluation for DSE.
+
+A design-space sweep holds the model, the system and the global batch
+fixed and varies only the mapping, yet the collapsed fast path re-walks
+all of Eq. 1 for every candidate.  Most terms depend on only a slice of
+the mapping coordinates (the *minimal key*, see
+:mod:`repro.collectives.keys`): compute terms see the mapping only
+through the microbatch efficiency, each collective only through its
+(ranks, shard, replica-batch) tuple, the bubble prefactor only through
+``(N_PP, N_ub)``.  :class:`CompiledSweep` factors Eq. 1 along those
+lines once per sweep and fills one lookup table per term on demand;
+evaluating a candidate then costs a handful of key projections, table
+lookups and additions (``BENCH_dse.json`` records the throughput).
+
+**Bit-exactness contract.**  Table entries are produced by calling the
+*same* estimator functions the collapsed path calls
+(:func:`~repro.core.compute.forward_compute_time`,
+:func:`~repro.core.communication.tp_comm_time`, ...), and the combiner
+replays :meth:`repro.core.model.AMPeD.estimate_batch`'s arithmetic
+operation for operation, in the same order.  Two candidates with equal
+term keys receive bit-identical term values (the collective memo of
+:mod:`repro.core.communication` is keyed on the same scalars), so
+``evaluation_path="compiled"`` equals ``"collapsed"`` bit for bit and
+``"per_layer"`` within floating-point associativity (``<= 1e-9``
+relative, enforced by the property suite).
+
+**Admissible lower bound.**  Every communication term of Eq. 1 is
+independent of the microbatch count, and compute time is monotone
+non-increasing in the microbatch efficiency, so
+
+    compute(best reachable eff) / world + exact communication terms
+
+is a lower bound on the candidate's achievable batch time that is
+strictly tighter than the compute-only bound whenever the mapping
+communicates at all, and still never prunes a true top-k member (the
+bubble term, the only one omitted, is non-negative; the bound's
+additions reuse the evaluation's own association order, and IEEE
+rounding is monotone, so the inequality survives floating point).
+:meth:`CompiledSweep.lower_bound` feeds this to the branch-and-bound
+pruner.  ``docs/performance.md`` carries the full argument.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.breakdown import TrainingTimeBreakdown
+from repro.core.bubbles import BUBBLE_MODELS
+from repro.core.communication import (
+    CommEnvironment,
+    gradient_comm_components,
+    moe_comm_time,
+    pp_comm_time,
+    tp_comm_time,
+    zero_gather_time,
+)
+from repro.core.compute import (
+    backward_compute_time,
+    forward_compute_time,
+    weight_update_time,
+)
+from repro.core.operations import build_operations
+from repro.errors import ConfigurationError, MappingError
+from repro.parallelism.microbatch import microbatch_size, replica_batch_size
+from repro.parallelism.spec import ParallelismSpec
+from repro.pipeline.schedule import bubble_prefactor
+from repro.search.tuning import _with_failing_n_ub, candidate_microbatch_counts
+from repro.units import Seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the cycle
+    from repro.core.model import AMPeD
+
+#: Breakdown component names in :class:`TrainingTimeBreakdown` order.
+COMPONENT_NAMES = (
+    "compute_forward", "compute_backward", "compute_weight_update",
+    "comm_tp_intra", "comm_tp_inter", "comm_pp", "comm_moe",
+    "comm_gradient_intra", "comm_gradient_inter", "comm_zero", "bubble")
+
+#: Compiled-sweep instances kept in the process-wide cache.
+MAX_CACHED_SWEEPS = 8
+
+
+class CompiledSweep:
+    """Eq. 1 factored into per-term lookup tables for one sweep.
+
+    One instance serves every candidate mapping of a (template, global
+    batch) sweep.  Tables fill lazily — a miss calls the reference
+    estimator functions once per distinct minimal key — and the object
+    is picklable, so :func:`warm_worker` can ship pre-filled tables to
+    pool workers instead of letting each worker re-derive the
+    operation and collective memos from scratch.
+    """
+
+    def __init__(self, template: "AMPeD", global_batch: int) -> None:
+        self.global_batch = int(global_batch)
+        self.model = template.model
+        self.system = template.system
+        self.precision = template.precision
+        self.efficiency = template.efficiency
+        self.intra_topology = template.intra_topology
+        self.inter_topology = template.inter_topology
+        self.moe_topology = template.moe_topology
+        self.accelerator = template.system.accelerator
+        self.backward_compute_multiplier = \
+            template.backward_compute_multiplier
+        self.backward_comm_ratio = template.backward_comm_ratio
+        self.optimizer_macs_per_parameter = \
+            template.optimizer_macs_per_parameter
+        self.moe_volume_multiplier = template.moe_volume_multiplier
+        self.moe_tp_sharding = template.moe_tp_sharding
+        self.include_embeddings = template.include_embeddings
+        self.concurrent_stage_comm = template.concurrent_stage_comm
+        self.bubble_model = template.bubble_model
+        if self.bubble_model not in BUBBLE_MODELS:
+            # The reference path surfaces this from bubble_time() on the
+            # first transformer layer; the compiled path never calls it,
+            # so raise the identical error at build time instead.
+            raise ConfigurationError(
+                f"bubble model must be one of {BUBBLE_MODELS}, got "
+                f"{self.bubble_model!r}")
+        self.exposed = 1.0 - template.comm_overlap_fraction
+        self.explicit_zero = (template.zero_explicit_comm
+                              and template.zero.shards_parameters)
+        self.zero_forward_overhead = (
+            0.0 if self.explicit_zero
+            else template.zero.communication_overhead)
+        self.forward_scale = 1.0 + self.zero_forward_overhead
+
+        operations = build_operations(self.model, self.global_batch,
+                                      self.include_embeddings)
+        #: ``(representative, multiplicity, gradient-table, zero-table,
+        #: compute-table)`` per structural layer class, in the collapsed
+        #: path's class order (the combiner must add in the same order).
+        self.classes: List[tuple] = [
+            (cls.representative, float(cls.multiplicity), {}, {}, {})
+            for cls in operations.layer_classes]
+
+        # Term tables keyed by the minimal keys of collectives/keys.py.
+        self._eff: Dict[tuple, float] = {}
+        self._tp_intra: Dict[tuple, float] = {}
+        self._tp_inter: Dict[tuple, float] = {}
+        self._pp: Dict[tuple, float] = {}
+        self._moe: Dict[tuple, float] = {}
+        self._bubble_prefactor: Dict[tuple, float] = {}
+
+        # Hit-rate accounting (cache.compiled.* gauges): lookups are
+        # counted per combine in one add; misses at the fill sites.
+        self._lookups = 0
+        self._misses = 0
+        #: Lookups per combine: eff + bubble prefactor + per class
+        #: (compute, gradient[, zero]) + per transformer class
+        #: (tp_intra, tp_inter, pp[, moe]).
+        self._lookups_per_eval = 2 + len(self.classes) * (
+            3 if self.explicit_zero else 2) + sum(
+            3 + (1 if layer.is_moe else 0)
+            for layer, *_ in self.classes if layer.index >= 0)
+        #: Cache key under which this instance is (or would be)
+        #: registered; ``None`` when the template is unhashable.
+        self.cache_key: Optional[tuple] = None
+
+    # -- misses: reference-function calls -------------------------------------
+
+    def _environment(self, spec: ParallelismSpec) -> CommEnvironment:
+        """The exact environment ``estimate_batch`` would build."""
+        return CommEnvironment(
+            system=self.system,
+            parallelism=spec,
+            precision=self.precision,
+            intra_topology=self.intra_topology,
+            inter_topology=self.inter_topology,
+            moe_topology=self.moe_topology,
+            zero_forward_overhead=self.zero_forward_overhead,
+            moe_volume_multiplier=self.moe_volume_multiplier,
+            moe_tp_sharding=self.moe_tp_sharding,
+        )
+
+    # -- the combiner ----------------------------------------------------------
+
+    def _combine(self, spec: ParallelismSpec, eff: float,
+                 include_bubble: bool = True) -> tuple:
+        """Eq. 1's component totals for one candidate, from the tables.
+
+        Replays ``estimate_batch``'s collapsed loop bit for bit: same
+        class order, same per-term arithmetic, same accumulation
+        association.  With ``include_bubble`` off the bubble total
+        stays 0.0 (the lower bound charges no idle time).
+        """
+        tp_i = spec.tp_intra
+        tp_x = spec.tp_inter
+        dp_i = spec.dp_intra
+        dp_x = spec.dp_inter
+        ep = spec.expert_parallel
+        tp = tp_i * tp_x
+        pp = spec.pp_intra * spec.pp_inter
+        dp = dp_i * dp_x
+        workers = spec.world_size
+        stage_share = pp if self.concurrent_stage_comm else 1
+        exposed = self.exposed
+        ratio = exposed / stage_share
+        bcr = self.backward_comm_ratio
+        scale = 1.0 + bcr
+        fwd_scale = self.forward_scale
+        env: Optional[CommEnvironment] = None
+        replica_batch = 0.0
+
+        if include_bubble:
+            n_ub = spec.microbatches
+            bubble_k = (pp, n_ub, spec.bubble_overlap_ratio)
+            pref = self._bubble_prefactor.get(bubble_k)
+            if pref is None:
+                self._misses += 1
+                pref = bubble_prefactor(pp, n_ub,
+                                        spec.bubble_overlap_ratio)
+                self._bubble_prefactor[bubble_k] = pref
+        else:
+            pref = 0.0
+        eq8 = self.bubble_model == "eq8"
+        n_layers = self.model.n_layers
+
+        cf = cb = cw = 0.0
+        c_tpi = c_tpx = c_pp = c_moe = 0.0
+        g_intra = g_inter = c_zero = bub = 0.0
+
+        for layer, weight, grad_table, zero_table, compute_table \
+                in self.classes:
+            triple = compute_table.get(eff)
+            if triple is None:
+                self._misses += 1
+                triple = (
+                    forward_compute_time(layer, self.accelerator,
+                                         self.precision, eff),
+                    backward_compute_time(
+                        layer, self.accelerator, self.precision, eff,
+                        self.backward_compute_multiplier),
+                    weight_update_time(
+                        layer, self.accelerator, self.precision, eff,
+                        self.optimizer_macs_per_parameter))
+                compute_table[eff] = triple
+            u_f, u_b, u_w = triple
+            cf += weight * u_f / workers
+            cb += weight * u_b / workers
+            cw += weight * u_w / workers
+
+            grad_k = (tp, dp_i, dp_x, ep)
+            grad = grad_table.get(grad_k)
+            if grad is None:
+                self._misses += 1
+                if env is None:
+                    env = self._environment(spec)
+                components = gradient_comm_components(
+                    env, layer.gradient_parameters(ep))
+                grad = (components["intra"], components["inter"])
+                grad_table[grad_k] = grad
+            g_intra += weight * grad[0] / stage_share * exposed
+            g_inter += weight * grad[1] / stage_share * exposed
+
+            if self.explicit_zero:
+                gather = zero_table.get(grad_k)
+                if gather is None:
+                    self._misses += 1
+                    if env is None:
+                        env = self._environment(spec)
+                    gather = zero_gather_time(
+                        env, layer.gradient_parameters(ep))
+                    zero_table[grad_k] = gather
+                c_zero += weight * 2.0 * gather / stage_share * exposed
+
+            if layer.index < 0:
+                continue  # embedding pseudo-layer: no TP/PP/MoE/bubble
+
+            key = (tp_i, dp)
+            v_tpi = self._tp_intra.get(key)
+            if v_tpi is None:
+                self._misses += 1
+                if env is None:
+                    env = self._environment(spec)
+                if not replica_batch:
+                    replica_batch = replica_batch_size(
+                        self.global_batch, spec)
+                v_tpi = fwd_scale * tp_comm_time(
+                    env, self.model, replica_batch, "intra")
+                self._tp_intra[key] = v_tpi
+
+            key = (tp_i, tp_x, dp)
+            v_tpx = self._tp_inter.get(key)
+            if v_tpx is None:
+                self._misses += 1
+                if env is None:
+                    env = self._environment(spec)
+                if not replica_batch:
+                    replica_batch = replica_batch_size(
+                        self.global_batch, spec)
+                v_tpx = fwd_scale * tp_comm_time(
+                    env, self.model, replica_batch, "inter")
+                self._tp_inter[key] = v_tpx
+
+            key = (spec.pp_intra > 1, spec.pp_inter > 1, dp)
+            v_pp = self._pp.get(key)
+            if v_pp is None:
+                self._misses += 1
+                if env is None:
+                    env = self._environment(spec)
+                if not replica_batch:
+                    replica_batch = replica_batch_size(
+                        self.global_batch, spec)
+                v_pp = fwd_scale * max(
+                    pp_comm_time(env, self.model, replica_batch,
+                                 "intra"),
+                    pp_comm_time(env, self.model, replica_batch,
+                                 "inter"))
+                self._pp[key] = v_pp
+
+            if layer.is_moe:
+                key = (tp, dp, ep)
+                v_moe = self._moe.get(key)
+                if v_moe is None:
+                    self._misses += 1
+                    if env is None:
+                        env = self._environment(spec)
+                    if not replica_batch:
+                        replica_batch = replica_batch_size(
+                            self.global_batch, spec)
+                    moe = (moe_comm_time(env, self.model, replica_batch)
+                           if ep else 0.0)
+                    v_moe = fwd_scale * moe
+                    self._moe[key] = v_moe
+            else:
+                v_moe = 0.0
+
+            # estimate_batch scales the component dict in place, then
+            # sums it in insertion order — replayed exactly here.
+            a = v_tpi * ratio
+            b = v_tpx * ratio
+            c = v_moe * ratio
+            d = v_pp * exposed
+            m_f = a + b + d + c
+            m_b = m_f * bcr
+            c_tpi += weight * a * scale
+            c_tpx += weight * b * scale
+            c_pp += weight * d * scale
+            c_moe += weight * c * scale
+            if pref and pp > 1:
+                divisor = tp * dp * pp
+                if eq8:
+                    divisor *= n_layers
+                step = (u_f + u_b) / divisor + m_b + m_f
+                bub += weight * (pref * step)
+
+        self._lookups += self._lookups_per_eval
+        return (cf, cb, cw, c_tpi, c_tpx, c_pp, c_moe,
+                g_intra, g_inter, c_zero, bub)
+
+    # -- public evaluation API -------------------------------------------------
+
+    def _efficiency_for(self, spec: ParallelismSpec) -> float:
+        """``eff(ub)`` for the candidate (raises the same
+        :class:`MappingError` the reference path would for ub < 1)."""
+        key = (spec.dp, spec.microbatches)
+        eff = self._eff.get(key)
+        if eff is None:
+            # Infeasible keys raise here (microbatch below one sequence)
+            # and are never memoized, so a table hit is always feasible.
+            self._misses += 1
+            eff = self.efficiency(microbatch_size(self.global_batch,
+                                                  spec))
+            self._eff[key] = eff
+        return eff
+
+    def component_totals(self, spec: ParallelismSpec) -> dict:
+        """Eq. 1's component totals, keyed like the breakdown fields."""
+        totals = self._combine(spec, self._efficiency_for(spec))
+        return dict(zip(COMPONENT_NAMES, totals))
+
+    def breakdown(self, spec: ParallelismSpec) -> TrainingTimeBreakdown:
+        """The candidate's breakdown — value- and error-identical to
+        the collapsed ``estimate_batch``."""
+        return TrainingTimeBreakdown(**self.component_totals(spec))
+
+    def batch_time(self, spec: ParallelismSpec) -> Seconds:
+        """The candidate's batch time, bit-identical to
+        ``estimate_batch(global_batch).total`` on the collapsed path —
+        including raising the same errors for infeasible microbatches
+        and non-finite components."""
+        totals = self._combine(spec, self._efficiency_for(spec))
+        total = _total_of(totals)
+        if not math.isfinite(total):
+            # The reference path surfaces non-finite components as the
+            # breakdown's ConfigurationError; replay it exactly (and
+            # fall through when only the *sum* overflowed, which the
+            # reference path returns as an inf total).
+            TrainingTimeBreakdown(**dict(zip(COMPONENT_NAMES, totals)))
+        return total
+
+    def best_microbatch(self, spec: ParallelismSpec,
+                        candidates: Optional[Iterable[int]] = None
+                        ) -> Tuple[ParallelismSpec, float]:
+        """Pick the ``N_ub`` minimizing batch time — selection,
+        tie-breaking and failure semantics identical to
+        :func:`repro.search.tuning.optimize_microbatches`."""
+        if candidates is None:
+            candidates = candidate_microbatch_counts(spec,
+                                                     self.global_batch)
+        best: Optional[Tuple[ParallelismSpec, float]] = None
+        last_error = None
+        last_n_ub: Optional[int] = None
+        for n_ub in candidates:
+            tuned = spec.with_microbatches(n_ub)
+            try:
+                batch_time = self.batch_time(tuned)
+            except MappingError as error:
+                last_error, last_n_ub = error, n_ub
+                continue
+            if not math.isfinite(batch_time):
+                last_error = MappingError(
+                    f"batch time is non-finite ({batch_time!r})")
+                last_n_ub = n_ub
+                continue
+            if best is None or batch_time < best[1]:
+                best = (tuned, batch_time)
+        if best is None:
+            if last_error is None:
+                raise MappingError(
+                    f"no feasible microbatch count for batch "
+                    f"{self.global_batch} under {spec.describe()}")
+            raise _with_failing_n_ub(last_error, last_n_ub) \
+                from last_error
+        return best
+
+    def lower_bound(self, spec: ParallelismSpec,
+                    tune_microbatches: bool = True) -> float:
+        """Admissible compute + communication lower bound on the
+        candidate's achievable batch time (no bubble charged).
+
+        Raises :class:`MappingError` when no candidate microbatch
+        count is feasible, exactly like
+        :func:`repro.search.dse.compute_lower_bound`.
+        """
+        if tune_microbatches:
+            n_ubs: Iterable[int] = candidate_microbatch_counts(
+                spec, self.global_batch)
+        else:
+            n_ubs = (spec.microbatches,)
+        best_eff = 0.0
+        dp = spec.dp
+        for n_ub in n_ubs:
+            microbatch = self.global_batch / (dp * n_ub)
+            if microbatch >= 1:
+                key = (dp, n_ub)
+                eff = self._eff.get(key)
+                if eff is None:
+                    self._misses += 1
+                    eff = self.efficiency(microbatch)
+                    self._eff[key] = eff
+                best_eff = max(best_eff, eff)
+        if best_eff <= 0.0:
+            raise MappingError(
+                f"no feasible microbatch count for batch "
+                f"{self.global_batch} under {spec.describe()}: every "
+                f"candidate N_ub dices the batch below one sequence")
+        totals = self._combine(spec, best_eff, include_bubble=False)
+        return _total_of(totals)
+
+    def prefill(self, mappings: Iterable[ParallelismSpec],
+                tune_microbatches: bool = True) -> int:
+        """Fill the tables for a candidate set (infeasible candidates
+        are skipped); returns the number of combines performed.
+        Used before pickling the instance to pool workers."""
+        combines = 0
+        for spec in mappings:
+            n_ubs = (candidate_microbatch_counts(spec, self.global_batch)
+                     if tune_microbatches else [spec.microbatches])
+            for n_ub in n_ubs:
+                try:
+                    self.batch_time(spec.with_microbatches(n_ub))
+                except MappingError:
+                    continue
+                combines += 1
+        return combines
+
+    def stats(self) -> Dict[str, int]:
+        """Table sizes and hit-rate counters for ``cache.compiled.*``."""
+        entries = (len(self._eff) + len(self._tp_intra)
+                   + len(self._tp_inter) + len(self._pp) + len(self._moe)
+                   + len(self._bubble_prefactor))
+        for _, _, grad_table, zero_table, compute_table in self.classes:
+            entries += (len(grad_table) + len(zero_table)
+                        + len(compute_table))
+        return {
+            "lookups": self._lookups,
+            "misses": self._misses,
+            "hits": max(0, self._lookups - self._misses),
+            "entries": entries,
+        }
+
+
+def _total_of(totals: tuple) -> float:
+    """``TrainingTimeBreakdown.total`` replayed on a component tuple,
+    association for association."""
+    (cf, cb, cw, c_tpi, c_tpx, c_pp, c_moe,
+     g_intra, g_inter, c_zero, bub) = totals
+    compute_time = cf + cb + cw
+    comm_time = ((c_tpi + c_tpx) + c_pp + c_moe
+                 + (g_intra + g_inter) + c_zero)
+    return compute_time + comm_time + bub
+
+
+# ---------------------------------------------------------------------------
+# Process-wide compiled-sweep cache
+# ---------------------------------------------------------------------------
+
+_CACHE_LOCK = threading.Lock()
+_CACHE: "OrderedDict[tuple, CompiledSweep]" = OrderedDict()
+_STATS = {"builds": 0, "hits": 0, "misses": 0, "uncached": 0,
+          "installed": 0}
+
+
+def compile_sweep(template: "AMPeD", global_batch: int) -> CompiledSweep:
+    """The compiled sweep for ``(template, global_batch)``.
+
+    Sweeps are identified by :meth:`repro.core.model.AMPeD.sweep_identity`
+    (everything except the mapping), so every candidate evaluation of
+    one sweep — across ``explore``, the pruner and microbatch tuning —
+    shares one table set.  Unhashable templates (e.g. a closure-backed
+    efficiency fit) fall back to an uncached build.
+    """
+    try:
+        key = (template.sweep_identity(), int(global_batch))
+        hash(key)
+    except TypeError:
+        with _CACHE_LOCK:
+            _STATS["uncached"] += 1
+            _STATS["builds"] += 1
+        return CompiledSweep(template, global_batch)
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            _STATS["hits"] += 1
+            return cached
+        _STATS["misses"] += 1
+    compiled = CompiledSweep(template, global_batch)
+    compiled.cache_key = key
+    with _CACHE_LOCK:
+        _STATS["builds"] += 1
+        _CACHE[key] = compiled
+        while len(_CACHE) > MAX_CACHED_SWEEPS:
+            _CACHE.popitem(last=False)
+    return compiled
+
+
+def install_compiled(compiled: CompiledSweep) -> None:
+    """Register a (typically pre-filled, unpickled) instance in the
+    process cache so subsequent :func:`compile_sweep` calls hit it —
+    the worker-process half of the pool warm-up."""
+    with _CACHE_LOCK:
+        _STATS["installed"] += 1
+        if compiled.cache_key is not None:
+            _CACHE[compiled.cache_key] = compiled
+            _CACHE.move_to_end(compiled.cache_key)
+            while len(_CACHE) > MAX_CACHED_SWEEPS:
+                _CACHE.popitem(last=False)
+
+
+def compiled_cache_stats() -> Dict[str, int]:
+    """Build/hit counters of the compiled-sweep cache plus aggregate
+    table statistics across cached instances (folded into
+    ``cache.compiled.*`` gauges by
+    :func:`repro.obs.metrics.collect_cache_metrics`)."""
+    with _CACHE_LOCK:
+        stats = dict(_STATS)
+        instances = list(_CACHE.values())
+    tables = {"lookups": 0, "misses": 0, "hits": 0, "entries": 0}
+    for compiled in instances:
+        for name, value in compiled.stats().items():
+            tables[name] += value
+    stats["cached_sweeps"] = len(instances)
+    for name, value in tables.items():
+        stats[f"table_{name}"] = value
+    return stats
+
+
+def clear_compiled_cache() -> None:
+    """Drop every cached compiled sweep and reset the counters."""
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        for name in _STATS:
+            _STATS[name] = 0
+
+
+def warm_worker(template: "AMPeD", global_batch: int,
+                compiled: Optional[CompiledSweep] = None) -> None:
+    """Process-pool initializer body: warm every per-process memo once
+    per worker instead of once per dispatched chunk.
+
+    Primes the ``build_operations`` LRU for the sweep's model and, for
+    compiled sweeps, installs the parent's pre-filled term tables
+    (which also carry every collective time the sweep needs, so the
+    collective memo never starts cold either).
+    """
+    build_operations(template.model, global_batch,
+                     template.include_embeddings)
+    if compiled is not None:
+        install_compiled(compiled)
+    elif template.evaluation_path == "compiled":
+        compile_sweep(template, global_batch)

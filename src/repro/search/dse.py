@@ -5,12 +5,18 @@ parallelism factorization of a system, evaluate AMPeD for each, and
 rank.  The explorer optionally tunes the microbatch count per mapping
 and filters mappings whose footprint exceeds accelerator memory.
 
-Two performance levers keep large spaces interactive (see
+Three performance levers keep large spaces interactive (see
 ``docs/performance.md``):
 
-- **Branch-and-bound pruning** (``prune=True``): a compute-only lower
-  bound — the collapsed-layer-class compute time at the best achievable
-  microbatch efficiency — is compared against the incumbent ``k``-th
+- **The sweep compiler** (``evaluation_path="compiled"``, the default):
+  Eq. 1 is factored into per-term lookup tables shared across the whole
+  sweep (:mod:`repro.search.compiler`); evaluating a candidate becomes
+  key projection + table lookups + additions, bit-identical to the
+  collapsed path.
+- **Branch-and-bound pruning** (``prune=True``): an admissible
+  compute + communication lower bound — the compiled term tables
+  evaluated at the best achievable microbatch efficiency, with the
+  bubble term dropped — is compared against the incumbent ``k``-th
   best batch time (``k = max_results``); mappings whose bound already
   exceeds it cannot enter the top-``k`` and are skipped without a full
   evaluation.  The returned (truncated) ranking is provably identical
@@ -19,7 +25,9 @@ Two performance levers keep large spaces interactive (see
 - **Process-pool fan-out** (``workers=N``): mappings are evaluated by
   ``N`` worker processes in submission order, preserving the exact
   result ordering of the serial path (surfaced as ``--jobs`` on the
-  CLI ``sweep`` command).
+  CLI ``sweep`` command).  A pool initializer warms each worker's
+  operation memo and ships the parent's compiled term tables, so
+  workers never start cold.
 """
 
 from __future__ import annotations
@@ -44,9 +52,11 @@ from repro.errors import (
     require_finite_fields,
 )
 from repro.memory.constraints import fits_in_memory
-from repro.obs.trace import span
+from repro.obs.trace import get_tracer, span
 from repro.parallelism.mapping import enumerate_mappings
+from repro.parallelism.microbatch import microbatch_size
 from repro.parallelism.spec import ParallelismSpec
+from repro.search.compiler import CompiledSweep, compile_sweep, warm_worker
 from repro.search.tuning import microbatch_candidates, optimize_microbatches
 
 
@@ -114,7 +124,8 @@ def explore(amped: AMPeD, global_batch: int,
             enforce_memory: bool = False,
             max_results: Optional[int] = None,
             prune: bool = True,
-            workers: Optional[int] = None) -> List[ExplorationResult]:
+            workers: Optional[int] = None,
+            evaluation_path: str = "compiled") -> List[ExplorationResult]:
     """Evaluate every mapping and return results sorted fastest-first.
 
     Parameters
@@ -132,30 +143,45 @@ def explore(amped: AMPeD, global_batch: int,
     max_results:
         Truncate the (sorted) result list.
     prune:
-        Skip mappings whose compute-only lower bound exceeds the
-        incumbent ``max_results``-th best time.  Exact: the truncated
-        ranking is identical to the unpruned one.  No-op without
-        ``max_results``.
+        Skip mappings whose compute + communication lower bound (from
+        the sweep compiler's term tables) exceeds the incumbent
+        ``max_results``-th best time.  Exact: the truncated ranking is
+        identical to the unpruned one.  No-op without ``max_results``.
     workers:
         Evaluate mappings with a pool of this many worker processes
         (``None``/``0``/``1`` = serial).  Submission order is
         preserved, so the ranked result list matches the serial path
         exactly.  Requires the template (including its efficiency fit)
         to be picklable.
+    evaluation_path:
+        How each candidate evaluates Eq. 1 — overrides the template's
+        own setting.  ``"compiled"`` (default) routes through the sweep
+        compiler; ``"collapsed"`` and ``"per_layer"`` keep the
+        uncompiled paths.  All three agree within floating-point
+        associativity and produce identical skip categories.
     """
+    if evaluation_path != amped.evaluation_path:
+        amped = replace(amped, evaluation_path=evaluation_path)
     if mappings is None:
         mappings = enumerate_mappings(amped.system, amped.model)
+    # One compiled-sweep instance backs candidate evaluation (compiled
+    # path) and the pruner's lower bound (every path, so skip counters
+    # are path-independent).
+    compiled = None
+    if prune or amped.evaluation_path == "compiled":
+        compiled = compile_sweep(amped, global_batch)
     evaluate = partial(_evaluate_spec, amped, global_batch=global_batch,
                        tune_microbatches=tune_microbatches,
                        enforce_memory=enforce_memory)
     pruner = None
     if prune:
         pruner = _BoundPruner(amped, global_batch, tune_microbatches,
-                              max_results)
+                              max_results, compiled=compiled)
     with span("dse.explore", category="search") as live:
         if workers is not None and workers > 1:
             evaluated = _explore_parallel(evaluate, mappings, workers,
-                                          pruner)
+                                          pruner, amped, global_batch,
+                                          compiled)
         else:
             evaluated = _explore_serial(evaluate, mappings, pruner)
         results = [result for result in evaluated if result is not None]
@@ -179,7 +205,18 @@ def evaluate_candidate(template: AMPeD, spec: ParallelismSpec,
     (mapping constraints vs memory capacity vs a non-finite batch time),
     which is what the sweep journal records.  Genuine programming errors
     still propagate.
+
+    Compiled templates take a fast route through the sweep compiler's
+    term tables that never constructs a per-candidate :class:`AMPeD`;
+    it replicates this function's validation order, skip categories and
+    detail strings exactly.  While tracing is enabled the generic route
+    runs instead, so compiled sweeps emit the same per-estimate spans.
     """
+    if (template.evaluation_path == "compiled"
+            and not get_tracer().enabled):
+        return _evaluate_candidate_compiled(
+            template, spec, global_batch, tune_microbatches,
+            enforce_memory)
     candidate = replace(template, parallelism=spec)
     needs_memory_check = enforce_memory
     try:
@@ -228,6 +265,74 @@ def evaluate_candidate(template: AMPeD, spec: ParallelismSpec,
     ))
 
 
+def _evaluate_candidate_compiled(template: AMPeD, spec: ParallelismSpec,
+                                 global_batch: int,
+                                 tune_microbatches: bool,
+                                 enforce_memory: bool
+                                 ) -> CandidateOutcome:
+    """:func:`evaluate_candidate`'s fast route for compiled templates.
+
+    Candidate evaluation through the sweep compiler's term tables: no
+    per-candidate :class:`AMPeD` construction, no re-walk of Eq. 1.
+    Mirrors the generic route statement for statement — the same spec
+    validation outside the ``try`` (so a mapping that cannot tile the
+    system raises, exactly like ``replace(template, parallelism=spec)``
+    does there), the same skip categories and detail strings, and
+    bit-identical batch times.
+    """
+    compiled = compile_sweep(template, global_batch)
+    if template.validate:
+        spec.validate_against(template.system)
+        spec.validate_against_model(template.model.n_layers,
+                                    template.model.n_heads)
+    needs_memory_check = enforce_memory
+    tuned = spec
+    try:
+        if tune_microbatches:
+            candidates = None
+            if enforce_memory:
+                # The memory screen is the one stage that still needs a
+                # full candidate (fits_in_memory reads the scenario);
+                # enforce_memory sweeps pay one construction here.
+                candidates = _memory_feasible_candidates(
+                    replace(template, parallelism=spec), global_batch)
+                if not candidates:
+                    return CandidateOutcome(
+                        spec=spec, skip_category=SKIP_MEMORY_CAPACITY,
+                        detail="no microbatch count fits in memory")
+                needs_memory_check = False
+            tuned, _ = compiled.best_microbatch(spec, candidates)
+        microbatch = microbatch_size(global_batch, tuned)
+        if needs_memory_check and not fits_in_memory(
+                template.model, tuned, microbatch,
+                template.precision, template.system.accelerator,
+                template.zero):
+            return CandidateOutcome(
+                spec=spec, skip_category=SKIP_MEMORY_CAPACITY,
+                detail=f"microbatch {microbatch:g} does not fit in HBM")
+        breakdown = compiled.breakdown(tuned)
+    except MemoryCapacityError as error:
+        return CandidateOutcome(spec=spec,
+                                skip_category=SKIP_MEMORY_CAPACITY,
+                                detail=str(error))
+    except MappingError as error:
+        return CandidateOutcome(spec=spec,
+                                skip_category=SKIP_MAPPING_INFEASIBLE,
+                                detail=str(error))
+    if not math.isfinite(breakdown.total):
+        return CandidateOutcome(
+            spec=spec, skip_category=SKIP_NON_FINITE,
+            detail=f"batch time is {breakdown.total!r}")
+    return CandidateOutcome(spec=spec, result=ExplorationResult(
+        parallelism=tuned,
+        global_batch=global_batch,
+        batch_time_s=breakdown.total,
+        breakdown=breakdown,
+        microbatch_size=microbatch,
+        microbatch_efficiency=compiled.efficiency(microbatch),
+    ))
+
+
 def _evaluate_spec(template: AMPeD, spec: ParallelismSpec,
                    global_batch: int, tune_microbatches: bool,
                    enforce_memory: bool) -> Optional[ExplorationResult]:
@@ -250,19 +355,28 @@ def _explore_serial(evaluate: Callable, mappings: List[ParallelismSpec],
 
 
 def _explore_parallel(evaluate: Callable, mappings: List[ParallelismSpec],
-                      workers: int,
-                      pruner: Optional["_BoundPruner"]) -> List:
+                      workers: int, pruner: Optional["_BoundPruner"],
+                      template: AMPeD, global_batch: int,
+                      compiled: Optional[CompiledSweep]) -> List:
     """Fan mappings out over a process pool, in submission order.
 
     Work is dispatched in chunks so the pruner's incumbent (updated as
     chunks complete) can skip later mappings, mirroring the serial
-    branch-and-bound.
+    branch-and-bound.  Each worker process runs
+    :func:`repro.search.compiler.warm_worker` once on startup, priming
+    its operation memo and installing the parent's compiled term tables
+    — without it every worker re-derives both from scratch on its first
+    chunk (the cache cold-start the ``cache.*`` gauges used to show).
     """
     from concurrent.futures import ProcessPoolExecutor
 
     out = []
     chunk_size = max(1, 4 * workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    shipped = compiled if (compiled is not None
+                           and compiled.cache_key is not None) else None
+    with ProcessPoolExecutor(
+            max_workers=workers, initializer=warm_worker,
+            initargs=(template, global_batch, shipped)) as pool:
         for start in range(0, len(mappings), chunk_size):
             chunk = mappings[start:start + chunk_size]
             if pruner is not None:
@@ -325,19 +439,28 @@ class _BoundPruner:
     """Branch-and-bound state shared across one :func:`explore` call.
 
     Tracks the ``keep`` smallest batch times seen so far; a mapping is
-    skipped when its compute-only lower bound strictly exceeds the
-    incumbent ``keep``-th best, which proves it cannot appear in the
-    final truncated ranking.  Without a ``keep`` (``max_results is
-    None``) the threshold stays infinite and nothing is pruned.
+    skipped when its lower bound strictly exceeds the incumbent
+    ``keep``-th best, which proves it cannot appear in the final
+    truncated ranking.  Without a ``keep`` (``max_results is None``)
+    the threshold stays infinite and nothing is pruned.
+
+    With a ``compiled`` sweep the bound is
+    :meth:`~repro.search.compiler.CompiledSweep.lower_bound` — compute
+    at the best reachable efficiency *plus* the mapping's exact
+    communication terms, strictly tighter than the legacy compute-only
+    :func:`compute_lower_bound` whenever the mapping communicates at
+    all, and used for every evaluation path so skip counters stay
+    path-independent.
     """
 
     def __init__(self, template: AMPeD, global_batch: int,
-                 tune_microbatches: bool,
-                 keep: Optional[int]) -> None:
+                 tune_microbatches: bool, keep: Optional[int],
+                 compiled: Optional[CompiledSweep] = None) -> None:
         self.template = template
         self.global_batch = global_batch
         self.tune_microbatches = tune_microbatches
         self.keep = keep
+        self.compiled = compiled
         self._best_times: List[float] = []
 
     @property
@@ -360,10 +483,22 @@ class _BoundPruner:
         threshold = self.threshold
         if threshold is None:
             return None
-        candidate = replace(self.template, parallelism=spec)
         try:
-            bound = compute_lower_bound(candidate, self.global_batch,
-                                        self.tune_microbatches)
+            if self.compiled is not None:
+                if self.template.validate:
+                    # replace(template, parallelism=spec) re-validates
+                    # on the legacy route; keep the same category for
+                    # mappings that cannot tile the system.
+                    spec.validate_against(self.template.system)
+                    spec.validate_against_model(
+                        self.template.model.n_layers,
+                        self.template.model.n_heads)
+                bound = self.compiled.lower_bound(
+                    spec, self.tune_microbatches)
+            else:
+                candidate = replace(self.template, parallelism=spec)
+                bound = compute_lower_bound(candidate, self.global_batch,
+                                            self.tune_microbatches)
         except MappingError:
             return SKIP_MAPPING_INFEASIBLE
         return SKIP_PRUNED if bound > threshold else None

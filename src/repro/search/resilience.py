@@ -44,7 +44,7 @@ import signal
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from functools import partial
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
@@ -63,6 +63,7 @@ from repro.obs.trace import span
 from repro.parallelism.mapping import enumerate_mappings
 from repro.parallelism.spec import ParallelismSpec
 from repro.reporting.sweep import SweepReport
+from repro.search.compiler import CompiledSweep, compile_sweep, warm_worker
 from repro.search.dse import (
     SKIP_MAPPING_INFEASIBLE,
     SKIP_MEMORY_CAPACITY,
@@ -343,12 +344,22 @@ class _PoolSupervisor:
 
     def __init__(self, workers: int, evaluate: Callable,
                  timeout: Optional[float], retries: int,
-                 backoff_s: float) -> None:
+                 backoff_s: float,
+                 template: Optional[AMPeD] = None,
+                 global_batch: int = 0,
+                 compiled: Optional[CompiledSweep] = None) -> None:
         self.workers = workers
         self.evaluate = evaluate
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        #: Warm-up payload for new worker processes: the sweep template
+        #: (primes the operation memo) and, for compiled sweeps, the
+        #: parent's pre-filled term tables.  ``None`` template = no
+        #: initializer (fault-injection tests with synthetic evaluate).
+        self.template = template
+        self.global_batch = global_batch
+        self.compiled = compiled
         self.degraded = False
         self.degraded_reason = ""
         self.consecutive_failures = 0
@@ -360,7 +371,13 @@ class _PoolSupervisor:
     def _ensure_pool(self):
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            if self.template is not None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, initializer=warm_worker,
+                    initargs=(self.template, self.global_batch,
+                              self.compiled))
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
     def shutdown(self) -> None:
@@ -496,7 +513,8 @@ def run_sweep(template: AMPeD, global_batch: int,
               resume: bool = False,
               strict: bool = False,
               raise_on_interrupt: bool = False,
-              evaluate: Optional[Callable] = None) -> SweepOutcome:
+              evaluate: Optional[Callable] = None,
+              evaluation_path: str = "compiled") -> SweepOutcome:
     """Explore the design space under supervision; never hang, never
     lose finished work.
 
@@ -535,7 +553,16 @@ def run_sweep(template: AMPeD, global_batch: int,
         worker pools); defaults to the real
         :func:`~repro.search.dse.evaluate_candidate` over ``template``.
         Exposed for fault-injection tests.
+    evaluation_path:
+        How each candidate evaluates Eq. 1 (``"compiled"`` default;
+        see :func:`repro.search.dse.explore`) — overrides the
+        template's own setting.  Recorded in the journal header for
+        provenance but *not* part of the resume identity: every path
+        produces the same ranking and skip categories, so a journal
+        written under one path resumes deterministically under another.
     """
+    if evaluation_path != template.evaluation_path:
+        template = replace(template, evaluation_path=evaluation_path)
     if mappings is None:
         mappings = enumerate_mappings(template.system, template.model)
     if evaluate is None:
@@ -553,6 +580,7 @@ def run_sweep(template: AMPeD, global_batch: int,
         "tune_microbatches": tune_microbatches,
         "enforce_memory": enforce_memory,
         "n_candidates": len(mappings),
+        "evaluation_path": template.evaluation_path,
     }
     journal: Optional[SweepJournal] = None
     if journal_path is not None:
@@ -562,8 +590,15 @@ def run_sweep(template: AMPeD, global_batch: int,
         n_candidates=len(mappings),
         journal_path=str(journal.path) if journal else None)
     results: List[ExplorationResult] = []
+    # The compiled term tables back the pruner's compute+communication
+    # lower bound on every evaluation path (keeping skip counters
+    # path-independent) and are shipped to pool workers.
+    compiled: Optional[CompiledSweep] = None
+    if prune or template.evaluation_path == "compiled":
+        compiled = compile_sweep(template, global_batch)
     pruner = (_BoundPruner(template, global_batch, tune_microbatches,
-                           max_results) if prune else None)
+                           max_results, compiled=compiled)
+              if prune else None)
 
     # Replay the journal: finished candidates are restored, never
     # re-evaluated, and feed the pruner's incumbents so the resumed
@@ -627,8 +662,13 @@ def run_sweep(template: AMPeD, global_batch: int,
                 time.perf_counter() - started)
 
     use_pool = workers is not None and workers > 1
+    shipped = (compiled if compiled is not None
+               and compiled.cache_key is not None else None)
     supervisor = (_PoolSupervisor(workers, evaluate, timeout, retries,
-                                  backoff_s) if use_pool else None)
+                                  backoff_s, template=template,
+                                  global_batch=global_batch,
+                                  compiled=shipped)
+                  if use_pool else None)
     chunk_size = max(1, 4 * workers) if use_pool else 1
     interrupted = False
     cumulative: Optional[dict] = None
@@ -654,7 +694,7 @@ def run_sweep(template: AMPeD, global_batch: int,
                         category = (pruner.skip_category(spec)
                                     if pruner is not None else None)
                         if category is not None:
-                            detail = ("compute lower bound exceeds the "
+                            detail = ("lower bound exceeds the "
                                       "incumbent top-k"
                                       if category == SKIP_PRUNED else
                                       "no feasible microbatch count")

@@ -18,13 +18,23 @@ from typing import Iterable, List, Optional, Tuple
 
 from repro.core.model import AMPeD
 from repro.errors import MappingError, MemoryCapacityError, ReproError
+from repro.parallelism.spec import ParallelismSpec
 
 
 def microbatch_candidates(amped: AMPeD, global_batch: int) -> List[int]:
+    """Candidate ``N_ub`` values for ``amped``'s mapping (see
+    :func:`candidate_microbatch_counts`)."""
+    return candidate_microbatch_counts(amped.parallelism, global_batch)
+
+
+def candidate_microbatch_counts(spec: ParallelismSpec,
+                                global_batch: int) -> List[int]:
     """Candidate ``N_ub`` values: powers of two from the pipeline degree
     up to the per-replica batch (an ``N_ub`` below ``N_PP`` starves the
-    pipeline; above the replica batch it dices sequences)."""
-    spec = amped.parallelism
+    pipeline; above the replica batch it dices sequences).
+
+    Depends only on ``(dp, pp)`` of the mapping, which is why the sweep
+    compiler can call it without constructing an AMPeD candidate."""
     replica_batch = max(1, global_batch // spec.dp)
     lowest = max(1, spec.pp)
     candidates = []

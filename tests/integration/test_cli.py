@@ -20,6 +20,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_sweep_eval_mode_defaults_to_compiled(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.eval_mode == "compiled"
+
 
 class TestCommands:
     def test_estimate_prints_breakdown(self, capsys):
@@ -51,6 +55,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mapping" in out
         assert "batch time" in out
+
+    @pytest.mark.parametrize("mode",
+                             ["per_layer", "collapsed", "compiled"])
+    def test_sweep_accepts_every_eval_mode(self, mode, capsys):
+        exit_code = main(["sweep", "--nodes", "2",
+                          "--model", "mingpt-85m", "--batch", "256",
+                          "--top", "3", "--eval-mode", mode])
+        assert exit_code == 0
+        assert "batch time" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_eval_mode(self, capsys):
+        exit_code = main(["sweep", "--nodes", "2",
+                          "--model", "mingpt-85m", "--batch", "256",
+                          "--eval-mode", "bogus"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "evaluation_path must be one of" \
+            in captured.out + captured.err
+        assert "'bogus'" in captured.out + captured.err
 
     def test_experiment_fig3(self, capsys):
         exit_code = main(["experiment", "fig3"])

@@ -16,7 +16,11 @@ from repro.hardware.interconnect import IB_HDR, NVLINK3
 from repro.hardware.node import NodeSpec
 from repro.hardware.system import SystemSpec
 from repro.search.benchmark import (
+    GATE_TOLERANCE,
+    append_trajectory,
+    check_bench_regression,
     run_dse_benchmark,
+    trajectory_entry,
     validate_bench_result,
     write_bench_json,
 )
@@ -88,3 +92,83 @@ class TestValidateBenchResult:
     def test_write_refuses_invalid_payload(self, tmp_path):
         with pytest.raises(ValueError):
             write_bench_json({}, tmp_path / "BENCH_dse.json")
+
+
+def _with_rate(payload: dict, phase: str, rate: float) -> dict:
+    return dict(payload,
+                **{phase: dict(payload[phase], mappings_per_s=rate)})
+
+
+class TestRegressionGate:
+    def test_identical_payload_passes(self, payload):
+        assert check_bench_regression(payload, payload) == []
+
+    def test_faster_than_baseline_passes(self, payload):
+        """One-sided: speedups are progress, never a failure."""
+        committed = _with_rate(
+            _with_rate(payload, "fast",
+                       payload["fast"]["mappings_per_s"] / 10),
+            "compiled", payload["compiled"]["mappings_per_s"] / 10)
+        assert check_bench_regression(payload, committed) == []
+
+    def test_regression_beyond_tolerance_fails(self, payload):
+        rate = payload["compiled"]["mappings_per_s"]
+        measured = _with_rate(payload, "compiled",
+                              rate * (1.0 - GATE_TOLERANCE) * 0.9)
+        failures = check_bench_regression(measured, payload)
+        assert len(failures) == 1
+        assert failures[0].startswith("compiled:")
+        assert "below" in failures[0]
+
+    def test_regression_within_tolerance_passes(self, payload):
+        rate = payload["fast"]["mappings_per_s"]
+        measured = _with_rate(payload, "fast",
+                              rate * (1.0 - GATE_TOLERANCE) * 1.01)
+        assert check_bench_regression(measured, payload) == []
+
+    def test_both_phases_gated(self, payload):
+        measured = _with_rate(
+            _with_rate(payload, "fast", 1e-6), "compiled", 1e-6)
+        failures = check_bench_regression(measured, payload)
+        assert [f.split(":")[0] for f in failures] \
+            == ["fast", "compiled"]
+
+    @pytest.mark.parametrize("tolerance", [-0.1, 1.0, 2.0])
+    def test_rejects_bad_tolerance(self, payload, tolerance):
+        with pytest.raises(ValueError, match="tolerance"):
+            check_bench_regression(payload, payload,
+                                   tolerance=tolerance)
+
+
+class TestTrajectory:
+    def test_entry_distils_the_payload(self, payload):
+        entry = trajectory_entry(payload,
+                                 timestamp="2026-08-07T00:00:00+00:00",
+                                 commit="abc1234")
+        assert entry["timestamp"] == "2026-08-07T00:00:00+00:00"
+        assert entry["commit"] == "abc1234"
+        assert entry["n_mappings"] == payload["n_mappings"]
+        assert entry["fast_mappings_per_s"] \
+            == payload["fast"]["mappings_per_s"]
+        assert entry["compiled_mappings_per_s"] \
+            == payload["compiled"]["mappings_per_s"]
+        assert entry["compiled_build_seconds"] \
+            == payload["compiled"]["build_seconds"]
+        assert entry["max_rel_error"] == payload["max_rel_error"]
+
+    def test_append_creates_then_extends(self, payload, tmp_path):
+        target = tmp_path / "BENCH_trajectory.json"
+        first = trajectory_entry(payload, timestamp="t0")
+        append_trajectory(first, target)
+        append_trajectory(trajectory_entry(payload, timestamp="t1"),
+                          target)
+        history = json.loads(target.read_text())
+        assert [row["timestamp"] for row in history] == ["t0", "t1"]
+        assert history[0] == first
+
+    def test_append_rejects_non_list_file(self, payload, tmp_path):
+        target = tmp_path / "BENCH_trajectory.json"
+        target.write_text('{"not": "a list"}\n')
+        with pytest.raises(ValueError, match="JSON list"):
+            append_trajectory(trajectory_entry(payload, timestamp="t"),
+                              target)

@@ -14,6 +14,7 @@ import json
 import os
 import signal
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -266,6 +267,44 @@ class TestResume:
         assert resumed.report.resumed == already
         assert [r.batch_time_s for r in resumed.results] \
             == sorted(_fake_time(spec) for spec in FAKE_SPECS)
+
+    def test_header_records_evaluation_path(self, template, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        run_sweep(template, 64, max_results=3, journal_path=journal,
+                  evaluation_path="per_layer")
+        header, _ = SweepJournal.load(journal)
+        assert header["evaluation_path"] == "per_layer"
+
+    def test_resume_across_evaluation_paths(self, template, tmp_path):
+        """The evaluation path is journal provenance, not identity: a
+        sweep interrupted under the per-layer path resumes under the
+        compiled default and still produces the uninterrupted ranking
+        (labels exact, times within the cross-path tolerance)."""
+        journal = tmp_path / "sweep.jsonl"
+        uninterrupted = run_sweep(template, 64, max_results=5)
+
+        per_layer = replace(template, evaluation_path="per_layer")
+        first = run_sweep(
+            template, 64, max_results=5, journal_path=journal,
+            evaluation_path="per_layer",
+            evaluate=_interrupting(
+                lambda spec: evaluate_candidate(per_layer, spec, 64), 4))
+        assert first.partial
+        assert SweepJournal.load(journal)[0]["evaluation_path"] \
+            == "per_layer"
+
+        resumed = run_sweep(template, 64, max_results=5,
+                            journal_path=journal, resume=True,
+                            evaluation_path="compiled")
+        assert not resumed.partial
+        assert resumed.report.resumed > 0
+        assert [r.label for r in resumed.results] \
+            == [r.label for r in uninterrupted.results]
+        for ours, reference in zip(resumed.results,
+                                   uninterrupted.results):
+            scale = max(abs(reference.batch_time_s), 1e-300)
+            assert abs(ours.batch_time_s - reference.batch_time_s) \
+                / scale <= 1e-9
 
     def test_journal_records_every_fate(self, template, tmp_path):
         journal = tmp_path / "sweep.jsonl"
