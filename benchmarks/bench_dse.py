@@ -28,6 +28,11 @@ BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_dse.json"
 MIN_SPEEDUP = 10.0
 MIN_COMPILED_SPEEDUP = 10.0
 MAX_REL_ERROR = 1e-9
+#: The vectorized phase must clear 5x the compiled steady-state rate
+#: (the tentpole's order-of-magnitude target, derated for CI noise)
+#: and the cross-product phase must cover a million-mapping space.
+MIN_VECTORIZED_SPEEDUP = 5.0
+MIN_CROSSPRODUCT_MAPPINGS = 1_000_000
 
 
 def _format(payload: dict) -> str:
@@ -51,7 +56,32 @@ def _format(payload: dict) -> str:
         f"explore (top {payload['explore']['n_results']})  "
         f"{payload['explore']['seconds']:.3f} s, best "
         f"{payload['explore']['best_mapping']}",
-    ])
+    ] + _vectorized_lines(payload))
+
+
+def _vectorized_lines(payload: dict) -> list:
+    vectorized = payload.get("vectorized")
+    if vectorized is None:
+        return ["vectorized      skipped (NumPy unavailable)"]
+    lines = [
+        f"vectorized      {vectorized['seconds']:.3f} s for "
+        f"{vectorized['n_candidates']:,} candidates "
+        f"({vectorized['mappings_per_s']:,.0f} mappings/s, "
+        f"{payload['vectorized_speedup_vs_compiled']:.1f}x compiled, "
+        f"bound in {vectorized['build_seconds']:.3f} s)",
+    ]
+    cross = payload.get("crossproduct")
+    if cross:
+        best = cross.get("best") or {}
+        lines.append(
+            f"crossproduct    {cross['n_mappings']:,} mappings "
+            f"({cross['n_models']} models x {cross['n_systems']} "
+            f"systems x {cross['n_global_batches']} batches x "
+            f"{cross['n_overlap_ratios']} overlaps) in "
+            f"{cross['seconds']:.1f} s "
+            f"({cross['mappings_per_s']:,.0f}/s), best "
+            f"{best.get('mapping')} on {best.get('model')}")
+    return lines
 
 
 @pytest.mark.perf
@@ -70,6 +100,18 @@ def test_bench_dse() -> None:
     assert payload["max_rel_error"] <= MAX_REL_ERROR, (
         f"fast/compiled paths diverge from reference: "
         f"{payload['max_rel_error']:.2e}")
+    if "vectorized" in payload:
+        assert payload["vectorized_speedup_vs_compiled"] \
+            >= MIN_VECTORIZED_SPEEDUP, (
+                f"vectorized speedup "
+                f"{payload['vectorized_speedup_vs_compiled']:.1f}x "
+                f"over the compiled path is below the "
+                f"{MIN_VECTORIZED_SPEEDUP:.0f}x bar")
+        assert payload["crossproduct"]["n_mappings"] \
+            >= MIN_CROSSPRODUCT_MAPPINGS, (
+                f"cross-product phase covered only "
+                f"{payload['crossproduct']['n_mappings']:,} mappings, "
+                f"below the {MIN_CROSSPRODUCT_MAPPINGS:,} floor")
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from repro.search.benchmark import (
     GATE_TOLERANCE,
     append_trajectory,
     check_bench_regression,
+    gated_phases_present,
     run_dse_benchmark,
     trajectory_entry,
 )
@@ -65,13 +66,25 @@ def _run_gate() -> tuple:
 
 def _format(payload: dict, committed: dict, failures: list) -> str:
     lines = []
-    for phase_name in ("fast", "compiled"):
+    gated = gated_phases_present(payload, committed)
+    for phase_name in gated:
         measured = payload[phase_name]["mappings_per_s"]
         baseline = committed[phase_name]["mappings_per_s"]
         lines.append(
-            f"{phase_name:<9} {measured:>10.0f} mappings/s "
+            f"{phase_name:<10} {measured:>10.0f} mappings/s "
             f"(committed {baseline:.0f}, floor "
             f"{(1.0 - GATE_TOLERANCE) * baseline:.0f})")
+    if "vectorized" not in gated:
+        lines.append("vectorized ungated: phase missing from "
+                     + ("this run (NumPy unavailable)"
+                        if "vectorized" not in payload
+                        else "the committed baseline"))
+    cross = payload.get("crossproduct")
+    if cross:
+        lines.append(
+            f"crossproduct {cross['n_mappings']:,} mappings in "
+            f"{cross['seconds']:.1f} s "
+            f"({cross['mappings_per_s']:,.0f}/s)")
     lines.append(f"trajectory appended to {TRAJECTORY_JSON.name}")
     lines.extend(f"REGRESSION: {failure}" for failure in failures)
     return "\n".join(lines)

@@ -97,11 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "journal; finished candidates are never "
                             "re-evaluated")
     sweep.add_argument("--eval-mode", default="compiled",
-                       metavar="{per_layer,collapsed,compiled}",
+                       metavar="{per_layer,collapsed,compiled,"
+                               "vectorized}",
                        dest="eval_mode",
                        help="evaluation path for every candidate "
-                            "(default: compiled — term-table lookups; "
-                            "all three rank identically)")
+                            "(default: compiled — term-table lookups, "
+                            "auto-upgraded to vectorized on large "
+                            "sweeps when NumPy is available; all "
+                            "paths rank identically)")
 
     validate = sub.add_parser(
         "validate", help="reproduce the paper's validation tables")

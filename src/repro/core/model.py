@@ -49,7 +49,7 @@ from repro.core.compute import (
 from repro.core.operations import build_operations
 
 #: Recognized Eq. 1 evaluation strategies (see :class:`AMPeD`).
-EVALUATION_PATHS = ("collapsed", "per_layer", "compiled")
+EVALUATION_PATHS = ("collapsed", "per_layer", "compiled", "vectorized")
 
 #: Fields that do NOT identify a sweep (see :meth:`AMPeD.sweep_identity`):
 #: the mapping varies per candidate, the evaluation path is a strategy
@@ -228,9 +228,13 @@ class AMPeD:
     def estimate_batch(self, global_batch: int) -> TrainingTimeBreakdown:
         """Evaluate Eq. 1's bracket for one batch, per component."""
         spec = self.parallelism
-        if self.evaluation_path == "compiled":
+        if self.evaluation_path in ("compiled", "vectorized"):
             # Term-table route: identical arithmetic, factored into
             # per-term lookup tables shared across the whole sweep.
+            # A lone estimate has no batch to vectorize, so
+            # "vectorized" uses the same scalar tables here; the array
+            # backend engages in explore()/run_sweep(), which evaluate
+            # whole candidate batches (repro.search.vectorized).
             # Imported lazily — repro.search.compiler imports this
             # module for typing.
             from repro.search.compiler import compile_sweep

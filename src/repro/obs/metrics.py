@@ -283,22 +283,26 @@ def collect_cache_metrics(
     """Fold the memoization statistics into gauges.
 
     Pulls ``repro.core.cache_stats()`` (the ``build_operations`` LRU),
-    ``repro.core.comm_cache_stats()`` (the collective-time LRU) and
+    ``repro.core.comm_cache_stats()`` (the collective-time LRU),
     ``repro.search.compiler.compiled_cache_stats()`` (the sweep-compiler
-    table cache) into ``cache.operations.*`` / ``cache.collectives.*`` /
-    ``cache.compiled.*`` gauges, so a single snapshot answers "did the
-    fast path actually hit the cache" and "how hot are the compiled
-    term tables".  Imports lazily: :mod:`repro.core` imports the
-    tracer, so a module-level import here would be circular.
+    table cache) and ``repro.search.vectorized.vectorized_stats()``
+    (batch-array builds) into ``cache.operations.*`` /
+    ``cache.collectives.*`` / ``cache.compiled.*`` /
+    ``cache.vectorized.*`` gauges, so a single snapshot answers "did
+    the fast path actually hit the cache" and "how hot are the
+    compiled term tables".  Imports lazily: :mod:`repro.core` imports
+    the tracer, so a module-level import here would be circular.
     """
     from repro.core.communication import comm_cache_stats
     from repro.core.operations import cache_stats
     from repro.search.compiler import compiled_cache_stats
+    from repro.search.vectorized import vectorized_stats
 
     target = registry if registry is not None else _METRICS
     for prefix, stats in (("cache.operations", cache_stats()),
                           ("cache.collectives", comm_cache_stats()),
-                          ("cache.compiled", compiled_cache_stats())):
+                          ("cache.compiled", compiled_cache_stats()),
+                          ("cache.vectorized", vectorized_stats())):
         for key, value in stats.items():
             if value is None:
                 continue

@@ -1,0 +1,140 @@
+"""Per-PR benchmark history report: ``BENCH_trajectory.json`` as text.
+
+Every ``bench_gate.py`` run appends one row to the trajectory; this
+module renders that ledger as an aligned table plus ASCII sparklines,
+one per engine phase, so the throughput story across PRs is readable
+straight from a terminal:
+
+    PYTHONPATH=src python -m repro.reporting.bench_history
+    PYTHONPATH=src python -m repro.reporting.bench_history --last 10
+
+Rows predating a phase (the vectorized backend landed after the
+compiled one; no-NumPy environments skip it entirely) simply hold
+``None`` — the table prints a dash and the sparkline leaves a gap, so
+mixed-era trajectories render without special-casing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError, ReproError
+from repro.reporting.tables import render_table
+
+#: Sparkline glyph ramp, lowest to highest; a space marks a missing
+#: sample so eras without a phase read as gaps, not zeros.
+SPARK_LEVELS = ".:-=+*#@"
+
+#: ``(column header, trajectory field)`` per phase column, in display
+#: order.
+PHASE_COLUMNS = (
+    ("reference/s", "reference_mappings_per_s"),
+    ("fast/s", "fast_mappings_per_s"),
+    ("compiled/s", "compiled_mappings_per_s"),
+    ("vectorized/s", "vectorized_mappings_per_s"),
+    ("crossprod/s", "crossproduct_mappings_per_s"),
+)
+
+
+def load_trajectory(path) -> List[dict]:
+    """The trajectory rows at ``path`` (a JSON list of dicts)."""
+    target = Path(path)
+    if not target.exists():
+        raise ConfigurationError(
+            f"no benchmark trajectory at {target} — run "
+            f"'PYTHONPATH=src python benchmarks/bench_gate.py' to "
+            f"record the first entry")
+    try:
+        history = json.loads(target.read_text())
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"{target} is not valid JSON: {error}") from error
+    if not isinstance(history, list) \
+            or not all(isinstance(row, dict) for row in history):
+        raise ConfigurationError(
+            f"{target} must hold a JSON list of entry dicts")
+    return history
+
+
+def sparkline(values: Sequence[Optional[float]]) -> str:
+    """One character per sample, scaled to the finite range; ``None``
+    renders as a gap."""
+    finite = [value for value in values if value is not None]
+    if not finite:
+        return " " * len(values)
+    low, high = min(finite), max(finite)
+    spread = (high - low) or 1.0
+    top = len(SPARK_LEVELS) - 1
+    marks = []
+    for value in values:
+        if value is None:
+            marks.append(" ")
+        else:
+            marks.append(SPARK_LEVELS[round((value - low) / spread
+                                            * top)])
+    return "".join(marks)
+
+
+def _rate_cell(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:,.0f}"
+
+
+def render_history(entries: List[dict],
+                   last: Optional[int] = None) -> str:
+    """The trajectory as an aligned table plus per-phase sparklines."""
+    if not entries:
+        raise ConfigurationError(
+            "benchmark trajectory is empty — run bench_gate.py to "
+            "record the first entry")
+    if last is not None:
+        if last < 1:
+            raise ConfigurationError(
+                f"--last must be at least 1, got {last}")
+        entries = entries[-last:]
+    rows = []
+    for entry in entries:
+        rows.append([
+            str(entry.get("commit", "unknown")),
+            str(entry.get("timestamp", ""))[:10],
+        ] + [_rate_cell(entry.get(field))
+             for _, field in PHASE_COLUMNS])
+    table = render_table(
+        ["commit", "date"] + [header for header, _ in PHASE_COLUMNS],
+        rows, title=f"DSE throughput trajectory ({len(entries)} runs)")
+    lines = [table, ""]
+    width = max(len(header) for header, _ in PHASE_COLUMNS)
+    for header, field in PHASE_COLUMNS:
+        series = [entry.get(field) for entry in entries]
+        lines.append(f"{header.ljust(width)} {sparkline(series)}")
+    lines.append(f"{'scale'.ljust(width)} low '{SPARK_LEVELS[0]}' .. "
+                 f"high '{SPARK_LEVELS[-1]}', gap = phase absent")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reporting.bench_history",
+        description="Render BENCH_trajectory.json as a per-PR "
+                    "throughput table with sparklines.")
+    parser.add_argument(
+        "--path", default="BENCH_trajectory.json",
+        help="trajectory file (default: ./BENCH_trajectory.json)")
+    parser.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the most recent N runs")
+    args = parser.parse_args(argv)
+    try:
+        print(render_history(load_trajectory(args.path),
+                             last=args.last))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

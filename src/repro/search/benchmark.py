@@ -24,6 +24,7 @@ perf-marked benchmark and the tier-1 smoke test).
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -39,8 +40,9 @@ from repro.parallelism.mapping import enumerate_mappings
 from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
 from repro.search.compiler import clear_compiled_cache, compile_sweep
 from repro.search.resilience import run_sweep
+from repro.search.vectorized import HAVE_NUMPY, VectorizedSweep
 from repro.transformer.config import TransformerConfig
-from repro.transformer.zoo import MEGATRON_1T
+from repro.transformer.zoo import MEGATRON_1T, MODELS
 
 #: Top-level keys every benchmark payload must carry, with their types.
 BENCH_SCHEMA = {
@@ -61,6 +63,27 @@ BENCH_SCHEMA = {
 #: Keys every timed phase (``reference``/``fast``/``compiled``) must
 #: carry (``compiled`` additionally reports ``build_seconds``).
 PHASE_KEYS = ("path", "seconds", "mappings_per_s")
+
+#: Top-level keys the payload carries only when NumPy is importable
+#: (the vectorized backend is an optional extra); validated when
+#: present, never required.
+OPTIONAL_BENCH_KEYS = {
+    "vectorized": dict,
+    "vectorized_speedup_vs_compiled": float,
+    "crossproduct": dict,
+}
+
+#: Batch replication factor for the vectorized phase: the Case Study I
+#: space replicated enough times that the array program's per-call
+#: overhead amortizes and the steady-state gather+sum rate is what
+#: gets measured (the compiled phase analogously measures post-prefill
+#: steady state).
+VECTORIZED_REPLICATION = 512
+
+#: Candidate floor for the cross-product phase: models x systems x
+#: bubble-overlap grid x mappings, sized to at least this many
+#: end-to-end candidate evaluations.
+CROSSPRODUCT_TARGET = 1_000_000
 
 
 def _clear_caches() -> None:
@@ -107,6 +130,114 @@ def _time_compiled(template: AMPeD, mappings, global_batch: int
     return build_s, time.perf_counter() - start, totals
 
 
+def _time_vectorized(template: AMPeD, mappings, global_batch: int,
+                     replication: int = VECTORIZED_REPLICATION
+                     ) -> Tuple[float, float, int, List[Optional[float]]]:
+    """Vectorized-path timing: the one-off bind (projection + batch
+    fill) and the steady-state seconds to evaluate the replicated
+    batch, plus the original mappings' totals (NaN -> ``None``) for
+    the exactness cross-check."""
+    amped = replace(template, evaluation_path="compiled")
+    _clear_caches()
+    clear_compiled_cache()
+    compiled = compile_sweep(amped, global_batch)
+    vectorized = VectorizedSweep(compiled)
+    batch_specs = list(mappings) * replication
+    build_start = time.perf_counter()
+    batch = vectorized.bind(batch_specs, tune_microbatches=False)
+    build_s = time.perf_counter() - build_start
+    start = time.perf_counter()
+    times = batch.lane_times()
+    steady_s = time.perf_counter() - start
+    # Untuned lanes are 1:1 with candidates, so the first len(mappings)
+    # lanes are exactly the unreplicated sweep.
+    head = times[:len(mappings)].tolist()
+    totals = [None if math.isnan(total) else total for total in head]
+    return build_s, steady_s, len(batch_specs), totals
+
+
+def run_crossproduct_benchmark(target: int = CROSSPRODUCT_TARGET,
+                               global_batches: Tuple[int, ...] = (512,
+                                                                  2048)
+                               ) -> dict:
+    """Cross-product sweep: every zoo model x cluster scale x bubble
+    overlap ratio x legal mapping, evaluated end-to-end (bind +
+    microbatch-tuned best time) through the vectorized backend.
+
+    The bubble-overlap grid is sized so the space holds at least
+    ``target`` candidate mappings; the payload reports the wall-clock
+    end-to-end rate (projection and batch fill included — the honest
+    number a planner would see) and the global winner.
+    """
+    base_system = megatron_a100_cluster()
+    systems = [replace(base_system, n_nodes=n_nodes)
+               for n_nodes in (32, 64, 128, 256)]
+    cells = []
+    per_grid_point = 0
+    for model_key in sorted(MODELS):
+        model = MODELS[model_key]
+        for system in systems:
+            mappings = enumerate_mappings(system, model)
+            if not mappings:
+                continue
+            per_grid_point += len(mappings)
+            cells.append((model, system, mappings))
+    per_grid_point *= len(global_batches)
+    n_ratios = max(1, -(-target // per_grid_point))  # ceil division
+    ratios = [index / n_ratios for index in range(n_ratios)]
+
+    _clear_caches()
+    clear_compiled_cache()
+    n_candidates = 0
+    n_lanes = 0
+    best: Optional[dict] = None
+    start = time.perf_counter()
+    for model, system, mappings in cells:
+        template = AMPeD.for_mapping(
+            model, system, dp=system.n_accelerators,
+            efficiency=CASE_STUDY_EFFICIENCY)
+        specs = [replace(spec, bubble_overlap_ratio=ratio)
+                 for ratio in ratios for spec in mappings]
+        for global_batch in global_batches:
+            compiled = compile_sweep(template, global_batch)
+            batch = VectorizedSweep(compiled).bind(
+                specs, tune_microbatches=True)
+            times, picks, feasible = batch.best_lanes()
+            n_candidates += len(specs)
+            n_lanes += batch.n_lanes
+            if feasible.any():
+                index = int(_argmin_finite(times, feasible))
+                cell_best = float(times[index])
+                if best is None or cell_best < best["batch_time_s"]:
+                    best = {
+                        "batch_time_s": cell_best,
+                        "model": model.name,
+                        "system": system.describe(),
+                        "global_batch": global_batch,
+                        "mapping": specs[index].describe(),
+                    }
+    seconds = time.perf_counter() - start
+    return {
+        "n_models": len({model.name for model, *_ in cells}),
+        "n_systems": len(systems),
+        "n_global_batches": len(global_batches),
+        "n_overlap_ratios": n_ratios,
+        "n_mappings": n_candidates,
+        "n_lanes": n_lanes,
+        "seconds": seconds,
+        "mappings_per_s": n_candidates / seconds if seconds > 0
+        else 0.0,
+        "best": best,
+    }
+
+
+def _argmin_finite(times, feasible):
+    """Index of the smallest feasible time (requires one feasible)."""
+    import numpy as np
+    masked = np.where(feasible, times, np.inf)
+    return masked.argmin()
+
+
 def run_dse_benchmark(system: Optional[SystemSpec] = None,
                       model: Optional[TransformerConfig] = None,
                       global_batch: int = 2048,
@@ -115,8 +246,13 @@ def run_dse_benchmark(system: Optional[SystemSpec] = None,
 
     Defaults to the Case Study I exploration space (the 1024-A100
     cluster) with Megatron-1T, whose 128 identical layers are the
-    collapsed path's headline case.
+    collapsed path's headline case.  With NumPy importable the payload
+    additionally carries the ``vectorized`` phase, and — on the
+    default Case Study workload only (the cross-product sweeps its own
+    model x system grid, so a custom workload would not change it) —
+    the million-candidate ``crossproduct`` phase.
     """
+    headline_workload = system is None and model is None
     if system is None:
         system = megatron_a100_cluster()
     if model is None:
@@ -131,9 +267,24 @@ def run_dse_benchmark(system: Optional[SystemSpec] = None,
         template, mappings, global_batch, "collapsed")
     build_s, compiled_s, compiled_totals = _time_compiled(
         template, mappings, global_batch)
+    checked_totals = [fast_totals, compiled_totals]
+
+    vectorized_phase: Optional[dict] = None
+    crossproduct: Optional[dict] = None
+    if HAVE_NUMPY:
+        vec_build_s, vec_s, n_vectorized, vectorized_totals = \
+            _time_vectorized(template, mappings, global_batch)
+        checked_totals.append(vectorized_totals)
+        vectorized_phase = dict(
+            _phase("vectorized", vec_s, n_vectorized),
+            build_seconds=vec_build_s,
+            n_candidates=n_vectorized,
+            replication=VECTORIZED_REPLICATION)
+        if headline_workload:
+            crossproduct = run_crossproduct_benchmark()
 
     max_rel_error = 0.0
-    for candidate_totals in (fast_totals, compiled_totals):
+    for candidate_totals in checked_totals:
         for total, reference_total in zip(candidate_totals,
                                           reference_totals):
             if total is None or reference_total is None:
@@ -150,7 +301,7 @@ def run_dse_benchmark(system: Optional[SystemSpec] = None,
     ranked = outcome.results
 
     n_mappings = len(mappings)
-    return {
+    payload = {
         "benchmark": "dse-throughput",
         "model": model.name,
         "system": system.describe(),
@@ -173,6 +324,14 @@ def run_dse_benchmark(system: Optional[SystemSpec] = None,
             "coverage": outcome.report.as_dict(),
         },
     }
+    if vectorized_phase is not None:
+        payload["vectorized"] = vectorized_phase
+        payload["vectorized_speedup_vs_compiled"] = (
+            vectorized_phase["mappings_per_s"]
+            / max(payload["compiled"]["mappings_per_s"], 1e-12))
+    if crossproduct is not None:
+        payload["crossproduct"] = crossproduct
+    return payload
 
 
 def _phase(path: str, seconds: float, n_mappings: int) -> dict:
@@ -228,6 +387,37 @@ def validate_bench_result(payload: dict) -> None:
     for key in ("seconds", "n_results", "best_mapping"):
         if key not in explore_stats:
             raise ValueError(f"'explore' missing key {key!r}")
+    for key, expected in OPTIONAL_BENCH_KEYS.items():
+        if key not in payload:
+            continue
+        value = payload[key]
+        if expected is float:
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                raise ValueError(
+                    f"{key!r} must be a number, got {value!r}")
+        elif not isinstance(value, expected):
+            raise ValueError(
+                f"{key!r} must be {expected.__name__}, got {value!r}")
+    if "vectorized" in payload:
+        phase = payload["vectorized"]
+        for key in PHASE_KEYS + ("build_seconds",):
+            if key not in phase:
+                raise ValueError(f"'vectorized' missing key {key!r}")
+        if phase["seconds"] <= 0 or phase["mappings_per_s"] <= 0 \
+                or phase["build_seconds"] <= 0:
+            raise ValueError(
+                f"'vectorized' timings must be positive, got {phase}")
+    if "crossproduct" in payload:
+        cross = payload["crossproduct"]
+        for key in ("n_mappings", "seconds", "mappings_per_s"):
+            if key not in cross:
+                raise ValueError(f"'crossproduct' missing key {key!r}")
+        if cross["n_mappings"] < 1 or cross["seconds"] <= 0 \
+                or cross["mappings_per_s"] <= 0:
+            raise ValueError(
+                f"'crossproduct' coverage must be positive, got "
+                f"{cross}")
 
 
 def write_bench_json(payload: dict, path) -> Path:
@@ -252,7 +442,17 @@ GATE_TOLERANCE = 0.20
 #: Phases the gate compares against the committed baseline.  The
 #: per-layer reference is deliberately ungated — it is the semantics
 #: oracle, not a performance product.
-GATED_PHASES = ("fast", "compiled")
+GATED_PHASES = ("fast", "compiled", "vectorized")
+
+
+def gated_phases_present(measured: dict, committed: dict
+                         ) -> List[str]:
+    """The gated phases carried by *both* payloads — the only ones a
+    rate comparison is meaningful for (e.g. a no-NumPy environment
+    produces no ``vectorized`` phase; a pre-vectorized baseline
+    commits none)."""
+    return [phase for phase in GATED_PHASES
+            if phase in measured and phase in committed]
 
 
 def check_bench_regression(measured: dict, committed: dict,
@@ -263,13 +463,19 @@ def check_bench_regression(measured: dict, committed: dict,
     Returns one human-readable failure string per gated phase whose
     measured ``mappings_per_s`` fell below ``(1 - tolerance)`` of the
     committed value (one-sided: running *faster* than the baseline is
-    progress, not a failure).
+    progress, not a failure).  Only phases present in both payloads
+    are rate-compared; a gated phase this run produced that the
+    committed baseline lacks fails with an actionable message naming
+    the fix (regenerate the baseline) instead of a ``KeyError``.
+    Phases only the baseline carries (e.g. ``vectorized`` gated on a
+    machine without NumPy) are skipped — the environment cannot
+    measure them.
     """
     if not 0.0 <= tolerance < 1.0:
         raise ValueError(
             f"tolerance must be in [0, 1), got {tolerance}")
     failures: List[str] = []
-    for phase_name in GATED_PHASES:
+    for phase_name in gated_phases_present(measured, committed):
         measured_rate = measured[phase_name]["mappings_per_s"]
         committed_rate = committed[phase_name]["mappings_per_s"]
         floor = (1.0 - tolerance) * committed_rate
@@ -278,12 +484,26 @@ def check_bench_regression(measured: dict, committed: dict,
                 f"{phase_name}: {measured_rate:.0f} mappings/s is below "
                 f"{floor:.0f} ({1.0 - tolerance:.0%} of the committed "
                 f"{committed_rate:.0f})")
+    for phase_name in GATED_PHASES:
+        if phase_name in measured and phase_name not in committed:
+            failures.append(
+                f"{phase_name}: this run produced the phase but the "
+                f"committed BENCH_dse.json lacks it — regenerate the "
+                f"baseline (PYTHONPATH=src python "
+                f"benchmarks/bench_dse.py) so the gate can track it")
     return failures
 
 
 def trajectory_entry(payload: dict, timestamp: str,
                      commit: str = "unknown") -> dict:
-    """One ``BENCH_trajectory.json`` row distilled from a payload."""
+    """One ``BENCH_trajectory.json`` row distilled from a payload.
+
+    The vectorized/cross-product fields are ``None`` for payloads
+    produced without NumPy (or predating the vectorized backend), so
+    the trajectory stays appendable across environments.
+    """
+    vectorized = payload.get("vectorized") or {}
+    crossproduct = payload.get("crossproduct") or {}
     return {
         "timestamp": timestamp,
         "commit": commit,
@@ -298,6 +518,14 @@ def trajectory_entry(payload: dict, timestamp: str,
         "compiled_speedup_vs_fast":
             payload["compiled_speedup_vs_fast"],
         "max_rel_error": payload["max_rel_error"],
+        "vectorized_mappings_per_s":
+            vectorized.get("mappings_per_s"),
+        "vectorized_build_seconds": vectorized.get("build_seconds"),
+        "vectorized_speedup_vs_compiled":
+            payload.get("vectorized_speedup_vs_compiled"),
+        "crossproduct_n_mappings": crossproduct.get("n_mappings"),
+        "crossproduct_mappings_per_s":
+            crossproduct.get("mappings_per_s"),
     }
 
 

@@ -480,6 +480,144 @@ class CompiledSweep:
                 combines += 1
         return combines
 
+    # -- batch-fill accessors (vectorized backend) -----------------------------
+    #
+    # The NumPy backend (:mod:`repro.search.vectorized`) projects a whole
+    # candidate chunk to key indices and needs one value per *distinct*
+    # key.  These accessors fill exactly the entry `_combine` would fill
+    # — same key layout, same reference-function call, same stored value
+    # — into the *same* dict tables, so the scalar and the vectorized
+    # paths always read identical numbers.
+
+    def efficiency_for(self, spec: ParallelismSpec) -> float:
+        """Public face of the efficiency table: ``eff(ub)`` for the
+        candidate, raising :class:`MappingError` for ub < 1."""
+        return self._efficiency_for(spec)
+
+    def bubble_prefactor_for(self, pp: int, n_ub: int,
+                             overlap_ratio: float) -> float:
+        """The bubble prefactor for key ``(pp, n_ub, overlap_ratio)``."""
+        bubble_k = (pp, n_ub, overlap_ratio)
+        pref = self._bubble_prefactor.get(bubble_k)
+        if pref is None:
+            self._misses += 1
+            pref = bubble_prefactor(pp, n_ub, overlap_ratio)
+            self._bubble_prefactor[bubble_k] = pref
+        return pref
+
+    def compute_triples_for(self, eff: float) -> List[tuple]:
+        """Per-class ``(U_f, U_b, U_w)`` triples at efficiency ``eff``,
+        in class order."""
+        triples = []
+        for layer, _, _, _, compute_table in self.classes:
+            triple = compute_table.get(eff)
+            if triple is None:
+                self._misses += 1
+                triple = (
+                    forward_compute_time(layer, self.accelerator,
+                                         self.precision, eff),
+                    backward_compute_time(
+                        layer, self.accelerator, self.precision, eff,
+                        self.backward_compute_multiplier),
+                    weight_update_time(
+                        layer, self.accelerator, self.precision, eff,
+                        self.optimizer_macs_per_parameter))
+                compute_table[eff] = triple
+            triples.append(triple)
+        return triples
+
+    def gradient_pairs_for(self, spec: ParallelismSpec) -> List[tuple]:
+        """Per-class gradient ``(intra, inter)`` pairs for the
+        candidate's gradient key, in class order."""
+        grad_k = (spec.tp, spec.dp_intra, spec.dp_inter,
+                  spec.expert_parallel)
+        env: Optional[CommEnvironment] = None
+        pairs = []
+        for layer, _, grad_table, _, _ in self.classes:
+            grad = grad_table.get(grad_k)
+            if grad is None:
+                self._misses += 1
+                if env is None:
+                    env = self._environment(spec)
+                components = gradient_comm_components(
+                    env, layer.gradient_parameters(spec.expert_parallel))
+                grad = (components["intra"], components["inter"])
+                grad_table[grad_k] = grad
+            pairs.append(grad)
+        return pairs
+
+    def zero_gathers_for(self, spec: ParallelismSpec) -> List[float]:
+        """Per-class explicit ZeRO-3 gather times for the candidate's
+        gradient key (meaningful only when ``explicit_zero``)."""
+        grad_k = (spec.tp, spec.dp_intra, spec.dp_inter,
+                  spec.expert_parallel)
+        env: Optional[CommEnvironment] = None
+        gathers = []
+        for layer, _, _, zero_table, _ in self.classes:
+            gather = zero_table.get(grad_k)
+            if gather is None:
+                self._misses += 1
+                if env is None:
+                    env = self._environment(spec)
+                gather = zero_gather_time(
+                    env, layer.gradient_parameters(spec.expert_parallel))
+                zero_table[grad_k] = gather
+            gathers.append(gather)
+        return gathers
+
+    def tp_intra_for(self, spec: ParallelismSpec) -> float:
+        """The scaled intra-node TP term for key ``(tp_intra, dp)``."""
+        key = (spec.tp_intra, spec.dp)
+        value = self._tp_intra.get(key)
+        if value is None:
+            self._misses += 1
+            value = self.forward_scale * tp_comm_time(
+                self._environment(spec), self.model,
+                replica_batch_size(self.global_batch, spec), "intra")
+            self._tp_intra[key] = value
+        return value
+
+    def tp_inter_for(self, spec: ParallelismSpec) -> float:
+        """The scaled inter-node TP term for key
+        ``(tp_intra, tp_inter, dp)``."""
+        key = (spec.tp_intra, spec.tp_inter, spec.dp)
+        value = self._tp_inter.get(key)
+        if value is None:
+            self._misses += 1
+            value = self.forward_scale * tp_comm_time(
+                self._environment(spec), self.model,
+                replica_batch_size(self.global_batch, spec), "inter")
+            self._tp_inter[key] = value
+        return value
+
+    def pp_for(self, spec: ParallelismSpec) -> float:
+        """The scaled PP term for key ``(pp_intra>1, pp_inter>1, dp)``."""
+        key = (spec.pp_intra > 1, spec.pp_inter > 1, spec.dp)
+        value = self._pp.get(key)
+        if value is None:
+            self._misses += 1
+            env = self._environment(spec)
+            replica_batch = replica_batch_size(self.global_batch, spec)
+            value = self.forward_scale * max(
+                pp_comm_time(env, self.model, replica_batch, "intra"),
+                pp_comm_time(env, self.model, replica_batch, "inter"))
+            self._pp[key] = value
+        return value
+
+    def moe_for(self, spec: ParallelismSpec) -> float:
+        """The scaled MoE term for key ``(tp, dp, expert_parallel)``."""
+        key = (spec.tp, spec.dp, spec.expert_parallel)
+        value = self._moe.get(key)
+        if value is None:
+            self._misses += 1
+            env = self._environment(spec)
+            replica_batch = replica_batch_size(self.global_batch, spec)
+            moe = (moe_comm_time(env, self.model, replica_batch)
+                   if spec.expert_parallel else 0.0)
+            value = self.forward_scale * moe
+            self._moe[key] = value
+        return value
+
     def stats(self) -> Dict[str, int]:
         """Table sizes and hit-rate counters for ``cache.compiled.*``."""
         entries = (len(self._eff) + len(self._tp_intra)

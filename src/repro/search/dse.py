@@ -58,6 +58,12 @@ from repro.parallelism.microbatch import microbatch_size
 from repro.parallelism.spec import ParallelismSpec
 from repro.search.compiler import CompiledSweep, compile_sweep, warm_worker
 from repro.search.tuning import microbatch_candidates, optimize_microbatches
+from repro.search.vectorized import (
+    DEFAULT_CHUNK_CANDIDATES,
+    evaluate_chunk,
+    require_numpy,
+    resolve_evaluation_path,
+)
 
 
 #: Skip-category vocabulary shared by the explorer, the resilient sweep
@@ -156,19 +162,31 @@ def explore(amped: AMPeD, global_batch: int,
     evaluation_path:
         How each candidate evaluates Eq. 1 — overrides the template's
         own setting.  ``"compiled"`` (default) routes through the sweep
-        compiler; ``"collapsed"`` and ``"per_layer"`` keep the
-        uncompiled paths.  All three agree within floating-point
-        associativity and produce identical skip categories.
+        compiler; ``"vectorized"`` evaluates the whole candidate batch
+        as NumPy array programs (auto-selected over ``"compiled"`` for
+        large sweeps when NumPy is importable, see
+        :func:`repro.search.vectorized.resolve_evaluation_path`);
+        ``"collapsed"`` and ``"per_layer"`` keep the uncompiled paths.
+        All paths agree within floating-point associativity and produce
+        identical skip categories and rankings.
     """
-    if evaluation_path != amped.evaluation_path:
-        amped = replace(amped, evaluation_path=evaluation_path)
     if mappings is None:
         mappings = enumerate_mappings(amped.system, amped.model)
+    if not enforce_memory:
+        evaluation_path = resolve_evaluation_path(evaluation_path,
+                                                  len(mappings))
+    elif evaluation_path == "vectorized":
+        # The memory screen needs per-candidate scenario objects the
+        # array path never builds; validate the request, then let the
+        # scalar compiled-equivalent route below handle it.
+        require_numpy()
+    if evaluation_path != amped.evaluation_path:
+        amped = replace(amped, evaluation_path=evaluation_path)
     # One compiled-sweep instance backs candidate evaluation (compiled
-    # path) and the pruner's lower bound (every path, so skip counters
-    # are path-independent).
+    # and vectorized paths) and the pruner's lower bound (every path,
+    # so skip counters are path-independent).
     compiled = None
-    if prune or amped.evaluation_path == "compiled":
+    if prune or amped.evaluation_path in ("compiled", "vectorized"):
         compiled = compile_sweep(amped, global_batch)
     evaluate = partial(_evaluate_spec, amped, global_batch=global_batch,
                        tune_microbatches=tune_microbatches,
@@ -178,16 +196,27 @@ def explore(amped: AMPeD, global_batch: int,
         pruner = _BoundPruner(amped, global_batch, tune_microbatches,
                               max_results, compiled=compiled)
     with span("dse.explore", category="search") as live:
-        if workers is not None and workers > 1:
-            evaluated = _explore_parallel(evaluate, mappings, workers,
-                                          pruner, amped, global_batch,
-                                          compiled)
+        if (amped.evaluation_path == "vectorized"
+                and not enforce_memory):
+            # Array-program route: pruning is exact (the pruned ranking
+            # equals the unpruned one by construction), so evaluating
+            # every candidate vectorized and truncating afterwards
+            # returns the identical result list.
+            results = _explore_vectorized(amped, compiled, global_batch,
+                                          mappings, tune_microbatches,
+                                          max_results)
         else:
-            evaluated = _explore_serial(evaluate, mappings, pruner)
-        results = [result for result in evaluated if result is not None]
-        results.sort(key=lambda result: result.batch_time_s)
-        if max_results is not None:
-            results = results[:max_results]
+            if workers is not None and workers > 1:
+                evaluated = _explore_parallel(evaluate, mappings,
+                                              workers, pruner, amped,
+                                              global_batch, compiled)
+            else:
+                evaluated = _explore_serial(evaluate, mappings, pruner)
+            results = [result for result in evaluated
+                       if result is not None]
+            results.sort(key=lambda result: result.batch_time_s)
+            if max_results is not None:
+                results = results[:max_results]
         live.set_attrs(n_mappings=len(mappings),
                        n_results=len(results),
                        workers=workers if workers else 1,
@@ -212,8 +241,11 @@ def evaluate_candidate(template: AMPeD, spec: ParallelismSpec,
     detail strings exactly.  While tracing is enabled the generic route
     runs instead, so compiled sweeps emit the same per-estimate spans.
     """
-    if (template.evaluation_path == "compiled"
+    if (template.evaluation_path in ("compiled", "vectorized")
             and not get_tracer().enabled):
+        # A single candidate has no batch to vectorize, so
+        # "vectorized" shares the scalar term-table route here; the
+        # array backend engages on whole chunks in explore/run_sweep.
         return _evaluate_candidate_compiled(
             template, spec, global_batch, tune_microbatches,
             enforce_memory)
@@ -387,6 +419,48 @@ def _explore_parallel(evaluate: Callable, mappings: List[ParallelismSpec],
                     pruner.record(result)
                 out.append(result)
     return out
+
+
+def _explore_vectorized(template: AMPeD,
+                        compiled: CompiledSweep,
+                        global_batch: int,
+                        mappings: List[ParallelismSpec],
+                        tune_microbatches: bool,
+                        max_results: Optional[int]
+                        ) -> List[ExplorationResult]:
+    """:func:`explore`'s array-program route.
+
+    Candidates are evaluated chunk-wise through
+    :func:`repro.search.vectorized.evaluate_chunk`; candidates the
+    array path cannot decide exactly (infeasible / non-finite /
+    invalid) re-run through the scalar route, so results, errors and
+    their ordering match the serial compiled path exactly.  Pruning is
+    unnecessary: its only effect is skipping evaluations without
+    changing the truncated ranking, and the array evaluation already
+    covers everything.
+    """
+    results: List[ExplorationResult] = []
+    for start in range(0, len(mappings), DEFAULT_CHUNK_CANDIDATES):
+        chunk = mappings[start:start + DEFAULT_CHUNK_CANDIDATES]
+        with span("dse.vectorized_eval", category="search",
+                  attrs={"offset": start, "n_candidates": len(chunk),
+                         "tune_microbatches": tune_microbatches}) as live:
+            _, outcomes = evaluate_chunk(template, compiled, chunk,
+                                         global_batch, tune_microbatches)
+            fallbacks = 0
+            for spec, outcome in zip(chunk, outcomes):
+                if outcome is None:
+                    fallbacks += 1
+                    outcome = evaluate_candidate(template, spec,
+                                                 global_batch,
+                                                 tune_microbatches)
+                if outcome.result is not None:
+                    results.append(outcome.result)
+            live.set_attrs(scalar_fallbacks=fallbacks)
+    results.sort(key=lambda result: result.batch_time_s)
+    if max_results is not None:
+        results = results[:max_results]
+    return results
 
 
 def compute_lower_bound(amped: AMPeD, global_batch: int,

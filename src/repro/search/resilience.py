@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import signal
 import threading
 import time
@@ -73,6 +74,12 @@ from repro.search.dse import (
     ExplorationResult,
     _BoundPruner,
     evaluate_candidate,
+)
+from repro.search.vectorized import (
+    DEFAULT_CHUNK_CANDIDATES,
+    evaluate_chunk,
+    require_numpy,
+    resolve_evaluation_path,
 )
 
 _LOG = logging.getLogger("repro.search.resilience")
@@ -556,15 +563,29 @@ def run_sweep(template: AMPeD, global_batch: int,
     evaluation_path:
         How each candidate evaluates Eq. 1 (``"compiled"`` default;
         see :func:`repro.search.dse.explore`) — overrides the
-        template's own setting.  Recorded in the journal header for
+        template's own setting.  ``"compiled"`` auto-upgrades to
+        ``"vectorized"`` for large sweeps when NumPy is importable
+        (unless a custom ``evaluate`` or ``enforce_memory`` forces
+        per-candidate evaluation).  Recorded in the journal header for
         provenance but *not* part of the resume identity: every path
         produces the same ranking and skip categories, so a journal
         written under one path resumes deterministically under another.
     """
-    if evaluation_path != template.evaluation_path:
-        template = replace(template, evaluation_path=evaluation_path)
     if mappings is None:
         mappings = enumerate_mappings(template.system, template.model)
+    custom_evaluate = evaluate is not None
+    if custom_evaluate or enforce_memory:
+        # Custom evaluators and memory enforcement are inherently
+        # per-candidate; the batch backend cannot replay them, so an
+        # explicit request still validates NumPy but the auto-upgrade
+        # never fires.
+        if evaluation_path == "vectorized":
+            require_numpy()
+    else:
+        evaluation_path = resolve_evaluation_path(evaluation_path,
+                                                  len(mappings))
+    if evaluation_path != template.evaluation_path:
+        template = replace(template, evaluation_path=evaluation_path)
     if evaluate is None:
         evaluate = partial(evaluate_candidate, template,
                            global_batch=global_batch,
@@ -594,7 +615,7 @@ def run_sweep(template: AMPeD, global_batch: int,
     # lower bound on every evaluation path (keeping skip counters
     # path-independent) and are shipped to pool workers.
     compiled: Optional[CompiledSweep] = None
-    if prune or template.evaluation_path == "compiled":
+    if prune or template.evaluation_path in ("compiled", "vectorized"):
         compiled = compile_sweep(template, global_batch)
     pruner = (_BoundPruner(template, global_batch, tune_microbatches,
                            max_results, compiled=compiled)
@@ -661,7 +682,14 @@ def run_sweep(template: AMPeD, global_batch: int,
             metrics.histogram("sweep.candidate_seconds").observe(
                 time.perf_counter() - started)
 
-    use_pool = workers is not None and workers > 1
+    # The vectorized path evaluates whole chunks as array programs on
+    # this process; it supersedes the worker pool (array gathers beat
+    # pickling candidates across process boundaries by orders of
+    # magnitude).
+    use_vectorized = (template.evaluation_path == "vectorized"
+                      and not custom_evaluate and not enforce_memory)
+    use_pool = (workers is not None and workers > 1
+                and not use_vectorized)
     shipped = (compiled if compiled is not None
                and compiled.cache_key is not None else None)
     supervisor = (_PoolSupervisor(workers, evaluate, timeout, retries,
@@ -669,7 +697,10 @@ def run_sweep(template: AMPeD, global_batch: int,
                                   global_batch=global_batch,
                                   compiled=shipped)
                   if use_pool else None)
-    chunk_size = max(1, 4 * workers) if use_pool else 1
+    if use_vectorized:
+        chunk_size = DEFAULT_CHUNK_CANDIDATES
+    else:
+        chunk_size = max(1, 4 * workers) if use_pool else 1
     interrupted = False
     cumulative: Optional[dict] = None
 
@@ -685,6 +716,55 @@ def run_sweep(template: AMPeD, global_batch: int,
                     interrupted = True
                     break
                 chunk = pending[position:position + chunk_size]
+                if use_vectorized:
+                    with span("dse.vectorized_eval", category="search",
+                              attrs={"offset": position,
+                                     "n_candidates": len(chunk),
+                                     "tune_microbatches":
+                                         tune_microbatches}) as live:
+                        position += len(chunk)
+                        bounds, outcomes = evaluate_chunk(
+                            template, compiled, chunk, global_batch,
+                            tune_microbatches,
+                            need_bounds=pruner is not None)
+                        fallbacks = 0
+                        # Serial-order walk: the pruner threshold is
+                        # re-read per candidate because absorb()
+                        # tightens it, reproducing the serial path's
+                        # incumbent dynamics (and hence its exact
+                        # skip categories) on precomputed arrays.
+                        for index, spec in enumerate(chunk):
+                            if cancelled():
+                                interrupted = True
+                                break
+                            threshold = (pruner.threshold
+                                         if pruner is not None else None)
+                            if threshold is not None:
+                                bound = float(bounds[index])
+                                if math.isnan(bound):
+                                    absorb(CandidateOutcome(
+                                        spec=spec,
+                                        skip_category=(
+                                            SKIP_MAPPING_INFEASIBLE),
+                                        detail=("no feasible "
+                                                "microbatch count")))
+                                    continue
+                                if bound > threshold:
+                                    absorb(CandidateOutcome(
+                                        spec=spec,
+                                        skip_category=SKIP_PRUNED,
+                                        detail=("lower bound exceeds "
+                                                "the incumbent top-k")))
+                                    continue
+                            outcome = outcomes[index]
+                            if outcome is None:
+                                fallbacks += 1
+                                outcome = evaluate_serially(spec)
+                            absorb(outcome)
+                        live.set_attrs(scalar_fallbacks=fallbacks)
+                    if interrupted:
+                        break
+                    continue
                 with span("sweep.chunk", category="search",
                           attrs={"offset": position,
                                  "size": len(chunk)}):

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace
+from functools import lru_cache
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.model import AMPeD
@@ -34,9 +35,17 @@ def candidate_microbatch_counts(spec: ParallelismSpec,
     pipeline; above the replica batch it dices sequences).
 
     Depends only on ``(dp, pp)`` of the mapping, which is why the sweep
-    compiler can call it without constructing an AMPeD candidate."""
+    compiler can call it without constructing an AMPeD candidate — and
+    why the grid memoizes on ``(replica_batch, lowest)``: a sweep calls
+    this once per mapping, but distinct mappings collapse onto a
+    handful of grids."""
     replica_batch = max(1, global_batch // spec.dp)
     lowest = max(1, spec.pp)
+    return list(_candidate_grid(replica_batch, lowest))
+
+
+@lru_cache(maxsize=1024)
+def _candidate_grid(replica_batch: int, lowest: int) -> Tuple[int, ...]:
     candidates = []
     value = 1
     while value <= replica_batch:
@@ -45,7 +54,7 @@ def candidate_microbatch_counts(spec: ParallelismSpec,
         value *= 2
     if not candidates:
         candidates = [lowest]
-    return candidates
+    return tuple(candidates)
 
 
 def optimize_microbatches(amped: AMPeD, global_batch: int,

@@ -17,8 +17,11 @@ from repro.hardware.node import NodeSpec
 from repro.hardware.system import SystemSpec
 from repro.search.benchmark import (
     GATE_TOLERANCE,
+    GATED_PHASES,
+    HAVE_NUMPY,
     append_trajectory,
     check_bench_regression,
+    gated_phases_present,
     run_dse_benchmark,
     trajectory_entry,
     validate_bench_result,
@@ -138,6 +141,81 @@ class TestRegressionGate:
         with pytest.raises(ValueError, match="tolerance"):
             check_bench_regression(payload, payload,
                                    tolerance=tolerance)
+
+
+class TestPhaseIntersectionGating:
+    """The gate compares only phases present on *both* sides, and turns
+    a measured-but-uncommitted gated phase into an actionable failure
+    instead of a KeyError."""
+
+    def test_gated_phases_present_is_the_intersection(self, payload):
+        committed = dict(payload)
+        committed.pop("vectorized", None)
+        present = gated_phases_present(payload, committed)
+        assert "fast" in present and "compiled" in present
+        assert "vectorized" not in present
+        assert set(present) <= set(GATED_PHASES)
+
+    def test_measured_only_phase_fails_actionably(self, payload):
+        if "vectorized" not in payload:
+            pytest.skip("benchmark ran without NumPy")
+        committed = dict(payload)
+        del committed["vectorized"]
+        failures = check_bench_regression(payload, committed)
+        assert len(failures) == 1
+        assert failures[0].startswith("vectorized:")
+        assert "regenerate the baseline" in failures[0]
+        assert "bench_dse.py" in failures[0]
+
+    def test_committed_only_phase_is_skipped(self, payload):
+        """A baseline recorded with NumPy must not fail a no-NumPy
+        measurement run — the phase simply is not gated."""
+        measured = dict(payload)
+        measured.pop("vectorized", None)
+        assert check_bench_regression(measured, payload) == []
+
+    def test_vectorized_regression_fails_when_both_present(
+            self, payload):
+        if "vectorized" not in payload:
+            pytest.skip("benchmark ran without NumPy")
+        measured = _with_rate(payload, "vectorized", 1e-6)
+        failures = check_bench_regression(measured, payload)
+        assert len(failures) == 1
+        assert failures[0].startswith("vectorized:")
+        assert "below" in failures[0]
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="vectorized phase needs NumPy")
+class TestVectorizedPhase:
+    def test_payload_carries_the_phase(self, payload):
+        assert "vectorized" in payload
+        phase = payload["vectorized"]
+        assert phase["path"] == "vectorized"
+        assert phase["mappings_per_s"] > 0
+        assert phase["build_seconds"] > 0
+        assert phase["n_candidates"] >= payload["n_mappings"]
+        assert payload["vectorized_speedup_vs_compiled"] > 0
+
+    def test_phase_validates(self, payload):
+        validate_bench_result(payload)
+        broken = dict(payload,
+                      vectorized=dict(payload["vectorized"],
+                                      seconds=0.0))
+        with pytest.raises(ValueError, match="timings must be positive"):
+            validate_bench_result(broken)
+
+    def test_fixture_workload_skips_crossproduct(self, payload):
+        """Only the headline (default-argument) run pays for the
+        million-mapping cross-product phase."""
+        assert "crossproduct" not in payload
+
+    def test_trajectory_entry_carries_vectorized_fields(self, payload):
+        entry = trajectory_entry(payload, timestamp="t")
+        assert entry["vectorized_mappings_per_s"] \
+            == payload["vectorized"]["mappings_per_s"]
+        assert entry["vectorized_speedup_vs_compiled"] \
+            == payload["vectorized_speedup_vs_compiled"]
+        assert entry["crossproduct_mappings_per_s"] is None
 
 
 class TestTrajectory:
