@@ -33,11 +33,16 @@ from repro.search.benchmark import (
     run_dse_benchmark,
     trajectory_entry,
 )
+from repro.serve.benchmark import (
+    check_serve_regression,
+    run_serve_benchmark,
+)
 
 from conftest import print_block
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BASELINE_JSON = REPO_ROOT / "BENCH_dse.json"
+SERVE_BASELINE_JSON = REPO_ROOT / "BENCH_serve.json"
 TRAJECTORY_JSON = REPO_ROOT / "BENCH_trajectory.json"
 
 
@@ -55,6 +60,15 @@ def _run_gate() -> tuple:
     committed = json.loads(BASELINE_JSON.read_text())
     payload = run_dse_benchmark()
     failures = check_bench_regression(payload, committed)
+    # Serve gate: only when a baseline is committed.  The cold-CLI
+    # phase is skipped here — the gate rate-compares the in-process
+    # warm/burst throughput, not subprocess start-up.
+    if SERVE_BASELINE_JSON.exists():
+        serve_committed = json.loads(SERVE_BASELINE_JSON.read_text())
+        serve_payload = run_serve_benchmark(include_cold_cli=False)
+        payload["serve"] = serve_payload
+        failures += check_serve_regression(serve_payload,
+                                           serve_committed)
     entry = trajectory_entry(
         payload,
         timestamp=datetime.now(timezone.utc).isoformat(
@@ -85,6 +99,13 @@ def _format(payload: dict, committed: dict, failures: list) -> str:
             f"crossproduct {cross['n_mappings']:,} mappings in "
             f"{cross['seconds']:.1f} s "
             f"({cross['mappings_per_s']:,.0f}/s)")
+    serve = payload.get("serve")
+    if serve:
+        lines.append(
+            f"serve      warm {serve['warm']['requests_per_s']:.0f} "
+            f"requests/s, burst "
+            f"{serve['burst']['requests_per_s']:.0f} requests/s "
+            f"({serve['burst']['errors']} errors)")
     lines.append(f"trajectory appended to {TRAJECTORY_JSON.name}")
     lines.extend(f"REGRESSION: {failure}" for failure in failures)
     return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Serving-latency benchmark: warm daemon vs cold CLI.
+
+Measures the estimation daemon against the canonical repeated request
+(Megatron-1T on the 1024-A100 cluster): cold one-shot CLI wall-clock,
+the daemon's first (cache-cold) request, warm sequential repeats, and
+tail latency under a concurrent burst — recording the measurement in
+``BENCH_serve.json`` at the repo root.
+
+Run it explicitly (excluded from tier-1 via the ``perf`` marker):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -m perf -s
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serve.benchmark import (
+    run_serve_benchmark,
+    write_serve_bench_json,
+)
+
+from conftest import print_block
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+#: The acceptance bar: a repeated estimate against the warm daemon must
+#: beat a cold CLI invocation of the same request by at least 5x.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _format(payload: dict) -> str:
+    lines = [
+        f"request         {payload['request']['model']} on "
+        f"{payload['request']['nodes']}x"
+        f"{payload['request']['accel_per_node']} A100 "
+        f"(tp={payload['request']['tp']} pp={payload['request']['pp']} "
+        f"dp={payload['request']['dp']})",
+    ]
+    if "cold_cli" in payload:
+        lines.append(f"cold CLI        "
+                     f"{payload['cold_cli']['seconds']:.3f} s")
+    warm, burst = payload["warm"], payload["burst"]
+    lines += [
+        f"first request   {payload['first_request']['seconds']:.3f} s "
+        f"(daemon cache cold)",
+        f"warm repeats    p50 {warm['p50_seconds'] * 1e3:.2f} ms, "
+        f"p99 {warm['p99_seconds'] * 1e3:.2f} ms "
+        f"({warm['requests_per_s']:.0f} requests/s over "
+        f"{warm['repeats']} repeats)",
+        f"burst           {burst['threads']} threads, "
+        f"{burst['requests']} requests, {burst['errors']} errors; "
+        f"p50 {burst['p50_seconds'] * 1e3:.2f} ms, "
+        f"p99 {burst['p99_seconds'] * 1e3:.2f} ms "
+        f"({burst['requests_per_s']:.0f} requests/s)",
+    ]
+    if "warm_speedup_vs_cold_cli" in payload:
+        lines.append(f"speedup         "
+                     f"{payload['warm_speedup_vs_cold_cli']:.0f}x warm "
+                     f"daemon vs cold CLI")
+    return "\n".join(lines)
+
+
+@pytest.mark.perf
+def test_bench_serve() -> None:
+    payload = run_serve_benchmark()
+    print_block("Serving latency: warm daemon vs cold CLI",
+                _format(payload))
+    write_serve_bench_json(payload, BENCH_JSON)
+    assert payload["warm_speedup_vs_cold_cli"] >= MIN_WARM_SPEEDUP, (
+        f"warm daemon speedup "
+        f"{payload['warm_speedup_vs_cold_cli']:.1f}x over the cold "
+        f"CLI is below the {MIN_WARM_SPEEDUP:.0f}x bar")
+    assert payload["burst"]["errors"] == 0, (
+        f"{payload['burst']['errors']} requests failed under the "
+        f"concurrent burst")
+
+
+if __name__ == "__main__":
+    result = run_serve_benchmark()
+    print(_format(result))
+    written = write_serve_bench_json(result, BENCH_JSON)
+    print(f"\nwrote {written}")
+    print(json.dumps(result, indent=2))

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI smoke for the estimation daemon.
+
+Launches ``python -m repro.serve`` as a real subprocess, exercises
+liveness, one genuine estimate round-trip and the metrics endpoint,
+then SIGTERMs it and asserts a clean graceful shutdown: exit code 0,
+"shutdown complete" printed, no orphaned ``repro.serve`` processes
+left behind.
+
+Usage: ``python scripts/serve_smoke.py`` (run from the repo root; adds
+``src/`` to the child's PYTHONPATH automatically).  Exits non-zero on
+the first failed check.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ESTIMATE = {"model": "mingpt-85m", "nodes": 2, "dp": 16,
+            "batch": 256, "tokens": 1.0e9}
+
+
+def fail(message):
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get_json(url, timeout=15):
+    with urllib.request.urlopen(url, timeout=timeout) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+def post_json(url, payload, timeout=60):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+def orphaned_serve_pids():
+    """PIDs (other than ours) whose cmdline mentions repro.serve."""
+    pids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit() or int(entry) == os.getpid():
+            continue
+        try:
+            with open(f"/proc/{entry}/cmdline", "rb") as handle:
+                cmdline = handle.read().decode("utf-8", "replace")
+        except OSError:
+            continue
+        if "repro.serve" in cmdline:
+            pids.append(int(entry))
+    return pids
+
+
+def main():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--deadline", "60"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env)
+    try:
+        base = None
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            if line.startswith("serving on "):
+                base = line.split("serving on ", 1)[1].strip()
+                break
+        if base is None:
+            fail("daemon never announced its address")
+        print(f"daemon up at {base}")
+
+        status, body = get_json(base + "/healthz")
+        if status != 200 or body.get("status") != "ok":
+            fail(f"healthz: {status} {body}")
+        print("healthz ok")
+
+        status, payload = post_json(base + "/v1/estimate", ESTIMATE)
+        if status != 200:
+            fail(f"estimate: {status} {payload}")
+        if not payload.get("batch_time_s", 0) > 0:
+            fail(f"estimate payload missing batch_time_s: {payload}")
+        print(f"estimate ok: batch_time_s={payload['batch_time_s']:.4g} "
+              f"training_days={payload.get('training_days', 0):.4g}")
+
+        status, snapshot = get_json(base + "/metrics")
+        if status != 200:
+            fail(f"metrics: {status}")
+        if snapshot["counters"].get("serve.requests", 0) < 1:
+            fail(f"metrics missing serve.requests: "
+                 f"{snapshot['counters']}")
+        print("metrics ok")
+
+        process.send_signal(signal.SIGTERM)
+        try:
+            code = process.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            fail("daemon did not exit within 30s of SIGTERM")
+        if code != 0:
+            fail(f"daemon exited {code} after SIGTERM; stderr:\n"
+                 f"{process.stderr.read()}")
+        tail = process.stdout.read()
+        if "shutdown complete" not in tail:
+            fail(f"missing 'shutdown complete' after drain: {tail!r}")
+        print("SIGTERM drain ok (exit 0)")
+
+        orphans = orphaned_serve_pids()
+        if orphans:
+            fail(f"orphaned repro.serve processes: {orphans}")
+        print("no orphaned workers")
+        print("SMOKE PASS")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(10.0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

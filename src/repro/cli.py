@@ -145,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output directory (created if missing)")
     export.add_argument("--skip-sweeps", action="store_true",
                         help="skip the slow Case Study I sweeps")
+
+    serve = sub.add_parser(
+        "serve", help="run the estimation-as-a-service HTTP daemon")
+    from repro.serve.server import add_serve_args
+    add_serve_args(serve)
     for command_parser in sub.choices.values():
         _add_obs_args(command_parser)
     return parser
@@ -442,6 +447,12 @@ def _cmd_cost(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.server import ServeDaemon, config_from_args
+
+    return ServeDaemon(config_from_args(args)).run()
+
+
 def _cmd_export(args) -> int:
     from repro.experiments.casestudy1 import ALL_FIGURES
     from repro.experiments.casestudy2 import reproduce_fig10
@@ -581,6 +592,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sensitivity": _cmd_sensitivity,
         "cost": _cmd_cost,
         "export": _cmd_export,
+        "serve": _cmd_serve,
     }
     try:
         with span(f"cli.{args.command}", category="cli"):

@@ -88,6 +88,51 @@ class SweepInterrupted(ReproError):
             partial_results if partial_results else [])
 
 
+class RequestValidationError(ReproError):
+    """An estimation-service request failed schema validation.
+
+    The serve daemon maps this to a structured HTTP 400 — never a
+    traceback.  ``code`` is a stable machine-readable identifier
+    (``invalid_json``, ``unknown_field``, ``invalid_value``, ...) and
+    ``field`` names the offending request field when one is known.
+    """
+
+    def __init__(self, message: str, field: Optional[str] = None,
+                 code: str = "invalid_request") -> None:
+        super().__init__(message)
+        self.field = field
+        self.code = code
+
+
+class ServiceOverloaded(ReproError):
+    """The estimation service shed a request instead of queuing it.
+
+    Raised at the admission boundary when the bounded queue is full
+    (HTTP 429), the circuit breaker is open, or the daemon is draining
+    for shutdown (both HTTP 503).  ``retry_after_s`` is the suggested
+    client backoff, surfaced as a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0,
+                 code: str = "overloaded") -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.code = code
+
+
+class DeadlineExceeded(ReproError):
+    """A request's deadline elapsed before its evaluation finished.
+
+    The serve daemon answers the client with a structured HTTP 504 and
+    counts the hit against the circuit breaker, so a hung evaluation
+    can degrade the evaluation path but never stall the daemon.
+    """
+
+    def __init__(self, message: str, deadline_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+
+
 def require_finite(name: str, value: float) -> None:
     """Raise :class:`ConfigurationError` unless ``value`` is a finite
     number (rejects ``nan`` and ``±inf``, which otherwise slip through

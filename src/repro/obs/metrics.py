@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, Iterable, List, Optional, Tuple
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, require_finite
 from repro.units import SECONDS_PER_HOUR, SECONDS_PER_MINUTE
@@ -276,6 +278,26 @@ def get_metrics() -> MetricsRegistry:
 def reset_metrics() -> None:
     """Clear the process-wide default registry (tests, fresh runs)."""
     _METRICS.reset()
+
+
+@contextmanager
+def time_histogram(name: str,
+                   registry: Optional[MetricsRegistry] = None
+                   ) -> Iterator[Histogram]:
+    """Observe a block's wall-clock duration into histogram ``name``.
+
+    The duration lands in the histogram even when the block raises, so
+    failure latency is accounted like success latency (the serve
+    daemon's request histogram depends on this).  Yields the histogram
+    for callers that want to attach further observations.
+    """
+    target = registry if registry is not None else _METRICS
+    instrument = target.histogram(name)
+    started = time.perf_counter()
+    try:
+        yield instrument
+    finally:
+        instrument.observe(time.perf_counter() - started)
 
 
 def collect_cache_metrics(

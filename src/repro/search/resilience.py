@@ -41,9 +41,11 @@ from __future__ import annotations
 import json
 import logging
 import math
+import random
 import signal
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from functools import partial
@@ -77,7 +79,8 @@ from repro.search.dse import (
 )
 from repro.search.vectorized import (
     DEFAULT_CHUNK_CANDIDATES,
-    evaluate_chunk,
+    bind_chunk,
+    evaluate_prebound,
     require_numpy,
     resolve_evaluation_path,
 )
@@ -349,17 +352,25 @@ class _PoolSupervisor:
     path, so no failure can hang the sweep.
     """
 
+    #: Suffix of ``degraded_reason`` naming where evaluation continues
+    #: after permanent degradation (subclasses run a different tail).
+    _degrade_note = "continuing serially"
+
     def __init__(self, workers: int, evaluate: Callable,
                  timeout: Optional[float], retries: int,
                  backoff_s: float,
                  template: Optional[AMPeD] = None,
                  global_batch: int = 0,
-                 compiled: Optional[CompiledSweep] = None) -> None:
+                 compiled: Optional[CompiledSweep] = None,
+                 rng: Optional[random.Random] = None) -> None:
         self.workers = workers
         self.evaluate = evaluate
         self.timeout = timeout
         self.retries = retries
         self.backoff_s = backoff_s
+        #: Jitter source for retry backoff; injectable so tests can pin
+        #: the draw.
+        self.rng = rng if rng is not None else random.Random()
         #: Warm-up payload for new worker processes: the sweep template
         #: (primes the operation memo) and, for compiled sweeps, the
         #: parent's pre-filled term tables.  ``None`` template = no
@@ -462,21 +473,96 @@ class _PoolSupervisor:
             self.degraded = True
             self.degraded_reason = (
                 f"worker pool failed {self.consecutive_failures} "
-                f"consecutive times (last: {error!r}); continuing "
-                f"serially")
+                f"consecutive times (last: {error!r}); "
+                f"{self._degrade_note}")
             get_metrics().gauge("sweep.degraded").set(1.0)
-            _LOG.warning("sweep degraded to serial execution: %s",
-                         self.degraded_reason)
+            _LOG.warning("sweep degraded: %s", self.degraded_reason)
             return
         self.total_retries += 1
-        get_metrics().counter("sweep.retries").inc()
-        delay = min(_MAX_BACKOFF_S,
-                    self.backoff_s * 2 ** (self.consecutive_failures - 1))
+        metrics = get_metrics()
+        metrics.counter("sweep.retries").inc()
+        cap = min(_MAX_BACKOFF_S,
+                  self.backoff_s * 2 ** (self.consecutive_failures - 1))
+        # Full jitter: a uniform draw over [0, cap] instead of the
+        # deterministic cap, so sweeps that fail together (a shared
+        # machine stall, a common poisoned input) do not retry in
+        # lockstep and re-trigger the very overload that failed them.
+        delay = self.rng.uniform(0.0, cap) if cap > 0 else 0.0
+        metrics.histogram("sweep.retry_sleep_seconds").observe(delay)
         _LOG.warning(
-            "sweep worker batch failed (%r); retry %d/%d after %.2fs",
-            error, self.consecutive_failures, self.retries, delay)
-        if delay > 0:
-            time.sleep(delay)
+            "sweep worker batch failed (%r); retry %d/%d after %.2fs "
+            "(jittered, cap %.2fs)",
+            error, self.consecutive_failures, self.retries, delay, cap)
+        with span("dse.retry", category="search",
+                  attrs={"attempt": self.consecutive_failures,
+                         "retries": self.retries,
+                         "cap_s": cap, "sleep_s": delay}):
+            if delay > 0:
+                time.sleep(delay)
+
+
+def _evaluate_shipped(chunk, need_bounds: bool):
+    """Pool-worker entry point: evaluate a shipped pre-bound chunk.
+
+    The worker does no binding work at all — projection and batch fill
+    already happened in the driver's process — and returns plain-list
+    bounds plus outcome dataclasses, both cheap to pickle back.
+    """
+    return evaluate_prebound(chunk, need_bounds)
+
+
+class _VectorPoolDriver(_PoolSupervisor):
+    """Ships pre-bound chunks to warm pool workers for vectorized sweeps.
+
+    Reuses the scalar supervisor's pool lifecycle and retry/degrade
+    state machine, but splits dispatch into :meth:`submit` /
+    :meth:`resolve` so the driver's process can bind the next chunks
+    while workers evaluate earlier ones.  Every failure falls back to
+    evaluating the already-bound chunk *in process* — degradation costs
+    parallelism, never the array path, and never a result.
+    """
+
+    _degrade_note = "continuing with in-process vectorized evaluation"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Bumped on every pool teardown so the stale futures of a
+        #: collapsed pool count as one supervision event, not one each.
+        self._epoch = 0
+
+    def submit(self, chunk, need_bounds: bool):
+        """Submit a pre-bound chunk; returns an opaque ticket for
+        :meth:`resolve`, or ``None`` when the pool is degraded or the
+        submission itself failed (the chunk then evaluates locally)."""
+        if self.degraded:
+            return None
+        try:
+            pool = self._ensure_pool()
+            return (self._epoch,
+                    pool.submit(_evaluate_shipped, chunk, need_bounds))
+        except Exception as error:  # noqa: BLE001 — supervised boundary: pool spawn/submit failures trigger retry-or-degrade
+            self._note_failure(error)
+            return None
+
+    def resolve(self, chunk, ticket, need_bounds: bool):
+        """The ``(bounds, outcomes)`` of a submitted chunk.
+
+        A worker failure (timeout, crash, unexpected exception) is
+        recorded against the retry budget once per pool collapse, and
+        the chunk is re-evaluated in process so the sweep's results
+        are identical either way.
+        """
+        if ticket is not None:
+            epoch, future = ticket
+            try:
+                bounds, outcomes = future.result(timeout=self.timeout)
+                self.consecutive_failures = 0
+                return bounds, outcomes
+            except Exception as error:  # noqa: BLE001 — supervised boundary: worker crash/timeout is recorded and retried
+                if epoch == self._epoch:
+                    self._epoch += 1
+                    self._note_failure(error)
+        return evaluate_prebound(chunk, need_bounds)
 
 
 # ---------------------------------------------------------------------------
@@ -516,6 +602,7 @@ def run_sweep(template: AMPeD, global_batch: int,
               timeout: Optional[float] = None,
               retries: int = 2,
               backoff_s: float = 0.5,
+              backoff_rng: Optional[random.Random] = None,
               journal_path=None,
               resume: bool = False,
               strict: bool = False,
@@ -538,9 +625,12 @@ def run_sweep(template: AMPeD, global_batch: int,
         forever, the pre-resilience behavior).
     retries:
         Consecutive batch failures (timeout, dead worker, unexpected
-        exception) tolerated — each retried with exponential backoff
-        ``backoff_s * 2**n`` — before the sweep degrades to serial
-        execution for the remainder.
+        exception) tolerated — each retried after a *full-jitter*
+        exponential backoff, a uniform draw from
+        ``[0, backoff_s * 2**n]`` (``backoff_rng`` injects the
+        randomness source for deterministic tests) — before the sweep
+        degrades for the remainder: to serial evaluation on the scalar
+        path, to in-process vectorized evaluation on the array path.
     journal_path:
         Append-only JSONL journal destination; ``None`` disables
         persistence.
@@ -695,8 +785,23 @@ def run_sweep(template: AMPeD, global_batch: int,
     supervisor = (_PoolSupervisor(workers, evaluate, timeout, retries,
                                   backoff_s, template=template,
                                   global_batch=global_batch,
-                                  compiled=shipped)
+                                  compiled=shipped, rng=backoff_rng)
                   if use_pool else None)
+    # Vectorized sweeps fan out too: chunks are bound (projected +
+    # batch-filled) in this process and shipped to warm workers that
+    # evaluate the arrays without re-binding — the driver keeps a small
+    # prefetch window of in-flight chunks so binding overlaps
+    # evaluation while absorption stays strictly serial-ordered.
+    vector_driver = (_VectorPoolDriver(workers, evaluate, timeout,
+                                       retries, backoff_s,
+                                       template=template,
+                                       global_batch=global_batch,
+                                       compiled=shipped,
+                                       rng=backoff_rng)
+                     if use_vectorized and workers is not None
+                     and workers > 1 else None)
+    inflight: deque = deque()
+    prefetch_pos = 0
     if use_vectorized:
         chunk_size = DEFAULT_CHUNK_CANDIDATES
     else:
@@ -715,18 +820,54 @@ def run_sweep(template: AMPeD, global_batch: int,
                 if cancelled():
                     interrupted = True
                     break
-                chunk = pending[position:position + chunk_size]
                 if use_vectorized:
+                    need_bounds = pruner is not None
+                    if (vector_driver is not None
+                            and not vector_driver.degraded):
+                        # Top up the prefetch window: bind ahead and
+                        # submit while workers chew on earlier chunks.
+                        while (prefetch_pos < len(pending)
+                               and len(inflight)
+                               <= vector_driver.workers
+                               and not vector_driver.degraded):
+                            ahead = pending[prefetch_pos:
+                                            prefetch_pos + chunk_size]
+                            prebound = bind_chunk(
+                                template, compiled, ahead,
+                                global_batch, tune_microbatches)
+                            ticket = vector_driver.submit(prebound,
+                                                          need_bounds)
+                            inflight.append((ahead, prebound, ticket))
+                            prefetch_pos += len(ahead)
+                    if inflight:
+                        chunk, prebound, ticket = inflight.popleft()
+                    else:
+                        chunk = pending[position:position + chunk_size]
+                        prebound = bind_chunk(template, compiled, chunk,
+                                              global_batch,
+                                              tune_microbatches)
+                        ticket = None
+                        prefetch_pos = position + len(chunk)
                     with span("dse.vectorized_eval", category="search",
                               attrs={"offset": position,
                                      "n_candidates": len(chunk),
+                                     "shipped": ticket is not None,
                                      "tune_microbatches":
                                          tune_microbatches}) as live:
                         position += len(chunk)
-                        bounds, outcomes = evaluate_chunk(
-                            template, compiled, chunk, global_batch,
-                            tune_microbatches,
-                            need_bounds=pruner is not None)
+                        if vector_driver is not None:
+                            bounds, outcomes = vector_driver.resolve(
+                                prebound, ticket, need_bounds)
+                            if (vector_driver.degraded
+                                    and not report.degraded):
+                                report.degraded = True
+                                report.degraded_reason = \
+                                    vector_driver.degraded_reason
+                            report.retried = \
+                                vector_driver.total_retries
+                        else:
+                            bounds, outcomes = evaluate_prebound(
+                                prebound, need_bounds)
                         fallbacks = 0
                         # Serial-order walk: the pruner threshold is
                         # re-read per candidate because absorb()
@@ -765,6 +906,7 @@ def run_sweep(template: AMPeD, global_batch: int,
                     if interrupted:
                         break
                     continue
+                chunk = pending[position:position + chunk_size]
                 with span("sweep.chunk", category="search",
                           attrs={"offset": position,
                                  "size": len(chunk)}):
@@ -804,6 +946,8 @@ def run_sweep(template: AMPeD, global_batch: int,
         finally:
             if supervisor is not None:
                 supervisor.shutdown()
+            if vector_driver is not None:
+                vector_driver.shutdown()
             if journal is not None:
                 cumulative = _cumulative_counters(
                     journal.prior_metrics, report, interrupted)

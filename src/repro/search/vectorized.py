@@ -653,28 +653,65 @@ def vectorize_sweep(template: "AMPeD",
 # ---------------------------------------------------------------------------
 
 
-def evaluate_chunk(template: "AMPeD", compiled: CompiledSweep,
-                   specs: Sequence[ParallelismSpec], global_batch: int,
-                   tune_microbatches: bool, need_bounds: bool = False
-                   ) -> Tuple[Optional[object],
-                              List[Optional["CandidateOutcome"]]]:
-    """Vector-evaluate one candidate chunk into sweep outcomes.
+class PreboundChunk:
+    """One candidate chunk validated and bound, ready to evaluate.
 
-    Returns ``(bounds, outcomes)``: ``bounds`` is the batched pruner
-    bound per candidate (NaN = provably infeasible; ``None`` when not
-    requested), and ``outcomes`` holds one
-    :class:`~repro.search.dse.CandidateOutcome` per candidate, with
-    ``None`` marking candidates the array path cannot decide exactly —
-    invalid mappings, all-lanes-infeasible candidates, non-finite
-    results — which the caller re-evaluates through the scalar route to
-    reproduce its exact error categories and detail strings.
+    Produced by :func:`bind_chunk` in the sweep driver's process and
+    consumed by :func:`evaluate_prebound` — either immediately in the
+    same process, or pickled to a warm pool worker so the worker skips
+    the projection + batch-fill work entirely (the PR 6 follow-up:
+    vectorized *parallel* sweeps used to re-bind per worker).
+
+    Pickling strips the compiled sweep from the bound batch whenever
+    the receiving process can reattach it from its own compile cache
+    (:func:`~repro.search.compiler.warm_worker` installs it there), so
+    each shipped chunk carries only its dense arrays, not another copy
+    of the term tables.
     """
-    from repro.search.dse import CandidateOutcome, ExplorationResult
-    from repro.core.breakdown import TrainingTimeBreakdown
+
+    def __init__(self, specs: List[ParallelismSpec], valid: List[int],
+                 batch: Optional[BoundBatch], global_batch: int,
+                 tune_microbatches: bool) -> None:
+        self.specs = specs
+        self.valid = valid
+        self.batch = batch
+        self.global_batch = global_batch
+        self.tune_microbatches = tune_microbatches
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_compiled_key"] = None
+        batch = self.batch
+        if batch is not None and batch.compiled.cache_key is not None:
+            lean = object.__new__(BoundBatch)
+            lean.__dict__.update(batch.__getstate__())
+            lean.compiled = None
+            state["batch"] = lean
+            state["_compiled_key"] = batch.compiled.cache_key
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        key = state.pop("_compiled_key", None)
+        self.__dict__.update(state)
+        if (key is not None and self.batch is not None
+                and self.batch.compiled is None):
+            from repro.search.compiler import cached_compiled
+            self.batch.compiled = cached_compiled(key)
+
+
+def bind_chunk(template: "AMPeD", compiled: CompiledSweep,
+               specs: Sequence[ParallelismSpec], global_batch: int,
+               tune_microbatches: bool) -> PreboundChunk:
+    """Validate + project + batch-fill one candidate chunk.
+
+    Candidates failing mapping validation are left out of the bound
+    batch (their lanes fall back to the scalar route, which reproduces
+    the exact error categories and detail strings); a chunk with no
+    valid candidate carries ``batch=None``.
+    """
     from repro.errors import ReproError
 
     n = len(specs)
-    outcomes: List[Optional[CandidateOutcome]] = [None] * n
     valid = list(range(n))
     if template.validate:
         valid = []
@@ -686,15 +723,50 @@ def evaluate_chunk(template: "AMPeD", compiled: CompiledSweep,
             except ReproError:
                 continue  # scalar fallback raises/categorizes exactly
             valid.append(index)
+    batch = (BoundBatch(compiled, [specs[i] for i in valid],
+                        tune_microbatches)
+             if valid else None)
+    return PreboundChunk(list(specs), valid, batch, int(global_batch),
+                         tune_microbatches)
 
-    bounds = _np.full(n, _np.nan) if need_bounds else None
-    if not valid:
+
+def evaluate_prebound(chunk: PreboundChunk, need_bounds: bool = False
+                      ) -> Tuple[Optional[List[float]],
+                                 List[Optional["CandidateOutcome"]]]:
+    """Evaluate a :class:`PreboundChunk` into sweep outcomes.
+
+    Returns ``(bounds, outcomes)``: ``bounds`` is the batched pruner
+    bound per candidate as a plain float list (NaN = provably
+    infeasible; ``None`` when not requested — a list rather than an
+    array so pool workers return cheap pickles), and ``outcomes`` holds
+    one :class:`~repro.search.dse.CandidateOutcome` per candidate, with
+    ``None`` marking candidates the array path cannot decide exactly —
+    invalid mappings, all-lanes-infeasible candidates, non-finite
+    results — which the caller re-evaluates through the scalar route.
+    """
+    from repro.search.dse import CandidateOutcome, ExplorationResult
+    from repro.core.breakdown import TrainingTimeBreakdown
+    from repro.errors import WorkerError
+
+    specs = chunk.specs
+    n = len(specs)
+    outcomes: List[Optional[CandidateOutcome]] = [None] * n
+    bounds = [math.nan] * n if need_bounds else None
+    batch = chunk.batch
+    if batch is None:
         return bounds, outcomes
+    compiled = batch.compiled
+    if compiled is None:
+        raise WorkerError(
+            "prebound chunk arrived without its compiled sweep (the "
+            "worker's compile cache does not hold the shipped key)")
+    valid = chunk.valid
+    global_batch = chunk.global_batch
+    tune_microbatches = chunk.tune_microbatches
 
-    batch = BoundBatch(compiled, [specs[i] for i in valid],
-                       tune_microbatches)
     if bounds is not None:
-        bounds[valid] = batch.lower_bounds()
+        for index, value in zip(valid, batch.lower_bounds().tolist()):
+            bounds[index] = value
     best, picks, feasible = batch.best_lanes()
     components = batch.lane_components()
     columns = [column.tolist() for column in components]
@@ -721,4 +793,24 @@ def evaluate_chunk(template: "AMPeD", compiled: CompiledSweep,
             microbatch_size=microbatch,
             microbatch_efficiency=compiled.efficiency(microbatch),
         ))
+    return bounds, outcomes
+
+
+def evaluate_chunk(template: "AMPeD", compiled: CompiledSweep,
+                   specs: Sequence[ParallelismSpec], global_batch: int,
+                   tune_microbatches: bool, need_bounds: bool = False
+                   ) -> Tuple[Optional[object],
+                              List[Optional["CandidateOutcome"]]]:
+    """Vector-evaluate one candidate chunk into sweep outcomes.
+
+    :func:`bind_chunk` + :func:`evaluate_prebound` in one call, for
+    callers that bind and evaluate in the same process.  ``bounds``
+    comes back as a NumPy array (NaN = provably infeasible; ``None``
+    when not requested).
+    """
+    chunk = bind_chunk(template, compiled, specs, global_batch,
+                       tune_microbatches)
+    bounds, outcomes = evaluate_prebound(chunk, need_bounds)
+    if bounds is not None:
+        bounds = _np.asarray(bounds)
     return bounds, outcomes

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — run the estimation daemon."""
+
+import sys
+
+from repro.serve.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

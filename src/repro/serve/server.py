@@ -1,0 +1,301 @@
+"""The estimation daemon: stdlib HTTP front-end over the service.
+
+``python -m repro.serve`` (or ``amped serve``) binds a
+:class:`ThreadingHTTPServer` whose handlers validate, admit and wait on
+requests through one process-wide :class:`EstimationService`, keeping
+the compiled-sweep cache warm across requests.  Endpoints:
+
+- ``GET /healthz`` — liveness: 200 as long as the process serves.
+- ``GET /readyz`` — readiness: 200 only when not draining, the breaker
+  is not open, and the compile cache is warm; 503 otherwise, always
+  with the full status body.
+- ``GET /metrics`` — live snapshot of the ``repro.obs`` registry
+  (``serve.*`` instruments plus the library's cache gauges).
+- ``POST /v1/estimate`` — validated estimate round-trip.
+
+Failure containment at this layer: bodies over ``max_body_bytes`` are
+refused 413 before being read; validation failures are structured 400s
+(never a traceback); shed load maps to 429/503 with ``Retry-After``;
+a handler abandoned by its deadline answers 504 and flags the pending
+request so the dispatcher skips it.  SIGTERM/SIGINT trigger a graceful
+drain: stop accepting, finish in-flight handlers
+(``block_on_close``), drain the dispatcher, exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from math import ceil
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import (
+    ReproError,
+    RequestValidationError,
+    ServiceOverloaded,
+)
+from repro.obs.logs import LOG_LEVELS, configure_logging
+from repro.obs.metrics import collect_cache_metrics, get_metrics
+from repro.serve.lifecycle import EstimationService
+from repro.serve.validation import error_body, parse_estimate_request
+
+_LOG = logging.getLogger("repro.serve")
+
+DEFAULT_MAX_BODY_BYTES = 64 * 1024
+
+
+class ServeConfig:
+    """Daemon knobs, one attribute per ``amped serve`` flag."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080,
+                 queue_limit: int = 64, deadline_s: float = 10.0,
+                 max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+                 warm_model: Optional[str] = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_s: float = 5.0,
+                 drain_timeout_s: float = 10.0) -> None:
+        self.host = host
+        self.port = port  # 0 = ephemeral (tests, smoke)
+        self.queue_limit = queue_limit
+        self.deadline_s = deadline_s
+        self.max_body_bytes = max_body_bytes
+        self.warm_model = warm_model
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.drain_timeout_s = drain_timeout_s
+
+
+class _Server(ThreadingHTTPServer):
+    # In-flight handler threads are joined by server_close(): the
+    # natural drain point.  Handler waits are deadline-bounded, so the
+    # join cannot hang past the longest remaining request deadline.
+    daemon_threads = False
+    block_on_close = True
+    service: EstimationService
+    max_body_bytes: int
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _Server
+    # HTTP/1.1 keep-alive: every response carries Content-Length, so
+    # clients can hold one connection across repeated estimates
+    # instead of paying connect + handler-thread churn per request.
+    protocol_version = "HTTP/1.1"
+    # TCP_NODELAY: the headers/body write split otherwise costs a
+    # ~40ms Nagle + delayed-ACK stall per keep-alive round-trip.
+    disable_nagle_algorithm = True
+
+    # Route http.server's stderr chatter into our logger.
+    def log_message(self, format: str, *args: Any) -> None:
+        _LOG.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to salvage
+
+    def do_GET(self) -> None:
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, {"status": "ok",
+                                  "draining": service.draining})
+        elif self.path == "/readyz":
+            status = service.status()
+            self._send_json(200 if status["ready"] else 503, status)
+        elif self.path == "/metrics":
+            snapshot = collect_cache_metrics(get_metrics()).snapshot()
+            self._send_json(200, snapshot)
+        else:
+            self._send_json(404, error_body(
+                "not_found", f"no such endpoint: {self.path}"))
+
+    def do_POST(self) -> None:
+        if self.path != "/v1/estimate":
+            self._send_json(404, error_body(
+                "not_found", f"no such endpoint: {self.path}"))
+            return
+        service = self.server.service
+        metrics = get_metrics()
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._send_json(400, error_body(
+                "invalid_request",
+                "a Content-Length header is required"))
+            return
+        if length > self.server.max_body_bytes:
+            # Refuse before reading: an oversized body never costs
+            # more than its headers.
+            self._send_json(413, error_body(
+                "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes} byte limit"))
+            return
+        body = self.rfile.read(max(0, length))
+        try:
+            request = parse_estimate_request(body)
+        except RequestValidationError as error:
+            metrics.counter("serve.validation_errors").inc()
+            self._send_json(400, error_body(
+                error.code, str(error), field=error.field))
+            return
+        try:
+            pending = service.submit(request)
+        except ServiceOverloaded as error:
+            status = 429 if error.code == "queue_full" else 503
+            retry_after = max(1, ceil(error.retry_after_s))
+            self._send_json(status,
+                            error_body(error.code, str(error)),
+                            headers={"Retry-After": str(retry_after)})
+            return
+        remaining = pending.deadline - service._clock()
+        if not pending.done.wait(max(0.0, remaining)):
+            # Abandon: the dispatcher will skip it if still queued;
+            # an in-flight evaluation resolves into the void.
+            pending.abandoned = True
+            metrics.counter("serve.deadline_hits").inc()
+            self._send_json(504, error_body(
+                "deadline_exceeded",
+                f"no result within the {remaining:.3f}s deadline"))
+            return
+        self._send_json(pending.status, pending.payload)
+
+
+class ServeDaemon:
+    """Owns the server socket, the service and the shutdown sequence."""
+
+    def __init__(self, config: ServeConfig,
+                 service: Optional[EstimationService] = None) -> None:
+        self.config = config
+        if service is None:
+            from repro.serve.breaker import CircuitBreaker
+            service = EstimationService(
+                queue_limit=config.queue_limit,
+                default_deadline_s=config.deadline_s,
+                breaker=CircuitBreaker(
+                    failure_threshold=config.breaker_threshold,
+                    cooldown_s=config.breaker_cooldown_s),
+                drain_timeout_s=config.drain_timeout_s)
+        self.service = service
+        self.httpd: Optional[_Server] = None
+        self._serve_thread: Optional[threading.Thread] = None
+        self._shutdown_requested = threading.Event()
+
+    def start(self) -> Tuple[str, int]:
+        """Start the service + socket; returns the bound address."""
+        self.service.start()
+        if self.config.warm_model:
+            from repro.serve.validation import EstimateRequest
+            self.service.warm(
+                EstimateRequest(model=self.config.warm_model))
+            _LOG.info("warmed compile cache for %s",
+                      self.config.warm_model)
+        self.httpd = _Server((self.config.host, self.config.port),
+                             _Handler)
+        self.httpd.service = self.service
+        self.httpd.max_body_bytes = self.config.max_body_bytes
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever, name="serve-http",
+            daemon=True)
+        self._serve_thread.start()
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    def request_shutdown(self) -> None:
+        """Signal-safe: ask the run loop to begin the graceful drain."""
+        self._shutdown_requested.set()
+
+    def shutdown(self) -> None:
+        """Graceful drain: refuse new work, finish in-flight requests,
+        stop the dispatcher, close the socket."""
+        self.service.reject_new()
+        if self.httpd is not None:
+            self.httpd.shutdown()       # stop accepting
+            self.httpd.server_close()   # join in-flight handlers
+        self.service.stop(self.config.drain_timeout_s)
+        if self._serve_thread is not None:
+            self._serve_thread.join(self.config.drain_timeout_s)
+
+    def run(self, install_signal_handlers: bool = True) -> int:
+        """Foreground entry: serve until SIGTERM/SIGINT, then drain."""
+        host, port = self.start()
+        if install_signal_handlers:
+            def _on_signal(signum: int, frame: Any) -> None:
+                _LOG.info("received signal %d; draining", signum)
+                self.request_shutdown()
+            signal.signal(signal.SIGTERM, _on_signal)
+            signal.signal(signal.SIGINT, _on_signal)
+        # The smoke script and tests parse this exact line.
+        print(f"serving on http://{host}:{port}", flush=True)
+        self._shutdown_requested.wait()
+        self.shutdown()
+        print("shutdown complete", flush=True)
+        return 0
+
+
+def add_serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="listen port (0 = ephemeral)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="admission queue bound; beyond it "
+                             "requests shed with 429")
+    parser.add_argument("--deadline", type=float, default=10.0,
+                        dest="deadline_s", metavar="SECONDS",
+                        help="default per-request deadline")
+    parser.add_argument("--max-body-bytes", type=int,
+                        default=DEFAULT_MAX_BODY_BYTES)
+    parser.add_argument("--warm", default=None, metavar="MODEL",
+                        dest="warm_model",
+                        help="pre-compile this model's sweep tables "
+                             "before accepting traffic")
+    parser.add_argument("--breaker-threshold", type=int, default=3,
+                        help="consecutive failures that trip the "
+                             "circuit breaker")
+    parser.add_argument("--breaker-cooldown", type=float, default=5.0,
+                        dest="breaker_cooldown_s", metavar="SECONDS")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        dest="drain_timeout_s", metavar="SECONDS",
+                        help="how long shutdown waits for in-flight "
+                             "work")
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host, port=args.port,
+        queue_limit=args.queue_limit, deadline_s=args.deadline_s,
+        max_body_bytes=args.max_body_bytes,
+        warm_model=args.warm_model,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        drain_timeout_s=args.drain_timeout_s)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """``python -m repro.serve`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve",
+        description="hardened estimation-as-a-service daemon")
+    add_serve_args(parser)
+    parser.add_argument("--log-level", default="info",
+                        choices=sorted(LOG_LEVELS))
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+    try:
+        return ServeDaemon(config_from_args(args)).run()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,192 @@
+"""Request schema validation for the estimation service.
+
+One strict, explicit schema: every field of an ``/v1/estimate`` body is
+checked for type, domain membership and finiteness (reusing the
+library-wide :func:`repro.errors.require_finite` guard) before any
+model code runs.  Violations raise
+:class:`~repro.errors.RequestValidationError` with a stable machine
+code and the offending field name; the HTTP layer maps that to a
+structured 400 body via :func:`error_body` — a malformed request can
+never surface as a traceback or a 500.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+import json
+import math
+
+from repro.errors import RequestValidationError, require_finite
+from repro.hardware.catalog import ACCELERATORS
+from repro.transformer.zoo import MODELS
+
+#: Inter-node link choices, mirroring the CLI's ``--inter`` flag.
+INTER_LINK_CHOICES = ("edr", "hdr", "ndr")
+
+#: Hard ceiling on a client-requested deadline, seconds.  Anything
+#: longer would let one request pin a dispatcher slot near-forever.
+MAX_DEADLINE_S = 300.0
+
+#: Integer request fields that must be >= 1.
+_POSITIVE_INT_FIELDS = ("nodes", "accel_per_node", "nics", "tp", "pp",
+                        "dp", "batch")
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    """A validated ``/v1/estimate`` request.
+
+    Field names match the CLI's ``estimate`` flags one for one, so a
+    request body reads exactly like a command line (``{"model":
+    "megatron-1t", "nodes": 128, "tp": 8, "pp": 16, "dp": 8}``).
+    """
+
+    model: str
+    accelerator: str = "a100"
+    nodes: int = 16
+    accel_per_node: int = 8
+    nics: int = 8
+    inter: str = "hdr"
+    tp: int = 1
+    pp: int = 1
+    dp: int = 1
+    microbatches: Optional[int] = None  # None = pipeline-degree default
+    batch: int = 2048
+    tokens: Optional[float] = None
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.tokens is not None:
+            require_finite("tokens", self.tokens)
+        if self.deadline_s is not None:
+            require_finite("deadline_s", self.deadline_s)
+
+    def group_key(self) -> tuple:
+        """Requests sharing this key evaluate against the same compiled
+        sweep (same model, system and global batch), so the dispatcher
+        can coalesce them into one batched evaluation."""
+        return (self.model, self.accelerator, self.nodes,
+                self.accel_per_node, self.nics, self.inter, self.batch)
+
+
+_FIELD_NAMES = tuple(item.name for item in fields(EstimateRequest))
+
+
+def _require_int(name: str, value: Any) -> int:
+    """A real integer >= 1 (bools and floats are rejected — a JSON
+    ``true`` or ``8.0`` arriving where a degree belongs is a client
+    bug worth surfacing, not coercing)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestValidationError(
+            f"{name} must be an integer, got {value!r}",
+            field=name, code="invalid_value")
+    if value < 1:
+        raise RequestValidationError(
+            f"{name} must be >= 1, got {value}",
+            field=name, code="invalid_value")
+    return value
+
+
+def _require_positive_finite(name: str, value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RequestValidationError(
+            f"{name} must be a number, got {value!r}",
+            field=name, code="invalid_value")
+    if not math.isfinite(value) or value <= 0:
+        raise RequestValidationError(
+            f"{name} must be positive and finite, got {value!r}",
+            field=name, code="invalid_value")
+    return float(value)
+
+
+def parse_estimate_request(body: bytes) -> EstimateRequest:
+    """Validate a raw request body into an :class:`EstimateRequest`.
+
+    Raises :class:`~repro.errors.RequestValidationError` — never
+    anything else — for any malformed input: undecodable bytes,
+    invalid JSON, a non-object payload, unknown fields, out-of-domain
+    choices, non-integer degrees, non-finite numbers.
+    """
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise RequestValidationError(
+            f"request body is not valid JSON: {error}",
+            code="invalid_json") from None
+    if not isinstance(payload, dict):
+        raise RequestValidationError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}", code="invalid_request")
+
+    unknown = sorted(set(payload) - set(_FIELD_NAMES))
+    if unknown:
+        raise RequestValidationError(
+            f"unknown request field {unknown[0]!r} (accepted: "
+            f"{', '.join(_FIELD_NAMES)})",
+            field=unknown[0], code="unknown_field")
+
+    if "model" not in payload:
+        raise RequestValidationError(
+            "request is missing the required field 'model'",
+            field="model", code="missing_field")
+    model = payload["model"]
+    if model not in MODELS:
+        raise RequestValidationError(
+            f"unknown model {model!r} (choices: "
+            f"{', '.join(sorted(MODELS))})",
+            field="model", code="invalid_value")
+
+    accelerator = payload.get("accelerator", "a100")
+    if accelerator not in ACCELERATORS:
+        raise RequestValidationError(
+            f"unknown accelerator {accelerator!r} (choices: "
+            f"{', '.join(sorted(ACCELERATORS))})",
+            field="accelerator", code="invalid_value")
+
+    inter = payload.get("inter", "hdr")
+    if inter not in INTER_LINK_CHOICES:
+        raise RequestValidationError(
+            f"unknown inter-node link {inter!r} (choices: "
+            f"{', '.join(INTER_LINK_CHOICES)})",
+            field="inter", code="invalid_value")
+
+    values: Dict[str, Any] = {"model": model,
+                              "accelerator": accelerator,
+                              "inter": inter}
+    defaults = EstimateRequest(model=model)
+    for name in _POSITIVE_INT_FIELDS:
+        values[name] = _require_int(
+            name, payload.get(name, getattr(defaults, name)))
+
+    microbatches = payload.get("microbatches")
+    if microbatches is not None:
+        microbatches = _require_int("microbatches", microbatches)
+    values["microbatches"] = microbatches
+
+    tokens = payload.get("tokens")
+    if tokens is not None:
+        tokens = _require_positive_finite("tokens", tokens)
+    values["tokens"] = tokens
+
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        deadline_s = _require_positive_finite("deadline_s", deadline_s)
+        if deadline_s > MAX_DEADLINE_S:
+            raise RequestValidationError(
+                f"deadline_s must be <= {MAX_DEADLINE_S:g} seconds, "
+                f"got {deadline_s:g}",
+                field="deadline_s", code="invalid_value")
+    values["deadline_s"] = deadline_s
+
+    return EstimateRequest(**values)
+
+
+def error_body(code: str, message: str,
+               field: Optional[str] = None) -> Dict[str, Any]:
+    """The structured error payload every non-2xx response carries."""
+    error: Dict[str, Any] = {"code": code, "message": message}
+    if field is not None:
+        error["field"] = field
+    return {"error": error}

@@ -409,3 +409,126 @@ class TestCliFlags:
                      "--batch", "512", "--resume", str(journal)])
         assert code == 2
         assert "different sweep" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------
+# Full-jitter retry backoff
+# --------------------------------------------------------------------------
+
+
+def _prebound_raise_in_worker(chunk, need_bounds=False):
+    """Crash inside pool workers; delegate to the real evaluator in the
+    parent (i.e. the local fallback and post-degradation paths)."""
+    if os.getpid() != _MAIN_PID:
+        raise RuntimeError("injected vectorized worker crash")
+    from repro.search import vectorized
+    return vectorized.evaluate_prebound(chunk, need_bounds)
+
+
+class TestRetryJitter:
+    def test_backoff_is_uniform_draw_under_the_cap(self, monkeypatch):
+        import random as random_mod
+
+        from repro.obs.metrics import get_metrics
+        from repro.search.resilience import _PoolSupervisor
+
+        sleeps = []
+        monkeypatch.setattr("repro.search.resilience.time.sleep",
+                            sleeps.append)
+        seed = 20230423
+        supervisor = _PoolSupervisor(
+            2, _eval_ok, timeout=None, retries=5, backoff_s=0.25,
+            rng=random_mod.Random(seed))
+        before = get_metrics().histogram(
+            "sweep.retry_sleep_seconds").count
+        for _ in range(3):
+            supervisor._note_failure(RuntimeError("injected"))
+        oracle = random_mod.Random(seed)
+        expected = [oracle.uniform(0.0, cap)
+                    for cap in (0.25, 0.5, 1.0)]
+        assert [s for s in sleeps if s > 0] \
+            == [e for e in expected if e > 0]
+        for sleep, cap in zip(expected, (0.25, 0.5, 1.0)):
+            assert 0.0 <= sleep <= cap
+        assert get_metrics().histogram(
+            "sweep.retry_sleep_seconds").count == before + 3
+
+    def test_zero_backoff_never_sleeps(self, monkeypatch):
+        from repro.search.resilience import _PoolSupervisor
+
+        sleeps = []
+        monkeypatch.setattr("repro.search.resilience.time.sleep",
+                            sleeps.append)
+        supervisor = _PoolSupervisor(2, _eval_ok, timeout=None,
+                                     retries=3, backoff_s=0.0)
+        supervisor._note_failure(RuntimeError("injected"))
+        assert sleeps == []
+
+    def test_retry_span_carries_the_chosen_sleep(self, monkeypatch):
+        import random as random_mod
+
+        from repro.obs.trace import get_tracer
+        from repro.search.resilience import _PoolSupervisor
+
+        monkeypatch.setattr("repro.search.resilience.time.sleep",
+                            lambda _s: None)
+        tracer = get_tracer()
+        tracer.enable(reset=True)
+        try:
+            supervisor = _PoolSupervisor(
+                2, _eval_ok, timeout=None, retries=3, backoff_s=0.125,
+                rng=random_mod.Random(7))
+            supervisor._note_failure(RuntimeError("injected"))
+            retry_spans = [record for record in tracer.records()
+                           if record.name == "dse.retry"]
+            assert len(retry_spans) == 1
+            attrs = retry_spans[0].attrs
+            assert attrs["attempt"] == 1
+            assert attrs["cap_s"] == 0.125
+            assert 0.0 <= attrs["sleep_s"] <= attrs["cap_s"]
+        finally:
+            tracer.disable()
+            tracer.reset()
+
+
+# --------------------------------------------------------------------------
+# Vectorized parallel sweeps: pre-bound chunks shipped to warm workers
+# --------------------------------------------------------------------------
+
+
+class TestVectorizedPool:
+    def test_pool_matches_serial_vectorized(self, template, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setattr(
+            "repro.search.resilience.DEFAULT_CHUNK_CANDIDATES", 4)
+        serial = run_sweep(template, 64, max_results=5,
+                           evaluation_path="vectorized")
+        pooled = run_sweep(template, 64, max_results=5, workers=2,
+                           evaluation_path="vectorized")
+        assert [(r.label, r.batch_time_s) for r in pooled.results] \
+            == [(r.label, r.batch_time_s) for r in serial.results]
+        assert pooled.report.evaluated == serial.report.evaluated
+        assert pooled.report.skipped == serial.report.skipped
+        assert not pooled.report.degraded
+        assert pooled.report.retried == 0
+
+    def test_worker_crash_degrades_to_local_vectorized(
+            self, template, monkeypatch):
+        pytest.importorskip("numpy")
+        monkeypatch.setattr(
+            "repro.search.resilience.DEFAULT_CHUNK_CANDIDATES", 4)
+        serial = run_sweep(template, 64, max_results=5,
+                           evaluation_path="vectorized")
+        monkeypatch.setattr("repro.search.resilience.evaluate_prebound",
+                            _prebound_raise_in_worker)
+        pooled = run_sweep(template, 64, max_results=5, workers=2,
+                           retries=1, backoff_s=0.0,
+                           evaluation_path="vectorized")
+        # Every chunk fell back to the driver's process, so the ranking
+        # and coverage are identical; the report records the collapse.
+        assert [(r.label, r.batch_time_s) for r in pooled.results] \
+            == [(r.label, r.batch_time_s) for r in serial.results]
+        assert pooled.report.evaluated == serial.report.evaluated
+        assert pooled.report.degraded
+        assert "vectorized" in pooled.report.degraded_reason
+        assert pooled.report.retried == 1

@@ -30,6 +30,7 @@ from repro.obs.trace import get_tracer
 from repro.parallelism.mapping import enumerate_mappings
 from repro.search import vectorized as vectorized_module
 from repro.search.compiler import (
+    CompiledSweep,
     clear_compiled_cache,
     compile_sweep,
     install_compiled,
@@ -39,6 +40,8 @@ from repro.search.dse import evaluate_candidate, explore
 from repro.search.vectorized import (
     AUTO_VECTORIZE_THRESHOLD,
     BoundBatch,
+    bind_chunk,
+    evaluate_prebound,
     VectorizedSweep,
     clear_vectorized_stats,
     evaluate_chunk,
@@ -272,6 +275,39 @@ class TestShipping:
         install_compiled(clone)
         batch = VectorizedSweep(clone).bind(mappings)
         assert batch.n_specs == len(mappings)
+
+    def test_prebound_chunk_ships_lean_and_reattaches(
+            self, template, mappings):
+        # A cached compiled sweep is stripped from the pickle and
+        # reattached from the receiving process's compile cache — the
+        # warm-worker contract: chunks carry arrays, not tables.
+        parent = compile_sweep(template, GLOBAL_BATCH)
+        assert parent.cache_key is not None
+        chunk = bind_chunk(template, parent, mappings, GLOBAL_BATCH,
+                           tune_microbatches=True)
+        reference_bounds, reference = evaluate_prebound(chunk, True)
+        payload = pickle.dumps(chunk)
+        assert len(payload) < len(pickle.dumps(chunk.batch.compiled)) \
+            + len(pickle.dumps(chunk.batch.__getstate__()))
+        clone = pickle.loads(payload)
+        assert clone.batch.compiled is parent
+        bounds, outcomes = evaluate_prebound(clone, True)
+        assert bounds == reference_bounds
+        assert [o.result.batch_time_s for o in outcomes if o] \
+            == [o.result.batch_time_s for o in reference if o]
+
+    def test_prebound_chunk_without_cache_key_carries_tables(
+            self, template, mappings):
+        uncached = CompiledSweep(template, GLOBAL_BATCH)
+        assert uncached.cache_key is None
+        chunk = bind_chunk(template, uncached, mappings, GLOBAL_BATCH,
+                           tune_microbatches=False)
+        clone = pickle.loads(pickle.dumps(chunk))
+        assert clone.batch.compiled is not None
+        _, outcomes = evaluate_prebound(clone)
+        _, reference = evaluate_prebound(chunk)
+        assert [o.result.batch_time_s for o in outcomes if o] \
+            == [o.result.batch_time_s for o in reference if o]
 
 
 class TestObservability:

@@ -1,0 +1,27 @@
+"""Shared state hygiene for the serving tests.
+
+The metrics registry, tracer and compiled-sweep cache are process-wide
+singletons the daemon leans on; every test starts from (and leaves
+behind) empty ones so tests cannot bleed into each other or the rest
+of the suite.
+"""
+
+import pytest
+
+from repro.obs.metrics import reset_metrics
+from repro.obs.trace import get_tracer
+from repro.search.compiler import clear_compiled_cache
+
+
+@pytest.fixture(autouse=True)
+def clean_serve_state():
+    tracer = get_tracer()
+    tracer.disable()
+    tracer.reset()
+    reset_metrics()
+    clear_compiled_cache()
+    yield
+    tracer.disable()
+    tracer.reset()
+    reset_metrics()
+    clear_compiled_cache()

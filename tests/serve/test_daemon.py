@@ -1,0 +1,72 @@
+"""End-to-end daemon test: real subprocess, real model evaluation,
+real SIGTERM drain.  Mirrors the CI smoke script."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+
+def _read_base_url(process, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        if line.startswith("serving on "):
+            return line.split("serving on ", 1)[1].strip()
+    pytest.fail("daemon never announced its address")
+
+
+@pytest.fixture
+def daemon():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--deadline", "60"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env)
+    base = _read_base_url(process)
+    yield process, base
+    if process.poll() is None:
+        process.kill()
+        process.wait(10.0)
+
+
+def test_daemon_round_trip_and_sigterm_drain(daemon):
+    process, base = daemon
+
+    with urllib.request.urlopen(base + "/healthz", timeout=10) as r:
+        assert r.status == 200
+
+    body = json.dumps({"model": "mingpt-85m", "nodes": 2, "dp": 16,
+                       "batch": 256, "tokens": 1.0e9}).encode()
+    request = urllib.request.Request(base + "/v1/estimate", data=body)
+    with urllib.request.urlopen(request, timeout=60) as r:
+        payload = json.loads(r.read())
+    assert payload["batch_time_s"] > 0
+    assert payload["training_days"] > 0
+
+    with urllib.request.urlopen(base + "/readyz", timeout=10) as r:
+        assert json.loads(r.read())["ready"] is True
+    with urllib.request.urlopen(base + "/metrics", timeout=10) as r:
+        snapshot = json.loads(r.read())
+    assert snapshot["counters"]["serve.requests"] >= 1
+
+    process.send_signal(signal.SIGTERM)
+    code = process.wait(timeout=30.0)
+    assert code == 0
+    remaining = process.stdout.read()
+    assert "shutdown complete" in remaining
+
+    # After exit the port must be closed.
+    with pytest.raises((urllib.error.URLError, ConnectionError)):
+        urllib.request.urlopen(base + "/healthz", timeout=2)

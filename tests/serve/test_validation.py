@@ -1,0 +1,121 @@
+"""Request-schema validation: every malformed shape gets a stable
+machine code, never any other exception type."""
+
+import json
+
+import pytest
+
+from repro.errors import RequestValidationError
+from repro.serve.validation import (
+    MAX_DEADLINE_S,
+    EstimateRequest,
+    error_body,
+    parse_estimate_request,
+)
+
+
+def _parse(payload) -> EstimateRequest:
+    return parse_estimate_request(json.dumps(payload).encode())
+
+
+def _code_of(payload) -> str:
+    with pytest.raises(RequestValidationError) as caught:
+        _parse(payload)
+    return caught.value.code
+
+
+class TestParsing:
+
+    def test_minimal_request_gets_defaults(self):
+        request = _parse({"model": "megatron-1t"})
+        assert request.accelerator == "a100"
+        assert request.nodes == 16
+        assert request.tp == request.pp == request.dp == 1
+        assert request.microbatches is None
+        assert request.batch == 2048
+        assert request.tokens is None
+        assert request.deadline_s is None
+
+    def test_full_request_round_trips(self):
+        request = _parse({"model": "megatron-1t", "accelerator": "a100",
+                          "nodes": 128, "accel_per_node": 8, "nics": 8,
+                          "inter": "hdr", "tp": 8, "pp": 16, "dp": 8,
+                          "microbatches": 32, "batch": 2048,
+                          "tokens": 4.5e11, "deadline_s": 30.0})
+        assert (request.tp, request.pp, request.dp) == (8, 16, 8)
+        assert request.microbatches == 32
+        assert request.tokens == 4.5e11
+        assert request.deadline_s == 30.0
+
+    def test_group_key_ignores_mapping_but_not_system(self):
+        a = _parse({"model": "megatron-1t", "tp": 8, "pp": 2, "dp": 8})
+        b = _parse({"model": "megatron-1t", "tp": 2, "pp": 8, "dp": 8})
+        c = _parse({"model": "megatron-1t", "nodes": 32})
+        assert a.group_key() == b.group_key()
+        assert a.group_key() != c.group_key()
+
+
+class TestRejection:
+
+    def test_not_json(self):
+        with pytest.raises(RequestValidationError) as caught:
+            parse_estimate_request(b"{nope")
+        assert caught.value.code == "invalid_json"
+
+    def test_not_utf8(self):
+        with pytest.raises(RequestValidationError) as caught:
+            parse_estimate_request(b"\xff\xfe\x00")
+        assert caught.value.code == "invalid_json"
+
+    def test_not_an_object(self):
+        with pytest.raises(RequestValidationError) as caught:
+            parse_estimate_request(b"[1, 2]")
+        assert caught.value.code == "invalid_request"
+
+    def test_unknown_field_is_named(self):
+        with pytest.raises(RequestValidationError) as caught:
+            _parse({"model": "megatron-1t", "nodez": 4})
+        assert caught.value.code == "unknown_field"
+        assert caught.value.field == "nodez"
+
+    def test_missing_model(self):
+        assert _code_of({"nodes": 4}) == "missing_field"
+
+    def test_unknown_choices(self):
+        assert _code_of({"model": "gpt-9000"}) == "invalid_value"
+        assert _code_of({"model": "megatron-1t",
+                         "accelerator": "abacus"}) == "invalid_value"
+        assert _code_of({"model": "megatron-1t",
+                         "inter": "carrier-pigeon"}) == "invalid_value"
+
+    @pytest.mark.parametrize("value", [0, -1, 2.5, True, "8", None])
+    def test_bad_degrees(self, value):
+        assert _code_of({"model": "megatron-1t",
+                         "tp": value}) == "invalid_value"
+
+    @pytest.mark.parametrize("value", [0, -1.0, float("nan"),
+                                       float("inf"), "many", True])
+    def test_bad_tokens(self, value):
+        payload = {"model": "megatron-1t", "tokens": value}
+        body = json.dumps(payload, allow_nan=True).encode()
+        with pytest.raises(RequestValidationError) as caught:
+            parse_estimate_request(body)
+        assert caught.value.code == "invalid_value"
+
+    def test_deadline_capped(self):
+        assert _code_of({"model": "megatron-1t",
+                         "deadline_s": MAX_DEADLINE_S * 2}) \
+            == "invalid_value"
+
+
+class TestErrorBody:
+
+    def test_shape(self):
+        body = error_body("invalid_value", "tp must be >= 1",
+                          field="tp")
+        assert body == {"error": {"code": "invalid_value",
+                                  "message": "tp must be >= 1",
+                                  "field": "tp"}}
+
+    def test_field_omitted_when_absent(self):
+        assert "field" not in error_body("overloaded", "busy")["error"]
