@@ -112,7 +112,7 @@ def fit_overlap_to_target(amped: AMPeD, global_batch: int,
     return (low + high) / 2.0
 
 
-def bisect_scalar(function: Callable[[float], float], target: float,
+def bisect_scalar(function: Callable[[float], float], target: float,  # amplint: disable=AMP104 — generic bisection: target/tolerance carry whatever unit `function` returns
                   low: float, high: float,
                   tolerance: float = 1e-6,
                   max_iterations: int = 100) -> float:

@@ -18,11 +18,34 @@ AMP005  dataclass float fields without ``require_finite`` validation
 AMP006  broad ``except Exception`` without the supervised-boundary
         contract (``# noqa: BLE001 — <justification>``)
 
+Whole-program rules (``--flow``, see :mod:`repro.lint.dataflow`)
+----------------------------------------------------------------
+AMP101  addition/subtraction of two different known dimensions
+AMP102  ``Dim``-annotated function whose return flow carries a
+        different dimension
+AMP103  unit conversion applied to a value already in the wrong
+        (or already-converted) unit
+AMP104  unannotated public parameter that demonstrably receives one
+        agreed dimension at multiple call sites
+AMP201  module-level mutable state mutated from a thread context
+        without a lock
+AMP202  lambda/nested-function/bound-method shipped to a process pool
+AMP203  fork-unsafe capture: import-time file/socket, or a module
+        lock in pool workers without an ``os.register_at_fork`` reset
+AMP204  instance attribute written from a thread context without a
+        lock while read elsewhere
+
 Exit codes: 0 clean, 1 violations found, 2 file/parse errors.
 """
 
 from __future__ import annotations
 
+from repro.lint.baseline import (
+    filter_new,
+    read_baseline,
+    write_baseline,
+)
+from repro.lint.dataflow import FLOW_RULES, FlowRule, run_flow
 from repro.lint.engine import (
     FileContext,
     LintResult,
@@ -33,12 +56,18 @@ from repro.lint.engine import (
 from repro.lint.rules import Rule, all_rules, get_rule
 
 __all__ = [
+    "FLOW_RULES",
     "FileContext",
+    "FlowRule",
     "LintResult",
     "ParseFailure",
     "Rule",
     "Violation",
     "all_rules",
+    "filter_new",
     "get_rule",
+    "read_baseline",
+    "run_flow",
     "run_lint",
+    "write_baseline",
 ]

@@ -1,0 +1,120 @@
+"""Findings baselines: land new rule families without blocking CI.
+
+A baseline is a JSON snapshot of the current findings, keyed by
+``(path, rule, message)`` with an occurrence count — deliberately *not*
+by line number, so unrelated edits that shift code up or down do not
+invalidate it.  Workflow:
+
+* ``amped-lint --flow --update-baseline .amplint-baseline.json src``
+  records today's debt;
+* ``amped-lint --flow --baseline .amplint-baseline.json src`` then
+  exits 0 as long as no *new* findings appear beyond the recorded
+  counts, while still printing only the new ones.
+
+Fixing a baselined finding never breaks the gate (counts in the
+baseline are ceilings, not exact matches); regenerate the snapshot
+whenever the debt shrinks so it cannot silently grow back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Violation
+
+#: Format marker so later schema changes can migrate old snapshots.
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unreadable, or malformed."""
+
+
+def _key(violation: Violation) -> _Key:
+    return (violation.path, violation.rule_id, violation.message)
+
+
+def _tally(violations: Sequence[Violation]) -> Dict[_Key, int]:
+    counts: Dict[_Key, int] = {}
+    for violation in violations:
+        key = _key(violation)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(path: str,
+                   violations: Sequence[Violation]) -> None:
+    """Snapshot ``violations`` to ``path`` (sorted, one entry per
+    distinct finding, with its occurrence count)."""
+    entries = [
+        {"path": file_path, "rule": rule_id, "message": message,
+         "count": count}
+        for (file_path, rule_id, message), count
+        in sorted(_tally(violations).items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def read_baseline(path: str) -> Dict[_Key, int]:
+    """Load a snapshot; raises :class:`BaselineError` on any defect."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}")
+    if not isinstance(raw, dict) \
+            or raw.get("version") != BASELINE_VERSION \
+            or not isinstance(raw.get("entries"), list):
+        raise BaselineError(
+            f"baseline {path} has an unrecognized format "
+            f"(expected version {BASELINE_VERSION})")
+    counts: Dict[_Key, int] = {}
+    for entry in raw["entries"]:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path}: malformed entry")
+        try:
+            key = (str(entry["path"]), str(entry["rule"]),
+                   str(entry["message"]))
+            count = int(entry["count"])
+        except (KeyError, TypeError, ValueError):
+            raise BaselineError(
+                f"baseline {path}: entry missing path/rule/"
+                f"message/count")
+        counts[key] = counts.get(key, 0) + count
+    return counts
+
+
+def filter_new(violations: Sequence[Violation],
+               baseline: Dict[_Key, int]) -> List[Violation]:
+    """Violations beyond the baselined counts, in input order.
+
+    The first ``count`` occurrences of each baselined finding are
+    forgiven; every further occurrence (or any unbaselined finding) is
+    returned as new.
+    """
+    budget = dict(baseline)
+    new: List[Violation] = []
+    for violation in violations:
+        key = _key(violation)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+        else:
+            new.append(violation)
+    return new
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineError",
+    "filter_new",
+    "read_baseline",
+    "write_baseline",
+]

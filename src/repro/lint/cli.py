@@ -1,7 +1,9 @@
 """Command-line front end: ``python -m repro.lint`` / ``amped-lint``.
 
 Exit codes follow the CI contract of :class:`repro.lint.engine.LintResult`:
-0 clean, 1 violations, 2 unreadable or unparseable input.
+0 clean, 1 violations, 2 unreadable or unparseable input.  With
+``--baseline``, baselined findings do not count against the exit code —
+only new ones do.
 """
 
 from __future__ import annotations
@@ -11,6 +13,12 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.lint.baseline import (
+    BaselineError,
+    filter_new,
+    read_baseline,
+    write_baseline,
+)
 from repro.lint.engine import run_lint
 from repro.lint.report import render_json, render_rule_listing, render_text
 
@@ -27,8 +35,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=("Dimensional-consistency and invariant static "
-                     "analysis for the AMPeD codebase (rules AMP001-"
-                     "AMP006; suppress with `# amplint: disable=AMP00x`)."))
+                     "analysis for the AMPeD codebase (per-file rules "
+                     "AMP001-AMP006; whole-program rules AMP101-AMP204 "
+                     "via --flow; suppress with "
+                     "`# amplint: disable=AMP00x`)."))
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
         help="files or directories to analyze (default: ./src if it "
@@ -42,6 +52,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ignore", action="append", default=[], metavar="IDS",
         help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--flow", action="store_true",
+        help="also run the whole-program dataflow rules (AMP10x "
+             "dimension flow, AMP20x concurrency safety)")
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="compare findings against this snapshot; only new "
+             "findings are reported and gate the exit code")
+    parser.add_argument(
+        "--update-baseline", metavar="FILE", default=None,
+        help="write the current findings to this snapshot file and "
+             "exit 0 (2 if input was unparseable)")
     parser.add_argument(
         "--statistics", action="store_true",
         help="append per-rule violation counts (text format)")
@@ -63,7 +85,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     result = run_lint(paths,
                       select=_split_ids(args.select) or None,
-                      ignore=_split_ids(args.ignore) or None)
+                      ignore=_split_ids(args.ignore) or None,
+                      flow=args.flow)
+
+    if args.update_baseline:
+        write_baseline(args.update_baseline, result.violations)
+        print(f"baseline: wrote {len(result.violations)} finding(s) "
+              f"to {args.update_baseline}")
+        return 2 if result.failures else 0
+
+    if args.baseline:
+        try:
+            known = read_baseline(args.baseline)
+        except BaselineError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        forgiven = len(result.violations)
+        result.violations = filter_new(result.violations, known)
+        forgiven -= len(result.violations)
+        if forgiven:
+            print(f"baseline: {forgiven} known finding(s) suppressed "
+                  f"by {args.baseline}")
+
     if args.format == "json":
         print(render_json(result))
     else:

@@ -208,8 +208,15 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
 
 def run_lint(paths: Sequence[str],
              select: Optional[Sequence[str]] = None,
-             ignore: Optional[Sequence[str]] = None) -> LintResult:
-    """Run the (optionally filtered) rule set over ``paths``."""
+             ignore: Optional[Sequence[str]] = None,
+             flow: bool = False) -> LintResult:
+    """Run the (optionally filtered) rule set over ``paths``.
+
+    With ``flow=True`` the whole-program rule families (AMP10x/AMP20x,
+    see :mod:`repro.lint.dataflow`) run over the same parsed contexts
+    after the per-file rules, sharing the select/ignore filters and the
+    suppression contract.
+    """
     from repro.lint.rules import all_rules
 
     rules = all_rules()
@@ -221,12 +228,14 @@ def run_lint(paths: Sequence[str],
         rules = [rule for rule in rules if rule.rule_id not in unwanted]
 
     result = LintResult()
+    contexts: List[FileContext] = []
     for path in iter_python_files(paths):
         context = build_context(path)
         if isinstance(context, ParseFailure):
             result.failures.append(context)
             continue
         result.files_checked += 1
+        contexts.append(context)
         for rule in rules:
             if rule.exempts(path):
                 continue
@@ -234,5 +243,10 @@ def run_lint(paths: Sequence[str],
                 if not context.is_suppressed(violation.rule_id,
                                              violation.line):
                     result.violations.append(violation)
+    if flow:
+        from repro.lint.dataflow import run_flow
+
+        result.violations.extend(run_flow(contexts, select=select,
+                                          ignore=ignore))
     result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return result

@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List
 
+from repro.lint.dataflow import FLOW_RULES
 from repro.lint.engine import LintResult
 from repro.lint.rules import all_rules
 
@@ -56,4 +57,7 @@ def render_rule_listing() -> str:
     lines = []
     for rule in all_rules():
         lines.append(f"{rule.rule_id}  {rule.name:<24} {rule.summary}")
+    for flow_rule in FLOW_RULES:
+        lines.append(f"{flow_rule.rule_id}  {flow_rule.name:<24} "
+                     f"{flow_rule.summary} [--flow]")
     return "\n".join(lines)

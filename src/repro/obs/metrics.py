@@ -10,10 +10,13 @@ count.  ``snapshot()`` turns the whole registry into one JSON-friendly
 dict; :func:`repro.obs.export.write_metrics_snapshot` persists it and
 ``python -m repro.obs`` validates it back.
 
-Instruments are plain mutable classes (not dataclasses) guarded by one
-registry lock per operation; the hot-path cost of ``counter(...).inc()``
-is a dict lookup plus a lock, cheap enough to leave enabled
-unconditionally (unlike tracing, which is off by default).
+Instruments are plain mutable classes (not dataclasses); the registry
+lock guards the name tables and each instrument carries its own lock
+for mutation, since handler threads of the serve daemon increment the
+same instruments concurrently.  The hot-path cost of
+``counter(...).inc()`` is a dict lookup plus two uncontended locks,
+cheap enough to leave enabled unconditionally (unlike tracing, which
+is off by default).
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ class Counter:
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self._lock = threading.Lock()
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -52,7 +56,8 @@ class Counter:
         if amount < 0:
             raise ConfigurationError(
                 f"counter {self.name} cannot decrease (got {amount})")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -64,14 +69,16 @@ class Gauge:
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self._lock = threading.Lock()
         self._value = 0.0
         self._is_set = False
 
     def set(self, value: float) -> None:
         """Record the current value (must be finite)."""
         require_finite(f"gauge {self.name}", value)
-        self._value = float(value)
-        self._is_set = True
+        with self._lock:
+            self._value = float(value)
+            self._is_set = True
 
     @property
     def value(self) -> float:
@@ -106,6 +113,7 @@ class Histogram:
             raise ConfigurationError(
                 f"histogram {name} bounds must be strictly increasing, "
                 f"got {self.bounds}")
+        self._lock = threading.Lock()
         self._counts = [0] * (len(self.bounds) + 1)
         self._count = 0
         self._sum = 0.0
@@ -116,15 +124,16 @@ class Histogram:
         """Record one observation (must be finite)."""
         require_finite(f"histogram {self.name} observation", value)
         index = bisect.bisect_left(self.bounds, value)
-        self._counts[index] += 1
-        if self._count == 0:
-            self._min = value
-            self._max = value
-        else:
-            self._min = min(self._min, value)
-            self._max = max(self._max, value)
-        self._count += 1
-        self._sum += value
+        with self._lock:
+            self._counts[index] += 1
+            if self._count == 0:
+                self._min = value
+                self._max = value
+            else:
+                self._min = min(self._min, value)
+                self._max = max(self._max, value)
+            self._count += 1
+            self._sum += value
 
     @property
     def count(self) -> int:

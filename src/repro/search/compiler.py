@@ -43,6 +43,7 @@ pruner.  ``docs/performance.md`` carries the full argument.
 from __future__ import annotations
 
 import math
+import os
 import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
@@ -72,6 +73,11 @@ from repro.units import Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the cycle
     from repro.core.model import AMPeD
+
+# amplint: disable-file=AMP204 — CompiledSweep is deliberately lock-free: an
+# instance is confined to one evaluating thread (the serve dispatcher, or a
+# pool worker's own unpickled copy), locks would break its picklability, and
+# the _lookups/_misses counters are advisory hit-rate statistics.
 
 #: Breakdown component names in :class:`TrainingTimeBreakdown` order.
 COMPONENT_NAMES = (
@@ -709,6 +715,21 @@ _CACHE_LOCK = threading.Lock()
 _CACHE: "OrderedDict[tuple, CompiledSweep]" = OrderedDict()
 _STATS = {"builds": 0, "hits": 0, "misses": 0, "uncached": 0,
           "installed": 0, "seeded_builds": 0, "seeded_entries": 0}
+
+
+def _reset_cache_lock_after_fork() -> None:
+    """Rebind a fresh cache lock in forked children.
+
+    A fork can land while another thread holds ``_CACHE_LOCK``; the
+    child would then inherit a lock that is locked forever and deadlock
+    on its first ``compile_sweep``/``install_compiled`` call.  The
+    inherited cache contents themselves are safe (a warm copy)."""
+    global _CACHE_LOCK
+    _CACHE_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # absent on some platforms
+    os.register_at_fork(after_in_child=_reset_cache_lock_after_fork)
 
 
 def _seed_new_build(compiled: CompiledSweep) -> None:

@@ -386,7 +386,7 @@ class _PoolSupervisor:
 
     # -- pool lifecycle -----------------------------------------------------
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> "ProcessPoolExecutor":
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
             if self.template is not None:
@@ -436,7 +436,10 @@ class _PoolSupervisor:
             collected = 0
             try:
                 pool = self._ensure_pool()
-                futures = [pool.submit(self.evaluate, spec)
+                # self.evaluate holds a module-level function or
+                # functools.partial over one (the constructor contract),
+                # not a bound method; it pickles cleanly.
+                futures = [pool.submit(self.evaluate, spec)  # amplint: disable=AMP202 — attribute holds a picklable module-level callable
                            for spec in remaining]
             except Exception as error:  # noqa: BLE001 — supervised boundary: pool spawn/submit failures trigger retry-or-degrade
                 self._note_failure(error)

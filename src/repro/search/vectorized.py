@@ -47,6 +47,7 @@ bit-exactness argument.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -127,29 +128,36 @@ _STATS: Dict[str, float] = {
     "lanes": 0, "batches": 0, "max_batch_size": 0,
 }
 
+#: Serve handler threads build batches concurrently with the metrics
+#: endpoint reading the totals; every _STATS access goes through this.
+_STATS_LOCK = threading.Lock()
+
 
 def vectorized_stats() -> Dict[str, float]:
     """Cumulative binder statistics: batches bound, table build time,
     array bytes, lanes evaluated (``cache.vectorized.*`` gauges)."""
-    stats = dict(_STATS)
+    with _STATS_LOCK:
+        stats = dict(_STATS)
     stats["available"] = 1 if HAVE_NUMPY else 0
     return stats
 
 
 def clear_vectorized_stats() -> None:
     """Reset the cumulative binder statistics (tests, fresh runs)."""
-    for name in _STATS:
-        _STATS[name] = 0
+    with _STATS_LOCK:
+        for name in _STATS:
+            _STATS[name] = 0
 
 
 def _record_build(batch: "BoundBatch", seconds: float) -> None:
-    _STATS["builds"] += 1
-    _STATS["build_seconds"] += seconds
-    _STATS["array_bytes"] += batch.array_bytes
-    _STATS["lanes"] += batch.n_lanes
-    _STATS["batches"] += 1
-    _STATS["max_batch_size"] = max(_STATS["max_batch_size"],
-                                   batch.n_specs)
+    with _STATS_LOCK:
+        _STATS["builds"] += 1
+        _STATS["build_seconds"] += seconds
+        _STATS["array_bytes"] += batch.array_bytes
+        _STATS["lanes"] += batch.n_lanes
+        _STATS["batches"] += 1
+        _STATS["max_batch_size"] = max(_STATS["max_batch_size"],
+                                       batch.n_specs)
 
 
 # ---------------------------------------------------------------------------

@@ -208,7 +208,7 @@ class CircuitBreaker:
     def _transition(self, state: str) -> None:
         # Caller holds the lock.
         if state != self._state:
-            self._state = state
+            self._state = state  # amplint: disable=AMP204 — caller holds self._lock (documented contract above)
             get_metrics().counter("serve.breaker.transitions").inc()
             self._publish()
 

@@ -99,8 +99,11 @@ class PendingRequest:
         self.abandoned = False
 
     def resolve(self, status: int, payload: Dict[str, Any]) -> None:
-        self.status = status
-        self.payload = payload
+        # The Event.set() below is the publication point: the handler
+        # only reads status/payload after done.wait() returns, so the
+        # Event provides the happens-before edge a lock would.
+        self.status = status    # amplint: disable=AMP204 — published by done.set()
+        self.payload = payload  # amplint: disable=AMP204 — published by done.set()
         self.done.set()
 
 
@@ -180,6 +183,9 @@ class EstimationService:
         self._clock = clock
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_limit)
         self._thread: Optional[threading.Thread] = None
+        # Guards the _warmed flag: written by the dispatcher thread and
+        # by warm() on the main thread, read by status() from handlers.
+        self._state_lock = threading.Lock()
         self._draining = False
         self._warmed = False
 
@@ -314,7 +320,8 @@ class EstimationService:
                     f"evaluation failed: {error!r}"))
         else:
             self.breaker.record_success()
-            self._warmed = True
+            with self._state_lock:
+                self._warmed = True
             for pending, (status, payload) in zip(group, results):
                 self._respond(pending, status, payload)
 
@@ -430,7 +437,8 @@ class EstimationService:
                                  enqueued_at=now)
         status, __ = self._group_results([pending])[0]
         if status == 200:
-            self._warmed = True
+            with self._state_lock:
+                self._warmed = True
 
     def reject_new(self) -> None:
         """Enter draining mode: new submissions get a structured 503;

@@ -1,0 +1,7 @@
+"""Fixture package for the whole-program (``--flow``) rule families.
+
+Each module is analyzed, never imported: ``good_*`` modules must be
+clean under AMP101-AMP204, ``bad_*`` modules must trip every rule in
+their family at the marked lines.  Kept deliberately free of AMP001-
+AMP006 patterns so the per-file fixture tests stay unaffected.
+"""

@@ -1,0 +1,27 @@
+"""Known-bad dimension flows: every AMP10x rule fires here."""
+
+from repro.units import Bits, Seconds, seconds_to_days
+
+
+def mix_dimensions(duration_s: float, payload_bits: float) -> float:
+    return duration_s + payload_bits  # AMP101: s + bit
+
+
+def elapsed(transfer_bits: Bits) -> Seconds:
+    return transfer_bits  # AMP102: returns bits from -> Seconds
+
+
+def schedule_days(runtime_s: float) -> float:
+    total_days = seconds_to_days(runtime_s)
+    return seconds_to_days(total_days)  # AMP103: applied twice
+
+
+def accumulate(total: float, extra_s: float) -> float:
+    # AMP104: `total` demonstrably receives seconds at both call
+    # sites below but carries no annotation or unit suffix.
+    return total + extra_s
+
+
+def twice(first_s: float, second_s: float) -> float:
+    return (accumulate(first_s, second_s)
+            + accumulate(second_s, first_s))

@@ -1,0 +1,56 @@
+"""Known-good concurrency patterns: clean under AMP201-AMP204."""
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from http.server import BaseHTTPRequestHandler
+
+_HITS = {"total": 0}
+_HITS_LOCK = threading.Lock()
+_STATE_LOCK = threading.Lock()
+_RESULTS = {"done": 0}
+
+
+def _fresh_locks_after_fork() -> None:
+    global _HITS_LOCK, _STATE_LOCK
+    _HITS_LOCK = threading.Lock()
+    _STATE_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_fresh_locks_after_fork)
+
+
+class Handler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:
+        with _HITS_LOCK:
+            _HITS["total"] += 1
+
+
+def record(value: int) -> None:
+    with _STATE_LOCK:
+        _RESULTS["done"] = value
+
+
+def fan_out(values):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return [pool.submit(record, value).result()
+                for value in values]
+    finally:
+        pool.shutdown()
+
+
+class Poller(threading.Thread):
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+        self.latest = 0.0
+
+    def run(self) -> None:
+        with self._lock:
+            self.latest = 1.0
+
+
+def read_latest(poller: Poller) -> float:
+    return poller.latest

@@ -1,0 +1,25 @@
+"""Known-good dimension flows: clean under AMP101-AMP104."""
+
+from repro.units import Seconds, days_to_seconds, seconds_to_days
+
+
+def total_runtime_s(step_s: float, n_steps: int) -> Seconds:
+    return float(n_steps) * step_s
+
+
+def runtime_days(runtime_s: float) -> float:
+    return seconds_to_days(runtime_s)
+
+
+def round_trip_s(span_days: float) -> Seconds:
+    return days_to_seconds(span_days)
+
+
+def combine_s(warmup_s: float, steady_s: float) -> Seconds:
+    # Same dimension on both sides of the addition: fine.
+    return warmup_s + steady_s
+
+
+def throughput_bits_per_s(volume_bits: float, window_s: float) -> float:
+    # bit / s is a known quotient, not a mismatch.
+    return volume_bits / window_s

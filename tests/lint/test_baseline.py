@@ -1,0 +1,131 @@
+"""Findings baselines: snapshot format, forgiveness semantics, CLI."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    filter_new,
+    read_baseline,
+    write_baseline,
+)
+from repro.lint.cli import main
+from repro.lint.engine import Violation
+
+
+def violation(path="pkg/mod.py", line=10, rule="AMP101",
+              message="adding 's' to 'bit'"):
+    return Violation(path=path, line=line, col=0, rule_id=rule,
+                     message=message)
+
+
+class TestRoundTrip:
+    def test_write_then_read_recovers_the_counts(self, tmp_path):
+        snapshot = tmp_path / "base.json"
+        write_baseline(str(snapshot),
+                       [violation(line=10), violation(line=90),
+                        violation(rule="AMP204", message="racy")])
+        counts = read_baseline(str(snapshot))
+        assert counts[("pkg/mod.py", "AMP101",
+                       "adding 's' to 'bit'")] == 2
+        assert counts[("pkg/mod.py", "AMP204", "racy")] == 1
+
+    def test_snapshot_is_line_number_free(self, tmp_path):
+        # Unrelated edits shift lines; the snapshot must not care.
+        snapshot = tmp_path / "base.json"
+        write_baseline(str(snapshot), [violation(line=10)])
+        payload = json.loads(snapshot.read_text())
+        assert "line" not in json.dumps(payload["entries"])
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"version\": 99}")
+        with pytest.raises(BaselineError):
+            read_baseline(str(bad))
+        with pytest.raises(BaselineError):
+            read_baseline(str(tmp_path / "absent.json"))
+
+
+class TestFilterNew:
+    def test_baselined_findings_are_forgiven(self, tmp_path):
+        snapshot = tmp_path / "base.json"
+        write_baseline(str(snapshot), [violation()])
+        assert filter_new([violation(line=42)],
+                          read_baseline(str(snapshot))) == []
+
+    def test_extra_occurrences_count_as_new(self, tmp_path):
+        snapshot = tmp_path / "base.json"
+        write_baseline(str(snapshot), [violation()])
+        new = filter_new([violation(line=10), violation(line=20)],
+                         read_baseline(str(snapshot)))
+        assert len(new) == 1 and new[0].line == 20
+
+    def test_unknown_findings_are_new(self):
+        new = filter_new([violation(rule="AMP999", message="other")],
+                         {})
+        assert len(new) == 1
+
+    def test_fixing_a_finding_never_breaks_the_gate(self, tmp_path):
+        snapshot = tmp_path / "base.json"
+        write_baseline(str(snapshot), [violation(), violation(line=2)])
+        assert filter_new([violation()],
+                          read_baseline(str(snapshot))) == []
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    """A tiny package with one baselined-debt flow violation."""
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(
+        "def mix(duration_s: float, size_bits: float) -> float:\n"
+        "    return duration_s + size_bits\n")
+    return pkg
+
+
+class TestCli:
+    def test_update_then_compare_cycle(self, dirty_tree, tmp_path,
+                                       capsys):
+        snapshot = tmp_path / "base.json"
+        tree = str(dirty_tree)
+        # Record today's debt, then the same findings gate green.
+        assert main([tree, "--flow", "--update-baseline",
+                     str(snapshot)]) == 0
+        capsys.readouterr()
+        assert main([tree, "--flow", "--baseline", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "suppressed" in out
+
+    def test_new_debt_fails_the_gate(self, dirty_tree, tmp_path,
+                                     capsys):
+        snapshot = tmp_path / "base.json"
+        tree = str(dirty_tree)
+        assert main([tree, "--flow", "--update-baseline",
+                     str(snapshot)]) == 0
+        capsys.readouterr()
+        (dirty_tree / "worse.py").write_text(
+            "def also_mixed(span_s: float, load_bits: float)"
+            " -> float:\n"
+            "    return span_s + load_bits\n")
+        assert main([tree, "--flow", "--baseline", str(snapshot)]) == 1
+        out = capsys.readouterr().out
+        assert "worse.py" in out and "mod.py" not in out
+
+    def test_missing_baseline_is_a_hard_error(self, dirty_tree,
+                                              tmp_path, capsys):
+        assert main([str(dirty_tree), "--flow", "--baseline",
+                     str(tmp_path / "absent.json")]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_baseline_applies_to_per_file_rules_too(self, tmp_path,
+                                                    capsys):
+        path = tmp_path / "dirty.py"
+        path.write_text("rate = 1e9\n")
+        snapshot = tmp_path / "base.json"
+        assert main([str(path), "--update-baseline",
+                     str(snapshot)]) == 0
+        capsys.readouterr()
+        assert main([str(path), "--baseline", str(snapshot)]) == 0
+        capsys.readouterr()
