@@ -43,6 +43,7 @@ from conftest import print_block
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BASELINE_JSON = REPO_ROOT / "BENCH_dse.json"
 SERVE_BASELINE_JSON = REPO_ROOT / "BENCH_serve.json"
+OBS_BASELINE_JSON = REPO_ROOT / "BENCH_obs.json"
 TRAJECTORY_JSON = REPO_ROOT / "BENCH_trajectory.json"
 
 
@@ -69,6 +70,11 @@ def _run_gate() -> tuple:
         payload["serve"] = serve_payload
         failures += check_serve_regression(serve_payload,
                                            serve_committed)
+    # Observability suite: bench_obs.py is too slow to rerun per gate,
+    # so the trajectory row carries the committed overhead ratio — it
+    # moves whenever a PR regenerates BENCH_obs.json.
+    if OBS_BASELINE_JSON.exists():
+        payload["obs"] = json.loads(OBS_BASELINE_JSON.read_text())
     entry = trajectory_entry(
         payload,
         timestamp=datetime.now(timezone.utc).isoformat(
@@ -106,6 +112,11 @@ def _format(payload: dict, committed: dict, failures: list) -> str:
             f"requests/s, burst "
             f"{serve['burst']['requests_per_s']:.0f} requests/s "
             f"({serve['burst']['errors']} errors)")
+    obs = payload.get("obs")
+    if obs:
+        lines.append(
+            f"obs        enabled-tracing overhead "
+            f"{obs['enabled_overhead']:.3f}x (committed baseline)")
     lines.append(f"trajectory appended to {TRAJECTORY_JSON.name}")
     lines.extend(f"REGRESSION: {failure}" for failure in failures)
     return "\n".join(lines)

@@ -150,6 +150,47 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the estimation-as-a-service HTTP daemon")
     from repro.serve.server import add_serve_args
     add_serve_args(serve)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="fit model coefficients to measured per-term timings "
+             "and report model-vs-measured drift")
+    _add_system_args(calibrate)
+    calibrate.add_argument(
+        "--trace", dest="trace_input", default=None, metavar="PATH",
+        help="Chrome trace-event JSON (as written by --trace on other "
+             "subcommands / repro.obs.export) to ingest")
+    calibrate.add_argument(
+        "--csv", dest="csv_input", default=None, metavar="PATH",
+        help="CSV timing file (term,seconds[,...] — see "
+             "docs/calibration.md) to ingest")
+    calibrate.add_argument(
+        "--batch", type=int, default=None,
+        help="global batch size for observations that do not carry "
+             "one (CSV files without a global_batch column)")
+    calibrate.add_argument(
+        "--fit", default=",".join(
+            ("efficiency_a", "efficiency_b", "flops_fraction",
+             "link_latency_scale", "link_bandwidth_scale")),
+        metavar="PARAMS",
+        help="comma-separated coefficients to fit (default: all five)")
+    calibrate.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative-error threshold above which a term is flagged "
+             "as drifted (default: 0.05)")
+    calibrate.add_argument(
+        "--write-catalog", dest="write_catalog", default=None,
+        metavar="PATH",
+        help="write the calibrated system + efficiency curve as a "
+             "catalog entry JSON")
+    calibrate.add_argument(
+        "--catalog-name", dest="catalog_name", default=None,
+        help="name recorded in the catalog entry (default: "
+             "'<accelerator>-calibrated')")
+    calibrate.add_argument(
+        "--report", dest="report", default=None, metavar="PATH",
+        help="write the drift report as JSON")
+
     for command_parser in sub.choices.values():
         _add_obs_args(command_parser)
     return parser
@@ -157,10 +198,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("observability")
-    group.add_argument("--trace", default=None, metavar="PATH",
-                       help="record spans and modeled-time events, and "
-                            "write a Chrome trace-event JSON (open in "
-                            "chrome://tracing or ui.perfetto.dev)")
+    if "--trace" not in parser._option_string_actions:
+        # `calibrate` claims --trace as its *input* flag (the trace to
+        # ingest); every other subcommand gets the trace-output flag.
+        group.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="record spans and modeled-time events, and "
+                 "write a Chrome trace-event JSON (open in "
+                 "chrome://tracing or ui.perfetto.dev)")
     group.add_argument("--metrics", nargs="?", const="", default=None,
                        metavar="PATH",
                        help="print a metrics snapshot after the "
@@ -453,6 +498,108 @@ def _cmd_serve(args) -> int:
     return ServeDaemon(config_from_args(args)).run()
 
 
+def _cmd_calibrate(args) -> int:
+    import dataclasses
+    import json as _json
+
+    from repro.fitting.trace_fit import (
+        FIT_PARAMETERS,
+        fit_from_observations,
+    )
+    from repro.hardware.catalog_io import write_catalog_entry
+    from repro.obs.ingest import load_observations
+    from repro.reporting.drift import compute_drift
+
+    observations = load_observations(args.trace_input, args.csv_input)
+    if args.batch:
+        observations = [
+            dataclasses.replace(item, global_batch=args.batch)
+            if item.global_batch <= 0 else item
+            for item in observations]
+    system = _system_from_args(args)
+    model = get_model(args.model)
+    fallback = next((item.mapping for item in observations
+                     if item.mapping is not None), None) \
+        or spec_from_totals(system, dp=system.n_accelerators)
+    base = AMPeD(model=model, system=system, parallelism=fallback,
+                 efficiency=_efficiency(), validate=False)
+    for item in observations:
+        if item.model and item.model != model.name:
+            _say(f"note: observation {item.source or '<unknown>'} was "
+                 f"recorded for {item.model!r}, calibrating "
+                 f"{model.name!r} — pass --model to match")
+            break
+
+    parameters = tuple(name.strip() for name in args.fit.split(",")
+                       if name.strip()) or FIT_PARAMETERS
+    fit = fit_from_observations(base, observations,
+                                parameters=parameters)
+
+    _say(f"calibrated {model.name} against {len(observations)} "
+         f"observation(s), {len(fit.residuals)} aligned term pair(s) "
+         f"[{fit.backend} backend, {fit.iterations} iteration(s)"
+         f"{'' if fit.converged else ', NOT converged'}]")
+    _say()
+    rows = []
+    for name in fit.fitted_parameters:
+        value = getattr(fit.coefficients, name)
+        low, high = fit.confidence_interval(name)
+        rows.append((name, f"{value:.6g}",
+                     f"[{low:.6g}, {high:.6g}]"))
+    _say(render_table(["coefficient", "fitted", "95% interval"], rows,
+                      title=f"fit: R^2 = {fit.r_squared:.6f}, "
+                            f"condition = {fit.condition_number:.3g}"))
+    for warning in fit.warnings:
+        _say(f"warning: {warning}")
+
+    calibrated = fit.coefficients.apply(base)
+    drift = compute_drift(calibrated, observations,
+                          threshold=args.threshold)
+    _say()
+    _say(drift.format_table())
+
+    if args.report:
+        import math as _math
+        from pathlib import Path
+
+        def finite_or_none(value):
+            return value if _math.isfinite(value) else None
+
+        payload = {"fit": {
+            "coefficients": fit.coefficients.as_dict(),
+            "fitted_parameters": list(fit.fitted_parameters),
+            "stderr": {name: finite_or_none(value)
+                       for name, value in fit.stderr.items()},
+            "r_squared": fit.r_squared,
+            "condition_number": finite_or_none(fit.condition_number),
+            "converged": fit.converged,
+            "backend": fit.backend,
+            "warnings": fit.warnings,
+        }, "drift": drift.as_dict()}
+        Path(args.report).write_text(
+            _json.dumps(payload, indent=2, allow_nan=False) + "\n")
+        _say(f"\nwrote report to {args.report}")
+
+    if args.write_catalog:
+        entry_name = args.catalog_name \
+            or f"{args.accelerator}-calibrated"
+        write_catalog_entry(
+            args.write_catalog, entry_name, calibrated.system,
+            calibrated.efficiency,
+            provenance={
+                "model": model.name,
+                "observations": len(observations),
+                "r_squared": fit.r_squared,
+                "fitted_parameters": list(fit.fitted_parameters),
+                "coefficients": fit.coefficients.as_dict(),
+                "trace": args.trace_input,
+                "csv": args.csv_input,
+            })
+        _say(f"wrote catalog entry {entry_name!r} to "
+             f"{args.write_catalog}")
+    return 0
+
+
 def _cmd_export(args) -> int:
     from repro.experiments.casestudy1 import ALL_FIGURES
     from repro.experiments.casestudy2 import reproduce_fig10
@@ -593,6 +740,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cost": _cmd_cost,
         "export": _cmd_export,
         "serve": _cmd_serve,
+        "calibrate": _cmd_calibrate,
     }
     try:
         with span(f"cli.{args.command}", category="cli"):

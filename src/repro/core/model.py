@@ -346,6 +346,10 @@ class AMPeD:
         while tracing is disabled)."""
         tracer = get_tracer()
         if tracer.enabled:
+            # The six split degrees + microbatch count are stamped as
+            # individual attrs (not just the describe() string) so
+            # repro.obs.ingest can reconstruct the exact
+            # ParallelismSpec when a trace is fed back for calibration.
             emit_component_events(
                 tracer, breakdown.as_dict(), breakdown.total,
                 name="model.estimate_batch", track_prefix="model.eq1",
@@ -353,7 +357,14 @@ class AMPeD:
                 attrs={"model": self.model.name,
                        "mapping": spec.describe(),
                        "global_batch": global_batch,
-                       "evaluation_path": self.evaluation_path})
+                       "evaluation_path": self.evaluation_path,
+                       "tp_intra": spec.tp_intra,
+                       "tp_inter": spec.tp_inter,
+                       "pp_intra": spec.pp_intra,
+                       "pp_inter": spec.pp_inter,
+                       "dp_intra": spec.dp_intra,
+                       "dp_inter": spec.dp_inter,
+                       "n_microbatches": spec.microbatches})
 
     def estimate(self, global_batch: int,
                  n_batches: Optional[int] = None,

@@ -88,6 +88,29 @@ class SweepInterrupted(ReproError):
             partial_results if partial_results else [])
 
 
+class IngestError(ReproError):
+    """A measurement artifact (Chrome trace, CSV timings) could not be
+    ingested.
+
+    Raised by :mod:`repro.obs.ingest` with enough context to act on —
+    the offending file and, when known, the event index or line number —
+    and mapped by ``amped calibrate`` to a structured exit 2, never a
+    traceback.  ``offset`` is the zero-based event position inside a
+    trace's ``traceEvents`` array, or the one-based line number inside
+    a CSV file; ``None`` when the failure is not tied to one record.
+    """
+
+    def __init__(self, message: str, path: Optional[str] = None,
+                 offset: Optional[int] = None) -> None:
+        location = ""
+        if path is not None:
+            location = f"{path}: " if offset is None \
+                else f"{path}:{offset}: "
+        super().__init__(f"{location}{message}")
+        self.path = path
+        self.offset = offset
+
+
 class RequestValidationError(ReproError):
     """An estimation-service request failed schema validation.
 

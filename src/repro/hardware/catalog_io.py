@@ -1,0 +1,226 @@
+"""Serialization for hardware specs: calibrated catalog entries on disk.
+
+The calibration pipeline (:mod:`repro.fitting.trace_fit`) ends by
+*writing down* what it learned — a system description with the fitted
+achievable-FLOPs fraction folded into the accelerator clock and the
+fitted latency/bandwidth scales folded into the links, next to the
+fitted microbatch-efficiency curve.  This module provides the JSON
+round-trip for that artifact:
+
+- :func:`system_to_dict` / :func:`system_from_dict` — lossless
+  (de)serialization of :class:`~repro.hardware.system.SystemSpec` and
+  its nested :class:`~repro.hardware.node.NodeSpec` /
+  :class:`~repro.hardware.accelerator.AcceleratorSpec` /
+  :class:`~repro.hardware.interconnect.LinkSpec`, field-for-field, so a
+  written entry reconstructs through the *same validated dataclasses*
+  the in-memory catalog uses;
+- :func:`derated_system` — the calibrated copy of a system: clock
+  scaled by the achievable-FLOPs fraction, links scaled by the fitted
+  latency/bandwidth factors;
+- :func:`write_catalog_entry` / :func:`load_catalog_entry` — the
+  ``amped calibrate --write-catalog`` artifact (format version, specs,
+  efficiency curve, free-form provenance).
+
+File format (``docs/calibration.md`` §5)::
+
+    {"format": "repro.hardware.catalog_entry/v1",
+     "name": "...", "system": {...}, "efficiency": {...},
+     "provenance": {...}}
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.accelerator import AcceleratorSpec
+from repro.hardware.interconnect import LinkSpec
+from repro.hardware.node import NodeSpec
+from repro.hardware.system import SystemSpec
+from repro.parallelism.microbatch import MicrobatchEfficiency
+
+#: Format tag written into every catalog entry file.
+CATALOG_ENTRY_FORMAT = "repro.hardware.catalog_entry/v1"
+
+
+def _spec_to_dict(spec: Any) -> Dict[str, Any]:
+    """One dataclass instance as a flat field dict (no recursion)."""
+    return {item.name: getattr(spec, item.name)
+            for item in dataclasses.fields(spec)}
+
+
+def system_to_dict(system: SystemSpec) -> Dict[str, Any]:
+    """A :class:`SystemSpec` as plain JSON-serializable dicts."""
+    node = system.node
+    return {
+        "n_nodes": system.n_nodes,
+        "node": {
+            "n_accelerators": node.n_accelerators,
+            "n_nics": node.n_nics,
+            "accelerator": _spec_to_dict(node.accelerator),
+            "intra_link": _spec_to_dict(node.intra_link),
+            "inter_link": _spec_to_dict(node.inter_link),
+        },
+    }
+
+
+def _build(cls: type, payload: Any, label: str) -> Any:
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"catalog entry {label} must be an object, got "
+            f"{type(payload).__name__}")
+    known = {item.name for item in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"catalog entry {label} has unknown fields {unknown}")
+    try:
+        return cls(**payload)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"catalog entry {label} is incomplete ({error})") from None
+
+
+def system_from_dict(payload: Any) -> SystemSpec:
+    """Rebuild a :class:`SystemSpec` written by :func:`system_to_dict`.
+
+    Construction goes through the ordinary dataclass constructors, so
+    every validation rule (positive bandwidths, integer core counts,
+    ...) applies to data read from disk exactly as it does in code.
+    """
+    if not isinstance(payload, dict) or "node" not in payload:
+        raise ConfigurationError(
+            "catalog entry system must be an object with a 'node'")
+    node_payload = payload["node"]
+    if not isinstance(node_payload, dict):
+        raise ConfigurationError("catalog entry node must be an object")
+    node = NodeSpec(
+        accelerator=_build(AcceleratorSpec,
+                           node_payload.get("accelerator"),
+                           "accelerator"),
+        n_accelerators=node_payload.get("n_accelerators", 0),
+        intra_link=_build(LinkSpec, node_payload.get("intra_link"),
+                          "intra_link"),
+        inter_link=_build(LinkSpec, node_payload.get("inter_link"),
+                          "inter_link"),
+        n_nics=node_payload.get("n_nics", 1),
+    )
+    return SystemSpec(node=node, n_nodes=payload.get("n_nodes", 0))
+
+
+def _scaled_link(link: LinkSpec, latency_scale: float,
+                 bandwidth_scale: float) -> LinkSpec:
+    if latency_scale == 1.0 and bandwidth_scale == 1.0:
+        return link
+    return LinkSpec(
+        name=f"{link.name} (calibrated)",
+        latency_s=link.latency_s * latency_scale,
+        bandwidth_bits_per_s=(link.bandwidth_bits_per_s
+                              * bandwidth_scale),
+    )
+
+
+def derated_system(system: SystemSpec, flops_fraction: float = 1.0,
+                   link_latency_scale: float = 1.0,
+                   link_bandwidth_scale: float = 1.0) -> SystemSpec:
+    """The calibrated copy of ``system``.
+
+    ``flops_fraction`` is the achievable fraction of the datasheet
+    peak, applied as a whole-chip clock derate (it scales the MAC *and*
+    non-linear pipelines together — the model's peaks are both linear
+    in ``frequency_hz``).  The link scales multiply every link's
+    latency and bandwidth uniformly (intra and inter); use the
+    :class:`LinkSpec` helpers directly for asymmetric adjustments.
+    """
+    for name, value in (("flops_fraction", flops_fraction),
+                        ("link_latency_scale", link_latency_scale),
+                        ("link_bandwidth_scale", link_bandwidth_scale)):
+        if not value > 0:
+            raise ConfigurationError(
+                f"{name} must be positive, got {value!r}")
+    if (flops_fraction == 1.0 and link_latency_scale == 1.0
+            and link_bandwidth_scale == 1.0):
+        return system
+    accelerator = system.accelerator
+    if flops_fraction != 1.0:
+        accelerator = dataclasses.replace(
+            accelerator,
+            name=f"{accelerator.name} (calibrated)",
+            frequency_hz=accelerator.frequency_hz * flops_fraction)
+    node = dataclasses.replace(
+        system.node,
+        accelerator=accelerator,
+        intra_link=_scaled_link(system.node.intra_link,
+                                link_latency_scale,
+                                link_bandwidth_scale),
+        inter_link=_scaled_link(system.node.inter_link,
+                                link_latency_scale,
+                                link_bandwidth_scale),
+    )
+    return SystemSpec(node=node, n_nodes=system.n_nodes)
+
+
+def write_catalog_entry(path: "str | Path", name: str,
+                        system: SystemSpec,
+                        efficiency: MicrobatchEfficiency,
+                        provenance: Optional[Dict[str, Any]] = None
+                        ) -> Path:
+    """Write a calibrated catalog entry; returns the path.
+
+    The entry is validated by immediately reading it back through
+    :func:`load_catalog_entry` before the write is considered done, so
+    a file on disk always round-trips.
+    """
+    payload = {
+        "format": CATALOG_ENTRY_FORMAT,
+        "name": name,
+        "system": system_to_dict(system),
+        "efficiency": _spec_to_dict(efficiency),
+        "provenance": dict(provenance or {}),
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, allow_nan=False)
+                      + "\n")
+    load_catalog_entry(target)
+    return target
+
+
+def load_catalog_entry(path: "str | Path"
+                       ) -> Tuple[str, SystemSpec,
+                                  MicrobatchEfficiency,
+                                  Dict[str, Any]]:
+    """Read a calibrated catalog entry back into validated specs.
+
+    Returns ``(name, system, efficiency, provenance)``.  Raises
+    :class:`ConfigurationError` on a malformed file.
+    """
+    target = Path(path)
+    try:
+        payload = json.loads(target.read_text())
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read catalog entry {target} ({error})") from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"catalog entry {target} is not valid JSON "
+            f"({error})") from error
+    if not isinstance(payload, dict) \
+            or payload.get("format") != CATALOG_ENTRY_FORMAT:
+        raise ConfigurationError(
+            f"catalog entry {target} does not declare format "
+            f"{CATALOG_ENTRY_FORMAT!r}")
+    name = payload.get("name")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"catalog entry {target} is missing a non-empty 'name'")
+    system = system_from_dict(payload.get("system"))
+    efficiency = _build(MicrobatchEfficiency,
+                        payload.get("efficiency"), "efficiency")
+    provenance = payload.get("provenance") or {}
+    if not isinstance(provenance, dict):
+        raise ConfigurationError(
+            f"catalog entry {target} provenance must be an object")
+    return name, system, efficiency, provenance

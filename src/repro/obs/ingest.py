@@ -1,0 +1,540 @@
+"""Trace ingestion: read measured timings back into the model's terms.
+
+:mod:`repro.obs.export` writes Chrome trace-event JSON; this module is
+the other half of the observability loop — it reads such a file (or a
+simple CSV timing format) back into structured *observations* the
+fitting layer (:mod:`repro.fitting.trace_fit`) and the drift reporter
+(:mod:`repro.reporting.drift`) consume:
+
+- :func:`load_chrome_trace` — strict, stdlib-only reader for the exact
+  ``{"traceEvents": [...]}`` envelope ``repro.obs.export`` emits and
+  ``python -m repro.obs`` validates.  Span records are reconstructed
+  (``span_id``/``parent_id`` linkage, track names from ``thread_name``
+  metadata, microsecond → second conversion) into an
+  :class:`IngestedTrace`.
+- :func:`load_csv_timings` — a minimal CSV schema
+  (``term,seconds[,model,mapping,global_batch,observation,...]``) for
+  profiles that never went through the tracer (e.g. hand-reduced
+  framework logs); see ``docs/calibration.md`` for the column contract.
+
+Both raise :class:`~repro.errors.IngestError` carrying the file and the
+offending event index / line number — ``amped calibrate`` maps that to
+a structured exit 2, never a traceback.
+
+An :class:`IngestedTrace` exposes the span taxonomy PR 4 stamped on
+emissions:
+
+- :meth:`IngestedTrace.observations` — one
+  :class:`EstimateObservation` per ``model.estimate_batch`` emission,
+  with its ``term.*`` children reduced to a per-term seconds dict and
+  the mapping reconstructed from the structured degree attrs;
+- :meth:`IngestedTrace.collectives` — ``collective.*`` spans with
+  their algorithm / payload-bytes / steps attrs;
+- :meth:`IngestedTrace.stage_tracks` — the per-stage pipeline schedule
+  tracks ``simulate_pipeline`` emits.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import IngestError, require_finite_fields
+from repro.obs.trace import SpanRecord
+from repro.parallelism.spec import ParallelismSpec
+from repro.units import Seconds, microseconds_to_seconds
+
+#: The breakdown component names a ``model.estimate_batch`` emission
+#: tiles into ``term.<name>`` children (declaration order of
+#: :class:`~repro.core.breakdown.TrainingTimeBreakdown`).
+TERM_NAMES: Tuple[str, ...] = (
+    "compute_forward", "compute_backward", "compute_weight_update",
+    "comm_tp_intra", "comm_tp_inter", "comm_pp", "comm_moe",
+    "comm_gradient_intra", "comm_gradient_inter", "comm_zero",
+    "bubble")
+
+#: The structured mapping attrs an estimate emission carries (added in
+#: this PR so ingestion can rebuild the exact ParallelismSpec).
+_DEGREE_ATTRS = ("tp_intra", "tp_inter", "pp_intra", "pp_inter",
+                 "dp_intra", "dp_inter")
+
+#: Required CSV columns; every further column is kept as metadata.
+CSV_REQUIRED_COLUMNS = ("term", "seconds")
+
+
+@dataclass(frozen=True)
+class EstimateObservation:
+    """One measured Eq. 1 evaluation: per-term seconds plus identity.
+
+    Attributes
+    ----------
+    terms:
+        Measured seconds per breakdown component (``compute_forward``,
+        ``comm_pp``, ...).  For a trace this is each ``term.*`` child's
+        duration; terms may be missing when the source CSV only
+        profiled a subset.
+    model, global_batch, evaluation_path:
+        Identity attrs from the parent emission (``None``/0 when the
+        source did not carry them).
+    mapping:
+        The reconstructed :class:`ParallelismSpec`, when the source
+        carried the structured degree attrs (or parseable CSV
+        columns); ``None`` otherwise — fitting then requires the
+        caller to supply the mapping out of band.
+    total_s:
+        The parent emission's duration (the modeled batch time at
+        recording; for CSVs, the sum of the term rows).
+    source:
+        ``"<path>#<ordinal>"`` provenance string for error messages.
+    """
+
+    terms: Mapping[str, Seconds]
+    model: Optional[str] = None
+    global_batch: int = 0
+    evaluation_path: Optional[str] = None
+    mapping: Optional[ParallelismSpec] = None
+    total_s: Seconds = 0.0
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
+
+    @property
+    def term_sum_s(self) -> Seconds:
+        """Sum of every measured term (should match ``total_s`` for
+        traces emitted by this library)."""
+        return sum(self.terms.values())
+
+
+@dataclass(frozen=True)
+class CollectiveSample:
+    """One ``collective.*`` span with its cost attrs."""
+
+    name: str
+    algorithm: str
+    n_ranks: int
+    payload_bytes: float
+    steps: int
+    modeled_time_s: Seconds
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        require_finite_fields(self)
+
+
+@dataclass(frozen=True)
+class StageTrack:
+    """One pipeline-stage schedule track: its named task events."""
+
+    track: str
+    events: Tuple[SpanRecord, ...]
+
+    @property
+    def busy_s(self) -> Seconds:
+        """Total task time on this stage's timeline."""
+        return sum(event.duration_s for event in self.events)
+
+
+@dataclass
+class IngestedTrace:
+    """A Chrome trace read back into span records and taxonomy views."""
+
+    path: str
+    records: List[SpanRecord] = field(default_factory=list)
+
+    # -- taxonomy views ------------------------------------------------------
+
+    def observations(self) -> List[EstimateObservation]:
+        """Every ``model.estimate_batch`` emission as an observation."""
+        children: Dict[int, Dict[str, float]] = {}
+        parents: List[SpanRecord] = []
+        for record in self.records:
+            if record.name == "model.estimate_batch":
+                parents.append(record)
+            elif record.name.startswith("term.") \
+                    and record.parent_id is not None:
+                bucket = children.setdefault(record.parent_id, {})
+                term = record.name[len("term."):]
+                # Term children stamp the exact modeled seconds as an
+                # attr; the event's dur went through the microsecond
+                # encoding and can be an ulp off, so prefer the attr.
+                exact = record.attrs.get("seconds")
+                value = exact if isinstance(exact, (int, float)) \
+                    and not isinstance(exact, bool) \
+                    and math.isfinite(exact) else record.duration_s
+                bucket[term] = bucket.get(term, 0.0) + value
+        observations = []
+        for ordinal, parent in enumerate(parents):
+            terms = children.get(parent.span_id, {})
+            attrs = parent.attrs
+            observations.append(EstimateObservation(
+                terms=terms,
+                model=attrs.get("model"),
+                global_batch=int(attrs.get("global_batch", 0) or 0),
+                evaluation_path=attrs.get("evaluation_path"),
+                mapping=_mapping_from_attrs(attrs),
+                total_s=parent.duration_s,
+                source=f"{self.path}#{ordinal}",
+            ))
+        return observations
+
+    def collectives(self) -> List[CollectiveSample]:
+        """Every ``collective.*`` span carrying the cost-attr taxonomy."""
+        samples = []
+        for ordinal, record in enumerate(self.records):
+            if not record.name.startswith("collective."):
+                continue
+            attrs = record.attrs
+            if "algorithm" not in attrs:
+                continue  # a wall-clock shell without cost attrs
+            samples.append(CollectiveSample(
+                name=record.name,
+                algorithm=str(attrs["algorithm"]),
+                n_ranks=int(attrs.get("n_ranks", 0) or 0),
+                payload_bytes=float(attrs.get("payload_bytes", 0.0)
+                                    or 0.0),
+                steps=int(attrs.get("steps", 0) or 0),
+                modeled_time_s=float(attrs.get("modeled_time_s", 0.0)
+                                     or 0.0),
+                source=f"{self.path}#{ordinal}",
+            ))
+        return samples
+
+    def stage_tracks(self, prefix: str = "pipeline.stage"
+                     ) -> List[StageTrack]:
+        """The per-stage schedule tracks, one :class:`StageTrack` per
+        distinct ``pipeline.stage*`` timeline."""
+        by_track: Dict[str, List[SpanRecord]] = {}
+        for record in self.records:
+            if record.track and record.track.startswith(prefix):
+                by_track.setdefault(record.track, []).append(record)
+        return [StageTrack(track=name,
+                           events=tuple(sorted(
+                               events, key=lambda r: (r.start_s,
+                                                      r.span_id))))
+                for name, events in sorted(by_track.items())]
+
+
+def _mapping_from_attrs(attrs: Mapping[str, Any]
+                        ) -> Optional[ParallelismSpec]:
+    """Rebuild the ParallelismSpec from an emission's structured degree
+    attrs; ``None`` when any degree is missing (older traces)."""
+    if not all(key in attrs for key in _DEGREE_ATTRS):
+        return None
+    try:
+        degrees = {key: int(attrs[key]) for key in _DEGREE_ATTRS}
+        n_microbatches = attrs.get("n_microbatches")
+        if n_microbatches is not None:
+            degrees["n_microbatches"] = int(n_microbatches)
+        return ParallelismSpec(**degrees)
+    except (TypeError, ValueError) as error:
+        raise IngestError(
+            f"estimate emission carries unusable mapping attrs "
+            f"({error})") from error
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace reader
+# ---------------------------------------------------------------------------
+
+
+def load_chrome_trace(path: "str | Path") -> IngestedTrace:
+    """Read a Chrome trace-event JSON file into an
+    :class:`IngestedTrace`.
+
+    Strict by design: the envelope, per-event required keys, numeric
+    sanity of ``ts``/``dur`` and the ``span_id`` linkage are all
+    checked, and every failure is an :class:`~repro.errors.IngestError`
+    naming the file and the zero-based event index.
+    """
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except OSError as error:
+        raise IngestError(f"cannot read trace ({error})",
+                          path=str(target)) from error
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise IngestError(f"not valid JSON ({error})",
+                          path=str(target)) from error
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise IngestError(
+            "expected an object with a 'traceEvents' array",
+            path=str(target))
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise IngestError("'traceEvents' must be an array",
+                          path=str(target))
+
+    # Pass 1: thread_name metadata maps (pid, tid) rows back to the
+    # virtual track names the exporter assigned.
+    tracks: Dict[Tuple[int, int], str] = {}
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise IngestError("event is not an object",
+                              path=str(target), offset=position)
+        if event.get("ph") != "M":
+            continue
+        if event.get("name") != "thread_name":
+            continue
+        args = event.get("args")
+        label = args.get("name") if isinstance(args, dict) else None
+        if not isinstance(label, str):
+            raise IngestError(
+                "thread_name metadata event lacks args.name",
+                path=str(target), offset=position)
+        try:
+            tracks[(int(event["pid"]), int(event["tid"]))] = label
+        except (KeyError, TypeError, ValueError) as error:
+            raise IngestError(
+                f"thread_name metadata event has unusable pid/tid "
+                f"({error})", path=str(target),
+                offset=position) from error
+
+    # Pass 2: complete events become span records.
+    records: List[SpanRecord] = []
+    seen_ids: Dict[int, int] = {}
+    for position, event in enumerate(events):
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase != "X":
+            raise IngestError(
+                f"unsupported event phase {phase!r} (the exporter only "
+                f"writes complete 'X' and metadata 'M' events)",
+                path=str(target), offset=position)
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                raise IngestError(
+                    f"event {event.get('name')!r} is missing required "
+                    f"key {key!r}", path=str(target), offset=position)
+        for key in ("ts", "dur"):
+            value = event[key]
+            if isinstance(value, bool) \
+                    or not isinstance(value, (int, float)) \
+                    or not math.isfinite(value) or value < 0:
+                raise IngestError(
+                    f"event {event['name']!r} has invalid "
+                    f"{key}={value!r} (need a finite non-negative "
+                    f"number of microseconds)",
+                    path=str(target), offset=position)
+        args = event.get("args")
+        attrs: Dict[str, Any] = dict(args) if isinstance(args, dict) \
+            else {}
+        span_id = attrs.pop("span_id", None)
+        parent_id = attrs.pop("parent_id", None)
+        if span_id is None:
+            # Foreign traces (a profiler that never went through
+            # repro.obs) have no linkage; synthesize stable ids so the
+            # record set is still walkable as a flat forest.
+            span_id = -(position + 1)
+        for label, value in (("span_id", span_id),
+                             ("parent_id", parent_id)):
+            if value is not None and (isinstance(value, bool)
+                                      or not isinstance(value, int)):
+                raise IngestError(
+                    f"event {event['name']!r} has non-integer "
+                    f"{label}={value!r}", path=str(target),
+                    offset=position)
+        if span_id in seen_ids:
+            raise IngestError(
+                f"duplicate span_id {span_id} (first used by event "
+                f"{seen_ids[span_id]})", path=str(target),
+                offset=position)
+        seen_ids[span_id] = position
+        pid = int(event["pid"])
+        tid = int(event["tid"])
+        label = tracks.get((pid, tid))
+        track = None
+        thread_id = tid
+        if label is not None:
+            if label.startswith("thread "):
+                try:
+                    thread_id = int(label[len("thread "):])
+                except ValueError:
+                    track = label
+            else:
+                track = label
+        records.append(SpanRecord(
+            name=str(event["name"]),
+            category=str(event.get("cat", "")),
+            start_s=microseconds_to_seconds(event["ts"]),
+            duration_s=microseconds_to_seconds(event["dur"]),
+            pid=pid,
+            thread_id=thread_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            track=track,
+            attrs=attrs,
+        ))
+    for position, record in enumerate(records):
+        if record.parent_id is not None \
+                and record.parent_id not in seen_ids:
+            raise IngestError(
+                f"event {record.name!r} references unknown parent_id "
+                f"{record.parent_id}", path=str(target),
+                offset=seen_ids[record.span_id])
+    return IngestedTrace(path=str(target), records=records)
+
+
+# ---------------------------------------------------------------------------
+# CSV reader
+# ---------------------------------------------------------------------------
+
+
+def load_csv_timings(path: "str | Path") -> List[EstimateObservation]:
+    """Read measured per-term timings from a CSV file.
+
+    Schema (``docs/calibration.md`` §2): a header row with at least
+    ``term`` and ``seconds``; optional ``model``, ``mapping`` (ignored
+    — informational), ``tp``/``pp``/``dp`` totals, ``global_batch``,
+    ``n_microbatches`` and ``observation`` columns.  Rows sharing an
+    ``observation`` value (default ``"0"``) are grouped into one
+    :class:`EstimateObservation`; a mapping is attached when the
+    ``tp``/``pp``/``dp`` columns are present (placed intra-node first,
+    single-node semantics — multi-node CSVs should carry the six split
+    degrees ``tp_intra``..``dp_inter`` instead).
+    """
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except OSError as error:
+        raise IngestError(f"cannot read CSV ({error})",
+                          path=str(target)) from error
+    reader = csv.DictReader(text.splitlines())
+    if reader.fieldnames is None:
+        raise IngestError("CSV file is empty (no header row)",
+                          path=str(target))
+    header = [name.strip() for name in reader.fieldnames]
+    for column in CSV_REQUIRED_COLUMNS:
+        if column not in header:
+            raise IngestError(
+                f"CSV header {header} is missing required column "
+                f"{column!r}", path=str(target), offset=1)
+
+    groups: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for line, row in enumerate(reader, start=2):
+        cleaned = {(key.strip() if key else key):
+                   (value.strip() if isinstance(value, str) else value)
+                   for key, value in row.items()}
+        term = cleaned.get("term") or ""
+        if not term:
+            raise IngestError("row has an empty 'term'",
+                              path=str(target), offset=line)
+        try:
+            seconds = float(cleaned.get("seconds") or "")
+        except ValueError:
+            raise IngestError(
+                f"row has non-numeric seconds="
+                f"{cleaned.get('seconds')!r}", path=str(target),
+                offset=line) from None
+        if not math.isfinite(seconds) or seconds < 0:
+            raise IngestError(
+                f"row has invalid seconds={seconds!r} (need finite "
+                f"and non-negative)", path=str(target), offset=line)
+        key = cleaned.get("observation") or "0"
+        group = groups.get(key)
+        if group is None:
+            group = {"terms": {}, "meta": {}, "line": line}
+            groups[key] = group
+            order.append(key)
+        if term in group["terms"]:
+            raise IngestError(
+                f"observation {key!r} lists term {term!r} twice",
+                path=str(target), offset=line)
+        group["terms"][term] = seconds
+        for meta_key in ("model", "global_batch", "tp", "pp", "dp",
+                         "n_microbatches", "tp_intra", "tp_inter",
+                         "pp_intra", "pp_inter", "dp_intra",
+                         "dp_inter"):
+            value = cleaned.get(meta_key)
+            if value in (None, ""):
+                continue
+            previous = group["meta"].get(meta_key)
+            if previous is not None and previous != value:
+                raise IngestError(
+                    f"observation {key!r} has conflicting "
+                    f"{meta_key} values ({previous!r} vs {value!r})",
+                    path=str(target), offset=line)
+            group["meta"][meta_key] = value
+
+    observations = []
+    for key in order:
+        group = groups[key]
+        meta = group["meta"]
+        observations.append(EstimateObservation(
+            terms=dict(group["terms"]),
+            model=meta.get("model"),
+            global_batch=_int_meta(meta, "global_batch", target,
+                                   group["line"]),
+            evaluation_path=None,
+            mapping=_mapping_from_csv_meta(meta, target, group["line"]),
+            total_s=sum(group["terms"].values()),
+            source=f"{target}#{key}",
+        ))
+    if not observations:
+        raise IngestError("CSV file holds no timing rows",
+                          path=str(target))
+    return observations
+
+
+def _int_meta(meta: Mapping[str, str], key: str, target: Path,
+              line: int) -> int:
+    value = meta.get(key)
+    if value is None:
+        return 0
+    try:
+        return int(value)
+    except ValueError:
+        raise IngestError(
+            f"observation has non-integer {key}={value!r}",
+            path=str(target), offset=line) from None
+
+
+def _mapping_from_csv_meta(meta: Mapping[str, str], target: Path,
+                           line: int) -> Optional[ParallelismSpec]:
+    """A ParallelismSpec from either the six split-degree columns or
+    the tp/pp/dp totals (single-node placement)."""
+    def int_or_raise(key: str) -> int:
+        try:
+            return int(meta[key])
+        except ValueError:
+            raise IngestError(
+                f"observation has non-integer {key}={meta[key]!r}",
+                path=str(target), offset=line) from None
+
+    n_microbatches = None
+    if meta.get("n_microbatches") is not None:
+        n_microbatches = int_or_raise("n_microbatches")
+    if all(key in meta for key in _DEGREE_ATTRS):
+        degrees = {key: int_or_raise(key) for key in _DEGREE_ATTRS}
+        return ParallelismSpec(n_microbatches=n_microbatches,
+                               **degrees)
+    if all(key in meta for key in ("tp", "pp", "dp")):
+        return ParallelismSpec(
+            tp_intra=int_or_raise("tp"), pp_intra=int_or_raise("pp"),
+            dp_intra=int_or_raise("dp"),
+            n_microbatches=n_microbatches)
+    return None
+
+
+def load_observations(trace_path: "Optional[str | Path]" = None,
+                      csv_path: "Optional[str | Path]" = None
+                      ) -> List[EstimateObservation]:
+    """Observations from a trace, a CSV, or both (concatenated in
+    argument order) — the ``amped calibrate`` entry helper."""
+    if trace_path is None and csv_path is None:
+        raise IngestError(
+            "nothing to ingest: provide a trace and/or a CSV file")
+    observations: List[EstimateObservation] = []
+    if trace_path is not None:
+        observations.extend(load_chrome_trace(trace_path).observations())
+    if csv_path is not None:
+        observations.extend(load_csv_timings(csv_path))
+    return observations

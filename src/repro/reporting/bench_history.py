@@ -1,17 +1,22 @@
 """Per-PR benchmark history report: ``BENCH_trajectory.json`` as text.
 
 Every ``bench_gate.py`` run appends one row to the trajectory; this
-module renders that ledger as an aligned table plus ASCII sparklines,
-one per engine phase, so the throughput story across PRs is readable
-straight from a terminal:
+module renders that ledger as aligned tables plus ASCII sparklines —
+one table per benchmark suite (DSE throughput, observability
+overhead, serve latency), all sharing the same sparkline helper — so
+the performance story across PRs is readable straight from a
+terminal:
 
     PYTHONPATH=src python -m repro.reporting.bench_history
     PYTHONPATH=src python -m repro.reporting.bench_history --last 10
 
-Rows predating a phase (the vectorized backend landed after the
-compiled one; no-NumPy environments skip it entirely) simply hold
-``None`` — the table prints a dash and the sparkline leaves a gap, so
-mixed-era trajectories render without special-casing.
+Rows predating a phase or suite (the vectorized backend landed after
+the compiled one; the obs/serve columns only exist once
+``BENCH_obs.json``/``BENCH_serve.json`` do; no-NumPy environments
+skip vectorized entirely) simply hold ``None`` — the table prints a
+dash and the sparkline leaves a gap, so mixed-era trajectories render
+without special-casing.  Suites absent from *every* row are omitted
+wholesale.
 """
 
 from __future__ import annotations
@@ -37,6 +42,18 @@ PHASE_COLUMNS = (
     ("compiled/s", "compiled_mappings_per_s"),
     ("vectorized/s", "vectorized_mappings_per_s"),
     ("crossprod/s", "crossproduct_mappings_per_s"),
+)
+
+#: Observability-overhead suite columns (``BENCH_obs.json``-derived).
+OBS_COLUMNS = (
+    ("overhead x", "obs_enabled_overhead"),
+)
+
+#: Serve-latency suite columns (``BENCH_serve.json``-derived).
+SERVE_COLUMNS = (
+    ("warm p50 s", "serve_warm_p50_s"),
+    ("warm req/s", "serve_warm_requests_per_s"),
+    ("burst req/s", "serve_burst_requests_per_s"),
 )
 
 
@@ -83,9 +100,51 @@ def _rate_cell(value: Optional[float]) -> str:
     return "-" if value is None else f"{value:,.0f}"
 
 
+def _measure_cell(value: Optional[float]) -> str:
+    """Mixed-magnitude cell: request rates and sub-ms latencies share
+    a table, so pick the format by size."""
+    if value is None:
+        return "-"
+    if abs(value) >= 100:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+#: ``(suite title, columns, cell formatter)`` per rendered table.  The
+#: DSE suite always renders; the others only once some row carries at
+#: least one of their fields.
+SUITE_TABLES = (
+    ("DSE throughput", PHASE_COLUMNS, _rate_cell),
+    ("observability overhead", OBS_COLUMNS, _measure_cell),
+    ("serve latency", SERVE_COLUMNS, _measure_cell),
+)
+
+
+def _suite_section(title: str, columns, cell, entries: List[dict]
+                   ) -> str:
+    """One suite's table plus its per-column sparklines."""
+    rows = []
+    for entry in entries:
+        rows.append([
+            str(entry.get("commit", "unknown")),
+            str(entry.get("timestamp", ""))[:10],
+        ] + [cell(entry.get(field)) for _, field in columns])
+    table = render_table(
+        ["commit", "date"] + [header for header, _ in columns],
+        rows, title=f"{title} trajectory ({len(entries)} runs)")
+    lines = [table, ""]
+    width = max(len(header) for header, _ in columns)
+    for header, field in columns:
+        series = [entry.get(field) for entry in entries]
+        lines.append(f"{header.ljust(width)} {sparkline(series)}")
+    lines.append(f"{'scale'.ljust(width)} low '{SPARK_LEVELS[0]}' .. "
+                 f"high '{SPARK_LEVELS[-1]}', gap = phase absent")
+    return "\n".join(lines)
+
+
 def render_history(entries: List[dict],
                    last: Optional[int] = None) -> str:
-    """The trajectory as an aligned table plus per-phase sparklines."""
+    """The trajectory as one table + sparkline block per suite."""
     if not entries:
         raise ConfigurationError(
             "benchmark trajectory is empty — run bench_gate.py to "
@@ -95,24 +154,14 @@ def render_history(entries: List[dict],
             raise ConfigurationError(
                 f"--last must be at least 1, got {last}")
         entries = entries[-last:]
-    rows = []
-    for entry in entries:
-        rows.append([
-            str(entry.get("commit", "unknown")),
-            str(entry.get("timestamp", ""))[:10],
-        ] + [_rate_cell(entry.get(field))
-             for _, field in PHASE_COLUMNS])
-    table = render_table(
-        ["commit", "date"] + [header for header, _ in PHASE_COLUMNS],
-        rows, title=f"DSE throughput trajectory ({len(entries)} runs)")
-    lines = [table, ""]
-    width = max(len(header) for header, _ in PHASE_COLUMNS)
-    for header, field in PHASE_COLUMNS:
-        series = [entry.get(field) for entry in entries]
-        lines.append(f"{header.ljust(width)} {sparkline(series)}")
-    lines.append(f"{'scale'.ljust(width)} low '{SPARK_LEVELS[0]}' .. "
-                 f"high '{SPARK_LEVELS[-1]}', gap = phase absent")
-    return "\n".join(lines)
+    sections = []
+    for index, (title, columns, cell) in enumerate(SUITE_TABLES):
+        present = any(entry.get(field) is not None
+                      for entry in entries for _, field in columns)
+        if index == 0 or present:
+            sections.append(
+                _suite_section(title, columns, cell, entries))
+    return "\n\n".join(sections)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -500,10 +500,18 @@ def trajectory_entry(payload: dict, timestamp: str,
 
     The vectorized/cross-product fields are ``None`` for payloads
     produced without NumPy (or predating the vectorized backend), so
-    the trajectory stays appendable across environments.
+    the trajectory stays appendable across environments.  Likewise the
+    ``obs_*``/``serve_*`` fields: ``bench_gate.py`` attaches the
+    observability-overhead and serve-latency suite results under
+    ``payload["obs"]``/``payload["serve"]`` when available, and rows
+    predating those suites simply hold ``None``.
     """
     vectorized = payload.get("vectorized") or {}
     crossproduct = payload.get("crossproduct") or {}
+    obs = payload.get("obs") or {}
+    serve = payload.get("serve") or {}
+    serve_warm = serve.get("warm") or {}
+    serve_burst = serve.get("burst") or {}
     return {
         "timestamp": timestamp,
         "commit": commit,
@@ -526,6 +534,10 @@ def trajectory_entry(payload: dict, timestamp: str,
         "crossproduct_n_mappings": crossproduct.get("n_mappings"),
         "crossproduct_mappings_per_s":
             crossproduct.get("mappings_per_s"),
+        "obs_enabled_overhead": obs.get("enabled_overhead"),
+        "serve_warm_p50_s": serve_warm.get("p50_seconds"),
+        "serve_warm_requests_per_s": serve_warm.get("requests_per_s"),
+        "serve_burst_requests_per_s": serve_burst.get("requests_per_s"),
     }
 
 

@@ -34,8 +34,11 @@ simulate hangs, crashes and slow backends without touching the model.
 
 from __future__ import annotations
 
+import itertools
 import logging
+import os
 import queue
+import secrets
 import threading
 import time
 from dataclasses import replace
@@ -74,6 +77,22 @@ _INTER_LINKS = {"edr": IB_EDR, "hdr": IB_HDR, "ndr": IB_NDR}
 #: Dispatcher shutdown sentinel.
 _STOP = object()
 
+#: Monotonic per-process sequence folded into trace ids.
+_TRACE_SEQUENCE = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A unique request correlation id.
+
+    Stamped on the access log line, the ``serve.evaluate`` span and the
+    response, so one grep ties a daemon log entry to the matching span
+    in an exported trace.  Process-unique by construction (pid +
+    monotonic sequence) with a random suffix so ids stay distinct
+    across daemon restarts that reuse a pid.
+    """
+    return (f"{os.getpid():08x}-{next(_TRACE_SEQUENCE):06x}-"
+            f"{secrets.token_hex(4)}")
+
 #: One response: HTTP status + JSON-serializable payload.
 Response = Tuple[int, Dict[str, Any]]
 
@@ -89,10 +108,11 @@ class PendingRequest:
     """
 
     def __init__(self, request: EstimateRequest, deadline: float,
-                 enqueued_at: float) -> None:
+                 enqueued_at: float, trace_id: str = "") -> None:
         self.request = request
         self.deadline = deadline
         self.enqueued_at = enqueued_at
+        self.trace_id = trace_id or new_trace_id()
         self.done = threading.Event()
         self.status = 0
         self.payload: Dict[str, Any] = {}
@@ -191,9 +211,15 @@ class EstimationService:
 
     # -- admission ----------------------------------------------------
 
-    def submit(self, request: EstimateRequest) -> PendingRequest:
+    def submit(self, request: EstimateRequest,
+               trace_id: str = "") -> PendingRequest:
         """Admit one request, or shed it with
-        :class:`~repro.errors.ServiceOverloaded`."""
+        :class:`~repro.errors.ServiceOverloaded`.
+
+        ``trace_id`` correlates the admitted request across the access
+        log and the ``serve.evaluate`` span; one is generated when the
+        caller does not provide it.
+        """
         metrics = get_metrics()
         metrics.counter("serve.requests").inc()
         if self._draining:
@@ -211,7 +237,7 @@ class EstimationService:
         deadline_s = request.deadline_s \
             if request.deadline_s is not None else self.default_deadline_s
         pending = PendingRequest(request, deadline=now + deadline_s,
-                                 enqueued_at=now)
+                                 enqueued_at=now, trace_id=trace_id)
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
@@ -294,7 +320,9 @@ class EstimationService:
         rung = self.ladder.current
         try:
             with span("serve.evaluate", category="serve",
-                      attrs={"group": len(group), "rung": rung}):
+                      attrs={"group": len(group), "rung": rung,
+                             "trace_ids": ",".join(
+                                 p.trace_id for p in group)}):
                 results = _call_with_deadline(
                     lambda: self._group_results(group), timeout)
         except DeadlineExceeded as error:

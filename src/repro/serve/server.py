@@ -30,6 +30,7 @@ import logging
 import signal
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from math import ceil
 from typing import Any, Dict, Optional, Tuple
@@ -41,8 +42,9 @@ from repro.errors import (
 )
 from repro.obs.logs import LOG_LEVELS, configure_logging
 from repro.obs.metrics import collect_cache_metrics, get_metrics
-from repro.serve.lifecycle import EstimationService
+from repro.serve.lifecycle import EstimationService, new_trace_id
 from repro.serve.validation import error_body, parse_estimate_request
+from repro.units import seconds_to_milliseconds
 
 _LOG = logging.getLogger("repro.serve")
 
@@ -124,55 +126,68 @@ class _Handler(BaseHTTPRequestHandler):
                 "not_found", f"no such endpoint: {self.path}"))
 
     def do_POST(self) -> None:
+        # One structured access-log line per request: the trace_id
+        # printed here is also stamped on the matching serve.evaluate
+        # span (attr "trace_ids"), so daemon logs correlate with
+        # exported traces by a single grep.
+        trace_id = new_trace_id()
+        started = time.perf_counter()
+        status, payload, headers = self._handle_post(trace_id)
+        self._send_json(status, payload, headers)
+        _LOG.info(
+            "access trace_id=%s method=POST path=%s status=%d "
+            "duration_ms=%.2f client=%s code=%s",
+            trace_id, self.path, status,
+            seconds_to_milliseconds(time.perf_counter() - started),
+            self.address_string(),
+            payload.get("error", {}).get("code", "ok")
+            if isinstance(payload.get("error"), dict) else "ok")
+
+    def _handle_post(self, trace_id: str) -> Tuple[
+            int, Dict[str, Any], Optional[Dict[str, str]]]:
+        """The POST pipeline as (status, payload, headers)."""
         if self.path != "/v1/estimate":
-            self._send_json(404, error_body(
-                "not_found", f"no such endpoint: {self.path}"))
-            return
+            return 404, error_body(
+                "not_found", f"no such endpoint: {self.path}"), None
         service = self.server.service
         metrics = get_metrics()
         try:
             length = int(self.headers.get("Content-Length", ""))
         except ValueError:
-            self._send_json(400, error_body(
+            return 400, error_body(
                 "invalid_request",
-                "a Content-Length header is required"))
-            return
+                "a Content-Length header is required"), None
         if length > self.server.max_body_bytes:
             # Refuse before reading: an oversized body never costs
             # more than its headers.
-            self._send_json(413, error_body(
+            return 413, error_body(
                 "body_too_large",
                 f"request body of {length} bytes exceeds the "
-                f"{self.server.max_body_bytes} byte limit"))
-            return
+                f"{self.server.max_body_bytes} byte limit"), None
         body = self.rfile.read(max(0, length))
         try:
             request = parse_estimate_request(body)
         except RequestValidationError as error:
             metrics.counter("serve.validation_errors").inc()
-            self._send_json(400, error_body(
-                error.code, str(error), field=error.field))
-            return
+            return 400, error_body(
+                error.code, str(error), field=error.field), None
         try:
-            pending = service.submit(request)
+            pending = service.submit(request, trace_id=trace_id)
         except ServiceOverloaded as error:
             status = 429 if error.code == "queue_full" else 503
             retry_after = max(1, ceil(error.retry_after_s))
-            self._send_json(status,
-                            error_body(error.code, str(error)),
-                            headers={"Retry-After": str(retry_after)})
-            return
+            return (status, error_body(error.code, str(error)),
+                    {"Retry-After": str(retry_after)})
         remaining = pending.deadline - service._clock()
         if not pending.done.wait(max(0.0, remaining)):
             # Abandon: the dispatcher will skip it if still queued;
             # an in-flight evaluation resolves into the void.
             pending.abandoned = True
             metrics.counter("serve.deadline_hits").inc()
-            self._send_json(504, error_body(
+            return 504, error_body(
                 "deadline_exceeded",
-                f"no result within the {remaining:.3f}s deadline"))
-            return
-        self._send_json(pending.status, pending.payload)
+                f"no result within the {remaining:.3f}s deadline"), None
+        return pending.status, pending.payload, None
 
 
 class ServeDaemon:

@@ -57,6 +57,7 @@ GIGA = 1e9
 TERA = 1e12
 PETA = 1e15
 
+MILLI = 1e-3
 MICRO = 1e-6
 
 #: Binary (IEC) multipliers, used only for memory capacities.
@@ -97,6 +98,16 @@ def seconds_to_hours(seconds: float) -> float:
 def seconds_to_microseconds(seconds: float) -> float:
     """Convert seconds to microseconds (per-token reporting unit)."""
     return seconds / MICRO
+
+
+def microseconds_to_seconds(microseconds: float) -> float:
+    """Convert microseconds (Chrome trace timestamps) to seconds."""
+    return microseconds / MEGA
+
+
+def seconds_to_milliseconds(seconds: float) -> float:
+    """Convert seconds to milliseconds (request-latency unit)."""
+    return seconds / MILLI
 
 
 def bytes_to_bits(n_bytes: float) -> float:

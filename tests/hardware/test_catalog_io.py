@@ -1,0 +1,154 @@
+"""Catalog entry serialization: specs on disk round-trip losslessly."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.catalog_io import (
+    CATALOG_ENTRY_FORMAT,
+    derated_system,
+    load_catalog_entry,
+    system_from_dict,
+    system_to_dict,
+    write_catalog_entry,
+)
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+
+
+class TestSystemDictRoundTrip:
+    def test_lossless_reconstruction(self, small_system):
+        rebuilt = system_from_dict(system_to_dict(small_system))
+        assert rebuilt == small_system
+
+    def test_payload_is_json_serializable(self, cs1_system):
+        text = json.dumps(system_to_dict(cs1_system))
+        assert system_from_dict(json.loads(text)) == cs1_system
+
+    def test_unknown_fields_rejected(self, small_system):
+        payload = system_to_dict(small_system)
+        payload["node"]["accelerator"]["warp_core"] = True
+        with pytest.raises(ConfigurationError, match="unknown fields "
+                                                     r"\['warp_core'\]"):
+            system_from_dict(payload)
+
+    def test_incomplete_spec_rejected(self, small_system):
+        payload = system_to_dict(small_system)
+        del payload["node"]["accelerator"]["frequency_hz"]
+        with pytest.raises(ConfigurationError, match="incomplete"):
+            system_from_dict(payload)
+
+    def test_validation_applies_to_disk_data(self, small_system):
+        payload = system_to_dict(small_system)
+        payload["node"]["intra_link"]["bandwidth_bits_per_s"] = -1.0
+        with pytest.raises(Exception):
+            system_from_dict(payload)
+
+    def test_non_object_payload(self):
+        with pytest.raises(ConfigurationError, match="'node'"):
+            system_from_dict([1, 2, 3])
+
+
+class TestDeratedSystem:
+    def test_identity_returns_same_object(self, small_system):
+        assert derated_system(small_system) is small_system
+
+    def test_flops_fraction_derates_the_clock(self, small_system):
+        derated = derated_system(small_system, flops_fraction=0.5)
+        assert derated.accelerator.frequency_hz \
+            == pytest.approx(small_system.accelerator.frequency_hz
+                             * 0.5)
+        assert "(calibrated)" in derated.accelerator.name
+        # Links untouched.
+        assert derated.node.intra_link is small_system.node.intra_link
+
+    def test_link_scales_apply_to_both_tiers(self, small_system):
+        derated = derated_system(small_system, link_latency_scale=2.0,
+                                 link_bandwidth_scale=0.5)
+        for tier in ("intra_link", "inter_link"):
+            before = getattr(small_system.node, tier)
+            after = getattr(derated.node, tier)
+            assert after.latency_s == pytest.approx(before.latency_s
+                                                    * 2.0)
+            assert after.bandwidth_bits_per_s == pytest.approx(
+                before.bandwidth_bits_per_s * 0.5)
+        assert derated.accelerator is small_system.accelerator
+
+    def test_rejects_non_positive_scales(self, small_system):
+        with pytest.raises(ConfigurationError, match="flops_fraction"):
+            derated_system(small_system, flops_fraction=0.0)
+        with pytest.raises(ConfigurationError,
+                           match="link_latency_scale"):
+            derated_system(small_system, link_latency_scale=-1.0)
+
+
+class TestCatalogEntryFile:
+    def test_write_then_load_round_trips(self, small_system,
+                                         tmp_path):
+        target = tmp_path / "entry.json"
+        written = write_catalog_entry(
+            target, "a100-calibrated", small_system,
+            CASE_STUDY_EFFICIENCY, provenance={"r_squared": 0.999})
+        assert written == target
+        name, system, efficiency, provenance = \
+            load_catalog_entry(target)
+        assert name == "a100-calibrated"
+        assert system == small_system
+        assert efficiency == CASE_STUDY_EFFICIENCY
+        assert provenance == {"r_squared": 0.999}
+
+    def test_file_declares_the_format_tag(self, small_system,
+                                          tmp_path):
+        target = tmp_path / "entry.json"
+        write_catalog_entry(target, "x", small_system,
+                            CASE_STUDY_EFFICIENCY)
+        payload = json.loads(target.read_text())
+        assert payload["format"] == CATALOG_ENTRY_FORMAT
+
+    def test_derated_entry_round_trips(self, small_system, tmp_path):
+        calibrated = derated_system(small_system, flops_fraction=0.83,
+                                    link_latency_scale=1.7,
+                                    link_bandwidth_scale=0.64)
+        target = tmp_path / "entry.json"
+        write_catalog_entry(target, "calibrated", calibrated,
+                            CASE_STUDY_EFFICIENCY)
+        _, system, _, _ = load_catalog_entry(target)
+        assert system == calibrated
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_catalog_entry(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        target = tmp_path / "broken.json"
+        target.write_text("{nope")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_catalog_entry(target)
+
+    def test_wrong_format_tag(self, tmp_path):
+        target = tmp_path / "other.json"
+        target.write_text(json.dumps({"format": "something/else"}))
+        with pytest.raises(ConfigurationError, match="format"):
+            load_catalog_entry(target)
+
+    def test_missing_name(self, small_system, tmp_path):
+        target = tmp_path / "entry.json"
+        target.write_text(json.dumps({
+            "format": CATALOG_ENTRY_FORMAT,
+            "system": system_to_dict(small_system),
+            "efficiency": dataclasses.asdict(CASE_STUDY_EFFICIENCY)}))
+        with pytest.raises(ConfigurationError, match="'name'"):
+            load_catalog_entry(target)
+
+    def test_malformed_efficiency(self, small_system, tmp_path):
+        target = tmp_path / "entry.json"
+        target.write_text(json.dumps({
+            "format": CATALOG_ENTRY_FORMAT, "name": "x",
+            "system": system_to_dict(small_system),
+            "efficiency": {"a": 1.0, "slope": 2.0}}))
+        with pytest.raises(ConfigurationError,
+                           match="efficiency has unknown fields"):
+            load_catalog_entry(target)

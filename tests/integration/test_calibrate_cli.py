@@ -1,0 +1,127 @@
+"""``amped calibrate``: the CLI face of the observability loop.
+
+Traces are produced by the real ``amped estimate --trace`` path, so
+these tests cover exporter → ingester → fitter → drift end to end at
+the CLI layer, including the structured exit-2 contract for malformed
+inputs (never a traceback).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fitting.trace_fit import FIT_PARAMETERS
+from repro.hardware.catalog_io import load_catalog_entry
+
+SYSTEM = ["--nodes", "4"]
+ESTIMATE = ["estimate", "--tp", "8", "--dp", "4",
+            "--batch", "512"] + SYSTEM
+
+
+@pytest.fixture
+def trace(tmp_path, capsys):
+    """A real trace written by ``amped estimate --trace``."""
+    path = tmp_path / "measured.json"
+    assert main(ESTIMATE + ["--trace", str(path)]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestHappyPath:
+    def test_self_calibration_is_healthy(self, trace, capsys):
+        assert main(["calibrate", "--trace", str(trace)] + SYSTEM) == 0
+        out = capsys.readouterr().out
+        assert "calibrated Megatron-145B against 1 observation(s)" \
+            in out
+        assert "fit: R^2 = 1.000000" in out
+        assert "model-vs-measured drift" in out
+        assert "healthy" in out
+        assert "DRIFT" not in out
+
+    def test_fit_subset_flag(self, trace, capsys):
+        assert main(["calibrate", "--trace", str(trace), "--fit",
+                     "flops_fraction,efficiency_b"] + SYSTEM) == 0
+        out = capsys.readouterr().out
+        assert "flops_fraction" in out
+        assert "link_latency_scale" not in out
+
+    def test_report_flag_writes_strict_json(self, trace, tmp_path,
+                                            capsys):
+        report = tmp_path / "report.json"
+        assert main(["calibrate", "--trace", str(trace),
+                     "--report", str(report)] + SYSTEM) == 0
+        assert f"wrote report to {report}" in capsys.readouterr().out
+        payload = json.loads(report.read_text())
+        assert set(payload["fit"]["coefficients"]) \
+            == set(FIT_PARAMETERS)
+        assert payload["fit"]["r_squared"] == pytest.approx(1.0)
+        assert payload["drift"]["healthy"] is True
+        # Strict JSON round-trip: no NaN/Infinity leaked.
+        json.loads(json.dumps(payload, allow_nan=False))
+
+    def test_write_catalog_flag(self, trace, tmp_path, capsys):
+        entry = tmp_path / "entry.json"
+        assert main(["calibrate", "--trace", str(trace),
+                     "--write-catalog", str(entry),
+                     "--catalog-name", "a100-lab"] + SYSTEM) == 0
+        assert "wrote catalog entry 'a100-lab'" \
+            in capsys.readouterr().out
+        name, system, efficiency, provenance = \
+            load_catalog_entry(entry)
+        assert name == "a100-lab"
+        assert system.n_nodes == 4
+        assert provenance["model"] == "Megatron-145B"
+        assert "r_squared" in provenance
+
+    def test_csv_input_with_batch_backfill(self, tmp_path, capsys):
+        csv_path = tmp_path / "timings.csv"
+        csv_path.write_text(
+            "term,seconds,tp,pp,dp\n"
+            "compute_forward,0.9,8,1,4\n"
+            "compute_backward,1.8,8,1,4\n")
+        assert main(["calibrate", "--csv", str(csv_path),
+                     "--batch", "512",
+                     "--fit", "flops_fraction"] + SYSTEM) == 0
+        assert "calibrated" in capsys.readouterr().out
+
+
+class TestStructuredFailure:
+    def test_malformed_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["calibrate", "--trace", str(bad)] + SYSTEM) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert str(bad) in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_trace_with_bad_event_exits_2_with_offset(self, tmp_path,
+                                                      capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [
+            {"name": "x", "ph": "X", "ts": -5, "dur": 1,
+             "pid": 1, "tid": 1}]}))
+        assert main(["calibrate", "--trace", str(bad)] + SYSTEM) == 2
+        err = capsys.readouterr().err
+        assert f"{bad}:0:" in err
+
+    def test_no_inputs_exits_2(self, capsys):
+        assert main(["calibrate"] + SYSTEM) == 2
+        assert "nothing to ingest" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        absent = tmp_path / "absent.json"
+        assert main(["calibrate", "--trace", str(absent)]
+                    + SYSTEM) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestModelMismatchNote:
+    def test_note_printed_when_models_differ(self, trace, capsys):
+        assert main(["calibrate", "--trace", str(trace),
+                     "--model", "megatron-310b"] + SYSTEM) == 0
+        out = capsys.readouterr().out
+        assert "pass --model to match" in out

@@ -1,0 +1,83 @@
+"""The committed calibration fixture stays valid and numerically true.
+
+``tests/fixtures/calibration_trace.json`` is a golden anchor (see the
+README next to it): the ingester must accept it forever, and the model
+self-calibrated against it must show ~zero drift.  If the drift test
+fails after an *intentional* change to the model's numbers, regenerate
+the fixture with the command in the README.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.model import AMPeD
+from repro.fitting.trace_fit import fit_from_observations
+from repro.obs.__main__ import validate_file
+from repro.obs.ingest import load_chrome_trace
+from repro.parallelism.microbatch import CASE_STUDY_EFFICIENCY
+from repro.reporting.drift import compute_drift
+from repro.transformer.zoo import get_model
+
+FIXTURE = Path(__file__).parents[1] / "fixtures" \
+    / "calibration_trace.json"
+
+
+@pytest.fixture(scope="module")
+def observation():
+    observations = load_chrome_trace(FIXTURE).observations()
+    assert len(observations) == 1
+    return observations[0]
+
+
+class TestCommittedFixture:
+    def test_schema_validates(self):
+        assert validate_file(str(FIXTURE)) == "trace"
+
+    def test_identity_survives_the_commit(self, observation):
+        assert observation.model == "Megatron-145B"
+        assert observation.global_batch == 512
+        assert observation.mapping is not None
+        assert observation.mapping.tp == 8
+        assert observation.mapping.dp == 4
+        assert all(value >= 0.0
+                   for value in observation.terms.values())
+
+    def test_self_drift_is_zero(self, observation):
+        """Golden anchor: the model still produces these numbers."""
+        base = AMPeD(model=get_model("megatron-145b"),
+                     system=_fixture_system(),
+                     parallelism=observation.mapping,
+                     efficiency=CASE_STUDY_EFFICIENCY,
+                     validate=False)
+        report = compute_drift(base, [observation])
+        assert report.healthy
+        assert report.max_rel_error < 1e-9
+
+    def test_fit_on_the_fixture_converges(self, observation):
+        base = AMPeD(model=get_model("megatron-145b"),
+                     system=_fixture_system(),
+                     parallelism=observation.mapping,
+                     efficiency=CASE_STUDY_EFFICIENCY,
+                     validate=False)
+        fit = fit_from_observations(base, [observation],
+                                    parameters=("flops_fraction",))
+        assert fit.converged
+        assert fit.coefficients.flops_fraction \
+            == pytest.approx(1.0, rel=1e-6)
+
+
+def _fixture_system():
+    """The ``--nodes 4`` CLI system the fixture was recorded on."""
+    from repro.hardware.catalog import ACCELERATORS
+    from repro.hardware.interconnect import IB_HDR, NVLINK3
+    from repro.hardware.node import NodeSpec
+    from repro.hardware.system import SystemSpec
+
+    return SystemSpec(
+        node=NodeSpec(accelerator=ACCELERATORS["a100"],
+                      n_accelerators=8, intra_link=NVLINK3,
+                      inter_link=IB_HDR, n_nics=8),
+        n_nodes=4)

@@ -8,7 +8,9 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.reporting.bench_history import (
+    OBS_COLUMNS,
     PHASE_COLUMNS,
+    SERVE_COLUMNS,
     SPARK_LEVELS,
     load_trajectory,
     main,
@@ -39,6 +41,20 @@ MIXED_ERA = [
            compiled_mappings_per_s=330000.0,
            vectorized_mappings_per_s=3400000.0,
            crossproduct_mappings_per_s=147000.0),
+]
+
+
+SUITE_ERA = MIXED_ERA + [
+    # The obs/serve suites land: their fields appear on new rows only.
+    _entry("dddd444", reference_mappings_per_s=9200.0,
+           fast_mappings_per_s=126000.0,
+           compiled_mappings_per_s=335000.0,
+           vectorized_mappings_per_s=3500000.0,
+           crossproduct_mappings_per_s=150000.0,
+           obs_enabled_overhead=1.288,
+           serve_warm_p50_s=0.00087,
+           serve_warm_requests_per_s=1046.0,
+           serve_burst_requests_per_s=1598.0),
 ]
 
 
@@ -124,6 +140,39 @@ class TestRenderHistory:
     def test_empty_trajectory(self):
         with pytest.raises(ConfigurationError, match="empty"):
             render_history([])
+
+
+class TestSuiteTables:
+    def test_obs_and_serve_tables_render_when_present(self):
+        text = render_history(SUITE_ERA)
+        assert "observability overhead trajectory" in text
+        assert "serve latency trajectory" in text
+        for header, _ in OBS_COLUMNS + SERVE_COLUMNS:
+            assert header in text
+        assert "0.00087" in text     # warm p50 keeps its precision
+        assert "1,598" in text       # burst rate formats as a rate
+
+    def test_suites_omitted_when_absent_from_every_row(self):
+        text = render_history(MIXED_ERA)
+        assert "observability overhead" not in text
+        assert "serve latency" not in text
+        assert "DSE throughput trajectory" in text
+
+    def test_pre_suite_rows_print_dash_and_sparkline_gap(self):
+        text = render_history(SUITE_ERA)
+        obs_section = text.split("observability overhead trajectory")[1]
+        first_row = next(line for line in obs_section.splitlines()
+                         if "aaaa111" in line)
+        assert first_row.rstrip().endswith("-")
+        overhead_line = next(line for line in obs_section.splitlines()
+                             if line.startswith("overhead x"))
+        # Three pre-suite gaps, one real sample.
+        assert len(overhead_line[len("overhead x"):].lstrip(" ")) == 1
+
+    def test_last_filter_applies_to_every_suite(self):
+        text = render_history(SUITE_ERA, last=1)
+        assert text.count("(1 runs)") == 3
+        assert "aaaa111" not in text
 
 
 class TestMain:

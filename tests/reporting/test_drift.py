@@ -1,0 +1,145 @@
+"""Drift reporting: modeled-vs-measured per-term honesty checks."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.ingest import EstimateObservation
+from repro.obs.metrics import get_metrics, reset_metrics
+from repro.reporting.drift import (
+    DEFAULT_DRIFT_THRESHOLD,
+    compute_drift,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_metrics():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+def observe(amped, global_batch, scale=1.0, **overrides):
+    """One observation of ``amped`` itself, optionally distorted."""
+    terms = {name: value * scale for name, value
+             in amped.estimate_batch(global_batch).as_dict().items()}
+    terms.update(overrides)
+    return EstimateObservation(terms=terms, model=amped.model.name,
+                               global_batch=global_batch,
+                               mapping=amped.parallelism,
+                               total_s=sum(terms.values()),
+                               source="test#0")
+
+
+class TestSelfDrift:
+    def test_model_against_itself_is_healthy(self, tiny_amped):
+        report = compute_drift(tiny_amped,
+                               [observe(tiny_amped, 64),
+                                observe(tiny_amped, 128)])
+        assert report.healthy
+        assert report.flagged == []
+        assert report.max_rel_error < 1e-12
+        assert report.n_observations == 2
+
+    def test_metrics_reflect_the_report(self, tiny_amped):
+        compute_drift(tiny_amped, [observe(tiny_amped, 64)])
+        snapshot = get_metrics().snapshot()
+        assert snapshot["gauges"]["drift.max_rel_error"] < 1e-12
+        assert snapshot["gauges"]["drift.flagged_terms"] == 0
+        assert snapshot["counters"]["drift.observations"] == 1
+
+
+class TestFlagging:
+    def test_uniform_miscalibration_flags_terms(self, tiny_amped):
+        """Measurements 20% above the model exceed the 5% default."""
+        report = compute_drift(tiny_amped,
+                               [observe(tiny_amped, 64, scale=1.2)])
+        assert not report.healthy
+        assert report.flagged
+        for item in report.flagged:
+            # modeled ≈ measured / 1.2 → rel error ≈ −1/6.
+            assert item.max_abs_rel_error == pytest.approx(1 / 6,
+                                                           rel=1e-9)
+
+    def test_threshold_is_respected(self, tiny_amped):
+        observations = [observe(tiny_amped, 64, scale=1.03)]
+        assert compute_drift(tiny_amped, observations,
+                             threshold=0.05).healthy
+        assert not compute_drift(tiny_amped, observations,
+                                 threshold=0.01).healthy
+
+    def test_terms_absent_from_observation_are_skipped(self,
+                                                       tiny_amped):
+        partial = EstimateObservation(
+            terms={"compute_forward":
+                   tiny_amped.estimate_batch(64).compute_forward},
+            global_batch=64, mapping=tiny_amped.parallelism)
+        report = compute_drift(tiny_amped, [partial])
+        assert [item.term for item in report.terms] \
+            == ["compute_forward"]
+        assert report.healthy
+
+    def test_measured_zero_modeled_nonzero_is_infinite(self,
+                                                       tiny_amped):
+        broken = observe(tiny_amped, 64, compute_forward=0.0)
+        report = compute_drift(tiny_amped, [broken])
+        flagged = {item.term: item for item in report.flagged}
+        assert math.isinf(flagged["compute_forward"].max_abs_rel_error)
+
+
+class TestSerialization:
+    def test_as_dict_is_strict_json(self, tiny_amped):
+        broken = observe(tiny_amped, 64, compute_forward=0.0)
+        payload = compute_drift(tiny_amped, [broken]).as_dict()
+        text = json.dumps(payload, allow_nan=False)
+        decoded = json.loads(text)
+        assert decoded["max_rel_error"] is None
+        assert decoded["healthy"] is False
+        by_term = {item["term"]: item for item in decoded["terms"]}
+        assert by_term["compute_forward"]["max_abs_rel_error"] is None
+
+    def test_format_table_orders_worst_first(self, tiny_amped):
+        report = compute_drift(
+            tiny_amped,
+            [observe(tiny_amped, 64,
+                     comm_tp_intra=tiny_amped.estimate_batch(64)
+                     .comm_tp_intra * 2.0)])
+        table = report.format_table()
+        assert "DRIFT" in table and "ok" in table
+        assert "1 term(s) above threshold" in table
+        lines = [line for line in table.splitlines()
+                 if line and not line.startswith(("-", "="))]
+        # First data row is the distorted term.
+        assert "comm_tp_intra" in lines[2]
+
+    def test_healthy_verdict_in_title(self, tiny_amped):
+        table = compute_drift(tiny_amped,
+                              [observe(tiny_amped, 64)]).format_table()
+        assert "healthy" in table
+        assert f"threshold {DEFAULT_DRIFT_THRESHOLD:.1%}" in table
+
+
+class TestValidation:
+    def test_threshold_must_be_positive(self, tiny_amped):
+        with pytest.raises(ConfigurationError, match="positive"):
+            compute_drift(tiny_amped, [observe(tiny_amped, 64)],
+                          threshold=0.0)
+
+    def test_observations_required(self, tiny_amped):
+        with pytest.raises(ConfigurationError, match="no observations"):
+            compute_drift(tiny_amped, [])
+
+    def test_observation_needs_global_batch(self, tiny_amped):
+        nameless = EstimateObservation(terms={"compute_forward": 1.0},
+                                       global_batch=0)
+        with pytest.raises(ConfigurationError, match="global_batch"):
+            compute_drift(tiny_amped, [nameless])
+
+    def test_mapping_falls_back_to_the_model(self, tiny_amped):
+        bare = replace(observe(tiny_amped, 64), mapping=None)
+        assert compute_drift(tiny_amped, [bare]).healthy

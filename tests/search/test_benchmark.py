@@ -234,6 +234,25 @@ class TestTrajectory:
             == payload["compiled"]["build_seconds"]
         assert entry["max_rel_error"] == payload["max_rel_error"]
 
+    def test_entry_carries_obs_and_serve_suites(self, payload):
+        enriched = dict(payload,
+                        obs={"enabled_overhead": 1.29},
+                        serve={"warm": {"p50_seconds": 0.0009,
+                                        "requests_per_s": 1100.0},
+                               "burst": {"requests_per_s": 1600.0}})
+        entry = trajectory_entry(enriched, timestamp="t")
+        assert entry["obs_enabled_overhead"] == 1.29
+        assert entry["serve_warm_p50_s"] == 0.0009
+        assert entry["serve_warm_requests_per_s"] == 1100.0
+        assert entry["serve_burst_requests_per_s"] == 1600.0
+
+    def test_entry_without_suites_holds_none(self, payload):
+        entry = trajectory_entry(payload, timestamp="t")
+        assert entry["obs_enabled_overhead"] is None
+        assert entry["serve_warm_p50_s"] is None
+        assert entry["serve_warm_requests_per_s"] is None
+        assert entry["serve_burst_requests_per_s"] is None
+
     def test_append_creates_then_extends(self, payload, tmp_path):
         target = tmp_path / "BENCH_trajectory.json"
         first = trajectory_entry(payload, timestamp="t0")

@@ -7,6 +7,8 @@ without touching the (slow) genuine model evaluation.
 """
 
 import json
+import logging
+import re
 import threading
 import time
 import urllib.error
@@ -308,3 +310,81 @@ class TestGracefulDrain:
         assert result["reply"][0] == 200
         assert result["reply"][1]["drained"] is True
         daemon.shutdown()
+
+
+class TestAccessLog:
+    """One structured access-log line per request, correlated with the
+    ``serve.evaluate`` span through a shared ``trace_id``."""
+
+    ACCESS = re.compile(
+        r"access trace_id=(?P<trace_id>\S+) method=POST "
+        r"path=(?P<path>\S+) status=(?P<status>\d+) "
+        r"duration_ms=(?P<duration>[0-9.]+) client=\S+ "
+        r"code=(?P<code>\S+)")
+
+    def _access_records(self, caplog):
+        return [self.ACCESS.search(record.getMessage())
+                for record in caplog.records
+                if record.getMessage().startswith("access ")]
+
+    def _wait_for_access(self, caplog, count, timeout=5.0):
+        """The handler logs *after* replying, so the client can race
+        ahead of the log line — poll briefly."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            lines = self._access_records(caplog)
+            if len(lines) >= count:
+                return lines
+            time.sleep(0.01)
+        return self._access_records(caplog)
+
+    def test_every_post_logs_one_access_line(self, daemon_factory,
+                                             caplog):
+        __, base = daemon_factory(evaluate=ok_evaluate)
+        with caplog.at_level(logging.INFO, logger="repro.serve"):
+            assert http("POST", base, "/v1/estimate", ESTIMATE)[0] \
+                == 200
+            assert http("POST", base, "/v1/estimate", ESTIMATE)[0] \
+                == 200
+            lines = self._wait_for_access(caplog, 2)
+        assert len(lines) == 2
+        for match in lines:
+            assert match is not None
+            assert match["status"] == "200"
+            assert match["code"] == "ok"
+            assert float(match["duration"]) >= 0.0
+        # Every request gets its own id.
+        assert lines[0]["trace_id"] != lines[1]["trace_id"]
+
+    def test_error_responses_log_their_code(self, daemon_factory,
+                                            caplog):
+        __, base = daemon_factory(evaluate=ok_evaluate)
+        with caplog.at_level(logging.INFO, logger="repro.serve"):
+            status, body, __ = http("POST", base, "/v1/estimate",
+                                    {"model": "no-such-model"})
+            (match,) = self._wait_for_access(caplog, 1)
+        assert status == 400
+        assert match["status"] == "400"
+        assert match["code"] == body["error"]["code"]
+
+    def test_trace_id_is_stamped_on_the_evaluate_span(
+            self, daemon_factory, caplog):
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        tracer.enable(reset=True)
+        try:
+            __, base = daemon_factory(evaluate=ok_evaluate)
+            with caplog.at_level(logging.INFO, logger="repro.serve"):
+                assert http("POST", base, "/v1/estimate",
+                            ESTIMATE)[0] == 200
+                (match,) = self._wait_for_access(caplog, 1)
+            spans = [record for record in tracer.records()
+                     if record.name == "serve.evaluate"]
+        finally:
+            tracer.disable()
+            tracer.reset()
+        assert spans, "no serve.evaluate span was recorded"
+        stamped = ",".join(span.attrs.get("trace_ids", "")
+                           for span in spans)
+        assert match["trace_id"] in stamped.split(",")
