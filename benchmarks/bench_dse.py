@@ -19,7 +19,11 @@ from pathlib import Path
 
 import pytest
 
-from repro.search.benchmark import run_dse_benchmark, write_bench_json
+from repro.search.benchmark import (
+    MIN_TRANSPORT_WARMUP_SPEEDUP,
+    run_dse_benchmark,
+    write_bench_json,
+)
 
 from conftest import print_block
 
@@ -81,6 +85,16 @@ def _vectorized_lines(payload: dict) -> list:
             f"{cross['seconds']:.1f} s "
             f"({cross['mappings_per_s']:,.0f}/s), best "
             f"{best.get('mapping')} on {best.get('model')}")
+    transport = payload.get("parallel_transport")
+    if transport:
+        lines.append(
+            f"transport       {transport['n_lanes']:,}-lane chunk: "
+            f"table warm-up {transport['pickle']['table_seconds']*1e3:.1f} ms "
+            f"pickled vs {transport['shm']['table_seconds']*1e3:.2f} ms "
+            f"shared ({transport['warmup_speedup']:.0f}x), "
+            f"{transport['shm']['bytes']:,} B shipped vs "
+            f"{transport['pickle']['bytes']:,} B, bit-exact: "
+            f"{transport['bit_exact']}")
     return lines
 
 
@@ -112,6 +126,16 @@ def test_bench_dse() -> None:
                 f"cross-product phase covered only "
                 f"{payload['crossproduct']['n_mappings']:,} mappings, "
                 f"below the {MIN_CROSSPRODUCT_MAPPINGS:,} floor")
+    transport = payload.get("parallel_transport")
+    if transport is not None:
+        assert transport["bit_exact"], (
+            "shared-memory chunk transport is not bit-exact against "
+            "the pickled chunk")
+        assert transport["warmup_speedup"] \
+            >= MIN_TRANSPORT_WARMUP_SPEEDUP, (
+                f"per-worker table warm-up speedup "
+                f"{transport['warmup_speedup']:.1f}x is below the "
+                f"{MIN_TRANSPORT_WARMUP_SPEEDUP:.0f}x bar")
 
 
 if __name__ == "__main__":

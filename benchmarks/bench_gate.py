@@ -105,6 +105,12 @@ def _format(payload: dict, committed: dict, failures: list) -> str:
             f"crossproduct {cross['n_mappings']:,} mappings in "
             f"{cross['seconds']:.1f} s "
             f"({cross['mappings_per_s']:,.0f}/s)")
+    transport = payload.get("parallel_transport")
+    if transport:
+        lines.append(
+            f"transport  {transport['n_lanes']:,}-lane chunk table "
+            f"warm-up {transport['warmup_speedup']:.0f}x vs pickle "
+            f"(bit-exact: {transport['bit_exact']})")
     serve = payload.get("serve")
     if serve:
         lines.append(
@@ -112,6 +118,13 @@ def _format(payload: dict, committed: dict, failures: list) -> str:
             f"requests/s, burst "
             f"{serve['burst']['requests_per_s']:.0f} requests/s "
             f"({serve['burst']['errors']} errors)")
+        multi = serve.get("multi_worker")
+        if multi:
+            lines.append(
+                f"serve      multi-worker x{multi['workers']} "
+                f"{multi['requests_per_s']:.0f} requests/s "
+                f"({multi['speedup_vs_single']:.2f}x single on "
+                f"{multi['cpu_count']} cores)")
     obs = payload.get("obs")
     if obs:
         lines.append(

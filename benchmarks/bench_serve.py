@@ -20,6 +20,8 @@ from pathlib import Path
 import pytest
 
 from repro.serve.benchmark import (
+    MIN_MULTIWORKER_SPEEDUP,
+    MULTIWORKER_MIN_CORES,
     run_serve_benchmark,
     write_serve_bench_json,
 )
@@ -31,6 +33,10 @@ BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
 #: The acceptance bar: a repeated estimate against the warm daemon must
 #: beat a cold CLI invocation of the same request by at least 5x.
 MIN_WARM_SPEEDUP = 5.0
+
+#: On a runner with at least MULTIWORKER_MIN_CORES cores, the pre-fork
+#: fleet's burst must scale to MIN_MULTIWORKER_SPEEDUP x a single
+#: worker's (imported so the bench and the CI gate share one bar).
 
 
 def _format(payload: dict) -> str:
@@ -58,6 +64,15 @@ def _format(payload: dict) -> str:
         f"p99 {burst['p99_seconds'] * 1e3:.2f} ms "
         f"({burst['requests_per_s']:.0f} requests/s)",
     ]
+    multi = payload.get("multi_worker")
+    if multi is not None:
+        lines.append(
+            f"multi-worker    {multi['workers']} workers on "
+            f"{multi['cpu_count']} cores: "
+            f"{multi['requests_per_s']:.0f} requests/s "
+            f"({multi['speedup_vs_single']:.2f}x a single worker's "
+            f"{multi['single_worker_requests_per_s']:.0f}/s, "
+            f"{multi['errors']} errors)")
     if "warm_speedup_vs_cold_cli" in payload:
         lines.append(f"speedup         "
                      f"{payload['warm_speedup_vs_cold_cli']:.0f}x warm "
@@ -78,6 +93,19 @@ def test_bench_serve() -> None:
     assert payload["burst"]["errors"] == 0, (
         f"{payload['burst']['errors']} requests failed under the "
         f"concurrent burst")
+    multi = payload.get("multi_worker")
+    if multi is not None:
+        assert multi["errors"] == 0, (
+            f"{multi['errors']} requests failed against the "
+            f"multi-worker fleet")
+        if multi["cpu_count"] >= MULTIWORKER_MIN_CORES \
+                and multi["workers"] >= 2:
+            assert multi["speedup_vs_single"] \
+                >= MIN_MULTIWORKER_SPEEDUP, (
+                    f"multi-worker burst scaled only "
+                    f"{multi['speedup_vs_single']:.2f}x over a single "
+                    f"worker on {multi['cpu_count']} cores (bar: "
+                    f"{MIN_MULTIWORKER_SPEEDUP:.0f}x)")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""CI smoke for the estimation daemon.
+"""CI smoke for the estimation daemon, single- and multi-worker.
 
-Launches ``python -m repro.serve`` as a real subprocess, exercises
+Launches ``python -m repro.serve`` as a real subprocess and exercises
 liveness, one genuine estimate round-trip and the metrics endpoint,
 then SIGTERMs it and asserts a clean graceful shutdown: exit code 0,
 "shutdown complete" printed, no orphaned ``repro.serve`` processes
-left behind.
+left behind.  The cycle runs twice — the single-process daemon, then
+a ``--workers 2`` pre-fork fleet (where ``/readyz`` must report the
+two-worker quorum) — and finishes with the shared-memory leak check:
+no ``amped-*`` segment may survive in ``/dev/shm``.
 
 Usage: ``python scripts/serve_smoke.py`` (run from the repo root; adds
 ``src/`` to the child's PYTHONPATH automatically).  Exits non-zero on
@@ -18,9 +21,13 @@ import signal
 import subprocess
 import sys
 import time
+import urllib.error
 import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.search.shm import leaked_segment_names  # noqa: E402
 
 ESTIMATE = {"model": "mingpt-85m", "nodes": 2, "dp": 16,
             "batch": 256, "tokens": 1.0e9}
@@ -60,19 +67,20 @@ def orphaned_serve_pids():
     return pids
 
 
-def main():
+def run_cycle(label, extra_args, expect_workers=None):
+    """One boot → probe → SIGTERM-drain cycle against a fresh daemon."""
     env = dict(os.environ)
     src = os.path.join(REPO_ROOT, "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.serve", "--port", "0",
-         "--deadline", "60"],
+         "--deadline", "60"] + extra_args,
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
         env=env)
     try:
         base = None
-        deadline = time.monotonic() + 30.0
+        deadline = time.monotonic() + 90.0
         while time.monotonic() < deadline:
             line = process.stdout.readline()
             if not line:
@@ -81,53 +89,109 @@ def main():
                 base = line.split("serving on ", 1)[1].strip()
                 break
         if base is None:
-            fail("daemon never announced its address")
-        print(f"daemon up at {base}")
+            fail(f"[{label}] daemon never announced its address")
+        print(f"[{label}] daemon up at {base}")
 
         status, body = get_json(base + "/healthz")
         if status != 200 or body.get("status") != "ok":
-            fail(f"healthz: {status} {body}")
-        print("healthz ok")
+            fail(f"[{label}] healthz: {status} {body}")
+        print(f"[{label}] healthz ok")
+
+        if expect_workers is not None:
+            deadline = time.monotonic() + 90.0
+            ready = None
+            while time.monotonic() < deadline:
+                try:
+                    _, ready = get_json(base + "/readyz")
+                except urllib.error.HTTPError as error:
+                    ready = json.loads(error.read())
+                except OSError:
+                    time.sleep(0.25)
+                    continue
+                if ready.get("ready"):
+                    break
+                time.sleep(0.25)
+            if not (ready or {}).get("ready"):
+                fail(f"[{label}] fleet never reached quorum: {ready}")
+            if ready.get("workers_expected") != expect_workers:
+                fail(f"[{label}] readyz reports "
+                     f"{ready.get('workers_expected')} workers, "
+                     f"expected {expect_workers}")
+            pids = {w.get("pid") for w in ready.get("workers", [])}
+            if len(pids - {None}) != expect_workers:
+                fail(f"[{label}] quorum lists pids {pids}")
+            print(f"[{label}] readyz quorum ok "
+                  f"({ready['workers_ready']}/{expect_workers} ready)")
 
         status, payload = post_json(base + "/v1/estimate", ESTIMATE)
         if status != 200:
-            fail(f"estimate: {status} {payload}")
+            fail(f"[{label}] estimate: {status} {payload}")
         if not payload.get("batch_time_s", 0) > 0:
-            fail(f"estimate payload missing batch_time_s: {payload}")
-        print(f"estimate ok: batch_time_s={payload['batch_time_s']:.4g} "
+            fail(f"[{label}] estimate payload missing batch_time_s: "
+                 f"{payload}")
+        print(f"[{label}] estimate ok: "
+              f"batch_time_s={payload['batch_time_s']:.4g} "
               f"training_days={payload.get('training_days', 0):.4g}")
 
-        status, snapshot = get_json(base + "/metrics")
-        if status != 200:
-            fail(f"metrics: {status}")
-        if snapshot["counters"].get("serve.requests", 0) < 1:
-            fail(f"metrics missing serve.requests: "
-                 f"{snapshot['counters']}")
-        print("metrics ok")
+        # In a fleet the aggregated counter can trail the request by
+        # one heartbeat: /metrics may land on the worker that did not
+        # serve the estimate, before its peer slot refreshed.
+        deadline = time.monotonic() + 10.0
+        while True:
+            status, snapshot = get_json(base + "/metrics")
+            if status != 200:
+                fail(f"[{label}] metrics: {status}")
+            if snapshot["counters"].get("serve.requests", 0) >= 1:
+                break
+            if time.monotonic() > deadline:
+                fail(f"[{label}] metrics missing serve.requests: "
+                     f"{snapshot['counters']}")
+            time.sleep(0.25)
+        if expect_workers is not None \
+                and snapshot.get("workers_expected") != expect_workers:
+            fail(f"[{label}] metrics not fleet-aggregated: "
+                 f"{snapshot.get('workers_expected')}")
+        print(f"[{label}] metrics ok")
 
         process.send_signal(signal.SIGTERM)
         try:
-            code = process.wait(timeout=30.0)
+            code = process.wait(timeout=60.0)
         except subprocess.TimeoutExpired:
-            fail("daemon did not exit within 30s of SIGTERM")
+            fail(f"[{label}] daemon did not exit within 60s of SIGTERM")
         if code != 0:
-            fail(f"daemon exited {code} after SIGTERM; stderr:\n"
-                 f"{process.stderr.read()}")
+            fail(f"[{label}] daemon exited {code} after SIGTERM; "
+                 f"stderr:\n{process.stderr.read()}")
         tail = process.stdout.read()
         if "shutdown complete" not in tail:
-            fail(f"missing 'shutdown complete' after drain: {tail!r}")
-        print("SIGTERM drain ok (exit 0)")
+            fail(f"[{label}] missing 'shutdown complete' after drain: "
+                 f"{tail!r}")
+        print(f"[{label}] SIGTERM drain ok (exit 0)")
 
         orphans = orphaned_serve_pids()
         if orphans:
-            fail(f"orphaned repro.serve processes: {orphans}")
-        print("no orphaned workers")
-        print("SMOKE PASS")
-        return 0
+            fail(f"[{label}] orphaned repro.serve processes: {orphans}")
+        print(f"[{label}] no orphaned workers")
     finally:
         if process.poll() is None:
             process.kill()
             process.wait(10.0)
+
+
+def main():
+    leaked_before = set(leaked_segment_names())
+    run_cycle("single", [])
+    if hasattr(os, "fork"):
+        run_cycle("workers=2", ["--workers", "2", "--warm", "mingpt-85m",
+                                "--log-level", "error"],
+                  expect_workers=2)
+    else:
+        print("[workers=2] skipped: os.fork unavailable")
+    leaked = set(leaked_segment_names()) - leaked_before
+    if leaked:
+        fail(f"leaked shared-memory segments: {sorted(leaked)}")
+    print("no leaked shared-memory segments")
+    print("SMOKE PASS")
+    return 0
 
 
 if __name__ == "__main__":

@@ -66,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate = sub.add_parser(
         "estimate", help="evaluate one configuration")
     _add_system_args(estimate)
+    _add_catalog_entry_arg(estimate)
     estimate.add_argument("--tp", type=int, default=1)
     estimate.add_argument("--pp", type=int, default=1)
     estimate.add_argument("--dp", type=int, default=1)
@@ -76,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="explore every parallelism mapping")
     _add_system_args(sweep)
+    _add_catalog_entry_arg(sweep)
     sweep.add_argument("--batch", type=int, default=2048)
     sweep.add_argument("--top", type=int, default=10)
     sweep.add_argument("--jobs", type=int, default=1,
@@ -228,6 +230,16 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
                         choices=sorted(_INTER_LINKS))
 
 
+def _add_catalog_entry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--catalog-entry", default=None, metavar="PATH",
+        dest="catalog_entry",
+        help="evaluate against a calibrated catalog entry written by "
+             "'amped calibrate --write-catalog' instead of the stock "
+             "hardware flags (--accelerator/--nodes/... are ignored; "
+             "--model still selects the transformer)")
+
+
 def _system_from_args(args) -> SystemSpec:
     node = NodeSpec(
         accelerator=ACCELERATORS[args.accelerator],
@@ -243,16 +255,31 @@ def _efficiency() -> MicrobatchEfficiency:
     return CASE_STUDY_EFFICIENCY
 
 
+def _resolve_system(args):
+    """``(system, efficiency, note)`` for estimate/sweep.
+
+    ``--catalog-entry`` swaps in the calibrated system and efficiency
+    curve written by ``amped calibrate --write-catalog``; otherwise the
+    stock hardware flags and the paper's case-study curve apply.
+    ``note`` names the entry for the report header (None for stock)."""
+    path = getattr(args, "catalog_entry", None)
+    if path is None:
+        return _system_from_args(args), _efficiency(), None
+    from repro.hardware.catalog_io import load_catalog_entry
+    name, system, efficiency, _provenance = load_catalog_entry(path)
+    return system, efficiency, f"calibrated entry {name!r} ({path})"
+
+
 def _cmd_estimate(args) -> int:
     from repro.errors import MappingError
     from repro.search.diagnose import diagnose_mapping
 
-    system = _system_from_args(args)
+    system, efficiency, catalog_note = _resolve_system(args)
     model = get_model(args.model)
     spec = spec_from_totals(system, tp=args.tp, pp=args.pp, dp=args.dp)
     try:
         amped = AMPeD(model=model, system=system, parallelism=spec,
-                      efficiency=_efficiency())
+                      efficiency=efficiency)
     except MappingError:
         diagnosis = diagnose_mapping(spec, model, system,
                                      global_batch=args.batch)
@@ -261,6 +288,8 @@ def _cmd_estimate(args) -> int:
     breakdown = amped.estimate_batch(args.batch)
     _say(f"model:   {model.name}")
     _say(f"system:  {system.describe()}")
+    if catalog_note is not None:
+        _say(f"         {catalog_note}")
     _say(f"mapping: {spec.describe()}  "
           f"(ub={amped.microbatch(args.batch):g}, "
           f"eff={amped.microbatch_efficiency(args.batch):.2f})")
@@ -277,10 +306,10 @@ def _cmd_estimate(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.search.resilience import run_sweep
 
-    system = _system_from_args(args)
+    system, efficiency, catalog_note = _resolve_system(args)
     model = get_model(args.model)
     template = AMPeD.for_mapping(model, system, dp=system.n_accelerators,
-                                 efficiency=_efficiency())
+                                 efficiency=efficiency)
     journal_path = args.resume or args.journal
     outcome = run_sweep(template, args.batch, max_results=args.top,
                         workers=args.jobs, timeout=args.timeout,
@@ -293,6 +322,8 @@ def _cmd_sweep(args) -> int:
              format_duration(r.breakdown.bubble))
             for r in outcome.results]
     title = f"{model.name} on {system.describe()} @ batch {args.batch}"
+    if catalog_note is not None:
+        title += f" [{catalog_note}]"
     if outcome.partial:
         title += " [PARTIAL]"
     _say(render_table(
@@ -493,9 +524,9 @@ def _cmd_cost(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve.server import ServeDaemon, config_from_args
+    from repro.serve.server import config_from_args, run_daemon
 
-    return ServeDaemon(config_from_args(args)).run()
+    return run_daemon(config_from_args(args))
 
 
 def _cmd_calibrate(args) -> int:

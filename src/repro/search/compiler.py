@@ -714,7 +714,48 @@ def _total_of(totals: tuple) -> float:
 _CACHE_LOCK = threading.Lock()
 _CACHE: "OrderedDict[tuple, CompiledSweep]" = OrderedDict()
 _STATS = {"builds": 0, "hits": 0, "misses": 0, "uncached": 0,
-          "installed": 0, "seeded_builds": 0, "seeded_entries": 0}
+          "installed": 0, "seeded_builds": 0, "seeded_entries": 0,
+          "fetched_peer": 0}
+
+#: Optional cross-process sweep exchange, installed by the multi-worker
+#: serve daemon: ``fetch(cache_key)`` may return a peer worker's
+#: already-built sweep (attached from its shared-memory segment), and
+#: ``built(compiled)`` advertises a fresh local build to peers.  Both
+#: are best-effort — any failure falls back to a local build.
+_FETCH_HOOK: Optional[object] = None
+_BUILT_HOOK: Optional[object] = None
+
+
+def set_sweep_exchange_hooks(fetch: Optional[object] = None,
+                             built: Optional[object] = None) -> None:
+    """Install (or with no arguments, clear) the cross-process sweep
+    exchange hooks consulted by :func:`compile_sweep` on cache misses."""
+    global _FETCH_HOOK, _BUILT_HOOK
+    _FETCH_HOOK = fetch
+    _BUILT_HOOK = built
+
+
+def _fetch_from_peer(key: tuple) -> "Optional[CompiledSweep]":
+    fetch = _FETCH_HOOK
+    if fetch is None:
+        return None
+    try:
+        fetched = fetch(key)
+    except Exception:  # noqa: BLE001 — fallback boundary: a vanished peer segment means build locally
+        return None
+    if fetched is None or fetched.cache_key != key:
+        return None  # digest collision or stale advert: build locally
+    return fetched
+
+
+def _announce_built(compiled: "CompiledSweep") -> None:
+    built = _BUILT_HOOK
+    if built is None:
+        return
+    try:
+        built(compiled)
+    except Exception:  # noqa: BLE001 — fallback boundary: advertising is best-effort, the local build stands
+        pass
 
 
 def _reset_cache_lock_after_fork() -> None:
@@ -775,6 +816,14 @@ def compile_sweep(template: "AMPeD", global_batch: int) -> CompiledSweep:
             _STATS["hits"] += 1
             return cached
         _STATS["misses"] += 1
+    fetched = _fetch_from_peer(key)
+    if fetched is not None:
+        # A peer worker already paid for these tables; adopt its copy
+        # (attached zero-copy from shared memory) instead of rebuilding.
+        install_compiled(fetched)
+        with _CACHE_LOCK:
+            _STATS["fetched_peer"] += 1
+        return fetched
     compiled = CompiledSweep(template, global_batch)
     compiled.cache_key = key
     _seed_new_build(compiled)
@@ -783,6 +832,7 @@ def compile_sweep(template: "AMPeD", global_batch: int) -> CompiledSweep:
         _CACHE[key] = compiled
         while len(_CACHE) > MAX_CACHED_SWEEPS:
             _CACHE.popitem(last=False)
+    _announce_built(compiled)
     return compiled
 
 
@@ -835,18 +885,32 @@ def clear_compiled_cache() -> None:
 
 
 def warm_worker(template: "AMPeD", global_batch: int,
-                compiled: Optional[CompiledSweep] = None) -> None:
+                compiled: Optional[object] = None) -> None:
     """Process-pool initializer body: warm every per-process memo once
     per worker instead of once per dispatched chunk.
 
     Primes the ``build_operations`` LRU for the sweep's model and, for
     compiled sweeps, installs the parent's pre-filled term tables
     (which also carry every collective time the sweep needs, so the
-    collective memo never starts cold either).
+    collective memo never starts cold either).  ``compiled`` may be
+    the :class:`CompiledSweep` itself (the pickle path) or a
+    :class:`repro.search.shm.CompiledShipment` — a shared-memory
+    handle the worker attaches by name, so the tables cross the
+    process boundary once per sweep instead of once per worker.
     """
     build_operations(template.model, global_batch,
                      template.include_embeddings)
     if compiled is not None:
-        install_compiled(compiled)
-    elif template.evaluation_path == "compiled":
+        attach = getattr(compiled, "attach_compiled", None)
+        if attach is not None:
+            try:
+                compiled = attach()
+            except Exception:  # noqa: BLE001 — fallback boundary: a
+                # vanished segment (creator died mid-warm) must not
+                # kill the worker; it rebuilds tables like a cold one.
+                compiled = None
+        if compiled is not None:
+            install_compiled(compiled)
+            return
+    if template.evaluation_path == "compiled":
         compile_sweep(template, global_batch)

@@ -402,22 +402,31 @@ def _explore_parallel(evaluate: Callable, mappings: List[ParallelismSpec],
     """
     from concurrent.futures import ProcessPoolExecutor
 
+    from repro.search.shm import release_shipment, ship_compiled
+
     out = []
     chunk_size = max(1, 4 * workers)
     shipped = compiled if (compiled is not None
                            and compiled.cache_key is not None) else None
-    with ProcessPoolExecutor(
-            max_workers=workers, initializer=warm_worker,
-            initargs=(template, global_batch, shipped)) as pool:
-        for start in range(0, len(mappings), chunk_size):
-            chunk = mappings[start:start + chunk_size]
-            if pruner is not None:
-                chunk = [spec for spec in chunk
-                         if not pruner.should_skip(spec)]
-            for result in pool.map(evaluate, chunk):
+    # Ship the term tables through shared memory when available: each
+    # worker's warm-up attaches one segment instead of unpickling every
+    # table (identity/pickle fallback otherwise, bit-exact either way).
+    shipped = ship_compiled(shipped) if shipped is not None else None
+    try:
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=warm_worker,
+                initargs=(template, global_batch, shipped)) as pool:
+            for start in range(0, len(mappings), chunk_size):
+                chunk = mappings[start:start + chunk_size]
                 if pruner is not None:
-                    pruner.record(result)
-                out.append(result)
+                    chunk = [spec for spec in chunk
+                             if not pruner.should_skip(spec)]
+                for result in pool.map(evaluate, chunk):
+                    if pruner is not None:
+                        pruner.record(result)
+                    out.append(result)
+    finally:
+        release_shipment(shipped)
     return out
 
 

@@ -67,6 +67,7 @@ from repro.parallelism.mapping import enumerate_mappings
 from repro.parallelism.spec import ParallelismSpec
 from repro.reporting.sweep import SweepReport
 from repro.search.compiler import CompiledSweep, compile_sweep, warm_worker
+from repro.search.shm import release_shipment, ship_compiled
 from repro.search.dse import (
     SKIP_MAPPING_INFEASIBLE,
     SKIP_MEMORY_CAPACITY,
@@ -509,9 +510,15 @@ def _evaluate_shipped(chunk, need_bounds: bool):
 
     The worker does no binding work at all — projection and batch fill
     already happened in the driver's process — and returns plain-list
-    bounds plus outcome dataclasses, both cheap to pickle back.
+    bounds plus outcome dataclasses, both cheap to pickle back.  A
+    shared-memory-shipped chunk detaches its segment mapping before
+    returning (the bounds/outcomes are plain Python values by then), so
+    worker-side mappings never outlive the chunk they served.
     """
-    return evaluate_prebound(chunk, need_bounds)
+    try:
+        return evaluate_prebound(chunk, need_bounds)
+    finally:
+        chunk.detach_shared()
 
 
 class _VectorPoolDriver(_PoolSupervisor):
@@ -539,6 +546,10 @@ class _VectorPoolDriver(_PoolSupervisor):
         submission itself failed (the chunk then evaluates locally)."""
         if self.degraded:
             return None
+        # Publish the chunk's dense arrays into shared memory first so
+        # the pickle below carries a segment name, not the arrays; a
+        # failed publish silently keeps the by-value pickle path.
+        chunk.publish_shared()
         try:
             pool = self._ensure_pool()
             return (self._epoch,
@@ -553,19 +564,27 @@ class _VectorPoolDriver(_PoolSupervisor):
         A worker failure (timeout, crash, unexpected exception) is
         recorded against the retry budget once per pool collapse, and
         the chunk is re-evaluated in process so the sweep's results
-        are identical either way.
+        are identical either way.  Either way the chunk's shared
+        segment (if any) is released here — resolution is the single
+        point where no consumer can still need it.
         """
-        if ticket is not None:
-            epoch, future = ticket
-            try:
-                bounds, outcomes = future.result(timeout=self.timeout)
-                self.consecutive_failures = 0
-                return bounds, outcomes
-            except Exception as error:  # noqa: BLE001 — supervised boundary: worker crash/timeout is recorded and retried
-                if epoch == self._epoch:
-                    self._epoch += 1
-                    self._note_failure(error)
-        return evaluate_prebound(chunk, need_bounds)
+        try:
+            if ticket is not None:
+                epoch, future = ticket
+                try:
+                    bounds, outcomes = future.result(timeout=self.timeout)
+                    self.consecutive_failures = 0
+                    return bounds, outcomes
+                except Exception as error:  # noqa: BLE001 — supervised boundary: worker crash/timeout is recorded and retried
+                    if epoch == self._epoch:
+                        self._epoch += 1
+                        self._note_failure(error)
+            # The driver-side chunk keeps its own arrays (publishing
+            # copies, never moves), so the local fallback is unaffected
+            # by the release in the finally below.
+            return evaluate_prebound(chunk, need_bounds)
+        finally:
+            chunk.release_shared()
 
 
 # ---------------------------------------------------------------------------
@@ -785,6 +804,15 @@ def run_sweep(template: AMPeD, global_batch: int,
                 and not use_vectorized)
     shipped = (compiled if compiled is not None
                and compiled.cache_key is not None else None)
+    # Term tables ride to pool workers through shared memory when the
+    # platform supports it: the warm-up initializer then attaches one
+    # segment instead of unpickling every table per worker.  On
+    # platforms without shared_memory/NumPy this is the identity and
+    # the pickle path ships the tables by value, bit-exact either way.
+    if shipped is not None and (use_pool or (use_vectorized
+                                             and workers is not None
+                                             and workers > 1)):
+        shipped = ship_compiled(shipped)
     supervisor = (_PoolSupervisor(workers, evaluate, timeout, retries,
                                   backoff_s, template=template,
                                   global_batch=global_batch,
@@ -951,6 +979,12 @@ def run_sweep(template: AMPeD, global_batch: int,
                 supervisor.shutdown()
             if vector_driver is not None:
                 vector_driver.shutdown()
+            # Segments published for chunks still in flight at an
+            # interrupt/failure boundary, plus the shared term tables,
+            # unlink here — a cancelled sweep leaks nothing.
+            for _ahead, prebound, _ticket in inflight:
+                prebound.release_shared()
+            release_shipment(shipped)
             if journal is not None:
                 cumulative = _cumulative_counters(
                     journal.prior_metrics, report, interrupted)

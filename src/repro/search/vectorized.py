@@ -46,14 +46,18 @@ bit-exactness argument.
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import threading
 import time
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, MappingError
 from repro.parallelism.microbatch import microbatch_size
 from repro.parallelism.spec import ParallelismSpec
+from repro.search import shm as _shm
 from repro.search.compiler import COMPONENT_NAMES, CompiledSweep, compile_sweep
 from repro.search.tuning import candidate_microbatch_counts
 
@@ -69,10 +73,25 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the cycle
 #: Whether the NumPy backend is importable in this process.
 HAVE_NUMPY = _np is not None
 
-#: Candidate count at which :func:`resolve_evaluation_path` auto-selects
-#: the vectorized backend for a default ``"compiled"`` sweep.  Below it
-#: the pure-python path wins (array setup costs more than it saves).
+#: Fallback candidate count at which :func:`resolve_evaluation_path`
+#: auto-selects the vectorized backend for a default ``"compiled"``
+#: sweep.  Below it the pure-python path wins (array setup costs more
+#: than it saves).  When ``BENCH_trajectory.json`` carries measured
+#: per-path rates, :func:`auto_vectorize_threshold` replaces this
+#: constant with the machine's own break-even point.
 AUTO_VECTORIZE_THRESHOLD = 2048
+
+#: Bounds on the self-tuned threshold: below the floor the array
+#: backend's fixed setup can never win, above the ceiling the tuner is
+#: extrapolating noise (it effectively disables the auto-upgrade).
+THRESHOLD_CLAMP = (256, 1 << 20)
+
+#: Environment override for the auto-upgrade threshold (an integer);
+#: takes precedence over both the trajectory fit and the constant.
+THRESHOLD_ENV_VAR = "AMPED_VECTORIZE_THRESHOLD"
+
+#: Environment override for the trajectory file consulted by the tuner.
+TRAJECTORY_ENV_VAR = "AMPED_BENCH_TRAJECTORY"
 
 #: Candidates evaluated per array batch inside ``run_sweep`` — bounds
 #: array memory and keeps the journal/SIGINT boundary responsive.
@@ -108,15 +127,132 @@ def resolve_evaluation_path(requested: str, n_candidates: int) -> str:
     importable (raising otherwise — never a silent downgrade); a
     default ``"compiled"`` request is upgraded to ``"vectorized"`` when
     NumPy is available and the sweep is large enough to amortize array
-    setup.  Everything else passes through untouched.
+    setup (the :func:`auto_vectorize_threshold` break-even, self-tuned
+    from the benchmark trajectory when one is available).  Everything
+    else passes through untouched.
     """
     if requested == "vectorized":
         require_numpy()
         return requested
     if (requested == "compiled" and HAVE_NUMPY
-            and n_candidates >= AUTO_VECTORIZE_THRESHOLD):
+            and n_candidates >= auto_vectorize_threshold()):
         return "vectorized"
     return requested
+
+
+# ---------------------------------------------------------------------------
+# Self-tuned auto-upgrade threshold (PR 6 follow-up)
+# ---------------------------------------------------------------------------
+
+#: Resolved threshold cache: ``(value, source)`` or ``None`` before the
+#: first resolution.  Guarded by ``_STATS_LOCK`` (same contention
+#: domain: serve handler threads race the metrics endpoint).
+_THRESHOLD: Optional[Tuple[int, str]] = None
+
+
+def _trajectory_paths(explicit=None) -> List[Path]:
+    if explicit is not None:
+        return [Path(explicit)]
+    env = os.environ.get(TRAJECTORY_ENV_VAR)
+    if env:
+        return [Path(env)]
+    # Benchmarks run from the repo root; installed trees fall through
+    # to the constant when neither candidate exists.
+    return [Path.cwd() / "BENCH_trajectory.json",
+            Path(__file__).resolve().parents[3] / "BENCH_trajectory.json"]
+
+
+def _fit_threshold(entries: List[dict]) -> Optional[int]:
+    """Break-even candidate count from the newest usable trajectory row.
+
+    Costs per candidate, from the row's measured rates: the compiled
+    path pays ``t_c = 1/compiled_mappings_per_s``; the vectorized path
+    pays a fixed per-batch setup ``f0 = vectorized_setup_seconds``
+    (measured by binding a deliberately tiny chunk) plus a linear bind
+    cost ``t_b = (build - f0)/n`` plus ``t_v = 1/vectorized rate``.
+    Vectorized wins once ``n * t_c >= f0 + n * (t_b + t_v)``, i.e. at
+
+        n* = f0 / (t_c - t_b - t_v)
+
+    A non-positive denominator means binding alone outweighs the
+    compiled path on this machine — the tuner then pins the ceiling,
+    which disables the auto-upgrade rather than guessing.
+    """
+    for entry in reversed(entries):
+        try:
+            t_c = 1.0 / float(entry["compiled_mappings_per_s"])
+            t_v = 1.0 / float(entry["vectorized_mappings_per_s"])
+            setup = float(entry["vectorized_setup_seconds"])
+            build = float(entry["vectorized_build_seconds"])
+            n_ref = float(entry["vectorized_n_candidates"])
+        except (KeyError, TypeError, ValueError, ZeroDivisionError):
+            continue  # pre-tuning rows (or damaged ones): keep looking
+        if n_ref <= 0 or setup < 0 or build < setup or t_c <= 0 or t_v <= 0:
+            continue
+        linear_bind = (build - setup) / n_ref
+        margin = t_c - linear_bind - t_v
+        low, high = THRESHOLD_CLAMP
+        if margin <= 0.0:
+            return high
+        return max(low, min(high, math.ceil(setup / margin)))
+    return None
+
+
+def auto_vectorize_threshold(trajectory_path=None) -> int:
+    """The auto-upgrade threshold in force, resolved once per process.
+
+    Precedence: the :data:`THRESHOLD_ENV_VAR` integer override, then a
+    break-even fit over measured per-path rates in the benchmark
+    trajectory (:data:`TRAJECTORY_ENV_VAR` or the repo's
+    ``BENCH_trajectory.json``), then :data:`AUTO_VECTORIZE_THRESHOLD`.
+    ``vectorized_stats()`` reports the resolved value and its source.
+    """
+    global _THRESHOLD
+    with _STATS_LOCK:
+        if _THRESHOLD is not None and trajectory_path is None:
+            return _THRESHOLD[0]
+    override = os.environ.get(THRESHOLD_ENV_VAR)
+    resolved: Optional[Tuple[int, str]] = None
+    if override:
+        try:
+            low, high = THRESHOLD_CLAMP
+            resolved = (max(1, min(high, int(override))), "env")
+        except ValueError:
+            resolved = None  # fall through to the fit, like unset
+    if resolved is None:
+        for path in _trajectory_paths(trajectory_path):
+            try:
+                entries = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(entries, list):
+                continue
+            fitted = _fit_threshold(entries)
+            if fitted is not None:
+                resolved = (fitted, f"trajectory:{path.name}")
+                break
+    if resolved is None:
+        resolved = (AUTO_VECTORIZE_THRESHOLD, "constant")
+    with _STATS_LOCK:
+        if trajectory_path is None:
+            _THRESHOLD = resolved
+    return resolved[0]
+
+
+def threshold_info() -> Dict[str, object]:
+    """The resolved threshold and where it came from (``constant``,
+    ``env``, or ``trajectory:<file>``); resolves on first use."""
+    auto_vectorize_threshold()
+    with _STATS_LOCK:
+        value, source = _THRESHOLD  # type: ignore[misc]
+    return {"threshold": value, "source": source}
+
+
+def clear_threshold_cache() -> None:
+    """Forget the resolved threshold (tests, env changes)."""
+    global _THRESHOLD
+    with _STATS_LOCK:
+        _THRESHOLD = None
 
 
 # ---------------------------------------------------------------------------
@@ -138,7 +274,10 @@ def vectorized_stats() -> Dict[str, float]:
     array bytes, lanes evaluated (``cache.vectorized.*`` gauges)."""
     with _STATS_LOCK:
         stats = dict(_STATS)
+        resolved = _THRESHOLD
     stats["available"] = 1 if HAVE_NUMPY else 0
+    if resolved is not None:  # report only once resolved: no IO here
+        stats["auto_threshold"] = resolved[0]
     return stats
 
 
@@ -419,6 +558,9 @@ class BoundBatch:
         state = dict(self.__dict__)
         state["_lane_components_cache"] = None
         state["_lane_times_cache"] = None
+        # An attached batch (rebuilt from a shared-memory segment) never
+        # re-pickles its mapping — receivers attach by name instead.
+        state.pop("_shm_attachment", None)
         return state
 
     # -- the column-wise combiner ---------------------------------------------
@@ -674,7 +816,11 @@ class PreboundChunk:
     the receiving process can reattach it from its own compile cache
     (:func:`~repro.search.compiler.warm_worker` installs it there), so
     each shipped chunk carries only its dense arrays, not another copy
-    of the term tables.
+    of the term tables.  When the driver calls :meth:`publish_shared`
+    first, even the dense arrays stay out of the pickle: they live in a
+    shared-memory segment and the pickle carries only the segment name
+    plus scalar metadata, so worker-side unpickling is an O(1) map
+    instead of an O(arrays) copy.
     """
 
     def __init__(self, specs: List[ParallelismSpec], valid: List[int],
@@ -685,22 +831,114 @@ class PreboundChunk:
         self.batch = batch
         self.global_batch = global_batch
         self.tune_microbatches = tune_microbatches
+        self._shm_handle: Optional[_shm.SegmentHandle] = None
+        self._shm_state: Optional[dict] = None
+
+    # -- shared-memory transport (driver side) --------------------------------
+
+    def publish_shared(self) -> bool:
+        """Publish the bound batch's dense arrays into shared memory.
+
+        Idempotent; returns ``True`` when a segment is live after the
+        call.  ``False`` means there is nothing to share (no valid
+        candidates) or the platform lacks ``shared_memory``/NumPy — the
+        pickle path then ships the arrays by value, bit-exact either
+        way.  Publish failures degrade the same way rather than fail
+        the sweep.
+        """
+        if self._shm_handle is not None:
+            return True
+        if self.batch is None or not _shm.HAVE_SHM:
+            return False
+        try:
+            shared = _shm.share_ndarray_state(self.batch.__getstate__(),
+                                              "chunk")
+        except Exception:  # noqa: BLE001 — fallback boundary: /dev/shm
+            # exhaustion (ENOSPC) must degrade to the pickle path, not
+            # abort a sweep that would succeed without sharing.
+            return False
+        if shared is None:
+            return False
+        self._shm_handle, self._shm_state = shared
+        return True
+
+    def release_shared(self) -> None:
+        """Drop the driver's reference on the published segment.
+
+        Idempotent.  The segment unlinks immediately (POSIX keeps the
+        memory mapped for any worker still attached); call this only
+        once every consumer has finished unpickling — in practice,
+        after the worker's future resolves.
+        """
+        handle = self._shm_handle
+        self._shm_handle = None
+        self._shm_state = None
+        if handle is not None:
+            _shm.release_segment(handle.name)
+
+    # -- shared-memory transport (worker side) --------------------------------
+
+    def detach_shared(self) -> None:
+        """Close the worker-side mapping once evaluation is done.
+
+        The attached batch's arrays are views over the mapping, so the
+        batch is dismantled first (no view may outlive the ``mmap``),
+        then the segment closes.  No-op for pickle-shipped chunks.
+        """
+        batch = self.batch
+        if batch is None:
+            return
+        attachment = batch.__dict__.pop("_shm_attachment", None)
+        if attachment is not None:
+            batch.__dict__.clear()
+            self.batch = None
+            attachment.close()
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)
         state["_compiled_key"] = None
+        if len(self.valid) == len(self.specs):
+            # bind_chunk builds ``valid`` as a sorted subset of
+            # range(n), so equal length means the identity mapping —
+            # shipped as one int (a million-candidate chunk otherwise
+            # pays ~0.3 s re-allocating the index list per worker).
+            state["valid"] = len(self.specs)
         batch = self.batch
-        if batch is not None and batch.compiled.cache_key is not None:
-            lean = object.__new__(BoundBatch)
-            lean.__dict__.update(batch.__getstate__())
-            lean.compiled = None
-            state["batch"] = lean
-            state["_compiled_key"] = batch.compiled.cache_key
+        if batch is None:
+            return state
+        cache_key = batch.compiled.cache_key
+        if self._shm_handle is not None and self._shm_state is not None:
+            # Zero-copy route: ship the segment name + scalar metadata.
+            lean = dict(self._shm_state)
+            if cache_key is not None:
+                lean["compiled"] = None
+                state["_compiled_key"] = cache_key
+            state["batch"] = None
+            state["_shm_state"] = lean
+            return state
+        if cache_key is not None:
+            lean_batch = object.__new__(BoundBatch)
+            lean_batch.__dict__.update(batch.__getstate__())
+            lean_batch.compiled = None
+            state["batch"] = lean_batch
+            state["_compiled_key"] = cache_key
         return state
 
     def __setstate__(self, state: dict) -> None:
         key = state.pop("_compiled_key", None)
+        handle = state.pop("_shm_handle", None)
+        lean = state.pop("_shm_state", None)
+        if isinstance(state.get("valid"), int):
+            state["valid"] = list(range(state["valid"]))
         self.__dict__.update(state)
+        self._shm_handle = None  # receivers never own the segment
+        self._shm_state = None
+        if handle is not None and lean is not None and self.batch is None:
+            attachment = handle.attach()
+            batch = object.__new__(BoundBatch)
+            batch.__dict__.update(_shm.restore_ndarray_state(lean,
+                                                             attachment))
+            self.batch = batch
         if (key is not None and self.batch is not None
                 and self.batch.compiled is None):
             from repro.search.compiler import cached_compiled

@@ -26,6 +26,7 @@ from repro.serve.server import (
     add_serve_args,
     config_from_args,
     main,
+    run_daemon,
 )
 from repro.serve.validation import (
     INTER_LINK_CHOICES,
@@ -33,6 +34,7 @@ from repro.serve.validation import (
     EstimateRequest,
     error_body,
     parse_estimate_request,
+    warm_request,
 )
 
 __all__ = [
@@ -47,9 +49,11 @@ __all__ = [
     "add_serve_args",
     "config_from_args",
     "main",
+    "run_daemon",
     "INTER_LINK_CHOICES",
     "MAX_DEADLINE_S",
     "EstimateRequest",
     "error_body",
     "parse_estimate_request",
+    "warm_request",
 ]

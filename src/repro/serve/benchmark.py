@@ -19,6 +19,9 @@ Phases recorded:
   requests/s).
 - ``burst`` — concurrent threads hammering the same request (p50/p99,
   requests/s, error count).
+- ``multi_worker`` — the same burst against pre-fork daemon
+  subprocesses (``--workers N`` vs ``--workers 1``), measuring the
+  fleet's scale-out (optional: absent where ``os.fork`` is).
 """
 
 from __future__ import annotations
@@ -26,13 +29,17 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import re
+import signal
 import socket
 import subprocess
 import sys
 import threading
 import time
+import urllib.error
+import urllib.request
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.search.benchmark import GATE_TOLERANCE
 
@@ -50,8 +57,25 @@ SERVE_BENCH_SCHEMA = {
 }
 
 #: Phases whose ``requests_per_s`` the CI gate rate-compares when both
-#: the measured and committed payloads carry them.
+#: the measured and committed payloads carry them.  The multi-worker
+#: phase is deliberately absent: its rate on a small runner is
+#: dominated by fork/scheduler noise, so the gate holds it to absolute
+#: one-sided floors (zero errors, and the scale-out bar on real
+#: multi-core runners) instead of a committed-baseline comparison.
 GATED_SERVE_PHASES = ("warm", "burst")
+
+#: The pre-fork fleet's burst must reach at least this multiple of a
+#: single worker's on a runner with >= MULTIWORKER_MIN_CORES cores.
+MIN_MULTIWORKER_SPEEDUP = 2.0
+
+#: Worker-count ceiling for the multi-worker phase (also capped by the
+#: runner's core count, floor 2 — the phase still runs on small
+#: machines, the scale-out assertion just needs real cores).
+MULTIWORKER_MAX_WORKERS = 4
+
+#: Cores the runner needs before ``bench_serve.py`` asserts the
+#: multi-worker burst's >= 2x scale-out over a single worker.
+MULTIWORKER_MIN_CORES = 4
 
 
 def _percentile(samples: List[float], fraction: float) -> float:
@@ -165,7 +189,116 @@ def _burst_round(host: str, port: int, body: bytes,
     }
 
 
+def _await_serving(proc: "subprocess.Popen",
+                   timeout: float = 180.0) -> tuple:
+    """Parse the daemon's ``serving on http://host:port`` line."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited with {proc.returncode} before "
+                    f"announcing its address")
+            time.sleep(0.05)
+            continue
+        match = re.search(r"serving on http://([^\s:]+):(\d+)", line)
+        if match:
+            return match.group(1), int(match.group(2))
+    raise RuntimeError("daemon did not announce within the timeout")
+
+
+def _await_ready(host: str, port: int,
+                 timeout: float = 120.0) -> None:
+    """Poll ``/readyz`` until the daemon (or fleet quorum) is ready."""
+    deadline = time.monotonic() + timeout
+    url = f"http://{host}:{port}/readyz"
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=10) as reply:
+                if reply.status == 200:
+                    return
+        except urllib.error.HTTPError:
+            pass  # 503: not ready yet
+        except OSError:
+            pass  # socket not accepting yet
+        time.sleep(0.1)
+    raise RuntimeError(f"daemon at {host}:{port} never became ready")
+
+
+def _subprocess_daemon_burst(workers: int, body: bytes,
+                             burst_threads: int, burst_requests: int,
+                             rounds: int) -> Dict[str, Any]:
+    """Best-of-``rounds`` burst against a daemon subprocess running
+    ``--workers N`` (errors summed across every round)."""
+    command = [sys.executable, "-m", "repro.serve",
+               "--workers", str(workers), "--port", "0",
+               "--warm", CANONICAL_REQUEST["model"],
+               "--queue-limit", str(max(64, burst_requests)),
+               "--deadline", "120", "--log-level", "error"]
+    proc = subprocess.Popen(command, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, text=True,
+                            env=dict(os.environ))
+    try:
+        host, port = _await_serving(proc)
+        _await_ready(host, port)
+        burst_rounds = [_burst_round(host, port, body, burst_threads,
+                                     burst_requests)
+                        for _ in range(rounds)]
+        best = max(burst_rounds, key=lambda r: r["requests_per_s"])
+        best["errors"] = sum(r["errors"] for r in burst_rounds)
+        return best
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=90)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def run_multiworker_benchmark(workers: Optional[int] = None,
+                              burst_threads: int = 8,
+                              burst_requests: int = 96,
+                              rounds: int = 3
+                              ) -> Optional[Dict[str, Any]]:
+    """Burst throughput of the pre-fork fleet vs a single worker.
+
+    Both measurements run as real daemon subprocesses (``--workers N``
+    and ``--workers 1``), so the comparison includes fork, socket
+    strategy and board overhead — the whole multi-worker product, not
+    just the handler path.  Returns ``None`` on platforms without
+    ``os.fork`` (the payload then lacks the phase; the gate skips it).
+
+    ``speedup_vs_single`` only means scale-out on a multi-core runner:
+    on fewer than :data:`MULTIWORKER_MIN_CORES` cores the workers
+    time-slice one CPU and the ratio hovers around 1x, which is why
+    ``bench_serve.py`` gates its >= 2x assertion on the core count
+    (recorded here as ``cpu_count``).
+    """
+    if not hasattr(os, "fork"):
+        return None
+    cpu_count = os.cpu_count() or 1
+    if workers is None:
+        workers = max(2, min(MULTIWORKER_MAX_WORKERS, cpu_count))
+    body = json.dumps(CANONICAL_REQUEST).encode()
+    single = _subprocess_daemon_burst(1, body, burst_threads,
+                                      burst_requests, rounds)
+    multi = _subprocess_daemon_burst(workers, body, burst_threads,
+                                     burst_requests, rounds)
+    return dict(
+        multi,
+        workers=workers,
+        cpu_count=cpu_count,
+        single_worker_requests_per_s=single["requests_per_s"],
+        single_worker_errors=single["errors"],
+        speedup_vs_single=(multi["requests_per_s"]
+                           / max(single["requests_per_s"], 1e-12)),
+    )
+
+
 def run_serve_benchmark(include_cold_cli: bool = True,
+                        include_multiworker: bool = True,
                         repeats: int = 64,
                         rounds: int = 3,
                         burst_threads: int = 8,
@@ -214,6 +347,13 @@ def run_serve_benchmark(include_cold_cli: bool = True,
         connection.close()
         daemon.shutdown()
 
+    if include_multiworker:
+        multiworker = run_multiworker_benchmark(
+            burst_threads=burst_threads,
+            burst_requests=burst_requests)
+        if multiworker is not None:
+            payload["multi_worker"] = multiworker
+
     if include_cold_cli:
         payload["warm_speedup_vs_cold_cli"] = (
             payload["cold_cli"]["seconds"]
@@ -233,11 +373,20 @@ def validate_serve_bench(payload: dict) -> None:
                 f"{key!r} must be {expected.__name__}, "
                 f"got {payload[key]!r}")
     for phase in GATED_SERVE_PHASES:
+        if phase not in SERVE_BENCH_SCHEMA and phase not in payload:
+            continue  # optional phase (e.g. multi_worker sans fork)
         rate = payload[phase].get("requests_per_s")
         if not isinstance(rate, (int, float)) or rate <= 0:
             raise ValueError(
                 f"{phase}.requests_per_s must be a positive number, "
                 f"got {rate!r}")
+    multiworker = payload.get("multi_worker")
+    if multiworker is not None:
+        for key in ("workers", "cpu_count", "speedup_vs_single",
+                    "single_worker_requests_per_s"):
+            if key not in multiworker:
+                raise ValueError(
+                    f"'multi_worker' missing key {key!r}")
 
 
 def write_serve_bench_json(payload: dict, path) -> Path:
@@ -272,4 +421,19 @@ def check_serve_regression(measured: dict, committed: dict,
                 f"{rate:.1f} requests/s is below the "
                 f"{floor:.1f} floor (committed {baseline:.1f}, "
                 f"tolerance {tolerance:.0%})")
+    multiworker = measured.get("multi_worker")
+    if multiworker is not None:
+        if multiworker.get("errors"):
+            failures.append(
+                f"serve multi-worker burst dropped "
+                f"{multiworker['errors']} requests")
+        if (multiworker.get("cpu_count", 0) >= MULTIWORKER_MIN_CORES
+                and multiworker.get("workers", 0) >= 2
+                and multiworker.get("speedup_vs_single", 0.0)
+                < MIN_MULTIWORKER_SPEEDUP):
+            failures.append(
+                f"serve multi-worker burst scaled only "
+                f"{multiworker['speedup_vs_single']:.2f}x over a "
+                f"single worker on {multiworker['cpu_count']} cores "
+                f"(bar: {MIN_MULTIWORKER_SPEEDUP:.0f}x)")
     return failures

@@ -185,7 +185,8 @@ class EstimationService:
                  evaluate: Optional[
                      Callable[[EstimateRequest], Response]] = None,
                  drain_timeout_s: float = 10.0,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 prewarm: bool = False) -> None:
         self.queue_limit = queue_limit
         self.default_deadline_s = default_deadline_s
         self.max_batch = max_batch
@@ -199,6 +200,7 @@ class EstimationService:
         self.efficiency = efficiency if efficiency is not None \
             else CASE_STUDY_EFFICIENCY
         self.drain_timeout_s = drain_timeout_s
+        self.prewarm = prewarm
         self._evaluate = evaluate
         self._clock = clock
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_limit)
@@ -208,6 +210,9 @@ class EstimationService:
         self._state_lock = threading.Lock()
         self._draining = False
         self._warmed = False
+        #: Group keys whose neighbourhood was already scheduled, so a
+        #: traffic burst on one system schedules its neighbours once.
+        self._prewarmed_groups: set = set()
 
     # -- admission ----------------------------------------------------
 
@@ -352,6 +357,7 @@ class EstimationService:
                 self._warmed = True
             for pending, (status, payload) in zip(group, results):
                 self._respond(pending, status, payload)
+            self._schedule_prewarm(group[0].request)
 
     def _respond(self, pending: PendingRequest, status: int,
                  payload: Dict[str, Any]) -> None:
@@ -454,6 +460,61 @@ class EstimationService:
             payload["training_days"] = estimate.total_time_days
             payload["n_batches"] = estimate.n_batches
         return (200, payload)
+
+    # -- neighbourhood pre-warm ---------------------------------------
+
+    def _schedule_prewarm(self, request: EstimateRequest) -> None:
+        """Compile neighbouring system sizes in the background.
+
+        Sweep traffic tends to walk the node-count axis (scaling
+        studies double or halve the fleet), so after the first
+        successful evaluation of a group this schedules compiled-table
+        builds for ``nodes*2`` and ``nodes//2``.  ``compile_sweep``
+        seeds each build from the cached sweeps via
+        :meth:`CompiledSweep.seed_from`, so the neighbour build starts
+        from the just-built tables instead of from scratch, and the
+        next request for that size hits a warm cache.  Scheduled at
+        most once per group key; counted on the ``serve.prewarm.*``
+        counters; errors never surface to request handling.
+        """
+        if not self.prewarm or self._evaluate is not None:
+            return
+        key = request.group_key()
+        with self._state_lock:
+            if key in self._prewarmed_groups:
+                return
+            self._prewarmed_groups.add(key)
+        neighbours = sorted({request.nodes * 2,
+                             max(1, request.nodes // 2)}
+                            - {request.nodes})
+        if not neighbours:
+            return
+        get_metrics().counter("serve.prewarm.scheduled").inc(
+            len(neighbours))
+        threading.Thread(
+            target=self._prewarm_neighbours,
+            args=(request, neighbours),
+            name="serve-prewarm", daemon=True).start()
+
+    def _prewarm_neighbours(self, request: EstimateRequest,
+                            neighbours: List[int]) -> None:
+        metrics = get_metrics()
+        for nodes in neighbours:
+            try:
+                neighbour = replace(request, nodes=nodes)
+                system = system_for(neighbour)
+                model = get_model(neighbour.model)
+                template = AMPeD.for_mapping(
+                    model, system, dp=system.n_accelerators,
+                    efficiency=self.efficiency,
+                    evaluation_path=RUNG_EVALUATION_PATHS[
+                        self.ladder.current])
+                compile_sweep(template, neighbour.batch)
+                metrics.counter("serve.prewarm.built").inc()
+            except Exception:  # noqa: BLE001 — best-effort cache warming must never disturb serving
+                metrics.counter("serve.prewarm.errors").inc()
+                _LOG.debug("prewarm failed for %d nodes", nodes,
+                           exc_info=True)
 
     # -- warmup / drain / status -------------------------------------
 

@@ -60,7 +60,9 @@ class ServeConfig:
                  warm_model: Optional[str] = None,
                  breaker_threshold: int = 3,
                  breaker_cooldown_s: float = 5.0,
-                 drain_timeout_s: float = 10.0) -> None:
+                 drain_timeout_s: float = 10.0,
+                 workers: int = 1,
+                 prewarm: bool = True) -> None:
         self.host = host
         self.port = port  # 0 = ephemeral (tests, smoke)
         self.queue_limit = queue_limit
@@ -70,6 +72,8 @@ class ServeConfig:
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_s = breaker_cooldown_s
         self.drain_timeout_s = drain_timeout_s
+        self.workers = workers  # >1 = pre-fork multi-worker daemon
+        self.prewarm = prewarm
 
 
 class _Server(ThreadingHTTPServer):
@@ -80,6 +84,10 @@ class _Server(ThreadingHTTPServer):
     block_on_close = True
     service: EstimationService
     max_body_bytes: int
+    #: Multi-worker mode only: the worker board this process heartbeats
+    #: on, making /readyz a fleet quorum and /metrics an aggregate.
+    board: Optional[object] = None
+    worker_index: Optional[int] = None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -112,14 +120,24 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         service = self.server.service
+        board = self.server.board
         if self.path == "/healthz":
             self._send_json(200, {"status": "ok",
                                   "draining": service.draining})
         elif self.path == "/readyz":
             status = service.status()
+            if board is not None:
+                # Fleet view: this worker answers for the quorum, not
+                # just itself, so any worker's socket reports whether
+                # the daemon as a whole can take traffic.
+                status = board.quorum_status(
+                    status, self.server.worker_index)
             self._send_json(200 if status["ready"] else 503, status)
         elif self.path == "/metrics":
             snapshot = collect_cache_metrics(get_metrics()).snapshot()
+            if board is not None:
+                snapshot = board.aggregate_metrics(
+                    snapshot, self.server.worker_index)
             self._send_json(200, snapshot)
         else:
             self._send_json(404, error_body(
@@ -194,7 +212,10 @@ class ServeDaemon:
     """Owns the server socket, the service and the shutdown sequence."""
 
     def __init__(self, config: ServeConfig,
-                 service: Optional[EstimationService] = None) -> None:
+                 service: Optional[EstimationService] = None,
+                 server_factory: Optional[Any] = None,
+                 board: Optional[object] = None,
+                 worker_index: Optional[int] = None) -> None:
         self.config = config
         if service is None:
             from repro.serve.breaker import CircuitBreaker
@@ -204,8 +225,15 @@ class ServeDaemon:
                 breaker=CircuitBreaker(
                     failure_threshold=config.breaker_threshold,
                     cooldown_s=config.breaker_cooldown_s),
-                drain_timeout_s=config.drain_timeout_s)
+                drain_timeout_s=config.drain_timeout_s,
+                prewarm=config.prewarm)
         self.service = service
+        #: Callable ``handler_class -> _Server``; multi-worker workers
+        #: inject this to bind SO_REUSEPORT sockets or adopt the
+        #: master's inherited listener instead of a plain bind.
+        self._server_factory = server_factory
+        self._board = board
+        self._worker_index = worker_index
         self.httpd: Optional[_Server] = None
         self._serve_thread: Optional[threading.Thread] = None
         self._shutdown_requested = threading.Event()
@@ -214,15 +242,19 @@ class ServeDaemon:
         """Start the service + socket; returns the bound address."""
         self.service.start()
         if self.config.warm_model:
-            from repro.serve.validation import EstimateRequest
-            self.service.warm(
-                EstimateRequest(model=self.config.warm_model))
+            from repro.serve.validation import warm_request
+            self.service.warm(warm_request(self.config.warm_model))
             _LOG.info("warmed compile cache for %s",
                       self.config.warm_model)
-        self.httpd = _Server((self.config.host, self.config.port),
-                             _Handler)
+        if self._server_factory is not None:
+            self.httpd = self._server_factory(_Handler)
+        else:
+            self.httpd = _Server((self.config.host, self.config.port),
+                                 _Handler)
         self.httpd.service = self.service
         self.httpd.max_body_bytes = self.config.max_body_bytes
+        self.httpd.board = self._board
+        self.httpd.worker_index = self._worker_index
         self._serve_thread = threading.Thread(
             target=self.httpd.serve_forever, name="serve-http",
             daemon=True)
@@ -244,8 +276,14 @@ class ServeDaemon:
         if self._serve_thread is not None:
             self._serve_thread.join(self.config.drain_timeout_s)
 
-    def run(self, install_signal_handlers: bool = True) -> int:
-        """Foreground entry: serve until SIGTERM/SIGINT, then drain."""
+    def run(self, install_signal_handlers: bool = True,
+            announce: bool = True) -> int:
+        """Foreground entry: serve until SIGTERM/SIGINT, then drain.
+
+        ``announce=False`` suppresses the startup/shutdown lines —
+        multi-worker workers stay quiet so the master prints exactly
+        one ``serving on ...`` line for the whole fleet.
+        """
         host, port = self.start()
         if install_signal_handlers:
             def _on_signal(signum: int, frame: Any) -> None:
@@ -253,11 +291,13 @@ class ServeDaemon:
                 self.request_shutdown()
             signal.signal(signal.SIGTERM, _on_signal)
             signal.signal(signal.SIGINT, _on_signal)
-        # The smoke script and tests parse this exact line.
-        print(f"serving on http://{host}:{port}", flush=True)
+        if announce:
+            # The smoke script and tests parse this exact line.
+            print(f"serving on http://{host}:{port}", flush=True)
         self._shutdown_requested.wait()
         self.shutdown()
-        print("shutdown complete", flush=True)
+        if announce:
+            print("shutdown complete", flush=True)
         return 0
 
 
@@ -286,6 +326,14 @@ def add_serve_args(parser: argparse.ArgumentParser) -> None:
                         dest="drain_timeout_s", metavar="SECONDS",
                         help="how long shutdown waits for in-flight "
                              "work")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; >1 runs the pre-fork "
+                             "multi-worker daemon (SO_REUSEPORT when "
+                             "the platform supports it)")
+    parser.add_argument("--prewarm", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="pre-compile neighbouring system sizes in "
+                             "the background after each cache miss")
 
 
 def config_from_args(args: argparse.Namespace) -> ServeConfig:
@@ -296,7 +344,20 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         warm_model=args.warm_model,
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown_s,
-        drain_timeout_s=args.drain_timeout_s)
+        drain_timeout_s=args.drain_timeout_s,
+        workers=args.workers,
+        prewarm=args.prewarm)
+
+
+def run_daemon(config: ServeConfig) -> int:
+    """Run the daemon the configuration asks for: the single-process
+    :class:`ServeDaemon` (``workers <= 1``, today's exact behavior) or
+    the pre-fork multi-worker master from
+    :mod:`repro.serve.multiproc`."""
+    if config.workers > 1:
+        from repro.serve.multiproc import MultiWorkerDaemon
+        return MultiWorkerDaemon(config).run()
+    return ServeDaemon(config).run()
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -310,7 +371,7 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
     try:
-        return ServeDaemon(config_from_args(args)).run()
+        return run_daemon(config_from_args(args))
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

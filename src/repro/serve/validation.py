@@ -12,7 +12,7 @@ never surface as a traceback or a 500.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional
 
 import json
@@ -181,6 +181,18 @@ def parse_estimate_request(body: bytes) -> EstimateRequest:
     values["deadline_s"] = deadline_s
 
     return EstimateRequest(**values)
+
+
+def warm_request(model: str) -> EstimateRequest:
+    """A guaranteed-feasible request for pre-warming caches.
+
+    The raw defaults (``tp = pp = dp = 1``) never match the default
+    128-accelerator system, so warming with them would 422 silently and
+    leave ``/readyz`` unready forever.  Pure data parallelism across
+    every accelerator is feasible for any model the zoo knows."""
+    defaults = EstimateRequest(model=model)
+    return replace(defaults,
+                   dp=defaults.nodes * defaults.accel_per_node)
 
 
 def error_body(code: str, message: str,
